@@ -1,0 +1,106 @@
+"""EXP-X1 — Cost profile of the extension summary types.
+
+The extensibility claim (§2.3) is only credible if types added through
+the public contract behave like the built-ins.  This benchmark gives each
+type family the same workload — maintenance (absorb one annotation into a
+row carrying 50) and querying (scan + propagate) — and compares.
+
+Shape expected: the extension types (Terms, Timeline) fall within the
+range spanned by the built-ins on both axes: none of the engine's paths
+privilege the built-in types.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import time_call, write_report
+from repro import InsightNotes
+from repro.model.cell import CellRef
+from repro.summaries import extended_registry
+from repro.workloads.corpus import AnnotationFactory
+
+EXISTING = 50
+
+TYPE_CONFIGS = {
+    "Classifier": ("Classifier", {"labels": ["a", "b", "c"]}),
+    "Cluster": ("Cluster", {"threshold": 0.3}),
+    "Snippet": ("Snippet", {"documents_only": False, "max_sentences": 2}),
+    "Terms": ("Terms", {"top_k": 5}),
+    "Timeline": ("Timeline", {"bucket_seconds": 3600}),
+}
+
+
+def _session(kind: str) -> InsightNotes:
+    type_name, config = TYPE_CONFIGS[kind]
+    notes = InsightNotes(registry=extended_registry())
+    notes.create_table("t", ["v"])
+    notes.insert("t", ("x",))
+    instance = notes.catalog.define_instance(type_name, "Probe", config)
+    if type_name == "Classifier":
+        instance.train([("alpha words", "a"), ("beta words", "b"),
+                        ("gamma words", "c")])
+    notes.link("Probe", "t")
+    factory = AnnotationFactory(seed=83)
+    for _ in range(EXISTING):
+        text, _category = factory.draw()
+        notes.add_annotation(text, table="t", row_id=1,
+                             created_at=factory._rng.uniform(0, 30 * 86400))
+    return notes
+
+
+def _absorb_one(notes: InsightNotes, factory: AnnotationFactory) -> None:
+    text, _category = factory.draw()
+    annotation = notes.annotations.add(text, [CellRef("t", 1, "v")])
+    notes.manager.on_annotation_added(
+        annotation, notes.annotations.cells_of(annotation.annotation_id)
+    )
+
+
+@pytest.mark.parametrize("kind", sorted(TYPE_CONFIGS))
+def test_maintenance_per_type(benchmark, kind):
+    notes = _session(kind)
+    factory = AnnotationFactory(seed=89)
+    benchmark.extra_info["type"] = kind
+    benchmark(lambda: _absorb_one(notes, factory))
+    notes.close()
+
+
+@pytest.mark.parametrize("kind", sorted(TYPE_CONFIGS))
+def test_query_per_type(benchmark, kind):
+    notes = _session(kind)
+    notes.query("SELECT v FROM t")  # warm
+    benchmark.extra_info["type"] = kind
+    benchmark(lambda: notes.query("SELECT v FROM t"))
+    notes.close()
+
+
+def test_report_series(benchmark):
+    rows = []
+    maintenance = {}
+    query = {}
+    for kind in TYPE_CONFIGS:
+        notes = _session(kind)
+        factory = AnnotationFactory(seed=89)
+        maintenance[kind] = time_call(lambda: _absorb_one(notes, factory))
+        notes.query("SELECT v FROM t")
+        query[kind] = time_call(lambda: notes.query("SELECT v FROM t"))
+        rows.append((kind, maintenance[kind] * 1000, query[kind] * 1000))
+        notes.close()
+    write_report(
+        "exp_x1_extension_types",
+        f"EXP-X1: per-type cost (1 row, {EXISTING} existing annotations)",
+        ["type", "maintain ms", "query ms"],
+        rows,
+    )
+    builtins = ("Classifier", "Cluster", "Snippet")
+    extensions = ("Terms", "Timeline")
+    # Shape: the extension types stay within the cost envelope the
+    # built-ins span, on both axes.  The tolerance absorbs timer noise on
+    # sub-millisecond measurements — the claim is "same order, no
+    # privileged path", not microsecond equality.
+    for metric in (maintenance, query):
+        ceiling = max(metric[k] for k in builtins) * 2.0
+        for kind in extensions:
+            assert metric[kind] <= ceiling
+    benchmark(lambda: None)

@@ -1,0 +1,128 @@
+"""EXP-M2 — The summarize-once optimization (invariant properties).
+
+An annotation attached to *k* tuples must be analyzed once when the
+instance is annotation- and data-invariant (§2.3), versus *k* times when
+the optimization is disabled.  Measures insertion cost for multi-tuple
+annotations with the contribution cache on (classifier instance with
+default invariants) and off (same instance declared non-invariant).
+
+Shape expected: with summarize-once, analyze calls stay at 1 per
+annotation regardless of fan-out and insertion time grows only with the
+per-object application cost; without it, analyze calls and time grow
+linearly with the fan-out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import time_call, write_report
+from repro import InsightNotes
+from repro.model.cell import CellRef
+from repro.workloads.corpus import AnnotationFactory
+
+FANOUTS = (1, 8, 32)
+
+
+def _session(invariant: bool) -> InsightNotes:
+    notes = InsightNotes()
+    notes.create_table("birds", ["name"])
+    for i in range(max(FANOUTS)):
+        notes.insert("birds", (f"bird-{i}",))
+    factory = AnnotationFactory(seed=53)
+    training = factory.training_set(8)
+    labels = sorted({label for _, label in training})
+    instance = notes.catalog.define_instance(
+        "Classifier",
+        "Cf",
+        {
+            "labels": labels,
+            "annotation_invariant": invariant,
+            "data_invariant": invariant,
+        },
+    )
+    instance.train(training)
+    notes.link("Cf", "birds")
+    return notes
+
+
+def _add_multi_tuple(notes: InsightNotes, factory: AnnotationFactory,
+                     fanout: int) -> None:
+    text, _category = factory.draw()
+    cells = [CellRef("birds", row_id, "name") for row_id in range(1, fanout + 1)]
+    annotation = notes.annotations.add(text, cells)
+    notes.manager.on_annotation_added(annotation, cells)
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_summarize_once_enabled(benchmark, fanout):
+    notes = _session(invariant=True)
+    factory = AnnotationFactory(seed=71)
+    benchmark.extra_info["fanout"] = fanout
+    benchmark(lambda: _add_multi_tuple(notes, factory, fanout))
+    notes.close()
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_summarize_once_disabled(benchmark, fanout):
+    notes = _session(invariant=False)
+    factory = AnnotationFactory(seed=71)
+    benchmark.extra_info["fanout"] = fanout
+    benchmark(lambda: _add_multi_tuple(notes, factory, fanout))
+    notes.close()
+
+
+def test_report_series(benchmark):
+    rows = []
+    for fanout in FANOUTS:
+        with_cache = _session(invariant=True)
+        factory = AnnotationFactory(seed=71)
+        cached_time = time_call(
+            lambda: _add_multi_tuple(with_cache, factory, fanout)
+        )
+        cached_stats = with_cache.manager.contributions.stats
+
+        without_cache = _session(invariant=False)
+        uncached_time = time_call(
+            lambda: _add_multi_tuple(without_cache, factory, fanout)
+        )
+        uncached_stats = without_cache.manager.contributions.stats
+        rows.append(
+            (
+                fanout,
+                cached_time * 1000,
+                uncached_time * 1000,
+                # analyze calls per annotation insert
+                cached_stats.analyze_calls / max(1, cached_stats.hits
+                                                 + cached_stats.misses
+                                                 + cached_stats.bypasses) * fanout,
+                uncached_stats.analyze_calls
+                / max(1, uncached_stats.bypasses) * fanout,
+            )
+        )
+        with_cache.close()
+        without_cache.close()
+    write_report(
+        "exp_m2_invariants",
+        "EXP-M2: multi-tuple annotation insert, summarize-once on/off",
+        ["fanout", "invariant ms", "non-invariant ms",
+         "analyze/annot (inv)", "analyze/annot (non-inv)"],
+        rows,
+    )
+    benchmark(lambda: None)
+
+
+def test_analyze_call_counts(benchmark):
+    """Hard check: fan-out 32 analyzes once vs 32 times."""
+    invariant = _session(invariant=True)
+    factory = AnnotationFactory(seed=71)
+    _add_multi_tuple(invariant, factory, 32)
+    assert invariant.manager.contributions.stats.misses == 1
+    assert invariant.manager.contributions.stats.hits == 31
+    invariant.close()
+
+    variant = _session(invariant=False)
+    _add_multi_tuple(variant, AnnotationFactory(seed=71), 32)
+    assert variant.manager.contributions.stats.bypasses == 32
+    variant.close()
+    benchmark(lambda: None)

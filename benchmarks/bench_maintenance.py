@@ -1,0 +1,104 @@
+"""EXP-M1 — Incremental maintenance vs. recompute-from-scratch.
+
+Measures the cost of absorbing one new annotation into a row's summaries
+as a function of how many annotations the row already carries, for the
+incremental :class:`~repro.maintenance.incremental.SummaryManager` and
+the :class:`~repro.maintenance.rebuild.RebuildMaintainer` baseline.
+
+Shape expected: rebuild cost grows linearly with the existing annotation
+count (it re-summarizes everything); incremental cost stays nearly flat,
+so the speedup factor grows with the corpus — the scalability argument
+of §2.3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import time_call, write_report
+from repro import InsightNotes
+from repro.maintenance.rebuild import RebuildMaintainer
+from repro.model.cell import CellRef
+from repro.workloads.corpus import AnnotationFactory
+
+EXISTING_COUNTS = (25, 50, 100, 200)
+
+
+def _session_with_row(existing: int) -> InsightNotes:
+    notes = InsightNotes()
+    notes.create_table("birds", ["name", "species"])
+    notes.insert("birds", ("Swan Goose", "Anser cygnoides"))
+    factory = AnnotationFactory(seed=41)
+    training = factory.training_set(8)
+    labels = sorted({label for _, label in training})
+    notes.define_classifier("Cf", labels, training)
+    notes.define_cluster("Cl", threshold=0.3)
+    notes.link("Cf", "birds")
+    notes.link("Cl", "birds")
+    for _ in range(existing):
+        text, _category = factory.draw()
+        notes.add_annotation(text, table="birds", row_id=1)
+    return notes
+
+
+def _add_one(notes: InsightNotes, maintainer, factory: AnnotationFactory):
+    text, _category = factory.draw()
+    annotation = notes.annotations.add(text, [CellRef("birds", 1, "name")])
+    maintainer.on_annotation_added(
+        annotation, notes.annotations.cells_of(annotation.annotation_id)
+    )
+
+
+@pytest.mark.parametrize("existing", EXISTING_COUNTS)
+def test_incremental_insert(benchmark, existing):
+    notes = _session_with_row(existing)
+    factory = AnnotationFactory(seed=97)
+    benchmark.extra_info["existing"] = existing
+    benchmark(lambda: _add_one(notes, notes.manager, factory))
+    notes.close()
+
+
+@pytest.mark.parametrize("existing", EXISTING_COUNTS)
+def test_rebuild_insert(benchmark, existing):
+    notes = _session_with_row(existing)
+    maintainer = RebuildMaintainer(notes.db, notes.annotations, notes.catalog)
+    factory = AnnotationFactory(seed=97)
+    benchmark.extra_info["existing"] = existing
+    benchmark(lambda: _add_one(notes, maintainer, factory))
+    notes.close()
+
+
+def test_report_series(benchmark):
+    rows = []
+    speedups = {}
+    for existing in EXISTING_COUNTS:
+        incremental_notes = _session_with_row(existing)
+        factory = AnnotationFactory(seed=97)
+        incremental = time_call(
+            lambda: _add_one(incremental_notes, incremental_notes.manager,
+                             factory),
+            repeats=3,
+        )
+        rebuild_notes = _session_with_row(existing)
+        maintainer = RebuildMaintainer(
+            rebuild_notes.db, rebuild_notes.annotations, rebuild_notes.catalog
+        )
+        rebuild = time_call(
+            lambda: _add_one(rebuild_notes, maintainer, factory), repeats=3
+        )
+        speedups[existing] = rebuild / incremental
+        rows.append(
+            (existing, incremental * 1000, rebuild * 1000, speedups[existing])
+        )
+        incremental_notes.close()
+        rebuild_notes.close()
+    write_report(
+        "exp_m1_maintenance",
+        "EXP-M1: cost of absorbing one annotation vs existing annotations",
+        ["existing", "incremental ms", "rebuild ms", "speedup"],
+        rows,
+    )
+    # Shape: incremental wins at every size and the gap grows.
+    assert all(speedup > 1 for speedup in speedups.values())
+    assert speedups[EXISTING_COUNTS[-1]] > speedups[EXISTING_COUNTS[0]]
+    benchmark(lambda: None)

@@ -1,0 +1,59 @@
+"""EXP-QP2 — Per-operator overhead of summary-aware processing.
+
+Times each extended operator in isolation over the shared workload:
+scan (attach summaries), selection (pass-through), narrow projection
+(annotation-effect removal), equi-join (dedup-aware merge), grouping
+(merge per group), and duplicate elimination.
+
+Shape expected: selection adds almost nothing over scan; projection and
+the merging operators (join, group-by, distinct) carry the real summary
+manipulation cost, with the merging operators the most expensive — the
+same ordering the engine paper reports for its extended operators.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import time_call, write_report
+
+OPERATOR_QUERIES = {
+    "scan": "SELECT name, species, region, weight FROM birds",
+    "select": "SELECT name, species, region, weight FROM birds WHERE weight > 0",
+    "project": "SELECT name FROM birds",
+    "join": "SELECT b.name, s.observer FROM birds b, sightings s "
+            "WHERE b.species = s.species",
+    "groupby": "SELECT region, count(*) FROM birds GROUP BY region",
+    "distinct": "SELECT DISTINCT region FROM birds",
+    "summary-filter": "SELECT name FROM birds "
+                      "WHERE SUMMARY_COUNT('ClassBird1', 'Behavior') > 0",
+}
+
+
+@pytest.mark.parametrize("operator", sorted(OPERATOR_QUERIES))
+def test_operator(benchmark, bench_workload, operator):
+    session = bench_workload.session
+    sql = OPERATOR_QUERIES[operator]
+    session.query(sql)  # warm caches
+    benchmark.extra_info["operator"] = operator
+    benchmark(lambda: session.query(sql))
+
+
+def test_report_series(benchmark, bench_workload):
+    session = bench_workload.session
+    times = {}
+    rows = []
+    for operator, sql in OPERATOR_QUERIES.items():
+        session.query(sql)  # warm
+        times[operator] = time_call(lambda: session.query(sql))
+        rows.append((operator, times[operator] * 1000,
+                     times[operator] / times["scan"]))
+    write_report(
+        "exp_qp2_operators",
+        "EXP-QP2: per-operator query time (summary-aware engine)",
+        ["operator", "ms", "vs scan"],
+        rows,
+    )
+    # Selection must be nearly free relative to the scan it wraps.
+    assert times["select"] < times["scan"] * 1.6
+    benchmark(lambda: None)

@@ -1,0 +1,200 @@
+"""EXP-Q1 — Quality of the produced summaries.
+
+Scores the summarization output against the generator's ground truth:
+
+* classifier accuracy (predicted label vs. the generating category's
+  mapped label) for ClassBird1;
+* cluster purity (fraction of each group belonging to its majority
+  ground-truth category) and compression (groups per annotation) across
+  a threshold sweep;
+* snippet compression (extracted sentences vs. document sentences);
+* the representative-election ablation from DESIGN.md —
+  centroid-closest vs. oldest-member representatives, scored by mean
+  similarity to the group centroid.
+
+Shape expected: classifier accuracy well above the majority-class
+baseline; purity rises and compression falls as the clustering
+threshold rises; centroid-closest representatives are at least as
+central as oldest-member ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.text.similarity import cosine_similarity
+from repro.workloads import WorkloadConfig, build_workload
+from repro.workloads.generator import CLASSBIRD1_MAPPING
+
+_WORKLOAD: list[object] = []
+
+
+def _workload():
+    if not _WORKLOAD:
+        _WORKLOAD.append(
+            build_workload(
+                WorkloadConfig(
+                    num_birds=6,
+                    num_sightings=0,
+                    annotations_per_row=60,
+                    document_fraction=0.03,
+                    cluster_threshold=0.3,
+                    training_per_category=20,
+                    seed=43,
+                )
+            )
+        )
+    return _WORKLOAD[0]
+
+
+def _classifier_accuracy() -> tuple[float, float]:
+    """(accuracy, majority-class baseline) for ClassBird1."""
+    workload = _workload()
+    session = workload.session
+    instance = session.catalog.get_instance("ClassBird1")
+    correct = 0
+    total = 0
+    label_counts: Counter[str] = Counter()
+    for annotation in session.annotations.iter_all():
+        truth = CLASSBIRD1_MAPPING[workload.ground_truth[annotation.annotation_id]]
+        label_counts[truth] += 1
+        if instance.analyze(annotation) == truth:
+            correct += 1
+        total += 1
+    baseline = label_counts.most_common(1)[0][1] / total
+    return correct / total, baseline
+
+
+def _cluster_quality(threshold: float) -> tuple[float, float]:
+    """(purity, groups-per-annotation) at a clustering threshold."""
+    from repro.model.annotation import Annotation
+    from repro.summaries.cluster import ClusterInstance
+
+    workload = _workload()
+    session = workload.session
+    instance = ClusterInstance("probe", threshold=threshold)
+    purities = []
+    compressions = []
+    for row_id in workload.bird_rows:
+        obj = instance.new_object()
+        pairs = session.annotations.annotations_for_row("birds", row_id)
+        for annotation, _columns in pairs:
+            instance.add_to(obj, annotation, instance.analyze(annotation))
+        if not pairs:
+            continue
+        pure = 0
+        for group in obj.groups:
+            votes = Counter(
+                workload.ground_truth[member] for member in group.member_ids
+            )
+            pure += votes.most_common(1)[0][1]
+        purities.append(pure / len(pairs))
+        compressions.append(len(obj.groups) / len(pairs))
+    return sum(purities) / len(purities), sum(compressions) / len(compressions)
+
+
+def _snippet_compression() -> float:
+    """Extracted sentences / original sentences over the documents."""
+    from repro.text.sentences import split_sentences
+
+    workload = _workload()
+    session = workload.session
+    instance = session.catalog.get_instance("TextSummary1")
+    kept = 0
+    total = 0
+    for annotation_id in workload.document_ids:
+        annotation = session.annotations.get(annotation_id)
+        entry = instance.analyze(annotation)
+        kept += len(entry.sentences)
+        total += len(split_sentences(annotation.text))
+    return kept / max(1, total)
+
+
+def _representative_centrality() -> tuple[float, float]:
+    """Mean cosine(representative, centroid): ranked vs oldest-member."""
+    from repro.summaries.cluster import ClusterInstance
+
+    workload = _workload()
+    session = workload.session
+    instance = ClusterInstance("probe", threshold=0.3)
+    ranked_scores = []
+    oldest_scores = []
+    for row_id in workload.bird_rows:
+        obj = instance.new_object()
+        for annotation, _columns in session.annotations.annotations_for_row(
+            "birds", row_id
+        ):
+            instance.add_to(obj, annotation, instance.analyze(annotation))
+        for group in obj.groups:
+            if group.size < 2:
+                continue
+            centroid = group.centroid()
+            assert group.vectors is not None
+            ranked = group.representative
+            oldest = min(group.member_ids)
+            ranked_scores.append(
+                cosine_similarity(group.vectors[ranked], centroid)
+            )
+            oldest_scores.append(
+                cosine_similarity(group.vectors[oldest], centroid)
+            )
+    return (
+        sum(ranked_scores) / len(ranked_scores),
+        sum(oldest_scores) / len(oldest_scores),
+    )
+
+
+def test_classifier_accuracy(benchmark):
+    accuracy, baseline = _classifier_accuracy()
+    benchmark.extra_info["accuracy"] = accuracy
+    assert accuracy > baseline + 0.15
+    assert accuracy > 0.7
+    benchmark(lambda: None)
+
+
+@pytest.mark.parametrize("threshold", (0.2, 0.3, 0.45, 0.6))
+def test_cluster_threshold(benchmark, threshold):
+    purity, compression = _cluster_quality(threshold)
+    benchmark.extra_info.update(purity=purity, compression=compression)
+    benchmark.pedantic(lambda: _cluster_quality(threshold), rounds=1,
+                       iterations=1)
+
+
+def test_report_series(benchmark):
+    accuracy, baseline = _classifier_accuracy()
+    rows = [("classifier accuracy", accuracy),
+            ("majority-class baseline", baseline),
+            ("snippet compression", _snippet_compression())]
+    ranked, oldest = _representative_centrality()
+    rows.append(("representative centrality (centroid-ranked)", ranked))
+    rows.append(("representative centrality (oldest member)", oldest))
+    write_report(
+        "exp_q1_quality_scalars",
+        "EXP-Q1: summary quality scalars",
+        ["metric", "value"],
+        rows,
+    )
+    sweep_rows = []
+    purities = {}
+    compressions = {}
+    for threshold in (0.2, 0.3, 0.45, 0.6):
+        purity, compression = _cluster_quality(threshold)
+        purities[threshold] = purity
+        compressions[threshold] = compression
+        sweep_rows.append((threshold, purity, compression))
+    write_report(
+        "exp_q1_cluster_sweep",
+        "EXP-Q1: cluster purity / compression vs threshold",
+        ["threshold", "purity", "groups per annotation"],
+        sweep_rows,
+    )
+    # Shapes: purity rises with the threshold; compression loosens
+    # (more groups); the ranked representative is at least as central.
+    assert purities[0.6] >= purities[0.2]
+    assert compressions[0.6] >= compressions[0.2]
+    assert ranked >= oldest - 1e-9
+    assert _snippet_compression() < 0.5
+    benchmark(lambda: None)

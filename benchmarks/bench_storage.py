@@ -1,0 +1,86 @@
+"""EXP-S1 — Storage overhead of summaries vs. raw annotations.
+
+For the paper's annotation ratios, compares the serialized size of the
+persisted summary state (all instances, including the maintenance-time
+heavy state) against the raw annotation text, and reports the
+query-time payload (the stripped objects that actually travel through
+plans).
+
+Shape expected: raw text grows linearly with the ratio; the query-time
+summary payload grows far slower (counts, ids, top-k previews); the
+full persisted state sits in between (it keeps per-member vectors for
+incremental clustering).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PAPER_RATIOS, write_report
+from repro.workloads import WorkloadConfig, build_workload
+
+_WORKLOADS: dict[int, object] = {}
+
+
+def _workload(ratio: int):
+    if ratio not in _WORKLOADS:
+        _WORKLOADS[ratio] = build_workload(
+            WorkloadConfig(
+                num_birds=4,
+                num_sightings=0,
+                annotations_per_row=ratio,
+                document_fraction=0.02,
+                seed=37,
+            )
+        )
+    return _WORKLOADS[ratio]
+
+
+def _measure(ratio: int) -> tuple[int, int, int]:
+    workload = _workload(ratio)
+    session = workload.session
+    raw_bytes = session.annotations.total_text_bytes()
+    persisted_bytes = session.catalog.summary_bytes("birds")
+    result = session.query("SELECT name, species, region, weight FROM birds")
+    query_payload = sum(row.total_summary_size() for row in result.tuples)
+    return raw_bytes, persisted_bytes, query_payload
+
+
+@pytest.mark.parametrize("ratio", PAPER_RATIOS)
+def test_storage_measurement(benchmark, ratio):
+    benchmark.extra_info["ratio"] = ratio
+    benchmark.pedantic(lambda: _measure(ratio), rounds=1, iterations=1)
+
+
+def test_report_series(benchmark):
+    rows = []
+    payloads = {}
+    raws = {}
+    for ratio in PAPER_RATIOS:
+        raw_bytes, persisted, payload = _measure(ratio)
+        raws[ratio] = raw_bytes
+        payloads[ratio] = payload
+        rows.append(
+            (
+                f"{ratio}x",
+                raw_bytes // 1024,
+                persisted // 1024,
+                payload // 1024,
+                raw_bytes / max(1, payload),
+            )
+        )
+    write_report(
+        "exp_s1_storage",
+        "EXP-S1: raw text vs persisted summary state vs query payload (KiB)",
+        ["ratio", "raw KiB", "persisted KiB", "query payload KiB",
+         "raw/query"],
+        rows,
+    )
+    # Shape: the query payload compresses harder as the ratio grows.
+    low = raws[PAPER_RATIOS[0]] / payloads[PAPER_RATIOS[0]]
+    high = raws[PAPER_RATIOS[-1]] / payloads[PAPER_RATIOS[-1]]
+    assert high > low
+    assert all(
+        raws[ratio] > payloads[ratio] for ratio in PAPER_RATIOS
+    )
+    benchmark(lambda: None)

@@ -1,0 +1,106 @@
+"""EXP-M3 — Sustained annotation ingest throughput.
+
+The introduction quotes eBird's rate — 1.6 million annotations per month
+(~0.6/sec sustained, with far higher bursts).  This benchmark measures
+the reproduction's sustained ingest rate (annotations/second through the
+full path: store + incremental summarization of every linked instance)
+as the number of linked summary instances grows, and under the
+write-through vs. deferred persistence modes.
+
+Shape expected: throughput comfortably above the eBird sustained rate at
+every configuration; throughput degrades roughly linearly with the
+instance count; deferred persistence beats write-through.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro import InsightNotes
+from repro.model.cell import CellRef
+from repro.workloads.corpus import AnnotationFactory
+
+BATCH = 150
+INSTANCE_COUNTS = (1, 2, 4)
+
+
+def _session(instance_count: int, write_through: bool) -> InsightNotes:
+    notes = InsightNotes()
+    notes.create_table("birds", ["name", "region"])
+    for i in range(10):
+        notes.insert("birds", (f"bird-{i}", "north"))
+    factory = AnnotationFactory(seed=67)
+    training = factory.training_set(8)
+    labels = sorted({label for _, label in training})
+    for index in range(instance_count):
+        name = f"I{index}"
+        if index % 2 == 0:
+            notes.define_classifier(name, labels, training)
+        else:
+            notes.define_cluster(name, threshold=0.3)
+        notes.link(name, "birds")
+    notes.manager.write_through = write_through
+    return notes
+
+
+def _ingest_batch(notes: InsightNotes, factory: AnnotationFactory,
+                  rng_rows: list[int]) -> None:
+    for i in range(BATCH):
+        text, _category = factory.draw()
+        row_id = rng_rows[i % len(rng_rows)]
+        annotation = notes.annotations.add(
+            text, [CellRef("birds", row_id, "name")]
+        )
+        notes.manager.on_annotation_added(
+            annotation, notes.annotations.cells_of(annotation.annotation_id)
+        )
+    notes.manager.flush()
+
+
+def _throughput(instance_count: int, write_through: bool) -> float:
+    notes = _session(instance_count, write_through)
+    factory = AnnotationFactory(seed=71)
+    rows = list(range(1, 11))
+    started = time.perf_counter()
+    _ingest_batch(notes, factory, rows)
+    elapsed = time.perf_counter() - started
+    notes.close()
+    return BATCH / elapsed
+
+
+@pytest.mark.parametrize("instance_count", INSTANCE_COUNTS)
+def test_ingest_write_through(benchmark, instance_count):
+    notes = _session(instance_count, write_through=True)
+    factory = AnnotationFactory(seed=71)
+    rows = list(range(1, 11))
+    benchmark.extra_info["instances"] = instance_count
+    benchmark.pedantic(
+        lambda: _ingest_batch(notes, factory, rows), rounds=2, iterations=1
+    )
+    notes.close()
+
+
+def test_report_series(benchmark):
+    rows = []
+    rates = {}
+    for instance_count in INSTANCE_COUNTS:
+        write_through = _throughput(instance_count, write_through=True)
+        deferred = _throughput(instance_count, write_through=False)
+        rates[instance_count] = (write_through, deferred)
+        rows.append((instance_count, write_through, deferred))
+    write_report(
+        "exp_m3_throughput",
+        "EXP-M3: annotation ingest throughput (annotations/second)",
+        ["instances", "write-through/s", "deferred/s"],
+        rows,
+    )
+    # eBird sustained rate is ~0.6 annotations/second; any modern single
+    # node must clear it by orders of magnitude.
+    ebird_rate = 1_600_000 / (30 * 24 * 3600)
+    for write_through, deferred in rates.values():
+        assert write_through > ebird_rate * 100
+        assert deferred >= write_through * 0.8  # deferred never much worse
+    benchmark(lambda: None)

@@ -1,0 +1,84 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark module regenerates one experiment from DESIGN.md's
+per-experiment index.  Alongside the pytest-benchmark timings, each module
+emits a paper-style series table through :func:`write_report`, collected
+under ``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from collections.abc import Callable, Sequence
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Annotation ratios quoted in the paper's introduction (DataBank 30x,
+#: Hydrologic Earth 120x, AKN 250x) plus one midpoint.
+PAPER_RATIOS = (30, 60, 120, 250)
+
+
+def write_report(name: str, title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Format a series table, print it, and save it under results/."""
+    widths = [len(str(h)) for h in header]
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+    return text
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def time_call(func: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds for one call of ``func``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def bench_workload():
+    """Medium workload shared by operator-level benchmarks."""
+    from repro.workloads import WorkloadConfig, build_workload
+
+    workload = build_workload(
+        WorkloadConfig(
+            num_birds=10,
+            num_sightings=20,
+            annotations_per_row=30,
+            document_fraction=0.03,
+            seed=17,
+        )
+    )
+    yield workload
+    workload.session.close()

@@ -1,0 +1,128 @@
+"""A data-curation workflow driven by belief annotations.
+
+The intro's motivating use case beyond browsing: curators annotate
+suspicious values, and the *summaries* — not the raw notes — drive the
+cleaning process.  This example:
+
+1. loads a measurements table annotated with approve/refute beliefs
+   (after the belief-annotation line of work the paper cites);
+2. finds contested rows with a **summary predicate** — more refutations
+   than approvals — without reading any annotation text;
+3. zooms into the refutations of the worst row to see the evidence;
+4. applies the curators' verdict: corrects one value (the annotation text
+   is *updated* and re-summarized) and deletes a fabricated row (its
+   annotations cascade away);
+5. prints the session statistics dashboard.
+"""
+
+from repro import InsightNotes
+from repro.gate.render import render_result, render_zoomin
+
+
+def build_session() -> InsightNotes:
+    notes = InsightNotes()
+    notes.create_table("measurements", ["station", "quantity", "value"])
+    rows = {
+        "ok": notes.insert("measurements", ("north-7", "wing_span_cm", 58)),
+        "typo": notes.insert("measurements", ("north-7", "weight_kg", 95)),
+        "fabricated": notes.insert("measurements", ("ghost-0", "weight_kg", 4)),
+    }
+    notes.define_classifier(
+        "Beliefs",
+        labels=["refute", "approve"],
+        training=[
+            ("this value is wrong and must be corrected", "refute"),
+            ("impossible measurement reject it", "refute"),
+            ("no such station exists fabricated entry", "refute"),
+            ("confirmed by a second observer", "approve"),
+            ("value matches the instrument log", "approve"),
+            ("looks plausible and consistent", "approve"),
+        ],
+    )
+    notes.link("Beliefs", "measurements")
+
+    notes.add_annotation("confirmed by a second observer",
+                         table="measurements", row_id=rows["ok"], author="ana")
+    notes.add_annotation("value matches the instrument log",
+                         table="measurements", row_id=rows["ok"], author="bo")
+
+    notes.add_annotation("this value is wrong, surely 9.5 not 95",
+                         table="measurements", row_id=rows["typo"],
+                         columns=["value"], author="ana")
+    notes.add_annotation("impossible measurement for this species",
+                         table="measurements", row_id=rows["typo"],
+                         columns=["value"], author="bo")
+    notes.add_annotation("looks plausible and consistent",
+                         table="measurements", row_id=rows["typo"],
+                         author="cleo")
+
+    notes.add_annotation("no such station exists, fabricated entry",
+                         table="measurements", row_id=rows["fabricated"],
+                         author="ana")
+    notes.add_annotation("reject it, station list has no ghost-0",
+                         table="measurements", row_id=rows["fabricated"],
+                         author="bo")
+    return notes
+
+
+def main() -> None:
+    notes = build_session()
+
+    # 2. Summary-predicate triage: contested rows, most-refuted first.
+    contested = notes.query(
+        "SELECT station, quantity, value FROM measurements "
+        "WHERE SUMMARY_COUNT('Beliefs', 'refute') > "
+        "SUMMARY_COUNT('Beliefs', 'approve') "
+        "ORDER BY SUMMARY_COUNT('Beliefs', 'refute') DESC"
+    )
+    print("Contested measurements (refutes > approvals):")
+    print(render_result(contested))
+    print()
+
+    # 3. Zoom into the evidence on the worst offender.
+    zoom = notes.zoomin(
+        f"ZOOMIN REFERENCE QID = {contested.qid} "
+        f"WHERE station = 'ghost-0' ON Beliefs INDEX 1"
+    )
+    print(render_zoomin(zoom))
+    print()
+
+    # 4a. The typo verdict: fix the value, and soften the refutation so
+    #     the record's history reflects the correction.
+    typo_row = next(
+        row for row in contested.tuples if row.values[0] == "north-7"
+    )
+    refuting_id = typo_row.summaries["Beliefs"].members("refute")
+    first_refute = min(refuting_id)
+    notes.update_annotation(
+        first_refute,
+        text="value matches the instrument log after correcting 95 to 9.5",
+    )
+    print(f"annotation #{first_refute} updated and re-summarized")
+
+    # 4b. The fabrication verdict: delete the row; its annotations cascade.
+    ghost_row_id = next(
+        row_id for row_id, values in notes.db.rows("measurements")
+        if values[0] == "ghost-0"
+    )
+    notes.delete_row("measurements", ghost_row_id)
+    print("fabricated row deleted (annotations cascaded)")
+    print()
+
+    after = notes.query(
+        "SELECT station, quantity, value FROM measurements "
+        "WHERE SUMMARY_COUNT('Beliefs', 'refute') > "
+        "SUMMARY_COUNT('Beliefs', 'approve')"
+    )
+    print(f"contested rows remaining: {len(after)}")
+    print()
+
+    # 5. Operational dashboard.
+    print("Session statistics:")
+    for key, value in notes.statistics().items():
+        print(f"  {key}: {value}")
+    notes.close()
+
+
+if __name__ == "__main__":
+    main()

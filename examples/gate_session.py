@@ -1,0 +1,48 @@
+"""Figure 5 scenario: a scripted InsightNotesGate session.
+
+Replays the GUI demonstration flow through the terminal front-end: load
+the demo dataset, run a QBE query and an explicit SQL query, visualize a
+row's annotation summaries, add an annotation (watching the summaries
+refresh), zoom in, and inspect the under-the-hood operator trace.
+
+Run with ``python examples/gate_session.py`` — or interactively via the
+``insightnotes-gate`` console script.
+"""
+
+from repro.gate.cli import run_script
+
+SESSION = [
+    "\\demo",
+    "\\tables",
+    "\\instances",
+    # QBE section: fill-in fields, select-project only.
+    "\\qbe birds region=midwest",
+    # Explicit SQL: joins and aggregation.
+    "SELECT b.species, count(*), avg(s.count) FROM birds b, sightings s "
+    "WHERE b.species = s.species GROUP BY b.species ORDER BY count(*) DESC",
+    # Visualize Annotation Summaries for row 0 of the first query (QID 101).
+    "\\summaries 101 0",
+    # Add Annotation, then re-visualize: the summaries refresh.
+    "\\annotate birds 1 shows symptoms of avian pox around the beak",
+    "SELECT name, species FROM birds WHERE name = 'Swan Goose'",
+    "\\summaries 103 0",
+    # Zoom-In button on a classifier label.
+    "ZOOMIN REFERENCE QID = 103 ON ClassBird1 INDEX 2",
+    # Under-the-hood execution on the query tree.
+    "\\trace",
+    "SELECT b.name, s.observer FROM birds b, sightings s "
+    "WHERE b.species = s.species AND s.count > 60",
+    "\\quit",
+]
+
+
+def main() -> None:
+    for line, output in zip(SESSION, run_script(SESSION)):
+        print(f"insightnotes> {line}")
+        if output:
+            print(output)
+        print()
+
+
+if __name__ == "__main__":
+    main()

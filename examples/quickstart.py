@@ -1,0 +1,79 @@
+"""Quickstart: annotate a table, query with summaries, zoom in.
+
+Run with ``python examples/quickstart.py``.  Walks the smallest possible
+InsightNotes workflow: one table, one classifier and one cluster instance,
+a few annotations, a summary-carrying query, and a zoom-in back to the
+raw annotation text.
+"""
+
+from repro import InsightNotes
+from repro.gate.render import render_result, render_summaries, render_zoomin
+
+
+def main() -> None:
+    notes = InsightNotes()
+
+    # 1. Base data.
+    notes.create_table("birds", ["name", "species", "weight"])
+    goose = notes.insert("birds", ("Swan Goose", "Anser cygnoides", 3.2))
+    swan = notes.insert("birds", ("Mute Swan", "Cygnus olor", 10.5))
+
+    # 2. Summary instances: a classifier trained on a few examples, and a
+    #    content-similarity cluster.  Linking them to the table makes every
+    #    annotation on a birds row flow into both summaries.
+    notes.define_classifier(
+        "ClassBird1",
+        labels=["Behavior", "Disease", "Anatomy", "Other"],
+        training=[
+            ("observed feeding on stonewort beds at dawn", "Behavior"),
+            ("seen foraging among pond weeds near the shore", "Behavior"),
+            ("shows symptoms of avian influenza on the left wing", "Disease"),
+            ("displays lesions consistent with avian pox", "Disease"),
+            ("has an unusually large bill compared to the species norm", "Anatomy"),
+            ("exhibits an elongated neck typical of older males", "Anatomy"),
+            ("great sighting worth sharing with the group", "Other"),
+            ("routine update for the monthly log", "Other"),
+        ],
+    )
+    notes.link("ClassBird1", "birds")
+    notes.define_cluster("SimCluster", threshold=0.3)
+    notes.link("SimCluster", "birds")
+
+    # 3. Annotations arrive; summaries update incrementally.
+    notes.add_annotation("observed feeding on stonewort at dawn",
+                         table="birds", row_id=goose, author="aria")
+    notes.add_annotation("seen feeding on stonewort beds again",
+                         table="birds", row_id=goose, author="ben")
+    notes.add_annotation("shows symptoms of avian pox around the beak",
+                         table="birds", row_id=goose, author="carla")
+    notes.add_annotation("has an unusually large bill for a juvenile",
+                         table="birds", row_id=goose,
+                         columns=["weight"], author="aria")
+    notes.add_annotation("routine update nothing unusual otherwise",
+                         table="birds", row_id=swan, author="ben")
+
+    # 4. Query: the result tuples carry summary objects, not raw text.
+    result = notes.query("SELECT name, species FROM birds")
+    print(render_result(result))
+    print()
+    for row in result.tuples:
+        print(f"Summaries for {row.values[0]!r}:")
+        print(render_summaries(row))
+        print()
+
+    # Note the projection semantics: the 'unusually large bill' annotation
+    # attaches only to the weight column, which this query projects out,
+    # so its effect is absent from the reported summaries.
+
+    # 5. Zoom in: expand the Behavior label back into raw annotations.
+    zoom = notes.zoomin(
+        f"ZOOMIN REFERENCE QID = {result.qid} "
+        f"WHERE name = 'Swan Goose' ON ClassBird1 INDEX 1"
+    )
+    print(render_zoomin(zoom))
+
+    notes.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``bdist_wheel`` for PEP 660 editable installs;
+this offline environment lacks it, so ``python setup.py develop`` (driven
+by this shim) provides the equivalent editable install.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

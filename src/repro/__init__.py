@@ -1,0 +1,30 @@
+"""InsightNotes reproduction: summary-based annotation management.
+
+A from-scratch Python implementation of the InsightNotes system (Xiao,
+Bashllari, Menard, Eltabakh - SIGMOD 2015 demo; engine semantics from
+Xiao & Eltabakh, SIGMOD 2014): relational data annotated at cell level,
+summarized per tuple by extensible Classifier / Cluster / Snippet
+instances, with summary-aware query propagation, incremental maintenance,
+and RCO-cached zoom-in back to the raw annotations.
+
+Start with :class:`~repro.engine.session.InsightNotes`:
+
+>>> from repro import InsightNotes
+>>> notes = InsightNotes()
+"""
+
+from repro.engine.session import InsightNotes
+from repro.errors import InsightNotesError
+from repro.model.annotation import Annotation, AnnotationKind
+from repro.model.cell import CellRef
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Annotation",
+    "AnnotationKind",
+    "CellRef",
+    "InsightNotes",
+    "InsightNotesError",
+    "__version__",
+]

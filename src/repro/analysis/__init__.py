@@ -1,0 +1,32 @@
+"""Analysis helpers on top of summary state.
+
+The point of summarizing annotations is to *act* on them; this package
+provides the table-level analyses a curation team runs directly over the
+summary objects — never over the raw text:
+
+* :func:`~repro.analysis.reports.contested_rows` — rows where one
+  classifier label outweighs another (refute vs. approve triage);
+* :func:`~repro.analysis.reports.annotation_coverage` — per-row
+  annotation counts and the silent (never-annotated) rows;
+* :func:`~repro.analysis.reports.label_distribution` — a classifier
+  instance's label histogram across a whole relation;
+* :func:`~repro.analysis.reports.hot_rows` — the most-annotated rows.
+"""
+
+from repro.analysis.reports import (
+    ContestedRow,
+    CoverageReport,
+    annotation_coverage,
+    contested_rows,
+    hot_rows,
+    label_distribution,
+)
+
+__all__ = [
+    "ContestedRow",
+    "CoverageReport",
+    "annotation_coverage",
+    "contested_rows",
+    "hot_rows",
+    "label_distribution",
+]

@@ -1,0 +1,158 @@
+"""Table-level analyses over summary state.
+
+Every function here reads only the persisted summary objects (via the
+session's maintenance cache) and the attachment index — never the raw
+annotation bodies — so each report costs what a summary scan costs,
+regardless of how much text the annotations hold.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.session import InsightNotes
+from repro.errors import CatalogError
+from repro.summaries.classifier import ClassifierSummary
+
+
+@dataclass(frozen=True)
+class ContestedRow:
+    """One row whose negative label outweighs its positive label."""
+
+    row_id: int
+    values: tuple[Any, ...]
+    negative_count: int
+    positive_count: int
+
+    @property
+    def margin(self) -> int:
+        """How many more negative than positive annotations."""
+        return self.negative_count - self.positive_count
+
+
+def _classifier_objects(
+    session: InsightNotes, table: str, instance_name: str
+):
+    """Yield ``(row_id, values, ClassifierSummary)`` for annotated rows."""
+    instance = session.catalog.get_instance(instance_name)
+    if instance.type_name != "Classifier":
+        raise CatalogError(
+            f"instance {instance_name!r} is {instance.type_name}, "
+            "expected a Classifier"
+        )
+    for row_id, values in session.db.rows(table):
+        obj = session.manager.current_object(instance_name, table, row_id)
+        if obj is None or not isinstance(obj, ClassifierSummary):
+            continue
+        yield row_id, values, obj
+
+
+def contested_rows(
+    session: InsightNotes,
+    table: str,
+    instance_name: str,
+    negative_label: str,
+    positive_label: str,
+) -> list[ContestedRow]:
+    """Rows where ``negative_label`` outnumbers ``positive_label``.
+
+    Sorted by margin, worst first — the triage queue of the curation
+    workflow (most-refuted records surface at the top).
+    """
+    contested = [
+        ContestedRow(
+            row_id=row_id,
+            values=values,
+            negative_count=obj.count(negative_label),
+            positive_count=obj.count(positive_label),
+        )
+        for row_id, values, obj in _classifier_objects(
+            session, table, instance_name
+        )
+        if obj.count(negative_label) > obj.count(positive_label)
+    ]
+    contested.sort(key=lambda row: (-row.margin, row.row_id))
+    return contested
+
+
+def label_distribution(
+    session: InsightNotes, table: str, instance_name: str
+) -> dict[str, int]:
+    """A classifier's label histogram across the whole relation."""
+    totals: Counter[str] = Counter()
+    labels: tuple[str, ...] = ()
+    for _row_id, _values, obj in _classifier_objects(
+        session, table, instance_name
+    ):
+        labels = obj.labels
+        for label, count in obj.counts():
+            totals[label] += count
+    return {label: totals.get(label, 0) for label in labels} if labels else {}
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Annotation coverage of one relation."""
+
+    table: str
+    row_count: int
+    annotated_rows: int
+    total_attachments: int
+    silent_row_ids: tuple[int, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of rows with at least one annotation."""
+        return self.annotated_rows / self.row_count if self.row_count else 0.0
+
+    @property
+    def mean_annotations_per_row(self) -> float:
+        """Average annotations per row (over all rows)."""
+        return (
+            self.total_attachments / self.row_count if self.row_count else 0.0
+        )
+
+
+def annotation_coverage(session: InsightNotes, table: str) -> CoverageReport:
+    """How thoroughly a relation is annotated, and which rows are silent.
+
+    Silent rows matter in curation: a record nobody ever commented on has
+    never been reviewed.
+    """
+    row_count = 0
+    annotated = 0
+    total = 0
+    silent: list[int] = []
+    for row_id, _values in session.db.rows(table):
+        row_count += 1
+        count = len(session.manager.attachments_for_row(table, row_id))
+        if count:
+            annotated += 1
+            total += count
+        else:
+            silent.append(row_id)
+    return CoverageReport(
+        table=table,
+        row_count=row_count,
+        annotated_rows=annotated,
+        total_attachments=total,
+        silent_row_ids=tuple(silent),
+    )
+
+
+def hot_rows(
+    session: InsightNotes, table: str, limit: int = 10
+) -> list[tuple[int, tuple[Any, ...], int]]:
+    """The ``limit`` most-annotated rows: ``(row_id, values, count)``.
+
+    Heavily annotated records are where the community's attention is —
+    the first places to look for disputes, news, or data problems.
+    """
+    ranked = [
+        (row_id, values, len(session.manager.attachments_for_row(table, row_id)))
+        for row_id, values in session.db.rows(table)
+    ]
+    ranked.sort(key=lambda item: (-item[2], item[0]))
+    return ranked[:limit]

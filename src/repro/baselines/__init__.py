@@ -1,0 +1,14 @@
+"""Comparison baselines.
+
+:class:`~repro.baselines.raw_engine.RawQueryEngine` is the conventional
+annotation-management approach (DBNotes / pSQL style, [6, 11, 20]): every
+query operator propagates the **full raw annotation sets** attached to its
+input tuples.  InsightNotes' core claim is that propagating compact
+summary objects instead keeps query cost flat while raw propagation grows
+with the annotation ratio — the EXP-QP1 benchmark puts the two engines
+side by side on identical plans.
+"""
+
+from repro.baselines.raw_engine import RawQueryEngine, RawResult, RawTuple
+
+__all__ = ["RawQueryEngine", "RawResult", "RawTuple"]

@@ -1,0 +1,443 @@
+"""Raw-annotation propagation engine (the classical baseline).
+
+Prior annotation management systems propagate the raw annotations
+themselves through the query pipeline: each tuple carries every attached
+annotation (id, text, and which columns it covers), and the operators
+apply the standard propagation semantics — projection drops annotations
+whose columns disappear, join unions both sides' annotations
+(deduplicated by id), grouping and duplicate elimination union the
+collapsed tuples' annotations.
+
+The engine consumes the same logical plans as the summary-aware planner,
+so benchmarks run *identical* queries on both engines.  The asymptotic
+difference is intentional and is the paper's motivation: a tuple with 250
+raw annotations drags 250 text payloads through every operator here,
+versus a handful of fixed-size summary objects in InsightNotes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine import plan as lp
+from repro.engine.expressions import Expression, resolve_column
+from repro.errors import PlanError
+from repro.model.annotation import Annotation
+from repro.model.tuple import AnnotatedTuple
+from repro.storage.annotations import AnnotationStore
+from repro.storage.database import Database
+
+
+@dataclass(slots=True)
+class RawTuple:
+    """A tuple carrying its full raw annotations.
+
+    ``annotations`` maps annotation id to ``(annotation, columns)`` where
+    ``columns`` are the tuple's current schema columns the annotation is
+    attached to.
+    """
+
+    values: tuple[Any, ...]
+    annotations: dict[int, tuple[Annotation, frozenset[str]]] = field(
+        default_factory=dict
+    )
+
+    def annotation_ids(self) -> frozenset[int]:
+        """Ids of all annotations attached to this tuple."""
+        return frozenset(self.annotations)
+
+    def payload_bytes(self) -> int:
+        """Total annotation text carried by this tuple."""
+        return sum(
+            len(annotation.text)
+            for annotation, _columns in self.annotations.values()
+        )
+
+    def _as_annotated(self) -> AnnotatedTuple:
+        """Adapter so shared Expression.evaluate works on raw tuples."""
+        return AnnotatedTuple(values=self.values)
+
+
+@dataclass
+class RawResult:
+    """Materialized output of the raw engine."""
+
+    columns: tuple[str, ...]
+    tuples: list[RawTuple]
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """Plain value rows."""
+        return [row.values for row in self.tuples]
+
+    def total_payload_bytes(self) -> int:
+        """Annotation text volume the query dragged to the output."""
+        return sum(row.payload_bytes() for row in self.tuples)
+
+
+class RawQueryEngine:
+    """Executes logical plans with raw-annotation propagation."""
+
+    def __init__(self, database: Database, annotations: AnnotationStore) -> None:
+        self._db = database
+        self._annotations = annotations
+
+    def execute(self, node: lp.PlanNode) -> RawResult:
+        """Run ``node`` and materialize the result."""
+        started = time.perf_counter()
+        schema, rows = self._run(node)
+        tuples = list(rows)
+        elapsed = time.perf_counter() - started
+        return RawResult(columns=schema, tuples=tuples, elapsed_seconds=elapsed)
+
+    # -- recursive evaluation -------------------------------------------
+
+    def _run(
+        self, node: lp.PlanNode
+    ) -> tuple[tuple[str, ...], Iterator[RawTuple]]:
+        if isinstance(node, lp.Scan):
+            return self._scan(node)
+        if isinstance(node, lp.Select):
+            schema, rows = self._run(node.child)
+            return schema, self._select(node.predicate, schema, rows)
+        if isinstance(node, lp.Project):
+            return self._project(node)
+        if isinstance(node, lp.Join):
+            return self._join(node)
+        if isinstance(node, lp.GroupBy):
+            return self._group(node)
+        if isinstance(node, lp.Distinct):
+            schema, rows = self._run(node.child)
+            return schema, self._distinct(rows)
+        if isinstance(node, lp.Sort):
+            schema, rows = self._run(node.child)
+            return schema, self._sort(node, schema, rows)
+        if isinstance(node, lp.Limit):
+            schema, rows = self._run(node.child)
+            return schema, (row for i, row in enumerate(rows) if i < node.count)
+        if isinstance(node, lp.Union):
+            return self._union(node)
+        if isinstance(node, lp.Compute):
+            return self._compute(node)
+        raise PlanError(f"raw engine cannot execute {type(node).__name__}")
+
+    def _compute(
+        self, node: lp.Compute
+    ) -> tuple[tuple[str, ...], Iterator[RawTuple]]:
+        child_schema, child_rows = self._run(node.child)
+        schema = tuple(name for _, name in node.items)
+        column_map: dict[str, set[str]] = {}
+        for expression, name in node.items:
+            for reference in expression.referenced_columns():
+                index = resolve_column(child_schema, reference)
+                column_map.setdefault(child_schema[index], set()).add(name)
+
+        def rows() -> Iterator[RawTuple]:
+            for row in child_rows:
+                adapter = row._as_annotated()
+                values = tuple(
+                    expression.evaluate(adapter, child_schema)
+                    for expression, _name in node.items
+                )
+                surviving: dict[int, tuple[Annotation, frozenset[str]]] = {}
+                for annotation_id, (annotation, columns) in row.annotations.items():
+                    outputs: set[str] = set()
+                    for column in columns:
+                        outputs |= column_map.get(column, set())
+                    if outputs:
+                        surviving[annotation_id] = (
+                            annotation, frozenset(outputs),
+                        )
+                yield RawTuple(values=values, annotations=surviving)
+
+        return schema, rows()
+
+    def _union(
+        self, node: lp.Union
+    ) -> tuple[tuple[str, ...], Iterator[RawTuple]]:
+        import itertools
+
+        left_schema, left_rows = self._run(node.left)
+        right_schema, right_rows = self._run(node.right)
+        if len(left_schema) != len(right_schema):
+            raise PlanError(
+                f"union arity mismatch: {len(left_schema)} vs {len(right_schema)}"
+            )
+        combined = itertools.chain(left_rows, right_rows)
+        if node.distinct:
+            return left_schema, self._distinct(combined)
+        return left_schema, combined
+
+    def _scan(
+        self, node: lp.Scan
+    ) -> tuple[tuple[str, ...], Iterator[RawTuple]]:
+        schema = tuple(
+            f"{node.alias}.{column}" for column in self._db.columns(node.table)
+        )
+
+        def rows() -> Iterator[RawTuple]:
+            for row_id, values in self._db.rows(node.table):
+                attached = {
+                    annotation.annotation_id: (
+                        annotation,
+                        frozenset(f"{node.alias}.{c}" for c in columns),
+                    )
+                    for annotation, columns in self._annotations.annotations_for_row(
+                        node.table, row_id
+                    )
+                }
+                yield RawTuple(values=values, annotations=attached)
+
+        return schema, rows()
+
+    @staticmethod
+    def _select(
+        predicate: Expression, schema: tuple[str, ...], rows: Iterator[RawTuple]
+    ) -> Iterator[RawTuple]:
+        for row in rows:
+            if predicate.evaluate(row._as_annotated(), schema):
+                yield row
+
+    def _project(
+        self, node: lp.Project
+    ) -> tuple[tuple[str, ...], Iterator[RawTuple]]:
+        child_schema, child_rows = self._run(node.child)
+        indices = tuple(resolve_column(child_schema, name) for name in node.columns)
+        schema = tuple(child_schema[i] for i in indices)
+        kept = set(schema)
+
+        def rows() -> Iterator[RawTuple]:
+            for row in child_rows:
+                surviving: dict[int, tuple[Annotation, frozenset[str]]] = {}
+                for annotation_id, (annotation, columns) in row.annotations.items():
+                    remaining = columns & kept
+                    if remaining:
+                        surviving[annotation_id] = (annotation, frozenset(remaining))
+                yield RawTuple(
+                    values=tuple(row.values[i] for i in indices),
+                    annotations=surviving,
+                )
+
+        return schema, rows()
+
+    def _join(self, node: lp.Join) -> tuple[tuple[str, ...], Iterator[RawTuple]]:
+        left_schema, left_rows = self._run(node.left)
+        right_schema, right_rows = self._run(node.right)
+        schema = left_schema + right_schema
+        materialized_right = list(right_rows)
+        equivalent = _equivalent_columns(node.predicate, left_schema, right_schema)
+
+        def rows() -> Iterator[RawTuple]:
+            for left in left_rows:
+                matched = False
+                for right in materialized_right:
+                    combined = RawTuple(
+                        values=left.values + right.values,
+                        annotations=_union_annotations(
+                            left.annotations, right.annotations
+                        ),
+                    )
+                    if node.predicate is None or node.predicate.evaluate(
+                        combined._as_annotated(), schema
+                    ):
+                        matched = True
+                        if equivalent:
+                            combined.annotations = {
+                                annotation_id: (
+                                    annotation,
+                                    _extend_columns(columns, equivalent),
+                                )
+                                for annotation_id, (annotation, columns)
+                                in combined.annotations.items()
+                            }
+                        yield combined
+                if node.outer and not matched:
+                    yield RawTuple(
+                        values=left.values + (None,) * len(right_schema),
+                        annotations=dict(left.annotations),
+                    )
+
+        return schema, rows()
+
+    def _group(
+        self, node: lp.GroupBy
+    ) -> tuple[tuple[str, ...], Iterator[RawTuple]]:
+        child_schema, child_rows = self._run(node.child)
+        key_indices = tuple(resolve_column(child_schema, k) for k in node.keys)
+        key_names = tuple(child_schema[i] for i in key_indices)
+        agg_names: list[str] = []
+        agg_indices: list[int | None] = []
+        for aggregate in node.aggregates:
+            if aggregate.argument is None:
+                agg_indices.append(None)
+                agg_names.append("count(*)")
+            else:
+                index = resolve_column(child_schema, aggregate.argument.name)
+                agg_indices.append(index)
+                agg_names.append(f"{aggregate.function}({child_schema[index]})")
+        schema = key_names + tuple(agg_names)
+
+        def rows() -> Iterator[RawTuple]:
+            groups: dict[tuple[Any, ...], list[RawTuple]] = {}
+            for row in child_rows:
+                key = tuple(row.values[i] for i in key_indices)
+                groups.setdefault(key, []).append(row)
+            if not groups and not key_indices:
+                values = tuple(
+                    _aggregate(aggregate, index, [])
+                    for aggregate, index in zip(node.aggregates, agg_indices)
+                )
+                out = RawTuple(values=values)
+                if node.having is None or node.having.evaluate(
+                    out._as_annotated(), schema
+                ):
+                    yield out
+                return
+            for key, members in groups.items():
+                annotations: dict[int, tuple[Annotation, frozenset[str]]] = {}
+                for member in members:
+                    annotations = _union_annotations(annotations, member.annotations)
+                values = key + tuple(
+                    _aggregate(aggregate, index, members)
+                    for aggregate, index in zip(node.aggregates, agg_indices)
+                )
+                out = RawTuple(values=values, annotations=annotations)
+                if node.having is None or node.having.evaluate(
+                    out._as_annotated(), schema
+                ):
+                    yield out
+
+        return schema, rows()
+
+    @staticmethod
+    def _distinct(rows: Iterator[RawTuple]) -> Iterator[RawTuple]:
+        seen: dict[tuple[Any, ...], RawTuple] = {}
+        for row in rows:
+            existing = seen.get(row.values)
+            if existing is None:
+                seen[row.values] = row
+            else:
+                existing.annotations = _union_annotations(
+                    existing.annotations, row.annotations
+                )
+        yield from seen.values()
+
+    @staticmethod
+    def _sort(
+        node: lp.Sort, schema: tuple[str, ...], rows: Iterator[RawTuple]
+    ) -> Iterator[RawTuple]:
+        materialized = list(rows)
+        descending = node.descending or tuple(False for _ in node.keys)
+        for key, desc in reversed(list(zip(node.keys, descending))):
+            materialized.sort(
+                key=lambda row: _sort_token(key.evaluate(row._as_annotated(), schema)),
+                reverse=desc,
+            )
+        yield from materialized
+
+
+def _equivalent_columns(
+    predicate: Expression | None,
+    left_schema: tuple[str, ...],
+    right_schema: tuple[str, ...],
+) -> tuple[tuple[str, str], ...]:
+    """Equi-joined column-name pairs in the predicate's top-level ANDs.
+
+    Matches the summary engine's semantics: annotations on one side of an
+    equality also cover the value-equivalent column on the other side.
+    """
+    from repro.engine.expressions import BooleanOp, Column, Comparison
+
+    if predicate is None:
+        return ()
+    conjuncts: list[Expression]
+    if isinstance(predicate, BooleanOp) and predicate.op == "and":
+        conjuncts = list(predicate.operands)
+    else:
+        conjuncts = [predicate]
+    pairs: list[tuple[str, str]] = []
+    for conjunct in conjuncts:
+        if not (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, Column)
+            and isinstance(conjunct.right, Column)
+        ):
+            continue
+        for first, second in (
+            (conjunct.left.name, conjunct.right.name),
+            (conjunct.right.name, conjunct.left.name),
+        ):
+            try:
+                left_index = resolve_column(left_schema, first)
+                right_index = resolve_column(right_schema, second)
+            except Exception:
+                continue
+            pairs.append((left_schema[left_index], right_schema[right_index]))
+            break
+    return tuple(pairs)
+
+
+def _extend_columns(
+    columns: frozenset[str], equivalent: tuple[tuple[str, str], ...]
+) -> frozenset[str]:
+    """Spread a column set across value-equivalent join columns."""
+    extra: set[str] = set()
+    for left_name, right_name in equivalent:
+        if left_name in columns:
+            extra.add(right_name)
+        if right_name in columns:
+            extra.add(left_name)
+    return columns | extra if extra else columns
+
+
+def _union_annotations(
+    left: dict[int, tuple[Annotation, frozenset[str]]],
+    right: dict[int, tuple[Annotation, frozenset[str]]],
+) -> dict[int, tuple[Annotation, frozenset[str]]]:
+    """Dedup-by-id union; shared annotations union their column sets."""
+    merged = dict(left)
+    for annotation_id, (annotation, columns) in right.items():
+        existing = merged.get(annotation_id)
+        if existing is None:
+            merged[annotation_id] = (annotation, columns)
+        else:
+            merged[annotation_id] = (annotation, existing[1] | columns)
+    return merged
+
+
+def _aggregate(
+    aggregate: lp.Aggregate, index: int | None, members: list[RawTuple]
+) -> Any:
+    if index is None:
+        return len(members)
+    values = [m.values[index] for m in members if m.values[index] is not None]
+    if aggregate.function == "count":
+        return len(values)
+    if not values:
+        return None
+    if aggregate.function == "sum":
+        return sum(values)
+    if aggregate.function == "avg":
+        return sum(values) / len(values)
+    if aggregate.function == "min":
+        return min(values)
+    return max(values)
+
+
+def _sort_token(value: Any) -> tuple[int, Any]:
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(value))

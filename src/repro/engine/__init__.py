@@ -1,0 +1,30 @@
+"""The summary-aware query engine.
+
+Implements the extended relational algebra of InsightNotes: every physical
+operator consumes and produces :class:`~repro.model.tuple.AnnotatedTuple`
+streams, manipulating the attached summary objects according to the
+extended semantics of [30] — selection passes summaries through,
+projection removes the effect of annotations on dropped columns, join and
+grouping merge counterpart objects without double counting, and the
+planner normalizes plans so un-needed annotations are projected out before
+any merge (Theorems 1–2).
+
+The public entry point is :class:`~repro.engine.session.InsightNotes`,
+which ties the storage stack, maintenance, query execution, and zoom-in
+together behind one facade.
+"""
+
+from repro.engine.executor import execute_plan
+from repro.engine.planner import Planner
+from repro.engine.results import QueryResult, ResultRegistry
+from repro.engine.session import InsightNotes
+from repro.engine.sqlparser import parse_sql
+
+__all__ = [
+    "InsightNotes",
+    "Planner",
+    "QueryResult",
+    "ResultRegistry",
+    "execute_plan",
+    "parse_sql",
+]

@@ -1,0 +1,44 @@
+"""Plan execution.
+
+Thin driver that pulls a physical operator pipeline to completion and
+packages the output as a :class:`~repro.engine.results.QueryResult`.
+Execution is fully pipelined — operators pass
+:class:`~repro.model.tuple.AnnotatedTuple` objects along without
+materializing intermediates except where the algebra requires it (join
+build side, grouping, distinct, sort).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.operators import Operator, Tracer
+from repro.engine.plan import PlanNode, plan_cost_estimate
+from repro.engine.results import QueryResult
+
+
+def execute_plan(
+    operator: Operator,
+    qid: int,
+    sql: str = "",
+    logical: PlanNode | None = None,
+    tracer: Tracer | None = None,
+) -> QueryResult:
+    """Run ``operator`` to completion and package the result.
+
+    ``tracer`` (if provided) should be the same tracer the operators were
+    constructed with; passing it here only documents intent — recording
+    happens inside the operators.
+    """
+    started = time.perf_counter()
+    tuples = list(operator)
+    elapsed = time.perf_counter() - started
+    return QueryResult(
+        qid=qid,
+        columns=operator.schema,
+        tuples=tuples,
+        sql=sql,
+        plan_text=logical.render() if logical is not None else operator.describe(),
+        plan_cost=plan_cost_estimate(logical) if logical is not None else 1,
+        elapsed_seconds=elapsed,
+    )

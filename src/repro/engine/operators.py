@@ -1,0 +1,732 @@
+"""Physical operators of the summary-aware execution engine.
+
+Every operator consumes and produces streams of
+:class:`~repro.model.tuple.AnnotatedTuple`, applying the extended
+semantics of [30]:
+
+* **Scan** attaches each base tuple's summary objects (query-stripped) and
+  its annotation-to-column attachment map.
+* **Select** filters without touching summaries (Figure 2, step 2).
+* **Project** removes the effect of annotations attached only to dropped
+  columns (Figure 2, step 1): classifier counts decrement, snippets
+  disappear, cluster groups shrink and re-elect representatives.
+* **Join** merges counterpart summary objects without double counting
+  annotations attached to both inputs (Figure 2, step 3).
+* **GroupBy** and **Distinct** merge the summaries of the tuples they
+  collapse.
+* **Sort**, **Limit**, **Union** propagate summaries unchanged.
+
+Operators support an optional :class:`Tracer`, which records every emitted
+tuple per operator — the "under-the-hood execution" view the demo exposes
+on the query tree.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.expressions import (
+    Column,
+    Comparison,
+    Expression,
+    resolve_column,
+)
+from repro.engine.plan import Aggregate
+from repro.errors import PlanError
+from repro.model.tuple import AnnotatedTuple
+from repro.summaries.base import SummaryObject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.maintenance.incremental import SummaryManager
+    from repro.storage.annotations import AnnotationStore
+    from repro.storage.catalog import SummaryCatalog
+    from repro.storage.database import Database
+
+
+@dataclass
+class TraceEntry:
+    """Snapshot of one tuple as it left one operator."""
+
+    operator: str
+    values: tuple[Any, ...]
+    summaries: dict[str, str]
+
+
+class Tracer:
+    """Collects per-operator intermediate tuples for visualization."""
+
+    def __init__(self) -> None:
+        self.entries: list[TraceEntry] = []
+
+    def record(self, operator: "Operator", row: AnnotatedTuple) -> None:
+        """Record ``row`` as an output of ``operator``."""
+        self.entries.append(
+            TraceEntry(
+                operator=operator.describe(),
+                values=row.values,
+                summaries={
+                    name: obj.render() for name, obj in sorted(row.summaries.items())
+                },
+            )
+        )
+
+    def by_operator(self) -> dict[str, list[TraceEntry]]:
+        """Entries grouped by operator description, insertion-ordered."""
+        grouped: dict[str, list[TraceEntry]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.operator, []).append(entry)
+        return grouped
+
+
+class Operator(abc.ABC):
+    """Base class of physical operators (iterator model)."""
+
+    def __init__(self, schema: tuple[str, ...], tracer: Tracer | None) -> None:
+        self.schema = schema
+        self._tracer = tracer
+
+    @abc.abstractmethod
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        """Produce the operator's output stream."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line description for traces and plan displays."""
+
+    def __iter__(self) -> Iterator[AnnotatedTuple]:
+        if self._tracer is None:
+            yield from self.rows()
+            return
+        for row in self.rows():
+            self._tracer.record(self, row)
+            yield row
+
+
+def merge_summary_maps(
+    left: dict[str, SummaryObject], right: dict[str, SummaryObject]
+) -> dict[str, SummaryObject]:
+    """Merge two tuples' summary maps.
+
+    Instances present on both sides merge dedup-aware; one-sided instances
+    propagate by copy (ClassBird1/TextSummary1 in Figure 2, which exist
+    only on tuple r).
+    """
+    merged: dict[str, SummaryObject] = {}
+    for name, obj in left.items():
+        counterpart = right.get(name)
+        merged[name] = obj.merge(counterpart) if counterpart is not None else obj.copy()
+    for name, obj in right.items():
+        if name not in merged:
+            merged[name] = obj.copy()
+    return merged
+
+
+def merge_attachments(
+    left: dict[int, frozenset[str]], right: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Union two attachment maps, unioning column sets for shared ids."""
+    merged = dict(left)
+    for annotation_id, columns in right.items():
+        existing = merged.get(annotation_id)
+        merged[annotation_id] = columns if existing is None else existing | columns
+    return merged
+
+
+def _extend_equivalent(
+    attachments: dict[int, frozenset[str]],
+    equivalent: tuple[tuple[str, str], ...],
+) -> dict[int, frozenset[str]]:
+    """Spread attachments across value-equivalent (equi-joined) columns."""
+    extended: dict[int, frozenset[str]] = {}
+    for annotation_id, columns in attachments.items():
+        extra: set[str] = set()
+        for left_name, right_name in equivalent:
+            if left_name in columns:
+                extra.add(right_name)
+            if right_name in columns:
+                extra.add(left_name)
+        extended[annotation_id] = columns | extra if extra else columns
+    return extended
+
+
+class ScanOperator(Operator):
+    """Scan a base table, attaching summaries and attachment maps."""
+
+    def __init__(
+        self,
+        database: "Database",
+        annotations: "AnnotationStore",
+        catalog: "SummaryCatalog",
+        table: str,
+        alias: str,
+        manager: "SummaryManager | None" = None,
+        instances: tuple[str, ...] | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        columns = database.columns(table)
+        super().__init__(
+            tuple(f"{alias}.{column}" for column in columns), tracer
+        )
+        self._db = database
+        self._annotations = annotations
+        self._catalog = catalog
+        self._manager = manager
+        self.table = table
+        self.alias = alias
+        self.instances = instances
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        instances = self._catalog.instances_for_table(self.table)
+        if self.instances is not None:
+            wanted = set(self.instances)
+            instances = [i for i in instances if i.name in wanted]
+            if not instances:
+                # WITH NO SUMMARIES: plain relational processing, no
+                # attachment bookkeeping either.
+                for row_id, values in self._db.rows(self.table):
+                    yield AnnotatedTuple(
+                        values=values,
+                        source_rows=frozenset({(self.table, row_id)}),
+                    )
+                return
+        for row_id, values in self._db.rows(self.table):
+            summaries: dict[str, SummaryObject] = {}
+            for instance in instances:
+                if self._manager is not None:
+                    obj = self._manager.current_object(
+                        instance.name, self.table, row_id
+                    )
+                else:
+                    obj = self._catalog.load_object(
+                        instance.name, self.table, row_id
+                    )
+                summaries[instance.name] = (
+                    obj.for_query() if obj is not None else instance.new_object()
+                )
+            if self._manager is not None:
+                base_attachments = self._manager.attachments_for_row(
+                    self.table, row_id
+                )
+            else:
+                base_attachments = self._annotations.attachments_for_row(
+                    self.table, row_id
+                )
+            attachments = {
+                annotation_id: frozenset(
+                    f"{self.alias}.{column}" for column in columns
+                )
+                for annotation_id, columns in base_attachments.items()
+            }
+            yield AnnotatedTuple(
+                values=values,
+                summaries=summaries,
+                attachments=attachments,
+                source_rows=frozenset({(self.table, row_id)}),
+            )
+
+    def describe(self) -> str:
+        if self.alias == self.table:
+            return f"Scan({self.table})"
+        return f"Scan({self.table} AS {self.alias})"
+
+
+class SelectOperator(Operator):
+    """Predicate filter; summaries propagate unchanged."""
+
+    def __init__(
+        self, child: Operator, predicate: Expression, tracer: Tracer | None = None
+    ) -> None:
+        super().__init__(child.schema, tracer)
+        self._child = child
+        self.predicate = predicate
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        for row in self._child:
+            if self.predicate.evaluate(row, self.schema):
+                yield row
+
+    def describe(self) -> str:
+        return f"Select({self.predicate})"
+
+
+class ProjectOperator(Operator):
+    """Column projection with annotation-effect removal.
+
+    The paper's extended projection (Figure 2, step 1): annotations whose
+    every attached column is dropped have their effect removed from the
+    tuple's summary objects — counts decrement, cluster representatives
+    get re-elected — without fetching the raw annotations.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        columns: Sequence[str],
+        tracer: Tracer | None = None,
+    ) -> None:
+        self._indices = tuple(
+            resolve_column(child.schema, name) for name in columns
+        )
+        qualified = tuple(child.schema[index] for index in self._indices)
+        if len(set(qualified)) != len(qualified):
+            raise PlanError(f"duplicate projection columns: {qualified}")
+        super().__init__(qualified, tracer)
+        self._child = child
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        kept = self.schema
+        for row in self._child:
+            row.values = tuple(row.values[index] for index in self._indices)
+            dropped = row.restrict_attachments(kept)
+            if dropped:
+                for obj in row.summaries.values():
+                    obj.remove_annotations(dropped)
+            yield row
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.schema)})"
+
+
+class ComputeOperator(Operator):
+    """Expression projection with annotation-effect remapping.
+
+    For each output expression, the input columns it references are
+    computed once; per tuple, an annotation keeps its effect on every
+    output whose referenced inputs intersect the annotation's columns,
+    and loses it when no output references it — the Compute
+    generalization of the Figure 2 projection semantics.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        items: Sequence[tuple[Expression, str]],
+        tracer: Tracer | None = None,
+    ) -> None:
+        names = tuple(name for _, name in items)
+        super().__init__(names, tracer)
+        self._child = child
+        self._items = tuple(items)
+        # Input column -> output columns referencing it.
+        self._column_map: dict[str, set[str]] = {}
+        for expression, name in self._items:
+            for reference in expression.referenced_columns():
+                index = resolve_column(child.schema, reference)
+                self._column_map.setdefault(child.schema[index], set()).add(name)
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        child_schema = self._child.schema
+        for row in self._child:
+            values = tuple(
+                expression.evaluate(row, child_schema)
+                for expression, _name in self._items
+            )
+            remapped: dict[int, frozenset[str]] = {}
+            dropped: set[int] = set()
+            for annotation_id, columns in row.attachments.items():
+                outputs: set[str] = set()
+                for column in columns:
+                    outputs |= self._column_map.get(column, set())
+                if outputs:
+                    remapped[annotation_id] = frozenset(outputs)
+                else:
+                    dropped.add(annotation_id)
+            row.values = values
+            row.attachments = remapped
+            if dropped:
+                for obj in row.summaries.values():
+                    obj.remove_annotations(dropped)
+            yield row
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            f"{expression} AS {name}" if str(expression) != name else name
+            for expression, name in self._items
+        )
+        return f"Compute({rendered})"
+
+
+class JoinOperator(Operator):
+    """Inner join with dedup-aware summary merging.
+
+    The right input is materialized.  When the predicate contains
+    top-level equality conjuncts between one left and one right column, a
+    hash index over the right side accelerates matching; residual
+    conjuncts are evaluated on each candidate pair.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        predicate: Expression | None,
+        outer: bool = False,
+        tracer: Tracer | None = None,
+    ) -> None:
+        overlap = set(left.schema) & set(right.schema)
+        if overlap:
+            raise PlanError(f"join inputs share columns: {sorted(overlap)}")
+        super().__init__(left.schema + right.schema, tracer)
+        self._left = left
+        self._right = right
+        self.predicate = predicate
+        self.outer = outer
+        self._equi_keys, self._residual = self._split_predicate()
+        # Equality makes the two join columns value-equivalent, so an
+        # annotation on one logically covers the other: Figure 2's step 4
+        # projects out s.x without losing its annotations because they
+        # also attach to r.a.
+        self._equivalent_columns = tuple(
+            (left.schema[li], right.schema[ri]) for li, ri in self._equi_keys
+        )
+
+    def _split_predicate(
+        self,
+    ) -> tuple[list[tuple[int, int]], list[Expression]]:
+        """Extract hashable left/right equality pairs from the predicate."""
+        if self.predicate is None:
+            return [], []
+        from repro.engine.expressions import BooleanOp
+
+        conjuncts: list[Expression]
+        if isinstance(self.predicate, BooleanOp) and self.predicate.op == "and":
+            conjuncts = list(self.predicate.operands)
+        else:
+            conjuncts = [self.predicate]
+        equi: list[tuple[int, int]] = []
+        residual: list[Expression] = []
+        for conjunct in conjuncts:
+            pair = self._equi_pair(conjunct)
+            if pair is not None:
+                equi.append(pair)
+            else:
+                residual.append(conjunct)
+        return equi, residual
+
+    def _equi_pair(self, conjunct: Expression) -> tuple[int, int] | None:
+        if not (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, Column)
+            and isinstance(conjunct.right, Column)
+        ):
+            return None
+        for first, second in (
+            (conjunct.left.name, conjunct.right.name),
+            (conjunct.right.name, conjunct.left.name),
+        ):
+            try:
+                left_index = resolve_column(self._left.schema, first)
+                right_index = resolve_column(self._right.schema, second)
+            except Exception:
+                continue
+            return left_index, right_index
+        return None
+
+    def combine(self, left: AnnotatedTuple, right: AnnotatedTuple) -> AnnotatedTuple:
+        """Join two tuples: concatenate values, merge summaries dedup-aware."""
+        attachments = merge_attachments(left.attachments, right.attachments)
+        if self._equivalent_columns:
+            attachments = _extend_equivalent(attachments, self._equivalent_columns)
+        return AnnotatedTuple(
+            values=left.values + right.values,
+            summaries=merge_summary_maps(left.summaries, right.summaries),
+            attachments=attachments,
+            source_rows=left.source_rows | right.source_rows,
+        )
+
+    def _pad_unmatched(self, left_row: AnnotatedTuple) -> AnnotatedTuple:
+        """NULL-pad an unmatched left tuple; its summaries pass through."""
+        return AnnotatedTuple(
+            values=left_row.values + (None,) * len(self._right.schema),
+            summaries={name: obj.copy() for name, obj in left_row.summaries.items()},
+            attachments=dict(left_row.attachments),
+            source_rows=left_row.source_rows,
+        )
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        right_rows = list(self._right)
+        if self._equi_keys:
+            index: dict[tuple[Any, ...], list[AnnotatedTuple]] = {}
+            for row in right_rows:
+                key = tuple(row.values[ri] for _, ri in self._equi_keys)
+                index.setdefault(key, []).append(row)
+            for left_row in self._left:
+                key = tuple(left_row.values[li] for li, _ in self._equi_keys)
+                matched = False
+                if None not in key:
+                    for right_row in index.get(key, ()):
+                        combined = self.combine(left_row, right_row)
+                        if all(
+                            residual.evaluate(combined, self.schema)
+                            for residual in self._residual
+                        ):
+                            matched = True
+                            yield combined
+                if self.outer and not matched:
+                    yield self._pad_unmatched(left_row)
+        else:
+            for left_row in self._left:
+                matched = False
+                for right_row in right_rows:
+                    combined = self.combine(left_row, right_row)
+                    if self.predicate is None or self.predicate.evaluate(
+                        combined, self.schema
+                    ):
+                        matched = True
+                        yield combined
+                if self.outer and not matched:
+                    yield self._pad_unmatched(left_row)
+
+    def describe(self) -> str:
+        kind = "LeftOuterJoin" if self.outer else "Join"
+        if self.predicate is None:
+            return f"{kind}(cross)"
+        return f"{kind}({self.predicate})"
+
+
+class GroupByOperator(Operator):
+    """Grouping and aggregation with summary merging.
+
+    Output schema: the (qualified) key columns followed by one column per
+    aggregate.  Every group member's attachments are remapped — key columns
+    keep their names, aggregate-argument columns map to the aggregate's
+    output column, all other columns drop (removing their annotations'
+    effects, per the projection semantics) — and then the members'
+    summaries merge into one object per instance.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[str],
+        aggregates: Sequence[Aggregate],
+        having: Expression | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self._key_indices = tuple(resolve_column(child.schema, k) for k in keys)
+        key_names = tuple(child.schema[i] for i in self._key_indices)
+        self._aggregates = tuple(aggregates)
+        self._agg_indices: list[int | None] = []
+        agg_names: list[str] = []
+        for aggregate in self._aggregates:
+            if aggregate.argument is None:
+                self._agg_indices.append(None)
+                agg_names.append("count(*)")
+            else:
+                index = resolve_column(child.schema, aggregate.argument.name)
+                self._agg_indices.append(index)
+                agg_names.append(f"{aggregate.function}({child.schema[index]})")
+        super().__init__(key_names + tuple(agg_names), tracer)
+        self._child = child
+        self.having = having
+        # Input column -> output columns it survives as.
+        self._column_map: dict[str, set[str]] = {}
+        for name in key_names:
+            self._column_map.setdefault(name, set()).add(name)
+        for aggregate_index, output_name in zip(self._agg_indices, agg_names):
+            if aggregate_index is not None:
+                input_name = child.schema[aggregate_index]
+                self._column_map.setdefault(input_name, set()).add(output_name)
+
+    def _remap_member(self, row: AnnotatedTuple) -> AnnotatedTuple:
+        """Apply projection semantics onto the group-by output columns."""
+        remapped: dict[int, frozenset[str]] = {}
+        dropped: set[int] = set()
+        for annotation_id, columns in row.attachments.items():
+            outputs: set[str] = set()
+            for column in columns:
+                outputs |= self._column_map.get(column, set())
+            if outputs:
+                remapped[annotation_id] = frozenset(outputs)
+            else:
+                dropped.add(annotation_id)
+        row.attachments = remapped
+        if dropped:
+            for obj in row.summaries.values():
+                obj.remove_annotations(dropped)
+        return row
+
+    def _aggregate_value(
+        self, aggregate: Aggregate, index: int | None, members: list[AnnotatedTuple]
+    ) -> Any:
+        if index is None:
+            return len(members)
+        values = [m.values[index] for m in members if m.values[index] is not None]
+        if aggregate.function == "count":
+            return len(values)
+        if not values:
+            return None
+        if aggregate.function == "sum":
+            return sum(values)
+        if aggregate.function == "avg":
+            return sum(values) / len(values)
+        if aggregate.function == "min":
+            return min(values)
+        return max(values)
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        groups: dict[tuple[Any, ...], list[AnnotatedTuple]] = {}
+        for row in self._child:
+            key = tuple(row.values[i] for i in self._key_indices)
+            groups.setdefault(key, []).append(row)
+        if not groups and not self._key_indices:
+            # SQL: a global aggregate over empty input yields one row
+            # (COUNT = 0, other aggregates NULL) with empty summaries.
+            values = tuple(
+                self._aggregate_value(aggregate, index, [])
+                for aggregate, index in zip(self._aggregates, self._agg_indices)
+            )
+            out = AnnotatedTuple(values=values)
+            if self.having is None or self.having.evaluate(out, self.schema):
+                yield out
+            return
+        for key, members in groups.items():
+            members = [self._remap_member(member) for member in members]
+            summaries = members[0].summaries
+            attachments = members[0].attachments
+            source_rows = members[0].source_rows
+            for member in members[1:]:
+                summaries = merge_summary_maps(summaries, member.summaries)
+                attachments = merge_attachments(attachments, member.attachments)
+                source_rows = source_rows | member.source_rows
+            values = key + tuple(
+                self._aggregate_value(aggregate, index, members)
+                for aggregate, index in zip(self._aggregates, self._agg_indices)
+            )
+            out = AnnotatedTuple(
+                values=values,
+                summaries=summaries,
+                attachments=attachments,
+                source_rows=source_rows,
+            )
+            if self.having is None or self.having.evaluate(out, self.schema):
+                yield out
+
+    def describe(self) -> str:
+        keys = ", ".join(self.schema[: len(self._key_indices)])
+        aggs = ", ".join(self.schema[len(self._key_indices):])
+        return f"GroupBy(keys=[{keys}]; aggs=[{aggs}])"
+
+
+class DistinctOperator(Operator):
+    """Duplicate elimination; duplicates' summaries merge into one tuple."""
+
+    def __init__(self, child: Operator, tracer: Tracer | None = None) -> None:
+        super().__init__(child.schema, tracer)
+        self._child = child
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        seen: dict[tuple[Any, ...], AnnotatedTuple] = {}
+        for row in self._child:
+            existing = seen.get(row.values)
+            if existing is None:
+                seen[row.values] = row
+            else:
+                existing.summaries = merge_summary_maps(
+                    existing.summaries, row.summaries
+                )
+                existing.attachments = merge_attachments(
+                    existing.attachments, row.attachments
+                )
+                existing.source_rows = existing.source_rows | row.source_rows
+        yield from seen.values()
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+class SortOperator(Operator):
+    """Order by expressions; NULLs sort first ascending, last descending."""
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[Expression],
+        descending: Sequence[bool] = (),
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(child.schema, tracer)
+        self._child = child
+        self._keys = tuple(keys)
+        self._descending = tuple(descending) or tuple(False for _ in keys)
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        rows = list(self._child)
+        # Stable multi-key sort: apply keys right-to-left.
+        for key, descending in reversed(list(zip(self._keys, self._descending))):
+            rows.sort(
+                key=lambda row: _sort_token(key.evaluate(row, self.schema)),
+                reverse=descending,
+            )
+        yield from rows
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            f"{key}{' DESC' if desc else ''}"
+            for key, desc in zip(self._keys, self._descending)
+        )
+        return f"Sort({rendered})"
+
+
+def _sort_token(value: Any) -> tuple[int, Any]:
+    """Total-order token: None < numbers < strings < everything else."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(value))
+
+
+class LimitOperator(Operator):
+    """Emit at most ``count`` rows."""
+
+    def __init__(
+        self, child: Operator, count: int, tracer: Tracer | None = None
+    ) -> None:
+        super().__init__(child.schema, tracer)
+        self._child = child
+        self.count = count
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        emitted = 0
+        for row in self._child:
+            if emitted >= self.count:
+                return
+            emitted += 1
+            yield row
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+class UnionOperator(Operator):
+    """Bag union of two arity-compatible inputs (left's schema wins)."""
+
+    def __init__(
+        self, left: Operator, right: Operator, tracer: Tracer | None = None
+    ) -> None:
+        if len(left.schema) != len(right.schema):
+            raise PlanError(
+                f"union arity mismatch: {len(left.schema)} vs {len(right.schema)}"
+            )
+        super().__init__(left.schema, tracer)
+        self._left = left
+        self._right = right
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        yield from self._left
+        rename = dict(zip(self._right.schema, self.schema))
+        for row in self._right:
+            row.rename_attachment_columns(rename)
+            yield row
+
+    def describe(self) -> str:
+        return "Union(all)"

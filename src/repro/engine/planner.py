@@ -1,0 +1,446 @@
+"""Logical-plan construction, normalization, and physical lowering.
+
+The planner owns the rewrite that makes summary propagation *plan
+invariant*.  Theorems 1 and 2 of the engine paper [30] show that equivalent
+relational plans produce identical annotation summaries **iff** un-needed
+annotations are projected out before any merge operation (join, grouping,
+duplicate elimination).  :meth:`Planner.normalize` enforces this by
+computing the columns each subtree must supply (top-down) and inserting
+projections so no merge ever sees a column — and therefore an annotation —
+that the rest of the plan does not need.
+
+The planner also pushes single-relation WHERE conjuncts below joins and
+turns join-condition conjuncts into join predicates (enabling the hash
+join); these rewrites move whole tuples, never individual annotations, so
+they are summary-neutral.
+
+Set ``normalize=False`` to lower plans as written — the EXP-QP3 ablation
+uses this to demonstrate that merge-before-project plans can disagree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from repro.engine import plan as lp
+from repro.engine.expressions import (
+    BooleanOp,
+    Expression,
+    conjunction,
+    resolve_column,
+)
+from repro.engine.operators import (
+    ComputeOperator,
+    DistinctOperator,
+    GroupByOperator,
+    JoinOperator,
+    LimitOperator,
+    Operator,
+    ProjectOperator,
+    ScanOperator,
+    SelectOperator,
+    SortOperator,
+    Tracer,
+    UnionOperator,
+)
+from repro.errors import PlanError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.maintenance.incremental import SummaryManager
+    from repro.storage.annotations import AnnotationStore
+    from repro.storage.catalog import SummaryCatalog
+    from repro.storage.database import Database
+
+
+class Planner:
+    """Turns logical plans into summary-aware physical pipelines."""
+
+    def __init__(
+        self,
+        database: "Database",
+        annotations: "AnnotationStore",
+        catalog: "SummaryCatalog",
+        manager: "SummaryManager | None" = None,
+        normalize: bool = True,
+        push_selections: bool = True,
+    ) -> None:
+        self._db = database
+        self._annotations = annotations
+        self._catalog = catalog
+        self._manager = manager
+        self.normalize_plans = normalize
+        self.push_selections = push_selections
+
+    # -- schema inference ---------------------------------------------
+
+    def schema_of(self, node: lp.PlanNode) -> tuple[str, ...]:
+        """Qualified output schema of a logical node."""
+        if isinstance(node, lp.Scan):
+            return tuple(
+                f"{node.alias}.{column}" for column in self._db.columns(node.table)
+            )
+        if isinstance(node, (lp.Select, lp.Sort, lp.Limit, lp.Distinct)):
+            return self.schema_of(node.children()[0])
+        if isinstance(node, lp.Project):
+            child_schema = self.schema_of(node.child)
+            return tuple(
+                child_schema[resolve_column(child_schema, name)]
+                for name in node.columns
+            )
+        if isinstance(node, lp.Compute):
+            return tuple(name for _, name in node.items)
+        if isinstance(node, lp.Join):
+            return self.schema_of(node.left) + self.schema_of(node.right)
+        if isinstance(node, lp.GroupBy):
+            child_schema = self.schema_of(node.child)
+            keys = tuple(
+                child_schema[resolve_column(child_schema, key)] for key in node.keys
+            )
+            aggs = tuple(
+                self._canonical_aggregate_name(aggregate, child_schema)
+                for aggregate in node.aggregates
+            )
+            return keys + aggs
+        if isinstance(node, lp.Union):
+            return self.schema_of(node.left)
+        raise PlanError(f"cannot infer schema of {type(node).__name__}")
+
+    @staticmethod
+    def _canonical_aggregate_name(
+        aggregate: lp.Aggregate, child_schema: tuple[str, ...]
+    ) -> str:
+        if aggregate.argument is None:
+            return "count(*)"
+        index = resolve_column(child_schema, aggregate.argument.name)
+        return f"{aggregate.function}({child_schema[index]})"
+
+    # -- selection pushdown -------------------------------------------
+
+    def push_down_selections(self, node: lp.PlanNode) -> lp.PlanNode:
+        """Push WHERE conjuncts toward their relations.
+
+        A conjunct referencing only one side of a join moves below it; a
+        conjunct spanning both sides becomes (part of) the join predicate.
+        Tuple-level only — summary propagation is unaffected.
+        """
+        if isinstance(node, lp.Select):
+            child = self.push_down_selections(node.child)
+            conjuncts = _split_conjuncts(node.predicate)
+            remaining, child = self._sink_conjuncts(conjuncts, child)
+            predicate = conjunction(remaining)
+            return lp.Select(child, predicate) if predicate is not None else child
+        if isinstance(node, lp.Join):
+            return lp.Join(
+                self.push_down_selections(node.left),
+                self.push_down_selections(node.right),
+                node.predicate,
+                node.outer,
+            )
+        rebuilt = _rebuild_with_children(
+            node, tuple(self.push_down_selections(c) for c in node.children())
+        )
+        return rebuilt
+
+    def _sink_conjuncts(
+        self, conjuncts: list[Expression], node: lp.PlanNode
+    ) -> tuple[list[Expression], lp.PlanNode]:
+        """Sink as many conjuncts as possible into ``node``; return the rest."""
+        if not conjuncts:
+            return [], node
+        if isinstance(node, lp.Join):
+            if node.outer:
+                # Sinking predicates past an outer join changes which left
+                # tuples survive NULL-padded; keep the selection above it.
+                return conjuncts, node
+            left_schema = self.schema_of(node.left)
+            right_schema = self.schema_of(node.right)
+            left_conjuncts: list[Expression] = []
+            right_conjuncts: list[Expression] = []
+            join_conjuncts: list[Expression] = []
+            remaining: list[Expression] = []
+            for conjunct in conjuncts:
+                columns = conjunct.referenced_columns()
+                if not columns:
+                    remaining.append(conjunct)
+                elif _all_resolvable(columns, left_schema):
+                    left_conjuncts.append(conjunct)
+                elif _all_resolvable(columns, right_schema):
+                    right_conjuncts.append(conjunct)
+                elif _all_resolvable(columns, left_schema + right_schema):
+                    join_conjuncts.append(conjunct)
+                else:
+                    remaining.append(conjunct)
+            _, left = self._sink_conjuncts(left_conjuncts, node.left)
+            _, right = self._sink_conjuncts(right_conjuncts, node.right)
+            predicate_parts = join_conjuncts
+            if node.predicate is not None:
+                predicate_parts = _split_conjuncts(node.predicate) + join_conjuncts
+            return remaining, lp.Join(left, right, conjunction(predicate_parts))
+        if isinstance(node, (lp.Select, lp.Scan, lp.Project)):
+            predicate = conjunction(conjuncts)
+            assert predicate is not None
+            return [], lp.Select(node, predicate)
+        # Other operators: keep the selection above them.
+        return conjuncts, node
+
+    # -- Theorems 1-2 normalization ----------------------------------
+
+    def normalize(self, node: lp.PlanNode) -> lp.PlanNode:
+        """Insert projections so merges never see un-needed columns."""
+        required = list(self.schema_of(node))
+        return self._prune(node, required)
+
+    def _prune(self, node: lp.PlanNode, required: Sequence[str]) -> lp.PlanNode:
+        """Rewrite ``node`` to output exactly ``required`` (in order)."""
+        schema = self.schema_of(node)
+        needed = list(dict.fromkeys(required)) or [schema[0]]
+
+        if isinstance(node, lp.Scan):
+            return self._wrap(node, schema, needed)
+
+        if isinstance(node, lp.Project):
+            # The projection collapses into the pruning itself.
+            return self._prune(node.child, needed)
+
+        if isinstance(node, lp.Compute):
+            kept = [
+                (expression, name)
+                for expression, name in node.items
+                if name in set(needed)
+            ] or [node.items[0]]
+            child_schema = self.schema_of(node.child)
+            child_required: list[str] = []
+            for expression, _name in kept:
+                child_required.extend(
+                    _resolve_all(expression.referenced_columns(), child_schema)
+                )
+            child_required = list(dict.fromkeys(child_required))
+            child = self._prune(node.child, child_required or [child_schema[0]])
+            computed = lp.Compute(child, tuple(kept))
+            return self._wrap(
+                computed, [name for _, name in kept], needed
+            )
+
+        if isinstance(node, lp.Select):
+            child_schema = self.schema_of(node.child)
+            child_required = _merge_required(
+                needed, _resolve_all(node.predicate.referenced_columns(), child_schema)
+            )
+            child = self._prune(node.child, child_required)
+            return self._wrap(lp.Select(child, node.predicate), child_required, needed)
+
+        if isinstance(node, lp.Sort):
+            child_schema = self.schema_of(node.child)
+            key_columns: list[str] = []
+            for key in node.keys:
+                key_columns.extend(
+                    _resolve_all(key.referenced_columns(), child_schema)
+                )
+            child_required = _merge_required(needed, key_columns)
+            child = self._prune(node.child, child_required)
+            return self._wrap(
+                lp.Sort(child, node.keys, node.descending), child_required, needed
+            )
+
+        if isinstance(node, lp.Limit):
+            return lp.Limit(self._prune(node.child, needed), node.count)
+
+        if isinstance(node, lp.Distinct):
+            return lp.Distinct(self._prune(node.child, needed))
+
+        if isinstance(node, lp.Join):
+            left_schema = self.schema_of(node.left)
+            right_schema = self.schema_of(node.right)
+            predicate_columns = (
+                _resolve_all(
+                    node.predicate.referenced_columns(), left_schema + right_schema
+                )
+                if node.predicate is not None
+                else []
+            )
+            wanted = _merge_required(needed, predicate_columns)
+            left_required = [c for c in wanted if c in set(left_schema)]
+            right_required = [c for c in wanted if c in set(right_schema)]
+            left = self._prune(node.left, left_required or [left_schema[0]])
+            right = self._prune(node.right, right_required or [right_schema[0]])
+            joined = lp.Join(left, right, node.predicate, node.outer)
+            produced = (left_required or [left_schema[0]]) + (
+                right_required or [right_schema[0]]
+            )
+            return self._wrap(joined, produced, needed)
+
+        if isinstance(node, lp.GroupBy):
+            child_schema = self.schema_of(node.child)
+            child_required = [
+                child_schema[resolve_column(child_schema, key)] for key in node.keys
+            ]
+            for aggregate in node.aggregates:
+                if aggregate.argument is not None:
+                    child_required.append(
+                        child_schema[
+                            resolve_column(child_schema, aggregate.argument.name)
+                        ]
+                    )
+            child_required = list(dict.fromkeys(child_required))
+            child = self._prune(node.child, child_required or [child_schema[0]])
+            grouped = lp.GroupBy(child, node.keys, node.aggregates, node.having)
+            return self._wrap(grouped, self.schema_of(grouped), needed)
+
+        if isinstance(node, lp.Union):
+            left_schema = self.schema_of(node.left)
+            right_schema = self.schema_of(node.right)
+            positions = [left_schema.index(name) for name in needed]
+            left = self._prune(node.left, [left_schema[i] for i in positions])
+            right = self._prune(node.right, [right_schema[i] for i in positions])
+            union: lp.PlanNode = lp.Union(left, right, node.distinct)
+            if node.distinct:
+                union = lp.Distinct(lp.Union(left, right, False))
+            return union
+
+        raise PlanError(f"cannot normalize {type(node).__name__}")
+
+    def _wrap(
+        self,
+        node: lp.PlanNode,
+        produced: Sequence[str],
+        needed: Sequence[str],
+    ) -> lp.PlanNode:
+        """Project ``node`` down to ``needed`` unless it already matches."""
+        if tuple(produced) == tuple(needed):
+            return node
+        return lp.Project(node, tuple(needed))
+
+    # -- physical lowering -----------------------------------------------
+
+    def prepare(self, node: lp.PlanNode) -> lp.PlanNode:
+        """Apply the configured rewrites to a logical plan."""
+        if self.push_selections:
+            node = self.push_down_selections(node)
+        if self.normalize_plans:
+            node = self.normalize(node)
+        return node
+
+    def physical(
+        self, node: lp.PlanNode, tracer: Tracer | None = None
+    ) -> Operator:
+        """Lower a (prepared) logical plan to a physical operator tree."""
+        if isinstance(node, lp.Scan):
+            return ScanOperator(
+                self._db,
+                self._annotations,
+                self._catalog,
+                node.table,
+                node.alias,
+                manager=self._manager,
+                instances=node.instances,
+                tracer=tracer,
+            )
+        if isinstance(node, lp.Select):
+            return SelectOperator(
+                self.physical(node.child, tracer), node.predicate, tracer=tracer
+            )
+        if isinstance(node, lp.Project):
+            return ProjectOperator(
+                self.physical(node.child, tracer), node.columns, tracer=tracer
+            )
+        if isinstance(node, lp.Compute):
+            return ComputeOperator(
+                self.physical(node.child, tracer), node.items, tracer=tracer
+            )
+        if isinstance(node, lp.Join):
+            return JoinOperator(
+                self.physical(node.left, tracer),
+                self.physical(node.right, tracer),
+                node.predicate,
+                outer=node.outer,
+                tracer=tracer,
+            )
+        if isinstance(node, lp.GroupBy):
+            return GroupByOperator(
+                self.physical(node.child, tracer),
+                node.keys,
+                node.aggregates,
+                having=node.having,
+                tracer=tracer,
+            )
+        if isinstance(node, lp.Distinct):
+            return DistinctOperator(self.physical(node.child, tracer), tracer=tracer)
+        if isinstance(node, lp.Sort):
+            return SortOperator(
+                self.physical(node.child, tracer),
+                node.keys,
+                node.descending,
+                tracer=tracer,
+            )
+        if isinstance(node, lp.Limit):
+            return LimitOperator(
+                self.physical(node.child, tracer), node.count, tracer=tracer
+            )
+        if isinstance(node, lp.Union):
+            operator: Operator = UnionOperator(
+                self.physical(node.left, tracer),
+                self.physical(node.right, tracer),
+                tracer=tracer,
+            )
+            if node.distinct:
+                operator = DistinctOperator(operator, tracer=tracer)
+            return operator
+        raise PlanError(f"cannot lower {type(node).__name__}")
+
+
+def _split_conjuncts(predicate: Expression) -> list[Expression]:
+    """Flatten nested top-level ANDs into a conjunct list."""
+    if isinstance(predicate, BooleanOp) and predicate.op == "and":
+        conjuncts: list[Expression] = []
+        for operand in predicate.operands:
+            conjuncts.extend(_split_conjuncts(operand))
+        return conjuncts
+    return [predicate]
+
+
+def _all_resolvable(columns: set[str], schema: tuple[str, ...]) -> bool:
+    """True when every referenced column resolves against ``schema``."""
+    for name in columns:
+        try:
+            resolve_column(schema, name)
+        except Exception:
+            return False
+    return True
+
+
+def _resolve_all(columns: set[str], schema: tuple[str, ...]) -> list[str]:
+    """Resolve referenced names to qualified schema columns, sorted."""
+    return sorted(schema[resolve_column(schema, name)] for name in columns)
+
+
+def _merge_required(base: Sequence[str], extra: Sequence[str]) -> list[str]:
+    """Union two required-column lists, keeping first-seen order."""
+    return list(dict.fromkeys([*base, *extra]))
+
+
+def _rebuild_with_children(
+    node: lp.PlanNode, children: tuple[lp.PlanNode, ...]
+) -> lp.PlanNode:
+    """Clone a logical node with replaced children."""
+    if isinstance(node, lp.Scan):
+        return node
+    if isinstance(node, lp.Select):
+        return lp.Select(children[0], node.predicate)
+    if isinstance(node, lp.Project):
+        return lp.Project(children[0], node.columns)
+    if isinstance(node, lp.Compute):
+        return lp.Compute(children[0], node.items)
+    if isinstance(node, lp.Join):
+        return lp.Join(children[0], children[1], node.predicate, node.outer)
+    if isinstance(node, lp.GroupBy):
+        return lp.GroupBy(children[0], node.keys, node.aggregates, node.having)
+    if isinstance(node, lp.Distinct):
+        return lp.Distinct(children[0])
+    if isinstance(node, lp.Sort):
+        return lp.Sort(children[0], node.keys, node.descending)
+    if isinstance(node, lp.Limit):
+        return lp.Limit(children[0], node.count)
+    if isinstance(node, lp.Union):
+        return lp.Union(children[0], children[1], node.distinct)
+    raise PlanError(f"cannot rebuild {type(node).__name__}")

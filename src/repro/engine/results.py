@@ -1,0 +1,199 @@
+"""Query results and the QID registry.
+
+Every executed query gets a unique **QID** and its materialized result is
+kept in a registry, because zoom-in commands reference results by QID
+("ZoomIn Reference QID = 101 ...").  The registry is bounded; evicted
+results can still be recomputed by re-running their plan, which is exactly
+the cost the zoom-in cache (RCO policy) exists to avoid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import UnknownQueryIdError
+from repro.model.tuple import AnnotatedTuple
+
+
+@dataclass
+class QueryResult:
+    """A materialized query result with its annotation summaries.
+
+    Attributes
+    ----------
+    qid:
+        Unique id assigned at execution time; zoom-in references it.
+    columns:
+        Output schema (qualified column names).
+    tuples:
+        The result tuples, each carrying its summary objects.
+    sql:
+        The originating SQL text ("" for programmatic plans).
+    plan_text:
+        Rendering of the executed physical plan.
+    plan_cost:
+        Structural cost estimate of the plan (RCO's complexity factor).
+    elapsed_seconds:
+        Wall-clock execution time.
+    trace:
+        The :class:`~repro.engine.operators.Tracer` holding per-operator
+        intermediate tuples when the query ran with tracing enabled.
+    """
+
+    qid: int
+    columns: tuple[str, ...]
+    tuples: list[AnnotatedTuple]
+    sql: str = ""
+    plan_text: str = ""
+    plan_cost: int = 1
+    elapsed_seconds: float = 0.0
+    trace: Any | None = None
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """Plain value rows, without summaries."""
+        return [row.values for row in self.tuples]
+
+    def column_index(self, name: str) -> int:
+        """Resolve an output column name (qualified or suffix)."""
+        from repro.engine.expressions import resolve_column
+
+        return resolve_column(self.columns, name)
+
+    def size_estimate(self) -> int:
+        """Approximate in-memory footprint (RCO's overhead factor)."""
+        total = 64
+        for row in self.tuples:
+            total += 16
+            for value in row.values:
+                total += len(value) if isinstance(value, str) else 8
+            total += row.total_summary_size()
+            total += 16 * len(row.attachments)
+        return total
+
+    def summary_instances(self) -> list[str]:
+        """Names of summary instances present anywhere in the result."""
+        names: set[str] = set()
+        for row in self.tuples:
+            names.update(row.summaries)
+        return sorted(names)
+
+    # -- serialization (disk-based result cache) -----------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-able form of the full result, summaries included.
+
+        The operator trace is not serialized — it is a debugging view,
+        not part of the result.
+        """
+        return {
+            "qid": self.qid,
+            "columns": list(self.columns),
+            "sql": self.sql,
+            "plan_text": self.plan_text,
+            "plan_cost": self.plan_cost,
+            "elapsed_seconds": self.elapsed_seconds,
+            "tuples": [
+                {
+                    "values": list(row.values),
+                    "summaries": {
+                        name: obj.to_json()
+                        for name, obj in row.summaries.items()
+                    },
+                    "attachments": {
+                        str(annotation_id): sorted(columns)
+                        for annotation_id, columns in row.attachments.items()
+                    },
+                    "source_rows": sorted(
+                        [table, row_id] for table, row_id in row.source_rows
+                    ),
+                }
+                for row in self.tuples
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any], registry) -> "QueryResult":
+        """Rebuild a result serialized by :meth:`to_json`.
+
+        ``registry`` is the summary-type registry used to revive the
+        summary objects.
+        """
+        tuples = []
+        for entry in data["tuples"]:
+            tuples.append(
+                AnnotatedTuple(
+                    values=tuple(entry["values"]),
+                    summaries={
+                        name: registry.object_from_json(obj)
+                        for name, obj in entry["summaries"].items()
+                    },
+                    attachments={
+                        int(annotation_id): frozenset(columns)
+                        for annotation_id, columns in entry["attachments"].items()
+                    },
+                    source_rows=frozenset(
+                        (table, row_id)
+                        for table, row_id in entry["source_rows"]
+                    ),
+                )
+            )
+        return cls(
+            qid=data["qid"],
+            columns=tuple(data["columns"]),
+            tuples=tuples,
+            sql=data.get("sql", ""),
+            plan_text=data.get("plan_text", ""),
+            plan_cost=data.get("plan_cost", 1),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        )
+
+
+class ResultRegistry:
+    """Bounded QID -> :class:`QueryResult` map with FIFO eviction.
+
+    Results must remain addressable long enough for a user to issue
+    zoom-in commands against them; the bound keeps an interactive session
+    from accumulating every result ever produced.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._results: OrderedDict[int, QueryResult] = OrderedDict()
+        self._qid_counter = itertools.count(101)  # matches the paper's QID=101
+
+    def next_qid(self) -> int:
+        """Allocate the next query id."""
+        return next(self._qid_counter)
+
+    def register(self, result: QueryResult) -> None:
+        """Store a result, evicting the oldest past capacity."""
+        self._results[result.qid] = result
+        while len(self._results) > self._capacity:
+            self._results.popitem(last=False)
+
+    def get(self, qid: int) -> QueryResult:
+        """Look up a result or raise :class:`UnknownQueryIdError`."""
+        try:
+            return self._results[qid]
+        except KeyError:
+            raise UnknownQueryIdError(qid) from None
+
+    def __contains__(self, qid: int) -> bool:
+        return qid in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def latest(self) -> QueryResult | None:
+        """The most recently registered result, if any."""
+        if not self._results:
+            return None
+        return next(reversed(self._results.values()))

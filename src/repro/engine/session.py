@@ -1,0 +1,448 @@
+"""The InsightNotes session facade — the library's public entry point.
+
+Ties the whole stack together behind one object:
+
+* base tables and inserts (:class:`~repro.storage.database.Database`),
+* raw annotations with cell-level attachment and automatic incremental
+  summary maintenance (:class:`~repro.maintenance.incremental.SummaryManager`),
+* summary instance definition / linking (:class:`~repro.storage.catalog.SummaryCatalog`),
+* summary-aware SQL queries with QID-stamped results,
+* ZOOMIN commands served through the RCO-managed result cache.
+
+Example
+-------
+>>> notes = InsightNotes()
+>>> notes.create_table("birds", ["name", "species", "weight"])
+>>> row = notes.insert("birds", ("Swan Goose", "Anser cygnoides", 3.2))
+>>> notes.define_classifier("ClassBird1",
+...     labels=["Behavior", "Disease", "Anatomy", "Other"],
+...     training=[("found eating stonewort", "Behavior")])
+>>> notes.link("ClassBird1", "birds")
+>>> notes.add_annotation("observed feeding near the shore",
+...                      table="birds", row_id=row)
+>>> result = notes.query("SELECT name, species FROM birds")
+>>> zoom = notes.zoomin(
+...     f"ZOOMIN REFERENCE QID = {result.qid} ON ClassBird1 INDEX 1")
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.engine.executor import execute_plan
+from repro.engine.operators import Tracer
+from repro.engine.plan import PlanNode
+from repro.engine.planner import Planner
+from repro.engine.results import QueryResult, ResultRegistry
+from repro.engine.sqlparser import build_logical, parse_sql
+from repro.errors import AnnotationError
+from repro.model.annotation import Annotation, AnnotationKind
+from repro.model.cell import CellRef
+from repro.maintenance.incremental import SummaryManager
+from repro.storage.annotations import AnnotationStore
+from repro.storage.catalog import SummaryCatalog
+from repro.storage.database import Database
+from repro.summaries.base import SummaryInstance
+from repro.summaries.registry import SummaryTypeRegistry
+from repro.zoomin.cache import ZoomInCache
+from repro.zoomin.command import ZoomInCommand
+from repro.zoomin.executor import ZoomInExecutor, ZoomInResult
+from repro.zoomin.rco import RCOPolicy
+
+
+class InsightNotes:
+    """A summary-based annotation management session.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path (default in-memory).
+    registry:
+        Summary type registry; defaults to the three built-in types.
+        Register custom types before defining instances of them.
+    cache_bytes:
+        Capacity of the zoom-in result cache.
+    cache_policy:
+        Replacement policy for that cache; defaults to the paper's RCO.
+    cache_store:
+        Storage backend for cached results: ``None`` keeps live objects
+        in memory; ``"disk"`` serializes results through a SQLite store
+        (the paper's disk-based materialization); any other string is a
+        SQLite file path for the store; a
+        :class:`~repro.zoomin.stores.ResultStore` instance is used as-is.
+    normalize:
+        Apply the Theorems 1-2 project-before-merge normalization
+        (disable only for the plan-equivalence ablation).
+    """
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        registry: SummaryTypeRegistry | None = None,
+        cache_bytes: int = 4 * 1024 * 1024,
+        cache_policy: Any | None = None,
+        cache_store: Any | None = None,
+        normalize: bool = True,
+    ) -> None:
+        self.db = Database(path)
+        self.annotations = AnnotationStore(self.db)
+        self.catalog = SummaryCatalog(self.db, registry=registry)
+        self.manager = SummaryManager(self.db, self.annotations, self.catalog)
+        self.planner = Planner(
+            self.db,
+            self.annotations,
+            self.catalog,
+            manager=self.manager,
+            normalize=normalize,
+        )
+        self.results = ResultRegistry()
+        if isinstance(cache_store, str):
+            from repro.zoomin.stores import SQLiteResultStore
+
+            store_path = ":memory:" if cache_store == "disk" else cache_store
+            cache_store = SQLiteResultStore(
+                store_path, registry=self.catalog.registry
+            )
+        self.cache = ZoomInCache(
+            capacity_bytes=cache_bytes,
+            policy=cache_policy or RCOPolicy(),
+            store=cache_store,
+        )
+        self._zoomin = ZoomInExecutor(
+            self.annotations, self.cache, recompute=self.results.get
+        )
+
+    # -- lifecycle ---------------------------------------------------
+
+    def close(self) -> None:
+        """Flush deferred summary writes and close the database."""
+        self.manager.flush()
+        self.db.close()
+
+    def __enter__(self) -> "InsightNotes":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- data -----------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[str]) -> None:
+        """Create a base table."""
+        self.db.create_table(name, columns)
+
+    def insert(
+        self, table: str, values: Sequence[Any] | Mapping[str, Any]
+    ) -> int:
+        """Insert one row; returns its row id."""
+        return self.db.insert(table, values)
+
+    def insert_many(self, table: str, rows: Sequence[Sequence[Any]]) -> list[int]:
+        """Insert several rows; returns their row ids."""
+        return self.db.insert_many(table, rows)
+
+    def delete_row(self, table: str, row_id: int) -> None:
+        """Delete a base row, cascading through annotations and summaries.
+
+        Annotations attached only to this row are deleted outright;
+        annotations also covering other rows are detached here and keep
+        their effect elsewhere.  The row's summary objects are dropped.
+        """
+        for annotation_id in sorted(
+            self.annotations.annotation_ids_for_row(table, row_id)
+        ):
+            remaining = self.annotations.rows_for_annotation(annotation_id)
+            if remaining == {(table, row_id)}:
+                self.annotations.delete(annotation_id)
+            else:
+                self.annotations.detach_row(annotation_id, table, row_id)
+        self.manager.on_row_deleted(table, row_id)
+        self.db.delete_row(table, row_id)
+
+    # -- annotations -----------------------------------------------------
+
+    def add_annotation(
+        self,
+        text: str,
+        table: str | None = None,
+        row_id: int | None = None,
+        columns: Sequence[str] | None = None,
+        cells: Sequence[CellRef] | None = None,
+        author: str = "anonymous",
+        document: bool = False,
+        title: str = "",
+        created_at: float | None = None,
+    ) -> Annotation:
+        """Attach a new annotation and update all affected summaries.
+
+        Target either a row (``table`` + ``row_id``, optionally narrowed
+        to ``columns``; omitted columns mean the whole row) or an explicit
+        ``cells`` list spanning arbitrary rows and tables.
+        """
+        if cells is None:
+            if table is None or row_id is None:
+                raise AnnotationError(
+                    "add_annotation needs either cells or table + row_id"
+                )
+            target_columns = (
+                tuple(columns) if columns is not None else self.db.columns(table)
+            )
+            cells = [CellRef(table, row_id, column) for column in target_columns]
+        elif table is not None or row_id is not None or columns is not None:
+            raise AnnotationError(
+                "pass either cells or table/row_id/columns, not both"
+            )
+        kind = AnnotationKind.DOCUMENT if document else AnnotationKind.COMMENT
+        annotation = self.annotations.add(
+            text,
+            cells,
+            author=author,
+            kind=kind,
+            title=title,
+            created_at=created_at,
+        )
+        self.manager.on_annotation_added(annotation, cells)
+        return annotation
+
+    def delete_annotation(self, annotation_id: int) -> None:
+        """Remove an annotation, updating all affected summaries."""
+        self.manager.on_annotation_deleted(annotation_id)
+        self.annotations.delete(annotation_id)
+
+    def update_annotation(
+        self,
+        annotation_id: int,
+        text: str | None = None,
+        title: str | None = None,
+    ) -> Annotation:
+        """Rewrite an annotation's text, re-summarizing everywhere.
+
+        The annotation keeps its id, author, timestamp, and attachments;
+        its old effect is removed from every affected summary and the new
+        text is folded back in (a corrected observation may change its
+        class label, cluster group, or snippet).
+        """
+        self.manager.on_annotation_deleted(annotation_id)
+        updated = self.annotations.update(annotation_id, text=text, title=title)
+        cells = self.annotations.cells_of(annotation_id)
+        self.manager.on_annotation_added(updated, cells)
+        return updated
+
+    # -- summary instances ------------------------------------------------
+
+    def define_instance(
+        self, type_name: str, instance_name: str, config: dict
+    ) -> SummaryInstance:
+        """Define a summary instance of a registered type."""
+        return self.catalog.define_instance(type_name, instance_name, config)
+
+    def define_classifier(
+        self,
+        name: str,
+        labels: Sequence[str],
+        training: Sequence[tuple[str, str]] | None = None,
+    ) -> SummaryInstance:
+        """Convenience: define and optionally train a classifier instance."""
+        instance = self.catalog.define_instance(
+            "Classifier", name, {"labels": list(labels)}
+        )
+        if training:
+            instance.train(list(training))  # type: ignore[attr-defined]
+            self.catalog.save_instance_config(name)
+        return instance
+
+    def define_cluster(self, name: str, threshold: float = 0.4, **config: Any
+                       ) -> SummaryInstance:
+        """Convenience: define a cluster instance."""
+        return self.catalog.define_instance(
+            "Cluster", name, {"threshold": threshold, **config}
+        )
+
+    def define_snippet(self, name: str, **config: Any) -> SummaryInstance:
+        """Convenience: define a snippet instance."""
+        return self.catalog.define_instance("Snippet", name, config)
+
+    def rebuild_summaries(
+        self, instance_name: str | None = None, table: str | None = None
+    ) -> int:
+        """Recompute summary state from the raw annotations.
+
+        Narrows to one instance and/or one table when given; returns the
+        number of (instance, table) pairs rebuilt.  Needed after changes
+        that invalidate derived state wholesale — most commonly a model
+        retrain (see :meth:`retrain_classifier`).
+        """
+        from repro.maintenance.rebuild import rebuild_table
+
+        pairs = [
+            (instance, linked_table)
+            for instance, linked_table in self.catalog.links()
+            if (instance_name is None or instance == instance_name)
+            and (table is None or linked_table == table)
+        ]
+        self.manager.drop_caches()
+        for instance, linked_table in pairs:
+            rebuild_table(
+                self.db, self.annotations, self.catalog, instance, linked_table
+            )
+        return len(pairs)
+
+    def retrain_classifier(
+        self, instance_name: str, examples: Sequence[tuple[str, str]]
+    ) -> None:
+        """Continue training a classifier and refresh all its summaries.
+
+        The extra examples shift the model's predictions, so every stored
+        summary object of the instance is rebuilt from the raw
+        annotations and the summarize-once cache for the instance is
+        invalidated — stale labels never linger.
+        """
+        instance = self.catalog.get_instance(instance_name)
+        instance.train(list(examples))  # type: ignore[attr-defined]
+        self.catalog.save_instance_config(instance_name)
+        self.manager.contributions.invalidate_instance(instance_name)
+        self.rebuild_summaries(instance_name=instance_name)
+
+    def link(self, instance_name: str, table: str) -> None:
+        """Link an instance to a table and summarize its existing rows."""
+        self.catalog.link(instance_name, table)
+        self.manager.summarize_table(instance_name, table)
+
+    def unlink(self, instance_name: str, table: str) -> None:
+        """Unlink an instance from a table, dropping its state there."""
+        self.manager.drop_caches()
+        self.catalog.unlink(instance_name, table)
+
+    # -- queries ----------------------------------------------------------
+
+    def query(self, sql: str, trace: bool = False) -> QueryResult:
+        """Run a SQL query; the result carries summaries and a QID."""
+        statement = parse_sql(sql)
+        self._flatten_subqueries(statement)
+        logical = build_logical(statement, self.planner)
+        return self.execute_logical(logical, sql=sql, trace=trace)
+
+    def flatten_predicate(self, expression: Any) -> Any:
+        """Flatten any IN-subqueries inside a standalone predicate.
+
+        Used by statement paths that evaluate predicates directly (e.g.
+        ``DELETE FROM ... WHERE x IN (SELECT ...)``).
+        """
+        from repro.engine.subqueries import flatten_expression
+
+        return flatten_expression(expression, self._run_in_subquery)
+
+    def _run_in_subquery(self, sub_statement: Any) -> tuple[Any, ...]:
+        """Execute one uncorrelated IN-subquery; returns its values."""
+        self._flatten_subqueries(sub_statement)
+        logical = build_logical(sub_statement, self.planner)
+        prepared = self.planner.prepare(logical)
+        operator = self.planner.physical(prepared)
+        if len(operator.schema) != 1:
+            from repro.errors import SQLSyntaxError
+
+            raise SQLSyntaxError(
+                "an IN subquery must select exactly one column, got "
+                f"{len(operator.schema)}"
+            )
+        return tuple(row.values[0] for row in operator)
+
+    def _flatten_subqueries(self, statement: Any) -> None:
+        """Replace IN (SELECT ...) predicates with literal IN lists.
+
+        Uncorrelated subqueries run once, eagerly; their single output
+        column's values become the IN list.  Applied to WHERE, HAVING,
+        and JOIN..ON predicates of every SELECT core.
+        """
+        from repro.engine.sqlparser import CompoundSelect
+        from repro.engine.subqueries import flatten_expression
+
+        run_subquery = self._run_in_subquery
+        if isinstance(statement, CompoundSelect):
+            for part in statement.parts:
+                self._flatten_subqueries(part)
+            return
+        if statement.where is not None:
+            statement.where = flatten_expression(statement.where, run_subquery)
+        if statement.having is not None:
+            statement.having = flatten_expression(statement.having, run_subquery)
+        statement.joins = [
+            (table, alias, flatten_expression(predicate, run_subquery), outer)
+            for table, alias, predicate, outer in statement.joins
+        ]
+
+    def execute_logical(
+        self, logical: PlanNode, sql: str = "", trace: bool = False
+    ) -> QueryResult:
+        """Run a programmatically built logical plan."""
+        prepared = self.planner.prepare(logical)
+        tracer = Tracer() if trace else None
+        operator = self.planner.physical(prepared, tracer)
+        result = execute_plan(
+            operator, qid=self.results.next_qid(), sql=sql, logical=prepared
+        )
+        result.trace = tracer
+        self.results.register(result)
+        self.cache.put(result)
+        return result
+
+    def execute(self, statement: str) -> Any:
+        """Run any supported statement: SELECT, ZOOMIN, CREATE TABLE,
+        INSERT INTO, DELETE FROM.
+
+        Returns a :class:`QueryResult` for SELECT, a
+        :class:`~repro.zoomin.executor.ZoomInResult` for ZOOMIN, and a
+        status string for DDL/DML.
+        """
+        from repro.engine.ddl import execute_statement
+
+        return execute_statement(self, statement)
+
+    def explain(self, sql: str) -> str:
+        """The prepared (normalized) logical plan for ``sql``."""
+        statement = parse_sql(sql)
+        logical = build_logical(statement, self.planner)
+        return self.planner.prepare(logical).render()
+
+    # -- zoom-in ---------------------------------------------------------
+
+    def zoomin(self, command: str | ZoomInCommand) -> ZoomInResult:
+        """Execute a ZOOMIN command against a previous result."""
+        return self._zoomin.execute(command)
+
+    # -- monitoring --------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """A snapshot of the session's operational counters.
+
+        Groups the numbers an operator would watch: data volumes,
+        maintenance activity (incl. the summarize-once cache), and
+        zoom-in cache behaviour.
+        """
+        contribution_stats = self.manager.contributions.stats
+        return {
+            "tables": len(self.db.tables()),
+            "rows": sum(self.db.row_count(t) for t in self.db.tables()),
+            "annotations": self.annotations.count(),
+            "annotation_bytes": self.annotations.total_text_bytes(),
+            "summary_instances": len(self.catalog.instance_names()),
+            "summary_links": len(self.catalog.links()),
+            "summary_state_bytes": self.catalog.summary_bytes(),
+            "maintenance": self.manager.stats.as_dict(),
+            "summarize_once": {
+                "hits": contribution_stats.hits,
+                "misses": contribution_stats.misses,
+                "bypasses": contribution_stats.bypasses,
+                "hit_ratio": contribution_stats.hit_ratio,
+            },
+            "queries_registered": len(self.results),
+            "zoomin_cache": {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "hit_ratio": self.cache.stats.hit_ratio,
+                "evictions": self.cache.stats.evictions,
+                "bytes_used": self.cache.bytes_used,
+                "capacity_bytes": self.cache.capacity_bytes,
+            },
+        }

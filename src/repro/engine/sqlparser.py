@@ -1,0 +1,651 @@
+"""A small SQL dialect for InsightNotes.
+
+Supports the query classes the demonstration exercises: select-project-join
+with conjunctive/disjunctive predicates, DISTINCT, GROUP BY with COUNT /
+SUM / AVG / MIN / MAX and HAVING, ORDER BY, LIMIT, LIKE, IN, arithmetic,
+and the summary functions ``SUMMARY_COUNT(...)`` / ``GROUP_COUNT(...)`` in
+predicates and ORDER BY.
+
+The parser is purely syntactic: it produces a :class:`SelectStatement` IR;
+:func:`build_logical` then constructs the logical plan (it needs catalog
+schemas, supplied through the planner).  Dialect restrictions, by design:
+
+* the select list contains columns, aggregates, or ``*`` — computed
+  expressions belong in WHERE / HAVING / ORDER BY;
+* ORDER BY keys must be selected columns, canonical aggregate names, or
+  summary functions (sorting happens after projection).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.engine import plan as lp
+from repro.engine.expressions import (
+    Arithmetic,
+    BooleanOp,
+    Column,
+    Comparison,
+    Expression,
+    GroupCount,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    ScalarFunction,
+    SummaryCount,
+    conjunction,
+    resolve_column,
+)
+from repro.errors import SQLSyntaxError
+
+_KEYWORDS = frozenset(
+    """
+    select distinct from where group by having order limit and or not like
+    in join inner left outer on as asc desc union all between is null
+    with summaries no
+    """.split()
+)
+
+_AGGREGATE_NAMES = frozenset(lp.AGGREGATE_FUNCTIONS)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)
+  | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\*|\+|-|/)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op" | "eof"
+    value: str
+    position: int
+
+
+def tokenize_sql(text: str) -> list[Token]:
+    """Lex ``text`` into tokens, raising on unrecognized input."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {text[position]!r}", position
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        kind = match.lastgroup or "op"
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append(Token("keyword", value.lower(), match.start()))
+        else:
+            tokens.append(Token(kind, value, match.start()))
+    tokens.append(Token("eof", "", len(text)))
+    return tokens
+
+
+@dataclass
+class SelectStatement:
+    """Parsed form of a SELECT statement."""
+
+    select_star: bool
+    select_items: list[tuple[str, object]]  # ("column", Column)|("aggregate", Aggregate)
+    distinct: bool
+    tables: list[tuple[str, str]]  # (table, alias)
+    joins: list[tuple[str, str, Expression, bool]]  # (+ outer flag)
+    where: Expression | None
+    group_by: list[str]
+    having: Expression | None
+    order_by: list[tuple[Expression, bool]]  # (key, descending)
+    limit: int | None
+    #: None = all linked instances; () = none; otherwise the named subset.
+    summary_instances: tuple[str, ...] | None = None
+
+    @property
+    def is_grouped(self) -> bool:
+        """True for aggregate queries (explicit GROUP BY or bare aggregates)."""
+        return bool(self.group_by) or any(
+            kind == "aggregate" for kind, _ in self.select_items
+        )
+
+
+@dataclass
+class CompoundSelect:
+    """A UNION [ALL] chain with trailing ORDER BY / LIMIT."""
+
+    parts: list[SelectStatement]
+    all_flags: list[bool]  # one per UNION; True = UNION ALL
+    order_by: list[tuple[Expression, bool]]
+    limit: int | None
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers -----------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _check(self, kind: str, value: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            wanted = value or kind
+            raise SQLSyntaxError(
+                f"expected {wanted!r}, found {self._current.value!r}",
+                self._current.position,
+            )
+        return token
+
+    def _fail(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, self._current.position)
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement | CompoundSelect:
+        first = self._parse_select_core()
+        parts = [first]
+        all_flags: list[bool] = []
+        while self._accept("keyword", "union"):
+            all_flags.append(self._accept("keyword", "all") is not None)
+            parts.append(self._parse_select_core())
+        order_by = self._parse_order_by_clause()
+        limit = self._parse_limit_clause()
+        self._expect("eof")
+        if len(parts) == 1:
+            first.order_by = order_by
+            first.limit = limit
+            return first
+        return CompoundSelect(
+            parts=parts, all_flags=all_flags, order_by=order_by, limit=limit
+        )
+
+    def _parse_order_by_clause(self) -> list[tuple[Expression, bool]]:
+        order_by: list[tuple[Expression, bool]] = []
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            order_by.append(self._parse_order_item())
+            while self._accept("op", ","):
+                order_by.append(self._parse_order_item())
+        return order_by
+
+    def _parse_limit_clause(self) -> int | None:
+        if not self._accept("keyword", "limit"):
+            return None
+        token = self._expect("number")
+        if "." in token.value:
+            raise SQLSyntaxError("LIMIT must be an integer", token.position)
+        return int(token.value)
+
+    def _parse_select_core(self) -> SelectStatement:
+        self._expect("keyword", "select")
+        distinct = self._accept("keyword", "distinct") is not None
+        select_star, select_items = self._parse_select_list()
+        self._expect("keyword", "from")
+        tables = [self._parse_table_ref()]
+        while self._accept("op", ","):
+            tables.append(self._parse_table_ref())
+        joins: list[tuple[str, str, Expression, bool]] = []
+        while (
+            self._check("keyword", "join")
+            or self._check("keyword", "inner")
+            or self._check("keyword", "left")
+        ):
+            outer = False
+            if self._accept("keyword", "left"):
+                self._accept("keyword", "outer")
+                outer = True
+            else:
+                self._accept("keyword", "inner")
+            self._expect("keyword", "join")
+            table, alias = self._parse_table_ref()
+            self._expect("keyword", "on")
+            joins.append((table, alias, self.parse_expression(), outer))
+        where = None
+        if self._accept("keyword", "where"):
+            where = self.parse_expression()
+        group_by: list[str] = []
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by.append(self._expect("ident").value)
+            while self._accept("op", ","):
+                group_by.append(self._expect("ident").value)
+        having = None
+        if self._accept("keyword", "having"):
+            having = self.parse_expression()
+        summary_instances = self._parse_with_summaries()
+        return SelectStatement(
+            select_star=select_star,
+            select_items=select_items,
+            distinct=distinct,
+            tables=tables,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=[],
+            limit=None,
+            summary_instances=summary_instances,
+        )
+
+    def _parse_with_summaries(self) -> tuple[str, ...] | None:
+        """``WITH SUMMARIES (a, b)`` or ``WITH NO SUMMARIES``."""
+        if not self._accept("keyword", "with"):
+            return None
+        if self._accept("keyword", "no"):
+            self._expect("keyword", "summaries")
+            return ()
+        self._expect("keyword", "summaries")
+        self._expect("op", "(")
+        names = [self._expect("ident").value]
+        while self._accept("op", ","):
+            names.append(self._expect("ident").value)
+        self._expect("op", ")")
+        return tuple(names)
+
+    def _parse_select_list(self) -> tuple[bool, list[tuple[str, object]]]:
+        if self._accept("op", "*"):
+            return True, []
+        items = [self._parse_select_item()]
+        while self._accept("op", ","):
+            items.append(self._parse_select_item())
+        return False, items
+
+    def _parse_select_item(self) -> tuple[str, object]:
+        token = self._current
+        if token.kind == "ident" and token.value.lower() in _AGGREGATE_NAMES:
+            peek = self._tokens[self._index + 1]
+            if peek.kind == "op" and peek.value == "(":
+                return "aggregate", self._parse_aggregate()
+        expression = self.parse_expression()
+        alias = None
+        if self._accept("keyword", "as"):
+            alias = self._expect("ident").value
+            if "." in alias:
+                raise SQLSyntaxError(f"aliases cannot be qualified: {alias!r}")
+        if isinstance(expression, Column) and alias is None:
+            return "column", expression
+        return "expr", (expression, alias)
+
+    def _parse_aggregate(self) -> lp.Aggregate:
+        function = self._expect("ident").value.lower()
+        self._expect("op", "(")
+        if self._accept("op", "*"):
+            self._expect("op", ")")
+            if function != "count":
+                raise self._fail(f"{function.upper()}(*) is not supported")
+            return lp.Aggregate("count", None)
+        argument = Column(self._expect("ident").value)
+        self._expect("op", ")")
+        return lp.Aggregate(function, argument)
+
+    def _parse_order_item(self) -> tuple[Expression, bool]:
+        token = self._current
+        key: Expression
+        if token.kind == "ident" and token.value.lower() in _AGGREGATE_NAMES:
+            peek = self._tokens[self._index + 1]
+            if peek.kind == "op" and peek.value == "(":
+                aggregate = self._parse_aggregate()
+                key = Column(aggregate.output_name)
+            else:
+                key = self.parse_expression()
+        else:
+            key = self.parse_expression()
+        descending = False
+        if self._accept("keyword", "desc"):
+            descending = True
+        else:
+            self._accept("keyword", "asc")
+        return key, descending
+
+    def _parse_table_ref(self) -> tuple[str, str]:
+        table_token = self._expect("ident")
+        if "." in table_token.value:
+            raise SQLSyntaxError(
+                f"table names cannot be qualified: {table_token.value!r}",
+                table_token.position,
+            )
+        table = table_token.value
+        self._accept("keyword", "as")
+        alias_token = self._accept("ident")
+        alias = table
+        if alias_token is not None:
+            if "." in alias_token.value:
+                raise SQLSyntaxError(
+                    f"aliases cannot be qualified: {alias_token.value!r}",
+                    alias_token.position,
+                )
+            alias = alias_token.value
+        return table, alias
+
+    # -- expressions -------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._accept("keyword", "or"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("or", tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_not()]
+        while self._accept("keyword", "and"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("and", tuple(operands))
+
+    def _parse_not(self) -> Expression:
+        if self._accept("keyword", "not"):
+            return Not(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        token = self._current
+        if token.kind == "op" and token.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self._advance()
+            operator = "!=" if token.value == "<>" else token.value
+            return Comparison(operator, left, self._parse_additive())
+        if self._accept("keyword", "like"):
+            pattern = self._expect("string")
+            return Like(left, _unquote(pattern.value))
+        if self._accept("keyword", "between"):
+            low = self._parse_additive()
+            self._expect("keyword", "and")
+            high = self._parse_additive()
+            return BooleanOp(
+                "and",
+                (Comparison(">=", left, low), Comparison("<=", left, high)),
+            )
+        if self._accept("keyword", "is"):
+            negated = self._accept("keyword", "not") is not None
+            self._expect("keyword", "null")
+            return IsNull(left, negated=negated)
+        if self._accept("keyword", "in"):
+            self._expect("op", "(")
+            if self._check("keyword", "select"):
+                statement = self._parse_select_core()
+                self._expect("op", ")")
+                return InSubquery(left, statement)
+            values = [self._parse_literal_value()]
+            while self._accept("op", ","):
+                values.append(self._parse_literal_value())
+            self._expect("op", ")")
+            return InList(left, tuple(values))
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_term()
+        while self._check("op", "+") or self._check("op", "-"):
+            operator = self._advance().value
+            left = Arithmetic(operator, left, self._parse_term())
+        return left
+
+    def _parse_term(self) -> Expression:
+        left = self._parse_factor()
+        while self._check("op", "*") or self._check("op", "/"):
+            operator = self._advance().value
+            left = Arithmetic(operator, left, self._parse_factor())
+        return left
+
+    def _parse_factor(self) -> Expression:
+        if self._accept("op", "("):
+            inner = self.parse_expression()
+            self._expect("op", ")")
+            return inner
+        if self._check("number"):
+            return Literal(_parse_number(self._advance().value))
+        if self._check("string"):
+            return Literal(_unquote(self._advance().value))
+        if self._accept("keyword", "null"):
+            return Literal(None)
+        if self._check("op", "-"):
+            self._advance()
+            operand = self._parse_factor()
+            return Arithmetic("-", Literal(0), operand)
+        token = self._expect("ident")
+        lowered = token.value.lower()
+        if lowered in ("summary_count", "group_count") and self._check("op", "("):
+            return self._parse_summary_function(lowered)
+        if lowered in ("lower", "upper", "length", "abs", "round") and self._check(
+            "op", "("
+        ):
+            self._expect("op", "(")
+            operand = self.parse_expression()
+            self._expect("op", ")")
+            return ScalarFunction(lowered, operand)
+        if lowered in _AGGREGATE_NAMES and self._check("op", "("):
+            # An aggregate inside HAVING / ORDER BY references the grouped
+            # output column by its canonical name.
+            self._index -= 1
+            aggregate = self._parse_aggregate()
+            return Column(aggregate.output_name)
+        return Column(token.value)
+
+    def _parse_summary_function(self, name: str) -> Expression:
+        self._expect("op", "(")
+        instance = _unquote(self._expect("string").value)
+        label: str | None = None
+        if self._accept("op", ","):
+            label = _unquote(self._expect("string").value)
+        self._expect("op", ")")
+        if name == "group_count":
+            if label is not None:
+                raise self._fail("GROUP_COUNT takes a single instance argument")
+            return GroupCount(instance)
+        return SummaryCount(instance, label)
+
+    def _parse_literal_value(self):
+        if self._check("number"):
+            return _parse_number(self._advance().value)
+        if self._check("string"):
+            return _unquote(self._advance().value)
+        raise self._fail("expected a literal in IN list")
+
+
+def _parse_number(text: str) -> int | float:
+    return float(text) if "." in text else int(text)
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace("''", "'")
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse a SELECT statement into its IR."""
+    return _Parser(tokenize_sql(text)).parse_statement()
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone expression (used by ZOOMIN WHERE clauses)."""
+    parser = _Parser(tokenize_sql(text))
+    expression = parser.parse_expression()
+    parser._expect("eof")
+    return expression
+
+
+def continue_expression(
+    tokens: list[Token], index: int
+) -> tuple[Expression, int]:
+    """Parse one expression starting at ``tokens[index]``.
+
+    Returns the expression and the index of the first unconsumed token.
+    Lets other command languages (ZOOMIN) embed SQL expressions.
+    """
+    parser = _Parser(tokens)
+    parser._index = index
+    expression = parser.parse_expression()
+    return expression, parser._index
+
+
+def build_logical(
+    statement: SelectStatement | CompoundSelect, planner
+) -> lp.PlanNode:
+    """Construct the logical plan for a parsed statement.
+
+    ``planner`` supplies schema inference (:meth:`Planner.schema_of`) for
+    validating grouped select lists and expanding ``*``.
+    """
+    if isinstance(statement, CompoundSelect):
+        return _build_compound(statement, planner)
+    seen_aliases: set[str] = set()
+    node: lp.PlanNode | None = None
+    instances = statement.summary_instances
+    for table, alias in statement.tables:
+        if alias in seen_aliases:
+            raise SQLSyntaxError(f"duplicate alias {alias!r}")
+        seen_aliases.add(alias)
+        scan = lp.Scan(table, alias, instances)
+        node = scan if node is None else lp.Join(node, scan, None)
+    assert node is not None
+    for table, alias, predicate, outer in statement.joins:
+        if alias in seen_aliases:
+            raise SQLSyntaxError(f"duplicate alias {alias!r}")
+        seen_aliases.add(alias)
+        node = lp.Join(node, lp.Scan(table, alias, instances), predicate, outer)
+    if statement.where is not None:
+        node = lp.Select(node, statement.where)
+
+    if statement.is_grouped:
+        node = _build_grouped(statement, node, planner)
+    elif not statement.select_star:
+        if any(kind == "expr" for kind, _ in statement.select_items):
+            node = _build_computed(statement, node, planner)
+        else:
+            columns = tuple(
+                item.name
+                for kind, item in statement.select_items
+                if isinstance(item, Column)
+            )
+            node = lp.Project(node, columns)
+    if statement.distinct:
+        node = lp.Distinct(node)
+    if statement.order_by:
+        keys = tuple(key for key, _ in statement.order_by)
+        descending = tuple(desc for _, desc in statement.order_by)
+        node = lp.Sort(node, keys, descending)
+    if statement.limit is not None:
+        node = lp.Limit(node, statement.limit)
+    return node
+
+
+def _build_computed(
+    statement: SelectStatement, child: lp.PlanNode, planner
+) -> lp.PlanNode:
+    """Expression select list -> a Compute node over the FROM tree."""
+    child_schema = planner.schema_of(child)
+    items: list[tuple[Expression, str]] = []
+    for kind, item in statement.select_items:
+        if kind == "column":
+            assert isinstance(item, Column)
+            qualified = child_schema[resolve_column(child_schema, item.name)]
+            items.append((item, qualified))
+        else:
+            expression, alias = item  # type: ignore[misc]
+            items.append((expression, alias or str(expression)))
+    names = [name for _, name in items]
+    if len(set(names)) != len(names):
+        raise SQLSyntaxError(
+            f"duplicate output columns in select list: {names}; use AS"
+        )
+    return lp.Compute(child, tuple(items))
+
+
+def _build_grouped(
+    statement: SelectStatement, child: lp.PlanNode, planner
+) -> lp.PlanNode:
+    if any(kind == "expr" for kind, _ in statement.select_items):
+        raise SQLSyntaxError(
+            "computed select items cannot be combined with aggregation"
+        )
+    child_schema = planner.schema_of(child)
+    key_resolved = {
+        child_schema[resolve_column(child_schema, key)] for key in statement.group_by
+    }
+    aggregates: list[lp.Aggregate] = []
+    output_columns: list[str] = []
+    for kind, item in statement.select_items:
+        if kind == "aggregate":
+            assert isinstance(item, lp.Aggregate)
+            aggregates.append(item)
+            if item.argument is None:
+                output_columns.append("count(*)")
+            else:
+                index = resolve_column(child_schema, item.argument.name)
+                output_columns.append(f"{item.function}({child_schema[index]})")
+        else:
+            assert isinstance(item, Column)
+            resolved = child_schema[resolve_column(child_schema, item.name)]
+            if resolved not in key_resolved:
+                raise SQLSyntaxError(
+                    f"column {item.name!r} must appear in GROUP BY"
+                )
+            output_columns.append(resolved)
+    if statement.select_star:
+        raise SQLSyntaxError("SELECT * cannot be combined with GROUP BY")
+    grouped = lp.GroupBy(
+        child,
+        keys=tuple(statement.group_by),
+        aggregates=tuple(aggregates),
+        having=statement.having,
+    )
+    grouped_schema = planner.schema_of(grouped)
+    if tuple(output_columns) == grouped_schema:
+        return grouped
+    return lp.Project(grouped, tuple(output_columns))
+
+
+def _build_compound(compound: CompoundSelect, planner) -> lp.PlanNode:
+    """Left-deep UNION chain with trailing ORDER BY / LIMIT."""
+    node = build_logical(compound.parts[0], planner)
+    width = len(planner.schema_of(node))
+    for part, all_flag in zip(compound.parts[1:], compound.all_flags):
+        right = build_logical(part, planner)
+        if len(planner.schema_of(right)) != width:
+            raise SQLSyntaxError(
+                "UNION arms must select the same number of columns"
+            )
+        node = lp.Union(node, right, distinct=not all_flag)
+    if compound.order_by:
+        keys = tuple(key for key, _ in compound.order_by)
+        descending = tuple(desc for _, desc in compound.order_by)
+        node = lp.Sort(node, keys, descending)
+    if compound.limit is not None:
+        node = lp.Limit(node, compound.limit)
+    return node

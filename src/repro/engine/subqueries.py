@@ -1,0 +1,104 @@
+"""Uncorrelated subquery flattening.
+
+The dialect supports ``operand IN (SELECT single_column FROM ...)`` for
+uncorrelated subqueries.  Before planning, the session executes each
+subquery once and substitutes an :class:`~repro.engine.expressions.InList`
+over its values — the classical flattening rewrite.  This module holds
+the expression-tree rewriter; the execution callback is supplied by the
+session (it owns planner access).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.engine.expressions import (
+    Arithmetic,
+    BooleanOp,
+    Comparison,
+    Expression,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Not,
+    ScalarFunction,
+)
+
+#: Executes a SelectStatement and returns its single column's values.
+SubqueryRunner = Callable[[Any], tuple[Any, ...]]
+
+
+def flatten_expression(
+    expression: Expression, run_subquery: SubqueryRunner
+) -> Expression:
+    """Return ``expression`` with every :class:`InSubquery` flattened.
+
+    Composite nodes are rebuilt only when a child changed, so trees
+    without subqueries come back identical (cheap common case).
+    """
+    if isinstance(expression, InSubquery):
+        operand = flatten_expression(expression.operand, run_subquery)
+        values = run_subquery(expression.statement)
+        return InList(operand, tuple(values))
+    if isinstance(expression, BooleanOp):
+        operands = tuple(
+            flatten_expression(part, run_subquery)
+            for part in expression.operands
+        )
+        if operands == expression.operands:
+            return expression
+        return BooleanOp(expression.op, operands)
+    if isinstance(expression, Not):
+        operand = flatten_expression(expression.operand, run_subquery)
+        return expression if operand is expression.operand else Not(operand)
+    if isinstance(expression, Comparison):
+        left = flatten_expression(expression.left, run_subquery)
+        right = flatten_expression(expression.right, run_subquery)
+        if left is expression.left and right is expression.right:
+            return expression
+        return Comparison(expression.op, left, right)
+    if isinstance(expression, Arithmetic):
+        left = flatten_expression(expression.left, run_subquery)
+        right = flatten_expression(expression.right, run_subquery)
+        if left is expression.left and right is expression.right:
+            return expression
+        return Arithmetic(expression.op, left, right)
+    if isinstance(expression, Like):
+        operand = flatten_expression(expression.operand, run_subquery)
+        if operand is expression.operand:
+            return expression
+        return Like(operand, expression.pattern)
+    if isinstance(expression, IsNull):
+        operand = flatten_expression(expression.operand, run_subquery)
+        if operand is expression.operand:
+            return expression
+        return IsNull(operand, expression.negated)
+    if isinstance(expression, InList):
+        operand = flatten_expression(expression.operand, run_subquery)
+        if operand is expression.operand:
+            return expression
+        return InList(operand, expression.values)
+    if isinstance(expression, ScalarFunction):
+        operand = flatten_expression(expression.operand, run_subquery)
+        if operand is expression.operand:
+            return expression
+        return ScalarFunction(expression.name, operand)
+    # Leaves (Column, Literal, summary functions) contain no subqueries.
+    return expression
+
+
+def contains_subquery(expression: Expression) -> bool:
+    """True when the tree contains at least one :class:`InSubquery`."""
+    if isinstance(expression, InSubquery):
+        return True
+    for attribute in ("operand", "left", "right"):
+        child = getattr(expression, attribute, None)
+        if isinstance(child, Expression) and contains_subquery(child):
+            return True
+    operands = getattr(expression, "operands", ())
+    return any(
+        isinstance(part, Expression) and contains_subquery(part)
+        for part in operands
+    )

@@ -1,0 +1,26 @@
+"""InsightNotesGate — the interactive front-end.
+
+The paper demonstrates an Excel-based GUI; this package provides the
+terminal equivalent with the same operations: querying (SQL and a
+query-by-example helper), visualizing the annotation summaries attached to
+result rows, adding annotations, linking/unlinking summary instances, the
+ZOOMIN command, and the under-the-hood operator trace view.
+
+:mod:`repro.gate.render` holds the pure formatting functions;
+:mod:`repro.gate.cli` wires them into a REPL (installed as the
+``insightnotes-gate`` console script).
+"""
+
+from repro.gate.render import (
+    render_result,
+    render_summaries,
+    render_trace,
+    render_zoomin,
+)
+
+__all__ = [
+    "render_result",
+    "render_summaries",
+    "render_trace",
+    "render_zoomin",
+]

@@ -1,0 +1,118 @@
+"""Plain-text rendering of results, summaries, traces, and zoom-ins.
+
+These functions are pure (value in, string out) so the REPL, the examples,
+and the tests all share one rendering path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.operators import Tracer
+from repro.engine.results import QueryResult
+from repro.model.tuple import AnnotatedTuple
+from repro.zoomin.executor import ZoomInResult
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_table(columns: tuple[str, ...], rows: list[tuple[Any, ...]]) -> str:
+    """An ASCII table of ``rows`` under ``columns``."""
+    headers = list(columns)
+    rendered_rows = [[_format_value(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    separator = "+" + "+".join("-" * (width + 2) for width in widths) + "+"
+    lines = [separator]
+    lines.append(
+        "|"
+        + "|".join(f" {header.ljust(width)} " for header, width in zip(headers, widths))
+        + "|"
+    )
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(
+            "|"
+            + "|".join(f" {cell.ljust(width)} " for cell, width in zip(row, widths))
+            + "|"
+        )
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def render_result(result: QueryResult, max_rows: int = 50) -> str:
+    """Tabular rendering of a query result with its QID header."""
+    shown = result.tuples[:max_rows]
+    table = render_table(result.columns, [row.values for row in shown])
+    footer = f"{len(result)} row(s), QID = {result.qid}"
+    if len(result) > max_rows:
+        footer += f" (showing first {max_rows})"
+    return f"{table}\n{footer}"
+
+
+def render_summaries(row: AnnotatedTuple) -> str:
+    """The "Visualize Annotation Summaries" window for one result row.
+
+    Summaries are grouped into the three sections of the GUI window:
+    Classifier-Type, Cluster-Type, and Snippet-Type.
+    """
+    sections: dict[str, list[str]] = {}
+    for _name, obj in sorted(row.summaries.items()):
+        sections.setdefault(f"{obj.type_name}-Type", []).append(obj.render())
+    if not sections:
+        return "(no summary instances linked)"
+    lines: list[str] = []
+    for section in ("Classifier-Type", "Cluster-Type", "Snippet-Type"):
+        if section in sections:
+            lines.append(f"== {section} ==")
+            lines.extend(f"  {entry}" for entry in sections.pop(section))
+    for section, entries in sorted(sections.items()):  # custom types
+        lines.append(f"== {section} ==")
+        lines.extend(f"  {entry}" for entry in entries)
+    return "\n".join(lines)
+
+
+def render_trace(tracer: Tracer, max_per_operator: int = 8) -> str:
+    """The under-the-hood view: intermediate tuples per operator."""
+    lines: list[str] = []
+    for operator, entries in tracer.by_operator().items():
+        lines.append(f"-- {operator} ({len(entries)} tuple(s))")
+        for entry in entries[:max_per_operator]:
+            lines.append(f"   {entry.values}")
+            for name, rendering in entry.summaries.items():
+                lines.append(f"     {rendering}")
+        if len(entries) > max_per_operator:
+            lines.append(f"   ... {len(entries) - max_per_operator} more")
+    return "\n".join(lines) if lines else "(no trace recorded)"
+
+
+def render_zoomin(result: ZoomInResult, max_annotations: int = 20) -> str:
+    """Rendering of a zoom-in expansion: components and raw annotations."""
+    lines = [
+        f"ZoomIn on {result.command.instance}"
+        + (f" index {result.command.index}" if result.command.index else "")
+        + f" (QID {result.command.qid}, "
+        + ("cache hit" if result.cache_hit else "cache miss")
+        + ")"
+    ]
+    for match in result.matches:
+        lines.append(
+            f"* tuple {match.values} -> [{match.component.label}] "
+            f"{match.component.count} annotation(s)"
+        )
+        for annotation in match.annotations[:max_annotations]:
+            preview = annotation.display_title()
+            lines.append(f"    #{annotation.annotation_id} ({annotation.author}): {preview}")
+        if len(match.annotations) > max_annotations:
+            lines.append(f"    ... {len(match.annotations) - max_annotations} more")
+    if not result.matches:
+        lines.append("(no tuples matched)")
+    return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Incremental summary maintenance.
+
+:class:`SummaryManager` is the single write path for summary state.  When
+an annotation is inserted it:
+
+1. groups the annotation's attached cells by base row,
+2. for every summary instance linked to an affected table, loads (or
+   creates) the row's summary object,
+3. obtains the annotation's contribution — through the summarize-once
+   cache when the instance's invariant properties allow — and folds it in,
+4. persists the updated object (write-through by default; deferrable for
+   bulk loads).
+
+Deletion reverses the effect: ids are removed from the objects, and cluster
+groups re-elect representatives from their heavy state.
+
+The manager keeps a bounded in-memory object cache so a burst of
+annotations on the same hot rows does not round-trip JSON through SQLite
+for every insert.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.model.annotation import Annotation
+from repro.model.cell import CellRef
+from repro.storage.annotations import AnnotationStore
+from repro.storage.catalog import SummaryCatalog
+from repro.storage.database import Database
+from repro.summaries.base import SummaryInstance, SummaryObject
+from repro.summaries.cluster import ClusterSummary
+from repro.maintenance.invariants import ContributionCache
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters exposed to the maintenance benchmarks."""
+
+    annotations_processed: int = 0
+    objects_updated: int = 0
+    objects_created: int = 0
+    object_cache_hits: int = 0
+    object_cache_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reporting."""
+        return {
+            "annotations_processed": self.annotations_processed,
+            "objects_updated": self.objects_updated,
+            "objects_created": self.objects_created,
+            "object_cache_hits": self.object_cache_hits,
+            "object_cache_misses": self.object_cache_misses,
+        }
+
+
+class SummaryManager:
+    """Keeps persisted summary objects current under annotation traffic.
+
+    Parameters
+    ----------
+    database, annotations, catalog:
+        The shared storage stack.
+    write_through:
+        Persist each updated object immediately (default).  Bulk loaders
+        may disable this and call :meth:`flush` once at the end.
+    object_cache_size:
+        Maximum number of summary objects kept hot in memory.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        annotations: AnnotationStore,
+        catalog: SummaryCatalog,
+        write_through: bool = True,
+        object_cache_size: int = 4096,
+    ) -> None:
+        if object_cache_size < 1:
+            raise ValueError(
+                f"object_cache_size must be >= 1, got {object_cache_size}"
+            )
+        self._db = database
+        self._annotations = annotations
+        self._catalog = catalog
+        self.write_through = write_through
+        self.contributions = ContributionCache()
+        self.stats = MaintenanceStats()
+        self._object_cache_size = object_cache_size
+        # (instance, table, row_id) -> object; OrderedDict gives LRU order.
+        self._objects: OrderedDict[tuple[str, str, int], SummaryObject] = OrderedDict()
+        self._dirty: set[tuple[str, str, int]] = set()
+        # (table, row_id) -> annotation id -> columns; the scan hot path.
+        self._attachments: OrderedDict[
+            tuple[str, int], dict[int, frozenset[str]]
+        ] = OrderedDict()
+
+    # -- object cache ---------------------------------------------------
+
+    def _get_object(
+        self, instance: SummaryInstance, table: str, row_id: int
+    ) -> SummaryObject:
+        key = (instance.name, table, row_id)
+        if key in self._objects:
+            self._objects.move_to_end(key)
+            self.stats.object_cache_hits += 1
+            return self._objects[key]
+        self.stats.object_cache_misses += 1
+        obj = self._catalog.load_object(instance.name, table, row_id)
+        if obj is None:
+            obj = instance.new_object()
+            self.stats.objects_created += 1
+        self._objects[key] = obj
+        self._evict_if_needed()
+        return obj
+
+    def _evict_if_needed(self) -> None:
+        while len(self._objects) > self._object_cache_size:
+            key, obj = self._objects.popitem(last=False)
+            if key in self._dirty:
+                self._catalog.save_object(key[0], key[1], key[2], obj)
+                self._dirty.discard(key)
+
+    def _mark_updated(self, key: tuple[str, str, int]) -> None:
+        self.stats.objects_updated += 1
+        obj = self._objects[key]
+        if self.write_through:
+            self._catalog.save_object(key[0], key[1], key[2], obj)
+        else:
+            self._dirty.add(key)
+
+    def flush(self) -> int:
+        """Persist all deferred updates; returns how many were written."""
+        written = 0
+        for key in sorted(self._dirty):
+            obj = self._objects.get(key)
+            if obj is not None:
+                self._catalog.save_object(key[0], key[1], key[2], obj)
+                written += 1
+        self._dirty.clear()
+        return written
+
+    def drop_caches(self) -> None:
+        """Flush and empty the object cache (tests, memory pressure)."""
+        self.flush()
+        self._objects.clear()
+        self._attachments.clear()
+
+    # -- attachment cache ---------------------------------------------
+
+    def attachments_for_row(
+        self, table: str, row_id: int
+    ) -> dict[int, frozenset[str]]:
+        """Cached annotation-to-columns map for one base row.
+
+        The scan operator asks for this once per row per query; caching it
+        here keeps repeated querying off SQLite for rows whose annotations
+        have not changed.  Invalidated by every write-path entry point.
+        """
+        key = (table, row_id)
+        cached = self._attachments.get(key)
+        if cached is not None:
+            self._attachments.move_to_end(key)
+            return cached
+        attachments = self._annotations.attachments_for_row(table, row_id)
+        self._attachments[key] = attachments
+        while len(self._attachments) > self._object_cache_size:
+            self._attachments.popitem(last=False)
+        return attachments
+
+    def _invalidate_attachments(self, table: str, row_id: int) -> None:
+        self._attachments.pop((table, row_id), None)
+
+    # -- write path -------------------------------------------------------
+
+    def on_annotation_added(
+        self, annotation: Annotation, cells: Iterable[CellRef]
+    ) -> int:
+        """Fold a newly stored annotation into all affected summaries.
+
+        Returns the number of summary objects updated.
+        """
+        self.stats.annotations_processed += 1
+        rows: dict[tuple[str, int], None] = {}
+        for cell in cells:
+            rows.setdefault((cell.table, cell.row_id), None)
+        updated = 0
+        for table, row_id in rows:
+            self._invalidate_attachments(table, row_id)
+            for instance in self._catalog.instances_for_table(table):
+                obj = self._get_object(instance, table, row_id)
+                if annotation.annotation_id in obj.annotation_ids():
+                    continue  # idempotent replay
+                contribution = self.contributions.analyze(instance, annotation)
+                instance.add_to(obj, annotation, contribution)
+                self._mark_updated((instance.name, table, row_id))
+                updated += 1
+        return updated
+
+    def on_annotation_deleted(self, annotation_id: int) -> int:
+        """Remove a deleted annotation's effect from all summaries.
+
+        Must be called *before* the annotation's attachments are removed
+        from the store (it needs them to locate the affected rows).
+        Returns the number of summary objects updated.
+        """
+        affected = self._annotations.rows_for_annotation(annotation_id)
+        self.contributions.invalidate(annotation_id)
+        updated = 0
+        for table, row_id in sorted(affected):
+            self._invalidate_attachments(table, row_id)
+            for instance in self._catalog.instances_for_table(table):
+                obj = self._get_object(instance, table, row_id)
+                if annotation_id not in obj.annotation_ids():
+                    continue
+                obj.remove_annotations({annotation_id})
+                if isinstance(obj, ClusterSummary):
+                    # The centroid moved; re-elect representatives from the
+                    # heavy state kept at maintenance time.
+                    for group in obj.groups:
+                        if group.vectors is not None:
+                            group.rerank()
+                self._mark_updated((instance.name, table, row_id))
+                updated += 1
+        return updated
+
+    def on_row_deleted(self, table: str, row_id: int) -> int:
+        """Drop all summary state of a deleted base row.
+
+        Returns the number of summary objects removed.  The caller is
+        responsible for the annotation-side cascade (deleting or
+        detaching the row's annotations).
+        """
+        removed = 0
+        self._invalidate_attachments(table, row_id)
+        for instance in self._catalog.instances_for_table(table):
+            key = (instance.name, table, row_id)
+            self._objects.pop(key, None)
+            self._dirty.discard(key)
+            self._catalog.delete_object(instance.name, table, row_id)
+            removed += 1
+        return removed
+
+    # -- bootstrap ---------------------------------------------------
+
+    def summarize_table(self, instance_name: str, table: str) -> int:
+        """Build summaries for every existing row of ``table``.
+
+        Used when an instance is linked to a table that already carries
+        annotations — the FIG4 extensibility scenario.  Existing summary
+        state for the pair is replaced.  Returns the number of rows
+        summarized (rows without annotations get no object).
+        """
+        instance = self._catalog.get_instance(instance_name)
+        summarized = 0
+        for row_id, _values in self._db.rows(table):
+            pairs = self._annotations.annotations_for_row(table, row_id)
+            key = (instance.name, table, row_id)
+            self._objects.pop(key, None)
+            self._dirty.discard(key)
+            if not pairs:
+                self._catalog.delete_object(instance.name, table, row_id)
+                continue
+            obj = instance.new_object()
+            for annotation, _columns in pairs:
+                contribution = self.contributions.analyze(instance, annotation)
+                instance.add_to(obj, annotation, contribution)
+            self._catalog.save_object(instance.name, table, row_id, obj)
+            summarized += 1
+        return summarized
+
+    # -- reads --------------------------------------------------------
+
+    def current_object(
+        self, instance_name: str, table: str, row_id: int
+    ) -> SummaryObject | None:
+        """The up-to-date summary object for one row, cache-aware."""
+        key = (instance_name, table, row_id)
+        if key in self._objects:
+            return self._objects[key]
+        return self._catalog.load_object(instance_name, table, row_id)

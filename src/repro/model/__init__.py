@@ -1,0 +1,20 @@
+"""Extended data model of InsightNotes.
+
+The paper's model attaches free-text **annotations** to sets of table cells
+(:class:`~repro.model.cell.CellRef`), and extends every tuple flowing
+through the query engine into an :class:`~repro.model.tuple.AnnotatedTuple`
+that carries its attribute values *plus* the summary objects describing the
+raw annotations on those values.
+"""
+
+from repro.model.annotation import Annotation, AnnotationKind
+from repro.model.cell import CellRef, ColumnRef
+from repro.model.tuple import AnnotatedTuple
+
+__all__ = [
+    "Annotation",
+    "AnnotationKind",
+    "AnnotatedTuple",
+    "CellRef",
+    "ColumnRef",
+]

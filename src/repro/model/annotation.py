@@ -1,0 +1,79 @@
+"""The raw annotation object.
+
+An annotation is free text (possibly a large attached document) created by
+a user over a set of cells.  InsightNotes never ships these through the
+query pipeline — that is the whole point — but they remain the ground truth
+that summaries are computed from and that zoom-in queries drill back into.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AnnotationKind(enum.Enum):
+    """Coarse physical kind of an annotation payload.
+
+    ``COMMENT`` covers ordinary free-text values; ``DOCUMENT`` marks
+    large-object annotations (attached articles, reports) that the Snippet
+    type summarizes.  The kind is physical, not semantic — semantic
+    categories (Behavior, Provenance, ...) are produced by Classifier
+    summary instances.
+    """
+
+    COMMENT = "comment"
+    DOCUMENT = "document"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Annotation:
+    """An immutable raw annotation.
+
+    Parameters
+    ----------
+    annotation_id:
+        Storage-assigned unique id (positive integer).
+    text:
+        The annotation body.  For ``DOCUMENT`` annotations this is the full
+        document text.
+    author:
+        Free-form author identifier (bird watcher, scientist, curator).
+    created_at:
+        Seconds-since-epoch timestamp assigned at insert time.  Stored
+        rather than derived so replays are deterministic.
+    kind:
+        Physical kind, see :class:`AnnotationKind`.
+    title:
+        Optional short title for ``DOCUMENT`` annotations ("Wikipedia
+        article ...", "Experiment E ...").
+    """
+
+    annotation_id: int
+    text: str
+    author: str = "anonymous"
+    created_at: float = 0.0
+    kind: AnnotationKind = AnnotationKind.COMMENT
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        if self.annotation_id <= 0:
+            raise ValueError(
+                f"annotation_id must be positive, got {self.annotation_id}"
+            )
+
+    @property
+    def is_document(self) -> bool:
+        """True for large-object annotations handled by the Snippet type."""
+        return self.kind is AnnotationKind.DOCUMENT
+
+    def display_title(self) -> str:
+        """Title if present, otherwise a truncated body preview."""
+        if self.title:
+            return self.title
+        if len(self.text) <= 60:
+            return self.text
+        return self.text[:57] + "..."

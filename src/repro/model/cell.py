@@ -1,0 +1,45 @@
+"""Cell and column references.
+
+Annotations in InsightNotes attach at *cell granularity*: one annotation may
+cover a single cell, several cells of one tuple, or whole rows (every cell
+of the tuple).  Projection semantics depend on this: when a query projects
+out column ``c``, the effect of every annotation attached **only** to cells
+of ``c`` (and other projected-out columns) must be removed from the tuple's
+summary objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """A ``table.column`` reference."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class CellRef:
+    """A single cell: a column of one stored row.
+
+    ``row_id`` is the storage-level rowid of the base tuple; summaries and
+    annotations are keyed off it, so it must be stable across queries.
+    """
+
+    table: str
+    row_id: int
+    column: str
+
+    @property
+    def column_ref(self) -> ColumnRef:
+        """The column this cell belongs to."""
+        return ColumnRef(self.table, self.column)
+
+    def __str__(self) -> str:
+        return f"{self.table}[{self.row_id}].{self.column}"

@@ -1,0 +1,21 @@
+"""SQLite-backed storage layer.
+
+Hosts the three persistent stores of InsightNotes:
+
+* :class:`~repro.storage.database.Database` — the user's base relations.
+* :class:`~repro.storage.annotations.AnnotationStore` — raw annotations
+  and their cell-level attachments.
+* :class:`~repro.storage.catalog.SummaryCatalog` — summary instance
+  definitions, instance-to-relation links, and the persisted per-tuple
+  summary state objects.
+
+All three share one SQLite connection (file-backed or in-memory), so a
+single database file holds the data, the metadata, and the summaries.
+"""
+
+from repro.storage.annotations import AnnotationStore
+from repro.storage.catalog import SummaryCatalog
+from repro.storage.database import Database
+from repro.storage.schema import TableSchema
+
+__all__ = ["AnnotationStore", "Database", "SummaryCatalog", "TableSchema"]

@@ -1,0 +1,368 @@
+"""Raw annotation storage with cell-level attachments.
+
+Annotations are stored once and attached to any number of cells — possibly
+across tuples and tables (the same observation may apply to several birds).
+The attachment table is indexed both ways: by annotation (for projection
+semantics and deletion) and by cell (for summarization and zoom-in).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import AnnotationError, UnknownAnnotationError
+from repro.model.annotation import Annotation, AnnotationKind
+from repro.model.cell import CellRef
+from repro.storage.database import Database
+from repro.storage.schema import SYSTEM_PREFIX
+
+_ANNOTATIONS_TABLE = f"{SYSTEM_PREFIX}annotations"
+_ATTACHMENTS_TABLE = f"{SYSTEM_PREFIX}attachments"
+
+
+class AnnotationStore:
+    """Persistent store of raw annotations and their attachments."""
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+        connection = database.connection
+        with connection:
+            connection.execute(
+                f"""
+                CREATE TABLE IF NOT EXISTS {_ANNOTATIONS_TABLE} (
+                    annotation_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                    body TEXT NOT NULL,
+                    author TEXT NOT NULL,
+                    created_at REAL NOT NULL,
+                    kind TEXT NOT NULL,
+                    title TEXT NOT NULL DEFAULT ''
+                )
+                """
+            )
+            connection.execute(
+                f"""
+                CREATE TABLE IF NOT EXISTS {_ATTACHMENTS_TABLE} (
+                    annotation_id INTEGER NOT NULL,
+                    table_name TEXT NOT NULL,
+                    row_id INTEGER NOT NULL,
+                    column_name TEXT NOT NULL,
+                    PRIMARY KEY (annotation_id, table_name, row_id, column_name)
+                )
+                """
+            )
+            connection.execute(
+                f"""
+                CREATE INDEX IF NOT EXISTS {_ATTACHMENTS_TABLE}_by_cell
+                ON {_ATTACHMENTS_TABLE} (table_name, row_id)
+                """
+            )
+
+    # -- writes -----------------------------------------------------
+
+    def add(
+        self,
+        text: str,
+        cells: Sequence[CellRef],
+        author: str = "anonymous",
+        kind: AnnotationKind = AnnotationKind.COMMENT,
+        title: str = "",
+        created_at: float | None = None,
+        annotation_id: int | None = None,
+    ) -> Annotation:
+        """Store an annotation attached to ``cells``; returns it with id.
+
+        At least one cell is required — a dangling annotation would never
+        be summarized, propagated, or reachable by zoom-in.  An explicit
+        ``annotation_id`` pins the id (import tooling must reproduce ids
+        exactly, gaps included).
+        """
+        if not cells:
+            raise AnnotationError("an annotation must attach to at least one cell")
+        for cell in cells:
+            schema = self._db.schema(cell.table)
+            if not schema.has_column(cell.column):
+                raise AnnotationError(
+                    f"cannot attach to unknown column {cell.table}.{cell.column}"
+                )
+        timestamp = time.time() if created_at is None else created_at
+        connection = self._db.connection
+        with connection:
+            if annotation_id is None:
+                cursor = connection.execute(
+                    f"""
+                    INSERT INTO {_ANNOTATIONS_TABLE}
+                        (body, author, created_at, kind, title)
+                    VALUES (?, ?, ?, ?, ?)
+                    """,
+                    (text, author, timestamp, kind.value, title),
+                )
+                annotation_id = cursor.lastrowid
+                assert annotation_id is not None
+            else:
+                connection.execute(
+                    f"""
+                    INSERT INTO {_ANNOTATIONS_TABLE}
+                        (annotation_id, body, author, created_at, kind, title)
+                    VALUES (?, ?, ?, ?, ?, ?)
+                    """,
+                    (annotation_id, text, author, timestamp, kind.value, title),
+                )
+            connection.executemany(
+                f"""
+                INSERT OR IGNORE INTO {_ATTACHMENTS_TABLE}
+                    (annotation_id, table_name, row_id, column_name)
+                VALUES (?, ?, ?, ?)
+                """,
+                [
+                    (annotation_id, cell.table, cell.row_id, cell.column)
+                    for cell in cells
+                ],
+            )
+        return Annotation(
+            annotation_id=annotation_id,
+            text=text,
+            author=author,
+            created_at=timestamp,
+            kind=kind,
+            title=title,
+        )
+
+    def update(
+        self,
+        annotation_id: int,
+        text: str | None = None,
+        title: str | None = None,
+    ) -> Annotation:
+        """Rewrite an annotation's body and/or title; returns the result.
+
+        The id, author, timestamp, kind, and attachments are preserved, so
+        references from summaries and zoom-in stay valid — the caller is
+        responsible for re-summarizing (see
+        :meth:`repro.engine.session.InsightNotes.update_annotation`).
+        """
+        current = self.get(annotation_id)  # raises for unknown ids
+        new_text = current.text if text is None else text
+        new_title = current.title if title is None else title
+        with self._db.connection:
+            self._db.connection.execute(
+                f"""
+                UPDATE {_ANNOTATIONS_TABLE} SET body = ?, title = ?
+                WHERE annotation_id = ?
+                """,
+                (new_text, new_title, annotation_id),
+            )
+        return Annotation(
+            annotation_id=annotation_id,
+            text=new_text,
+            author=current.author,
+            created_at=current.created_at,
+            kind=current.kind,
+            title=new_title,
+        )
+
+    def detach_row(self, annotation_id: int, table: str, row_id: int) -> None:
+        """Remove one annotation's attachments to a single base row.
+
+        Used when a base row is deleted but the annotation also covers
+        other rows and must survive there.
+        """
+        connection = self._db.connection
+        with connection:
+            connection.execute(
+                f"""
+                DELETE FROM {_ATTACHMENTS_TABLE}
+                WHERE annotation_id = ? AND table_name = ? AND row_id = ?
+                """,
+                (annotation_id, table, row_id),
+            )
+
+    def delete(self, annotation_id: int) -> None:
+        """Remove an annotation and all its attachments."""
+        self.get(annotation_id)  # raises for unknown ids
+        connection = self._db.connection
+        with connection:
+            connection.execute(
+                f"DELETE FROM {_ATTACHMENTS_TABLE} WHERE annotation_id = ?",
+                (annotation_id,),
+            )
+            connection.execute(
+                f"DELETE FROM {_ANNOTATIONS_TABLE} WHERE annotation_id = ?",
+                (annotation_id,),
+            )
+
+    # -- reads --------------------------------------------------------
+
+    def get(self, annotation_id: int) -> Annotation:
+        """Fetch one annotation or raise :class:`UnknownAnnotationError`."""
+        row = self._db.connection.execute(
+            f"""
+            SELECT annotation_id, body, author, created_at, kind, title
+            FROM {_ANNOTATIONS_TABLE} WHERE annotation_id = ?
+            """,
+            (annotation_id,),
+        ).fetchone()
+        if row is None:
+            raise UnknownAnnotationError(annotation_id)
+        return _annotation_from_row(row)
+
+    def get_many(self, annotation_ids: Iterable[int]) -> list[Annotation]:
+        """Fetch annotations by id, in ascending id order.
+
+        Unknown ids raise, matching :meth:`get` — zoom-in must never
+        silently return fewer annotations than a summary promised.
+        """
+        wanted = sorted(set(annotation_ids))
+        results: list[Annotation] = []
+        # Chunked IN-lists keep us under SQLite's bound-variable limit.
+        for chunk_start in range(0, len(wanted), 500):
+            chunk = wanted[chunk_start : chunk_start + 500]
+            placeholders = ", ".join("?" for _ in chunk)
+            rows = self._db.connection.execute(
+                f"""
+                SELECT annotation_id, body, author, created_at, kind, title
+                FROM {_ANNOTATIONS_TABLE}
+                WHERE annotation_id IN ({placeholders})
+                ORDER BY annotation_id
+                """,
+                chunk,
+            ).fetchall()
+            if len(rows) != len(chunk):
+                found = {row[0] for row in rows}
+                missing = next(i for i in chunk if i not in found)
+                raise UnknownAnnotationError(missing)
+            results.extend(_annotation_from_row(row) for row in rows)
+        return results
+
+    def count(self) -> int:
+        """Total number of stored annotations."""
+        (count,) = self._db.connection.execute(
+            f"SELECT COUNT(*) FROM {_ANNOTATIONS_TABLE}"
+        ).fetchone()
+        return count
+
+    def total_text_bytes(self) -> int:
+        """Total size of all annotation bodies (storage benchmark)."""
+        (total,) = self._db.connection.execute(
+            f"SELECT COALESCE(SUM(LENGTH(body)), 0) FROM {_ANNOTATIONS_TABLE}"
+        ).fetchone()
+        return total
+
+    def iter_all(self) -> Iterator[Annotation]:
+        """Iterate over every stored annotation in id order."""
+        cursor = self._db.connection.execute(
+            f"""
+            SELECT annotation_id, body, author, created_at, kind, title
+            FROM {_ANNOTATIONS_TABLE} ORDER BY annotation_id
+            """
+        )
+        for row in cursor:
+            yield _annotation_from_row(row)
+
+    # -- attachment queries ----------------------------------------------
+
+    def cells_of(self, annotation_id: int) -> list[CellRef]:
+        """All cells the annotation is attached to."""
+        rows = self._db.connection.execute(
+            f"""
+            SELECT table_name, row_id, column_name
+            FROM {_ATTACHMENTS_TABLE} WHERE annotation_id = ?
+            ORDER BY table_name, row_id, column_name
+            """,
+            (annotation_id,),
+        ).fetchall()
+        return [CellRef(table, row_id, column) for table, row_id, column in rows]
+
+    def attachment_count(self, annotation_id: int) -> int:
+        """How many distinct base rows the annotation attaches to."""
+        (count,) = self._db.connection.execute(
+            f"""
+            SELECT COUNT(DISTINCT table_name || '/' || row_id)
+            FROM {_ATTACHMENTS_TABLE} WHERE annotation_id = ?
+            """,
+            (annotation_id,),
+        ).fetchone()
+        return count
+
+    def annotations_for_row(
+        self, table: str, row_id: int
+    ) -> list[tuple[Annotation, frozenset[str]]]:
+        """Annotations on a base row with their attached column sets."""
+        rows = self._db.connection.execute(
+            f"""
+            SELECT a.annotation_id, a.body, a.author, a.created_at, a.kind,
+                   a.title, t.column_name
+            FROM {_ANNOTATIONS_TABLE} a
+            JOIN {_ATTACHMENTS_TABLE} t ON a.annotation_id = t.annotation_id
+            WHERE t.table_name = ? AND t.row_id = ?
+            ORDER BY a.annotation_id
+            """,
+            (table, row_id),
+        ).fetchall()
+        results: list[tuple[Annotation, frozenset[str]]] = []
+        for annotation_id, group in itertools.groupby(rows, key=lambda r: r[0]):
+            grouped = list(group)
+            annotation = _annotation_from_row(grouped[0][:6])
+            columns = frozenset(entry[6] for entry in grouped)
+            results.append((annotation, columns))
+        return results
+
+    def attachments_for_row(
+        self, table: str, row_id: int
+    ) -> dict[int, frozenset[str]]:
+        """Annotation id -> attached columns for a base row.
+
+        Unlike :meth:`annotations_for_row` this never touches the
+        annotation bodies — it is the query-time path, which must stay
+        proportional to the *number* of annotations, not their size.
+        """
+        rows = self._db.connection.execute(
+            f"""
+            SELECT annotation_id, column_name FROM {_ATTACHMENTS_TABLE}
+            WHERE table_name = ? AND row_id = ?
+            ORDER BY annotation_id
+            """,
+            (table, row_id),
+        ).fetchall()
+        attachments: dict[int, set[str]] = {}
+        for annotation_id, column in rows:
+            attachments.setdefault(annotation_id, set()).add(column)
+        return {
+            annotation_id: frozenset(columns)
+            for annotation_id, columns in attachments.items()
+        }
+
+    def annotation_ids_for_row(self, table: str, row_id: int) -> set[int]:
+        """Ids of all annotations attached to a base row."""
+        rows = self._db.connection.execute(
+            f"""
+            SELECT DISTINCT annotation_id FROM {_ATTACHMENTS_TABLE}
+            WHERE table_name = ? AND row_id = ?
+            """,
+            (table, row_id),
+        ).fetchall()
+        return {row[0] for row in rows}
+
+    def rows_for_annotation(self, annotation_id: int) -> set[tuple[str, int]]:
+        """``(table, row_id)`` pairs the annotation attaches to."""
+        rows = self._db.connection.execute(
+            f"""
+            SELECT DISTINCT table_name, row_id FROM {_ATTACHMENTS_TABLE}
+            WHERE annotation_id = ?
+            """,
+            (annotation_id,),
+        ).fetchall()
+        return {(table, row_id) for table, row_id in rows}
+
+
+def _annotation_from_row(row: Sequence[object]) -> Annotation:
+    annotation_id, body, author, created_at, kind, title = row
+    return Annotation(
+        annotation_id=int(annotation_id),  # type: ignore[arg-type]
+        text=str(body),
+        author=str(author),
+        created_at=float(created_at),  # type: ignore[arg-type]
+        kind=AnnotationKind(kind),
+        title=str(title),
+    )

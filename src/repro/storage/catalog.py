@@ -1,0 +1,337 @@
+"""The summary catalog.
+
+Persists levels 2 and 3 of the summarization hierarchy:
+
+* **instance definitions** — name, type, and the type-specific
+  configuration (labels, trained model, thresholds, invariant flags);
+* **links** — the many-to-many relation between instances and user tables
+  (Figure 4): linking instance *I* to table *R* means every *R* tuple's
+  annotations are summarized by *I*;
+* **summary state** — the per-(instance, table, row) summary objects,
+  stored as JSON and rebuilt through the type registry.
+
+Live instances are cached after first resolution, so the trained model is
+deserialized once per session.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+
+from repro.errors import (
+    CatalogError,
+    DuplicateInstanceError,
+    UnknownInstanceError,
+)
+from repro.storage.database import Database
+from repro.storage.schema import SYSTEM_PREFIX
+from repro.summaries.base import SummaryInstance, SummaryObject
+from repro.summaries.registry import SummaryTypeRegistry, default_registry
+
+_INSTANCES_TABLE = f"{SYSTEM_PREFIX}instances"
+_LINKS_TABLE = f"{SYSTEM_PREFIX}links"
+_STATE_TABLE = f"{SYSTEM_PREFIX}summary_state"
+
+
+class SummaryCatalog:
+    """Persistent catalog of summary instances, links, and state."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: SummaryTypeRegistry | None = None,
+    ) -> None:
+        self._db = database
+        self.registry = registry or default_registry()
+        self._live_instances: dict[str, SummaryInstance] = {}
+        connection = database.connection
+        with connection:
+            connection.execute(
+                f"""
+                CREATE TABLE IF NOT EXISTS {_INSTANCES_TABLE} (
+                    instance_name TEXT PRIMARY KEY,
+                    type_name TEXT NOT NULL,
+                    config TEXT NOT NULL
+                )
+                """
+            )
+            connection.execute(
+                f"""
+                CREATE TABLE IF NOT EXISTS {_LINKS_TABLE} (
+                    instance_name TEXT NOT NULL,
+                    table_name TEXT NOT NULL,
+                    PRIMARY KEY (instance_name, table_name)
+                )
+                """
+            )
+            connection.execute(
+                f"""
+                CREATE TABLE IF NOT EXISTS {_STATE_TABLE} (
+                    instance_name TEXT NOT NULL,
+                    table_name TEXT NOT NULL,
+                    row_id INTEGER NOT NULL,
+                    object TEXT NOT NULL,
+                    PRIMARY KEY (instance_name, table_name, row_id)
+                )
+                """
+            )
+
+    # -- instance definitions -----------------------------------------
+
+    def define_instance(
+        self, type_name: str, instance_name: str, config: dict
+    ) -> SummaryInstance:
+        """Create, persist, and return a new summary instance."""
+        if self.has_instance(instance_name):
+            raise DuplicateInstanceError(instance_name)
+        instance = self.registry.create_instance(type_name, instance_name, config)
+        with self._db.connection:
+            self._db.connection.execute(
+                f"""
+                INSERT INTO {_INSTANCES_TABLE}
+                    (instance_name, type_name, config) VALUES (?, ?, ?)
+                """,
+                (instance_name, type_name, json.dumps(instance.config())),
+            )
+        self._live_instances[instance_name] = instance
+        return instance
+
+    def save_instance_config(self, instance_name: str) -> None:
+        """Re-persist a live instance's configuration.
+
+        Call after mutating instance state that must survive restarts —
+        typically after training a classifier's model.
+        """
+        instance = self.get_instance(instance_name)
+        with self._db.connection:
+            self._db.connection.execute(
+                f"UPDATE {_INSTANCES_TABLE} SET config = ? WHERE instance_name = ?",
+                (json.dumps(instance.config()), instance_name),
+            )
+
+    def drop_instance(self, instance_name: str) -> None:
+        """Remove an instance, its links, and all its summary state."""
+        if not self.has_instance(instance_name):
+            raise UnknownInstanceError(instance_name)
+        with self._db.connection:
+            self._db.connection.execute(
+                f"DELETE FROM {_STATE_TABLE} WHERE instance_name = ?",
+                (instance_name,),
+            )
+            self._db.connection.execute(
+                f"DELETE FROM {_LINKS_TABLE} WHERE instance_name = ?",
+                (instance_name,),
+            )
+            self._db.connection.execute(
+                f"DELETE FROM {_INSTANCES_TABLE} WHERE instance_name = ?",
+                (instance_name,),
+            )
+        self._live_instances.pop(instance_name, None)
+
+    def has_instance(self, instance_name: str) -> bool:
+        """True when the instance is defined."""
+        if instance_name in self._live_instances:
+            return True
+        row = self._db.connection.execute(
+            f"SELECT 1 FROM {_INSTANCES_TABLE} WHERE instance_name = ?",
+            (instance_name,),
+        ).fetchone()
+        return row is not None
+
+    def get_instance(self, instance_name: str) -> SummaryInstance:
+        """Resolve a live instance, deserializing it on first access."""
+        if instance_name in self._live_instances:
+            return self._live_instances[instance_name]
+        row = self._db.connection.execute(
+            f"""
+            SELECT type_name, config FROM {_INSTANCES_TABLE}
+            WHERE instance_name = ?
+            """,
+            (instance_name,),
+        ).fetchone()
+        if row is None:
+            raise UnknownInstanceError(instance_name)
+        type_name, config_json = row
+        try:
+            instance = self.registry.create_instance(
+                type_name, instance_name, json.loads(config_json)
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CatalogError(
+                f"corrupted configuration for instance {instance_name!r} "
+                f"(type {type_name!r}): {exc}"
+            ) from exc
+        self._live_instances[instance_name] = instance
+        return instance
+
+    def instance_names(self) -> list[str]:
+        """All defined instance names, sorted."""
+        rows = self._db.connection.execute(
+            f"SELECT instance_name FROM {_INSTANCES_TABLE} ORDER BY instance_name"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    # -- links ----------------------------------------------------------
+
+    def link(self, instance_name: str, table_name: str) -> None:
+        """Link an instance to a user table (idempotent)."""
+        if not self.has_instance(instance_name):
+            raise UnknownInstanceError(instance_name)
+        self._db.schema(table_name)  # raises for unknown tables
+        with self._db.connection:
+            self._db.connection.execute(
+                f"""
+                INSERT OR IGNORE INTO {_LINKS_TABLE}
+                    (instance_name, table_name) VALUES (?, ?)
+                """,
+                (instance_name, table_name),
+            )
+
+    def unlink(self, instance_name: str, table_name: str) -> None:
+        """Remove a link and the instance's state for that table."""
+        if not self.has_instance(instance_name):
+            raise UnknownInstanceError(instance_name)
+        with self._db.connection:
+            self._db.connection.execute(
+                f"""
+                DELETE FROM {_LINKS_TABLE}
+                WHERE instance_name = ? AND table_name = ?
+                """,
+                (instance_name, table_name),
+            )
+            self._db.connection.execute(
+                f"""
+                DELETE FROM {_STATE_TABLE}
+                WHERE instance_name = ? AND table_name = ?
+                """,
+                (instance_name, table_name),
+            )
+
+    def is_linked(self, instance_name: str, table_name: str) -> bool:
+        """True when the instance is linked to the table."""
+        row = self._db.connection.execute(
+            f"""
+            SELECT 1 FROM {_LINKS_TABLE}
+            WHERE instance_name = ? AND table_name = ?
+            """,
+            (instance_name, table_name),
+        ).fetchone()
+        return row is not None
+
+    def instances_for_table(self, table_name: str) -> list[SummaryInstance]:
+        """Live instances linked to ``table_name``, name-sorted."""
+        rows = self._db.connection.execute(
+            f"""
+            SELECT instance_name FROM {_LINKS_TABLE}
+            WHERE table_name = ? ORDER BY instance_name
+            """,
+            (table_name,),
+        ).fetchall()
+        return [self.get_instance(row[0]) for row in rows]
+
+    def links(self) -> list[tuple[str, str]]:
+        """All ``(instance, table)`` links, sorted."""
+        rows = self._db.connection.execute(
+            f"""
+            SELECT instance_name, table_name FROM {_LINKS_TABLE}
+            ORDER BY instance_name, table_name
+            """
+        ).fetchall()
+        return [(row[0], row[1]) for row in rows]
+
+    # -- summary state ------------------------------------------------
+
+    def save_object(
+        self, instance_name: str, table_name: str, row_id: int, obj: SummaryObject
+    ) -> None:
+        """Persist the summary object for one base row (upsert)."""
+        if obj.instance_name != instance_name:
+            raise CatalogError(
+                f"object belongs to instance {obj.instance_name!r}, "
+                f"not {instance_name!r}"
+            )
+        with self._db.connection:
+            self._db.connection.execute(
+                f"""
+                INSERT INTO {_STATE_TABLE}
+                    (instance_name, table_name, row_id, object)
+                VALUES (?, ?, ?, ?)
+                ON CONFLICT (instance_name, table_name, row_id)
+                DO UPDATE SET object = excluded.object
+                """,
+                (instance_name, table_name, row_id, json.dumps(obj.to_json())),
+            )
+
+    def load_object(
+        self, instance_name: str, table_name: str, row_id: int
+    ) -> SummaryObject | None:
+        """Load one row's summary object, or None when never summarized."""
+        row = self._db.connection.execute(
+            f"""
+            SELECT object FROM {_STATE_TABLE}
+            WHERE instance_name = ? AND table_name = ? AND row_id = ?
+            """,
+            (instance_name, table_name, row_id),
+        ).fetchone()
+        if row is None:
+            return None
+        return self._deserialize_object(row[0], instance_name, table_name, row_id)
+
+    def _deserialize_object(
+        self, payload: str, instance_name: str, table_name: str, row_id: int
+    ) -> SummaryObject:
+        """Rebuild a stored object, wrapping corruption in CatalogError."""
+        try:
+            return self.registry.object_from_json(json.loads(payload))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CatalogError(
+                f"corrupted summary state for instance {instance_name!r} on "
+                f"{table_name}[{row_id}]: {exc}"
+            ) from exc
+
+    def delete_object(
+        self, instance_name: str, table_name: str, row_id: int
+    ) -> None:
+        """Drop one row's persisted summary object (no-op when absent)."""
+        with self._db.connection:
+            self._db.connection.execute(
+                f"""
+                DELETE FROM {_STATE_TABLE}
+                WHERE instance_name = ? AND table_name = ? AND row_id = ?
+                """,
+                (instance_name, table_name, row_id),
+            )
+
+    def iter_objects(
+        self, instance_name: str, table_name: str
+    ) -> Iterator[tuple[int, SummaryObject]]:
+        """Iterate ``(row_id, object)`` for one instance/table pair."""
+        cursor = self._db.connection.execute(
+            f"""
+            SELECT row_id, object FROM {_STATE_TABLE}
+            WHERE instance_name = ? AND table_name = ?
+            ORDER BY row_id
+            """,
+            (instance_name, table_name),
+        )
+        for row_id, object_json in cursor:
+            yield row_id, self._deserialize_object(
+                object_json, instance_name, table_name, row_id
+            )
+
+    def summary_bytes(self, table_name: str | None = None) -> int:
+        """Total serialized size of stored summary objects."""
+        if table_name is None:
+            (total,) = self._db.connection.execute(
+                f"SELECT COALESCE(SUM(LENGTH(object)), 0) FROM {_STATE_TABLE}"
+            ).fetchone()
+        else:
+            (total,) = self._db.connection.execute(
+                f"""
+                SELECT COALESCE(SUM(LENGTH(object)), 0) FROM {_STATE_TABLE}
+                WHERE table_name = ?
+                """,
+                (table_name,),
+            ).fetchone()
+        return total

@@ -1,0 +1,207 @@
+"""The base-relation store.
+
+Wraps one SQLite connection and manages user tables: creation, insertion,
+point lookup, and full scans.  Every stored row is addressed by its SQLite
+``rowid``, which the annotation store and summary catalog use as the stable
+tuple identity.
+
+Column types are dynamic (SQLite's natural behaviour); the engine's
+expression evaluator applies Python semantics, so integers, floats, and
+strings round-trip unchanged.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.errors import StorageError, UnknownTableError
+from repro.storage.schema import SYSTEM_PREFIX, TableSchema
+
+_SCHEMA_TABLE = f"{SYSTEM_PREFIX}schema"
+
+
+class Database:
+    """User relations over a shared SQLite connection.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path; the default ``":memory:"`` keeps everything
+        in RAM, which the tests and benchmarks use.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA foreign_keys = ON")
+        self._connection.execute(
+            f"""
+            CREATE TABLE IF NOT EXISTS {_SCHEMA_TABLE} (
+                table_name TEXT PRIMARY KEY,
+                columns TEXT NOT NULL
+            )
+            """
+        )
+        self._schemas: dict[str, TableSchema] = {}
+        self._load_schemas()
+
+    # -- connection management -----------------------------------------
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection, shared with the other stores."""
+        return self._connection
+
+    def close(self) -> None:
+        """Close the connection; further operations will fail."""
+        self._connection.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _load_schemas(self) -> None:
+        rows = self._connection.execute(
+            f"SELECT table_name, columns FROM {_SCHEMA_TABLE}"
+        ).fetchall()
+        for table_name, columns in rows:
+            self._schemas[table_name] = TableSchema(
+                table_name, tuple(columns.split(","))
+            )
+
+    # -- DDL -------------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[str]) -> TableSchema:
+        """Create a user table with the given column names."""
+        schema = TableSchema(name, tuple(columns))
+        if name in self._schemas:
+            raise StorageError(f"table already exists: {name!r}")
+        column_sql = ", ".join(f'"{column}"' for column in schema.columns)
+        with self._connection:
+            self._connection.execute(f'CREATE TABLE "{name}" ({column_sql})')
+            self._connection.execute(
+                f"INSERT INTO {_SCHEMA_TABLE} (table_name, columns) VALUES (?, ?)",
+                (name, ",".join(schema.columns)),
+            )
+        self._schemas[name] = schema
+        return schema
+
+    def drop_table(self, name: str) -> None:
+        """Drop a user table and its schema entry."""
+        self.schema(name)  # raises for unknown tables
+        with self._connection:
+            self._connection.execute(f'DROP TABLE "{name}"')
+            self._connection.execute(
+                f"DELETE FROM {_SCHEMA_TABLE} WHERE table_name = ?", (name,)
+            )
+        del self._schemas[name]
+
+    # -- catalog -----------------------------------------------------
+
+    def tables(self) -> list[str]:
+        """Names of all user tables, sorted."""
+        return sorted(self._schemas)
+
+    def has_table(self, name: str) -> bool:
+        """True when ``name`` is a user table."""
+        return name in self._schemas
+
+    def schema(self, name: str) -> TableSchema:
+        """Schema of ``name`` or raise :class:`UnknownTableError`."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def columns(self, name: str) -> tuple[str, ...]:
+        """Column names of ``name`` in declaration order."""
+        return self.schema(name).columns
+
+    # -- DML -------------------------------------------------------------
+
+    def insert(
+        self,
+        table: str,
+        values: Sequence[Any] | Mapping[str, Any],
+        row_id: int | None = None,
+    ) -> int:
+        """Insert one row; returns its rowid.
+
+        ``values`` is either a positional sequence matching the schema or
+        a column-name mapping (missing columns become NULL).  An explicit
+        ``row_id`` pins the rowid — used by import tooling, which must
+        preserve annotation attachments keyed on rowids.
+        """
+        schema = self.schema(table)
+        if isinstance(values, Mapping):
+            unknown = set(values) - set(schema.columns)
+            if unknown:
+                raise StorageError(
+                    f"unknown columns for {table!r}: {sorted(unknown)}"
+                )
+            row = tuple(values.get(column) for column in schema.columns)
+        else:
+            schema.check_values(values)
+            row = tuple(values)
+        with self._connection:
+            if row_id is None:
+                placeholders = ", ".join("?" for _ in schema.columns)
+                cursor = self._connection.execute(
+                    f'INSERT INTO "{table}" VALUES ({placeholders})', row
+                )
+            else:
+                placeholders = ", ".join("?" for _ in (row_id, *schema.columns))
+                cursor = self._connection.execute(
+                    f'INSERT INTO "{table}" (rowid, '
+                    + ", ".join(f'"{c}"' for c in schema.columns)
+                    + f") VALUES ({placeholders})",
+                    (row_id, *row),
+                )
+        rowid = cursor.lastrowid
+        assert rowid is not None
+        return rowid
+
+    def insert_many(
+        self, table: str, rows: Sequence[Sequence[Any]]
+    ) -> list[int]:
+        """Insert multiple positional rows; returns their rowids."""
+        return [self.insert(table, row) for row in rows]
+
+    def delete_row(self, table: str, row_id: int) -> None:
+        """Delete one row by rowid (no-op when absent)."""
+        self.schema(table)
+        with self._connection:
+            self._connection.execute(
+                f'DELETE FROM "{table}" WHERE rowid = ?', (row_id,)
+            )
+
+    # -- reads --------------------------------------------------------
+
+    def get_row(self, table: str, row_id: int) -> tuple[Any, ...] | None:
+        """Fetch one row's values by rowid, or None when absent."""
+        self.schema(table)
+        row = self._connection.execute(
+            f'SELECT * FROM "{table}" WHERE rowid = ?', (row_id,)
+        ).fetchone()
+        return tuple(row) if row is not None else None
+
+    def rows(self, table: str) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Scan ``table``, yielding ``(rowid, values)`` pairs."""
+        self.schema(table)
+        cursor = self._connection.execute(
+            f'SELECT rowid, * FROM "{table}" ORDER BY rowid'
+        )
+        for row in cursor:
+            yield row[0], tuple(row[1:])
+
+    def row_count(self, table: str) -> int:
+        """Number of rows in ``table``."""
+        self.schema(table)
+        (count,) = self._connection.execute(
+            f'SELECT COUNT(*) FROM "{table}"'
+        ).fetchone()
+        return count

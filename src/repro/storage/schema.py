@@ -1,0 +1,72 @@
+"""Table schema descriptors.
+
+The engine is dynamically typed (SQLite stores whatever Python hands it),
+so a schema is just an ordered list of column names plus validation
+helpers.  Column names must be valid identifiers because they appear
+unquoted in the small SQL dialect.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import SchemaError, UnknownColumnError
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Names reserved for the engine's own bookkeeping tables.
+SYSTEM_PREFIX = "_in_"
+
+
+def validate_identifier(name: str, what: str = "identifier") -> str:
+    """Return ``name`` if it is a valid SQL identifier, else raise."""
+    if not _IDENTIFIER_RE.fullmatch(name):
+        raise SchemaError(f"invalid {what}: {name!r}")
+    return name
+
+
+@dataclass(frozen=True, slots=True)
+class TableSchema:
+    """An ordered, validated column list for one base table."""
+
+    name: str
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        validate_identifier(self.name, "table name")
+        if self.name.startswith(SYSTEM_PREFIX):
+            raise SchemaError(
+                f"table name {self.name!r} collides with the system prefix "
+                f"{SYSTEM_PREFIX!r}"
+            )
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} has no columns")
+        seen: set[str] = set()
+        for column in self.columns:
+            validate_identifier(column, "column name")
+            if column in seen:
+                raise SchemaError(
+                    f"duplicate column {column!r} in table {self.name!r}"
+                )
+            seen.add(column)
+
+    def column_index(self, column: str) -> int:
+        """Position of ``column``, raising for unknown names."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise UnknownColumnError(self.name, column) from None
+
+    def has_column(self, column: str) -> bool:
+        """True when ``column`` belongs to this table."""
+        return column in self.columns
+
+    def check_values(self, values: Sequence[object]) -> None:
+        """Validate a row's arity against the schema."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )

@@ -1,0 +1,72 @@
+"""Annotation summary framework.
+
+Implements the three-level summarization hierarchy of InsightNotes
+(Figure 4 of the demo paper):
+
+1. **Summary Types** — Classifier, Cluster, and Snippet, integrated with the
+   query engine (:mod:`repro.summaries.classifier`,
+   :mod:`repro.summaries.cluster`, :mod:`repro.summaries.snippet`).  New
+   types can be registered through :mod:`repro.summaries.registry`.
+2. **Summary Instances** — admin-configured instantiations of a type
+   (algorithm parameters, class labels, training model, invariant
+   properties) that link many-to-many to user relations.
+3. **Summary Objects** — the per-tuple summarization output carried through
+   query plans, supporting dedup-aware merge, annotation-effect removal,
+   and zoom-in component enumeration without access to the raw text.
+"""
+
+from repro.summaries.base import (
+    InstanceProperties,
+    SummaryInstance,
+    SummaryObject,
+    SummaryType,
+    ZoomComponent,
+)
+from repro.summaries.classifier import (
+    ClassifierInstance,
+    ClassifierSummary,
+    ClassifierType,
+)
+from repro.summaries.cluster import ClusterGroup, ClusterInstance, ClusterSummary, ClusterType
+from repro.summaries.naive_bayes import NaiveBayesClassifier
+from repro.summaries.registry import (
+    SummaryTypeRegistry,
+    default_registry,
+    extended_registry,
+)
+from repro.summaries.snippet import SnippetEntry, SnippetInstance, SnippetSummary, SnippetType
+from repro.summaries.terms import TermsInstance, TermsSummary, TermsType
+from repro.summaries.timeline import (
+    TimelineInstance,
+    TimelineSummary,
+    TimelineType,
+)
+
+__all__ = [
+    "ClassifierInstance",
+    "ClassifierSummary",
+    "ClassifierType",
+    "ClusterGroup",
+    "ClusterInstance",
+    "ClusterSummary",
+    "ClusterType",
+    "InstanceProperties",
+    "NaiveBayesClassifier",
+    "SnippetEntry",
+    "SnippetInstance",
+    "SnippetSummary",
+    "SnippetType",
+    "SummaryInstance",
+    "SummaryObject",
+    "SummaryType",
+    "SummaryTypeRegistry",
+    "TermsInstance",
+    "TermsSummary",
+    "TermsType",
+    "TimelineInstance",
+    "TimelineSummary",
+    "TimelineType",
+    "ZoomComponent",
+    "default_registry",
+    "extended_registry",
+]

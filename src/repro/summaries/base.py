@@ -1,0 +1,230 @@
+"""Abstract contracts of the summarization hierarchy.
+
+The engine integrates a summarization technique by implementing three
+classes:
+
+* :class:`SummaryType` (level 1) — the technique family; a factory for
+  instances, registered once with the engine.
+* :class:`SummaryInstance` (level 2) — a configured instantiation: the
+  concrete algorithm, its parameters, labels, trained model, and the
+  :class:`InstanceProperties` the maintenance layer uses for optimization.
+* :class:`SummaryObject` (level 3) — the per-tuple output that travels
+  through query plans.
+
+The query engine only ever calls the *object*-level operations — ``merge``,
+``remove_annotations``, ``zoom_components`` — which must work on the
+object's own state without fetching raw annotations.  The maintenance layer
+additionally calls the *instance*-level ``analyze``/``add_to`` pair when new
+annotations arrive.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Set
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model.annotation import Annotation
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceProperties:
+    """Optimization-relevant properties of a summary instance.
+
+    ``annotation_invariant``
+        True when summarizing a new annotation *a* over tuple *t* does not
+        depend on *t*'s current annotations.  Classification and snippet
+        extraction are annotation-invariant; clustering is not (the
+        assignment depends on the clusters already formed on *t*).
+    ``data_invariant``
+        True when the summarization does not depend on *t*'s attribute
+        values.
+
+    When both are true the system summarizes an annotation **once**, even
+    when it is attached to many tuples (the summarize-once optimization of
+    §2.3), and reuses the cached result everywhere.
+    """
+
+    annotation_invariant: bool = True
+    data_invariant: bool = True
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def summarize_once(self) -> bool:
+        """Whether analyze results may be cached per annotation id."""
+        return self.annotation_invariant and self.data_invariant
+
+
+@dataclass(frozen=True, slots=True)
+class ZoomComponent:
+    """One zoom-addressable component of a summary object.
+
+    The ZOOMIN command addresses components by 1-based ``index`` within the
+    object ("On NaiveBayesClass Index 1" selects the first class label).
+    ``annotation_ids`` are the raw annotations the component expands into.
+    """
+
+    index: int
+    label: str
+    annotation_ids: tuple[int, ...]
+    detail: str = ""
+
+    @property
+    def count(self) -> int:
+        """Number of raw annotations behind this component."""
+        return len(self.annotation_ids)
+
+
+class SummaryObject(abc.ABC):
+    """Per-tuple summary state (level 3 of the hierarchy).
+
+    Subclasses hold all state needed to merge with counterpart objects and
+    to remove the effect of individual annotations by id.  They may carry
+    additional *heavy* state used only at maintenance time (e.g. cluster
+    centroids); :meth:`for_query` strips it before the object enters a
+    query pipeline.
+    """
+
+    #: Summary type name this object belongs to; set by subclasses.
+    type_name: str = ""
+
+    def __init__(self, instance_name: str) -> None:
+        self.instance_name = instance_name
+
+    # -- identity -----------------------------------------------------
+
+    @abc.abstractmethod
+    def annotation_ids(self) -> frozenset[int]:
+        """Ids of all annotations whose effect this object contains."""
+
+    def is_empty(self) -> bool:
+        """True when no annotation contributes to this object."""
+        return not self.annotation_ids()
+
+    # -- query-time algebra -------------------------------------------
+
+    @abc.abstractmethod
+    def copy(self) -> "SummaryObject":
+        """Independent copy safe to mutate in a query pipeline."""
+
+    @abc.abstractmethod
+    def remove_annotations(self, ids: Set[int]) -> None:
+        """Remove the effect of the given annotations, in place.
+
+        Must be the exact inverse of having added them, up to internal
+        bookkeeping the query layer cannot observe (e.g. stale centroids).
+        Unknown ids are ignored.
+        """
+
+    @abc.abstractmethod
+    def merge(self, other: "SummaryObject") -> "SummaryObject":
+        """Return the dedup-aware union of ``self`` and ``other``.
+
+        Annotations present in both inputs (the same annotation attached to
+        both joined tuples) must be counted once — Figure 2's merge step.
+        Neither input is mutated.
+        """
+
+    # -- zoom-in ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def zoom_components(self) -> list[ZoomComponent]:
+        """Enumerate zoom-addressable components, 1-indexed, in order."""
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def for_query(self) -> "SummaryObject":
+        """Copy stripped of maintenance-only heavy state.
+
+        The default implementation is a plain copy; subclasses with heavy
+        state override it.
+        """
+        return self.copy()
+
+    @abc.abstractmethod
+    def size_estimate(self) -> int:
+        """Approximate serialized size in bytes (for storage benchmarks)."""
+
+    @abc.abstractmethod
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable representation (inverse of ``from_json``)."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "SummaryObject":
+        """Rebuild an object serialized by :meth:`to_json`."""
+
+    @abc.abstractmethod
+    def render(self) -> str:
+        """One-line human-readable rendering for the Gate front-end."""
+
+
+class SummaryInstance(abc.ABC):
+    """A configured summarization instance (level 2 of the hierarchy).
+
+    Instances are created by their :class:`SummaryType`, persisted in the
+    summary catalog, and linked to user relations.  The maintenance layer
+    drives them through :meth:`analyze` / :meth:`add_to`:
+
+    * ``analyze`` computes the annotation-dependent part of the
+      summarization (a *contribution*: predicted label, term vector,
+      extracted snippet).  When :attr:`properties` allow, the engine caches
+      contributions per annotation id.
+    * ``add_to`` folds a contribution into a tuple's summary object.
+    """
+
+    def __init__(self, name: str, properties: InstanceProperties) -> None:
+        self.name = name
+        self.properties = properties
+
+    #: Summary type name; set by subclasses.
+    type_name: str = ""
+
+    @abc.abstractmethod
+    def new_object(self) -> SummaryObject:
+        """Create an empty summary object for one tuple."""
+
+    @abc.abstractmethod
+    def analyze(self, annotation: Annotation) -> Any:
+        """Compute the reusable, annotation-only part of the summary."""
+
+    @abc.abstractmethod
+    def add_to(
+        self,
+        obj: SummaryObject,
+        annotation: Annotation,
+        contribution: Any,
+    ) -> None:
+        """Fold ``annotation`` (analyzed as ``contribution``) into ``obj``."""
+
+    @abc.abstractmethod
+    def config(self) -> dict[str, Any]:
+        """Persistable configuration (inverse of the type's creation)."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description for catalog listings."""
+        flags = []
+        if self.properties.annotation_invariant:
+            flags.append("AnnotationInvariant")
+        if self.properties.data_invariant:
+            flags.append("DataInvariant")
+        detail = ", ".join(flags) if flags else "no invariants"
+        return f"{self.name} ({self.type_name}; {detail})"
+
+
+class SummaryType(abc.ABC):
+    """A summarization technique family (level 1 of the hierarchy)."""
+
+    #: Unique type name used in catalogs and ZOOMIN commands.
+    name: str = ""
+
+    @abc.abstractmethod
+    def create_instance(
+        self, instance_name: str, config: Mapping[str, Any]
+    ) -> SummaryInstance:
+        """Build an instance from a persistable configuration mapping."""
+
+    @abc.abstractmethod
+    def object_from_json(self, data: Mapping[str, Any]) -> SummaryObject:
+        """Deserialize a summary object of this type."""

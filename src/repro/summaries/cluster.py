@@ -1,0 +1,481 @@
+"""The Cluster summary type.
+
+A cluster instance (``SimCluster`` in Figure 1) groups a tuple's annotations
+by content similarity and reports one *representative* per group, so a
+tuple with hundreds of near-duplicate observations renders as a handful of
+exemplars.
+
+Algorithm (after the stream text clustering the paper cites [23]): each
+incoming annotation is embedded as a normalized term vector and assigned to
+the existing group whose centroid is most similar, provided the cosine
+similarity reaches the instance's ``threshold``; otherwise it seeds a new
+group.  Clustering is therefore **not** annotation-invariant — assignment
+depends on the groups already formed on the tuple — so the summarize-once
+optimization does not apply (only the vector computation is reused).
+
+Each group's state is split in two:
+
+* **light state** — member ids, a best-first representative *ranking*, and
+  short text previews for the top-ranked members.  This is all a query
+  pipeline needs: projection drops ids and re-elects the representative
+  from the ranking (Figure 2's A5-replaces-A2 step), and the join merge
+  combines overlapping groups, all without the raw text.
+* **heavy state** — per-member vectors and the centroid sum, used only by
+  incremental maintenance.  :meth:`ClusterSummary.for_query` strips it
+  before the object enters a pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence, Set
+from typing import Any
+
+from repro.errors import MaintenanceError
+from repro.model.annotation import Annotation
+from repro.summaries.base import (
+    InstanceProperties,
+    SummaryInstance,
+    SummaryObject,
+    SummaryType,
+    ZoomComponent,
+)
+from repro.text.similarity import cosine_similarity
+from repro.text.tokenize import Tokenizer
+from repro.text.vectorize import SparseVector, normalize, term_frequencies
+
+TYPE_NAME = "Cluster"
+
+#: How many words of an annotation are kept as its preview.
+DEFAULT_PREVIEW_WORDS = 10
+#: How many top-ranked previews survive into query pipelines.
+DEFAULT_PREVIEW_LIMIT = 3
+
+
+def make_preview(text: str, max_words: int = DEFAULT_PREVIEW_WORDS) -> str:
+    """Short display preview: the first ``max_words`` words of ``text``."""
+    words = text.split()
+    if len(words) <= max_words:
+        return " ".join(words)
+    return " ".join(words[:max_words]) + " ..."
+
+
+class ClusterGroup:
+    """One group of similar annotations within a cluster summary."""
+
+    def __init__(
+        self,
+        member_ids: Set[int] | None = None,
+        ranking: Sequence[int] = (),
+        previews: Mapping[int, str] | None = None,
+        vectors: Mapping[int, SparseVector] | None = None,
+    ) -> None:
+        self.member_ids: set[int] = set(member_ids or ())
+        self.ranking: list[int] = list(ranking)
+        self.previews: dict[int, str] = dict(previews or {})
+        # Heavy, maintenance-only state; None once stripped for querying.
+        self.vectors: dict[int, SparseVector] | None = (
+            dict(vectors) if vectors is not None else None
+        )
+
+    @property
+    def size(self) -> int:
+        """The groupSize field of the paper's cluster objects."""
+        return len(self.member_ids)
+
+    @property
+    def representative(self) -> int | None:
+        """Best-ranked surviving member, the group's exemplar."""
+        for annotation_id in self.ranking:
+            if annotation_id in self.member_ids:
+                return annotation_id
+        # Every ranked candidate was projected out; fall back to the
+        # smallest surviving id so the group still has a representative.
+        return min(self.member_ids) if self.member_ids else None
+
+    def representative_preview(self) -> str | None:
+        """Preview text of the representative, if still carried."""
+        representative = self.representative
+        if representative is None:
+            return None
+        return self.previews.get(representative)
+
+    def centroid(self) -> SparseVector:
+        """Mean vector of the group's members (heavy state required)."""
+        if self.vectors is None:
+            raise MaintenanceError(
+                "cluster group has no vectors; centroid is maintenance-only state"
+            )
+        total: dict[str, float] = {}
+        for vector in self.vectors.values():
+            for token, weight in vector.items():
+                total[token] = total.get(token, 0.0) + weight
+        count = max(1, len(self.vectors))
+        return {token: weight / count for token, weight in total.items()}
+
+    def rerank(self) -> None:
+        """Recompute the representative ranking from the heavy state.
+
+        Members are ordered by similarity to the group centroid, best
+        first, with annotation id as a deterministic tie-break.
+        """
+        if self.vectors is None:
+            raise MaintenanceError("cannot rerank a cluster group without vectors")
+        centroid = self.centroid()
+        self.ranking = sorted(
+            self.member_ids,
+            key=lambda annotation_id: (
+                -cosine_similarity(self.vectors.get(annotation_id, {}), centroid),
+                annotation_id,
+            ),
+        )
+
+    def copy(self) -> "ClusterGroup":
+        return ClusterGroup(
+            member_ids=self.member_ids,
+            ranking=self.ranking,
+            previews=self.previews,
+            vectors=self.vectors,
+        )
+
+    def drop_members(self, ids: Set[int]) -> None:
+        """Remove members by id, keeping ranking order for survivors."""
+        self.member_ids -= ids
+        self.ranking = [i for i in self.ranking if i not in ids]
+        for annotation_id in ids:
+            self.previews.pop(annotation_id, None)
+            if self.vectors is not None:
+                self.vectors.pop(annotation_id, None)
+
+    def overlaps(self, other: "ClusterGroup") -> bool:
+        """True when the two groups share at least one member."""
+        return bool(self.member_ids & other.member_ids)
+
+
+class ClusterSummary(SummaryObject):
+    """Per-tuple cluster summary: an ordered list of groups."""
+
+    type_name = TYPE_NAME
+
+    def __init__(
+        self,
+        instance_name: str,
+        preview_limit: int = DEFAULT_PREVIEW_LIMIT,
+    ) -> None:
+        super().__init__(instance_name)
+        self.groups: list[ClusterGroup] = []
+        self.preview_limit = preview_limit
+
+    # -- inspection ----------------------------------------------------
+
+    def annotation_ids(self) -> frozenset[int]:
+        ids: set[int] = set()
+        for group in self.groups:
+            ids |= group.member_ids
+        return frozenset(ids)
+
+    def group_sizes(self) -> list[int]:
+        """Sizes of the groups in display order."""
+        return [group.size for group in self.groups]
+
+    def representatives(self) -> list[int]:
+        """Representative annotation id of each non-empty group."""
+        return [
+            representative
+            for group in self.groups
+            if (representative := group.representative) is not None
+        ]
+
+    # -- query-time algebra -------------------------------------------
+
+    def copy(self) -> "ClusterSummary":
+        clone = ClusterSummary(self.instance_name, self.preview_limit)
+        clone.groups = [group.copy() for group in self.groups]
+        return clone
+
+    def remove_annotations(self, ids: Set[int]) -> None:
+        for group in self.groups:
+            group.drop_members(ids)
+        self.groups = [group for group in self.groups if group.member_ids]
+
+    def merge(self, other: SummaryObject) -> "ClusterSummary":
+        """Dedup-aware merge, Figure 2 semantics.
+
+        Groups from the two sides that share a member (the same annotation
+        attached to both joined tuples) are transitively combined; disjoint
+        groups propagate unchanged.
+        """
+        if not isinstance(other, ClusterSummary):
+            raise TypeError(f"cannot merge ClusterSummary with {type(other).__name__}")
+        pool = [group.copy() for group in self.groups] + [
+            group.copy() for group in other.groups
+        ]
+        merged: list[ClusterGroup] = []
+        for group in pool:
+            absorbed = False
+            for existing in merged:
+                if existing.overlaps(group):
+                    _combine_into(existing, group)
+                    absorbed = True
+                    break
+            if absorbed:
+                # The combination may have created new transitive overlaps.
+                merged = _coalesce(merged)
+            else:
+                merged.append(group)
+        result = ClusterSummary(
+            self.instance_name, max(self.preview_limit, other.preview_limit)
+        )
+        result.groups = merged
+        return result
+
+    # -- zoom-in ---------------------------------------------------------
+
+    def zoom_components(self) -> list[ZoomComponent]:
+        components: list[ZoomComponent] = []
+        for position, group in enumerate(self.groups, start=1):
+            preview = group.representative_preview()
+            label = preview if preview else f"group of {group.size}"
+            components.append(
+                ZoomComponent(
+                    index=position,
+                    label=label,
+                    annotation_ids=tuple(sorted(group.member_ids)),
+                    detail=f"size={group.size}",
+                )
+            )
+        return components
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def for_query(self) -> "ClusterSummary":
+        """Light copy: no vectors, ranking/previews cut to the top ranks.
+
+        Keeping only ``preview_limit`` representative candidates bounds the
+        per-group payload; if a projection later drops all of them, the
+        group falls back to its smallest surviving member id (without a
+        preview), which zoom-in can still expand.
+        """
+        clone = ClusterSummary(self.instance_name, self.preview_limit)
+        for group in self.groups:
+            ranking = group.ranking[: self.preview_limit]
+            clone.groups.append(
+                ClusterGroup(
+                    member_ids=group.member_ids,
+                    ranking=ranking,
+                    previews={
+                        annotation_id: group.previews[annotation_id]
+                        for annotation_id in ranking
+                        if annotation_id in group.previews
+                    },
+                    vectors=None,
+                )
+            )
+        return clone
+
+    def size_estimate(self) -> int:
+        total = 16
+        for group in self.groups:
+            total += 8 * len(group.member_ids) + 8 * len(group.ranking)
+            total += sum(len(preview) for preview in group.previews.values())
+            if group.vectors is not None:
+                total += sum(
+                    8 + sum(len(token) + 8 for token in vector)
+                    for vector in group.vectors.values()
+                )
+        return total
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "instance": self.instance_name,
+            "preview_limit": self.preview_limit,
+            "groups": [
+                {
+                    "members": sorted(group.member_ids),
+                    "ranking": list(group.ranking),
+                    "previews": {str(k): v for k, v in group.previews.items()},
+                    "vectors": (
+                        {str(k): v for k, v in group.vectors.items()}
+                        if group.vectors is not None
+                        else None
+                    ),
+                }
+                for group in self.groups
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ClusterSummary":
+        obj = cls(
+            data["instance"],
+            preview_limit=data.get("preview_limit", DEFAULT_PREVIEW_LIMIT),
+        )
+        for entry in data.get("groups", []):
+            vectors = entry.get("vectors")
+            obj.groups.append(
+                ClusterGroup(
+                    member_ids=set(entry["members"]),
+                    ranking=entry.get("ranking", []),
+                    previews={int(k): v for k, v in entry.get("previews", {}).items()},
+                    vectors=(
+                        {int(k): dict(v) for k, v in vectors.items()}
+                        if vectors is not None
+                        else None
+                    ),
+                )
+            )
+        return obj
+
+    def render(self) -> str:
+        parts = []
+        for group in self.groups:
+            preview = group.representative_preview() or "(zoom in for details)"
+            parts.append(f"[{group.size}] {preview!r}")
+        return f"{self.instance_name} {{{'; '.join(parts)}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClusterSummary {len(self.groups)} groups>"
+
+
+def _combine_into(target: ClusterGroup, source: ClusterGroup) -> None:
+    """Fold ``source`` into ``target`` (union members, merge rankings)."""
+    target.member_ids |= source.member_ids
+    seen = set(target.ranking)
+    target.ranking.extend(i for i in source.ranking if i not in seen)
+    for annotation_id, preview in source.previews.items():
+        target.previews.setdefault(annotation_id, preview)
+    if target.vectors is not None and source.vectors is not None:
+        for annotation_id, vector in source.vectors.items():
+            target.vectors.setdefault(annotation_id, vector)
+        target.rerank()
+    else:
+        target.vectors = None
+
+
+def _coalesce(groups: list[ClusterGroup]) -> list[ClusterGroup]:
+    """Repeatedly combine overlapping groups until all are disjoint."""
+    result: list[ClusterGroup] = []
+    for group in groups:
+        target = None
+        for existing in result:
+            if existing.overlaps(group):
+                target = existing
+                break
+        if target is None:
+            result.append(group)
+        else:
+            _combine_into(target, group)
+    if len(result) != len(groups):
+        return _coalesce(result)
+    return result
+
+
+class ClusterInstance(SummaryInstance):
+    """A configured clustering instance: threshold + vector space."""
+
+    type_name = TYPE_NAME
+
+    def __init__(
+        self,
+        name: str,
+        threshold: float = 0.4,
+        preview_words: int = DEFAULT_PREVIEW_WORDS,
+        preview_limit: int = DEFAULT_PREVIEW_LIMIT,
+        tokenizer: Tokenizer | None = None,
+        properties: InstanceProperties | None = None,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        super().__init__(
+            name,
+            properties
+            or InstanceProperties(annotation_invariant=False, data_invariant=True),
+        )
+        self.threshold = threshold
+        self.preview_words = preview_words
+        self.preview_limit = preview_limit
+        self._tokenizer = tokenizer or Tokenizer()
+
+    def new_object(self) -> ClusterSummary:
+        return ClusterSummary(self.name, preview_limit=self.preview_limit)
+
+    def analyze(self, annotation: Annotation) -> SparseVector:
+        """Unit term-frequency vector — the reusable contribution."""
+        return normalize(term_frequencies(self._tokenizer.tokens(annotation.text)))
+
+    def add_to(
+        self,
+        obj: SummaryObject,
+        annotation: Annotation,
+        contribution: SparseVector,
+    ) -> None:
+        """Assign ``annotation`` to the nearest group or seed a new one."""
+        if not isinstance(obj, ClusterSummary):
+            raise TypeError(f"expected ClusterSummary, got {type(obj).__name__}")
+        annotation_id = annotation.annotation_id
+        if annotation_id in obj.annotation_ids():
+            return  # idempotent replay
+        best_group: ClusterGroup | None = None
+        best_similarity = 0.0
+        for group in obj.groups:
+            if group.vectors is None:
+                raise MaintenanceError(
+                    "cannot add annotations to a query-stripped cluster summary"
+                )
+            similarity = cosine_similarity(contribution, group.centroid())
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best_group = group
+        preview = make_preview(annotation.text, self.preview_words)
+        if best_group is not None and best_similarity >= self.threshold:
+            best_group.member_ids.add(annotation_id)
+            best_group.previews[annotation_id] = preview
+            assert best_group.vectors is not None
+            best_group.vectors[annotation_id] = contribution
+            best_group.rerank()
+        else:
+            obj.groups.append(
+                ClusterGroup(
+                    member_ids={annotation_id},
+                    ranking=[annotation_id],
+                    previews={annotation_id: preview},
+                    vectors={annotation_id: contribution},
+                )
+            )
+
+    def config(self) -> dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "preview_words": self.preview_words,
+            "preview_limit": self.preview_limit,
+            "annotation_invariant": self.properties.annotation_invariant,
+            "data_invariant": self.properties.data_invariant,
+        }
+
+
+class ClusterType(SummaryType):
+    """Level-1 registration of the Cluster technique family."""
+
+    name = TYPE_NAME
+
+    def __init__(self, tokenizer: Tokenizer | None = None) -> None:
+        self._tokenizer = tokenizer
+
+    def create_instance(
+        self, instance_name: str, config: Mapping[str, Any]
+    ) -> ClusterInstance:
+        properties = InstanceProperties(
+            annotation_invariant=config.get("annotation_invariant", False),
+            data_invariant=config.get("data_invariant", True),
+        )
+        return ClusterInstance(
+            instance_name,
+            threshold=config.get("threshold", 0.4),
+            preview_words=config.get("preview_words", DEFAULT_PREVIEW_WORDS),
+            preview_limit=config.get("preview_limit", DEFAULT_PREVIEW_LIMIT),
+            tokenizer=self._tokenizer,
+            properties=properties,
+        )
+
+    def object_from_json(self, data: Mapping[str, Any]) -> ClusterSummary:
+        return ClusterSummary.from_json(data)

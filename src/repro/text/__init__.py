@@ -1,0 +1,33 @@
+"""Text-mining substrate used by the summary types.
+
+InsightNotes integrates classification, clustering, and text summarization
+with the annotation engine.  This package provides the shared pieces those
+techniques need: tokenization (:mod:`repro.text.tokenize`), sentence
+splitting (:mod:`repro.text.sentences`), sparse term vectors and TF-IDF
+weighting (:mod:`repro.text.vectorize`), and vector similarity measures
+(:mod:`repro.text.similarity`).
+
+Everything here is implemented from scratch over the standard library so the
+summary types have no heavyweight dependencies.
+"""
+
+from repro.text.sentences import split_sentences
+from repro.text.similarity import cosine_similarity, jaccard_similarity
+from repro.text.tokenize import STOPWORDS, Tokenizer, tokenize
+from repro.text.vectorize import (
+    SparseVector,
+    TfIdfVectorizer,
+    term_frequencies,
+)
+
+__all__ = [
+    "STOPWORDS",
+    "SparseVector",
+    "TfIdfVectorizer",
+    "Tokenizer",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "split_sentences",
+    "term_frequencies",
+    "tokenize",
+]

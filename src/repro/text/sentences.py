@@ -1,0 +1,70 @@
+"""Sentence splitting for the Snippet summary type.
+
+Large-object annotations (attached articles, long observation reports) are
+summarized by extracting their most representative sentences.  This module
+provides the sentence segmentation those extractors run on.
+
+The splitter is rule-based: it breaks on ``.``, ``!``, ``?`` followed by
+whitespace and an upper-case/numeric start, while protecting common
+abbreviations and decimal numbers.  That is accurate enough for the
+synthetic and scientific prose the workloads generate, and — critically for
+reproducibility — fully deterministic.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Abbreviations after which a period does not end the sentence.
+_ABBREVIATIONS: frozenset[str] = frozenset(
+    {
+        "dr", "mr", "mrs", "ms", "prof", "sp", "spp", "subsp", "var",
+        "fig", "figs", "eq", "sec", "vs", "etc", "al", "e.g", "i.e",
+        "approx", "ca", "cf", "no", "vol", "pp",
+    }
+)
+
+_BOUNDARY_RE = re.compile(r"([.!?])\s+")
+
+
+def _is_abbreviation(text_before: str) -> bool:
+    """Return True when the text before a period ends in an abbreviation."""
+    tail = text_before.rsplit(None, 1)[-1] if text_before.split() else ""
+    tail = tail.lstrip("([\"'")
+    stripped = tail.rstrip(".").lower()
+    if stripped in _ABBREVIATIONS:
+        return True
+    # Single letters ("J. Smith") and initials ("U.S.") are abbreviations.
+    return len(stripped) == 1 or bool(re.fullmatch(r"(?:[a-z]\.)+[a-z]?", tail.lower()))
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences.
+
+    Returns the non-empty sentences in document order, each stripped of
+    surrounding whitespace.  Newlines count as in-sentence whitespace so
+    wrapped paragraphs stay together; blank lines always break sentences.
+    """
+    sentences: list[str] = []
+    for paragraph in re.split(r"\n\s*\n", text):
+        paragraph = " ".join(paragraph.split())
+        if not paragraph:
+            continue
+        start = 0
+        for match in _BOUNDARY_RE.finditer(paragraph):
+            end = match.end(1)
+            candidate = paragraph[start:end]
+            rest = paragraph[match.end():]
+            if match.group(1) == "." and _is_abbreviation(candidate):
+                continue
+            # Require the next sentence to start like one.
+            if rest and not rest[0].isupper() and not rest[0].isdigit() and rest[0] not in "\"'(":
+                continue
+            sentence = candidate.strip()
+            if sentence:
+                sentences.append(sentence)
+            start = match.end()
+        tail = paragraph[start:].strip()
+        if tail:
+            sentences.append(tail)
+    return sentences

@@ -1,0 +1,109 @@
+"""Tokenization for annotation text.
+
+Annotations in InsightNotes are free-text values ("found eating stonewort",
+"size seems wrong", attached article bodies).  The summary types — Naive
+Bayes classification, stream clustering, snippet extraction — all consume a
+normalized token stream produced here.
+
+The tokenizer lower-cases, strips punctuation, drops stopwords and very
+short tokens, and applies a light suffix-stripping stemmer.  It is
+deliberately deterministic: identical text always produces the identical
+token sequence, which the incremental-maintenance layer relies on when it
+*removes* an annotation's effect from a summary (the removal must be the
+exact inverse of the addition).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+# A compact English stopword list.  Kept small on purpose: annotation text
+# is short, and over-aggressive stopword removal hurts the classifier.
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again all am an and any are as at be because been
+    before being below between both but by could did do does doing down
+    during each few for from further had has have having he her here hers
+    him his how i if in into is it its itself just me more most my no nor
+    not of off on once only or other our ours out over own same she should
+    so some such than that the their theirs them then there these they this
+    those through to too under until up very was we were what when where
+    which while who whom why will with you your yours
+    """.split()
+)
+
+_WORD_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+# Suffixes stripped by the light stemmer, longest first so e.g. "ingly"
+# wins over "ly".  This is intentionally far weaker than Porter: it only
+# needs to conflate obvious inflections ("feeding"/"feeds"/"feed") without
+# mangling domain vocabulary ("species" must not become "speci").
+_SUFFIXES: tuple[str, ...] = ("ingly", "edly", "ing", "ed", "ly", "es", "s")
+
+_SUFFIX_KEEP_WHOLE: frozenset[str] = frozenset(
+    # Words that look inflected but are not; stripping would destroy them.
+    {"species", "this", "is", "was", "has", "its", "during", "wings"}
+)
+
+
+def _stem(token: str) -> str:
+    """Strip one inflectional suffix from ``token`` when safe.
+
+    A suffix is stripped only when the remaining stem keeps at least three
+    characters, which avoids reducing short words to meaningless stubs.
+    """
+    if token in _SUFFIX_KEEP_WHOLE:
+        return token
+    for suffix in _SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+            return token[: -len(suffix)]
+    return token
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Configurable text tokenizer.
+
+    Parameters
+    ----------
+    stopwords:
+        Tokens removed from the output stream.  Defaults to
+        :data:`STOPWORDS`.
+    min_length:
+        Tokens shorter than this (before stemming) are dropped.
+    stem:
+        Whether to apply the light suffix stemmer.
+    """
+
+    stopwords: frozenset[str] = field(default=STOPWORDS)
+    min_length: int = 2
+    stem: bool = True
+
+    def tokens(self, text: str) -> list[str]:
+        """Return the token list for ``text``."""
+        return list(self.iter_tokens(text))
+
+    def iter_tokens(self, text: str) -> Iterator[str]:
+        """Yield tokens from ``text`` one at a time."""
+        for match in _WORD_RE.finditer(text.lower()):
+            token = match.group()
+            if len(token) < self.min_length or token in self.stopwords:
+                continue
+            yield _stem(token) if self.stem else token
+
+    def vocabulary(self, texts: Iterable[str]) -> set[str]:
+        """Return the set of distinct tokens across ``texts``."""
+        vocab: set[str] = set()
+        for text in texts:
+            vocab.update(self.iter_tokens(text))
+        return vocab
+
+
+_DEFAULT_TOKENIZER = Tokenizer()
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize ``text`` with the default tokenizer configuration."""
+    return _DEFAULT_TOKENIZER.tokens(text)

@@ -1,0 +1,109 @@
+"""Sparse term vectors and TF-IDF weighting.
+
+The Cluster summary type keeps one centroid vector per cluster and updates
+it incrementally as annotations arrive; the Snippet type scores sentences by
+term weight.  Both work over the :class:`SparseVector` mapping defined here.
+
+The :class:`TfIdfVectorizer` is *online*: document frequencies are updated
+as each new annotation is observed, so it never needs the full corpus up
+front — a requirement inherited from InsightNotes' incremental-maintenance
+contract (new annotations arrive continuously and must be folded into the
+summaries without recomputation).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+from repro.text.tokenize import Tokenizer
+
+# A sparse vector is simply a token -> weight mapping.
+SparseVector = dict[str, float]
+
+
+def term_frequencies(tokens: Iterable[str]) -> SparseVector:
+    """Return raw term counts for ``tokens`` as a sparse vector."""
+    return dict(Counter(tokens))
+
+
+def normalize(vector: Mapping[str, float]) -> SparseVector:
+    """Return ``vector`` scaled to unit Euclidean length.
+
+    The zero vector is returned unchanged (as an empty dict) rather than
+    raising, because empty annotations ("", punctuation only) legitimately
+    tokenize to nothing.
+    """
+    norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+    if norm == 0.0:
+        return {}
+    return {token: weight / norm for token, weight in vector.items()}
+
+
+class TfIdfVectorizer:
+    """Online TF-IDF vectorizer.
+
+    Each call to :meth:`add_document` updates the document-frequency table;
+    :meth:`vector` weights a document's term counts by the *current* inverse
+    document frequencies.  Weights therefore drift as the corpus grows —
+    exactly the behaviour of the stream-clustering technique the paper
+    integrates, where early cluster centroids are built from early IDF
+    estimates and refreshed lazily.
+    """
+
+    def __init__(self, tokenizer: Tokenizer | None = None) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+        self._document_frequency: Counter[str] = Counter()
+        self._num_documents = 0
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents folded into the IDF table so far."""
+        return self._num_documents
+
+    def add_document(self, text: str) -> list[str]:
+        """Fold ``text`` into the document-frequency table.
+
+        Returns the token list so callers can vectorize without
+        re-tokenizing.
+        """
+        tokens = self._tokenizer.tokens(text)
+        self._document_frequency.update(set(tokens))
+        self._num_documents += 1
+        return tokens
+
+    def remove_document(self, text: str) -> None:
+        """Remove a previously added document from the IDF table.
+
+        Used when an annotation's effect is projected out of a summary.
+        Removing a document that was never added corrupts the table; callers
+        are expected to pair add/remove exactly.
+        """
+        tokens = set(self._tokenizer.tokens(text))
+        for token in tokens:
+            remaining = self._document_frequency[token] - 1
+            if remaining <= 0:
+                del self._document_frequency[token]
+            else:
+                self._document_frequency[token] = remaining
+        self._num_documents = max(0, self._num_documents - 1)
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency of ``token``."""
+        df = self._document_frequency.get(token, 0)
+        return math.log((1 + self._num_documents) / (1 + df)) + 1.0
+
+    def vector(self, text: str, *, unit: bool = True) -> SparseVector:
+        """Return the TF-IDF vector of ``text`` under current IDF weights."""
+        return self.vector_from_tokens(self._tokenizer.tokens(text), unit=unit)
+
+    def vector_from_tokens(
+        self, tokens: Iterable[str], *, unit: bool = True
+    ) -> SparseVector:
+        """Return the TF-IDF vector for a pre-tokenized document."""
+        counts = term_frequencies(tokens)
+        weighted = {
+            token: count * self.idf(token) for token, count in counts.items()
+        }
+        return normalize(weighted) if unit else weighted

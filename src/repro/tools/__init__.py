@@ -1,0 +1,21 @@
+"""Operational tooling around the engine.
+
+Currently: portable export/import of an entire annotated database
+(:mod:`repro.tools.export`) — schemas, rows, raw annotations with their
+cell attachments, and summary-instance definitions travel as one JSON
+document; summaries are rebuilt on import.
+"""
+
+from repro.tools.export import (
+    export_database,
+    export_to_file,
+    import_database,
+    import_from_file,
+)
+
+__all__ = [
+    "export_database",
+    "export_to_file",
+    "import_database",
+    "import_from_file",
+]

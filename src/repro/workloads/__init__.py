@@ -1,0 +1,45 @@
+"""Synthetic workload generation.
+
+The paper demonstrates on the AKN ornithological database, where bird
+watchers add millions of free-text observations and the annotation count
+runs 30x-250x the record count.  Those datasets are not redistributable,
+so this package generates the closest synthetic equivalent: bird relations
+with themed free-text annotations (behavior / disease / anatomy /
+provenance / comments / questions), attached documents, configurable
+annotations-per-row ratios, multi-tuple annotations, plus query and
+zoom-in reference streams for the benchmarks.
+
+All generation is seeded and fully deterministic.
+"""
+
+from repro.workloads.corpus import (
+    ANNOTATION_CATEGORIES,
+    AnnotationFactory,
+    CorpusGenerator,
+)
+from repro.workloads.domains import GENOMICS, ORNITHOLOGY, PROFILES, DomainProfile
+from repro.workloads.generator import (
+    GeneratedWorkload,
+    WorkloadConfig,
+    build_genomics_workload,
+    build_workload,
+)
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.zoomin_workload import ZoomInWorkload, zipf_weights
+
+__all__ = [
+    "ANNOTATION_CATEGORIES",
+    "AnnotationFactory",
+    "CorpusGenerator",
+    "DomainProfile",
+    "GENOMICS",
+    "GeneratedWorkload",
+    "ORNITHOLOGY",
+    "PROFILES",
+    "QueryWorkload",
+    "WorkloadConfig",
+    "ZoomInWorkload",
+    "build_genomics_workload",
+    "build_workload",
+    "zipf_weights",
+]

@@ -1,0 +1,324 @@
+"""Domain profiles for synthetic annotation corpora.
+
+The paper stresses that annotation semantics are domain-specific: an
+ornithological database classifies annotations into Behavior / Disease /
+Anatomy, a biological one into FunctionPrediction / Provenance / Comment
+(§2.3).  A :class:`DomainProfile` packages one such domain — its
+ground-truth categories and themed sentence pools — so the corpus
+generator, workload builders, and quality benchmarks can target any
+domain with the same machinery.
+
+Two profiles ship: :data:`ORNITHOLOGY` (the AKN-style bird domain the
+demo uses) and :data:`GENOMICS` (the gene-curation domain the paper's
+extensibility discussion names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class DomainProfile:
+    """One annotation domain: categories and their sentence pools.
+
+    ``pools`` maps each category to ``verb`` / ``object`` / ``context``
+    phrase lists; a sentence is one draw from each, concatenated.
+    ``document_topics`` and ``document_sentences`` drive large-object
+    (attached article) generation.
+    """
+
+    name: str
+    pools: Mapping[str, Mapping[str, tuple[str, ...]]]
+    document_topics: tuple[str, ...]
+    document_sentences: tuple[str, ...]
+    #: Default category mix for the annotation factory (must sum ~1).
+    default_weights: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        """Ground-truth categories, in declaration order."""
+        return tuple(self.pools)
+
+
+def _freeze(
+    pools: dict[str, dict[str, list[str]]]
+) -> Mapping[str, Mapping[str, tuple[str, ...]]]:
+    return MappingProxyType(
+        {
+            category: MappingProxyType(
+                {slot: tuple(phrases) for slot, phrases in slots.items()}
+            )
+            for category, slots in pools.items()
+        }
+    )
+
+
+ORNITHOLOGY = DomainProfile(
+    name="ornithology",
+    pools=_freeze(
+        {
+            "Behavior": {
+                "verb": [
+                    "observed feeding on", "seen foraging among",
+                    "spotted diving for", "watched chasing",
+                    "noticed courting near", "recorded nesting by",
+                    "seen preening at", "observed migrating over",
+                    "caught grazing on",
+                ],
+                "object": [
+                    "stonewort beds", "small insects", "pond weeds",
+                    "mollusks", "grass shoots", "floating algae",
+                    "shallow reeds", "grain fields",
+                ],
+                "context": [
+                    "at dawn", "during low tide", "in the early evening",
+                    "after heavy rain", "throughout the morning",
+                    "near the shoreline",
+                ],
+            },
+            "Disease": {
+                "verb": [
+                    "shows symptoms of", "appears infected with",
+                    "tested positive for",
+                    "displays lesions consistent with", "suffering from",
+                    "possible carrier of",
+                ],
+                "object": [
+                    "avian influenza", "aspergillosis", "avian pox",
+                    "botulism", "a fungal infection", "parasitic mites",
+                    "west nile virus",
+                ],
+                "context": [
+                    "on the left wing", "around the beak",
+                    "across the plumage", "affecting flight",
+                    "with visible fatigue", "spreading in the flock",
+                ],
+            },
+            "Anatomy": {
+                "verb": [
+                    "has an unusually large", "shows a deformed",
+                    "displays a vivid", "carries a distinctive",
+                    "exhibits an elongated", "bears an asymmetric",
+                ],
+                "object": [
+                    "bill", "wingspan", "tail fan", "neck", "crest",
+                    "leg band area", "primary feather set", "breast patch",
+                ],
+                "context": [
+                    "compared to the species norm", "for a juvenile",
+                    "suggesting hybridization", "typical of older males",
+                    "measuring well above average",
+                    "unlike nearby individuals",
+                ],
+            },
+            "Provenance": {
+                "verb": [
+                    "record imported from", "value derived from",
+                    "entry curated by", "measurement copied from",
+                    "data traced back to", "field validated against",
+                ],
+                "object": [
+                    "the 2009 census files", "station logbook 47",
+                    "the AKN archive", "a museum specimen card",
+                    "the regional survey batch", "an upstream database dump",
+                ],
+                "context": [
+                    "with manual corrections", "during the spring ingest",
+                    "by the curation team", "under protocol B",
+                    "before deduplication", "with checksum verification",
+                ],
+            },
+            "Comment": {
+                "verb": [
+                    "great sighting of", "lovely example of",
+                    "another report of", "routine update about",
+                    "fun encounter with", "brief note on",
+                ],
+                "object": [
+                    "this individual", "the local flock", "a returning pair",
+                    "the banded bird", "this population",
+                    "the resident group",
+                ],
+                "context": [
+                    "worth sharing", "for the monthly log",
+                    "nothing unusual otherwise", "thanks to the volunteers",
+                    "photo attached elsewhere", "as discussed at the meetup",
+                ],
+            },
+            "Question": {
+                "verb": [
+                    "can anyone confirm", "is it normal to see",
+                    "does anyone know why", "should we re-check",
+                    "has someone verified", "why does the record show",
+                ],
+                "object": [
+                    "this weight value", "the reported range",
+                    "such early migration", "the species id",
+                    "this plumage pattern", "the duplicate entry",
+                ],
+                "context": [
+                    "for this region?", "at this time of year?",
+                    "in this habitat?", "given last year's data?",
+                    "or is it an error?", "before we publish?",
+                ],
+            },
+        }
+    ),
+    document_topics=(
+        "migration corridors", "wetland conservation",
+        "breeding success rates", "banding methodology",
+        "diet composition studies", "population dynamics",
+        "habitat fragmentation", "climate-driven range shifts",
+    ),
+    document_sentences=(
+        "The study tracked {count} individuals across {seasons} seasons.",
+        "Results indicate a significant shift in {topic} over the last decade.",
+        "Field teams recorded observations at {count} monitoring stations.",
+        "Earlier surveys of {topic} reported broadly consistent findings.",
+        "The analysis controls for observer effort and seasonal variation.",
+        "Sample sizes remain modest, so conclusions about {topic} are preliminary.",
+        "Follow-up work will extend the transects into adjacent wetlands.",
+        "The appendix lists raw counts for every participating station.",
+        "Detection probability was estimated with standard occupancy models.",
+        "These findings align with continental trends in {topic}.",
+    ),
+    default_weights=MappingProxyType(
+        {
+            "Behavior": 0.30,
+            "Comment": 0.28,
+            "Anatomy": 0.15,
+            "Provenance": 0.12,
+            "Question": 0.10,
+            "Disease": 0.05,
+        }
+    ),
+)
+
+
+GENOMICS = DomainProfile(
+    name="genomics",
+    pools=_freeze(
+        {
+            "FunctionPrediction": {
+                "verb": [
+                    "predicted to regulate", "likely involved in",
+                    "computationally linked to", "annotated as part of",
+                    "inferred to control", "homology suggests a role in",
+                ],
+                "object": [
+                    "dna repair pathways", "tumor suppression",
+                    "lipid metabolism", "transcription initiation",
+                    "membrane transport", "cell cycle checkpoints",
+                    "chromatin remodeling",
+                ],
+                "context": [
+                    "based on orthology evidence", "from the motif scan",
+                    "with high confidence", "pending wet-lab validation",
+                    "per the pathway model", "in stressed cell lines",
+                ],
+            },
+            "Experiment": {
+                "verb": [
+                    "knockout assay shows", "expression profiling reveals",
+                    "western blot confirms", "crispr screen indicates",
+                    "co-immunoprecipitation detects", "qpcr measurements show",
+                ],
+                "object": [
+                    "reduced viability", "elevated transcript levels",
+                    "protein complex formation", "loss of function",
+                    "tissue specific expression", "a binding interaction",
+                ],
+                "context": [
+                    "under oxidative stress", "in liver tissue",
+                    "across three replicates", "at 48 hours",
+                    "in the mutant strain", "relative to wild type",
+                ],
+            },
+            "Provenance": {
+                "verb": [
+                    "record imported from", "annotation merged from",
+                    "entry curated by", "mapping lifted over from",
+                    "identifiers reconciled against", "sequence copied from",
+                ],
+                "object": [
+                    "the consortium release", "an older assembly",
+                    "the swiss curation team", "refseq build 112",
+                    "the submitter archive", "a legacy flat file",
+                ],
+                "context": [
+                    "during the spring ingest", "with manual corrections",
+                    "under pipeline v7", "before deduplication",
+                    "with md5 verification", "as part of the merge",
+                ],
+            },
+            "Comment": {
+                "verb": [
+                    "interesting gene regarding", "general note on",
+                    "routine update about", "see also the discussion of",
+                    "worth revisiting for", "minor remark concerning",
+                ],
+                "object": [
+                    "this locus", "the paralog family", "the splice variants",
+                    "the upstream region", "this accession",
+                    "the naming history",
+                ],
+                "context": [
+                    "for the next release", "per the meeting notes",
+                    "nothing blocking", "as community feedback",
+                    "for completeness", "while triaging tickets",
+                ],
+            },
+            "Question": {
+                "verb": [
+                    "can anyone confirm", "is it expected that",
+                    "why does the record show", "should we re-run",
+                    "has someone verified", "does anyone know whether",
+                ],
+                "object": [
+                    "this coordinate range", "the strand assignment",
+                    "such low coverage", "the organism mapping",
+                    "this duplicate symbol", "the reported length",
+                ],
+                "context": [
+                    "for this assembly?", "before we publish?",
+                    "given the new reads?", "or is it a lift-over bug?",
+                    "in the primary source?", "against the browser view?",
+                ],
+            },
+        }
+    ),
+    document_topics=(
+        "comparative genomics", "variant calling pipelines",
+        "gene family evolution", "expression atlases",
+        "functional annotation transfer", "assembly quality",
+    ),
+    document_sentences=(
+        "The pipeline processed {count} samples across {seasons} batches.",
+        "Results indicate measurable bias in {topic} at low coverage.",
+        "Replication across {count} cohorts supports the main finding.",
+        "Earlier releases of {topic} reported broadly consistent calls.",
+        "The appendix lists per-gene statistics for every cohort.",
+        "Sample sizes remain modest, so conclusions about {topic} are preliminary.",
+        "Follow-up work will target the unresolved paralog clusters.",
+        "Quality metrics were computed with the standard toolchain.",
+        "These findings align with published surveys of {topic}.",
+    ),
+    default_weights=MappingProxyType(
+        {
+            "FunctionPrediction": 0.25,
+            "Experiment": 0.20,
+            "Provenance": 0.20,
+            "Comment": 0.25,
+            "Question": 0.10,
+        }
+    ),
+)
+
+
+#: Profiles by name, for lookup in configs and CLIs.
+PROFILES: Mapping[str, DomainProfile] = MappingProxyType(
+    {profile.name: profile for profile in (ORNITHOLOGY, GENOMICS)}
+)

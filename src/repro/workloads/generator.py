@@ -1,0 +1,363 @@
+"""Annotated-database generation.
+
+Builds a ready-to-query :class:`~repro.engine.session.InsightNotes`
+session that mirrors the paper's demonstration setup:
+
+* a ``birds`` relation (name, species, region, weight) and a ``sightings``
+  relation (species, region, observer, count) sharing join keys;
+* the four summary instances of Figure 1 — two classifiers (``ClassBird1``
+  over Behavior/Disease/Anatomy/Other, ``ClassBird2`` over
+  Provenance/Comment/Question/Other), one cluster (``SimCluster``), and
+  one snippet instance (``TextSummary1``) — trained on a synthetic
+  labelled corpus and linked to ``birds``;
+* themed free-text annotations at a configurable annotations-per-row
+  ratio (the paper quotes 30x-250x), a fraction of which are large
+  document annotations and a fraction of which attach to multiple rows.
+
+Ground-truth categories for every generated annotation are retained for
+the quality benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.engine.session import InsightNotes
+from repro.model.cell import CellRef
+from repro.workloads.corpus import AnnotationFactory
+
+_BIRD_NAMES = [
+    "Swan Goose", "Mute Swan", "Snow Goose", "Tundra Swan", "Canada Goose",
+    "Trumpeter Swan", "Brant", "Barnacle Goose", "Ross Goose", "Whooper Swan",
+]
+_SPECIES = [
+    "Anser cygnoides", "Cygnus olor", "Anser caerulescens",
+    "Cygnus columbianus", "Branta canadensis", "Cygnus buccinator",
+    "Branta bernicla", "Branta leucopsis", "Anser rossii", "Cygnus cygnus",
+]
+_REGIONS = ["northeast", "southeast", "midwest", "mountain", "pacific"]
+_OBSERVERS = ["aria", "ben", "carla", "dmitri", "elena", "farid"]
+
+_GENE_SYMBOLS = [
+    "BRCA1", "TP53", "MYC", "EGFR", "KRAS", "PTEN", "RB1", "APC",
+    "VHL", "ATM",
+]
+_ORGANISMS = ["human", "mouse", "zebrafish", "fruitfly"]
+_CHROMOSOMES = ["1", "2", "7", "13", "17", "X"]
+_TISSUES = ["liver", "brain", "muscle", "kidney", "retina"]
+_LABS = ["wetlab-a", "wetlab-b", "seqcore", "external"]
+
+#: Ground-truth category -> GeneClasses label (genomics profile).
+GENECLASSES_MAPPING = {
+    "FunctionPrediction": "FunctionPrediction",
+    "Experiment": "Experiment",
+    "Provenance": "Provenance",
+    "Comment": "Other",
+    "Question": "Other",
+}
+
+#: Ground-truth category -> ClassBird1 label.
+CLASSBIRD1_MAPPING = {
+    "Behavior": "Behavior",
+    "Disease": "Disease",
+    "Anatomy": "Anatomy",
+    "Provenance": "Other",
+    "Comment": "Other",
+    "Question": "Other",
+}
+
+#: Ground-truth category -> ClassBird2 label.
+CLASSBIRD2_MAPPING = {
+    "Provenance": "Provenance",
+    "Comment": "Comment",
+    "Question": "Question",
+    "Behavior": "Other",
+    "Disease": "Other",
+    "Anatomy": "Other",
+}
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the generated workload.
+
+    ``annotations_per_row`` is the paper's headline ratio (30x / 120x /
+    250x).  ``document_fraction`` of annotations are large documents;
+    ``multi_row_fraction`` attach to several rows (exercising the
+    summarize-once path); ``column_fraction`` attach to a single random
+    column rather than the whole row (exercising projection semantics).
+    """
+
+    num_birds: int = 20
+    num_sightings: int = 40
+    annotations_per_row: int = 30
+    document_fraction: float = 0.02
+    multi_row_fraction: float = 0.05
+    column_fraction: float = 0.3
+    training_per_category: int = 12
+    cluster_threshold: float = 0.35
+    with_classifiers: bool = True
+    with_cluster: bool = True
+    with_snippet: bool = True
+    annotate_sightings: bool = False
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_birds < 1:
+            raise ValueError("num_birds must be >= 1")
+        if self.annotations_per_row < 0:
+            raise ValueError("annotations_per_row must be >= 0")
+        for name in ("document_fraction", "multi_row_fraction", "column_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class GeneratedWorkload:
+    """A populated session plus the generation ground truth."""
+
+    session: InsightNotes
+    config: WorkloadConfig
+    bird_rows: list[int] = field(default_factory=list)
+    sighting_rows: list[int] = field(default_factory=list)
+    ground_truth: dict[int, str] = field(default_factory=dict)
+    document_ids: list[int] = field(default_factory=list)
+
+    @property
+    def annotation_count(self) -> int:
+        """Total annotations generated."""
+        return len(self.ground_truth)
+
+    def instance_names(self) -> list[str]:
+        """Summary instances defined by the generator."""
+        return self.session.catalog.instance_names()
+
+
+def build_genomics_workload(
+    config: WorkloadConfig | None = None,
+    session: InsightNotes | None = None,
+) -> GeneratedWorkload:
+    """Generate an annotated *genomics* database.
+
+    The biological counterpart of :func:`build_workload`: a ``genes``
+    relation and an ``assays`` relation, annotated from the genomics
+    domain profile, with a ``GeneClasses`` classifier (the
+    FunctionPrediction / Provenance / ... label set the paper names for
+    biological databases), a content cluster, and a snippet instance.
+
+    ``config.num_birds`` / ``num_sightings`` are interpreted as gene and
+    assay counts (the knobs are domain-neutral).
+    """
+    from repro.workloads.domains import GENOMICS
+
+    config = config or WorkloadConfig()
+    session = session or InsightNotes()
+    rng = random.Random(config.seed)
+    factory = AnnotationFactory(seed=config.seed, profile=GENOMICS)
+
+    session.create_table("genes", ["symbol", "organism", "chromosome", "length"])
+    for i in range(config.num_birds):
+        symbol = _GENE_SYMBOLS[i % len(_GENE_SYMBOLS)]
+        if i >= len(_GENE_SYMBOLS):
+            symbol = f"{symbol}L{i // len(_GENE_SYMBOLS)}"
+        session.insert(
+            "genes",
+            (
+                symbol,
+                rng.choice(_ORGANISMS),
+                rng.choice(_CHROMOSOMES),
+                rng.randint(900, 250_000),
+            ),
+        )
+    session.create_table("assays", ["organism", "tissue", "lab", "reads"])
+    for _ in range(config.num_sightings):
+        session.insert(
+            "assays",
+            (
+                rng.choice(_ORGANISMS),
+                rng.choice(_TISSUES),
+                rng.choice(_LABS),
+                rng.randint(1_000, 900_000),
+            ),
+        )
+
+    training = factory.training_set(config.training_per_category)
+    if config.with_classifiers:
+        session.define_classifier(
+            "GeneClasses",
+            labels=["FunctionPrediction", "Experiment", "Provenance", "Other"],
+            training=[
+                (text, GENECLASSES_MAPPING[category])
+                for text, category in training
+            ],
+        )
+        session.link("GeneClasses", "genes")
+    if config.with_cluster:
+        session.define_cluster("GeneCluster", threshold=config.cluster_threshold)
+        session.link("GeneCluster", "genes")
+    if config.with_snippet:
+        session.define_snippet("GeneDocs", max_sentences=2)
+        session.link("GeneDocs", "genes")
+
+    workload = GeneratedWorkload(session=session, config=config)
+    workload.bird_rows = [row_id for row_id, _ in session.db.rows("genes")]
+    workload.sighting_rows = [row_id for row_id, _ in session.db.rows("assays")]
+    columns = session.db.columns("genes")
+    for row_id in workload.bird_rows:
+        for _ in range(config.annotations_per_row):
+            if rng.random() < config.document_fraction:
+                title, body = factory.draw_document()
+                annotation = session.add_annotation(
+                    body, table="genes", row_id=row_id, document=True,
+                    title=title, author=rng.choice(_LABS),
+                )
+                workload.ground_truth[annotation.annotation_id] = "Comment"
+                workload.document_ids.append(annotation.annotation_id)
+                continue
+            text, category = factory.draw()
+            kwargs: dict = {"table": "genes", "row_id": row_id}
+            if rng.random() < config.column_fraction:
+                kwargs["columns"] = [rng.choice(columns)]
+            annotation = session.add_annotation(
+                text, author=rng.choice(_LABS), **kwargs
+            )
+            workload.ground_truth[annotation.annotation_id] = category
+    return workload
+
+
+def build_workload(
+    config: WorkloadConfig | None = None,
+    session: InsightNotes | None = None,
+) -> GeneratedWorkload:
+    """Generate a fully annotated database per ``config``."""
+    config = config or WorkloadConfig()
+    session = session or InsightNotes()
+    rng = random.Random(config.seed)
+    factory = AnnotationFactory(seed=config.seed)
+
+    _create_tables(session, config, rng)
+    workload = GeneratedWorkload(session=session, config=config)
+    workload.bird_rows = [
+        row_id for row_id, _values in session.db.rows("birds")
+    ]
+    workload.sighting_rows = [
+        row_id for row_id, _values in session.db.rows("sightings")
+    ]
+    _define_instances(session, config, factory)
+    _annotate(workload, factory, rng)
+    return workload
+
+
+def _create_tables(
+    session: InsightNotes, config: WorkloadConfig, rng: random.Random
+) -> None:
+    session.create_table("birds", ["name", "species", "region", "weight"])
+    for i in range(config.num_birds):
+        name = _BIRD_NAMES[i % len(_BIRD_NAMES)]
+        species = _SPECIES[i % len(_SPECIES)]
+        if i >= len(_BIRD_NAMES):
+            name = f"{name} {i // len(_BIRD_NAMES) + 1}"
+        session.insert(
+            "birds",
+            (
+                name,
+                species,
+                rng.choice(_REGIONS),
+                round(rng.uniform(1.2, 14.0), 1),
+            ),
+        )
+    session.create_table("sightings", ["species", "region", "observer", "count"])
+    for _ in range(config.num_sightings):
+        session.insert(
+            "sightings",
+            (
+                rng.choice(_SPECIES[: max(1, config.num_birds)])
+                if config.num_birds < len(_SPECIES)
+                else rng.choice(_SPECIES),
+                rng.choice(_REGIONS),
+                rng.choice(_OBSERVERS),
+                rng.randint(1, 120),
+            ),
+        )
+
+
+def _define_instances(
+    session: InsightNotes, config: WorkloadConfig, factory: AnnotationFactory
+) -> None:
+    tables = ["birds"] + (["sightings"] if config.annotate_sightings else [])
+    training = factory.training_set(config.training_per_category)
+    if config.with_classifiers:
+        session.define_classifier(
+            "ClassBird1",
+            labels=["Behavior", "Disease", "Anatomy", "Other"],
+            training=[
+                (text, CLASSBIRD1_MAPPING[category]) for text, category in training
+            ],
+        )
+        session.define_classifier(
+            "ClassBird2",
+            labels=["Provenance", "Comment", "Question", "Other"],
+            training=[
+                (text, CLASSBIRD2_MAPPING[category]) for text, category in training
+            ],
+        )
+        for table in tables:
+            session.link("ClassBird1", table)
+            session.link("ClassBird2", table)
+    if config.with_cluster:
+        session.define_cluster("SimCluster", threshold=config.cluster_threshold)
+        for table in tables:
+            session.link("SimCluster", table)
+    if config.with_snippet:
+        session.define_snippet("TextSummary1", max_sentences=2)
+        for table in tables:
+            session.link("TextSummary1", table)
+
+
+def _annotate(
+    workload: GeneratedWorkload, factory: AnnotationFactory, rng: random.Random
+) -> None:
+    session = workload.session
+    config = workload.config
+    targets: list[tuple[str, list[int], tuple[str, ...]]] = [
+        ("birds", workload.bird_rows, session.db.columns("birds")),
+    ]
+    if config.annotate_sightings:
+        targets.append(
+            ("sightings", workload.sighting_rows, session.db.columns("sightings"))
+        )
+    for table, row_ids, columns in targets:
+        for row_id in row_ids:
+            for _ in range(config.annotations_per_row):
+                if rng.random() < config.document_fraction:
+                    title, body = factory.draw_document()
+                    annotation = session.add_annotation(
+                        body,
+                        table=table,
+                        row_id=row_id,
+                        document=True,
+                        title=title,
+                        author=rng.choice(_OBSERVERS),
+                    )
+                    workload.ground_truth[annotation.annotation_id] = "Comment"
+                    workload.document_ids.append(annotation.annotation_id)
+                    continue
+                text, category = factory.draw()
+                cells: list[CellRef] | None = None
+                kwargs: dict = {"table": table, "row_id": row_id}
+                if rng.random() < config.column_fraction:
+                    kwargs["columns"] = [rng.choice(columns)]
+                if rng.random() < config.multi_row_fraction and len(row_ids) > 1:
+                    other = rng.choice([r for r in row_ids if r != row_id])
+                    column = rng.choice(columns)
+                    cells = [
+                        CellRef(table, row_id, column),
+                        CellRef(table, other, column),
+                    ]
+                    kwargs = {"cells": cells}
+                annotation = session.add_annotation(
+                    text, author=rng.choice(_OBSERVERS), **kwargs
+                )
+                workload.ground_truth[annotation.annotation_id] = category

@@ -1,0 +1,91 @@
+"""Query workload generation.
+
+Produces the SQL mixes the benchmarks replay: point/range selections,
+projections of varying width, select-project-join queries over
+``birds``/``sightings``, grouping/aggregation, and summary-predicate
+queries.  Each generated query is tagged with its class so benchmarks can
+report per-class numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_REGIONS = ["northeast", "southeast", "midwest", "mountain", "pacific"]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One generated query with its class tag."""
+
+    sql: str
+    query_class: str  # "select" | "project" | "spj" | "aggregate" | "summary"
+
+
+class QueryWorkload:
+    """Seeded generator of benchmark queries over the standard schema."""
+
+    def __init__(self, seed: int = 11) -> None:
+        self._rng = random.Random(seed)
+
+    def selection(self) -> WorkloadQuery:
+        """A selection over birds with a range or equality predicate."""
+        rng = self._rng
+        if rng.random() < 0.5:
+            weight = round(rng.uniform(2.0, 12.0), 1)
+            sql = f"SELECT name, species, weight FROM birds WHERE weight > {weight}"
+        else:
+            region = rng.choice(_REGIONS)
+            sql = f"SELECT name, species FROM birds WHERE region = '{region}'"
+        return WorkloadQuery(sql, "select")
+
+    def projection(self, width: int = 2) -> WorkloadQuery:
+        """A pure projection keeping ``width`` of birds' four columns."""
+        columns = ["name", "species", "region", "weight"][: max(1, min(width, 4))]
+        return WorkloadQuery(
+            f"SELECT {', '.join(columns)} FROM birds", "project"
+        )
+
+    def spj(self) -> WorkloadQuery:
+        """The Figure 2 shape: select-project-join over both relations."""
+        region = self._rng.choice(_REGIONS)
+        sql = (
+            "SELECT b.name, b.species, s.observer, s.count "
+            "FROM birds b, sightings s "
+            f"WHERE b.species = s.species AND s.region = '{region}'"
+        )
+        return WorkloadQuery(sql, "spj")
+
+    def aggregate(self) -> WorkloadQuery:
+        """Grouping with aggregation over the join."""
+        sql = (
+            "SELECT b.species, count(*), avg(s.count) "
+            "FROM birds b, sightings s WHERE b.species = s.species "
+            "GROUP BY b.species ORDER BY count(*) DESC"
+        )
+        return WorkloadQuery(sql, "aggregate")
+
+    def summary_predicate(self, instance: str = "ClassBird1",
+                          label: str = "Disease") -> WorkloadQuery:
+        """A summary-based filter — the paper's new operator class."""
+        threshold = self._rng.randint(0, 3)
+        sql = (
+            "SELECT name, species FROM birds "
+            f"WHERE SUMMARY_COUNT('{instance}', '{label}') > {threshold} "
+            f"ORDER BY SUMMARY_COUNT('{instance}', '{label}') DESC"
+        )
+        return WorkloadQuery(sql, "summary")
+
+    def mixed(self, count: int) -> list[WorkloadQuery]:
+        """A shuffled mix across all query classes."""
+        makers = [
+            self.selection,
+            lambda: self.projection(self._rng.randint(1, 4)),
+            self.spj,
+            self.aggregate,
+            self.summary_predicate,
+        ]
+        queries = [makers[i % len(makers)]() for i in range(count)]
+        self._rng.shuffle(queries)
+        return queries

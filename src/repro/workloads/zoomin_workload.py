@@ -1,0 +1,73 @@
+"""Zoom-in reference streams.
+
+Interactive zoom-in traffic is highly skewed — users keep drilling into a
+handful of recent, interesting results.  The EXP-Z1 benchmark therefore
+replays Zipf-distributed reference streams over a set of QIDs, which is
+where RCO's frequency/recency factors earn their keep against LRU/LFU.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+def zipf_weights(count: int, exponent: float = 1.1) -> list[float]:
+    """Zipf weights ``1/rank^exponent`` for ranks 1..count."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    return [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+
+
+@dataclass(frozen=True)
+class ZoomInReference:
+    """One replayed zoom-in: which QID, which instance, which component."""
+
+    qid: int
+    instance: str
+    index: int | None
+
+    def command_text(self) -> str:
+        """The corresponding ZOOMIN command."""
+        text = f"ZOOMIN REFERENCE QID = {self.qid} ON {self.instance}"
+        if self.index is not None:
+            text += f" INDEX {self.index}"
+        return text
+
+
+class ZoomInWorkload:
+    """Seeded Zipf-skewed zoom-in stream over known QIDs."""
+
+    def __init__(
+        self,
+        qids: Sequence[int],
+        instances: Sequence[str],
+        exponent: float = 1.1,
+        max_index: int = 4,
+        seed: int = 13,
+    ) -> None:
+        if not qids:
+            raise ValueError("qids must be non-empty")
+        if not instances:
+            raise ValueError("instances must be non-empty")
+        self._qids = list(qids)
+        self._instances = list(instances)
+        self._weights = zipf_weights(len(self._qids), exponent)
+        self._max_index = max_index
+        self._rng = random.Random(seed)
+
+    def draw(self) -> ZoomInReference:
+        """One zoom-in reference draw."""
+        qid = self._rng.choices(self._qids, weights=self._weights)[0]
+        instance = self._rng.choice(self._instances)
+        index: int | None = None
+        if self._max_index > 0 and self._rng.random() < 0.8:
+            index = self._rng.randint(1, self._max_index)
+        return ZoomInReference(qid=qid, instance=instance, index=index)
+
+    def stream(self, length: int) -> list[ZoomInReference]:
+        """A reference stream of the given length."""
+        return [self.draw() for _ in range(length)]

@@ -1,0 +1,42 @@
+"""Zoom-in query processing.
+
+After a query returns tuples with attached summary objects, users drill
+back into the raw annotations behind a specific summary component — a
+classifier label, a cluster group, or a snippet — with the ZOOMIN command
+(§2.2, Figure 3):
+
+    ZOOMIN REFERENCE QID = 101 WHERE C1 = 'x' ON NaiveBayesClass INDEX 1
+
+Execution is served by a limited cache in which query results compete for
+space under the **RCO** replacement policy (Recency, Complexity, Overhead
++ zoom-in reference frequency); LRU / LFU / FIFO / size-based baselines
+are provided for the EXP-Z1 benchmark.
+"""
+
+from repro.zoomin.cache import CacheStats, ZoomInCache
+from repro.zoomin.command import ZoomInCommand, parse_zoomin
+from repro.zoomin.executor import ZoomInExecutor, ZoomInMatch, ZoomInResult
+from repro.zoomin.policies import (
+    FIFOPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    SizePolicy,
+)
+from repro.zoomin.rco import RCOPolicy
+
+__all__ = [
+    "CacheStats",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "RCOPolicy",
+    "ReplacementPolicy",
+    "SizePolicy",
+    "ZoomInCache",
+    "ZoomInCommand",
+    "ZoomInExecutor",
+    "ZoomInMatch",
+    "ZoomInResult",
+    "parse_zoomin",
+]

@@ -1,0 +1,149 @@
+"""The zoom-in result cache.
+
+Query results are materialized into a limited cache where they "compete
+with each other" (§2.2) to serve future zoom-in operations.  The cache
+charges each result its estimated size; when capacity is exceeded the
+configured replacement policy picks victims.  A result larger than the
+whole cache is simply not admitted.
+
+All timing is a logical clock (one tick per cache operation) so that
+replacement behaviour is deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.results import QueryResult
+from repro.zoomin.policies import CacheEntry, LRUPolicy, ReplacementPolicy
+from repro.zoomin.stores import MemoryResultStore, ResultStore
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for benchmark reporting."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ZoomInCache:
+    """Bounded result cache with pluggable replacement.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total budget charged against
+        :meth:`~repro.engine.results.QueryResult.size_estimate`.
+    policy:
+        Replacement policy; defaults to LRU (the RCO policy is what the
+        session installs — see :class:`repro.zoomin.rco.RCOPolicy`).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 4 * 1024 * 1024,
+        policy: ReplacementPolicy | None = None,
+        store: ResultStore | None = None,
+    ) -> None:
+        if capacity_bytes < 1:
+            raise ValueError(f"capacity_bytes must be >= 1, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy or LRUPolicy()
+        self.store = store or MemoryResultStore()
+        self.stats = CacheStats()
+        self._entries: dict[int, CacheEntry] = {}
+        self._clock = 0
+        self._bytes_used = 0
+
+    # -- clock ----------------------------------------------------------
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    @property
+    def bytes_used(self) -> int:
+        """Space currently charged."""
+        return self._bytes_used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, qid: int) -> bool:
+        return qid in self._entries
+
+    # -- operations ----------------------------------------------------
+
+    def get(self, qid: int) -> QueryResult | None:
+        """Look up a result, recording the zoom-in reference."""
+        now = self._tick()
+        entry = self._entries.get(qid)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.last_access = now
+        entry.access_count += 1
+        self.stats.hits += 1
+        result = self.store.get(qid)
+        assert result is not None, f"cache entry without stored result: {qid}"
+        return result
+
+    def put(self, result: QueryResult) -> bool:
+        """Admit ``result``, evicting victims as needed.
+
+        Returns False when the result alone exceeds the capacity and is
+        therefore rejected.  Re-putting an existing QID refreshes it.
+        """
+        now = self._tick()
+        if result.qid in self._entries:
+            self._evict_one(result.qid)
+        size = self.store.put(result)
+        if size > self.capacity_bytes:
+            self.store.delete(result.qid)
+            self.stats.rejected += 1
+            return False
+        while self._bytes_used + size > self.capacity_bytes:
+            victim = self.policy.victim(list(self._entries.values()), now)
+            self._evict_one(victim.qid)
+            self.stats.evictions += 1
+        self._entries[result.qid] = CacheEntry(
+            qid=result.qid,
+            size_bytes=size,
+            cost=result.plan_cost,
+            inserted_at=now,
+            last_access=now,
+            access_count=0,
+        )
+        self._bytes_used += size
+        self.stats.insertions += 1
+        return True
+
+    def _evict_one(self, qid: int) -> None:
+        entry = self._entries.pop(qid, None)
+        if entry is not None:
+            self._bytes_used -= entry.size_bytes
+            self.store.delete(qid)
+
+    def invalidate(self, qid: int) -> None:
+        """Drop one result (e.g. its base data changed)."""
+        self._evict_one(qid)
+
+    def clear(self) -> None:
+        """Drop everything, keeping statistics."""
+        self.store.clear()
+        self._entries.clear()
+        self._bytes_used = 0
+
+    def resident_qids(self) -> list[int]:
+        """QIDs currently cached, sorted."""
+        return sorted(self._entries)

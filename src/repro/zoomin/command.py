@@ -1,0 +1,154 @@
+"""The ZOOMIN command language.
+
+Grammar (keywords case-insensitive, trailing ``;`` optional)::
+
+    ZOOMIN REFERENCE QID = <int>
+           [WHERE <expression>]
+           ON <instance_name>
+           [INDEX <int>]
+           [DETAIL COUNT|FULL]
+
+``WHERE`` refines which result tuples to expand, using the same expression
+language as queries (evaluated against the referenced result's schema).
+``ON`` names the summary instance; ``INDEX`` selects a 1-based component
+within each tuple's summary object (a class label position, a cluster
+group, a snippet) — omitted, every component expands.  ``DETAIL COUNT``
+returns only the matched components without fetching the raw annotation
+bodies — a cheap first-level zoom; ``DETAIL FULL`` (the default) fetches
+everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expressions import Expression
+from repro.engine.sqlparser import Token, continue_expression, tokenize_sql
+from repro.errors import ZoomInSyntaxError
+
+
+#: Allowed DETAIL levels.
+DETAIL_LEVELS = ("count", "full")
+
+
+@dataclass(frozen=True)
+class ZoomInCommand:
+    """A parsed ZOOMIN command."""
+
+    qid: int
+    instance: str
+    index: int | None = None
+    predicate: Expression | None = None
+    detail: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.qid < 0:
+            raise ZoomInSyntaxError(f"QID must be non-negative, got {self.qid}")
+        if self.index is not None and self.index < 1:
+            raise ZoomInSyntaxError(
+                f"INDEX is 1-based and must be >= 1, got {self.index}"
+            )
+        if self.detail not in DETAIL_LEVELS:
+            raise ZoomInSyntaxError(
+                f"DETAIL must be one of {DETAIL_LEVELS}, got {self.detail!r}"
+            )
+
+    def render(self) -> str:
+        """Canonical command text."""
+        parts = [f"ZOOMIN REFERENCE QID = {self.qid}"]
+        if self.predicate is not None:
+            parts.append(f"WHERE {self.predicate}")
+        parts.append(f"ON {self.instance}")
+        if self.index is not None:
+            parts.append(f"INDEX {self.index}")
+        if self.detail != "full":
+            parts.append(f"DETAIL {self.detail.upper()}")
+        return " ".join(parts)
+
+
+def parse_zoomin(text: str) -> ZoomInCommand:
+    """Parse ZOOMIN command text into a :class:`ZoomInCommand`."""
+    text = text.strip().rstrip(";")
+    tokens = tokenize_sql(text)
+    index = 0
+
+    def current() -> Token:
+        return tokens[index]
+
+    def accept_word(word: str) -> bool:
+        nonlocal index
+        token = current()
+        if token.kind in ("ident", "keyword") and token.value.lower() == word:
+            index += 1
+            return True
+        return False
+
+    def expect_word(word: str) -> None:
+        if not accept_word(word):
+            raise ZoomInSyntaxError(
+                f"expected {word.upper()!r}, found {current().value!r} "
+                f"at position {current().position}"
+            )
+
+    def expect_int(what: str) -> int:
+        nonlocal index
+        token = current()
+        if token.kind != "number" or "." in token.value:
+            raise ZoomInSyntaxError(
+                f"expected an integer {what}, found {token.value!r} "
+                f"at position {token.position}"
+            )
+        index += 1
+        return int(token.value)
+
+    expect_word("zoomin")
+    expect_word("reference")
+    expect_word("qid")
+    if not (current().kind == "op" and current().value == "="):
+        raise ZoomInSyntaxError(
+            f"expected '=' after QID, found {current().value!r}"
+        )
+    index += 1
+    qid = expect_int("QID")
+
+    predicate: Expression | None = None
+    if accept_word("where"):
+        predicate, index = continue_expression(tokens, index)
+
+    expect_word("on")
+    token = current()
+    if token.kind not in ("ident", "keyword"):
+        raise ZoomInSyntaxError(
+            f"expected a summary instance name after ON, found {token.value!r}"
+        )
+    instance = token.value
+    index += 1
+
+    component_index: int | None = None
+    if accept_word("index"):
+        component_index = expect_int("INDEX")
+
+    detail = "full"
+    if accept_word("detail"):
+        token = current()
+        if token.kind not in ("ident", "keyword") or token.value.lower() not in (
+            DETAIL_LEVELS
+        ):
+            raise ZoomInSyntaxError(
+                f"DETAIL must be COUNT or FULL, found {token.value!r}"
+            )
+        detail = token.value.lower()
+        index += 1
+
+    if current().kind != "eof":
+        raise ZoomInSyntaxError(
+            f"unexpected trailing input: {current().value!r} "
+            f"at position {current().position}"
+        )
+    return ZoomInCommand(
+        qid=qid,
+        instance=instance,
+        index=component_index,
+        predicate=predicate,
+        detail=detail,
+    )

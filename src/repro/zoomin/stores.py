@@ -1,0 +1,120 @@
+"""Result-store backends for the zoom-in cache.
+
+The paper describes a *disk-based* cache where query results are
+materialized to serve future zoom-ins (§2.2).  The cache's replacement
+logic is storage-agnostic; these backends supply the storage:
+
+* :class:`MemoryResultStore` — results kept as live objects (fast, the
+  default for interactive sessions);
+* :class:`SQLiteResultStore` — results serialized to a SQLite file, the
+  faithful disk-based materialization.  Charged bytes are the actual
+  serialized payload sizes.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import sqlite3
+
+from repro.engine.results import QueryResult
+from repro.summaries.registry import SummaryTypeRegistry, default_registry
+
+
+class ResultStore(abc.ABC):
+    """Storage backend contract for cached query results."""
+
+    @abc.abstractmethod
+    def put(self, result: QueryResult) -> int:
+        """Store ``result``; returns the bytes to charge against capacity."""
+
+    @abc.abstractmethod
+    def get(self, qid: int) -> QueryResult | None:
+        """Fetch a stored result, or None."""
+
+    @abc.abstractmethod
+    def delete(self, qid: int) -> None:
+        """Drop a stored result (no-op when absent)."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop everything."""
+
+
+class MemoryResultStore(ResultStore):
+    """Keeps results as live Python objects."""
+
+    def __init__(self) -> None:
+        self._results: dict[int, QueryResult] = {}
+
+    def put(self, result: QueryResult) -> int:
+        self._results[result.qid] = result
+        return result.size_estimate()
+
+    def get(self, qid: int) -> QueryResult | None:
+        return self._results.get(qid)
+
+    def delete(self, qid: int) -> None:
+        self._results.pop(qid, None)
+
+    def clear(self) -> None:
+        self._results.clear()
+
+
+class SQLiteResultStore(ResultStore):
+    """Materializes results as JSON rows in a SQLite file.
+
+    ``path`` defaults to a private in-memory SQLite database, which still
+    exercises the full serialize/deserialize path; pass a filename for a
+    genuinely disk-resident cache.
+    """
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        registry: SummaryTypeRegistry | None = None,
+    ) -> None:
+        self._registry = registry or default_registry()
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS cached_results (
+                qid INTEGER PRIMARY KEY,
+                payload TEXT NOT NULL
+            )
+            """
+        )
+
+    def put(self, result: QueryResult) -> int:
+        payload = json.dumps(result.to_json())
+        with self._connection:
+            self._connection.execute(
+                """
+                INSERT INTO cached_results (qid, payload) VALUES (?, ?)
+                ON CONFLICT (qid) DO UPDATE SET payload = excluded.payload
+                """,
+                (result.qid, payload),
+            )
+        return len(payload)
+
+    def get(self, qid: int) -> QueryResult | None:
+        row = self._connection.execute(
+            "SELECT payload FROM cached_results WHERE qid = ?", (qid,)
+        ).fetchone()
+        if row is None:
+            return None
+        return QueryResult.from_json(json.loads(row[0]), self._registry)
+
+    def delete(self, qid: int) -> None:
+        with self._connection:
+            self._connection.execute(
+                "DELETE FROM cached_results WHERE qid = ?", (qid,)
+            )
+
+    def clear(self) -> None:
+        with self._connection:
+            self._connection.execute("DELETE FROM cached_results")
+
+    def close(self) -> None:
+        """Close the backing connection."""
+        self._connection.close()

@@ -1,0 +1,128 @@
+"""Tests for repro.analysis.reports."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.analysis import (
+    annotation_coverage,
+    contested_rows,
+    hot_rows,
+    label_distribution,
+)
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("m", ["station", "value"])
+    ok = notes.insert("m", ("s1", 10))
+    bad = notes.insert("m", ("s2", 99))
+    worse = notes.insert("m", ("s3", -5))
+    silent = notes.insert("m", ("s4", 7))
+    notes.define_classifier("Beliefs", ["refute", "approve"], [
+        ("wrong value reject this", "refute"),
+        ("impossible entry remove it", "refute"),
+        ("confirmed and verified", "approve"),
+        ("looks correct to me", "approve"),
+    ])
+    notes.link("Beliefs", "m")
+    notes.add_annotation("confirmed and verified", table="m", row_id=ok)
+    notes.add_annotation("wrong value reject", table="m", row_id=bad)
+    notes.add_annotation("confirmed correct", table="m", row_id=bad)
+    notes.add_annotation("wrong value remove", table="m", row_id=bad)
+    notes.add_annotation("impossible entry remove", table="m", row_id=worse)
+    notes.add_annotation("wrong value reject", table="m", row_id=worse)
+    notes.add_annotation("remove this impossible entry", table="m",
+                         row_id=worse)
+    yield notes, {"ok": ok, "bad": bad, "worse": worse, "silent": silent}
+    notes.close()
+
+
+class TestContestedRows:
+    def test_finds_and_ranks_by_margin(self, stack):
+        notes, rows = stack
+        contested = contested_rows(notes, "m", "Beliefs", "refute", "approve")
+        assert [c.row_id for c in contested] == [rows["worse"], rows["bad"]]
+        assert contested[0].margin == 3
+        assert contested[1].margin == 1
+
+    def test_approved_rows_excluded(self, stack):
+        notes, rows = stack
+        contested = contested_rows(notes, "m", "Beliefs", "refute", "approve")
+        assert rows["ok"] not in [c.row_id for c in contested]
+
+    def test_requires_classifier_instance(self, stack):
+        notes, _rows = stack
+        notes.define_cluster("Cl")
+        notes.link("Cl", "m")
+        with pytest.raises(CatalogError, match="expected a Classifier"):
+            contested_rows(notes, "m", "Cl", "a", "b")
+
+    def test_values_carried(self, stack):
+        notes, rows = stack
+        contested = contested_rows(notes, "m", "Beliefs", "refute", "approve")
+        assert contested[0].values == ("s3", -5)
+
+
+class TestLabelDistribution:
+    def test_table_wide_histogram(self, stack):
+        notes, _rows = stack
+        distribution = label_distribution(notes, "m", "Beliefs")
+        assert distribution == {"refute": 5, "approve": 2}
+
+    def test_empty_table(self, stack):
+        notes, _rows = stack
+        notes.create_table("empty", ["v"])
+        notes.link("Beliefs", "empty")
+        assert label_distribution(notes, "empty", "Beliefs") == {}
+
+
+class TestCoverage:
+    def test_coverage_report(self, stack):
+        notes, rows = stack
+        report = annotation_coverage(notes, "m")
+        assert report.row_count == 4
+        assert report.annotated_rows == 3
+        assert report.total_attachments == 7
+        assert report.silent_row_ids == (rows["silent"],)
+        assert report.coverage == pytest.approx(0.75)
+        assert report.mean_annotations_per_row == pytest.approx(7 / 4)
+
+    def test_empty_table_coverage(self, stack):
+        notes, _rows = stack
+        notes.create_table("none", ["v"])
+        report = annotation_coverage(notes, "none")
+        assert report.row_count == 0
+        assert report.coverage == 0.0
+
+
+class TestHotRows:
+    def test_ranked_by_annotation_count(self, stack):
+        notes, rows = stack
+        # "bad" and "worse" tie at 3 annotations; row id breaks the tie.
+        ranked = hot_rows(notes, "m", limit=3)
+        assert [entry[0] for entry in ranked] == [
+            rows["bad"], rows["worse"], rows["ok"],
+        ]
+        assert ranked[0][2] == ranked[1][2] == 3
+        assert ranked[2][2] == 1
+
+    def test_limit_respected(self, stack):
+        notes, _rows = stack
+        assert len(hot_rows(notes, "m", limit=1)) == 1
+
+    def test_reports_never_touch_raw_text(self, stack):
+        """The analyses must run entirely off summaries + attachments."""
+        notes, _rows = stack
+        # Sever the raw bodies: blank out every annotation body directly
+        # in storage.  All reports must still produce identical numbers.
+        with notes.db.connection:
+            notes.db.connection.execute(
+                "UPDATE _in_annotations SET body = ''"
+            )
+        notes.manager.drop_caches()
+        assert label_distribution(notes, "m", "Beliefs") == {
+            "refute": 5, "approve": 2,
+        }
+        assert annotation_coverage(notes, "m").total_attachments == 7

@@ -1,0 +1,146 @@
+"""Tests for repro.baselines.raw_engine."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.baselines import RawQueryEngine
+from repro.engine import plan as lp
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.sqlparser import build_logical, parse_sql
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("R", ["a", "b"])
+    notes.create_table("S", ["x", "z"])
+    notes.insert("R", (1, 2))
+    notes.insert("R", (1, 3))
+    notes.insert("R", (4, 2))
+    notes.insert("S", (1, "z1"))
+    notes.insert("S", (4, "z4"))
+    notes.add_annotation("alpha note", table="R", row_id=1, columns=["a"])
+    notes.add_annotation("beta note", table="R", row_id=1, columns=["b"])
+    notes.add_annotation("gamma note", table="S", row_id=1, columns=["x"])
+    yield notes, RawQueryEngine(notes.db, notes.annotations)
+    notes.close()
+
+
+def run_sql(notes, engine, sql):
+    logical = build_logical(parse_sql(sql), notes.planner)
+    return engine.execute(notes.planner.prepare(logical))
+
+
+class TestRawPropagation:
+    def test_scan_attaches_raw_annotations(self, stack):
+        notes, engine = stack
+        result = engine.execute(lp.Scan("R", "r"))
+        first = result.tuples[0]
+        texts = sorted(a.text for a, _ in first.annotations.values())
+        assert texts == ["alpha note", "beta note"]
+
+    def test_projection_drops_annotations(self, stack):
+        notes, engine = stack
+        result = engine.execute(lp.Project(lp.Scan("R", "r"), ("r.a",)))
+        first = result.tuples[0]
+        texts = [a.text for a, _ in first.annotations.values()]
+        assert texts == ["alpha note"]
+
+    def test_selection_keeps_annotations(self, stack):
+        notes, engine = stack
+        result = engine.execute(
+            lp.Select(lp.Scan("R", "r"), Comparison("=", Column("r.b"), Literal(2)))
+        )
+        assert len(result.tuples[0].annotations) == 2
+
+    def test_join_unions_annotations(self, stack):
+        notes, engine = stack
+        result = run_sql(
+            notes, engine, "SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x"
+        )
+        joined = next(t for t in result.tuples if t.values[:2] == (1, 2))
+        texts = sorted(a.text for a, _ in joined.annotations.values())
+        assert texts == ["alpha note", "beta note", "gamma note"]
+
+    def test_join_deduplicates_shared_annotation(self, stack):
+        notes, engine = stack
+        from repro.model.cell import CellRef
+
+        notes.add_annotation(
+            "shared", cells=[CellRef("R", 3, "a"), CellRef("S", 2, "x")]
+        )
+        result = run_sql(
+            notes, engine, "SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x"
+        )
+        joined = next(t for t in result.tuples if t.values[0] == 4)
+        texts = [a.text for a, _ in joined.annotations.values()]
+        assert texts.count("shared") == 1
+
+    def test_equi_join_column_equivalence(self, stack):
+        notes, engine = stack
+        result = run_sql(
+            notes, engine, "SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x"
+        )
+        joined = next(t for t in result.tuples if t.values[:2] == (1, 2))
+        gamma = next(
+            (a, cols) for a, cols in joined.annotations.values()
+            if a.text == "gamma note"
+        )
+        assert "r.a" in gamma[1]  # spread across the equality
+
+    def test_group_by_merges_annotations(self, stack):
+        notes, engine = stack
+        result = run_sql(
+            notes, engine, "SELECT a, count(*) FROM R GROUP BY a"
+        )
+        by_key = {t.values[0]: t for t in result.tuples}
+        assert by_key[1].values[1] == 2
+        assert len(by_key[1].annotations) >= 1
+
+    def test_distinct_merges_annotations(self, stack):
+        notes, engine = stack
+        result = run_sql(notes, engine, "SELECT DISTINCT a FROM R")
+        assert sorted(t.values for t in result.tuples) == [(1,), (4,)]
+
+    def test_sort_and_limit(self, stack):
+        notes, engine = stack
+        result = run_sql(
+            notes, engine, "SELECT a, b FROM R ORDER BY b DESC LIMIT 2"
+        )
+        assert [t.values[1] for t in result.tuples] == [3, 2]
+
+    def test_payload_bytes_counts_text(self, stack):
+        notes, engine = stack
+        result = engine.execute(lp.Scan("R", "r"))
+        assert result.total_payload_bytes() == len("alpha note") + len("beta note")
+
+
+class TestEngineAgreement:
+    """Both engines must return identical tuple values on the same plans."""
+
+    QUERIES = [
+        "SELECT a, b FROM R WHERE b > 2",
+        "SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x",
+        "SELECT a, count(*) FROM R GROUP BY a ORDER BY a",
+        "SELECT DISTINCT a FROM R ORDER BY a",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_values_agree(self, stack, sql):
+        notes, engine = stack
+        summary_result = notes.query(sql)
+        raw_result = run_sql(notes, engine, sql)
+        assert sorted(map(str, summary_result.rows())) == sorted(
+            map(str, raw_result.rows())
+        )
+
+    def test_annotation_ids_agree_with_summary_engine(self, stack):
+        notes, engine = stack
+        sql = "SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x"
+        summary_result = notes.query(sql)
+        raw_result = run_sql(notes, engine, sql)
+        summary_ids = sorted(
+            sorted(t.annotation_ids()) for t in summary_result.tuples
+        )
+        raw_ids = sorted(sorted(t.annotation_ids()) for t in raw_result.tuples)
+        assert summary_ids == raw_ids

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InsightNotes
+from repro.workloads import WorkloadConfig, build_workload
+
+#: Training set used by classifier fixtures — two well-separated labels.
+TRAINING = [
+    ("observed feeding on stonewort beds at dawn", "Behavior"),
+    ("seen foraging among pond weeds near shore", "Behavior"),
+    ("spotted diving for small insects at dusk", "Behavior"),
+    ("watched chasing grass shoots in the morning", "Behavior"),
+    ("shows symptoms of avian influenza on the wing", "Disease"),
+    ("appears infected with avian pox around the beak", "Disease"),
+    ("tested positive for botulism in the flock", "Disease"),
+    ("displays lesions consistent with a fungal infection", "Disease"),
+]
+
+
+@pytest.fixture
+def session() -> InsightNotes:
+    """A fresh in-memory session, closed after the test."""
+    notes = InsightNotes()
+    yield notes
+    notes.close()
+
+
+@pytest.fixture
+def birds_session(session: InsightNotes) -> InsightNotes:
+    """A session with a populated, summarized ``birds`` table.
+
+    Three birds; a trained Behavior/Disease classifier and a cluster
+    instance linked; a handful of annotations on row 1.
+    """
+    session.create_table("birds", ["name", "species", "weight"])
+    session.insert("birds", ("Swan Goose", "Anser cygnoides", 3.2))
+    session.insert("birds", ("Mute Swan", "Cygnus olor", 10.5))
+    session.insert("birds", ("Snow Goose", "Anser caerulescens", 2.6))
+    session.define_classifier("BirdClass", ["Behavior", "Disease"], TRAINING)
+    session.link("BirdClass", "birds")
+    session.define_cluster("BirdCluster", threshold=0.3)
+    session.link("BirdCluster", "birds")
+    session.add_annotation("observed feeding on stonewort at dawn",
+                           table="birds", row_id=1)
+    session.add_annotation("seen feeding on stonewort beds today",
+                           table="birds", row_id=1)
+    session.add_annotation("shows symptoms of avian influenza",
+                           table="birds", row_id=1, columns=["weight"])
+    return session
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    """A small generated workload, shared per test module (read-only)."""
+    workload = build_workload(
+        WorkloadConfig(
+            num_birds=6,
+            num_sightings=12,
+            annotations_per_row=8,
+            document_fraction=0.05,
+            seed=3,
+        )
+    )
+    yield workload
+    workload.session.close()

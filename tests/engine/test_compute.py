@@ -1,0 +1,131 @@
+"""Tests for computed projections (SELECT <expr> [AS name])."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.errors import SQLSyntaxError
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("birds", ["name", "weight"])
+    notes.insert("birds", ("Swan Goose", 3.0))
+    notes.insert("birds", ("Heron", 2.0))
+    notes.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+    notes.link("C", "birds")
+    notes.add_annotation("observed feeding on stonewort",
+                         table="birds", row_id=1, columns=["weight"])
+    notes.add_annotation("seen foraging near the shore",
+                         table="birds", row_id=1, columns=["name"])
+    yield notes
+    notes.close()
+
+
+class TestComputedValues:
+    def test_arithmetic_with_alias(self, stack):
+        result = stack.query(
+            "SELECT name, weight * 2 AS double_weight FROM birds"
+        )
+        assert result.columns == ("birds.name", "double_weight")
+        assert result.rows() == [("Swan Goose", 6.0), ("Heron", 4.0)]
+
+    def test_scalar_function(self, stack):
+        result = stack.query("SELECT LOWER(name) AS lname FROM birds")
+        assert result.rows() == [("swan goose",), ("heron",)]
+
+    def test_unaliased_expression_gets_rendered_name(self, stack):
+        result = stack.query("SELECT weight + 1 FROM birds")
+        assert result.columns == ("(weight + 1)",)
+
+    def test_order_by_computed_column(self, stack):
+        result = stack.query(
+            "SELECT name, weight * 2 AS dw FROM birds ORDER BY dw DESC"
+        )
+        assert [row[0] for row in result.rows()] == ["Swan Goose", "Heron"]
+
+    def test_mixed_plain_and_computed(self, stack):
+        result = stack.query("SELECT name, LENGTH(name) AS chars FROM birds")
+        assert result.rows() == [("Swan Goose", 10), ("Heron", 5)]
+
+    def test_summary_function_as_output(self, stack):
+        # Summary functions observe the summaries at their point in the
+        # normalized plan: only name is referenced by the outputs, so the
+        # weight-only annotation's effect is already projected out and the
+        # count reflects the surviving (name) annotation.
+        result = stack.query(
+            "SELECT name, SUMMARY_COUNT('C', 'Behavior') AS behaviors "
+            "FROM birds ORDER BY behaviors DESC"
+        )
+        assert result.rows()[0] == ("Swan Goose", 1)
+        # Referencing weight as well keeps both annotations in scope.
+        wider = stack.query(
+            "SELECT name, weight + 0 AS w, "
+            "SUMMARY_COUNT('C', 'Behavior') AS behaviors "
+            "FROM birds ORDER BY behaviors DESC"
+        )
+        assert wider.rows()[0] == ("Swan Goose", 3.0, 2)
+
+    def test_distinct_over_computed(self, stack):
+        stack.insert("birds", ("Crane", 3.0))
+        result = stack.query("SELECT DISTINCT weight * 2 AS dw FROM birds")
+        assert sorted(result.rows()) == [(4.0,), (6.0,)]
+
+
+class TestComputedSummarySemantics:
+    def test_annotation_survives_on_referencing_output(self, stack):
+        result = stack.query("SELECT weight * 2 AS dw FROM birds")
+        swan = result.tuples[0]
+        # Only the weight annotation survives (name not referenced).
+        assert swan.summaries["C"].count("Behavior") == 1
+        (annotation_id,) = swan.attachments
+        assert swan.attachments[annotation_id] == frozenset({"dw"})
+
+    def test_annotation_spanning_outputs_attaches_to_all(self, stack):
+        result = stack.query(
+            "SELECT weight + 1 AS w1, weight + 2 AS w2 FROM birds"
+        )
+        swan = result.tuples[0]
+        (annotation_id,) = swan.attachments
+        assert swan.attachments[annotation_id] == frozenset({"w1", "w2"})
+
+    def test_unreferenced_annotations_lose_effect(self, stack):
+        result = stack.query("SELECT LOWER(name) AS lname FROM birds")
+        swan = result.tuples[0]
+        assert swan.summaries["C"].count("Behavior") == 1  # name note only
+
+    def test_agrees_with_raw_engine(self, stack):
+        from repro.baselines import RawQueryEngine
+        from repro.engine.sqlparser import build_logical, parse_sql
+
+        sql = "SELECT name, weight * 2 AS dw FROM birds"
+        summary_result = stack.query(sql)
+        logical = stack.planner.prepare(
+            build_logical(parse_sql(sql), stack.planner)
+        )
+        raw_result = RawQueryEngine(stack.db, stack.annotations).execute(logical)
+        assert summary_result.rows() == raw_result.rows()
+        assert [sorted(t.annotation_ids()) for t in summary_result.tuples] == [
+            sorted(t.annotation_ids()) for t in raw_result.tuples
+        ]
+
+
+class TestComputedRestrictions:
+    def test_duplicate_output_names_rejected(self, stack):
+        with pytest.raises(SQLSyntaxError, match="duplicate output columns"):
+            stack.query("SELECT weight + 1 AS x, weight + 2 AS x FROM birds")
+
+    def test_no_expressions_with_group_by(self, stack):
+        with pytest.raises(SQLSyntaxError, match="aggregation"):
+            stack.query(
+                "SELECT weight * 2 AS dw, count(*) FROM birds GROUP BY weight"
+            )
+
+    def test_qualified_alias_rejected(self, stack):
+        with pytest.raises(SQLSyntaxError, match="qualified"):
+            stack.query("SELECT weight + 1 AS b.x FROM birds")
+
+    def test_normalization_prunes_unused_inputs(self, stack):
+        rendering = stack.explain("SELECT weight * 2 AS dw FROM birds")
+        assert "Project(birds.weight)" in rendering

@@ -1,0 +1,140 @@
+"""Tests for the SQL dialect extensions: LEFT OUTER JOIN, UNION,
+BETWEEN, IS [NOT] NULL, and NULL literals."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.engine.sqlparser import CompoundSelect, parse_expression, parse_sql
+from repro.errors import SQLSyntaxError
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("R", ["a", "b"])
+    notes.create_table("S", ["x", "z"])
+    notes.insert("R", (1, 2))
+    notes.insert("R", (5, 6))
+    notes.insert("R", (None, 7))
+    notes.insert("S", (1, "z1"))
+    notes.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+    notes.link("C", "R")
+    notes.add_annotation("observed feeding on stonewort",
+                         table="R", row_id=2)
+    yield notes
+    notes.close()
+
+
+class TestOuterJoin:
+    def test_unmatched_left_rows_null_padded(self, stack):
+        result = stack.query(
+            "SELECT r.a, s.z FROM R r LEFT OUTER JOIN S s ON r.a = s.x "
+            "ORDER BY a"
+        )
+        # NULLs sort first ascending.
+        assert result.rows() == [(None, None), (1, "z1"), (5, None)]
+
+    def test_left_join_without_outer_keyword(self, stack):
+        result = stack.query(
+            "SELECT r.a, s.z FROM R r LEFT JOIN S s ON r.a = s.x"
+        )
+        assert len(result) == 3
+
+    def test_unmatched_rows_keep_their_summaries(self, stack):
+        result = stack.query(
+            "SELECT r.a, r.b, s.z FROM R r LEFT OUTER JOIN S s ON r.a = s.x"
+        )
+        unmatched = next(row for row in result.tuples if row.values[0] == 5)
+        assert unmatched.summaries["C"].count("Behavior") == 1
+
+    def test_null_check_finds_unmatched(self, stack):
+        result = stack.query(
+            "SELECT r.a FROM R r LEFT JOIN S s ON r.a = s.x "
+            "WHERE s.z IS NULL AND r.a IS NOT NULL"
+        )
+        assert result.rows() == [(5,)]
+
+    def test_selection_not_pushed_past_outer_join(self, stack):
+        # WHERE s.z IS NULL must run above the outer join, not below it.
+        rendering = stack.explain(
+            "SELECT r.a FROM R r LEFT JOIN S s ON r.a = s.x WHERE s.z IS NULL"
+        )
+        lines = rendering.splitlines()
+        select_line = next(i for i, l in enumerate(lines) if "Select" in l)
+        join_line = next(i for i, l in enumerate(lines) if "OuterJoin" in l)
+        assert select_line < join_line
+
+    def test_outer_join_requires_on(self):
+        from repro.engine import plan as lp
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError, match="ON predicate"):
+            lp.Join(lp.Scan("R", "r"), lp.Scan("S", "s"), None, outer=True)
+
+
+class TestUnion:
+    def test_union_all_keeps_duplicates(self, stack):
+        result = stack.query(
+            "SELECT b FROM R UNION ALL SELECT b FROM R ORDER BY b"
+        )
+        assert [row[0] for row in result.rows()] == [2, 2, 6, 6, 7, 7]
+
+    def test_union_distinct_dedups(self, stack):
+        result = stack.query(
+            "SELECT b FROM R UNION SELECT b FROM R ORDER BY b"
+        )
+        assert [row[0] for row in result.rows()] == [2, 6, 7]
+
+    def test_union_merges_duplicate_summaries(self, stack):
+        result = stack.query("SELECT a, b FROM R UNION SELECT a, b FROM R")
+        annotated = next(row for row in result.tuples if row.values == (5, 6))
+        assert annotated.summaries["C"].count("Behavior") == 1
+
+    def test_union_across_tables(self, stack):
+        result = stack.query(
+            "SELECT a FROM R WHERE a IS NOT NULL UNION ALL SELECT x FROM S "
+            "ORDER BY a"
+        )
+        assert [row[0] for row in result.rows()] == [1, 1, 5]
+
+    def test_union_arity_mismatch_rejected(self, stack):
+        with pytest.raises(SQLSyntaxError, match="same number of columns"):
+            stack.query("SELECT a, b FROM R UNION SELECT x FROM S")
+
+    def test_trailing_limit_applies_to_whole_union(self, stack):
+        result = stack.query(
+            "SELECT b FROM R UNION ALL SELECT b FROM R ORDER BY b LIMIT 2"
+        )
+        assert len(result) == 2
+
+    def test_parse_returns_compound(self):
+        statement = parse_sql("SELECT a FROM R UNION SELECT a FROM R")
+        assert isinstance(statement, CompoundSelect)
+        assert statement.all_flags == [False]
+
+
+class TestPredicateExtensions:
+    def test_between(self, stack):
+        result = stack.query("SELECT b FROM R WHERE b BETWEEN 2 AND 6 ORDER BY b")
+        assert [row[0] for row in result.rows()] == [2, 6]
+
+    def test_between_parses_to_conjunction(self):
+        expression = parse_expression("a BETWEEN 1 AND 5")
+        assert str(expression) == "(a >= 1 AND a <= 5)"
+
+    def test_between_binds_tighter_than_boolean_and(self):
+        expression = parse_expression("a BETWEEN 1 AND 5 AND b = 2")
+        assert "b = 2" in str(expression)
+
+    def test_is_null(self, stack):
+        result = stack.query("SELECT b FROM R WHERE a IS NULL")
+        assert result.rows() == [(7,)]
+
+    def test_is_not_null(self, stack):
+        result = stack.query("SELECT b FROM R WHERE a IS NOT NULL ORDER BY b")
+        assert [row[0] for row in result.rows()] == [2, 6]
+
+    def test_null_literal_comparisons_are_false(self, stack):
+        result = stack.query("SELECT b FROM R WHERE a = NULL")
+        assert result.rows() == []

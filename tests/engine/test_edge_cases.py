@@ -1,0 +1,167 @@
+"""Edge-case tests across the query engine."""
+
+import pytest
+
+from repro import InsightNotes
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("t", ["a", "b"])
+    notes.create_table("empty", ["x", "y"])
+    notes.insert("t", (1, "one"))
+    notes.insert("t", (2, "two"))
+    yield notes
+    notes.close()
+
+
+class TestEmptyInputs:
+    def test_scan_empty_table(self, stack):
+        assert stack.query("SELECT x FROM empty").rows() == []
+
+    def test_join_with_empty_side(self, stack):
+        result = stack.query(
+            "SELECT t.a, e.x FROM t, empty e WHERE t.a = e.x"
+        )
+        assert result.rows() == []
+
+    def test_outer_join_with_empty_right(self, stack):
+        result = stack.query(
+            "SELECT t.a, e.x FROM t LEFT JOIN empty e ON t.a = e.x ORDER BY a"
+        )
+        assert result.rows() == [(1, None), (2, None)]
+
+    def test_group_by_empty_input(self, stack):
+        result = stack.query("SELECT x, count(*) FROM empty GROUP BY x")
+        assert result.rows() == []
+
+    def test_global_aggregate_over_empty_input(self, stack):
+        result = stack.query("SELECT count(*), sum(x) FROM empty")
+        assert result.rows() == [(0, None)]
+
+    def test_distinct_empty(self, stack):
+        assert stack.query("SELECT DISTINCT x FROM empty").rows() == []
+
+    def test_union_with_empty_arm(self, stack):
+        result = stack.query("SELECT a FROM t UNION ALL SELECT x FROM empty")
+        assert len(result) == 2
+
+
+class TestLimits:
+    def test_limit_zero(self, stack):
+        assert stack.query("SELECT a FROM t LIMIT 0").rows() == []
+
+    def test_limit_beyond_rows(self, stack):
+        assert len(stack.query("SELECT a FROM t LIMIT 99")) == 2
+
+    def test_having_filters_everything(self, stack):
+        result = stack.query(
+            "SELECT b, count(*) FROM t GROUP BY b HAVING count(*) > 5"
+        )
+        assert result.rows() == []
+
+    def test_where_matches_nothing(self, stack):
+        result = stack.query("SELECT a FROM t WHERE a > 1000")
+        assert result.rows() == []
+        # Zoom-in on an empty result is a clean error about the instance,
+        # not a crash.
+        from repro.errors import ZoomInError
+
+        zoom = None
+        try:
+            zoom = stack.zoomin(
+                f"ZOOMIN REFERENCE QID = {result.qid} ON Whatever"
+            )
+        except ZoomInError:
+            pass
+        if zoom is not None:
+            assert zoom.matches == []
+
+
+class TestTextEdgeCases:
+    def test_unicode_annotation_round_trip(self, stack):
+        stack.define_classifier("C", ["a", "b"], [("uno", "a"), ("dos", "b")])
+        stack.link("C", "t")
+        text = "観察された飛行 — naïve café ≠ 鳥 🐦"
+        annotation = stack.add_annotation(text, table="t", row_id=1)
+        result = stack.query("SELECT a, b FROM t")
+        zoom = stack.zoomin(f"ZOOMIN REFERENCE QID = {result.qid} ON C")
+        texts = [a.text for m in zoom.matches for a in m.annotations]
+        assert text in texts
+
+    def test_very_long_annotation(self, stack):
+        stack.define_snippet("S", documents_only=False, max_sentences=2)
+        stack.link("S", "t")
+        body = " ".join(
+            f"Sentence number {i} talks about observation {i}." for i in range(400)
+        )
+        stack.add_annotation(body, table="t", row_id=1, document=True,
+                             title="Giant report")
+        result = stack.query("SELECT a, b FROM t")
+        snippet = result.tuples[0].summaries["S"]
+        assert len(snippet.entries[0].sentences) == 2
+
+    def test_quote_heavy_values(self, stack):
+        stack.insert("t", (3, "o'brien's \"notes\""))
+        result = stack.query("SELECT b FROM t WHERE b = 'o''brien''s \"notes\"'")
+        assert len(result) == 1
+
+    def test_empty_annotation_text(self, stack):
+        stack.define_cluster("Cl", threshold=0.5)
+        stack.link("Cl", "t")
+        stack.add_annotation("", table="t", row_id=1)
+        result = stack.query("SELECT a, b FROM t")
+        assert result.tuples[0].summaries["Cl"].group_sizes() == [1]
+
+
+class TestSchemaEdgeCases:
+    def test_single_column_table(self, stack):
+        stack.create_table("narrow", ["only"])
+        stack.insert("narrow", ("v",))
+        assert stack.query("SELECT only FROM narrow").rows() == [("v",)]
+
+    def test_many_column_table(self, stack):
+        columns = [f"c{i}" for i in range(40)]
+        stack.create_table("wide", columns)
+        stack.insert("wide", tuple(range(40)))
+        result = stack.query("SELECT c0, c39 FROM wide")
+        assert result.rows() == [(0, 39)]
+
+    def test_self_join_with_aliases(self, stack):
+        result = stack.query(
+            "SELECT x.a, y.a FROM t x, t y WHERE x.a < y.a"
+        )
+        assert result.rows() == [(1, 2)]
+
+    def test_triple_join(self, stack):
+        stack.create_table("u", ["k"])
+        stack.insert("u", (1,))
+        result = stack.query(
+            "SELECT x.a, y.b, u.k FROM t x, t y, u "
+            "WHERE x.a = y.a AND x.a = u.k"
+        )
+        assert result.rows() == [(1, "one", 1)]
+
+
+class TestMultiInstanceInteraction:
+    def test_many_instances_on_one_row(self, stack):
+        for i in range(6):
+            stack.define_classifier(f"I{i}", ["a", "b"],
+                                    [("one", "a"), ("two", "b")])
+            stack.link(f"I{i}", "t")
+        stack.add_annotation("one one", table="t", row_id=1)
+        result = stack.query("SELECT a, b FROM t")
+        assert len(result.tuples[0].summaries) == 6
+        for obj in result.tuples[0].summaries.values():
+            assert obj.count("a") == 1
+
+    def test_instance_linked_to_multiple_tables(self, stack):
+        stack.define_classifier("Shared", ["a", "b"],
+                                [("one", "a"), ("two", "b")])
+        stack.link("Shared", "t")
+        stack.link("Shared", "empty")
+        stack.add_annotation("one", table="t", row_id=1)
+        result = stack.query("SELECT a FROM t")
+        assert result.tuples[0].summaries["Shared"].count("a") == 1

@@ -1,0 +1,186 @@
+"""Tests for repro.engine.planner — normalization and pushdown."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.engine import plan as lp
+from repro.engine.expressions import BooleanOp, Column, Comparison, Literal
+from repro.engine.planner import Planner
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("R", ["a", "b", "c", "d"])
+    notes.create_table("S", ["x", "y", "z"])
+    notes.insert("R", (1, 2, "c1", "d1"))
+    notes.insert("S", (1, "y1", "z1"))
+    yield notes
+    notes.close()
+
+
+def eq(left, right):
+    return Comparison("=", Column(left), Column(right))
+
+
+class TestSchemaOf:
+    def test_scan(self, stack):
+        assert stack.planner.schema_of(lp.Scan("R", "r")) == (
+            "r.a", "r.b", "r.c", "r.d",
+        )
+
+    def test_project(self, stack):
+        node = lp.Project(lp.Scan("R", "r"), ("b", "r.a"))
+        assert stack.planner.schema_of(node) == ("r.b", "r.a")
+
+    def test_join(self, stack):
+        node = lp.Join(lp.Scan("R", "r"), lp.Scan("S", "s"), None)
+        assert stack.planner.schema_of(node) == (
+            "r.a", "r.b", "r.c", "r.d", "s.x", "s.y", "s.z",
+        )
+
+    def test_group_by(self, stack):
+        node = lp.GroupBy(
+            lp.Scan("R", "r"), ("b",),
+            (lp.Aggregate("count", None), lp.Aggregate("sum", Column("a"))),
+        )
+        assert stack.planner.schema_of(node) == ("r.b", "count(*)", "sum(r.a)")
+
+
+class TestNormalization:
+    def test_inserts_projections_below_join(self, stack):
+        logical = lp.Project(
+            lp.Join(lp.Scan("R", "r"), lp.Scan("S", "s"), eq("r.a", "s.x")),
+            ("r.a", "r.b", "s.z"),
+        )
+        normalized = stack.planner.normalize(logical)
+        rendering = normalized.render()
+        # Both join inputs must be projected before the merge.
+        join_line = next(
+            i for i, line in enumerate(rendering.splitlines()) if "Join" in line
+        )
+        below = rendering.splitlines()[join_line + 1:]
+        assert any("Project(r.a, r.b)" in line for line in below)
+        assert any(
+            "Project(s.z, s.x)" in line or "Project(s.x, s.z)" in line
+            for line in below
+        )
+
+    def test_scan_without_pruning_needed_is_untouched(self, stack):
+        logical = lp.Scan("R", "r")
+        normalized = stack.planner.normalize(logical)
+        assert isinstance(normalized, lp.Scan)
+
+    def test_selection_columns_kept_below_then_projected(self, stack):
+        logical = lp.Project(
+            lp.Select(
+                lp.Scan("R", "r"), Comparison("=", Column("r.d"), Literal("d1"))
+            ),
+            ("r.a",),
+        )
+        normalized = stack.planner.normalize(logical)
+        # d is needed by the select but not above it: the plan must read it
+        # and then project it away.
+        assert isinstance(normalized, lp.Project)
+        assert normalized.columns == ("r.a",)
+        result = stack.execute_logical(logical)
+        assert result.columns == ("r.a",)
+        assert result.rows() == [(1,)]
+
+    def test_group_by_prunes_to_keys_and_args(self, stack):
+        logical = lp.GroupBy(
+            lp.Scan("R", "r"), ("b",), (lp.Aggregate("sum", Column("a")),)
+        )
+        normalized = stack.planner.normalize(logical)
+        rendering = normalized.render()
+        assert "Project(r.b, r.a)" in rendering or "Project(r.a, r.b)" in rendering
+
+    def test_normalized_plans_execute_identically(self, stack):
+        logical = lp.Project(
+            lp.Join(lp.Scan("R", "r"), lp.Scan("S", "s"), eq("r.a", "s.x")),
+            ("r.b", "s.z"),
+        )
+        stack.planner.normalize_plans = True
+        normalized_result = stack.execute_logical(logical)
+        stack.planner.normalize_plans = False
+        raw_result = stack.execute_logical(logical)
+        stack.planner.normalize_plans = True
+        assert normalized_result.rows() == raw_result.rows()
+
+
+class TestSelectionPushdown:
+    def test_single_side_conjunct_sinks_below_join(self, stack):
+        logical = lp.Select(
+            lp.Join(lp.Scan("R", "r"), lp.Scan("S", "s"), None),
+            BooleanOp("and", (
+                eq("r.a", "s.x"),
+                Comparison("=", Column("r.b"), Literal(2)),
+            )),
+        )
+        pushed = stack.planner.push_down_selections(logical)
+        assert isinstance(pushed, lp.Join)
+        assert pushed.predicate is not None  # r.a = s.x became the join pred
+        assert isinstance(pushed.left, lp.Select)  # r.b = 2 sank left
+
+    def test_join_conjunct_becomes_join_predicate(self, stack):
+        logical = lp.Select(
+            lp.Join(lp.Scan("R", "r"), lp.Scan("S", "s"), None),
+            eq("r.a", "s.x"),
+        )
+        pushed = stack.planner.push_down_selections(logical)
+        assert isinstance(pushed, lp.Join)
+        assert str(pushed.predicate) == "r.a = s.x"
+
+    def test_pushdown_preserves_results(self, stack):
+        stack.insert("R", (9, 9, "c", "d"))
+        logical = lp.Select(
+            lp.Join(lp.Scan("R", "r"), lp.Scan("S", "s"), None),
+            BooleanOp("and", (
+                eq("r.a", "s.x"),
+                Comparison("=", Column("s.z"), Literal("z1")),
+            )),
+        )
+        with_pushdown = stack.execute_logical(logical)
+        stack.planner.push_selections = False
+        without_pushdown = stack.execute_logical(logical)
+        stack.planner.push_selections = True
+        assert sorted(with_pushdown.rows()) == sorted(without_pushdown.rows())
+
+
+class TestPhysicalLowering:
+    def test_all_node_types_lower(self, stack):
+        logical = lp.Limit(
+            lp.Sort(
+                lp.Distinct(
+                    lp.Project(
+                        lp.Select(
+                            lp.Scan("R", "r"),
+                            Comparison(">", Column("r.a"), Literal(0)),
+                        ),
+                        ("r.a",),
+                    )
+                ),
+                (Column("r.a"),),
+            ),
+            10,
+        )
+        result = stack.execute_logical(logical)
+        assert result.rows() == [(1,)]
+
+    def test_union_lowering(self, stack):
+        logical = lp.Union(
+            lp.Project(lp.Scan("R", "r"), ("r.a",)),
+            lp.Project(lp.Scan("S", "s"), ("s.x",)),
+        )
+        result = stack.execute_logical(logical)
+        assert sorted(result.rows()) == [(1,), (1,)]
+
+    def test_union_distinct_lowering(self, stack):
+        logical = lp.Union(
+            lp.Project(lp.Scan("R", "r"), ("r.a",)),
+            lp.Project(lp.Scan("S", "s"), ("s.x",)),
+            distinct=True,
+        )
+        result = stack.execute_logical(logical)
+        assert result.rows() == [(1,)]

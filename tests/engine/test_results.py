@@ -1,0 +1,80 @@
+"""Tests for repro.engine.results."""
+
+import pytest
+
+from repro.engine.results import QueryResult, ResultRegistry
+from repro.errors import UnknownQueryIdError
+from repro.model.tuple import AnnotatedTuple
+from repro.summaries.classifier import ClassifierSummary
+
+
+def make_result(qid: int, rows: int = 2) -> QueryResult:
+    tuples = []
+    for i in range(rows):
+        summary = ClassifierSummary("C", ["a"])
+        summary.add(i + 1, "a")
+        tuples.append(
+            AnnotatedTuple(values=(i, f"text{i}"), summaries={"C": summary})
+        )
+    return QueryResult(qid=qid, columns=("t.n", "t.s"), tuples=tuples)
+
+
+class TestQueryResult:
+    def test_len_and_rows(self):
+        result = make_result(1, rows=3)
+        assert len(result) == 3
+        assert result.rows()[0] == (0, "text0")
+
+    def test_column_index(self):
+        result = make_result(1)
+        assert result.column_index("s") == 1
+        assert result.column_index("t.n") == 0
+
+    def test_size_estimate_grows_with_rows(self):
+        assert make_result(1, rows=10).size_estimate() > make_result(
+            1, rows=1
+        ).size_estimate()
+
+    def test_summary_instances(self):
+        assert make_result(1).summary_instances() == ["C"]
+
+
+class TestResultRegistry:
+    def test_qids_start_at_101(self):
+        registry = ResultRegistry()
+        assert registry.next_qid() == 101
+        assert registry.next_qid() == 102
+
+    def test_register_and_get(self):
+        registry = ResultRegistry()
+        result = make_result(registry.next_qid())
+        registry.register(result)
+        assert registry.get(result.qid) is result
+        assert result.qid in registry
+
+    def test_get_unknown_raises(self):
+        registry = ResultRegistry()
+        with pytest.raises(UnknownQueryIdError):
+            registry.get(999)
+
+    def test_capacity_evicts_oldest(self):
+        registry = ResultRegistry(capacity=2)
+        results = [make_result(registry.next_qid()) for _ in range(3)]
+        for result in results:
+            registry.register(result)
+        assert len(registry) == 2
+        assert results[0].qid not in registry
+        assert results[2].qid in registry
+
+    def test_latest(self):
+        registry = ResultRegistry()
+        assert registry.latest() is None
+        first = make_result(registry.next_qid())
+        second = make_result(registry.next_qid())
+        registry.register(first)
+        registry.register(second)
+        assert registry.latest() is second
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ResultRegistry(capacity=0)

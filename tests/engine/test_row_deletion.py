@@ -1,0 +1,65 @@
+"""Tests for the base-row deletion cascade."""
+
+import pytest
+
+from repro import CellRef, InsightNotes
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("birds", ["name", "weight"])
+    notes.insert("birds", ("Swan", 3.2))
+    notes.insert("birds", ("Goose", 2.4))
+    notes.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+    notes.link("C", "birds")
+    yield notes
+    notes.close()
+
+
+class TestDeleteRow:
+    def test_row_disappears_from_queries(self, stack):
+        stack.delete_row("birds", 1)
+        assert stack.query("SELECT name FROM birds").rows() == [("Goose",)]
+
+    def test_single_row_annotations_deleted(self, stack):
+        annotation = stack.add_annotation("observed feeding",
+                                          table="birds", row_id=1)
+        stack.delete_row("birds", 1)
+        assert stack.annotations.count() == 0
+        from repro.errors import UnknownAnnotationError
+
+        with pytest.raises(UnknownAnnotationError):
+            stack.annotations.get(annotation.annotation_id)
+
+    def test_shared_annotations_survive_on_other_rows(self, stack):
+        shared = stack.add_annotation(
+            "shows symptoms of avian pox",
+            cells=[CellRef("birds", 1, "name"), CellRef("birds", 2, "name")],
+        )
+        stack.delete_row("birds", 1)
+        # Annotation still exists, attached only to row 2.
+        assert stack.annotations.rows_for_annotation(
+            shared.annotation_id
+        ) == {("birds", 2)}
+        result = stack.query("SELECT name, weight FROM birds")
+        assert result.tuples[0].summaries["C"].count("Disease") == 1
+
+    def test_summary_state_dropped(self, stack):
+        stack.add_annotation("observed feeding", table="birds", row_id=1)
+        stack.delete_row("birds", 1)
+        assert stack.catalog.load_object("C", "birds", 1) is None
+
+    def test_delete_unannotated_row(self, stack):
+        stack.delete_row("birds", 2)
+        assert stack.db.row_count("birds") == 1
+
+    def test_reinserted_rowid_starts_clean(self, stack):
+        stack.add_annotation("observed feeding", table="birds", row_id=1)
+        stack.delete_row("birds", 1)
+        new_row = stack.insert("birds", ("Heron", 1.8))
+        result = stack.query("SELECT name, weight FROM birds ORDER BY weight")
+        heron = next(t for t in result.tuples if t.values[0] == "Heron")
+        assert heron.summaries["C"].is_empty()
+        assert new_row != 1 or heron.attachments == {}

@@ -1,0 +1,85 @@
+"""Tests for the WITH SUMMARIES clause (selective propagation)."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.errors import SQLSyntaxError
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("birds", ["name", "weight"])
+    notes.create_table("spots", ["place"])
+    notes.insert("birds", ("Swan", 3.2))
+    notes.insert("spots", ("lake",))
+    notes.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+    notes.define_cluster("Cl", threshold=0.3)
+    notes.link("C", "birds")
+    notes.link("Cl", "birds")
+    notes.add_annotation("observed feeding on stonewort",
+                         table="birds", row_id=1)
+    yield notes
+    notes.close()
+
+
+class TestWithSummaries:
+    def test_default_carries_all_instances(self, stack):
+        result = stack.query("SELECT name FROM birds")
+        assert sorted(result.tuples[0].summaries) == ["C", "Cl"]
+
+    def test_subset(self, stack):
+        result = stack.query("SELECT name FROM birds WITH SUMMARIES (C)")
+        assert sorted(result.tuples[0].summaries) == ["C"]
+
+    def test_no_summaries(self, stack):
+        result = stack.query("SELECT name FROM birds WITH NO SUMMARIES")
+        row = result.tuples[0]
+        assert row.summaries == {}
+        assert row.attachments == {}
+
+    def test_values_unaffected(self, stack):
+        full = stack.query("SELECT name, weight FROM birds")
+        bare = stack.query("SELECT name, weight FROM birds WITH NO SUMMARIES")
+        assert full.rows() == bare.rows()
+
+    def test_clause_composes_with_where_and_order(self, stack):
+        result = stack.query(
+            "SELECT name FROM birds WHERE weight > 1 "
+            "WITH SUMMARIES (Cl) ORDER BY name"
+        )
+        assert sorted(result.tuples[0].summaries) == ["Cl"]
+
+    def test_clause_applies_to_every_scan(self, stack):
+        result = stack.query(
+            "SELECT b.name, s.place FROM birds b, spots s WITH NO SUMMARIES"
+        )
+        assert result.tuples[0].summaries == {}
+
+    def test_unknown_instance_is_silently_absent(self, stack):
+        # Naming an instance not linked to the table simply yields nothing
+        # for it — the clause selects among linked instances.
+        result = stack.query("SELECT name FROM birds WITH SUMMARIES (Ghost)")
+        assert result.tuples[0].summaries == {}
+
+    def test_plan_rendering_shows_restriction(self, stack):
+        assert "[no summaries]" in stack.explain(
+            "SELECT name FROM birds WITH NO SUMMARIES"
+        )
+        assert "[summaries: C]" in stack.explain(
+            "SELECT name FROM birds WITH SUMMARIES (C)"
+        )
+
+    def test_syntax_errors(self, stack):
+        with pytest.raises(SQLSyntaxError):
+            stack.query("SELECT name FROM birds WITH")
+        with pytest.raises(SQLSyntaxError):
+            stack.query("SELECT name FROM birds WITH SUMMARIES")
+
+    def test_zoomin_against_restricted_result(self, stack):
+        result = stack.query("SELECT name FROM birds WITH SUMMARIES (C)")
+        zoom = stack.zoomin(
+            f"ZOOMIN REFERENCE QID = {result.qid} ON C INDEX 1"
+        )
+        assert zoom.annotation_count() == 1

@@ -1,0 +1,206 @@
+"""Tests for repro.engine.sqlparser."""
+
+import pytest
+
+from repro.engine.expressions import (
+    Arithmetic,
+    BooleanOp,
+    Column,
+    Comparison,
+    GroupCount,
+    InList,
+    Like,
+    Literal,
+    Not,
+    SummaryCount,
+)
+from repro.engine.sqlparser import parse_expression, parse_sql, tokenize_sql
+from repro.errors import SQLSyntaxError
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize_sql("SELECT select SeLeCt")
+        assert all(t.kind == "keyword" and t.value == "select"
+                   for t in tokens[:-1])
+
+    def test_dotted_identifier_is_one_token(self):
+        tokens = tokenize_sql("r.a")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].value == "r.a"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize_sql("'o''brien'")
+        assert tokens[0].kind == "string"
+
+    def test_numbers(self):
+        tokens = tokenize_sql("42 3.5")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.5"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize_sql("SELECT @")
+
+    def test_eof_token_appended(self):
+        assert tokenize_sql("x")[-1].kind == "eof"
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        statement = parse_sql("SELECT a, b FROM t")
+        assert not statement.select_star
+        assert [item[1].name for item in statement.select_items] == ["a", "b"]
+        assert statement.tables == [("t", "t")]
+
+    def test_select_star(self):
+        statement = parse_sql("SELECT * FROM t")
+        assert statement.select_star
+
+    def test_aliases(self):
+        statement = parse_sql("SELECT r.a FROM tbl r, other AS o")
+        assert statement.tables == [("tbl", "r"), ("other", "o")]
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_where(self):
+        statement = parse_sql("SELECT a FROM t WHERE a = 1 AND b > 2")
+        assert isinstance(statement.where, BooleanOp)
+        assert statement.where.op == "and"
+
+    def test_explicit_join(self):
+        statement = parse_sql(
+            "SELECT r.a FROM tbl r JOIN other o ON r.a = o.x"
+        )
+        assert len(statement.joins) == 1
+        table, alias, predicate, outer = statement.joins[0]
+        assert (table, alias) == ("other", "o")
+        assert isinstance(predicate, Comparison)
+        assert outer is False
+
+    def test_inner_join_keyword(self):
+        statement = parse_sql(
+            "SELECT r.a FROM tbl r INNER JOIN other o ON r.a = o.x"
+        )
+        assert len(statement.joins) == 1
+
+    def test_group_by_and_having(self):
+        statement = parse_sql(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2"
+        )
+        assert statement.group_by == ["a"]
+        assert statement.is_grouped
+        assert statement.having is not None
+
+    def test_aggregates(self):
+        statement = parse_sql(
+            "SELECT count(*), sum(b), avg(b), min(b), max(b) FROM t"
+        )
+        kinds = [kind for kind, _ in statement.select_items]
+        assert kinds == ["aggregate"] * 5
+        assert statement.is_grouped  # bare aggregates imply grouping
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(SQLSyntaxError, match=r"SUM\(\*\)"):
+            parse_sql("SELECT sum(*) FROM t")
+
+    def test_order_by(self):
+        statement = parse_sql("SELECT a FROM t ORDER BY a DESC, b ASC")
+        assert len(statement.order_by) == 2
+        assert statement.order_by[0][1] is True
+        assert statement.order_by[1][1] is False
+
+    def test_order_by_aggregate(self):
+        statement = parse_sql(
+            "SELECT a, count(*) FROM t GROUP BY a ORDER BY count(*) DESC"
+        )
+        key, descending = statement.order_by[0]
+        assert isinstance(key, Column)
+        assert key.name == "count(*)"
+        assert descending
+
+    def test_limit(self):
+        assert parse_sql("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_limit_must_be_integer(self):
+        with pytest.raises(SQLSyntaxError, match="integer"):
+            parse_sql("SELECT a FROM t LIMIT 2.5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT a FROM t nonsense extra")
+
+    def test_qualified_table_name_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="qualified"):
+            parse_sql("SELECT a FROM db.t")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="from"):
+            parse_sql("SELECT a")
+
+
+class TestExpressionParsing:
+    def test_precedence_or_over_and(self):
+        expression = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expression, BooleanOp)
+        assert expression.op == "or"
+        assert isinstance(expression.operands[1], BooleanOp)
+
+    def test_parentheses_override(self):
+        expression = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        assert expression.op == "and"
+
+    def test_not(self):
+        assert isinstance(parse_expression("NOT a = 1"), Not)
+
+    def test_arithmetic_precedence(self):
+        expression = parse_expression("a + b * 2 = 7")
+        assert isinstance(expression.left, Arithmetic)
+        assert expression.left.op == "+"
+        assert expression.left.right.op == "*"
+
+    def test_unary_minus(self):
+        expression = parse_expression("a > -5")
+        assert isinstance(expression.right, Arithmetic)
+
+    def test_string_literal_unescaping(self):
+        expression = parse_expression("a = 'o''brien'")
+        assert expression.right == Literal("o'brien")
+
+    def test_float_literal(self):
+        expression = parse_expression("a > 2.5")
+        assert expression.right == Literal(2.5)
+
+    def test_like(self):
+        expression = parse_expression("name LIKE 'Swan%'")
+        assert isinstance(expression, Like)
+        assert expression.pattern == "Swan%"
+
+    def test_in_list(self):
+        expression = parse_expression("a IN (1, 2, 'x')")
+        assert isinstance(expression, InList)
+        assert expression.values == (1, 2, "x")
+
+    def test_in_list_requires_literals(self):
+        with pytest.raises(SQLSyntaxError, match="literal"):
+            parse_expression("a IN (b)")
+
+    def test_not_equal_forms(self):
+        assert parse_expression("a != 1").op == "!="
+        assert parse_expression("a <> 1").op == "!="
+
+    def test_summary_count_two_args(self):
+        expression = parse_expression("SUMMARY_COUNT('C1', 'Disease') > 5")
+        assert expression.left == SummaryCount("C1", "Disease")
+
+    def test_summary_count_one_arg(self):
+        expression = parse_expression("summary_count('C1') = 0")
+        assert expression.left == SummaryCount("C1", None)
+
+    def test_group_count(self):
+        expression = parse_expression("GROUP_COUNT('S') >= 2")
+        assert expression.left == GroupCount("S")
+
+    def test_group_count_rejects_second_arg(self):
+        with pytest.raises(SQLSyntaxError, match="single instance"):
+            parse_expression("GROUP_COUNT('S', 'x') > 1")

@@ -1,0 +1,125 @@
+"""Tests for uncorrelated IN-subqueries."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.engine.expressions import Column, InList, InSubquery, Literal
+from repro.engine.sqlparser import parse_expression, parse_sql
+from repro.engine.subqueries import contains_subquery, flatten_expression
+from repro.errors import ExpressionError, SQLSyntaxError
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("birds", ["name", "species"])
+    notes.create_table("sightings", ["species", "count"])
+    notes.insert("birds", ("Swan", "cygnus"))
+    notes.insert("birds", ("Goose", "anser"))
+    notes.insert("birds", ("Heron", "ardea"))
+    notes.insert("sightings", ("cygnus", 5))
+    notes.insert("sightings", ("anser", 1))
+    yield notes
+    notes.close()
+
+
+class TestParsing:
+    def test_in_subquery_parses(self):
+        expression = parse_expression(
+            "a IN (SELECT x FROM t WHERE y > 1)"
+        )
+        assert isinstance(expression, InSubquery)
+        assert contains_subquery(expression)
+
+    def test_in_literal_list_still_works(self):
+        expression = parse_expression("a IN (1, 2)")
+        assert isinstance(expression, InList)
+        assert not contains_subquery(expression)
+
+    def test_nested_in_boolean(self):
+        expression = parse_expression(
+            "a = 1 AND b IN (SELECT x FROM t)"
+        )
+        assert contains_subquery(expression)
+
+    def test_unflattened_evaluation_raises(self):
+        expression = parse_expression("a IN (SELECT x FROM t)")
+        from repro.model.tuple import AnnotatedTuple
+
+        with pytest.raises(ExpressionError, match="flattened"):
+            expression.evaluate(AnnotatedTuple(values=(1,)), ("a",))
+
+
+class TestExecution:
+    def test_basic_semijoin(self, stack):
+        result = stack.query(
+            "SELECT name FROM birds WHERE species IN "
+            "(SELECT species FROM sightings WHERE count > 1)"
+        )
+        assert result.rows() == [("Swan",)]
+
+    def test_negated(self, stack):
+        result = stack.query(
+            "SELECT name FROM birds WHERE NOT species IN "
+            "(SELECT species FROM sightings) ORDER BY name"
+        )
+        assert result.rows() == [("Heron",)]
+
+    def test_empty_subquery_matches_nothing(self, stack):
+        result = stack.query(
+            "SELECT name FROM birds WHERE species IN "
+            "(SELECT species FROM sightings WHERE count > 1000)"
+        )
+        assert result.rows() == []
+
+    def test_subquery_with_its_own_subquery(self, stack):
+        result = stack.query(
+            "SELECT name FROM birds WHERE species IN ("
+            "SELECT species FROM sightings WHERE species IN ("
+            "SELECT species FROM birds WHERE name = 'Swan'))"
+        )
+        assert result.rows() == [("Swan",)]
+
+    def test_multi_column_subquery_rejected(self, stack):
+        with pytest.raises(SQLSyntaxError, match="exactly one column"):
+            stack.query(
+                "SELECT name FROM birds WHERE species IN "
+                "(SELECT species, count FROM sightings)"
+            )
+
+    def test_summaries_propagate_on_outer_query(self, stack):
+        stack.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+        stack.link("C", "birds")
+        stack.add_annotation("observed feeding on stonewort",
+                             table="birds", row_id=1)
+        result = stack.query(
+            "SELECT name, species FROM birds WHERE species IN "
+            "(SELECT species FROM sightings)"
+        )
+        swan = next(t for t in result.tuples if t.values[0] == "Swan")
+        assert swan.summaries["C"].count("Behavior") == 1
+
+    def test_subquery_with_summary_predicate(self, stack):
+        stack.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+        stack.link("C", "birds")
+        stack.add_annotation("observed feeding on stonewort",
+                             table="birds", row_id=1)
+        result = stack.query(
+            "SELECT species FROM sightings WHERE species IN ("
+            "SELECT species FROM birds "
+            "WHERE SUMMARY_COUNT('C', 'Behavior') > 0)"
+        )
+        assert result.rows() == [("cygnus",)]
+
+
+class TestFlattenRewriter:
+    def test_rebuilds_only_changed_branches(self):
+        untouched = parse_expression("a = 1 AND b LIKE 'x%'")
+        flattened = flatten_expression(untouched, lambda _s: ())
+        assert flattened is untouched
+
+    def test_substitutes_values(self):
+        expression = parse_expression("a IN (SELECT x FROM t)")
+        flattened = flatten_expression(expression, lambda _s: (1, 2, 3))
+        assert flattened == InList(Column("a"), (1, 2, 3))

@@ -1,0 +1,90 @@
+"""Tests for repro.gate.render."""
+
+from repro.engine.results import QueryResult
+from repro.gate.render import (
+    render_result,
+    render_summaries,
+    render_table,
+    render_zoomin,
+)
+from repro.model.annotation import Annotation
+from repro.model.tuple import AnnotatedTuple
+from repro.summaries.base import ZoomComponent
+from repro.summaries.classifier import ClassifierSummary
+from repro.summaries.cluster import ClusterSummary
+from repro.summaries.snippet import SnippetEntry, SnippetSummary
+from repro.zoomin.command import ZoomInCommand
+from repro.zoomin.executor import ZoomInMatch, ZoomInResult
+
+
+def _row():
+    classifier = ClassifierSummary("C1", ["a", "b"])
+    classifier.add(1, "a")
+    cluster = ClusterSummary("S1")
+    snippet = SnippetSummary("T1")
+    snippet.add_entry(SnippetEntry(2, "Article", ("x.",)))
+    return AnnotatedTuple(
+        values=("Swan", 3.2),
+        summaries={"C1": classifier, "S1": cluster, "T1": snippet},
+    )
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        text = render_table(("name", "w"), [("Swan", 3.2), ("Goose", None)])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| name " in lines[1]
+        assert "NULL" in text
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_float_formatting(self):
+        assert "3.2" in render_table(("w",), [(3.2,)])
+
+
+class TestRenderResult:
+    def test_includes_qid_and_count(self):
+        result = QueryResult(qid=101, columns=("a", "b"), tuples=[_row()])
+        text = render_result(result)
+        assert "QID = 101" in text
+        assert "1 row(s)" in text
+
+    def test_truncation_notice(self):
+        result = QueryResult(
+            qid=5, columns=("a", "b"), tuples=[_row() for _ in range(10)]
+        )
+        text = render_result(result, max_rows=3)
+        assert "showing first 3" in text
+
+
+class TestRenderSummaries:
+    def test_groups_by_type_sections(self):
+        text = render_summaries(_row())
+        assert text.index("Classifier-Type") < text.index("Cluster-Type")
+        assert text.index("Cluster-Type") < text.index("Snippet-Type")
+        assert "C1 [(a, 1), (b, 0)]" in text
+
+    def test_empty_summaries(self):
+        assert "no summary instances" in render_summaries(
+            AnnotatedTuple(values=())
+        )
+
+
+class TestRenderZoomin:
+    def test_lists_annotations(self):
+        command = ZoomInCommand(qid=101, instance="C1", index=1)
+        match = ZoomInMatch(
+            values=("Swan",),
+            component=ZoomComponent(1, "a", (1,)),
+            annotations=[Annotation(annotation_id=1, text="note text",
+                                    author="aria")],
+        )
+        text = render_zoomin(ZoomInResult(command, [match], cache_hit=True))
+        assert "cache hit" in text
+        assert "#1 (aria): note text" in text
+
+    def test_empty_matches(self):
+        command = ZoomInCommand(qid=101, instance="C1")
+        text = render_zoomin(ZoomInResult(command, [], cache_hit=False))
+        assert "no tuples matched" in text
+        assert "cache miss" in text

@@ -1,0 +1,84 @@
+"""Cross-engine consistency: summary-aware vs. raw propagation.
+
+The two engines implement the same propagation semantics at different
+granularities, so on any query the set of annotations contributing to each
+output tuple must be identical: the summary engine's per-tuple annotation
+ids must equal the raw engine's propagated annotation ids.
+"""
+
+import pytest
+
+from repro.baselines import RawQueryEngine
+from repro.engine.sqlparser import build_logical, parse_sql
+
+QUERIES = [
+    "SELECT name, species, region, weight FROM birds",
+    "SELECT name, species FROM birds",
+    "SELECT name FROM birds WHERE weight > 5",
+    "SELECT b.name, b.species, s.observer FROM birds b, sightings s "
+    "WHERE b.species = s.species",
+    "SELECT b.species, count(*) FROM birds b, sightings s "
+    "WHERE b.species = s.species GROUP BY b.species",
+    "SELECT DISTINCT region FROM birds",
+    "SELECT name, weight FROM birds ORDER BY weight DESC LIMIT 3",
+    "SELECT b.name, s.observer FROM birds b "
+    "LEFT OUTER JOIN sightings s ON b.species = s.species",
+    "SELECT name FROM birds WHERE weight BETWEEN 2 AND 8",
+    "SELECT species FROM birds UNION SELECT species FROM sightings",
+    "SELECT name FROM birds WHERE region IS NOT NULL",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_propagated_annotation_sets_agree(small_workload, sql):
+    session = small_workload.session
+    raw_engine = RawQueryEngine(session.db, session.annotations)
+    summary_result = session.query(sql)
+    logical = session.planner.prepare(
+        build_logical(parse_sql(sql), session.planner)
+    )
+    raw_result = raw_engine.execute(logical)
+
+    def by_values(tuples):
+        mapping = {}
+        for row in tuples:
+            mapping.setdefault(str(row.values), set()).update(
+                row.annotation_ids()
+            )
+        return mapping
+
+    summary_map = by_values(summary_result.tuples)
+    raw_map = by_values(raw_result.tuples)
+    assert summary_map == raw_map
+
+
+def test_classifier_counts_match_raw_annotation_classification(small_workload):
+    """Classifier counts must equal re-classifying the propagated raws."""
+    session = small_workload.session
+    result = session.query("SELECT name, species FROM birds")
+    instance = session.catalog.get_instance("ClassBird1")
+    for row in result.tuples:
+        summary = row.summaries["ClassBird1"]
+        raws = session.annotations.get_many(row.annotation_ids())
+        expected = {label: 0 for label in instance.labels}
+        for annotation in raws:
+            expected[instance.analyze(annotation)] += 1
+        assert dict(summary.counts()) == expected
+
+
+def test_zoomin_returns_exactly_the_counted_annotations(small_workload):
+    """Zoom-in on a classifier label returns exactly `count` annotations,
+    all of which re-classify to that label."""
+    session = small_workload.session
+    result = session.query("SELECT name, species, region, weight FROM birds")
+    instance = session.catalog.get_instance("ClassBird1")
+    for index, label in enumerate(instance.labels, start=1):
+        zoom = session.zoomin(
+            f"ZOOMIN REFERENCE QID = {result.qid} ON ClassBird1 INDEX {index}"
+        )
+        for match, row in zip(zoom.matches, result.tuples):
+            assert len(match.annotations) == row.summaries["ClassBird1"].count(
+                label
+            )
+            for annotation in match.annotations:
+                assert instance.analyze(annotation) == label

@@ -1,0 +1,91 @@
+"""FIG1 — Figure 1: raw annotations vs. annotation summaries on one tuple.
+
+A tuple with hundreds of raw annotations must render as a handful of
+compact summary objects (two classifiers, a cluster, a snippet), and the
+summaries must be dramatically smaller than the raw payload.
+"""
+
+import pytest
+
+from repro.workloads import WorkloadConfig, build_workload
+
+
+@pytest.fixture(scope="module")
+def figure1_workload():
+    workload = build_workload(
+        WorkloadConfig(
+            num_birds=2,
+            num_sightings=0,
+            annotations_per_row=150,
+            document_fraction=0.02,
+            seed=42,
+        )
+    )
+    yield workload
+    workload.session.close()
+
+
+class TestFigure1:
+    def test_tuple_carries_hundreds_of_raw_annotations(self, figure1_workload):
+        session = figure1_workload.session
+        row_id = figure1_workload.bird_rows[0]
+        assert len(session.annotations.annotation_ids_for_row("birds", row_id)) >= 150
+
+    def test_summaries_cover_every_annotation(self, figure1_workload):
+        session = figure1_workload.session
+        result = session.query("SELECT name, species, region, weight FROM birds")
+        row = result.tuples[0]
+        all_ids = row.annotation_ids()
+        classifier_ids = row.summaries["ClassBird1"].annotation_ids()
+        cluster_ids = row.summaries["SimCluster"].annotation_ids()
+        assert classifier_ids == all_ids
+        assert cluster_ids == all_ids
+
+    def test_figure1_summary_types_present(self, figure1_workload):
+        result = figure1_workload.session.query("SELECT name FROM birds")
+        summaries = result.tuples[0].summaries
+        assert set(summaries) == {
+            "ClassBird1", "ClassBird2", "SimCluster", "TextSummary1",
+        }
+
+    def test_classifier_counts_sum_to_annotation_count(self, figure1_workload):
+        result = figure1_workload.session.query(
+            "SELECT name, species, region, weight FROM birds"
+        )
+        row = result.tuples[0]
+        total = sum(count for _, count in row.summaries["ClassBird1"].counts())
+        assert total == len(row.attachments)
+
+    def test_cluster_compresses_similar_annotations(self, figure1_workload):
+        result = figure1_workload.session.query("SELECT name FROM birds")
+        cluster = result.tuples[0].summaries["SimCluster"]
+        # Grouping must be a real compression, not singletons.
+        assert 1 <= len(cluster.groups) < len(cluster.annotation_ids())
+
+    def test_snippet_summarizes_documents(self, figure1_workload):
+        result = figure1_workload.session.query(
+            "SELECT name, species, region, weight FROM birds"
+        )
+        snippets = [
+            row.summaries["TextSummary1"] for row in result.tuples
+        ]
+        document_count = len(figure1_workload.document_ids)
+        assert sum(len(s.entries) for s in snippets) == document_count
+        for snippet in snippets:
+            for entry in snippet.entries:
+                assert len(entry.sentences) <= 2
+
+    def test_summary_rendering_much_smaller_than_raw(self, figure1_workload):
+        # The paper's point: what the scientist reads per tuple shrinks
+        # from hundreds of texts to a few compact summary lines.
+        from repro.gate.render import render_summaries
+
+        session = figure1_workload.session
+        result = session.query("SELECT name, species, region, weight FROM birds")
+        row = result.tuples[0]
+        rendered = render_summaries(row)
+        raw_bytes = sum(
+            len(a.text)
+            for a in session.annotations.get_many(row.annotation_ids())
+        )
+        assert len(rendered) < raw_bytes / 2

@@ -1,0 +1,152 @@
+"""FIG2 — Figure 2: summary propagation through the worked SPJ query.
+
+Rebuilds the paper's exact scenario — tuples r and s, four summary
+instances on R and two on S, annotations on kept, dropped, and shared
+columns — and checks each step's semantics on the final output.
+"""
+
+import pytest
+
+from repro import CellRef, InsightNotes
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    notes = InsightNotes()
+    notes.create_table("R", ["a", "b", "c", "d"])
+    notes.create_table("S", ["x", "y", "z"])
+    r = notes.insert("R", (1, 2, "c-value", "d-value"))
+    s = notes.insert("S", (1, "y-value", "z-value"))
+
+    notes.define_classifier("ClassBird1", ["Behavior", "Disease"], [
+        ("observed feeding on stonewort", "Behavior"),
+        ("shows symptoms of avian influenza", "Disease"),
+    ])
+    notes.define_classifier("ClassBird2", ["Provenance", "Comment"], [
+        ("record imported from the archive", "Provenance"),
+        ("great sighting worth sharing", "Comment"),
+    ])
+    notes.define_cluster("SimCluster", threshold=0.3)
+    notes.define_snippet("TextSummary1", max_sentences=1)
+    for name in ("ClassBird1", "ClassBird2", "SimCluster", "TextSummary1"):
+        notes.link(name, "R")
+    for name in ("ClassBird2", "SimCluster"):
+        notes.link(name, "S")
+
+    # Annotations on r.
+    notes.add_annotation("observed feeding on stonewort near dawn",
+                         table="R", row_id=r, columns=["a"])      # kept
+    notes.add_annotation("shows symptoms of avian influenza",
+                         table="R", row_id=r, columns=["c"])      # dropped
+    notes.add_annotation(
+        "Experiment E sentence one. Experiment E sentence two.",
+        table="R", row_id=r, columns=["a"], document=True,
+        title="Experiment E",
+    )                                                             # kept doc
+    notes.add_annotation(
+        "Wikipedia article sentence one. Wikipedia sentence two.",
+        table="R", row_id=r, columns=["d"], document=True,
+        title="Wikipedia article",
+    )                                                             # dropped doc
+    # Annotations on s.
+    notes.add_annotation("great sighting worth sharing today",
+                         table="S", row_id=s, columns=["x"])      # join column
+    notes.add_annotation("record imported from the archive",
+                         table="S", row_id=s, columns=["y"])      # dropped
+    # Shared annotation attached to both r and s.
+    notes.add_annotation(
+        "record imported from station logbook",
+        cells=[CellRef("R", r, "a"), CellRef("S", s, "x")],
+    )
+
+    sql = "SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x AND r.b = 2"
+    result = notes.query(sql, trace=True)
+    yield notes, result
+    notes.close()
+
+
+class TestFigure2:
+    def test_query_returns_single_joined_tuple(self, figure2):
+        _notes, result = figure2
+        assert result.columns == ("r.a", "r.b", "s.z")
+        assert result.rows() == [(1, 2, "z-value")]
+
+    def test_step1_projection_removes_dropped_column_annotations(self, figure2):
+        notes, result = figure2
+        row = result.tuples[0]
+        surviving = {
+            a.text for a in notes.annotations.get_many(
+                row.summaries["ClassBird1"].annotation_ids()
+            )
+        }
+        # The Disease annotation sat only on r.c, which is projected out.
+        assert "shows symptoms of avian influenza" not in surviving
+        assert "observed feeding on stonewort near dawn" in surviving
+
+    def test_step1_snippet_on_dropped_column_removed(self, figure2):
+        _notes, result = figure2
+        previews = result.tuples[0].summaries["TextSummary1"].previews()
+        assert previews == ["Experiment E"]  # Wikipedia article (on d) gone
+
+    def test_step3_one_sided_summaries_propagate_unchanged(self, figure2):
+        _notes, result = figure2
+        summaries = result.tuples[0].summaries
+        # ClassBird1 and TextSummary1 exist only on R.
+        assert "ClassBird1" in summaries
+        assert "TextSummary1" in summaries
+
+    def test_step3_counterpart_summaries_merge_without_double_count(self, figure2):
+        _notes, result = figure2
+        class_bird2 = result.tuples[0].summaries["ClassBird2"]
+        # r contributes: behavior note (a), Experiment E doc (a), shared
+        # note; s contributes: sighting note (x), shared note.  The shared
+        # note must be counted once -> 4 distinct contributing annotations.
+        total = sum(count for _, count in class_bird2.counts())
+        assert total == 4
+
+    def test_step4_join_column_annotations_survive_final_projection(self, figure2):
+        _notes, result = figure2
+        row = result.tuples[0]
+        # s.x is projected out at the end, but its annotations are
+        # value-equivalent to r.a and must persist (paper: step 4 does not
+        # change summaries).
+        texts = {"great sighting worth sharing today"}
+        cluster_ids = row.summaries["SimCluster"].annotation_ids()
+        notes = figure2[0]
+        surviving_texts = {
+            a.text for a in notes.annotations.get_many(cluster_ids)
+        }
+        assert texts <= surviving_texts
+
+    def test_dropped_y_annotation_absent(self, figure2):
+        notes, result = figure2
+        row = result.tuples[0]
+        surviving_texts = {
+            a.text for a in notes.annotations.get_many(row.annotation_ids())
+        }
+        assert "record imported from the archive" not in surviving_texts
+
+    def test_cluster_merge_combines_overlapping_groups(self, figure2):
+        _notes, result = figure2
+        cluster = result.tuples[0].summaries["SimCluster"]
+        # The shared annotation appears in exactly one group.
+        groups_with_shared = [
+            group for group in cluster.groups
+            if any(True for _ in group.member_ids)
+        ]
+        seen = set()
+        for group in cluster.groups:
+            assert not group.member_ids & seen
+            seen |= group.member_ids
+
+    def test_trace_shows_expected_operator_sequence(self, figure2):
+        _notes, result = figure2
+        operators = list(result.trace.by_operator())
+        kinds = [op.split("(")[0] for op in operators]
+        assert "Scan" in kinds
+        assert "Project" in kinds
+        assert "Select" in kinds
+        assert "Join" in kinds
+        # Normalization: at least one projection runs before the join.
+        first_join = kinds.index("Join")
+        assert "Project" in kinds[:first_join]

@@ -1,0 +1,117 @@
+"""FIG4 — Figure 4: extensibility and the three-level hierarchy.
+
+Level 1: new summary types can be registered and participate fully.
+Level 2: instances carry custom configuration and invariant properties.
+Level 3: linking/unlinking instances changes the summary objects carried
+by query results, with existing annotations summarized on link.
+"""
+
+import pytest
+
+from repro import InsightNotes
+from repro.summaries.registry import default_registry
+from tests.conftest import TRAINING
+
+# Reuse the custom type from the runnable example — it is a first-class
+# citizen of the library's extensibility contract.
+import importlib.util
+import pathlib
+
+_spec = importlib.util.spec_from_file_location(
+    "extensibility_example",
+    pathlib.Path(__file__).parents[2] / "examples" / "extensibility.py",
+)
+_example = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_example)
+AuthorHistogramType = _example.AuthorHistogramType
+
+
+class TestLevel1CustomTypes:
+    @pytest.fixture
+    def notes(self):
+        registry = default_registry()
+        registry.register(AuthorHistogramType())
+        notes = InsightNotes(registry=registry)
+        notes.create_table("t", ["v"])
+        notes.insert("t", ("x",))
+        yield notes
+        notes.close()
+
+    def test_custom_type_registers(self, notes):
+        assert "AuthorHistogram" in notes.catalog.registry
+
+    def test_custom_type_participates_in_queries(self, notes):
+        notes.define_instance("AuthorHistogram", "Who", {})
+        notes.link("Who", "t")
+        notes.add_annotation("note one", table="t", row_id=1, author="aria")
+        notes.add_annotation("note two", table="t", row_id=1, author="aria")
+        notes.add_annotation("note three", table="t", row_id=1, author="ben")
+        result = notes.query("SELECT v FROM t")
+        rendering = result.tuples[0].summaries["Who"].render()
+        assert "(aria, 2)" in rendering
+        assert "(ben, 1)" in rendering
+
+    def test_custom_type_zoomin(self, notes):
+        notes.define_instance("AuthorHistogram", "Who", {})
+        notes.link("Who", "t")
+        notes.add_annotation("note one", table="t", row_id=1, author="aria")
+        result = notes.query("SELECT v FROM t")
+        zoom = notes.zoomin(
+            f"ZOOMIN REFERENCE QID = {result.qid} ON Who INDEX 1"
+        )
+        assert zoom.matches[0].annotations[0].text == "note one"
+
+    def test_custom_type_persists(self, notes):
+        notes.define_instance("AuthorHistogram", "Who", {})
+        notes.link("Who", "t")
+        notes.add_annotation("note", table="t", row_id=1, author="aria")
+        stored = notes.catalog.load_object("Who", "t", 1)
+        assert stored is not None
+        assert stored.by_author == {"aria": {1}}
+
+
+class TestLevel2Instances:
+    def test_domain_specific_label_sets(self, session):
+        session.create_table("genes", ["symbol"])
+        session.define_classifier(
+            "GeneClasses", ["FunctionPrediction", "Provenance", "Comment"]
+        )
+        session.define_classifier(
+            "BirdClasses", ["Behavior", "Disease", "Anatomy", "Other"]
+        )
+        gene = session.catalog.get_instance("GeneClasses")
+        bird = session.catalog.get_instance("BirdClasses")
+        assert gene.labels != bird.labels
+
+    def test_properties_stored_per_instance(self, session):
+        session.define_cluster("Cl")
+        session.define_classifier("Cf", ["a"])
+        assert not session.catalog.get_instance("Cl").properties.summarize_once
+        assert session.catalog.get_instance("Cf").properties.summarize_once
+
+
+class TestLevel3Linking:
+    def test_linking_summarizes_existing_annotations(self, birds_session):
+        birds_session.define_classifier("Late", ["Behavior", "Disease"],
+                                        TRAINING)
+        result_before = birds_session.query("SELECT name FROM birds")
+        assert "Late" not in result_before.tuples[0].summaries
+        birds_session.link("Late", "birds")
+        result_after = birds_session.query("SELECT name FROM birds")
+        late = result_after.tuples[0].summaries["Late"]
+        assert late.count("Behavior") == 2
+
+    def test_many_to_many_links(self, birds_session):
+        birds_session.create_table("nests", ["site"])
+        birds_session.insert("nests", ("north",))
+        birds_session.link("BirdClass", "nests")
+        assert birds_session.catalog.is_linked("BirdClass", "birds")
+        assert birds_session.catalog.is_linked("BirdClass", "nests")
+
+    def test_unlink_then_relink_rebuilds(self, birds_session):
+        birds_session.unlink("BirdClass", "birds")
+        assert birds_session.catalog.load_object("BirdClass", "birds", 1) is None
+        birds_session.link("BirdClass", "birds")
+        obj = birds_session.catalog.load_object("BirdClass", "birds", 1)
+        assert obj is not None
+        assert obj.count("Behavior") == 2

@@ -1,0 +1,79 @@
+"""FIG5 — Figure 5: the InsightNotesGate demonstration flow.
+
+Replays the GUI scenario end to end through the scripted REPL: demo data,
+QBE and SQL querying, summary visualization, annotation insertion with
+summary refresh, zoom-in, and the under-the-hood trace.
+"""
+
+import pytest
+
+from repro.gate.cli import GateREPL
+
+
+@pytest.fixture(scope="module")
+def repl():
+    gate = GateREPL()
+    gate.handle("\\demo")
+    yield gate
+    gate.session.close()
+
+
+class TestFigure5Flow:
+    def test_qbe_section(self, repl):
+        output = repl.handle("\\qbe birds region=midwest")
+        assert "QID =" in output
+
+    def test_explicit_sql_with_join_and_aggregation(self, repl):
+        output = repl.handle(
+            "SELECT b.species, count(*) FROM birds b, sightings s "
+            "WHERE b.species = s.species GROUP BY b.species"
+        )
+        assert "count(*)" in output
+
+    def test_visualize_annotation_summaries(self, repl):
+        result = repl.session.query("SELECT name, species FROM birds")
+        output = repl.handle(f"\\summaries {result.qid} 0")
+        assert "Classifier-Type" in output
+        assert "Cluster-Type" in output
+        assert "Snippet-Type" in output
+
+    def test_add_annotation_refreshes_summaries(self, repl):
+        session = repl.session
+        before = session.query("SELECT name FROM birds WHERE name = 'Swan Goose'")
+        count_before = sum(
+            count
+            for _, count in before.tuples[0].summaries["ClassBird1"].counts()
+        )
+        repl.handle("\\annotate birds 1 observed feeding on stonewort beds")
+        after = session.query("SELECT name FROM birds WHERE name = 'Swan Goose'")
+        count_after = sum(
+            count
+            for _, count in after.tuples[0].summaries["ClassBird1"].counts()
+        )
+        assert count_after == count_before + 1
+
+    def test_zoom_in_button(self, repl):
+        result = repl.session.query("SELECT name, species FROM birds")
+        output = repl.handle(
+            f"ZOOMIN REFERENCE QID = {result.qid} ON ClassBird1 INDEX 1"
+        )
+        assert "annotation(s)" in output
+
+    def test_link_new_instance_changes_visualized_summaries(self, repl):
+        repl.handle("\\unlink TextSummary1 birds")
+        result = repl.session.query("SELECT name FROM birds")
+        assert "TextSummary1" not in result.tuples[0].summaries
+        repl.handle("\\link TextSummary1 birds")
+        result = repl.session.query("SELECT name FROM birds")
+        assert "TextSummary1" in result.tuples[0].summaries
+
+    def test_under_the_hood_trace(self, repl):
+        repl.handle("\\trace")
+        output = repl.handle(
+            "SELECT b.name FROM birds b, sightings s "
+            "WHERE b.species = s.species AND s.count > 10"
+        )
+        repl.handle("\\trace")
+        assert "Under the hood" in output
+        assert "Join" in output
+        assert "Scan" in output

@@ -1,0 +1,125 @@
+"""EXP-QP3 functional check — Theorems 1-2 plan equivalence.
+
+Equivalent query plans must propagate identical annotation summaries when
+(and only when) the planner normalizes them: un-needed annotations are
+projected out before any merge.  Without normalization, a plan that merges
+first can bridge cluster groups through annotations that a project-first
+plan never sees.
+"""
+
+import pytest
+
+from repro import CellRef, InsightNotes
+from repro.engine import plan as lp
+from repro.engine.expressions import Column, Comparison
+
+
+def canonical_summaries(result):
+    rows = []
+    for row in sorted(result.tuples, key=lambda t: str(t.values)):
+        rendered = {
+            name: sorted(obj.annotation_ids())
+            for name, obj in row.summaries.items()
+        }
+        rows.append((row.values, rendered))
+    return rows
+
+
+def canonical_groupings(result, instance):
+    rows = []
+    for row in sorted(result.tuples, key=lambda t: str(t.values)):
+        cluster = row.summaries[instance]
+        rows.append(
+            (row.values,
+             frozenset(frozenset(g.member_ids) for g in cluster.groups))
+        )
+    return rows
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("R", ["a", "b", "c"])
+    notes.create_table("S", ["x", "y", "z"])
+    r = notes.insert("R", (1, 2, "c1"))
+    s = notes.insert("S", (1, "y1", "z1"))
+    notes.define_cluster("Cl", threshold=0.25)
+    notes.link("Cl", "R")
+    notes.link("Cl", "S")
+    # The "bridge": one annotation shared by R and S, attached ONLY to
+    # columns the query drops (r.c and s.y).  On R it clusters with the
+    # r.a annotation; on S it clusters with the s.z annotation.  A
+    # merge-first plan combines those two groups through the bridge and
+    # only then projects it away, leaving ONE group; a project-first plan
+    # removes the bridge before merging and keeps TWO groups.
+    notes.add_annotation("observed feeding stonewort morning",
+                         table="R", row_id=r, columns=["a"])
+    notes.add_annotation("strange weather conditions today cold",
+                         table="S", row_id=s, columns=["z"])
+    notes.add_annotation(
+        "observed feeding stonewort weather conditions cold",
+        cells=[CellRef("R", r, "c"), CellRef("S", s, "y")],
+    )
+    yield notes
+    notes.close()
+
+
+def _plan_project_first():
+    join = lp.Join(
+        lp.Project(lp.Scan("R", "r"), ("r.a",)),
+        lp.Project(lp.Scan("S", "s"), ("s.x", "s.z")),
+        Comparison("=", Column("r.a"), Column("s.x")),
+    )
+    return lp.Project(join, ("r.a", "s.z"))
+
+
+def _plan_merge_first():
+    join = lp.Join(
+        lp.Scan("R", "r"),
+        lp.Scan("S", "s"),
+        Comparison("=", Column("r.a"), Column("s.x")),
+    )
+    return lp.Project(join, ("r.a", "s.z"))
+
+
+class TestTheorems1And2:
+    def test_normalized_plans_agree(self, stack):
+        stack.planner.normalize_plans = True
+        first = stack.execute_logical(_plan_project_first())
+        second = stack.execute_logical(_plan_merge_first())
+        assert canonical_summaries(first) == canonical_summaries(second)
+        assert canonical_groupings(first, "Cl") == canonical_groupings(
+            second, "Cl"
+        )
+
+    def test_unnormalized_plans_can_disagree_on_grouping(self, stack):
+        stack.planner.normalize_plans = False
+        project_first = stack.execute_logical(_plan_project_first())
+        merge_first = stack.execute_logical(_plan_merge_first())
+        stack.planner.normalize_plans = True
+        # Both keep the same surviving annotations...
+        assert canonical_summaries(project_first) == canonical_summaries(
+            merge_first
+        )
+        # ...but the merge-first plan bridged two groups through the
+        # projected-out annotation, so the groupings differ.
+        assert canonical_groupings(project_first, "Cl") != canonical_groupings(
+            merge_first, "Cl"
+        )
+
+    def test_normalization_matches_project_first_semantics(self, stack):
+        stack.planner.normalize_plans = False
+        reference = stack.execute_logical(_plan_project_first())
+        stack.planner.normalize_plans = True
+        normalized = stack.execute_logical(_plan_merge_first())
+        assert canonical_groupings(reference, "Cl") == canonical_groupings(
+            normalized, "Cl"
+        )
+
+    def test_join_order_invariance_under_normalization(self, stack):
+        # Add a second relation pairing to make both orders meaningful.
+        sql_a = "SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x"
+        sql_b = "SELECT r.a, s.z FROM S s, R r WHERE s.x = r.a"
+        first = stack.query(sql_a)
+        second = stack.query(sql_b)
+        assert canonical_summaries(first) == canonical_summaries(second)

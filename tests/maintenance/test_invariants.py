@@ -1,0 +1,98 @@
+"""Tests for repro.maintenance.invariants (summarize-once)."""
+
+import pytest
+
+from repro.maintenance.invariants import ContributionCache
+from repro.model.annotation import Annotation
+from repro.summaries.classifier import ClassifierInstance
+from repro.summaries.cluster import ClusterInstance
+
+
+class CountingClassifier(ClassifierInstance):
+    """Classifier instance that counts analyze() invocations."""
+
+    def __init__(self):
+        super().__init__("Counting", ["a", "b"])
+        self.train([("alpha words", "a"), ("beta words", "b")])
+        self.analyze_calls = 0
+
+    def analyze(self, annotation):
+        self.analyze_calls += 1
+        return super().analyze(annotation)
+
+
+class TestContributionCache:
+    def test_invariant_instance_analyzed_once(self):
+        cache = ContributionCache()
+        instance = CountingClassifier()
+        annotation = Annotation(annotation_id=1, text="alpha words here")
+        first = cache.analyze(instance, annotation)
+        second = cache.analyze(instance, annotation)
+        assert first == second == "a"
+        assert instance.analyze_calls == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_non_invariant_instance_bypasses(self):
+        cache = ContributionCache()
+        instance = ClusterInstance("Cl", threshold=0.4)
+        annotation = Annotation(annotation_id=1, text="hello world")
+        cache.analyze(instance, annotation)
+        cache.analyze(instance, annotation)
+        assert cache.stats.bypasses == 2
+        assert len(cache) == 0
+
+    def test_distinct_annotations_cached_separately(self):
+        cache = ContributionCache()
+        instance = CountingClassifier()
+        cache.analyze(instance, Annotation(annotation_id=1, text="alpha"))
+        cache.analyze(instance, Annotation(annotation_id=2, text="beta"))
+        assert instance.analyze_calls == 2
+        assert len(cache) == 2
+
+    def test_invalidate_annotation(self):
+        cache = ContributionCache()
+        instance = CountingClassifier()
+        annotation = Annotation(annotation_id=1, text="alpha")
+        cache.analyze(instance, annotation)
+        cache.invalidate(1)
+        cache.analyze(instance, annotation)
+        assert instance.analyze_calls == 2
+
+    def test_invalidate_instance(self):
+        cache = ContributionCache()
+        instance = CountingClassifier()
+        annotation = Annotation(annotation_id=1, text="alpha")
+        cache.analyze(instance, annotation)
+        cache.invalidate_instance("Counting")
+        cache.analyze(instance, annotation)
+        assert instance.analyze_calls == 2
+
+    def test_clear_keeps_stats(self):
+        cache = ContributionCache()
+        instance = CountingClassifier()
+        cache.analyze(instance, Annotation(annotation_id=1, text="alpha"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_eviction_bounds_memory(self):
+        cache = ContributionCache(max_entries=4)
+        instance = CountingClassifier()
+        for i in range(1, 10):
+            cache.analyze(instance, Annotation(annotation_id=i, text="alpha"))
+        assert len(cache) <= 4
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ContributionCache(max_entries=0)
+
+    def test_hit_ratio(self):
+        cache = ContributionCache()
+        instance = CountingClassifier()
+        annotation = Annotation(annotation_id=1, text="alpha")
+        cache.analyze(instance, annotation)
+        cache.analyze(instance, annotation)
+        cache.analyze(instance, annotation)
+        assert cache.stats.hit_ratio == pytest.approx(2 / 3)
+        assert cache.stats.analyze_calls == 1

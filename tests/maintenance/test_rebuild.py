@@ -1,0 +1,82 @@
+"""Tests for repro.maintenance.rebuild."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.maintenance.rebuild import RebuildMaintainer, rebuild_row, rebuild_table
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("birds", ["name", "weight"])
+    notes.insert("birds", ("Swan", 3.2))
+    notes.insert("birds", ("Goose", 2.4))
+    notes.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+    notes.link("C", "birds")
+    yield notes
+    notes.close()
+
+
+class TestRebuildRow:
+    def test_rebuild_matches_incremental(self, stack):
+        stack.add_annotation("observed feeding on stonewort",
+                             table="birds", row_id=1)
+        stack.add_annotation("shows symptoms of avian pox",
+                             table="birds", row_id=1)
+        incremental = stack.manager.current_object("C", "birds", 1)
+        rebuilt = rebuild_row(
+            stack.annotations, stack.catalog,
+            stack.catalog.get_instance("C"), "birds", 1, persist=False,
+        )
+        assert rebuilt.counts() == incremental.counts()
+
+    def test_rebuild_empty_row_deletes_state(self, stack):
+        stack.catalog.save_object(
+            "C", "birds", 2, stack.catalog.get_instance("C").new_object()
+        )
+        result = rebuild_row(
+            stack.annotations, stack.catalog,
+            stack.catalog.get_instance("C"), "birds", 2,
+        )
+        assert result is None
+        assert stack.catalog.load_object("C", "birds", 2) is None
+
+    def test_rebuild_persists_by_default(self, stack):
+        stack.add_annotation("seen foraging", table="birds", row_id=1)
+        stack.catalog.delete_object("C", "birds", 1)
+        rebuild_row(
+            stack.annotations, stack.catalog,
+            stack.catalog.get_instance("C"), "birds", 1,
+        )
+        assert stack.catalog.load_object("C", "birds", 1) is not None
+
+
+class TestRebuildTable:
+    def test_rebuild_table_counts_annotated_rows(self, stack):
+        stack.add_annotation("seen foraging", table="birds", row_id=1)
+        rebuilt = rebuild_table(
+            stack.db, stack.annotations, stack.catalog, "C", "birds"
+        )
+        assert rebuilt == 1
+
+
+class TestRebuildMaintainer:
+    def test_add_path_equivalent_to_incremental(self, stack):
+        maintainer = RebuildMaintainer(stack.db, stack.annotations, stack.catalog)
+        from repro.model.cell import CellRef
+
+        annotation = stack.annotations.add(
+            "observed feeding on weeds", [CellRef("birds", 1, "name")]
+        )
+        updated = maintainer.on_annotation_added(
+            annotation, stack.annotations.cells_of(annotation.annotation_id)
+        )
+        assert updated == 1
+        obj = stack.catalog.load_object("C", "birds", 1)
+        assert obj.count("Behavior") == 1
+
+    def test_flush_is_noop(self, stack):
+        maintainer = RebuildMaintainer(stack.db, stack.annotations, stack.catalog)
+        assert maintainer.flush() == 0

@@ -1,0 +1,59 @@
+"""Tests for repro.model.annotation."""
+
+import pytest
+
+from repro.model.annotation import Annotation, AnnotationKind
+
+
+class TestAnnotation:
+    def test_construction_defaults(self):
+        annotation = Annotation(annotation_id=1, text="hello")
+        assert annotation.author == "anonymous"
+        assert annotation.kind is AnnotationKind.COMMENT
+        assert annotation.title == ""
+
+    def test_rejects_non_positive_id(self):
+        with pytest.raises(ValueError, match="positive"):
+            Annotation(annotation_id=0, text="x")
+        with pytest.raises(ValueError, match="positive"):
+            Annotation(annotation_id=-3, text="x")
+
+    def test_is_document(self):
+        comment = Annotation(annotation_id=1, text="x")
+        document = Annotation(
+            annotation_id=2, text="x", kind=AnnotationKind.DOCUMENT
+        )
+        assert not comment.is_document
+        assert document.is_document
+
+    def test_immutable(self):
+        annotation = Annotation(annotation_id=1, text="x")
+        with pytest.raises(AttributeError):
+            annotation.text = "y"
+
+    def test_display_title_prefers_title(self):
+        annotation = Annotation(annotation_id=1, text="body", title="My Title")
+        assert annotation.display_title() == "My Title"
+
+    def test_display_title_short_body(self):
+        annotation = Annotation(annotation_id=1, text="short body")
+        assert annotation.display_title() == "short body"
+
+    def test_display_title_truncates_long_body(self):
+        annotation = Annotation(annotation_id=1, text="x" * 100)
+        title = annotation.display_title()
+        assert len(title) == 60
+        assert title.endswith("...")
+
+    def test_kind_str(self):
+        assert str(AnnotationKind.COMMENT) == "comment"
+        assert str(AnnotationKind.DOCUMENT) == "document"
+
+    def test_kind_round_trips_through_value(self):
+        for kind in AnnotationKind:
+            assert AnnotationKind(kind.value) is kind
+
+    def test_equality_is_structural(self):
+        first = Annotation(annotation_id=1, text="x", created_at=5.0)
+        second = Annotation(annotation_id=1, text="x", created_at=5.0)
+        assert first == second

@@ -1,0 +1,28 @@
+"""Tests for repro.model.cell."""
+
+from repro.model.cell import CellRef, ColumnRef
+
+
+class TestColumnRef:
+    def test_str(self):
+        assert str(ColumnRef("birds", "name")) == "birds.name"
+
+    def test_hashable_and_equal(self):
+        assert ColumnRef("t", "c") == ColumnRef("t", "c")
+        assert len({ColumnRef("t", "c"), ColumnRef("t", "c")}) == 1
+
+
+class TestCellRef:
+    def test_str(self):
+        assert str(CellRef("birds", 3, "name")) == "birds[3].name"
+
+    def test_column_ref(self):
+        cell = CellRef("birds", 3, "name")
+        assert cell.column_ref == ColumnRef("birds", "name")
+
+    def test_distinct_rows_differ(self):
+        assert CellRef("t", 1, "c") != CellRef("t", 2, "c")
+
+    def test_usable_as_dict_key(self):
+        mapping = {CellRef("t", 1, "c"): "value"}
+        assert mapping[CellRef("t", 1, "c")] == "value"

@@ -1,0 +1,77 @@
+"""Tests for repro.model.tuple."""
+
+from repro.model.tuple import AnnotatedTuple
+from repro.summaries.classifier import ClassifierSummary
+
+
+def _tuple_with_attachments() -> AnnotatedTuple:
+    return AnnotatedTuple(
+        values=(1, "x", 2.5),
+        attachments={
+            1: frozenset({"t.a"}),
+            2: frozenset({"t.a", "t.b"}),
+            3: frozenset({"t.c"}),
+        },
+    )
+
+
+class TestAnnotatedTuple:
+    def test_annotation_ids(self):
+        row = _tuple_with_attachments()
+        assert row.annotation_ids() == frozenset({1, 2, 3})
+
+    def test_annotations_on_columns(self):
+        row = _tuple_with_attachments()
+        assert row.annotations_on_columns(["t.a"]) == {1, 2}
+        assert row.annotations_on_columns(["t.c"]) == {3}
+        assert row.annotations_on_columns(["t.z"]) == set()
+
+    def test_restrict_attachments_returns_dropped(self):
+        row = _tuple_with_attachments()
+        dropped = row.restrict_attachments(["t.a"])
+        assert dropped == {3}
+        assert row.attachments == {
+            1: frozenset({"t.a"}),
+            2: frozenset({"t.a"}),
+        }
+
+    def test_restrict_attachments_keeps_multi_column_survivors(self):
+        row = _tuple_with_attachments()
+        dropped = row.restrict_attachments(["t.b", "t.c"])
+        assert dropped == {1}
+        assert row.attachments[2] == frozenset({"t.b"})
+
+    def test_restrict_to_nothing_drops_all(self):
+        row = _tuple_with_attachments()
+        dropped = row.restrict_attachments([])
+        assert dropped == {1, 2, 3}
+        assert row.attachments == {}
+
+    def test_rename_attachment_columns(self):
+        row = _tuple_with_attachments()
+        row.rename_attachment_columns({"t.a": "u.a"})
+        assert row.attachments[1] == frozenset({"u.a"})
+        assert row.attachments[2] == frozenset({"u.a", "t.b"})
+
+    def test_copy_is_independent(self):
+        row = AnnotatedTuple(values=(1,))
+        summary = ClassifierSummary("C", ["x", "y"])
+        summary.add(1, "x")
+        row.summaries["C"] = summary
+        row.attachments[1] = frozenset({"t.a"})
+        clone = row.copy()
+        clone.summaries["C"].add(2, "y")
+        clone.attachments[2] = frozenset({"t.b"})
+        assert row.summaries["C"].annotation_ids() == frozenset({1})
+        assert 2 not in row.attachments
+
+    def test_total_summary_size(self):
+        row = AnnotatedTuple(values=(1,))
+        assert row.total_summary_size() == 0
+        summary = ClassifierSummary("C", ["x"])
+        summary.add(1, "x")
+        row.summaries["C"] = summary
+        assert row.total_summary_size() == summary.size_estimate()
+
+    def test_source_rows_default_empty(self):
+        assert AnnotatedTuple(values=()).source_rows == frozenset()

@@ -1,0 +1,196 @@
+"""Tests for repro.storage.annotations."""
+
+import pytest
+
+from repro.errors import AnnotationError, UnknownAnnotationError
+from repro.model.annotation import AnnotationKind
+from repro.model.cell import CellRef
+from repro.storage.annotations import AnnotationStore
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def store():
+    db = Database()
+    db.create_table("birds", ["name", "weight"])
+    db.create_table("areas", ["region"])
+    store = AnnotationStore(db)
+    yield db, store
+    db.close()
+
+
+class TestAdd:
+    def test_add_returns_annotation_with_id(self, store):
+        _db, annotations = store
+        annotation = annotations.add(
+            "hello", [CellRef("birds", 1, "name")], author="aria"
+        )
+        assert annotation.annotation_id > 0
+        assert annotation.text == "hello"
+        assert annotation.author == "aria"
+
+    def test_ids_increase(self, store):
+        _db, annotations = store
+        first = annotations.add("a", [CellRef("birds", 1, "name")])
+        second = annotations.add("b", [CellRef("birds", 1, "name")])
+        assert second.annotation_id > first.annotation_id
+
+    def test_requires_at_least_one_cell(self, store):
+        _db, annotations = store
+        with pytest.raises(AnnotationError, match="at least one cell"):
+            annotations.add("dangling", [])
+
+    def test_rejects_unknown_column(self, store):
+        _db, annotations = store
+        with pytest.raises(AnnotationError, match="unknown column"):
+            annotations.add("x", [CellRef("birds", 1, "nope")])
+
+    def test_rejects_unknown_table(self, store):
+        _db, annotations = store
+        with pytest.raises(Exception):
+            annotations.add("x", [CellRef("missing", 1, "name")])
+
+    def test_explicit_timestamp(self, store):
+        _db, annotations = store
+        annotation = annotations.add(
+            "x", [CellRef("birds", 1, "name")], created_at=123.5
+        )
+        assert annotation.created_at == 123.5
+
+    def test_document_kind_round_trips(self, store):
+        _db, annotations = store
+        annotation = annotations.add(
+            "big text",
+            [CellRef("birds", 1, "name")],
+            kind=AnnotationKind.DOCUMENT,
+            title="Article",
+        )
+        loaded = annotations.get(annotation.annotation_id)
+        assert loaded.kind is AnnotationKind.DOCUMENT
+        assert loaded.title == "Article"
+
+
+class TestGet:
+    def test_get_round_trip(self, store):
+        _db, annotations = store
+        added = annotations.add("body", [CellRef("birds", 1, "name")])
+        assert annotations.get(added.annotation_id) == added
+
+    def test_get_unknown_raises(self, store):
+        _db, annotations = store
+        with pytest.raises(UnknownAnnotationError):
+            annotations.get(404)
+
+    def test_get_many_ordered(self, store):
+        _db, annotations = store
+        ids = [
+            annotations.add(f"t{i}", [CellRef("birds", 1, "name")]).annotation_id
+            for i in range(5)
+        ]
+        fetched = annotations.get_many(reversed(ids))
+        assert [a.annotation_id for a in fetched] == sorted(ids)
+
+    def test_get_many_missing_raises(self, store):
+        _db, annotations = store
+        real = annotations.add("x", [CellRef("birds", 1, "name")])
+        with pytest.raises(UnknownAnnotationError):
+            annotations.get_many([real.annotation_id, 999])
+
+    def test_get_many_empty(self, store):
+        _db, annotations = store
+        assert annotations.get_many([]) == []
+
+    def test_get_many_deduplicates(self, store):
+        _db, annotations = store
+        added = annotations.add("x", [CellRef("birds", 1, "name")])
+        fetched = annotations.get_many([added.annotation_id] * 3)
+        assert len(fetched) == 1
+
+    def test_count_and_iter_all(self, store):
+        _db, annotations = store
+        for i in range(3):
+            annotations.add(f"t{i}", [CellRef("birds", 1, "name")])
+        assert annotations.count() == 3
+        assert len(list(annotations.iter_all())) == 3
+
+    def test_total_text_bytes(self, store):
+        _db, annotations = store
+        annotations.add("abc", [CellRef("birds", 1, "name")])
+        annotations.add("defgh", [CellRef("birds", 1, "name")])
+        assert annotations.total_text_bytes() == 8
+
+
+class TestAttachments:
+    def test_cells_of(self, store):
+        _db, annotations = store
+        cells = [CellRef("birds", 1, "name"), CellRef("birds", 2, "weight")]
+        added = annotations.add("multi", cells)
+        assert annotations.cells_of(added.annotation_id) == sorted(
+            cells, key=lambda c: (c.table, c.row_id, c.column)
+        )
+
+    def test_annotations_for_row_groups_columns(self, store):
+        _db, annotations = store
+        added = annotations.add(
+            "x",
+            [CellRef("birds", 1, "name"), CellRef("birds", 1, "weight")],
+        )
+        pairs = annotations.annotations_for_row("birds", 1)
+        assert len(pairs) == 1
+        annotation, columns = pairs[0]
+        assert annotation.annotation_id == added.annotation_id
+        assert columns == frozenset({"name", "weight"})
+
+    def test_annotations_for_row_excludes_other_rows(self, store):
+        _db, annotations = store
+        annotations.add("row1", [CellRef("birds", 1, "name")])
+        annotations.add("row2", [CellRef("birds", 2, "name")])
+        pairs = annotations.annotations_for_row("birds", 1)
+        assert [a.text for a, _ in pairs] == ["row1"]
+
+    def test_annotation_ids_for_row(self, store):
+        _db, annotations = store
+        a = annotations.add("x", [CellRef("birds", 1, "name")])
+        b = annotations.add("y", [CellRef("birds", 1, "weight")])
+        assert annotations.annotation_ids_for_row("birds", 1) == {
+            a.annotation_id,
+            b.annotation_id,
+        }
+
+    def test_rows_for_annotation_cross_table(self, store):
+        _db, annotations = store
+        added = annotations.add(
+            "shared",
+            [CellRef("birds", 1, "name"), CellRef("areas", 7, "region")],
+        )
+        assert annotations.rows_for_annotation(added.annotation_id) == {
+            ("birds", 1),
+            ("areas", 7),
+        }
+
+    def test_attachment_count_counts_rows(self, store):
+        _db, annotations = store
+        added = annotations.add(
+            "multi-row",
+            [
+                CellRef("birds", 1, "name"),
+                CellRef("birds", 1, "weight"),
+                CellRef("birds", 2, "name"),
+            ],
+        )
+        assert annotations.attachment_count(added.annotation_id) == 2
+
+
+class TestDelete:
+    def test_delete_removes_annotation_and_attachments(self, store):
+        _db, annotations = store
+        added = annotations.add("x", [CellRef("birds", 1, "name")])
+        annotations.delete(added.annotation_id)
+        with pytest.raises(UnknownAnnotationError):
+            annotations.get(added.annotation_id)
+        assert annotations.annotations_for_row("birds", 1) == []
+
+    def test_delete_unknown_raises(self, store):
+        _db, annotations = store
+        with pytest.raises(UnknownAnnotationError):
+            annotations.delete(12345)

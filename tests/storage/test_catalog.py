@@ -1,0 +1,190 @@
+"""Tests for repro.storage.catalog."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    DuplicateInstanceError,
+    UnknownInstanceError,
+    UnknownSummaryTypeError,
+    UnknownTableError,
+)
+from repro.storage.catalog import SummaryCatalog
+from repro.storage.database import Database
+from repro.summaries.classifier import ClassifierSummary
+
+
+@pytest.fixture
+def catalog():
+    db = Database()
+    db.create_table("birds", ["name", "weight"])
+    db.create_table("areas", ["region"])
+    cat = SummaryCatalog(db)
+    yield db, cat
+    db.close()
+
+
+class TestInstanceDefinitions:
+    def test_define_and_get(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "C1", {"labels": ["a", "b"]})
+        instance = cat.get_instance("C1")
+        assert instance.type_name == "Classifier"
+        assert instance.name == "C1"
+
+    def test_duplicate_name_rejected(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "C1", {"labels": ["a"]})
+        with pytest.raises(DuplicateInstanceError):
+            cat.define_instance("Cluster", "C1", {})
+
+    def test_unknown_type_rejected(self, catalog):
+        _db, cat = catalog
+        with pytest.raises(UnknownSummaryTypeError):
+            cat.define_instance("Nope", "X", {})
+
+    def test_unknown_instance_raises(self, catalog):
+        _db, cat = catalog
+        with pytest.raises(UnknownInstanceError):
+            cat.get_instance("missing")
+
+    def test_instance_names_sorted(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Cluster", "Zed", {})
+        cat.define_instance("Classifier", "Alpha", {"labels": ["a"]})
+        assert cat.instance_names() == ["Alpha", "Zed"]
+
+    def test_drop_instance_removes_everything(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "C1", {"labels": ["a"]})
+        cat.link("C1", "birds")
+        obj = ClassifierSummary("C1", ["a"])
+        cat.save_object("C1", "birds", 1, obj)
+        cat.drop_instance("C1")
+        assert not cat.has_instance("C1")
+        assert cat.links() == []
+        assert cat.load_object("C1", "birds", 1) is None
+
+    def test_drop_unknown_raises(self, catalog):
+        _db, cat = catalog
+        with pytest.raises(UnknownInstanceError):
+            cat.drop_instance("missing")
+
+    def test_trained_model_persists_via_save_config(self, catalog):
+        db, cat = catalog
+        instance = cat.define_instance(
+            "Classifier", "C1", {"labels": ["pos", "neg"]}
+        )
+        instance.train([("great wonderful", "pos"), ("awful terrible", "neg")])
+        cat.save_instance_config("C1")
+        # Simulate a fresh session over the same connection.
+        fresh = SummaryCatalog(db)
+        reloaded = fresh.get_instance("C1")
+        assert reloaded.model.predict("great wonderful") == "pos"
+
+
+class TestLinks:
+    def test_link_and_is_linked(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Cluster", "Cl", {})
+        cat.link("Cl", "birds")
+        assert cat.is_linked("Cl", "birds")
+        assert not cat.is_linked("Cl", "areas")
+
+    def test_link_is_idempotent(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Cluster", "Cl", {})
+        cat.link("Cl", "birds")
+        cat.link("Cl", "birds")
+        assert cat.links() == [("Cl", "birds")]
+
+    def test_many_to_many(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Cluster", "Cl", {})
+        cat.define_instance("Classifier", "Cf", {"labels": ["a"]})
+        cat.link("Cl", "birds")
+        cat.link("Cl", "areas")
+        cat.link("Cf", "birds")
+        assert [i.name for i in cat.instances_for_table("birds")] == ["Cf", "Cl"]
+        assert [i.name for i in cat.instances_for_table("areas")] == ["Cl"]
+
+    def test_link_unknown_instance(self, catalog):
+        _db, cat = catalog
+        with pytest.raises(UnknownInstanceError):
+            cat.link("missing", "birds")
+
+    def test_link_unknown_table(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Cluster", "Cl", {})
+        with pytest.raises(UnknownTableError):
+            cat.link("Cl", "missing")
+
+    def test_unlink_drops_state_for_that_table_only(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "Cf", {"labels": ["a"]})
+        cat.link("Cf", "birds")
+        cat.link("Cf", "areas")
+        cat.save_object("Cf", "birds", 1, ClassifierSummary("Cf", ["a"]))
+        cat.save_object("Cf", "areas", 1, ClassifierSummary("Cf", ["a"]))
+        cat.unlink("Cf", "birds")
+        assert cat.load_object("Cf", "birds", 1) is None
+        assert cat.load_object("Cf", "areas", 1) is not None
+
+
+class TestSummaryState:
+    def test_save_and_load_object(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "Cf", {"labels": ["a", "b"]})
+        obj = ClassifierSummary("Cf", ["a", "b"])
+        obj.add(1, "a")
+        obj.add(2, "b")
+        cat.save_object("Cf", "birds", 5, obj)
+        loaded = cat.load_object("Cf", "birds", 5)
+        assert loaded is not None
+        assert loaded.counts() == [("a", 1), ("b", 1)]
+
+    def test_save_is_upsert(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "Cf", {"labels": ["a"]})
+        first = ClassifierSummary("Cf", ["a"])
+        first.add(1, "a")
+        cat.save_object("Cf", "birds", 1, first)
+        second = ClassifierSummary("Cf", ["a"])
+        cat.save_object("Cf", "birds", 1, second)
+        loaded = cat.load_object("Cf", "birds", 1)
+        assert loaded.counts() == [("a", 0)]
+
+    def test_save_wrong_instance_rejected(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "Cf", {"labels": ["a"]})
+        rogue = ClassifierSummary("Other", ["a"])
+        with pytest.raises(CatalogError, match="belongs to instance"):
+            cat.save_object("Cf", "birds", 1, rogue)
+
+    def test_load_missing_returns_none(self, catalog):
+        _db, cat = catalog
+        assert cat.load_object("Cf", "birds", 1) is None
+
+    def test_delete_object(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "Cf", {"labels": ["a"]})
+        cat.save_object("Cf", "birds", 1, ClassifierSummary("Cf", ["a"]))
+        cat.delete_object("Cf", "birds", 1)
+        assert cat.load_object("Cf", "birds", 1) is None
+
+    def test_iter_objects_ordered_by_row(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "Cf", {"labels": ["a"]})
+        for row_id in (3, 1, 2):
+            cat.save_object("Cf", "birds", row_id, ClassifierSummary("Cf", ["a"]))
+        rows = [row_id for row_id, _obj in cat.iter_objects("Cf", "birds")]
+        assert rows == [1, 2, 3]
+
+    def test_summary_bytes(self, catalog):
+        _db, cat = catalog
+        cat.define_instance("Classifier", "Cf", {"labels": ["a"]})
+        assert cat.summary_bytes() == 0
+        cat.save_object("Cf", "birds", 1, ClassifierSummary("Cf", ["a"]))
+        assert cat.summary_bytes() > 0
+        assert cat.summary_bytes("birds") == cat.summary_bytes()
+        assert cat.summary_bytes("areas") == 0

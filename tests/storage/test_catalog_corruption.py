@@ -1,0 +1,91 @@
+"""Failure injection: corrupted catalog state must fail loudly and clearly."""
+
+import pytest
+
+from repro.errors import CatalogError, UnknownSummaryTypeError
+from repro.storage.catalog import SummaryCatalog, _INSTANCES_TABLE, _STATE_TABLE
+from repro.storage.database import Database
+from repro.summaries.classifier import ClassifierSummary
+
+
+@pytest.fixture
+def catalog():
+    db = Database()
+    db.create_table("birds", ["name"])
+    cat = SummaryCatalog(db)
+    cat.define_instance("Classifier", "C", {"labels": ["a", "b"]})
+    obj = ClassifierSummary("C", ["a", "b"])
+    obj.add(1, "a")
+    cat.save_object("C", "birds", 1, obj)
+    yield db, cat
+    db.close()
+
+
+def _corrupt_object(db: Database, payload: str) -> None:
+    with db.connection:
+        db.connection.execute(
+            f"UPDATE {_STATE_TABLE} SET object = ?", (payload,)
+        )
+
+
+class TestCorruptedObjects:
+    def test_invalid_json_raises_catalog_error(self, catalog):
+        db, cat = catalog
+        _corrupt_object(db, "{not json")
+        with pytest.raises(CatalogError, match=r"corrupted summary state.*birds\[1\]"):
+            cat.load_object("C", "birds", 1)
+
+    def test_missing_type_tag_raises_catalog_error(self, catalog):
+        db, cat = catalog
+        _corrupt_object(db, '{"instance": "C"}')
+        with pytest.raises(CatalogError, match="corrupted summary state"):
+            cat.load_object("C", "birds", 1)
+
+    def test_iter_objects_raises_on_corruption(self, catalog):
+        db, cat = catalog
+        _corrupt_object(db, "[]")
+        with pytest.raises(CatalogError):
+            list(cat.iter_objects("C", "birds"))
+
+    def test_unknown_type_tag_propagates(self, catalog):
+        db, cat = catalog
+        _corrupt_object(db, '{"type": "Vanished", "instance": "C"}')
+        with pytest.raises(UnknownSummaryTypeError):
+            cat.load_object("C", "birds", 1)
+
+    def test_repair_by_rebuild(self, catalog):
+        """A corrupted object is recoverable from the raw annotations."""
+        db, cat = catalog
+        from repro.maintenance.rebuild import rebuild_row
+        from repro.model.cell import CellRef
+        from repro.storage.annotations import AnnotationStore
+
+        annotations = AnnotationStore(db)
+        annotations.add("some text", [CellRef("birds", 1, "name")])
+        _corrupt_object(db, "{broken")
+        rebuild_row(annotations, cat, cat.get_instance("C"), "birds", 1)
+        restored = cat.load_object("C", "birds", 1)
+        assert restored is not None
+        assert len(restored.annotation_ids()) == 1
+
+
+class TestCorruptedInstanceConfig:
+    def test_invalid_config_json(self, catalog):
+        db, cat = catalog
+        with db.connection:
+            db.connection.execute(
+                f"UPDATE {_INSTANCES_TABLE} SET config = '{{oops'"
+            )
+        fresh = SummaryCatalog(db)  # bypass the live-instance cache
+        with pytest.raises(CatalogError, match="corrupted configuration"):
+            fresh.get_instance("C")
+
+    def test_config_missing_required_key(self, catalog):
+        db, cat = catalog
+        with db.connection:
+            db.connection.execute(
+                f"UPDATE {_INSTANCES_TABLE} SET config = '{{}}'"
+            )
+        fresh = SummaryCatalog(db)
+        with pytest.raises(CatalogError, match="corrupted configuration"):
+            fresh.get_instance("C")

@@ -1,0 +1,129 @@
+"""Tests for repro.storage.database."""
+
+import pytest
+
+from repro.errors import StorageError, UnknownTableError
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    yield database
+    database.close()
+
+
+class TestDDL:
+    def test_create_and_list_tables(self, db):
+        db.create_table("birds", ["name", "weight"])
+        db.create_table("areas", ["region"])
+        assert db.tables() == ["areas", "birds"]
+
+    def test_columns(self, db):
+        db.create_table("birds", ["name", "weight"])
+        assert db.columns("birds") == ("name", "weight")
+
+    def test_duplicate_table_rejected(self, db):
+        db.create_table("birds", ["name"])
+        with pytest.raises(StorageError, match="already exists"):
+            db.create_table("birds", ["other"])
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(UnknownTableError):
+            db.columns("missing")
+
+    def test_drop_table(self, db):
+        db.create_table("birds", ["name"])
+        db.drop_table("birds")
+        assert not db.has_table("birds")
+        with pytest.raises(UnknownTableError):
+            db.drop_table("birds")
+
+    def test_has_table(self, db):
+        assert not db.has_table("birds")
+        db.create_table("birds", ["name"])
+        assert db.has_table("birds")
+
+
+class TestDML:
+    def test_insert_positional(self, db):
+        db.create_table("birds", ["name", "weight"])
+        row_id = db.insert("birds", ("Swan", 3.2))
+        assert db.get_row("birds", row_id) == ("Swan", 3.2)
+
+    def test_insert_mapping(self, db):
+        db.create_table("birds", ["name", "weight"])
+        row_id = db.insert("birds", {"name": "Swan"})
+        assert db.get_row("birds", row_id) == ("Swan", None)
+
+    def test_insert_mapping_unknown_column(self, db):
+        db.create_table("birds", ["name"])
+        with pytest.raises(StorageError, match="unknown columns"):
+            db.insert("birds", {"nope": 1})
+
+    def test_insert_wrong_arity(self, db):
+        db.create_table("birds", ["name", "weight"])
+        with pytest.raises(Exception):
+            db.insert("birds", ("only-one",))
+
+    def test_insert_many(self, db):
+        db.create_table("birds", ["name"])
+        ids = db.insert_many("birds", [("a",), ("b",), ("c",)])
+        assert len(ids) == 3
+        assert db.row_count("birds") == 3
+
+    def test_rowids_are_stable_and_increasing(self, db):
+        db.create_table("birds", ["name"])
+        first = db.insert("birds", ("a",))
+        second = db.insert("birds", ("b",))
+        assert second > first
+        assert db.get_row("birds", first) == ("a",)
+
+    def test_delete_row(self, db):
+        db.create_table("birds", ["name"])
+        row_id = db.insert("birds", ("a",))
+        db.delete_row("birds", row_id)
+        assert db.get_row("birds", row_id) is None
+
+    def test_get_row_missing_returns_none(self, db):
+        db.create_table("birds", ["name"])
+        assert db.get_row("birds", 999) is None
+
+
+class TestReads:
+    def test_rows_scan_in_rowid_order(self, db):
+        db.create_table("birds", ["name"])
+        ids = db.insert_many("birds", [("a",), ("b",)])
+        scanned = list(db.rows("birds"))
+        assert scanned == [(ids[0], ("a",)), (ids[1], ("b",))]
+
+    def test_row_count(self, db):
+        db.create_table("birds", ["name"])
+        assert db.row_count("birds") == 0
+        db.insert("birds", ("a",))
+        assert db.row_count("birds") == 1
+
+    def test_value_types_round_trip(self, db):
+        db.create_table("t", ["i", "f", "s", "n"])
+        row_id = db.insert("t", (42, 3.25, "text", None))
+        assert db.get_row("t", row_id) == (42, 3.25, "text", None)
+
+
+class TestPersistence:
+    def test_schema_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "test.db")
+        first = Database(path)
+        first.create_table("birds", ["name", "weight"])
+        first.insert("birds", ("Swan", 3.2))
+        first.close()
+        second = Database(path)
+        assert second.columns("birds") == ("name", "weight")
+        assert second.row_count("birds") == 1
+        second.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "ctx.db")
+        with Database(path) as database:
+            database.create_table("t", ["c"])
+        with pytest.raises(Exception):
+            database.insert("t", ("x",))

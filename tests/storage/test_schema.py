@@ -1,0 +1,59 @@
+"""Tests for repro.storage.schema."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.storage.schema import TableSchema, validate_identifier
+
+
+class TestValidateIdentifier:
+    def test_accepts_valid_names(self):
+        for name in ("birds", "_private", "Table2", "a_b_c"):
+            assert validate_identifier(name) == name
+
+    def test_rejects_invalid_names(self):
+        for name in ("", "2tab", "a-b", "a b", "a.b", "sel;ect"):
+            with pytest.raises(SchemaError):
+                validate_identifier(name)
+
+
+class TestTableSchema:
+    def test_valid_schema(self):
+        schema = TableSchema("birds", ("name", "weight"))
+        assert schema.columns == ("name", "weight")
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(SchemaError, match="no columns"):
+            TableSchema("birds", ())
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema("birds", ("name", "name"))
+
+    def test_rejects_system_prefix(self):
+        with pytest.raises(SchemaError, match="system prefix"):
+            TableSchema("_in_birds", ("name",))
+
+    def test_rejects_bad_column_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("birds", ("ok", "not ok"))
+
+    def test_column_index(self):
+        schema = TableSchema("birds", ("name", "weight"))
+        assert schema.column_index("weight") == 1
+
+    def test_column_index_unknown_raises(self):
+        schema = TableSchema("birds", ("name",))
+        with pytest.raises(UnknownColumnError):
+            schema.column_index("missing")
+
+    def test_has_column(self):
+        schema = TableSchema("birds", ("name",))
+        assert schema.has_column("name")
+        assert not schema.has_column("weight")
+
+    def test_check_values_arity(self):
+        schema = TableSchema("birds", ("name", "weight"))
+        schema.check_values(("x", 1))  # no raise
+        with pytest.raises(SchemaError, match="expects 2 values"):
+            schema.check_values(("x",))

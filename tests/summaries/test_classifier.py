@@ -1,0 +1,163 @@
+"""Tests for repro.summaries.classifier."""
+
+import pytest
+
+from repro.model.annotation import Annotation
+from repro.summaries.base import InstanceProperties
+from repro.summaries.classifier import (
+    ClassifierInstance,
+    ClassifierSummary,
+    ClassifierType,
+)
+
+LABELS = ["Behavior", "Disease", "Anatomy", "Other"]
+
+
+def make_summary(**members) -> ClassifierSummary:
+    summary = ClassifierSummary("C1", LABELS)
+    for label, ids in members.items():
+        for annotation_id in ids:
+            summary.add(annotation_id, label)
+    return summary
+
+
+class TestClassifierSummary:
+    def test_counts_in_label_order(self):
+        summary = make_summary(Behavior=[1, 2], Disease=[3])
+        assert summary.counts() == [
+            ("Behavior", 2), ("Disease", 1), ("Anatomy", 0), ("Other", 0),
+        ]
+
+    def test_add_unknown_label_rejected(self):
+        summary = make_summary()
+        with pytest.raises(ValueError, match="not in instance labels"):
+            summary.add(1, "Nope")
+
+    def test_add_same_label_idempotent(self):
+        summary = make_summary()
+        summary.add(1, "Behavior")
+        summary.add(1, "Behavior")
+        assert summary.count("Behavior") == 1
+
+    def test_add_conflicting_label_rejected(self):
+        summary = make_summary(Behavior=[1])
+        with pytest.raises(ValueError, match="already classified"):
+            summary.add(1, "Disease")
+
+    def test_label_of(self):
+        summary = make_summary(Disease=[7])
+        assert summary.label_of(7) == "Disease"
+        assert summary.label_of(8) is None
+
+    def test_remove_annotations(self):
+        summary = make_summary(Behavior=[1, 2], Disease=[3])
+        summary.remove_annotations({2, 3, 99})
+        assert summary.counts()[:2] == [("Behavior", 1), ("Disease", 0)]
+
+    def test_is_empty(self):
+        assert make_summary().is_empty()
+        assert not make_summary(Other=[1]).is_empty()
+
+    def test_copy_independent(self):
+        summary = make_summary(Behavior=[1])
+        clone = summary.copy()
+        clone.add(2, "Disease")
+        assert summary.count("Disease") == 0
+
+    def test_merge_unions(self):
+        left = make_summary(Behavior=[1, 2])
+        right = make_summary(Behavior=[3], Disease=[4])
+        merged = left.merge(right)
+        assert merged.count("Behavior") == 3
+        assert merged.count("Disease") == 1
+
+    def test_merge_does_not_double_count(self):
+        # The same annotation attached to both join inputs (Figure 2).
+        left = make_summary(Behavior=[1, 2])
+        right = make_summary(Behavior=[2, 3])
+        merged = left.merge(right)
+        assert merged.count("Behavior") == 3
+
+    def test_merge_leaves_inputs_unchanged(self):
+        left = make_summary(Behavior=[1])
+        right = make_summary(Disease=[2])
+        left.merge(right)
+        assert left.count("Disease") == 0
+        assert right.count("Behavior") == 0
+
+    def test_merge_type_mismatch(self):
+        from repro.summaries.snippet import SnippetSummary
+
+        with pytest.raises(TypeError):
+            make_summary().merge(SnippetSummary("S"))
+
+    def test_merge_label_mismatch(self):
+        other = ClassifierSummary("C2", ["x", "y"])
+        with pytest.raises(ValueError, match="different label sets"):
+            make_summary().merge(other)
+
+    def test_zoom_components_one_per_label(self):
+        summary = make_summary(Behavior=[2, 1], Disease=[3])
+        components = summary.zoom_components()
+        assert [c.label for c in components] == LABELS
+        assert components[0].index == 1
+        assert components[0].annotation_ids == (1, 2)
+        assert components[1].count == 1
+
+    def test_json_round_trip(self):
+        summary = make_summary(Behavior=[1], Anatomy=[5, 6])
+        reloaded = ClassifierSummary.from_json(summary.to_json())
+        assert reloaded.counts() == summary.counts()
+        assert reloaded.instance_name == summary.instance_name
+        assert reloaded.members("Anatomy") == frozenset({5, 6})
+
+    def test_render_matches_figure1_shape(self):
+        summary = make_summary(Behavior=[1, 2])
+        assert summary.render() == (
+            "C1 [(Behavior, 2), (Disease, 0), (Anatomy, 0), (Other, 0)]"
+        )
+
+    def test_size_estimate_grows_with_members(self):
+        small = make_summary(Behavior=[1])
+        large = make_summary(Behavior=list(range(1, 51)))
+        assert large.size_estimate() > small.size_estimate()
+
+
+class TestClassifierInstance:
+    def test_analyze_and_add(self):
+        instance = ClassifierInstance("C1", ["pos", "neg"])
+        instance.train([("good great", "pos"), ("bad awful", "neg")])
+        annotation = Annotation(annotation_id=1, text="good great stuff")
+        label = instance.analyze(annotation)
+        assert label == "pos"
+        obj = instance.new_object()
+        instance.add_to(obj, annotation, label)
+        assert obj.count("pos") == 1
+
+    def test_default_properties_summarize_once(self):
+        instance = ClassifierInstance("C1", ["a"])
+        assert instance.properties.summarize_once
+
+    def test_model_label_mismatch_rejected(self):
+        from repro.summaries.naive_bayes import NaiveBayesClassifier
+
+        model = NaiveBayesClassifier(["x", "y"])
+        with pytest.raises(ValueError, match="do not match"):
+            ClassifierInstance("C1", ["a", "b"], model=model)
+
+    def test_config_round_trip_through_type(self):
+        instance = ClassifierInstance("C1", ["pos", "neg"])
+        instance.train([("good", "pos"), ("bad", "neg")])
+        rebuilt = ClassifierType().create_instance("C1", instance.config())
+        assert rebuilt.labels == instance.labels
+        assert rebuilt.model.predict("good") == "pos"
+
+    def test_custom_properties_respected(self):
+        properties = InstanceProperties(
+            annotation_invariant=True, data_invariant=False
+        )
+        instance = ClassifierInstance("C1", ["a"], properties=properties)
+        assert not instance.properties.summarize_once
+        config = instance.config()
+        rebuilt = ClassifierType().create_instance("C1", config)
+        assert not rebuilt.properties.data_invariant

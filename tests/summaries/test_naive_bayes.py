@@ -1,0 +1,105 @@
+"""Tests for repro.summaries.naive_bayes."""
+
+import math
+
+import pytest
+
+from repro.summaries.naive_bayes import NaiveBayesClassifier
+
+TRAINING = [
+    ("observed feeding on stonewort beds", "Behavior"),
+    ("seen foraging among pond weeds", "Behavior"),
+    ("spotted diving for small insects", "Behavior"),
+    ("shows symptoms of avian influenza", "Disease"),
+    ("appears infected with avian pox", "Disease"),
+    ("tested positive for botulism", "Disease"),
+]
+
+
+@pytest.fixture
+def model() -> NaiveBayesClassifier:
+    return NaiveBayesClassifier(["Behavior", "Disease"]).fit(TRAINING)
+
+
+class TestConstruction:
+    def test_requires_labels(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            NaiveBayesClassifier([])
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            NaiveBayesClassifier(["a", "a"])
+
+    def test_rejects_non_positive_smoothing(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            NaiveBayesClassifier(["a"], smoothing=0.0)
+
+    def test_untrained_predicts_first_label(self):
+        model = NaiveBayesClassifier(["first", "second"])
+        assert not model.is_trained
+        assert model.predict("anything at all") == "first"
+
+
+class TestTraining:
+    def test_partial_fit_rejects_unknown_label(self, model):
+        with pytest.raises(ValueError, match="unknown label"):
+            model.partial_fit("text", "Nope")
+
+    def test_is_trained_after_one_example(self):
+        model = NaiveBayesClassifier(["a", "b"])
+        model.partial_fit("hello world", "a")
+        assert model.is_trained
+
+    def test_vocabulary_grows(self, model):
+        before = model.vocabulary_size
+        model.partial_fit("entirely novel wordage here", "Behavior")
+        assert model.vocabulary_size > before
+
+
+class TestPrediction:
+    def test_separates_trained_classes(self, model):
+        assert model.predict("bird seen feeding on stonewort") == "Behavior"
+        assert model.predict("bird shows symptoms of influenza") == "Disease"
+
+    def test_predict_proba_sums_to_one(self, model):
+        probabilities = model.predict_proba("feeding on weeds")
+        assert math.isclose(sum(probabilities.values()), 1.0)
+        assert set(probabilities) == {"Behavior", "Disease"}
+
+    def test_predict_proba_agrees_with_predict(self, model):
+        text = "observed diving for insects"
+        probabilities = model.predict_proba(text)
+        assert model.predict(text) == max(probabilities, key=probabilities.get)
+
+    def test_prior_dominates_for_uninformative_text(self):
+        model = NaiveBayesClassifier(["common", "rare"])
+        for _ in range(9):
+            model.partial_fit("shared words only", "common")
+        model.partial_fit("shared words only", "rare")
+        assert model.predict("shared words only") == "common"
+
+    def test_empty_text_falls_back_to_prior(self, model):
+        model.partial_fit("extra behavior example", "Behavior")
+        # Behavior now has the larger prior (4 vs 3 docs).
+        assert model.predict("") == "Behavior"
+
+    def test_log_scores_are_finite(self, model):
+        scores = model.log_scores("never seen tokens xyzzy")
+        assert all(math.isfinite(score) for score in scores.values())
+
+
+class TestPersistence:
+    def test_round_trip_preserves_predictions(self, model):
+        reloaded = NaiveBayesClassifier.from_json(model.to_json())
+        for text in ("feeding on stonewort", "symptoms of pox", "random words"):
+            assert reloaded.predict(text) == model.predict(text)
+            assert reloaded.log_scores(text) == model.log_scores(text)
+
+    def test_round_trip_preserves_vocabulary(self, model):
+        reloaded = NaiveBayesClassifier.from_json(model.to_json())
+        assert reloaded.vocabulary_size == model.vocabulary_size
+
+    def test_reloaded_model_can_keep_training(self, model):
+        reloaded = NaiveBayesClassifier.from_json(model.to_json())
+        reloaded.partial_fit("new behavior words", "Behavior")
+        assert reloaded.is_trained

@@ -1,0 +1,58 @@
+"""Tests for repro.summaries.registry."""
+
+import pytest
+
+from repro.errors import UnknownSummaryTypeError
+from repro.summaries.classifier import ClassifierSummary, ClassifierType
+from repro.summaries.registry import SummaryTypeRegistry, default_registry
+
+
+class TestRegistry:
+    def test_default_registry_has_builtin_types(self):
+        registry = default_registry()
+        assert registry.type_names() == ["Classifier", "Cluster", "Snippet"]
+
+    def test_contains(self):
+        registry = default_registry()
+        assert "Classifier" in registry
+        assert "Nope" not in registry
+
+    def test_get_unknown_raises(self):
+        registry = SummaryTypeRegistry()
+        with pytest.raises(UnknownSummaryTypeError):
+            registry.get("Classifier")
+
+    def test_register_empty_name_rejected(self):
+        registry = SummaryTypeRegistry()
+
+        class Nameless(ClassifierType):
+            name = ""
+
+        with pytest.raises(ValueError, match="empty type name"):
+            registry.register(Nameless())
+
+    def test_reregistration_replaces(self):
+        registry = default_registry()
+        replacement = ClassifierType()
+        registry.register(replacement)
+        assert registry.get("Classifier") is replacement
+
+    def test_create_instance_dispatches(self):
+        registry = default_registry()
+        instance = registry.create_instance(
+            "Classifier", "C1", {"labels": ["a", "b"]}
+        )
+        assert instance.name == "C1"
+        assert instance.type_name == "Classifier"
+
+    def test_object_from_json_dispatches_on_type_tag(self):
+        registry = default_registry()
+        obj = ClassifierSummary("C1", ["a"])
+        obj.add(1, "a")
+        reloaded = registry.object_from_json(obj.to_json())
+        assert isinstance(reloaded, ClassifierSummary)
+        assert reloaded.counts() == [("a", 1)]
+
+    def test_iteration_is_sorted(self):
+        registry = default_registry()
+        assert list(registry) == sorted(registry.type_names())

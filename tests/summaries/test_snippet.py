@@ -1,0 +1,181 @@
+"""Tests for repro.summaries.snippet."""
+
+import pytest
+
+from repro.model.annotation import Annotation, AnnotationKind
+from repro.summaries.snippet import (
+    SnippetEntry,
+    SnippetInstance,
+    SnippetSummary,
+    SnippetType,
+    frequency_snippet,
+    lexrank_snippet,
+)
+from repro.text.tokenize import Tokenizer
+
+ARTICLE = (
+    "Wetland birds depend on stable water levels. Water levels shape food "
+    "availability for wetland birds. The survey covered twelve wetland "
+    "sites over two seasons. Observers logged feeding behaviour at every "
+    "site. Rainfall varied sharply between the seasons. Wetland birds "
+    "responded to water level changes quickly."
+)
+
+
+class TestExtractors:
+    def test_frequency_respects_max_sentences(self):
+        tokenizer = Tokenizer()
+        snippet = frequency_snippet(ARTICLE, 2, tokenizer)
+        assert len(snippet) == 2
+
+    def test_frequency_keeps_document_order(self):
+        tokenizer = Tokenizer()
+        snippet = frequency_snippet(ARTICLE, 3, tokenizer)
+        positions = [ARTICLE.index(sentence) for sentence in snippet]
+        assert positions == sorted(positions)
+
+    def test_frequency_short_document_verbatim(self):
+        text = "Only one sentence here."
+        assert frequency_snippet(text, 2, Tokenizer()) == [text]
+
+    def test_frequency_empty_document(self):
+        assert frequency_snippet("", 2, Tokenizer()) == []
+
+    def test_frequency_picks_central_sentences(self):
+        snippet = frequency_snippet(ARTICLE, 1, Tokenizer())
+        # The highest-frequency terms are wetland/water/birds/levels.
+        assert any(word in snippet[0].lower() for word in ("wetland", "water"))
+
+    def test_lexrank_respects_max_sentences(self):
+        snippet = lexrank_snippet(ARTICLE, 2, Tokenizer())
+        assert len(snippet) == 2
+
+    def test_lexrank_keeps_document_order(self):
+        snippet = lexrank_snippet(ARTICLE, 3, Tokenizer())
+        positions = [ARTICLE.index(sentence) for sentence in snippet]
+        assert positions == sorted(positions)
+
+    def test_lexrank_short_document_verbatim(self):
+        text = "Short text."
+        assert lexrank_snippet(text, 3, Tokenizer()) == [text]
+
+
+class TestSnippetSummary:
+    def _entry(self, annotation_id, title="T"):
+        return SnippetEntry(annotation_id, title, ("sentence one.",))
+
+    def test_add_and_previews(self):
+        summary = SnippetSummary("TS")
+        summary.add_entry(self._entry(1, "Article A"))
+        summary.add_entry(self._entry(2, "Article B"))
+        assert summary.previews() == ["Article A", "Article B"]
+
+    def test_add_entry_dedups_by_id(self):
+        summary = SnippetSummary("TS")
+        summary.add_entry(self._entry(1))
+        summary.add_entry(self._entry(1, "Different"))
+        assert len(summary.entries) == 1
+
+    def test_preview_falls_back_to_first_sentence(self):
+        entry = SnippetEntry(1, "", ("The opening line.", "Another."))
+        assert entry.preview() == "The opening line."
+
+    def test_preview_empty_document(self):
+        entry = SnippetEntry(1, "", ())
+        assert entry.preview() == "(empty document)"
+
+    def test_remove_annotations(self):
+        summary = SnippetSummary("TS")
+        summary.add_entry(self._entry(1))
+        summary.add_entry(self._entry(2))
+        summary.remove_annotations({1})
+        assert summary.annotation_ids() == frozenset({2})
+
+    def test_merge_dedups(self):
+        left = SnippetSummary("TS")
+        left.add_entry(self._entry(1))
+        right = SnippetSummary("TS")
+        right.add_entry(self._entry(1))
+        right.add_entry(self._entry(2))
+        merged = left.merge(right)
+        assert merged.annotation_ids() == frozenset({1, 2})
+
+    def test_merge_type_mismatch(self):
+        from repro.summaries.classifier import ClassifierSummary
+
+        with pytest.raises(TypeError):
+            SnippetSummary("TS").merge(ClassifierSummary("C", ["a"]))
+
+    def test_zoom_components(self):
+        summary = SnippetSummary("TS")
+        summary.add_entry(self._entry(4, "Article"))
+        components = summary.zoom_components()
+        assert components[0].index == 1
+        assert components[0].annotation_ids == (4,)
+        assert components[0].label == "Article"
+
+    def test_json_round_trip(self):
+        summary = SnippetSummary("TS")
+        summary.add_entry(SnippetEntry(1, "T", ("a.", "b.")))
+        reloaded = SnippetSummary.from_json(summary.to_json())
+        assert reloaded.entries == summary.entries
+
+    def test_render(self):
+        summary = SnippetSummary("TS")
+        summary.add_entry(self._entry(1, "Experiment E"))
+        assert summary.render() == "TS ['Experiment E']"
+
+
+class TestSnippetInstance:
+    def _document(self, annotation_id=1, text=ARTICLE, title="Article"):
+        return Annotation(
+            annotation_id=annotation_id,
+            text=text,
+            kind=AnnotationKind.DOCUMENT,
+            title=title,
+        )
+
+    def test_analyze_document(self):
+        instance = SnippetInstance("TS", max_sentences=2)
+        entry = instance.analyze(self._document())
+        assert entry is not None
+        assert len(entry.sentences) == 2
+        assert entry.title == "Article"
+
+    def test_documents_only_skips_comments(self):
+        instance = SnippetInstance("TS")
+        comment = Annotation(annotation_id=1, text="plain comment")
+        assert instance.analyze(comment) is None
+        obj = instance.new_object()
+        instance.add_to(obj, comment, None)
+        assert obj.is_empty()
+
+    def test_documents_only_can_be_disabled(self):
+        instance = SnippetInstance("TS", documents_only=False)
+        comment = Annotation(annotation_id=1, text="plain comment text")
+        entry = instance.analyze(comment)
+        assert entry is not None
+
+    def test_lexrank_method(self):
+        instance = SnippetInstance("TS", method="lexrank", max_sentences=1)
+        entry = instance.analyze(self._document())
+        assert entry is not None
+        assert len(entry.sentences) == 1
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown snippet method"):
+            SnippetInstance("TS", method="magic")
+
+    def test_invalid_max_sentences_rejected(self):
+        with pytest.raises(ValueError, match="max_sentences"):
+            SnippetInstance("TS", max_sentences=0)
+
+    def test_config_round_trip(self):
+        instance = SnippetInstance(
+            "TS", method="lexrank", max_sentences=3, documents_only=False
+        )
+        rebuilt = SnippetType().create_instance("TS", instance.config())
+        assert rebuilt.method == "lexrank"
+        assert rebuilt.max_sentences == 3
+        assert not rebuilt.documents_only
+        assert rebuilt.properties.summarize_once

@@ -1,0 +1,112 @@
+"""Tests for repro.summaries.terms (extension type)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.annotation import Annotation
+from repro.summaries.terms import TermsInstance, TermsSummary, TermsType
+
+
+def make_summary(**terms) -> TermsSummary:
+    summary = TermsSummary("T", top_k=3)
+    for term, ids in terms.items():
+        for annotation_id in ids:
+            summary.add(annotation_id, {term})
+    return summary
+
+
+class TestTermsSummary:
+    def test_top_terms_ranked_by_count_then_name(self):
+        summary = make_summary(zebra=[1, 2], alpha=[3, 4], mid=[5])
+        assert summary.top_terms() == [("alpha", 2), ("zebra", 2), ("mid", 1)]
+
+    def test_top_k_caps_output(self):
+        summary = make_summary(a=[1], b=[2], c=[3], d=[4])
+        assert len(summary.top_terms()) == 3
+        assert len(summary.top_terms(k=2)) == 2
+
+    def test_term_count(self):
+        summary = make_summary(wing=[1, 2, 3])
+        assert summary.term_count("wing") == 3
+        assert summary.term_count("missing") == 0
+
+    def test_annotation_ids_union(self):
+        summary = make_summary(a=[1, 2], b=[2, 3])
+        assert summary.annotation_ids() == frozenset({1, 2, 3})
+
+    def test_remove_annotations_drops_empty_terms(self):
+        summary = make_summary(a=[1], b=[1, 2])
+        summary.remove_annotations({1})
+        assert summary.term_count("a") == 0
+        assert summary.term_count("b") == 1
+
+    def test_merge_dedups_by_id(self):
+        left = make_summary(wing=[1, 2])
+        right = make_summary(wing=[2, 3], beak=[4])
+        merged = left.merge(right)
+        assert merged.term_count("wing") == 3
+        assert merged.term_count("beak") == 1
+
+    def test_merge_type_mismatch(self):
+        from repro.summaries.snippet import SnippetSummary
+
+        with pytest.raises(TypeError):
+            make_summary().merge(SnippetSummary("S"))
+
+    def test_zoom_components_follow_top_terms(self):
+        summary = make_summary(wing=[2, 1], beak=[3])
+        components = summary.zoom_components()
+        assert components[0].label == "wing"
+        assert components[0].annotation_ids == (1, 2)
+        assert components[1].label == "beak"
+
+    def test_json_round_trip(self):
+        summary = make_summary(wing=[1, 2], beak=[3])
+        reloaded = TermsSummary.from_json(summary.to_json())
+        assert reloaded.top_terms() == summary.top_terms()
+        assert reloaded.top_k == summary.top_k
+
+    def test_render(self):
+        summary = make_summary(wing=[1, 2])
+        assert summary.render() == "T [(wing, 2)]"
+
+    @given(st.dictionaries(st.integers(1, 20),
+                           st.sets(st.sampled_from("abcde"), min_size=1),
+                           max_size=12),
+           st.sets(st.integers(1, 20), max_size=8))
+    def test_remove_is_subtraction(self, assignments, removed):
+        summary = TermsSummary("T")
+        for annotation_id, terms in assignments.items():
+            summary.add(annotation_id, terms)
+        before = summary.annotation_ids()
+        summary.remove_annotations(removed)
+        assert summary.annotation_ids() == before - removed
+
+
+class TestTermsInstance:
+    def test_analyze_returns_distinct_terms(self):
+        instance = TermsInstance("T")
+        annotation = Annotation(annotation_id=1,
+                                text="feeding feeding on stonewort")
+        contribution = instance.analyze(annotation)
+        assert contribution == frozenset({"feed", "stonewort"})
+
+    def test_add_to(self):
+        instance = TermsInstance("T")
+        obj = instance.new_object()
+        annotation = Annotation(annotation_id=1, text="observed stonewort")
+        instance.add_to(obj, annotation, instance.analyze(annotation))
+        assert obj.term_count("stonewort") == 1
+
+    def test_summarize_once_by_default(self):
+        assert TermsInstance("T").properties.summarize_once
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError, match="top_k"):
+            TermsInstance("T", top_k=0)
+
+    def test_config_round_trip(self):
+        instance = TermsInstance("T", top_k=5)
+        rebuilt = TermsType().create_instance("T", instance.config())
+        assert rebuilt.top_k == 5

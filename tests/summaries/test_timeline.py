@@ -1,0 +1,147 @@
+"""Tests for repro.summaries.timeline (extension type)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.annotation import Annotation
+from repro.summaries.timeline import (
+    TimelineInstance,
+    TimelineSummary,
+    TimelineType,
+    bucket_label,
+)
+
+HOUR = 3600
+DAY = 24 * HOUR
+
+
+def make_summary(**buckets) -> TimelineSummary:
+    summary = TimelineSummary("TL", bucket_seconds=HOUR)
+    for bucket, ids in buckets.items():
+        for annotation_id in ids:
+            summary.add(annotation_id, int(bucket.lstrip("b")))
+    return summary
+
+
+class TestBucketLabel:
+    def test_daily_buckets_render_dates(self):
+        assert bucket_label(0, DAY) == "1970-01-01"
+        assert bucket_label(365, DAY) == "1971-01-01"
+
+    def test_subdaily_buckets_render_times(self):
+        assert bucket_label(1, HOUR) == "1970-01-01 01:00"
+
+
+class TestTimelineSummary:
+    def test_histogram_chronological(self):
+        summary = make_summary(b5=[1], b2=[2, 3])
+        assert summary.histogram() == [(2, 2), (5, 1)]
+
+    def test_busiest_bucket(self):
+        summary = make_summary(b1=[1], b2=[2, 3])
+        assert summary.busiest_bucket() == 2
+
+    def test_busiest_bucket_tie_prefers_earliest(self):
+        summary = make_summary(b3=[1], b1=[2])
+        assert summary.busiest_bucket() == 1
+
+    def test_busiest_bucket_empty(self):
+        assert TimelineSummary("TL").busiest_bucket() is None
+
+    def test_remove_annotations_drops_empty_buckets(self):
+        summary = make_summary(b1=[1], b2=[2])
+        summary.remove_annotations({1})
+        assert summary.histogram() == [(2, 1)]
+
+    def test_merge_dedups(self):
+        left = make_summary(b1=[1, 2])
+        right = make_summary(b1=[2, 3], b2=[4])
+        merged = left.merge(right)
+        assert merged.histogram() == [(1, 3), (2, 1)]
+
+    def test_merge_bucket_width_mismatch(self):
+        left = TimelineSummary("TL", bucket_seconds=HOUR)
+        right = TimelineSummary("TL", bucket_seconds=DAY)
+        with pytest.raises(ValueError, match="bucket widths"):
+            left.merge(right)
+
+    def test_merge_type_mismatch(self):
+        from repro.summaries.classifier import ClassifierSummary
+
+        with pytest.raises(TypeError):
+            TimelineSummary("TL").merge(ClassifierSummary("C", ["a"]))
+
+    def test_zoom_components_chronological(self):
+        summary = make_summary(b2=[5, 4], b1=[1])
+        components = summary.zoom_components()
+        assert [c.index for c in components] == [1, 2]
+        assert components[1].annotation_ids == (4, 5)
+
+    def test_json_round_trip(self):
+        summary = make_summary(b1=[1], b9=[2, 3])
+        reloaded = TimelineSummary.from_json(summary.to_json())
+        assert reloaded.histogram() == summary.histogram()
+        assert reloaded.bucket_seconds == summary.bucket_seconds
+
+    @given(st.dictionaries(st.integers(1, 30), st.integers(0, 5), max_size=12),
+           st.sets(st.integers(1, 30), max_size=10))
+    def test_remove_is_subtraction(self, assignments, removed):
+        summary = TimelineSummary("TL")
+        for annotation_id, bucket in assignments.items():
+            summary.add(annotation_id, bucket)
+        before = summary.annotation_ids()
+        summary.remove_annotations(removed)
+        assert summary.annotation_ids() == before - removed
+
+
+class TestTimelineInstance:
+    def test_analyze_buckets_by_created_at(self):
+        instance = TimelineInstance("TL", bucket_seconds=HOUR)
+        annotation = Annotation(annotation_id=1, text="x", created_at=7250.0)
+        assert instance.analyze(annotation) == 2
+
+    def test_add_to(self):
+        instance = TimelineInstance("TL", bucket_seconds=HOUR)
+        obj = instance.new_object()
+        annotation = Annotation(annotation_id=1, text="x", created_at=100.0)
+        instance.add_to(obj, annotation, instance.analyze(annotation))
+        assert obj.histogram() == [(0, 1)]
+
+    def test_bucket_seconds_validation(self):
+        with pytest.raises(ValueError, match="bucket_seconds"):
+            TimelineInstance("TL", bucket_seconds=0)
+
+    def test_config_round_trip(self):
+        instance = TimelineInstance("TL", bucket_seconds=DAY)
+        rebuilt = TimelineType().create_instance("TL", instance.config())
+        assert rebuilt.bucket_seconds == DAY
+        assert rebuilt.properties.summarize_once
+
+
+class TestEndToEnd:
+    def test_extended_registry_session(self):
+        from repro import InsightNotes
+        from repro.summaries import extended_registry
+
+        notes = InsightNotes(registry=extended_registry())
+        notes.create_table("t", ["v"])
+        notes.insert("t", ("x",))
+        notes.define_instance("Timeline", "Activity", {"bucket_seconds": HOUR})
+        notes.define_instance("Terms", "Hot", {"top_k": 2})
+        notes.link("Activity", "t")
+        notes.link("Hot", "t")
+        notes.add_annotation("stonewort feeding", table="t", row_id=1,
+                             created_at=0.0)
+        notes.add_annotation("stonewort again", table="t", row_id=1,
+                             created_at=2 * HOUR)
+        result = notes.query("SELECT v FROM t")
+        timeline = result.tuples[0].summaries["Activity"]
+        terms = result.tuples[0].summaries["Hot"]
+        assert timeline.histogram() == [(0, 1), (2, 1)]
+        assert terms.top_terms()[0] == ("stonewort", 2)
+        zoom = notes.zoomin(
+            f"ZOOMIN REFERENCE QID = {result.qid} ON Activity INDEX 2"
+        )
+        assert zoom.matches[0].annotations[0].text == "stonewort again"
+        notes.close()

@@ -1,0 +1,95 @@
+"""Tests for repro.text.sentences."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.sentences import split_sentences
+
+
+class TestSplitSentences:
+    def test_simple_split(self):
+        text = "The goose swam away. It returned at dusk."
+        assert split_sentences(text) == [
+            "The goose swam away.",
+            "It returned at dusk.",
+        ]
+
+    def test_single_sentence(self):
+        assert split_sentences("Just one sentence here.") == [
+            "Just one sentence here."
+        ]
+
+    def test_no_terminal_punctuation(self):
+        assert split_sentences("no punctuation at all") == ["no punctuation at all"]
+
+    def test_question_and_exclamation(self):
+        text = "Is it a swan? Yes! It is."
+        assert split_sentences(text) == ["Is it a swan?", "Yes!", "It is."]
+
+    def test_abbreviation_not_split(self):
+        text = "Dr. Smith recorded the sighting. It was early."
+        sentences = split_sentences(text)
+        assert sentences[0] == "Dr. Smith recorded the sighting."
+        assert len(sentences) == 2
+
+    def test_species_abbreviation(self):
+        text = "We saw Anser sp. near the lake. Counts were high."
+        assert len(split_sentences(text)) == 2
+
+    def test_decimal_numbers_not_split(self):
+        text = "The bird weighed 3.5 kilograms. It flew away."
+        sentences = split_sentences(text)
+        assert sentences[0] == "The bird weighed 3.5 kilograms."
+
+    def test_initials_not_split(self):
+        text = "Observed by J. Smith yesterday. Weather was clear."
+        assert len(split_sentences(text)) == 2
+
+    def test_empty_text(self):
+        assert split_sentences("") == []
+
+    def test_blank_lines_break_sentences(self):
+        text = "first fragment\n\nsecond fragment"
+        assert split_sentences(text) == ["first fragment", "second fragment"]
+
+    def test_wrapped_lines_stay_together(self):
+        text = "A sentence wrapped\nacross two lines. Second one."
+        sentences = split_sentences(text)
+        assert sentences[0] == "A sentence wrapped across two lines."
+
+    def test_lowercase_continuation_not_split(self):
+        # "approx. one" continues the sentence (lowercase follow-up).
+        text = "The flock numbered approx. one hundred birds."
+        assert len(split_sentences(text)) == 1
+
+
+class TestSplitSentencesProperties:
+    @given(st.text(max_size=300))
+    def test_never_raises_and_output_is_stripped(self, text):
+        for sentence in split_sentences(text):
+            assert sentence == sentence.strip()
+            assert sentence
+
+    @given(
+        st.lists(
+            st.from_regex(r"[A-Z][a-z]{2,8}( [a-z]{2,8}){1,5}\.", fullmatch=True),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_well_formed_sentences_round_trip(self, sentences):
+        from hypothesis import assume
+
+        from repro.text.sentences import _ABBREVIATIONS
+
+        # Sentences whose last word looks like an abbreviation ("vs.") are
+        # deliberately not split; exclude them from the round-trip claim.
+        assume(
+            all(
+                sentence.rstrip(".").rsplit(None, 1)[-1].lower()
+                not in _ABBREVIATIONS
+                for sentence in sentences
+            )
+        )
+        text = " ".join(sentences)
+        assert split_sentences(text) == sentences

@@ -1,0 +1,88 @@
+"""Tests for repro.text.similarity."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    cosine_similarity,
+    dot,
+    jaccard_similarity,
+    magnitude,
+)
+
+_vectors = st.dictionaries(
+    st.text(min_size=1, max_size=4),
+    st.floats(min_value=0.0, max_value=10.0),
+    max_size=8,
+)
+
+
+class TestDotAndMagnitude:
+    def test_dot_product(self):
+        assert dot({"a": 2.0, "b": 1.0}, {"a": 3.0, "c": 5.0}) == 6.0
+
+    def test_dot_disjoint_is_zero(self):
+        assert dot({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_dot_iterates_smaller_side(self):
+        big = {str(i): 1.0 for i in range(100)}
+        assert dot({"5": 2.0}, big) == 2.0
+        assert dot(big, {"5": 2.0}) == 2.0
+
+    def test_magnitude(self):
+        assert magnitude({"a": 3.0, "b": 4.0}) == 5.0
+
+    def test_magnitude_empty(self):
+        assert magnitude({}) == 0.0
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        vector = {"a": 1.0, "b": 2.0}
+        assert cosine_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_scale_invariant(self):
+        left = {"a": 1.0, "b": 1.0}
+        right = {"a": 10.0, "b": 10.0}
+        assert cosine_similarity(left, right) == pytest.approx(1.0)
+
+    def test_empty_operand_is_zero(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+        assert cosine_similarity({"a": 1.0}, {}) == 0.0
+        assert cosine_similarity({}, {}) == 0.0
+
+    @given(_vectors, _vectors)
+    def test_symmetric_and_bounded(self, left, right):
+        forward = cosine_similarity(left, right)
+        backward = cosine_similarity(right, left)
+        assert math.isclose(forward, backward, abs_tol=1e-9)
+        assert -1e-9 <= forward <= 1.0 + 1e-9
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty_is_one(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    @given(
+        st.sets(st.text(max_size=3), max_size=8),
+        st.sets(st.text(max_size=3), max_size=8),
+    )
+    def test_symmetric_and_bounded(self, left, right):
+        forward = jaccard_similarity(left, right)
+        assert forward == jaccard_similarity(right, left)
+        assert 0.0 <= forward <= 1.0

@@ -1,0 +1,97 @@
+"""Tests for repro.text.tokenize."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import STOPWORDS, Tokenizer, tokenize
+
+
+class TestTokenize:
+    def test_basic_tokenization(self):
+        assert tokenize("Found eating stonewort") == ["found", "eat", "stonewort"]
+
+    def test_lowercases(self):
+        assert tokenize("STONEWORT Beds") == ["stonewort", "bed"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("wing, beak; (tail)!") == ["wing", "beak", "tail"]
+
+    def test_drops_stopwords(self):
+        assert tokenize("the bird is on the water") == ["bird", "water"]
+
+    def test_drops_short_tokens(self):
+        # Single letters fall below the default min_length of 2.
+        assert tokenize("a b cd") == ["cd"]
+
+    def test_numbers_survive(self):
+        assert "42" in tokenize("weight is 42 grams")
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t ") == []
+
+    def test_punctuation_only(self):
+        assert tokenize("... !!! ???") == []
+
+    def test_apostrophe_words(self):
+        tokens = tokenize("the bird's nest")
+        assert any(t.startswith("bird") for t in tokens)
+
+    def test_stemming_conflates_inflections(self):
+        assert tokenize("feeding")[0] == tokenize("feeds")[0] == tokenize("feed")[0]
+
+    def test_stemming_preserves_protected_words(self):
+        assert tokenize("species") == ["species"]
+
+    def test_stemming_keeps_short_stems_whole(self):
+        # Stripping "ed" from "bed" would leave a 1-character stub.
+        assert tokenize("bed") == ["bed"]
+
+    def test_deterministic(self):
+        text = "Observed feeding on stonewort beds at dawn, twice!"
+        assert tokenize(text) == tokenize(text)
+
+
+class TestTokenizerConfig:
+    def test_stemming_can_be_disabled(self):
+        tokenizer = Tokenizer(stem=False)
+        assert tokenizer.tokens("feeding birds") == ["feeding", "birds"]
+
+    def test_custom_stopwords(self):
+        tokenizer = Tokenizer(stopwords=frozenset({"stonewort"}), stem=False)
+        assert tokenizer.tokens("the stonewort beds") == ["the", "beds"]
+
+    def test_min_length(self):
+        tokenizer = Tokenizer(min_length=5, stem=False)
+        assert tokenizer.tokens("tiny bird observed") == ["observed"]
+
+    def test_vocabulary_unions_texts(self):
+        tokenizer = Tokenizer(stem=False)
+        vocab = tokenizer.vocabulary(["red wing", "blue wing"])
+        assert vocab == {"red", "blue", "wing"}
+
+    def test_iter_tokens_matches_tokens(self):
+        tokenizer = Tokenizer()
+        text = "observed feeding near the shore"
+        assert list(tokenizer.iter_tokens(text)) == tokenizer.tokens(text)
+
+
+class TestTokenizeProperties:
+    @given(st.text(max_size=200))
+    def test_never_raises_and_tokens_are_nonempty(self, text):
+        for token in tokenize(text):
+            assert token
+            assert token == token.lower()
+
+    @given(st.text(max_size=200))
+    def test_no_stopwords_in_output_when_unstemmed(self, text):
+        tokenizer = Tokenizer(stem=False)
+        assert not set(tokenizer.tokens(text)) & STOPWORDS
+
+    @given(st.text(max_size=100))
+    def test_idempotent_on_own_output(self, text):
+        tokenizer = Tokenizer(stem=False)
+        once = tokenizer.tokens(text)
+        assert tokenizer.tokens(" ".join(once)) == once

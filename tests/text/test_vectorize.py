@@ -1,0 +1,108 @@
+"""Tests for repro.text.vectorize."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import Tokenizer
+from repro.text.vectorize import TfIdfVectorizer, normalize, term_frequencies
+
+
+class TestTermFrequencies:
+    def test_counts(self):
+        assert term_frequencies(["a", "b", "a"]) == {"a": 2, "b": 1}
+
+    def test_empty(self):
+        assert term_frequencies([]) == {}
+
+
+class TestNormalize:
+    def test_unit_length(self):
+        vector = normalize({"a": 3.0, "b": 4.0})
+        assert math.isclose(
+            math.sqrt(sum(w * w for w in vector.values())), 1.0
+        )
+
+    def test_zero_vector_returns_empty(self):
+        assert normalize({}) == {}
+        assert normalize({"a": 0.0}) == {}
+
+    def test_preserves_direction(self):
+        vector = normalize({"a": 2.0, "b": 1.0})
+        assert vector["a"] == pytest.approx(2 * vector["b"])
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            st.floats(min_value=0.01, max_value=100),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_normalized_magnitude_is_one(self, weights):
+        vector = normalize(weights)
+        magnitude = math.sqrt(sum(w * w for w in vector.values()))
+        assert math.isclose(magnitude, 1.0, rel_tol=1e-9)
+
+
+class TestTfIdfVectorizer:
+    def test_add_document_returns_tokens(self):
+        vectorizer = TfIdfVectorizer(Tokenizer(stem=False))
+        tokens = vectorizer.add_document("red wing red")
+        assert tokens == ["red", "wing", "red"]
+        assert vectorizer.num_documents == 1
+
+    def test_common_terms_get_lower_idf(self):
+        vectorizer = TfIdfVectorizer(Tokenizer(stem=False))
+        vectorizer.add_document("wing beak")
+        vectorizer.add_document("wing tail")
+        vectorizer.add_document("wing crest")
+        assert vectorizer.idf("wing") < vectorizer.idf("beak")
+
+    def test_unseen_term_gets_highest_idf(self):
+        vectorizer = TfIdfVectorizer(Tokenizer(stem=False))
+        vectorizer.add_document("wing beak")
+        assert vectorizer.idf("unseen") > vectorizer.idf("wing")
+
+    def test_vector_is_unit_by_default(self):
+        vectorizer = TfIdfVectorizer(Tokenizer(stem=False))
+        vectorizer.add_document("wing beak tail")
+        vector = vectorizer.vector("wing beak")
+        magnitude = math.sqrt(sum(w * w for w in vector.values()))
+        assert math.isclose(magnitude, 1.0)
+
+    def test_vector_unnormalized_option(self):
+        vectorizer = TfIdfVectorizer(Tokenizer(stem=False))
+        vector = vectorizer.vector("wing wing beak", unit=False)
+        assert vector["wing"] == pytest.approx(2 * vector["beak"])
+
+    def test_empty_document_vector(self):
+        vectorizer = TfIdfVectorizer()
+        assert vectorizer.vector("") == {}
+
+    def test_remove_document_inverts_add(self):
+        vectorizer = TfIdfVectorizer(Tokenizer(stem=False))
+        vectorizer.add_document("wing beak")
+        before = dict(vectorizer._document_frequency)
+        vectorizer.add_document("wing tail")
+        vectorizer.remove_document("wing tail")
+        assert dict(vectorizer._document_frequency) == before
+        assert vectorizer.num_documents == 1
+
+    def test_remove_drops_zero_counts(self):
+        vectorizer = TfIdfVectorizer(Tokenizer(stem=False))
+        vectorizer.add_document("wing")
+        vectorizer.remove_document("wing")
+        assert "wing" not in vectorizer._document_frequency
+        assert vectorizer.num_documents == 0
+
+    def test_vector_from_tokens_matches_vector(self):
+        tokenizer = Tokenizer(stem=False)
+        vectorizer = TfIdfVectorizer(tokenizer)
+        vectorizer.add_document("wing beak tail wing")
+        text = "wing beak"
+        assert vectorizer.vector(text) == vectorizer.vector_from_tokens(
+            tokenizer.tokens(text)
+        )

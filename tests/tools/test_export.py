@@ -1,0 +1,147 @@
+"""Tests for repro.tools.export (portable export / import)."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.errors import InsightNotesError
+from repro.tools import (
+    export_database,
+    export_to_file,
+    import_database,
+    import_from_file,
+)
+from repro.workloads import WorkloadConfig, build_workload
+
+
+@pytest.fixture(scope="module")
+def exported():
+    workload = build_workload(
+        WorkloadConfig(num_birds=4, num_sightings=6, annotations_per_row=6,
+                       document_fraction=0.1, seed=23)
+    )
+    data = export_database(workload.session)
+    yield workload.session, data
+    workload.session.close()
+
+
+class TestExport:
+    def test_format_version_stamped(self, exported):
+        _session, data = exported
+        assert data["format_version"] == 1
+
+    def test_tables_and_rows_captured(self, exported):
+        session, data = exported
+        names = {table["name"] for table in data["tables"]}
+        assert names == {"birds", "sightings"}
+        birds = next(t for t in data["tables"] if t["name"] == "birds")
+        assert len(birds["rows"]) == session.db.row_count("birds")
+        assert all("row_id" in row for row in birds["rows"])
+
+    def test_annotations_with_cells(self, exported):
+        session, data = exported
+        assert len(data["annotations"]) == session.annotations.count()
+        assert all(entry["cells"] for entry in data["annotations"])
+
+    def test_instances_and_links(self, exported):
+        session, data = exported
+        assert {i["name"] for i in data["instances"]} == set(
+            session.catalog.instance_names()
+        )
+        assert len(data["links"]) == len(session.catalog.links())
+
+    def test_json_serializable(self, exported):
+        import json
+
+        _session, data = exported
+        json.dumps(data)
+
+
+class TestImport:
+    def test_round_trip_rows(self, exported):
+        session, data = exported
+        clone = import_database(data)
+        for table in session.db.tables():
+            assert list(clone.db.rows(table)) == list(session.db.rows(table))
+        clone.close()
+
+    def test_round_trip_summaries(self, exported):
+        session, data = exported
+        clone = import_database(data)
+        sql = "SELECT name, species, region, weight FROM birds"
+        original = session.query(sql)
+        imported = clone.query(sql)
+        for left, right in zip(original.tuples, imported.tuples):
+            assert {k: v.render() for k, v in left.summaries.items()} == {
+                k: v.render() for k, v in right.summaries.items()
+            }
+        clone.close()
+
+    def test_round_trip_zoomin(self, exported):
+        _session, data = exported
+        clone = import_database(data)
+        result = clone.query("SELECT name, species FROM birds")
+        zoom = clone.zoomin(
+            f"ZOOMIN REFERENCE QID = {result.qid} ON ClassBird1 INDEX 1"
+        )
+        assert zoom.annotation_count() >= 0  # executes without raising
+        clone.close()
+
+    def test_version_check(self, exported):
+        _session, data = exported
+        bad = dict(data, format_version=99)
+        with pytest.raises(InsightNotesError, match="format version"):
+            import_database(bad)
+
+    def test_file_round_trip(self, exported, tmp_path):
+        session, data = exported
+        path = tmp_path / "export.json"
+        export_to_file(session, path)
+        clone = import_from_file(path)
+        assert clone.annotations.count() == session.annotations.count()
+        clone.close()
+
+    def test_import_preserves_rowids(self, exported):
+        session, data = exported
+        clone = import_database(data)
+        original_ids = [row_id for row_id, _ in session.db.rows("birds")]
+        imported_ids = [row_id for row_id, _ in clone.db.rows("birds")]
+        assert original_ids == imported_ids
+        clone.close()
+
+    def test_import_after_deletions_keeps_ids_aligned(self):
+        # Deleting annotations leaves id gaps; the import must reproduce
+        # the surviving ids exactly (attachments reference them).
+        notes = InsightNotes()
+        notes.create_table("t", ["v"])
+        notes.insert("t", ("x",))
+        first = notes.add_annotation("first", table="t", row_id=1)
+        second = notes.add_annotation("second", table="t", row_id=1)
+        notes.delete_annotation(first.annotation_id)
+        data = export_database(notes)
+        clone = import_database(data)
+        survivors = [a.annotation_id for a in clone.annotations.iter_all()]
+        assert survivors == [second.annotation_id]
+        notes.close()
+        clone.close()
+
+    def test_import_with_extension_registry(self):
+        from repro.summaries import extended_registry
+
+        notes = InsightNotes(registry=extended_registry())
+        notes.create_table("t", ["v"])
+        notes.insert("t", ("x",))
+        notes.define_instance("Terms", "Hot", {"top_k": 3})
+        notes.link("Hot", "t")
+        notes.add_annotation("stonewort feeding", table="t", row_id=1)
+        data = export_database(notes)
+        # Importing without the extension registry fails clearly...
+        from repro.errors import UnknownSummaryTypeError
+
+        with pytest.raises(UnknownSummaryTypeError):
+            import_database(data)
+        # ...and succeeds with it.
+        clone = import_database(data, registry=extended_registry())
+        result = clone.query("SELECT v FROM t")
+        assert result.tuples[0].summaries["Hot"].term_count("stonewort") == 1
+        notes.close()
+        clone.close()

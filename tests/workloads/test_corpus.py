@@ -1,0 +1,81 @@
+"""Tests for repro.workloads.corpus."""
+
+import pytest
+
+from repro.summaries.naive_bayes import NaiveBayesClassifier
+from repro.workloads.corpus import (
+    ANNOTATION_CATEGORIES,
+    AnnotationFactory,
+    CorpusGenerator,
+)
+
+
+class TestCorpusGenerator:
+    def test_sentence_is_nonempty(self):
+        corpus = CorpusGenerator(seed=1)
+        for category in ANNOTATION_CATEGORIES:
+            assert corpus.sentence(category).strip()
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError, match="unknown category"):
+            CorpusGenerator().sentence("Nope")
+
+    def test_deterministic_under_seed(self):
+        first = CorpusGenerator(seed=5)
+        second = CorpusGenerator(seed=5)
+        assert [first.sentence("Behavior") for _ in range(5)] == [
+            second.sentence("Behavior") for _ in range(5)
+        ]
+
+    def test_labelled_sentences_round_robin(self):
+        corpus = CorpusGenerator(seed=1)
+        pairs = corpus.labelled_sentences(6, ("Behavior", "Disease"))
+        assert [label for _, label in pairs] == [
+            "Behavior", "Disease"] * 3
+
+    def test_document_has_title_and_sentences(self):
+        corpus = CorpusGenerator(seed=2)
+        title, body = corpus.document(sentence_count=8)
+        assert title.startswith("Report on")
+        assert body.count(".") >= 8
+
+    def test_categories_are_learnable(self):
+        # The point of the synthetic corpus: a Naive Bayes classifier must
+        # be able to separate the categories.
+        corpus = CorpusGenerator(seed=3)
+        train = corpus.labelled_sentences(120)
+        test = CorpusGenerator(seed=99).labelled_sentences(60)
+        model = NaiveBayesClassifier(ANNOTATION_CATEGORIES).fit(train)
+        correct = sum(
+            model.predict(text) == label for text, label in test
+        )
+        assert correct / len(test) > 0.8
+
+
+class TestAnnotationFactory:
+    def test_draw_returns_known_category(self):
+        factory = AnnotationFactory(seed=1)
+        text, category = factory.draw()
+        assert category in ANNOTATION_CATEGORIES
+        assert text.strip()
+
+    def test_weights_shape_distribution(self):
+        factory = AnnotationFactory(
+            seed=1, category_weights={"Behavior": 1.0, "Disease": 0.0}
+        )
+        categories = {factory.draw()[1] for _ in range(50)}
+        assert categories == {"Behavior"}
+
+    def test_training_set_balanced(self):
+        factory = AnnotationFactory(seed=1)
+        training = factory.training_set(per_category=4)
+        labels = [label for _, label in training]
+        for category in factory.category_weights:
+            assert labels.count(category) == 4
+
+    def test_deterministic(self):
+        assert AnnotationFactory(seed=9).draw() == AnnotationFactory(seed=9).draw()
+
+    def test_draw_document(self):
+        title, body = AnnotationFactory(seed=1).draw_document(6)
+        assert title and body

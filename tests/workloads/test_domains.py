@@ -1,0 +1,116 @@
+"""Tests for repro.workloads.domains and the genomics workload."""
+
+import pytest
+
+from repro.summaries.naive_bayes import NaiveBayesClassifier
+from repro.workloads import (
+    GENOMICS,
+    ORNITHOLOGY,
+    PROFILES,
+    AnnotationFactory,
+    CorpusGenerator,
+    WorkloadConfig,
+    build_genomics_workload,
+)
+
+
+class TestProfiles:
+    def test_registry_contains_both(self):
+        assert set(PROFILES) == {"ornithology", "genomics"}
+
+    def test_categories_declared_in_order(self):
+        assert ORNITHOLOGY.categories[0] == "Behavior"
+        assert GENOMICS.categories[0] == "FunctionPrediction"
+
+    def test_default_weights_cover_categories(self):
+        for profile in PROFILES.values():
+            assert set(profile.default_weights) == set(profile.categories)
+
+    def test_pools_are_immutable(self):
+        with pytest.raises(TypeError):
+            GENOMICS.pools["FunctionPrediction"] = {}  # type: ignore[index]
+
+
+class TestGenomicsCorpus:
+    def test_sentences_per_category(self):
+        corpus = CorpusGenerator(seed=1, profile=GENOMICS)
+        for category in GENOMICS.categories:
+            assert corpus.sentence(category).strip()
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError, match="unknown category"):
+            CorpusGenerator(profile=GENOMICS).sentence("Behavior")
+
+    def test_factory_uses_profile_weights(self):
+        factory = AnnotationFactory(seed=2, profile=GENOMICS)
+        categories = {factory.draw()[1] for _ in range(60)}
+        assert categories <= set(GENOMICS.categories)
+
+    def test_genomics_categories_learnable(self):
+        corpus = CorpusGenerator(seed=3, profile=GENOMICS)
+        train = corpus.labelled_sentences(100)
+        test = CorpusGenerator(seed=99, profile=GENOMICS).labelled_sentences(50)
+        model = NaiveBayesClassifier(GENOMICS.categories).fit(train)
+        correct = sum(model.predict(text) == label for text, label in test)
+        assert correct / len(test) > 0.8
+
+    def test_profiles_produce_distinct_vocabulary(self):
+        birds = CorpusGenerator(seed=1, profile=ORNITHOLOGY)
+        genes = CorpusGenerator(seed=1, profile=GENOMICS)
+        bird_text = " ".join(t for t, _ in birds.labelled_sentences(120))
+        gene_text = " ".join(t for t, _ in genes.labelled_sentences(120))
+        from repro.text.tokenize import tokenize
+
+        overlap_free_bird = set(tokenize(bird_text)) - set(tokenize(gene_text))
+        # The domains share function words but keep distinct content terms.
+        assert {"wing", "flock"} & overlap_free_bird or "stonewort" in bird_text
+        assert "stonewort" not in gene_text
+        assert "crispr" not in bird_text
+
+
+class TestGenomicsWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        generated = build_genomics_workload(
+            WorkloadConfig(num_birds=5, num_sightings=6,
+                           annotations_per_row=6, seed=9)
+        )
+        yield generated
+        generated.session.close()
+
+    def test_tables_created(self, workload):
+        assert workload.session.db.tables() == ["assays", "genes"]
+        assert workload.session.db.row_count("genes") == 5
+
+    def test_instances_linked(self, workload):
+        assert workload.session.catalog.instance_names() == [
+            "GeneClasses", "GeneCluster", "GeneDocs",
+        ]
+
+    def test_annotations_summarized(self, workload):
+        result = workload.session.query("SELECT symbol FROM genes")
+        for row in result.tuples:
+            total = sum(c for _, c in row.summaries["GeneClasses"].counts())
+            assert total > 0
+
+    def test_ground_truth_recorded(self, workload):
+        assert len(workload.ground_truth) == 30
+        assert set(workload.ground_truth.values()) <= set(
+            GENOMICS.categories
+        ) | {"Comment"}
+
+    def test_join_across_gene_tables(self, workload):
+        result = workload.session.query(
+            "SELECT g.symbol, a.tissue FROM genes g, assays a "
+            "WHERE g.organism = a.organism"
+        )
+        assert result.columns == ("g.symbol", "a.tissue")
+
+    def test_deterministic(self):
+        config = WorkloadConfig(num_birds=3, num_sightings=3,
+                                annotations_per_row=4, seed=11)
+        first = build_genomics_workload(config)
+        second = build_genomics_workload(config)
+        assert first.ground_truth == second.ground_truth
+        first.session.close()
+        second.session.close()

@@ -1,0 +1,86 @@
+"""Tests for repro.workloads.generator."""
+
+import pytest
+
+from repro.workloads.generator import WorkloadConfig, build_workload
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError, match="document_fraction"):
+            WorkloadConfig(document_fraction=1.5)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError, match="num_birds"):
+            WorkloadConfig(num_birds=0)
+        with pytest.raises(ValueError, match="annotations_per_row"):
+            WorkloadConfig(annotations_per_row=-1)
+
+
+class TestBuildWorkload:
+    def test_row_counts_match_config(self, small_workload):
+        config = small_workload.config
+        assert len(small_workload.bird_rows) == config.num_birds
+        assert len(small_workload.sighting_rows) == config.num_sightings
+
+    def test_annotation_ratio_respected(self, small_workload):
+        config = small_workload.config
+        expected = config.num_birds * config.annotations_per_row
+        assert small_workload.annotation_count == expected
+        assert small_workload.session.annotations.count() == expected
+
+    def test_instances_defined_and_linked(self, small_workload):
+        session = small_workload.session
+        assert session.catalog.instance_names() == [
+            "ClassBird1", "ClassBird2", "SimCluster", "TextSummary1",
+        ]
+        for instance in session.catalog.instance_names():
+            assert session.catalog.is_linked(instance, "birds")
+
+    def test_ground_truth_covers_all_annotations(self, small_workload):
+        stored_ids = {
+            a.annotation_id
+            for a in small_workload.session.annotations.iter_all()
+        }
+        assert set(small_workload.ground_truth) == stored_ids
+
+    def test_summaries_populated(self, small_workload):
+        session = small_workload.session
+        result = session.query("SELECT name, species, region, weight FROM birds")
+        for row in result.tuples:
+            classifier = row.summaries["ClassBird1"]
+            assert sum(count for _, count in classifier.counts()) > 0
+
+    def test_deterministic_generation(self):
+        config = WorkloadConfig(num_birds=3, num_sightings=4,
+                                annotations_per_row=5, seed=21)
+        first = build_workload(config)
+        second = build_workload(config)
+        assert first.ground_truth == second.ground_truth
+        first_rows = first.session.query("SELECT * FROM birds").rows()
+        second_rows = second.session.query("SELECT * FROM birds").rows()
+        assert first_rows == second_rows
+        first.session.close()
+        second.session.close()
+
+    def test_instances_configurable(self):
+        workload = build_workload(
+            WorkloadConfig(num_birds=2, num_sightings=2, annotations_per_row=2,
+                           with_classifiers=False, with_snippet=False)
+        )
+        assert workload.session.catalog.instance_names() == ["SimCluster"]
+        workload.session.close()
+
+    def test_document_annotations_marked(self):
+        workload = build_workload(
+            WorkloadConfig(num_birds=2, num_sightings=0,
+                           annotations_per_row=40, document_fraction=0.3,
+                           seed=5)
+        )
+        assert workload.document_ids
+        annotation = workload.session.annotations.get(workload.document_ids[0])
+        assert annotation.is_document
+        workload.session.close()

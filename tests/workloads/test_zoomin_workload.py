@@ -1,0 +1,59 @@
+"""Tests for repro.workloads.zoomin_workload."""
+
+import pytest
+
+from repro.workloads.zoomin_workload import ZoomInWorkload, zipf_weights
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_exponent_zero_is_uniform(self):
+        assert zipf_weights(4, exponent=0.0) == [1.0] * 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, exponent=-1)
+
+
+class TestZoomInWorkload:
+    def test_stream_length(self):
+        workload = ZoomInWorkload([101, 102], ["A"], seed=1)
+        assert len(workload.stream(25)) == 25
+
+    def test_references_only_known_qids_and_instances(self):
+        workload = ZoomInWorkload([101, 102], ["A", "B"], seed=1)
+        for reference in workload.stream(50):
+            assert reference.qid in (101, 102)
+            assert reference.instance in ("A", "B")
+
+    def test_skew_prefers_first_qids(self):
+        workload = ZoomInWorkload(list(range(1, 21)), ["A"],
+                                  exponent=1.5, seed=2)
+        stream = workload.stream(500)
+        first_half = sum(1 for r in stream if r.qid <= 10)
+        assert first_half > 350  # strongly skewed toward early ranks
+
+    def test_command_text_round_trips(self):
+        from repro.zoomin.command import parse_zoomin
+
+        workload = ZoomInWorkload([101], ["Inst"], seed=3)
+        reference = workload.draw()
+        command = parse_zoomin(reference.command_text())
+        assert command.qid == reference.qid
+        assert command.instance == reference.instance
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="qids"):
+            ZoomInWorkload([], ["A"])
+        with pytest.raises(ValueError, match="instances"):
+            ZoomInWorkload([1], [])
+
+    def test_deterministic(self):
+        first = ZoomInWorkload([1, 2, 3], ["A"], seed=7).stream(10)
+        second = ZoomInWorkload([1, 2, 3], ["A"], seed=7).stream(10)
+        assert first == second

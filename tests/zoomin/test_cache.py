@@ -1,0 +1,123 @@
+"""Tests for repro.zoomin.cache."""
+
+import pytest
+
+from repro.engine.results import QueryResult
+from repro.model.tuple import AnnotatedTuple
+from repro.zoomin.cache import ZoomInCache
+from repro.zoomin.policies import FIFOPolicy, LRUPolicy
+
+
+def make_result(qid: int, rows: int = 1, cost: int = 1) -> QueryResult:
+    tuples = [
+        AnnotatedTuple(values=(i, "x" * 100)) for i in range(rows)
+    ]
+    return QueryResult(
+        qid=qid, columns=("t.a", "t.b"), tuples=tuples, plan_cost=cost
+    )
+
+
+class TestBasicOperations:
+    def test_put_then_get(self):
+        cache = ZoomInCache(capacity_bytes=10_000)
+        result = make_result(1)
+        assert cache.put(result)
+        assert cache.get(1) is result
+        assert cache.stats.hits == 1
+
+    def test_miss_recorded(self):
+        cache = ZoomInCache()
+        assert cache.get(42) is None
+        assert cache.stats.misses == 1
+
+    def test_contains_and_len(self):
+        cache = ZoomInCache()
+        cache.put(make_result(1))
+        assert 1 in cache
+        assert len(cache) == 1
+
+    def test_oversized_result_rejected(self):
+        cache = ZoomInCache(capacity_bytes=64)
+        assert not cache.put(make_result(1, rows=10))
+        assert cache.stats.rejected == 1
+        assert len(cache) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity_bytes"):
+            ZoomInCache(capacity_bytes=0)
+
+    def test_invalidate(self):
+        cache = ZoomInCache()
+        cache.put(make_result(1))
+        cache.invalidate(1)
+        assert 1 not in cache
+        assert cache.bytes_used == 0
+
+    def test_clear_keeps_stats(self):
+        cache = ZoomInCache()
+        cache.put(make_result(1))
+        cache.get(1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestEviction:
+    def _small_cache(self, policy=None):
+        # Capacity fits roughly two one-row results.
+        single = make_result(1).size_estimate()
+        return ZoomInCache(capacity_bytes=int(single * 2.5), policy=policy)
+
+    def test_eviction_frees_space(self):
+        cache = self._small_cache(LRUPolicy())
+        for qid in (1, 2, 3):
+            cache.put(make_result(qid))
+        assert len(cache) == 2
+        assert cache.stats.evictions >= 1
+        assert cache.bytes_used <= cache.capacity_bytes
+
+    def test_lru_evicts_stale_entry(self):
+        cache = self._small_cache(LRUPolicy())
+        cache.put(make_result(1))
+        cache.put(make_result(2))
+        cache.get(1)  # refresh 1 -> 2 is now the LRU victim
+        cache.put(make_result(3))
+        assert 1 in cache
+        assert 2 not in cache
+
+    def test_fifo_ignores_access(self):
+        cache = self._small_cache(FIFOPolicy())
+        cache.put(make_result(1))
+        cache.put(make_result(2))
+        cache.get(1)
+        cache.put(make_result(3))
+        assert 1 not in cache  # inserted first, evicted first
+
+    def test_reput_refreshes_entry(self):
+        cache = self._small_cache(LRUPolicy())
+        cache.put(make_result(1))
+        cache.put(make_result(2))
+        cache.put(make_result(1))  # refresh, no growth
+        assert len(cache) == 2
+
+    def test_bytes_used_tracks_entries(self):
+        cache = ZoomInCache(capacity_bytes=10**6)
+        first = make_result(1)
+        second = make_result(2, rows=3)
+        cache.put(first)
+        cache.put(second)
+        expected = first.size_estimate() + second.size_estimate()
+        assert cache.bytes_used == expected
+
+    def test_resident_qids_sorted(self):
+        cache = ZoomInCache(capacity_bytes=10**6)
+        for qid in (5, 2, 9):
+            cache.put(make_result(qid))
+        assert cache.resident_qids() == [2, 5, 9]
+
+    def test_hit_ratio(self):
+        cache = ZoomInCache()
+        cache.put(make_result(1))
+        cache.get(1)
+        cache.get(2)
+        assert cache.stats.hit_ratio == pytest.approx(0.5)

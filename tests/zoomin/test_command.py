@@ -1,0 +1,75 @@
+"""Tests for repro.zoomin.command."""
+
+import pytest
+
+from repro.errors import ZoomInSyntaxError
+from repro.zoomin.command import ZoomInCommand, parse_zoomin
+
+
+class TestParse:
+    def test_full_command(self):
+        command = parse_zoomin(
+            "ZoomIn Reference QID = 101 Where C1 = 'x' "
+            "On NaiveBayesClass Index 1;"
+        )
+        assert command.qid == 101
+        assert command.instance == "NaiveBayesClass"
+        assert command.index == 1
+        assert str(command.predicate) == "C1 = 'x'"
+
+    def test_minimal_command(self):
+        command = parse_zoomin("ZOOMIN REFERENCE QID = 7 ON MyCluster")
+        assert command.qid == 7
+        assert command.index is None
+        assert command.predicate is None
+
+    def test_case_insensitive_keywords(self):
+        command = parse_zoomin("zoomin reference qid = 3 on Inst index 2")
+        assert (command.qid, command.index) == (3, 2)
+
+    def test_complex_predicate(self):
+        command = parse_zoomin(
+            "ZOOMIN REFERENCE QID = 5 WHERE a > 1 AND b = 'two' ON Inst"
+        )
+        assert command.predicate is not None
+        assert "AND" in str(command.predicate)
+
+    def test_missing_on_rejected(self):
+        with pytest.raises(ZoomInSyntaxError, match="ON"):
+            parse_zoomin("ZOOMIN REFERENCE QID = 5 WHERE a = 1")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ZoomInSyntaxError, match="="):
+            parse_zoomin("ZOOMIN REFERENCE QID 5 ON Inst")
+
+    def test_non_integer_qid_rejected(self):
+        with pytest.raises(ZoomInSyntaxError, match="integer"):
+            parse_zoomin("ZOOMIN REFERENCE QID = 1.5 ON Inst")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ZoomInSyntaxError, match="trailing"):
+            parse_zoomin("ZOOMIN REFERENCE QID = 1 ON Inst INDEX 1 extra")
+
+    def test_wrong_leading_keyword_rejected(self):
+        with pytest.raises(ZoomInSyntaxError):
+            parse_zoomin("SELECT * FROM t")
+
+
+class TestCommandValidation:
+    def test_negative_qid_rejected(self):
+        with pytest.raises(ZoomInSyntaxError, match="QID"):
+            ZoomInCommand(qid=-1, instance="I")
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ZoomInSyntaxError, match="1-based"):
+            ZoomInCommand(qid=1, instance="I", index=0)
+
+    def test_render_round_trips(self):
+        command = parse_zoomin(
+            "ZOOMIN REFERENCE QID = 9 WHERE a = 1 ON Inst INDEX 3"
+        )
+        reparsed = parse_zoomin(command.render())
+        assert reparsed.qid == command.qid
+        assert reparsed.instance == command.instance
+        assert reparsed.index == command.index
+        assert str(reparsed.predicate) == str(command.predicate)

@@ -1,0 +1,67 @@
+"""Tests for the ZOOMIN DETAIL levels."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.errors import ZoomInSyntaxError
+from repro.zoomin.command import ZoomInCommand, parse_zoomin
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def stack():
+    notes = InsightNotes()
+    notes.create_table("t", ["v"])
+    notes.insert("t", ("x",))
+    notes.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+    notes.link("C", "t")
+    notes.add_annotation("observed feeding on stonewort", table="t", row_id=1)
+    notes.add_annotation("seen foraging near shore", table="t", row_id=1)
+    yield notes
+    notes.close()
+
+
+class TestParsing:
+    def test_detail_count(self):
+        command = parse_zoomin("ZOOMIN REFERENCE QID = 1 ON C DETAIL COUNT")
+        assert command.detail == "count"
+
+    def test_detail_full_is_default(self):
+        assert parse_zoomin("ZOOMIN REFERENCE QID = 1 ON C").detail == "full"
+
+    def test_detail_after_index(self):
+        command = parse_zoomin(
+            "ZOOMIN REFERENCE QID = 1 ON C INDEX 2 DETAIL FULL"
+        )
+        assert command.index == 2
+        assert command.detail == "full"
+
+    def test_invalid_detail_rejected(self):
+        with pytest.raises(ZoomInSyntaxError, match="COUNT or FULL"):
+            parse_zoomin("ZOOMIN REFERENCE QID = 1 ON C DETAIL SOME")
+
+    def test_command_validation(self):
+        with pytest.raises(ZoomInSyntaxError, match="DETAIL"):
+            ZoomInCommand(qid=1, instance="C", detail="nope")
+
+    def test_render_round_trips_detail(self):
+        command = parse_zoomin("ZOOMIN REFERENCE QID = 3 ON C DETAIL COUNT")
+        assert parse_zoomin(command.render()).detail == "count"
+
+
+class TestExecution:
+    def test_count_mode_skips_annotation_fetch(self, stack):
+        result = stack.query("SELECT v FROM t")
+        zoom = stack.zoomin(
+            f"ZOOMIN REFERENCE QID = {result.qid} ON C INDEX 1 DETAIL COUNT"
+        )
+        match = zoom.matches[0]
+        assert match.component.count == 2  # counts still reported
+        assert match.annotations == []  # bodies not fetched
+
+    def test_full_mode_fetches(self, stack):
+        result = stack.query("SELECT v FROM t")
+        zoom = stack.zoomin(
+            f"ZOOMIN REFERENCE QID = {result.qid} ON C INDEX 1 DETAIL FULL"
+        )
+        assert len(zoom.matches[0].annotations) == 2

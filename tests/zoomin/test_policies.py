@@ -1,0 +1,61 @@
+"""Tests for repro.zoomin.policies."""
+
+from repro.zoomin.policies import (
+    CacheEntry,
+    FIFOPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    SizePolicy,
+)
+
+
+def entry(qid, size=100, cost=1, inserted=0, accessed=0, count=0):
+    return CacheEntry(
+        qid=qid, size_bytes=size, cost=cost,
+        inserted_at=inserted, last_access=accessed, access_count=count,
+    )
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        entries = [entry(1, accessed=10), entry(2, accessed=5), entry(3, accessed=8)]
+        assert LRUPolicy().victim(entries, now=20).qid == 2
+
+    def test_tie_breaks_by_qid(self):
+        entries = [entry(2, accessed=5), entry(1, accessed=5)]
+        assert LRUPolicy().victim(entries, now=20).qid == 1
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        entries = [entry(1, count=10), entry(2, count=1), entry(3, count=5)]
+        assert LFUPolicy().victim(entries, now=20).qid == 2
+
+    def test_recency_breaks_frequency_ties(self):
+        entries = [entry(1, count=3, accessed=9), entry(2, count=3, accessed=2)]
+        assert LFUPolicy().victim(entries, now=20).qid == 2
+
+
+class TestFIFO:
+    def test_evicts_oldest_insertion(self):
+        entries = [entry(1, inserted=5), entry(2, inserted=1), entry(3, inserted=9)]
+        assert FIFOPolicy().victim(entries, now=20).qid == 2
+
+    def test_access_does_not_matter(self):
+        entries = [entry(1, inserted=1, accessed=100, count=50), entry(2, inserted=2)]
+        assert FIFOPolicy().victim(entries, now=200).qid == 1
+
+
+class TestSize:
+    def test_evicts_largest(self):
+        entries = [entry(1, size=10), entry(2, size=1000), entry(3, size=100)]
+        assert SizePolicy().victim(entries, now=0).qid == 2
+
+
+class TestPolicyNames:
+    def test_names_are_distinct(self):
+        names = {
+            policy.name
+            for policy in (LRUPolicy(), LFUPolicy(), FIFOPolicy(), SizePolicy())
+        }
+        assert names == {"LRU", "LFU", "FIFO", "SIZE"}

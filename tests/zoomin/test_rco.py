@@ -1,0 +1,80 @@
+"""Tests for repro.zoomin.rco."""
+
+import pytest
+
+from repro.zoomin.policies import CacheEntry
+from repro.zoomin.rco import RCOPolicy, RCOWeights
+
+
+def entry(qid, size=1024, cost=5, accessed=0, count=0):
+    return CacheEntry(
+        qid=qid, size_bytes=size, cost=cost,
+        inserted_at=0, last_access=accessed, access_count=count,
+    )
+
+
+class TestRCOFactors:
+    def test_recently_accessed_ranks_higher(self):
+        policy = RCOPolicy()
+        recent = entry(1, accessed=99)
+        stale = entry(2, accessed=1)
+        assert policy.priority(recent, 100) > policy.priority(stale, 100)
+
+    def test_frequently_accessed_ranks_higher(self):
+        policy = RCOPolicy()
+        hot = entry(1, count=50)
+        cold = entry(2, count=0)
+        assert policy.priority(hot, 100) > policy.priority(cold, 100)
+
+    def test_expensive_results_rank_higher(self):
+        policy = RCOPolicy()
+        expensive = entry(1, cost=100)
+        cheap = entry(2, cost=1)
+        assert policy.priority(expensive, 100) > policy.priority(cheap, 100)
+
+    def test_large_results_rank_lower(self):
+        policy = RCOPolicy()
+        small = entry(1, size=512)
+        huge = entry(2, size=1024 * 1024)
+        assert policy.priority(small, 100) > policy.priority(huge, 100)
+
+    def test_victim_is_minimum_priority(self):
+        policy = RCOPolicy()
+        entries = [
+            entry(1, count=10, cost=50),  # hot, expensive -> keep
+            entry(2, count=0, cost=1, size=1024 * 512),  # cold, big -> evict
+            entry(3, count=2, cost=5),
+        ]
+        assert policy.victim(entries, now=100).qid == 2
+
+
+class TestRCOWeights:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RCOWeights(recency=-1.0)
+
+    def test_zero_overhead_weight_ignores_size(self):
+        policy = RCOPolicy(RCOWeights(overhead=0.0))
+        small = entry(1, size=10)
+        huge = entry(2, size=10**9)
+        assert policy.priority(small, 0) == pytest.approx(
+            policy.priority(huge, 0)
+        )
+
+    def test_zero_complexity_weight_ignores_cost(self):
+        policy = RCOPolicy(RCOWeights(complexity=0.0))
+        cheap = entry(1, cost=1)
+        dear = entry(2, cost=1000)
+        assert policy.priority(cheap, 0) == pytest.approx(
+            policy.priority(dear, 0)
+        )
+
+    def test_weight_sweep_changes_victim(self):
+        # A big expensive result vs a small cheap one: the overhead weight
+        # decides which goes first.
+        big_expensive = entry(1, size=1024 * 256, cost=200, count=3)
+        small_cheap = entry(2, size=256, cost=1, count=3)
+        keep_expensive = RCOPolicy(RCOWeights(overhead=0.0))
+        punish_size = RCOPolicy(RCOWeights(overhead=3.0))
+        assert keep_expensive.victim([big_expensive, small_cheap], 10).qid == 2
+        assert punish_size.victim([big_expensive, small_cheap], 10).qid == 1

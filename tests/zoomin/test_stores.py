@@ -1,0 +1,148 @@
+"""Tests for result serialization and the disk-based cache store."""
+
+import pytest
+
+from repro import InsightNotes
+from repro.engine.results import QueryResult
+from repro.summaries.registry import default_registry
+from repro.zoomin.cache import ZoomInCache
+from repro.zoomin.stores import MemoryResultStore, SQLiteResultStore
+from tests.conftest import TRAINING
+
+
+@pytest.fixture
+def populated():
+    notes = InsightNotes()
+    notes.create_table("birds", ["name", "weight"])
+    notes.insert("birds", ("Swan", 3.2))
+    notes.insert("birds", ("Goose", None))
+    notes.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+    notes.define_cluster("Cl", threshold=0.3)
+    notes.link("C", "birds")
+    notes.link("Cl", "birds")
+    notes.add_annotation("observed feeding on stonewort",
+                         table="birds", row_id=1)
+    notes.add_annotation("shows symptoms of avian pox",
+                         table="birds", row_id=1, columns=["weight"])
+    yield notes
+    notes.close()
+
+
+class TestResultSerialization:
+    def test_round_trip_preserves_everything(self, populated):
+        result = populated.query("SELECT name, weight FROM birds")
+        revived = QueryResult.from_json(
+            result.to_json(), populated.catalog.registry
+        )
+        assert revived.qid == result.qid
+        assert revived.columns == result.columns
+        assert revived.rows() == result.rows()
+        for left, right in zip(result.tuples, revived.tuples):
+            assert left.attachments == right.attachments
+            assert left.source_rows == right.source_rows
+            assert {k: v.render() for k, v in left.summaries.items()} == {
+                k: v.render() for k, v in right.summaries.items()
+            }
+
+    def test_round_trip_is_json_safe(self, populated):
+        import json
+
+        result = populated.query("SELECT name FROM birds")
+        json.dumps(result.to_json())  # no raise
+
+    def test_zoom_components_survive(self, populated):
+        result = populated.query("SELECT name, weight FROM birds")
+        revived = QueryResult.from_json(
+            result.to_json(), populated.catalog.registry
+        )
+        original = result.tuples[0].summaries["C"].zoom_components()
+        rebuilt = revived.tuples[0].summaries["C"].zoom_components()
+        assert [(c.label, c.annotation_ids) for c in original] == [
+            (c.label, c.annotation_ids) for c in rebuilt
+        ]
+
+
+class TestSQLiteResultStore:
+    def test_put_get_delete(self, populated):
+        store = SQLiteResultStore(registry=populated.catalog.registry)
+        result = populated.query("SELECT name FROM birds")
+        size = store.put(result)
+        assert size > 0
+        revived = store.get(result.qid)
+        assert revived is not None
+        assert revived.rows() == result.rows()
+        store.delete(result.qid)
+        assert store.get(result.qid) is None
+        store.close()
+
+    def test_put_is_upsert(self, populated):
+        store = SQLiteResultStore(registry=populated.catalog.registry)
+        result = populated.query("SELECT name FROM birds")
+        store.put(result)
+        store.put(result)
+        assert store.get(result.qid) is not None
+        store.close()
+
+    def test_file_backed_store(self, populated, tmp_path):
+        path = str(tmp_path / "cache.db")
+        store = SQLiteResultStore(path, registry=populated.catalog.registry)
+        result = populated.query("SELECT name FROM birds")
+        store.put(result)
+        store.close()
+        reopened = SQLiteResultStore(path, registry=populated.catalog.registry)
+        assert reopened.get(result.qid) is not None
+        reopened.close()
+
+    def test_charged_bytes_are_payload_size(self, populated):
+        import json
+
+        store = SQLiteResultStore(registry=populated.catalog.registry)
+        result = populated.query("SELECT name, weight FROM birds")
+        size = store.put(result)
+        assert size == len(json.dumps(result.to_json()))
+        store.close()
+
+
+class TestCacheWithDiskStore:
+    def test_cache_over_sqlite_store(self, populated):
+        cache = ZoomInCache(
+            capacity_bytes=10**6,
+            store=SQLiteResultStore(registry=populated.catalog.registry),
+        )
+        result = populated.query("SELECT name FROM birds")
+        assert cache.put(result)
+        revived = cache.get(result.qid)
+        assert revived is not None
+        assert revived.rows() == result.rows()
+        assert cache.stats.hits == 1
+
+    def test_eviction_deletes_from_store(self, populated):
+        store = SQLiteResultStore(registry=populated.catalog.registry)
+        first = populated.query("SELECT name FROM birds")
+        single = store.put(first)
+        store.delete(first.qid)
+        cache = ZoomInCache(capacity_bytes=int(single * 2.2), store=store)
+        qids = []
+        for _ in range(3):
+            result = populated.query("SELECT name FROM birds")
+            cache.put(result)
+            qids.append(result.qid)
+        assert len(cache) == 2
+        assert store.get(qids[0]) is None  # evicted from disk too
+
+    def test_session_with_disk_cache(self):
+        notes = InsightNotes(cache_store="disk")
+        notes.create_table("t", ["v"])
+        notes.insert("t", ("x",))
+        notes.define_classifier("C", ["a", "b"], [("one", "a"), ("two", "b")])
+        notes.link("C", "t")
+        notes.add_annotation("one one", table="t", row_id=1)
+        result = notes.query("SELECT v FROM t")
+        zoom = notes.zoomin(f"ZOOMIN REFERENCE QID = {result.qid} ON C INDEX 1")
+        assert zoom.cache_hit
+        assert zoom.annotation_count() == 1
+        notes.close()
+
+    def test_memory_store_is_default(self):
+        cache = ZoomInCache()
+        assert isinstance(cache.store, MemoryResultStore)
