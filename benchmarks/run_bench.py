@@ -1,0 +1,181 @@
+"""Perf-trajectory harness for the scan pipeline.
+
+Times the three scan-shaped workloads the paper's evaluation leans on —
+full-table scan, SPJ propagation, and group-by aggregation — at the
+paper's annotation ratios, in both pipeline configurations:
+
+* ``before`` — per-row loading (``scan_block_size=1``, deserialization
+  cache disabled): the pipeline prior to the block-prefetch rework.
+* ``after`` — the current defaults (block prefetch + LRU cache).
+
+Each (workload, ratio, mode) cell reports the median of five runs plus
+the SQLite statement count of a cold run, and the result lands in
+``BENCH_scan.json`` at the repository root so successive commits leave a
+comparable perf trajectory (the ``BENCH_*.json`` convention).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.session import InsightNotes  # noqa: E402
+from repro.workloads import WorkloadConfig, build_workload  # noqa: E402
+
+FULL_RATIOS = (30, 60, 120, 250)
+QUICK_RATIOS = (30,)
+REPEATS = 5
+
+QUERIES = {
+    "scan": "SELECT name, species, region, weight FROM birds",
+    "spj": (
+        "SELECT b.name, b.species, s.observer FROM birds b, sightings s "
+        "WHERE b.species = s.species"
+    ),
+    "group_by": "SELECT species, count(*) FROM birds GROUP BY species",
+}
+
+MODES = {
+    # Per-row loading with the deserialization cache off — the pipeline
+    # before the block-prefetch rework.
+    "before": {"scan_block_size": 1, "object_cache_size": 0},
+    # Current defaults: block prefetch + LRU deserialization cache.
+    "after": {},
+}
+
+
+def build_session(ratio: int, mode: str, quick: bool):
+    """A populated workload session in the given pipeline configuration."""
+    session = InsightNotes(**MODES[mode])
+    return build_workload(
+        WorkloadConfig(
+            num_birds=4 if quick else 8,
+            num_sightings=8 if quick else 16,
+            annotations_per_row=ratio,
+            document_fraction=0.02,
+            seed=29,
+        ),
+        session=session,
+    )
+
+
+def median_of_runs(session, sql: str, repeats: int) -> float:
+    """Median wall-clock seconds over ``repeats`` runs of ``sql``."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        session.query(sql)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def cold_statement_count(session, sql: str) -> int:
+    """SQLite statements issued by one cold (cache-dropped) run."""
+    session.manager.drop_caches()
+    restore = session.catalog.object_cache_info()["capacity"]
+    session.catalog.configure_object_cache(0)
+    try:
+        with session.db.track_queries() as counter:
+            session.query(sql)
+    finally:
+        session.catalog.configure_object_cache(restore)
+    return counter.count
+
+
+def run(quick: bool, repeats: int) -> dict:
+    ratios = QUICK_RATIOS if quick else FULL_RATIOS
+    results: dict = {}
+    for ratio in ratios:
+        for mode in MODES:
+            workload = build_session(ratio, mode, quick)
+            session = workload.session
+            try:
+                for name, sql in QUERIES.items():
+                    cell = results.setdefault(name, {}).setdefault(
+                        f"{ratio}x", {}
+                    )
+                    cell[mode] = {
+                        "median_s": round(
+                            median_of_runs(session, sql, repeats), 6
+                        ),
+                        "statements": cold_statement_count(session, sql),
+                    }
+            finally:
+                session.close()
+    for name, series in results.items():
+        for ratio_key, cell in series.items():
+            before, after = cell["before"], cell["after"]
+            cell["speedup"] = round(
+                before["median_s"] / max(after["median_s"], 1e-9), 3
+            )
+            cell["statement_ratio"] = round(
+                before["statements"] / max(after["statements"], 1), 2
+            )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload, 30x only (CI smoke run)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=REPEATS,
+        help=f"timed runs per cell (median reported; default {REPEATS})",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_scan.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if not args.output.parent.is_dir():
+        parser.error(f"--output directory does not exist: {args.output.parent}")
+
+    results = run(quick=args.quick, repeats=args.repeats)
+    report = {
+        "benchmark": "scan_pipeline",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "repeats": args.repeats,
+        "modes": {
+            "before": "scan_block_size=1, deserialization cache off",
+            "after": "block prefetch (256) + LRU deserialization cache",
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {args.output}")
+    for name, series in results.items():
+        for ratio_key, cell in series.items():
+            print(
+                f"  {name:9s} {ratio_key:>5s}  "
+                f"before {cell['before']['median_s'] * 1000:8.2f} ms "
+                f"({cell['before']['statements']:5d} stmts)  "
+                f"after {cell['after']['median_s'] * 1000:8.2f} ms "
+                f"({cell['after']['statements']:5d} stmts)  "
+                f"speedup {cell['speedup']:.2f}x, "
+                f"stmts {cell['statement_ratio']:.1f}x fewer"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

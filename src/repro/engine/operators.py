@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.engine.expressions import (
@@ -37,7 +36,7 @@ from repro.engine.expressions import (
 from repro.engine.plan import Aggregate
 from repro.errors import PlanError
 from repro.model.tuple import AnnotatedTuple
-from repro.summaries.base import SummaryObject
+from repro.summaries.base import SummaryInstance, SummaryObject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.maintenance.incremental import SummaryManager
@@ -46,29 +45,78 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.database import Database
 
 
-@dataclass
 class TraceEntry:
-    """Snapshot of one tuple as it left one operator."""
+    """Snapshot of one tuple as it left one operator.
 
-    operator: str
-    values: tuple[Any, ...]
-    summaries: dict[str, str]
+    Summary payloads are captured as cheap snapshots (copy-on-write
+    aliases where the type supports it) and rendered lazily: tracing a
+    large scan no longer pays one string render per summary per tuple
+    unless the trace is actually displayed.
+    """
+
+    __slots__ = ("operator", "values", "_objects", "_rendered")
+
+    def __init__(
+        self,
+        operator: str,
+        values: tuple[Any, ...],
+        summary_objects: dict[str, SummaryObject],
+    ) -> None:
+        self.operator = operator
+        self.values = values
+        self._objects = summary_objects
+        self._rendered: dict[str, str] | None = None
+
+    @property
+    def summaries(self) -> dict[str, str]:
+        """Rendered summary strings, computed on first access."""
+        if self._rendered is None:
+            self._rendered = {
+                name: obj.render() for name, obj in sorted(self._objects.items())
+            }
+        return self._rendered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEntry(operator={self.operator!r}, values={self.values!r})"
 
 
 class Tracer:
-    """Collects per-operator intermediate tuples for visualization."""
+    """Collects per-operator intermediate tuples for visualization.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    max_entries:
+        Hard cap on retained entries; tuples beyond it are counted in
+        :attr:`dropped` instead of stored, so tracing a large query
+        cannot hold the whole intermediate-result volume in memory.
+        Pass ``None`` for an unbounded trace.
+    """
+
+    DEFAULT_MAX_ENTRIES = 10_000
+
+    def __init__(self, max_entries: int | None = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.entries: list[TraceEntry] = []
+        self.max_entries = max_entries
+        self.dropped = 0
 
     def record(self, operator: "Operator", row: AnnotatedTuple) -> None:
         """Record ``row`` as an output of ``operator``."""
+        if self.max_entries is not None and len(self.entries) >= self.max_entries:
+            self.dropped += 1
+            return
+        # Snapshot each summary without a deep copy: copy-on-write types
+        # share their payload (a later in-place mutation unshares the
+        # downstream object, leaving this alias on the old payload);
+        # other types fall back to a real copy.
         self.entries.append(
             TraceEntry(
                 operator=operator.describe(),
                 values=row.values,
-                summaries={
-                    name: obj.render() for name, obj in sorted(row.summaries.items())
+                summary_objects={
+                    name: obj.share() if obj.copy_on_write else obj.copy()
+                    for name, obj in row.summaries.items()
                 },
             )
         )
@@ -152,8 +200,20 @@ def _extend_equivalent(
     return extended
 
 
+#: Base rows fetched (and prefetched against storage) per scan block.
+DEFAULT_SCAN_BLOCK_SIZE = 256
+
+
 class ScanOperator(Operator):
-    """Scan a base table, attaching summaries and attachment maps."""
+    """Scan a base table, attaching summaries and attachment maps.
+
+    The scan is block-oriented: base rows are consumed in blocks of
+    ``block_size`` and each block's summary objects and attachment maps
+    are prefetched in bulk (one storage round-trip per block per kind
+    instead of one per row per instance).  ``block_size=1`` degenerates
+    to the per-row path — the benchmark harness uses that as the
+    "before" configuration.
+    """
 
     def __init__(
         self,
@@ -165,7 +225,10 @@ class ScanOperator(Operator):
         manager: "SummaryManager | None" = None,
         instances: tuple[str, ...] | None = None,
         tracer: Tracer | None = None,
+        block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
     ) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
         columns = database.columns(table)
         super().__init__(
             tuple(f"{alias}.{column}" for column in columns), tracer
@@ -177,6 +240,7 @@ class ScanOperator(Operator):
         self.table = table
         self.alias = alias
         self.instances = instances
+        self.block_size = block_size
 
     def rows(self) -> Iterator[AnnotatedTuple]:
         instances = self._catalog.instances_for_table(self.table)
@@ -192,33 +256,49 @@ class ScanOperator(Operator):
                         source_rows=frozenset({(self.table, row_id)}),
                     )
                 return
+        block: list[tuple[int, tuple[Any, ...]]] = []
         for row_id, values in self._db.rows(self.table):
+            block.append((row_id, values))
+            if len(block) >= self.block_size:
+                yield from self._emit_block(block, instances)
+                block = []
+        if block:
+            yield from self._emit_block(block, instances)
+
+    def _emit_block(
+        self,
+        block: list[tuple[int, tuple[Any, ...]]],
+        instances: Sequence["SummaryInstance"],
+    ) -> Iterator[AnnotatedTuple]:
+        """Prefetch one block's summaries and attachments, then emit."""
+        row_ids = [row_id for row_id, _values in block]
+        names = [instance.name for instance in instances]
+        if self._manager is not None:
+            objects = self._manager.objects_for_rows(names, self.table, row_ids)
+            attachment_maps = self._manager.attachments_for_rows(
+                self.table, row_ids
+            )
+        else:
+            objects = self._catalog.load_objects_for_table(
+                names, self.table, row_ids
+            )
+            attachment_maps = self._annotations.attachments_for_rows(
+                self.table, row_ids
+            )
+        for row_id, values in block:
             summaries: dict[str, SummaryObject] = {}
             for instance in instances:
-                if self._manager is not None:
-                    obj = self._manager.current_object(
-                        instance.name, self.table, row_id
-                    )
-                else:
-                    obj = self._catalog.load_object(
-                        instance.name, self.table, row_id
-                    )
+                obj = objects.get((instance.name, row_id))
                 summaries[instance.name] = (
                     obj.for_query() if obj is not None else instance.new_object()
-                )
-            if self._manager is not None:
-                base_attachments = self._manager.attachments_for_row(
-                    self.table, row_id
-                )
-            else:
-                base_attachments = self._annotations.attachments_for_row(
-                    self.table, row_id
                 )
             attachments = {
                 annotation_id: frozenset(
                     f"{self.alias}.{column}" for column in columns
                 )
-                for annotation_id, columns in base_attachments.items()
+                for annotation_id, columns in attachment_maps.get(
+                    row_id, {}
+                ).items()
             }
             yield AnnotatedTuple(
                 values=values,

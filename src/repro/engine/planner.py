@@ -31,6 +31,7 @@ from repro.engine.expressions import (
     resolve_column,
 )
 from repro.engine.operators import (
+    DEFAULT_SCAN_BLOCK_SIZE,
     ComputeOperator,
     DistinctOperator,
     GroupByOperator,
@@ -64,6 +65,7 @@ class Planner:
         manager: "SummaryManager | None" = None,
         normalize: bool = True,
         push_selections: bool = True,
+        scan_block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
     ) -> None:
         self._db = database
         self._annotations = annotations
@@ -71,6 +73,11 @@ class Planner:
         self._manager = manager
         self.normalize_plans = normalize
         self.push_selections = push_selections
+        if scan_block_size < 1:
+            raise ValueError(
+                f"scan_block_size must be >= 1, got {scan_block_size}"
+            )
+        self.scan_block_size = scan_block_size
 
     # -- schema inference ---------------------------------------------
 
@@ -335,6 +342,7 @@ class Planner:
                 manager=self._manager,
                 instances=node.instances,
                 tracer=tracer,
+                block_size=self.scan_block_size,
             )
         if isinstance(node, lp.Select):
             return SelectOperator(

@@ -31,7 +31,7 @@ from collections.abc import Mapping, Sequence
 from typing import Any
 
 from repro.engine.executor import execute_plan
-from repro.engine.operators import Tracer
+from repro.engine.operators import DEFAULT_SCAN_BLOCK_SIZE, Tracer
 from repro.engine.plan import PlanNode
 from repro.engine.planner import Planner
 from repro.engine.results import QueryResult, ResultRegistry
@@ -41,7 +41,7 @@ from repro.model.annotation import Annotation, AnnotationKind
 from repro.model.cell import CellRef
 from repro.maintenance.incremental import SummaryManager
 from repro.storage.annotations import AnnotationStore
-from repro.storage.catalog import SummaryCatalog
+from repro.storage.catalog import DEFAULT_OBJECT_CACHE_SIZE, SummaryCatalog
 from repro.storage.database import Database
 from repro.summaries.base import SummaryInstance
 from repro.summaries.registry import SummaryTypeRegistry
@@ -74,6 +74,13 @@ class InsightNotes:
     normalize:
         Apply the Theorems 1-2 project-before-merge normalization
         (disable only for the plan-equivalence ablation).
+    scan_block_size:
+        How many base rows each table scan prefetches per storage
+        round-trip (summaries and attachments are loaded in bulk per
+        block).  ``1`` degenerates to per-row loading — the benchmark
+        harness uses that as its "before" configuration.
+    object_cache_size:
+        Bound of the catalog's deserialization LRU (``0`` disables it).
     """
 
     def __init__(
@@ -84,10 +91,14 @@ class InsightNotes:
         cache_policy: Any | None = None,
         cache_store: Any | None = None,
         normalize: bool = True,
+        scan_block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
+        object_cache_size: int = DEFAULT_OBJECT_CACHE_SIZE,
     ) -> None:
         self.db = Database(path)
         self.annotations = AnnotationStore(self.db)
-        self.catalog = SummaryCatalog(self.db, registry=registry)
+        self.catalog = SummaryCatalog(
+            self.db, registry=registry, object_cache_size=object_cache_size
+        )
         self.manager = SummaryManager(self.db, self.annotations, self.catalog)
         self.planner = Planner(
             self.db,
@@ -95,6 +106,7 @@ class InsightNotes:
             self.catalog,
             manager=self.manager,
             normalize=normalize,
+            scan_block_size=scan_block_size,
         )
         self.results = ResultRegistry()
         if isinstance(cache_store, str):
@@ -429,6 +441,7 @@ class InsightNotes:
             "summary_instances": len(self.catalog.instance_names()),
             "summary_links": len(self.catalog.links()),
             "summary_state_bytes": self.catalog.summary_bytes(),
+            "object_cache": self.catalog.object_cache_info(),
             "maintenance": self.manager.stats.as_dict(),
             "summarize_once": {
                 "hits": contribution_stats.hits,

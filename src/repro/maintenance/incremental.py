@@ -68,7 +68,14 @@ class SummaryManager:
         may disable this and call :meth:`flush` once at the end.
     object_cache_size:
         Maximum number of summary objects kept hot in memory.
+    attachments_cache_size:
+        Maximum number of per-row attachment maps kept hot — a separate
+        bound, because attachment maps are far smaller than summary
+        objects and the scan path touches one per base row.
     """
+
+    #: Default bound of the per-row attachments LRU.
+    DEFAULT_ATTACHMENTS_CACHE_SIZE = 16384
 
     def __init__(
         self,
@@ -77,10 +84,16 @@ class SummaryManager:
         catalog: SummaryCatalog,
         write_through: bool = True,
         object_cache_size: int = 4096,
+        attachments_cache_size: int = DEFAULT_ATTACHMENTS_CACHE_SIZE,
     ) -> None:
         if object_cache_size < 1:
             raise ValueError(
                 f"object_cache_size must be >= 1, got {object_cache_size}"
+            )
+        if attachments_cache_size < 1:
+            raise ValueError(
+                "attachments_cache_size must be >= 1, "
+                f"got {attachments_cache_size}"
             )
         self._db = database
         self._annotations = annotations
@@ -89,6 +102,7 @@ class SummaryManager:
         self.contributions = ContributionCache()
         self.stats = MaintenanceStats()
         self._object_cache_size = object_cache_size
+        self._attachments_cache_size = attachments_cache_size
         # (instance, table, row_id) -> object; OrderedDict gives LRU order.
         self._objects: OrderedDict[tuple[str, str, int], SummaryObject] = OrderedDict()
         self._dirty: set[tuple[str, str, int]] = set()
@@ -166,9 +180,39 @@ class SummaryManager:
             return cached
         attachments = self._annotations.attachments_for_row(table, row_id)
         self._attachments[key] = attachments
-        while len(self._attachments) > self._object_cache_size:
-            self._attachments.popitem(last=False)
+        self._evict_attachments_if_needed()
         return attachments
+
+    def attachments_for_rows(
+        self, table: str, row_ids: Iterable[int]
+    ) -> dict[int, dict[int, frozenset[str]]]:
+        """Attachment maps for a block of base rows, cache-aware.
+
+        Rows already in the attachments LRU are served from memory; the
+        misses go to the store in one bulk round-trip and are cached on
+        the way out (including empty maps — absence is worth caching).
+        """
+        result: dict[int, dict[int, frozenset[str]]] = {}
+        missing: list[int] = []
+        for row_id in row_ids:
+            key = (table, row_id)
+            cached = self._attachments.get(key)
+            if cached is not None:
+                self._attachments.move_to_end(key)
+                result[row_id] = cached
+            else:
+                missing.append(row_id)
+        if missing:
+            fetched = self._annotations.attachments_for_rows(table, missing)
+            for row_id, attachments in fetched.items():
+                self._attachments[(table, row_id)] = attachments
+                result[row_id] = attachments
+            self._evict_attachments_if_needed()
+        return result
+
+    def _evict_attachments_if_needed(self) -> None:
+        while len(self._attachments) > self._attachments_cache_size:
+            self._attachments.popitem(last=False)
 
     def _invalidate_attachments(self, table: str, row_id: int) -> None:
         self._attachments.pop((table, row_id), None)
@@ -276,8 +320,49 @@ class SummaryManager:
     def current_object(
         self, instance_name: str, table: str, row_id: int
     ) -> SummaryObject | None:
-        """The up-to-date summary object for one row, cache-aware."""
-        key = (instance_name, table, row_id)
-        if key in self._objects:
-            return self._objects[key]
-        return self._catalog.load_object(instance_name, table, row_id)
+        """The up-to-date summary object for one row, cache-aware.
+
+        Routed through :meth:`objects_for_rows` so the single-row path
+        and the scan block path share one implementation (and one set of
+        cache semantics).
+        """
+        return self.objects_for_rows((instance_name,), table, (row_id,)).get(
+            (instance_name, row_id)
+        )
+
+    def objects_for_rows(
+        self,
+        instance_names: Iterable[str],
+        table: str,
+        row_ids: Iterable[int],
+    ) -> dict[tuple[str, int], SummaryObject]:
+        """Up-to-date summary objects for a block of rows, cache-aware.
+
+        The manager's write cache wins (it may hold not-yet-flushed
+        objects); everything else is one bulk catalog read.  Pairs with
+        no summary state are simply absent from the result.  Returned
+        objects are live — callers must take ``for_query()`` or
+        ``copy()`` before mutating.
+        """
+        names = list(instance_names)
+        ids = list(row_ids)
+        result: dict[tuple[str, int], SummaryObject] = {}
+        missing_ids: set[int] = set()
+        for row_id in ids:
+            for name in names:
+                key = (name, table, row_id)
+                if key in self._objects:
+                    self._objects.move_to_end(key)
+                    self.stats.object_cache_hits += 1
+                    result[(name, row_id)] = self._objects[key]
+                else:
+                    missing_ids.add(row_id)
+        if missing_ids:
+            loaded = self._catalog.load_objects_for_table(
+                names, table, sorted(missing_ids)
+            )
+            for (name, row_id), obj in loaded.items():
+                # Don't pollute the write cache with read-path objects;
+                # the catalog keeps its own deserialization LRU.
+                result.setdefault((name, row_id), obj)
+        return result

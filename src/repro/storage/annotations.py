@@ -333,6 +333,41 @@ class AnnotationStore:
             for annotation_id, columns in attachments.items()
         }
 
+    def attachments_for_rows(
+        self, table: str, row_ids: Sequence[int]
+    ) -> dict[int, dict[int, frozenset[str]]]:
+        """Bulk :meth:`attachments_for_row` for a block of base rows.
+
+        One SQL query per chunk of ``row_ids`` instead of one per row —
+        the scan operator's prefetch path.  Every requested row id is
+        present in the result; rows without annotations map to ``{}``.
+        """
+        per_row: dict[int, dict[int, set[str]]] = {
+            row_id: {} for row_id in row_ids
+        }
+        distinct = sorted(per_row)
+        # Chunked IN-lists keep us under SQLite's bound-variable limit.
+        for chunk_start in range(0, len(distinct), 500):
+            chunk = distinct[chunk_start : chunk_start + 500]
+            placeholders = ", ".join("?" for _ in chunk)
+            rows = self._db.connection.execute(
+                f"""
+                SELECT row_id, annotation_id, column_name
+                FROM {_ATTACHMENTS_TABLE}
+                WHERE table_name = ? AND row_id IN ({placeholders})
+                """,
+                (table, *chunk),
+            ).fetchall()
+            for row_id, annotation_id, column in rows:
+                per_row[row_id].setdefault(annotation_id, set()).add(column)
+        return {
+            row_id: {
+                annotation_id: frozenset(columns)
+                for annotation_id, columns in attachments.items()
+            }
+            for row_id, attachments in per_row.items()
+        }
+
     def annotation_ids_for_row(self, table: str, row_id: int) -> set[int]:
         """Ids of all annotations attached to a base row."""
         rows = self._db.connection.execute(

@@ -11,13 +11,20 @@ Persists levels 2 and 3 of the summarization hierarchy:
   stored as JSON and rebuilt through the type registry.
 
 Live instances are cached after first resolution, so the trained model is
-deserialized once per session.
+deserialized once per session.  Summary state reads go through a bounded
+LRU deserialization cache keyed by ``(instance, table, row_id)`` — repeated
+queries over the same rows skip both the SQLite roundtrip and the
+``json.loads`` + ``object_from_json`` rebuild.  The cache also remembers
+*absence* (rows that were never summarized), which full-table scans hit
+constantly.  Every write path (:meth:`save_object`, :meth:`delete_object`,
+:meth:`unlink`, :meth:`drop_instance`) invalidates the affected entries.
 """
 
 from __future__ import annotations
 
 import json
-from collections.abc import Iterator
+from collections import OrderedDict
+from collections.abc import Iterator, Sequence
 
 from repro.errors import (
     CatalogError,
@@ -33,18 +40,45 @@ _INSTANCES_TABLE = f"{SYSTEM_PREFIX}instances"
 _LINKS_TABLE = f"{SYSTEM_PREFIX}links"
 _STATE_TABLE = f"{SYSTEM_PREFIX}summary_state"
 
+#: Default bound of the deserialization cache (objects + absence markers).
+DEFAULT_OBJECT_CACHE_SIZE = 8192
+
+#: Sentinel distinguishing "cached as absent" from "not cached".
+_ABSENT = object()
+
 
 class SummaryCatalog:
-    """Persistent catalog of summary instances, links, and state."""
+    """Persistent catalog of summary instances, links, and state.
+
+    Parameters
+    ----------
+    database, registry:
+        The shared storage stack and the summary type registry.
+    object_cache_size:
+        Bound of the deserialization LRU (``0`` disables caching — the
+        benchmarks use this to emulate the uncached per-row path).
+    """
 
     def __init__(
         self,
         database: Database,
         registry: SummaryTypeRegistry | None = None,
+        object_cache_size: int = DEFAULT_OBJECT_CACHE_SIZE,
     ) -> None:
+        if object_cache_size < 0:
+            raise ValueError(
+                f"object_cache_size must be >= 0, got {object_cache_size}"
+            )
         self._db = database
         self.registry = registry or default_registry()
         self._live_instances: dict[str, SummaryInstance] = {}
+        self._object_cache_size = object_cache_size
+        # (instance, table, row_id) -> SummaryObject | _ABSENT, LRU-ordered.
+        self._object_cache: OrderedDict[tuple[str, str, int], object] = (
+            OrderedDict()
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
         connection = database.connection
         with connection:
             connection.execute(
@@ -76,6 +110,71 @@ class SummaryCatalog:
                 )
                 """
             )
+            # The scan path looks state up by (table, row) across all
+            # linked instances; the primary key leads with instance_name,
+            # so without this index those lookups walk the whole table.
+            connection.execute(
+                f"""
+                CREATE INDEX IF NOT EXISTS {_STATE_TABLE}_by_table_row
+                ON {_STATE_TABLE} (table_name, row_id, instance_name)
+                """
+            )
+
+    # -- deserialization cache ------------------------------------------
+
+    def configure_object_cache(self, size: int) -> None:
+        """Resize (``0``: disable and clear) the deserialization cache."""
+        if size < 0:
+            raise ValueError(f"object_cache_size must be >= 0, got {size}")
+        self._object_cache_size = size
+        if size == 0:
+            self._object_cache.clear()
+        else:
+            while len(self._object_cache) > size:
+                self._object_cache.popitem(last=False)
+
+    def object_cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters for monitoring and tests."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._object_cache),
+            "capacity": self._object_cache_size,
+        }
+
+    def _cache_get(self, key: tuple[str, str, int]) -> object:
+        """Cached object, ``_ABSENT``, or None when not cached."""
+        cached = self._object_cache.get(key)
+        if cached is not None:
+            self._object_cache.move_to_end(key)
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        return cached
+
+    def _cache_put(self, key: tuple[str, str, int], value: object) -> None:
+        if self._object_cache_size == 0:
+            return
+        self._object_cache[key] = value
+        self._object_cache.move_to_end(key)
+        while len(self._object_cache) > self._object_cache_size:
+            self._object_cache.popitem(last=False)
+
+    def _cache_invalidate(self, key: tuple[str, str, int]) -> None:
+        self._object_cache.pop(key, None)
+
+    def _cache_invalidate_pair(
+        self, instance_name: str, table_name: str | None
+    ) -> None:
+        """Drop all cached entries of an instance (optionally one table)."""
+        stale = [
+            key
+            for key in self._object_cache
+            if key[0] == instance_name
+            and (table_name is None or key[1] == table_name)
+        ]
+        for key in stale:
+            del self._object_cache[key]
 
     # -- instance definitions -----------------------------------------
 
@@ -128,6 +227,7 @@ class SummaryCatalog:
                 (instance_name,),
             )
         self._live_instances.pop(instance_name, None)
+        self._cache_invalidate_pair(instance_name, None)
 
     def has_instance(self, instance_name: str) -> bool:
         """True when the instance is defined."""
@@ -207,6 +307,7 @@ class SummaryCatalog:
                 """,
                 (instance_name, table_name),
             )
+        self._cache_invalidate_pair(instance_name, table_name)
 
     def is_linked(self, instance_name: str, table_name: str) -> bool:
         """True when the instance is linked to the table."""
@@ -220,15 +321,36 @@ class SummaryCatalog:
         return row is not None
 
     def instances_for_table(self, table_name: str) -> list[SummaryInstance]:
-        """Live instances linked to ``table_name``, name-sorted."""
+        """Live instances linked to ``table_name``, name-sorted.
+
+        One JOIN against the instances table instead of one definition
+        lookup per link — already-live instances skip deserialization.
+        """
         rows = self._db.connection.execute(
             f"""
-            SELECT instance_name FROM {_LINKS_TABLE}
-            WHERE table_name = ? ORDER BY instance_name
+            SELECT l.instance_name, i.type_name, i.config
+            FROM {_LINKS_TABLE} l
+            JOIN {_INSTANCES_TABLE} i ON i.instance_name = l.instance_name
+            WHERE l.table_name = ? ORDER BY l.instance_name
             """,
             (table_name,),
         ).fetchall()
-        return [self.get_instance(row[0]) for row in rows]
+        instances: list[SummaryInstance] = []
+        for instance_name, type_name, config_json in rows:
+            live = self._live_instances.get(instance_name)
+            if live is None:
+                try:
+                    live = self.registry.create_instance(
+                        type_name, instance_name, json.loads(config_json)
+                    )
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise CatalogError(
+                        f"corrupted configuration for instance "
+                        f"{instance_name!r} (type {type_name!r}): {exc}"
+                    ) from exc
+                self._live_instances[instance_name] = live
+            instances.append(live)
+        return instances
 
     def links(self) -> list[tuple[str, str]]:
         """All ``(instance, table)`` links, sorted."""
@@ -262,11 +384,25 @@ class SummaryCatalog:
                 """,
                 (instance_name, table_name, row_id, json.dumps(obj.to_json())),
             )
+        # Drop rather than insert: ``obj`` is a live maintenance object
+        # that keeps mutating; the cache must only hold settled state.
+        self._cache_invalidate((instance_name, table_name, row_id))
 
     def load_object(
         self, instance_name: str, table_name: str, row_id: int
     ) -> SummaryObject | None:
-        """Load one row's summary object, or None when never summarized."""
+        """Load one row's summary object, or None when never summarized.
+
+        Served from the deserialization cache when possible.  Callers
+        must not mutate the returned object in place — take a
+        :meth:`~repro.summaries.base.SummaryObject.for_query` copy (the
+        scan path) or :meth:`~repro.summaries.base.SummaryObject.copy`
+        before mutating.
+        """
+        key = (instance_name, table_name, row_id)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return None if cached is _ABSENT else cached  # type: ignore[return-value]
         row = self._db.connection.execute(
             f"""
             SELECT object FROM {_STATE_TABLE}
@@ -275,8 +411,66 @@ class SummaryCatalog:
             (instance_name, table_name, row_id),
         ).fetchone()
         if row is None:
+            self._cache_put(key, _ABSENT)
             return None
-        return self._deserialize_object(row[0], instance_name, table_name, row_id)
+        obj = self._deserialize_object(row[0], instance_name, table_name, row_id)
+        self._cache_put(key, obj)
+        return obj
+
+    def load_objects_for_table(
+        self,
+        instance_names: Sequence[str],
+        table_name: str,
+        row_ids: Sequence[int],
+    ) -> dict[tuple[str, int], SummaryObject]:
+        """Bulk :meth:`load_object` for a block of rows.
+
+        Returns ``(instance_name, row_id) -> object`` with never-summarized
+        pairs simply absent.  Cache hits (including cached absences) are
+        served from the LRU; the remaining pairs are fetched in **one**
+        SQL query per block (chunked only to respect SQLite's
+        bound-variable limit), then cached.  The same mutation rules as
+        :meth:`load_object` apply.
+        """
+        result: dict[tuple[str, int], SummaryObject] = {}
+        missing: set[tuple[str, int]] = set()
+        for instance_name in instance_names:
+            for row_id in row_ids:
+                cached = self._cache_get((instance_name, table_name, row_id))
+                if cached is None:
+                    missing.add((instance_name, row_id))
+                elif cached is not _ABSENT:
+                    result[(instance_name, row_id)] = cached  # type: ignore[assignment]
+        if not missing:
+            return result
+        fetch_instances = sorted({pair[0] for pair in missing})
+        fetch_rows = sorted({pair[1] for pair in missing})
+        instance_marks = ", ".join("?" for _ in fetch_instances)
+        for chunk_start in range(0, len(fetch_rows), 500):
+            chunk = fetch_rows[chunk_start : chunk_start + 500]
+            row_marks = ", ".join("?" for _ in chunk)
+            rows = self._db.connection.execute(
+                f"""
+                SELECT instance_name, row_id, object FROM {_STATE_TABLE}
+                WHERE table_name = ?
+                  AND instance_name IN ({instance_marks})
+                  AND row_id IN ({row_marks})
+                """,
+                (table_name, *fetch_instances, *chunk),
+            ).fetchall()
+            for instance_name, row_id, payload in rows:
+                pair = (instance_name, row_id)
+                if pair not in missing:
+                    continue  # over-fetched: the pair was already cached
+                missing.discard(pair)
+                obj = self._deserialize_object(
+                    payload, instance_name, table_name, row_id
+                )
+                self._cache_put((instance_name, table_name, row_id), obj)
+                result[pair] = obj
+        for instance_name, row_id in missing:  # never summarized
+            self._cache_put((instance_name, table_name, row_id), _ABSENT)
+        return result
 
     def _deserialize_object(
         self, payload: str, instance_name: str, table_name: str, row_id: int
@@ -302,6 +496,7 @@ class SummaryCatalog:
                 """,
                 (instance_name, table_name, row_id),
             )
+        self._cache_invalidate((instance_name, table_name, row_id))
 
     def iter_objects(
         self, instance_name: str, table_name: str

@@ -12,6 +12,7 @@ strings round-trip unchanged.
 
 from __future__ import annotations
 
+import contextlib
 import sqlite3
 from collections.abc import Iterator, Mapping, Sequence
 from typing import Any
@@ -20,6 +21,36 @@ from repro.errors import StorageError, UnknownTableError
 from repro.storage.schema import SYSTEM_PREFIX, TableSchema
 
 _SCHEMA_TABLE = f"{SYSTEM_PREFIX}schema"
+
+#: Negative values mean KiB of page cache (SQLite convention); 16 MiB.
+_DEFAULT_CACHE_KIB = 16 * 1024
+
+
+class QueryCounter:
+    """Counts SQL statements executed on a connection.
+
+    Installed through :meth:`Database.track_queries`; the benchmarks and
+    the scan-pipeline tests use it to assert roundtrip budgets (e.g. a
+    block-prefetching scan must issue a bounded number of queries, not one
+    per row).
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.statements: list[str] = []
+
+    def _record(self, sql: str) -> None:
+        self.count += 1
+        self.statements.append(sql)
+
+    def by_prefix(self) -> dict[str, int]:
+        """Statement counts keyed by their first keyword (SELECT, ...)."""
+        grouped: dict[str, int] = {}
+        for sql in self.statements:
+            head = sql.lstrip().split(None, 1)
+            key = head[0].upper() if head else ""
+            grouped[key] = grouped.get(key, 0) + 1
+        return grouped
 
 
 class Database:
@@ -36,6 +67,7 @@ class Database:
         self.path = path
         self._connection = sqlite3.connect(path)
         self._connection.execute("PRAGMA foreign_keys = ON")
+        self._apply_tuning()
         self._connection.execute(
             f"""
             CREATE TABLE IF NOT EXISTS {_SCHEMA_TABLE} (
@@ -47,12 +79,51 @@ class Database:
         self._schemas: dict[str, TableSchema] = {}
         self._load_schemas()
 
+    def _apply_tuning(self) -> None:
+        """Throughput pragmas; journal settings only for file-backed DBs.
+
+        WAL lets readers proceed during writes and batches fsyncs;
+        ``synchronous=NORMAL`` is the documented safe pairing with WAL.
+        Both are meaningless (WAL: unsupported) for in-memory databases,
+        which the tests and benchmarks use, so those are skipped there.
+        """
+        self._connection.execute(f"PRAGMA cache_size = -{_DEFAULT_CACHE_KIB}")
+        self._connection.execute("PRAGMA temp_store = MEMORY")
+        if not self.is_in_memory:
+            self._connection.execute("PRAGMA journal_mode = WAL")
+            self._connection.execute("PRAGMA synchronous = NORMAL")
+
+    @property
+    def is_in_memory(self) -> bool:
+        """True when the database lives in RAM (no durable file)."""
+        return (
+            self.path == ":memory:"
+            or self.path == ""
+            or "mode=memory" in self.path
+        )
+
     # -- connection management -----------------------------------------
 
     @property
     def connection(self) -> sqlite3.Connection:
         """The underlying connection, shared with the other stores."""
         return self._connection
+
+    @contextlib.contextmanager
+    def track_queries(self) -> Iterator[QueryCounter]:
+        """Count every SQL statement executed while the context is open.
+
+        Connection-level (``sqlite3`` trace callback), so it sees queries
+        from every store sharing this connection — exactly what the
+        roundtrip-budget assertions need.  Nesting replaces the previous
+        callback, so only the innermost tracker counts.
+        """
+        counter = QueryCounter()
+        self._connection.set_trace_callback(counter._record)
+        try:
+            yield counter
+        finally:
+            self._connection.set_trace_callback(None)
 
     def close(self) -> None:
         """Close the connection; further operations will fail."""

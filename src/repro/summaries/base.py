@@ -21,6 +21,7 @@ annotations arrive.
 from __future__ import annotations
 
 import abc
+import copy as _copylib
 from collections.abc import Mapping, Set
 from dataclasses import dataclass, field
 from typing import Any
@@ -89,8 +90,16 @@ class SummaryObject(abc.ABC):
     #: Summary type name this object belongs to; set by subclasses.
     type_name: str = ""
 
+    #: Opt-in flag for copy-on-write sharing.  Types that set it True must
+    #: call :meth:`_ensure_owned` at the top of every in-place mutator; in
+    #: exchange, :meth:`for_query` becomes an O(1) alias instead of a deep
+    #: copy, so unfiltered scans stop copying every summary.  The built-in
+    #: types all opt in; third-party types keep the safe deep-copy default.
+    copy_on_write: bool = False
+
     def __init__(self, instance_name: str) -> None:
         self.instance_name = instance_name
+        self._shared = False
 
     # -- identity -----------------------------------------------------
 
@@ -132,14 +141,55 @@ class SummaryObject(abc.ABC):
     def zoom_components(self) -> list[ZoomComponent]:
         """Enumerate zoom-addressable components, 1-indexed, in order."""
 
+    # -- copy-on-write ---------------------------------------------------
+
+    def share(self) -> "SummaryObject":
+        """O(1) alias of this object sharing its payload copy-on-write.
+
+        Both the alias and the original are flagged shared; whichever side
+        mutates first replaces its payload with an owned copy (through
+        :meth:`_ensure_owned`), so the other side observes a stable
+        snapshot.  Only meaningful for :attr:`copy_on_write` types — their
+        mutators carry the unshare guard.
+        """
+        clone = _copylib.copy(self)
+        clone._shared = True
+        self._shared = True
+        return clone
+
+    def _ensure_owned(self) -> None:
+        """Unshare before an in-place mutation (no-op when not shared)."""
+        if self._shared:
+            self._materialize()
+            self._shared = False
+
+    def _materialize(self) -> None:
+        """Replace shared payload containers with owned copies.
+
+        The default deep-copies every attribute except identity and the
+        sharing flag; copy-on-write subclasses override it with cheaper
+        container copies.
+        """
+        owned = _copylib.deepcopy(
+            {
+                name: value
+                for name, value in self.__dict__.items()
+                if name not in ("instance_name", "_shared")
+            }
+        )
+        self.__dict__.update(owned)
+
     # -- bookkeeping -----------------------------------------------------
 
     def for_query(self) -> "SummaryObject":
         """Copy stripped of maintenance-only heavy state.
 
-        The default implementation is a plain copy; subclasses with heavy
-        state override it.
+        Copy-on-write types hand out an O(1) shared alias (the scan hot
+        path); others fall back to a plain copy.  Subclasses with heavy
+        state override this to strip it.
         """
+        if self.copy_on_write:
+            return self.share()
         return self.copy()
 
     @abc.abstractmethod

@@ -39,6 +39,7 @@ class ClassifierSummary(SummaryObject):
     """Per-tuple classifier summary: label -> set of annotation ids."""
 
     type_name = TYPE_NAME
+    copy_on_write = True
 
     def __init__(self, instance_name: str, labels: Sequence[str]) -> None:
         super().__init__(instance_name)
@@ -64,6 +65,7 @@ class ClassifierSummary(SummaryObject):
                     f"annotation {annotation_id} already classified as "
                     f"{other_label!r}, cannot also be {label!r}"
                 )
+        self._ensure_owned()
         self._members[label].add(annotation_id)
 
     # -- inspection ----------------------------------------------------
@@ -98,8 +100,12 @@ class ClassifierSummary(SummaryObject):
         return clone
 
     def remove_annotations(self, ids: Set[int]) -> None:
+        self._ensure_owned()
         for members in self._members.values():
             members -= ids
+
+    def _materialize(self) -> None:
+        self._members = {label: set(ids) for label, ids in self._members.items()}
 
     def merge(self, other: SummaryObject) -> "ClassifierSummary":
         if not isinstance(other, ClassifierSummary):

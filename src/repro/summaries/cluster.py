@@ -155,6 +155,7 @@ class ClusterSummary(SummaryObject):
     """Per-tuple cluster summary: an ordered list of groups."""
 
     type_name = TYPE_NAME
+    copy_on_write = True
 
     def __init__(
         self,
@@ -164,6 +165,8 @@ class ClusterSummary(SummaryObject):
         super().__init__(instance_name)
         self.groups: list[ClusterGroup] = []
         self.preview_limit = preview_limit
+        # Cached light (query-stripped) view; invalidated by mutation.
+        self._query_view: "ClusterSummary | None" = None
 
     # -- inspection ----------------------------------------------------
 
@@ -193,9 +196,15 @@ class ClusterSummary(SummaryObject):
         return clone
 
     def remove_annotations(self, ids: Set[int]) -> None:
+        self._ensure_owned()
+        self._query_view = None
         for group in self.groups:
             group.drop_members(ids)
         self.groups = [group for group in self.groups if group.member_ids]
+
+    def _materialize(self) -> None:
+        self.groups = [group.copy() for group in self.groups]
+        self._query_view = None
 
     def merge(self, other: SummaryObject) -> "ClusterSummary":
         """Dedup-aware merge, Figure 2 semantics.
@@ -254,23 +263,29 @@ class ClusterSummary(SummaryObject):
         per-group payload; if a projection later drops all of them, the
         group falls back to its smallest surviving member id (without a
         preview), which zoom-in can still expand.
+
+        The stripped view is built once and cached; repeated queries get
+        an O(1) copy-on-write alias of it until a mutation invalidates it.
         """
-        clone = ClusterSummary(self.instance_name, self.preview_limit)
-        for group in self.groups:
-            ranking = group.ranking[: self.preview_limit]
-            clone.groups.append(
-                ClusterGroup(
-                    member_ids=group.member_ids,
-                    ranking=ranking,
-                    previews={
-                        annotation_id: group.previews[annotation_id]
-                        for annotation_id in ranking
-                        if annotation_id in group.previews
-                    },
-                    vectors=None,
+        view = self._query_view
+        if view is None:
+            view = ClusterSummary(self.instance_name, self.preview_limit)
+            for group in self.groups:
+                ranking = group.ranking[: self.preview_limit]
+                view.groups.append(
+                    ClusterGroup(
+                        member_ids=group.member_ids,
+                        ranking=ranking,
+                        previews={
+                            annotation_id: group.previews[annotation_id]
+                            for annotation_id in ranking
+                            if annotation_id in group.previews
+                        },
+                        vectors=None,
+                    )
                 )
-            )
-        return clone
+            self._query_view = view
+        return view.share()
 
     def size_estimate(self) -> int:
         total = 16
@@ -415,6 +430,8 @@ class ClusterInstance(SummaryInstance):
         annotation_id = annotation.annotation_id
         if annotation_id in obj.annotation_ids():
             return  # idempotent replay
+        obj._ensure_owned()
+        obj._query_view = None  # the groups are about to change
         best_group: ClusterGroup | None = None
         best_similarity = 0.0
         for group in obj.groups:

@@ -131,6 +131,7 @@ class SnippetSummary(SummaryObject):
     """Per-tuple snippet summary: one entry per document annotation."""
 
     type_name = TYPE_NAME
+    copy_on_write = True
 
     def __init__(self, instance_name: str) -> None:
         super().__init__(instance_name)
@@ -142,6 +143,7 @@ class SnippetSummary(SummaryObject):
         """Append ``entry`` unless its annotation is already summarized."""
         if any(e.annotation_id == entry.annotation_id for e in self.entries):
             return
+        self._ensure_owned()
         self.entries.append(entry)
 
     # -- inspection ----------------------------------------------------
@@ -161,7 +163,12 @@ class SnippetSummary(SummaryObject):
         return clone
 
     def remove_annotations(self, ids: Set[int]) -> None:
+        # Rebinding to a fresh list is inherently copy-on-write safe.
         self.entries = [e for e in self.entries if e.annotation_id not in ids]
+        self._shared = False
+
+    def _materialize(self) -> None:
+        self.entries = list(self.entries)
 
     def merge(self, other: SummaryObject) -> "SnippetSummary":
         if not isinstance(other, SnippetSummary):

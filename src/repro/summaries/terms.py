@@ -37,6 +37,7 @@ class TermsSummary(SummaryObject):
     """Per-tuple term summary: term -> annotation ids mentioning it."""
 
     type_name = TYPE_NAME
+    copy_on_write = True
 
     def __init__(self, instance_name: str, top_k: int = DEFAULT_TOP_K) -> None:
         super().__init__(instance_name)
@@ -47,6 +48,7 @@ class TermsSummary(SummaryObject):
 
     def add(self, annotation_id: int, terms: Set[str]) -> None:
         """Record that ``annotation_id`` mentions each of ``terms``."""
+        self._ensure_owned()
         for term in terms:
             self._members.setdefault(term, set()).add(annotation_id)
 
@@ -82,10 +84,14 @@ class TermsSummary(SummaryObject):
         return clone
 
     def remove_annotations(self, ids: Set[int]) -> None:
+        self._ensure_owned()
         for term in list(self._members):
             self._members[term] -= ids
             if not self._members[term]:
                 del self._members[term]
+
+    def _materialize(self) -> None:
+        self._members = {term: set(ids) for term, ids in self._members.items()}
 
     def merge(self, other: SummaryObject) -> "TermsSummary":
         if not isinstance(other, TermsSummary):

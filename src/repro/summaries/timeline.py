@@ -45,6 +45,7 @@ class TimelineSummary(SummaryObject):
     """Per-tuple activity histogram: bucket index -> annotation ids."""
 
     type_name = TYPE_NAME
+    copy_on_write = True
 
     def __init__(
         self, instance_name: str, bucket_seconds: int = DEFAULT_BUCKET_SECONDS
@@ -57,6 +58,7 @@ class TimelineSummary(SummaryObject):
 
     def add(self, annotation_id: int, bucket: int) -> None:
         """Record ``annotation_id`` in time ``bucket``."""
+        self._ensure_owned()
         self._buckets.setdefault(bucket, set()).add(annotation_id)
 
     # -- inspection ----------------------------------------------------
@@ -90,10 +92,14 @@ class TimelineSummary(SummaryObject):
         return clone
 
     def remove_annotations(self, ids: Set[int]) -> None:
+        self._ensure_owned()
         for bucket in list(self._buckets):
             self._buckets[bucket] -= ids
             if not self._buckets[bucket]:
                 del self._buckets[bucket]
+
+    def _materialize(self) -> None:
+        self._buckets = {bucket: set(ids) for bucket, ids in self._buckets.items()}
 
     def merge(self, other: SummaryObject) -> "TimelineSummary":
         if not isinstance(other, TimelineSummary):

@@ -1,0 +1,113 @@
+"""Tests for SummaryManager's block read interface and cache bounds."""
+
+import pytest
+
+from repro.maintenance.incremental import SummaryManager
+from repro.model.cell import CellRef
+from repro.storage.annotations import AnnotationStore
+from repro.storage.catalog import SummaryCatalog
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def stack():
+    db = Database()
+    db.create_table("birds", ["name", "weight"])
+    store = AnnotationStore(db)
+    catalog = SummaryCatalog(db)
+    yield db, store, catalog
+    db.close()
+
+
+def make_manager(stack, **kwargs):
+    db, store, catalog = stack
+    return SummaryManager(db, store, catalog, **kwargs)
+
+
+def summarize_rows(stack, manager, rows=4):
+    """Link a classifier and annotate ``rows`` base rows."""
+    db, store, catalog = stack
+    catalog.define_instance("Classifier", "C1", {"labels": ["a", "b"]})
+    instance = catalog.get_instance("C1")
+    instance.train([("alpha apple", "a"), ("beta berry", "b")])
+    catalog.link("C1", "birds")
+    for i in range(rows):
+        row = db.insert("birds", (f"b{i}", float(i)))
+        annotation = store.add(
+            f"alpha apple note {i}", [CellRef("birds", row, "name")]
+        )
+        manager.on_annotation_added(
+            annotation, [CellRef("birds", row, "name")]
+        )
+    return instance
+
+
+class TestObjectsForRows:
+    def test_matches_per_row_current_object(self, stack):
+        manager = make_manager(stack)
+        summarize_rows(stack, manager)
+        bulk = manager.objects_for_rows(["C1"], "birds", [1, 2, 3, 4])
+        for row_id in (1, 2, 3, 4):
+            single = manager.current_object("C1", "birds", row_id)
+            assert bulk[("C1", row_id)].to_json() == single.to_json()
+
+    def test_write_cache_wins_over_catalog(self, stack):
+        # Deferred-write mode: the catalog on disk is stale; the block
+        # read must still surface the manager's in-memory object.
+        manager = make_manager(stack, write_through=False)
+        summarize_rows(stack, manager, rows=2)
+        _db, store, _catalog = stack
+        extra = store.add("alpha apple extra", [CellRef("birds", 1, "name")])
+        manager.on_annotation_added(extra, [CellRef("birds", 1, "name")])
+        bulk = manager.objects_for_rows(["C1"], "birds", [1])
+        assert extra.annotation_id in bulk[("C1", 1)].annotation_ids()
+
+    def test_unsummarized_rows_absent(self, stack):
+        db, _store, _catalog = stack
+        manager = make_manager(stack)
+        summarize_rows(stack, manager, rows=1)
+        bare = db.insert("birds", ("bare", 0.0))
+        bulk = manager.objects_for_rows(["C1"], "birds", [1, bare])
+        assert ("C1", bare) not in bulk
+        assert ("C1", 1) in bulk
+
+
+class TestAttachmentsCache:
+    def test_bulk_matches_per_row(self, stack):
+        manager = make_manager(stack)
+        summarize_rows(stack, manager, rows=3)
+        bulk = manager.attachments_for_rows("birds", [1, 2, 3, 9])
+        for row_id in (1, 2, 3, 9):
+            assert bulk[row_id] == manager.attachments_for_row("birds", row_id)
+
+    def test_eviction_uses_own_bound_not_object_cache_size(self, stack):
+        # Regression: eviction previously reused _object_cache_size, so a
+        # small object cache silently shrank the attachments cache too.
+        manager = make_manager(
+            stack, object_cache_size=1, attachments_cache_size=64
+        )
+        summarize_rows(stack, manager, rows=5)
+        manager.attachments_for_rows("birds", [1, 2, 3, 4, 5])
+        assert len(manager._attachments) == 5
+
+    def test_attachments_bound_enforced(self, stack):
+        manager = make_manager(
+            stack, object_cache_size=64, attachments_cache_size=2
+        )
+        summarize_rows(stack, manager, rows=5)
+        manager.attachments_for_rows("birds", [1, 2, 3, 4, 5])
+        assert len(manager._attachments) == 2
+
+    def test_invalid_bound_rejected(self, stack):
+        with pytest.raises(ValueError):
+            make_manager(stack, attachments_cache_size=0)
+
+    def test_write_path_invalidates_bulk_cached_rows(self, stack):
+        manager = make_manager(stack)
+        summarize_rows(stack, manager, rows=2)
+        manager.attachments_for_rows("birds", [1, 2])
+        _db, store, _catalog = stack
+        extra = store.add("beta berry fresh", [CellRef("birds", 1, "weight")])
+        manager.on_annotation_added(extra, [CellRef("birds", 1, "weight")])
+        fresh = manager.attachments_for_rows("birds", [1])
+        assert extra.annotation_id in fresh[1]

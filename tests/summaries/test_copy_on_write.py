@@ -1,0 +1,129 @@
+"""Copy-on-write semantics of summary objects.
+
+``for_query()`` hands query plans a cheap alias of the stored object for
+the opted-in built-in types; the first mutation on either side must
+un-share so neither observes the other's changes.
+"""
+
+import pytest
+
+from repro.summaries.base import SummaryObject
+from repro.summaries.classifier import ClassifierSummary
+from repro.summaries.snippet import SnippetEntry, SnippetSummary
+from repro.summaries.terms import TermsSummary
+from repro.summaries.timeline import TimelineSummary
+
+
+def classifier():
+    obj = ClassifierSummary("C", ["a", "b"])
+    obj.add(1, "a")
+    obj.add(2, "b")
+    return obj
+
+
+class TestShareSemantics:
+    def test_for_query_is_cheap_alias_for_cow_types(self):
+        obj = classifier()
+        view = obj.for_query()
+        assert view is not obj
+        assert view._members is obj._members  # shared payload
+
+    def test_mutating_view_leaves_original_intact(self):
+        obj = classifier()
+        view = obj.for_query()
+        view.remove_annotations({1})
+        assert obj.annotation_ids() == frozenset({1, 2})
+        assert view.annotation_ids() == frozenset({2})
+
+    def test_mutating_original_leaves_view_intact(self):
+        obj = classifier()
+        view = obj.for_query()
+        obj.add(3, "a")
+        assert 3 not in view.annotation_ids()
+        assert 3 in obj.annotation_ids()
+
+    def test_two_views_are_independent(self):
+        obj = classifier()
+        first = obj.for_query()
+        second = obj.for_query()
+        first.remove_annotations({1})
+        assert second.annotation_ids() == frozenset({1, 2})
+
+    def test_non_cow_subclass_still_deep_copies(self):
+        class Custom(ClassifierSummary):
+            copy_on_write = False
+
+        obj = Custom("C", ["a"])
+        obj.add(1, "a")
+        view = obj.for_query()
+        assert view._members is not obj._members
+
+    def test_default_base_class_is_not_cow(self):
+        assert SummaryObject.copy_on_write is False
+
+
+class TestPerTypeIsolation:
+    def test_snippet(self):
+        obj = SnippetSummary("S")
+        obj.add_entry(SnippetEntry(1, "one", ("first.",)))
+        view = obj.for_query()
+        view.remove_annotations({1})
+        obj.add_entry(SnippetEntry(2, "two", ("second.",)))
+        assert obj.annotation_ids() == frozenset({1, 2})
+        assert view.annotation_ids() == frozenset()
+
+    def test_timeline(self):
+        obj = TimelineSummary("T", bucket_seconds=3600)
+        obj.add(1, 10)
+        view = obj.for_query()
+        view.remove_annotations({1})
+        assert obj.annotation_ids() == frozenset({1})
+        assert view.annotation_ids() == frozenset()
+
+    def test_terms(self):
+        obj = TermsSummary("W")
+        obj.add(1, {"alpha", "beta"})
+        view = obj.for_query()
+        view.remove_annotations({1})
+        assert obj.term_count("alpha") == 1
+        assert view.term_count("alpha") == 0
+
+    def test_cluster_view_mutation_isolated(self):
+        from repro.summaries.cluster import ClusterInstance
+
+        instance = ClusterInstance("K", threshold=0.3)
+        obj = instance.new_object()
+        from repro.model.annotation import Annotation, AnnotationKind
+
+        for annotation_id, text in ((1, "alpha apple pie"),
+                                    (2, "alpha apple tart")):
+            annotation = Annotation(
+                annotation_id=annotation_id, text=text, author="t",
+                kind=AnnotationKind.COMMENT, created_at=0.0,
+            )
+            instance.add_to(obj, annotation, instance.analyze(annotation))
+        view = obj.for_query()
+        view.remove_annotations({1})
+        assert 1 in obj.annotation_ids()
+        assert 1 not in view.annotation_ids()
+
+    def test_cluster_query_view_invalidated_by_mutation(self):
+        from repro.summaries.cluster import ClusterInstance
+        from repro.model.annotation import Annotation, AnnotationKind
+
+        instance = ClusterInstance("K", threshold=0.3)
+        obj = instance.new_object()
+        first = Annotation(
+            annotation_id=1, text="alpha apple pie", author="t",
+            kind=AnnotationKind.COMMENT, created_at=0.0,
+        )
+        instance.add_to(obj, first, instance.analyze(first))
+        view_before = obj.for_query()
+        second = Annotation(
+            annotation_id=2, text="unrelated zebra crossing", author="t",
+            kind=AnnotationKind.COMMENT, created_at=0.0,
+        )
+        instance.add_to(obj, second, instance.analyze(second))
+        view_after = obj.for_query()
+        assert 2 in view_after.annotation_ids()
+        assert 2 not in view_before.annotation_ids()
