@@ -1,0 +1,104 @@
+"""Perf-regression gate over the ``BENCH_*.json`` trajectory reports.
+
+Compares a freshly measured candidate report (typically a CI ``--quick``
+smoke run) against the committed baseline for the same benchmark, cell
+by cell: every (workload, ratio, mode) present in **both** reports must
+not be slower than ``threshold`` times the baseline median.
+
+The quick smoke workloads are smaller than the committed full-run
+workloads, so candidate medians normally sit well *below* the baseline;
+the gate is a backstop that catches order-of-magnitude regressions (a
+pipeline accidentally degenerating to per-row / per-annotation work)
+without being noise-sensitive.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_scan.json --candidate bench-smoke.json \
+        [--threshold 2.0]
+
+Exits 1 when any common cell regresses past the threshold, or when the
+two reports share no cells at all (a misconfigured gate must not pass
+silently).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def iter_cells(report: dict):
+    """Yield ``(workload, ratio, mode, median_s)`` from a report."""
+    for workload, series in report.get("results", {}).items():
+        for ratio, cell in series.items():
+            for mode, value in cell.items():
+                if isinstance(value, dict) and "median_s" in value:
+                    yield workload, ratio, mode, value["median_s"]
+
+
+def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
+    """Failure messages for every common cell slower than allowed."""
+    if baseline.get("benchmark") != candidate.get("benchmark"):
+        return [
+            "benchmark mismatch: baseline is "
+            f"{baseline.get('benchmark')!r}, candidate is "
+            f"{candidate.get('benchmark')!r}"
+        ]
+    base = {
+        (workload, ratio, mode): median
+        for workload, ratio, mode, median in iter_cells(baseline)
+    }
+    failures: list[str] = []
+    common = 0
+    for workload, ratio, mode, median in iter_cells(candidate):
+        allowed = base.get((workload, ratio, mode))
+        if allowed is None:
+            continue
+        common += 1
+        verdict = "ok"
+        if median > threshold * allowed:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{workload} {ratio} {mode}: candidate {median:.6f}s > "
+                f"{threshold:.1f}x baseline {allowed:.6f}s"
+            )
+        print(
+            f"  {workload:9s} {ratio:>5s} {mode:8s} "
+            f"baseline {allowed * 1000:9.2f} ms  "
+            f"candidate {median * 1000:9.2f} ms  {verdict}"
+        )
+    if not common:
+        failures.append(
+            "the reports share no (workload, ratio, mode) cells — "
+            "wrong baseline/candidate pairing?"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="committed BENCH_*.json trajectory report")
+    parser.add_argument("--candidate", type=pathlib.Path, required=True,
+                        help="freshly measured report to check")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="max allowed candidate/baseline median ratio "
+                        "(default 2.0)")
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be > 0")
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    print(f"comparing {args.candidate} against {args.baseline} "
+          f"(threshold {args.threshold:.1f}x)")
+    failures = compare(baseline, candidate, args.threshold)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,21 +1,31 @@
-"""Perf-trajectory harness for the scan pipeline.
+"""Perf-trajectory harness for the scan and ingest pipelines.
 
-Times the three scan-shaped workloads the paper's evaluation leans on —
-full-table scan, SPJ propagation, and group-by aggregation — at the
-paper's annotation ratios, in both pipeline configurations:
+``--bench scan`` (the default) times the three scan-shaped workloads the
+paper's evaluation leans on — full-table scan, SPJ propagation, and
+group-by aggregation — at the paper's annotation ratios, in both
+pipeline configurations:
 
 * ``before`` — per-row loading (``scan_block_size=1``, deserialization
   cache disabled): the pipeline prior to the block-prefetch rework.
 * ``after`` — the current defaults (block prefetch + LRU cache).
 
-Each (workload, ratio, mode) cell reports the median of five runs plus
-the SQLite statement count of a cold run, and the result lands in
-``BENCH_scan.json`` at the repository root so successive commits leave a
-comparable perf trajectory (the ``BENCH_*.json`` convention).
+``--bench ingest`` times bulk annotation ingestion at the same ratios in
+the two write-path configurations (see ``bench_ingest.py``):
+
+* ``single`` — one ``add_annotation`` call per annotation,
+* ``batched`` — the whole load through one ``add_annotations`` call.
+
+Each cell reports the median of five runs plus the SQLite statement
+count of a cold run, and the result lands in ``BENCH_scan.json`` /
+``BENCH_ingest.json`` at the repository root so successive commits leave
+a comparable perf trajectory (the ``BENCH_*.json`` convention).  The
+ingest report also records annotations/second, and the run fails if the
+batched path does not cut statements by at least 3x at the top ratio.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--output PATH]
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        [--bench {scan,ingest}] [--quick] [--output PATH]
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import sys
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.engine.session import InsightNotes  # noqa: E402
@@ -94,7 +105,7 @@ def cold_statement_count(session, sql: str) -> int:
     return counter.count
 
 
-def run(quick: bool, repeats: int) -> dict:
+def run_scan(quick: bool, repeats: int) -> dict:
     ratios = QUICK_RATIOS if quick else FULL_RATIOS
     results: dict = {}
     for ratio in ratios:
@@ -126,8 +137,97 @@ def run(quick: bool, repeats: int) -> dict:
     return results
 
 
+def run_ingest(quick: bool, repeats: int) -> dict:
+    """Median-of-``repeats`` ingest timings, single vs batched."""
+    from benchmarks.bench_ingest import measure_ingest
+
+    ratios = QUICK_RATIOS if quick else FULL_RATIOS
+    num_birds = 4 if quick else 8
+    results: dict = {"ingest": {}}
+    for ratio in ratios:
+        cell: dict = {}
+        for mode in ("single", "batched"):
+            runs = [
+                measure_ingest(num_birds, ratio, mode) for _ in range(repeats)
+            ]
+            median_s = statistics.median(r["seconds"] for r in runs)
+            annotations = runs[0]["annotations"]
+            cell[mode] = {
+                "median_s": round(median_s, 6),
+                "statements": runs[0]["statements"],
+                "annotations": annotations,
+                "annotations_per_s": round(annotations / max(median_s, 1e-9)),
+            }
+        single, batched = cell["single"], cell["batched"]
+        cell["speedup"] = round(
+            single["median_s"] / max(batched["median_s"], 1e-9), 3
+        )
+        cell["statement_ratio"] = round(
+            single["statements"] / max(batched["statements"], 1), 2
+        )
+        results["ingest"][f"{ratio}x"] = cell
+    return results
+
+
+def check_ingest_gate(results: dict, quick: bool) -> list[str]:
+    """The ingest acceptance gate: returns failure messages (empty = pass).
+
+    At the top measured ratio the batched path must issue at least 3x
+    fewer SQLite statements and, in full mode, win on wall-clock too
+    (in --quick mode the workload is too small for stable timings, so a
+    wall-clock loss only warns).
+    """
+    failures: list[str] = []
+    series = results["ingest"]
+    top = max(series, key=lambda key: int(key.rstrip("x")))
+    cell = series[top]
+    if cell["statement_ratio"] < 3.0:
+        failures.append(
+            f"ingest at {top}: statement_ratio {cell['statement_ratio']:.2f} "
+            "< 3.0 — the batched path must cut statements by at least 3x"
+        )
+    if cell["speedup"] <= 1.0:
+        message = (
+            f"ingest at {top}: speedup {cell['speedup']:.2f}x — the batched "
+            "path did not win on wall-clock"
+        )
+        if quick:
+            print(f"warning: {message} (tolerated in --quick mode)")
+        else:
+            failures.append(message)
+    return failures
+
+
+BENCHES = {
+    "scan": {
+        "run": run_scan,
+        "benchmark": "scan_pipeline",
+        "output": "BENCH_scan.json",
+        "modes": {
+            "before": "scan_block_size=1, deserialization cache off",
+            "after": "block prefetch (256) + LRU deserialization cache",
+        },
+        "pair": ("before", "after"),
+    },
+    "ingest": {
+        "run": run_ingest,
+        "benchmark": "ingest_pipeline",
+        "output": "BENCH_ingest.json",
+        "modes": {
+            "single": "one add_annotation call per annotation",
+            "batched": "whole load through one add_annotations call",
+        },
+        "pair": ("single", "batched"),
+    },
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", choices=sorted(BENCHES), default="scan",
+        help="which pipeline to measure (default: scan)",
+    )
     parser.add_argument(
         "--quick", action="store_true",
         help="small workload, 30x only (CI smoke run)",
@@ -137,43 +237,55 @@ def main(argv: list[str] | None = None) -> int:
         help=f"timed runs per cell (median reported; default {REPEATS})",
     )
     parser.add_argument(
-        "--output", type=pathlib.Path,
-        default=REPO_ROOT / "BENCH_scan.json",
-        help="where to write the JSON report (default: repo root)",
+        "--output", type=pathlib.Path, default=None,
+        help="where to write the JSON report "
+        "(default: BENCH_<bench>.json at the repo root)",
     )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
-    if not args.output.parent.is_dir():
-        parser.error(f"--output directory does not exist: {args.output.parent}")
+    bench = BENCHES[args.bench]
+    output = args.output or REPO_ROOT / bench["output"]
+    if not output.parent.is_dir():
+        parser.error(f"--output directory does not exist: {output.parent}")
 
-    results = run(quick=args.quick, repeats=args.repeats)
+    results = bench["run"](quick=args.quick, repeats=args.repeats)
     report = {
-        "benchmark": "scan_pipeline",
+        "benchmark": bench["benchmark"],
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "quick": args.quick,
         "repeats": args.repeats,
-        "modes": {
-            "before": "scan_block_size=1, deserialization cache off",
-            "after": "block prefetch (256) + LRU deserialization cache",
-        },
+        "modes": bench["modes"],
         "results": results,
     }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    output.write_text(json.dumps(report, indent=2) + "\n")
 
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
+    first, second = bench["pair"]
     for name, series in results.items():
         for ratio_key, cell in series.items():
+            extra = (
+                f"  ann/s {cell[first]['annotations_per_s']:6d} -> "
+                f"{cell[second]['annotations_per_s']:6d}"
+                if "annotations_per_s" in cell[first]
+                else ""
+            )
             print(
                 f"  {name:9s} {ratio_key:>5s}  "
-                f"before {cell['before']['median_s'] * 1000:8.2f} ms "
-                f"({cell['before']['statements']:5d} stmts)  "
-                f"after {cell['after']['median_s'] * 1000:8.2f} ms "
-                f"({cell['after']['statements']:5d} stmts)  "
+                f"{first} {cell[first]['median_s'] * 1000:8.2f} ms "
+                f"({cell[first]['statements']:6d} stmts)  "
+                f"{second} {cell[second]['median_s'] * 1000:8.2f} ms "
+                f"({cell[second]['statements']:6d} stmts)  "
                 f"speedup {cell['speedup']:.2f}x, "
-                f"stmts {cell['statement_ratio']:.1f}x fewer"
+                f"stmts {cell['statement_ratio']:.1f}x fewer{extra}"
             )
+    if args.bench == "ingest":
+        failures = check_ingest_gate(results, quick=args.quick)
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if failures:
+            return 1
     return 0
 
 

@@ -40,7 +40,7 @@ from repro.errors import AnnotationError
 from repro.model.annotation import Annotation, AnnotationKind
 from repro.model.cell import CellRef
 from repro.maintenance.incremental import SummaryManager
-from repro.storage.annotations import AnnotationStore
+from repro.storage.annotations import AnnotationDraft, AnnotationStore
 from repro.storage.catalog import DEFAULT_OBJECT_CACHE_SIZE, SummaryCatalog
 from repro.storage.database import Database
 from repro.summaries.base import SummaryInstance
@@ -174,6 +174,45 @@ class InsightNotes:
 
     # -- annotations -----------------------------------------------------
 
+    #: Keys an :meth:`add_annotations` spec may carry — exactly the
+    #: keyword parameters of :meth:`add_annotation`.
+    _ANNOTATION_SPEC_KEYS = frozenset(
+        {
+            "text",
+            "table",
+            "row_id",
+            "columns",
+            "cells",
+            "author",
+            "document",
+            "title",
+            "created_at",
+        }
+    )
+
+    def _resolve_annotation_cells(
+        self,
+        table: str | None,
+        row_id: int | None,
+        columns: Sequence[str] | None,
+        cells: Sequence[CellRef] | None,
+    ) -> list[CellRef]:
+        """Turn one annotation target spec into an explicit cell list."""
+        if cells is None:
+            if table is None or row_id is None:
+                raise AnnotationError(
+                    "add_annotation needs either cells or table + row_id"
+                )
+            target_columns = (
+                tuple(columns) if columns is not None else self.db.columns(table)
+            )
+            return [CellRef(table, row_id, column) for column in target_columns]
+        if table is not None or row_id is not None or columns is not None:
+            raise AnnotationError(
+                "pass either cells or table/row_id/columns, not both"
+            )
+        return list(cells)
+
     def add_annotation(
         self,
         text: str,
@@ -190,32 +229,84 @@ class InsightNotes:
 
         Target either a row (``table`` + ``row_id``, optionally narrowed
         to ``columns``; omitted columns mean the whole row) or an explicit
-        ``cells`` list spanning arbitrary rows and tables.
+        ``cells`` list spanning arbitrary rows and tables.  A batch of
+        one through the bulk ingest path — callers with many annotations
+        in hand should pass them all to :meth:`add_annotations` instead.
         """
-        if cells is None:
-            if table is None or row_id is None:
+        return self.add_annotations(
+            [
+                {
+                    "text": text,
+                    "table": table,
+                    "row_id": row_id,
+                    "columns": columns,
+                    "cells": cells,
+                    "author": author,
+                    "document": document,
+                    "title": title,
+                    "created_at": created_at,
+                }
+            ]
+        )[0]
+
+    def add_annotations(
+        self, specs: Sequence[Mapping[str, Any]]
+    ) -> list[Annotation]:
+        """Attach a batch of annotations in one bulk ingest pass.
+
+        Each spec is a mapping of :meth:`add_annotation` keyword
+        arguments (``text`` is required; targeting rules are identical).
+        The whole batch is validated up front, stored with two
+        ``executemany`` inserts in a single transaction, and folded into
+        the affected summaries through
+        :meth:`~repro.maintenance.incremental.SummaryManager.add_annotations`
+        — instances resolved once per table, summary objects bulk-loaded,
+        each annotation analyzed at most once per instance, and one
+        bulk write-back.  The resulting summary state is identical to
+        adding the annotations one by one in spec order.
+
+        Returns the stored annotations, in spec order.  Raises
+        :class:`~repro.errors.AnnotationError` before anything is stored
+        if any spec is malformed.
+        """
+        drafts: list[AnnotationDraft] = []
+        cell_lists: list[list[CellRef]] = []
+        for spec in specs:
+            unknown = set(spec) - self._ANNOTATION_SPEC_KEYS
+            if unknown:
                 raise AnnotationError(
-                    "add_annotation needs either cells or table + row_id"
+                    f"unknown annotation spec keys: {sorted(unknown)}"
                 )
-            target_columns = (
-                tuple(columns) if columns is not None else self.db.columns(table)
+            text = spec.get("text")
+            if not isinstance(text, str):
+                raise AnnotationError("annotation spec needs a text string")
+            resolved = self._resolve_annotation_cells(
+                spec.get("table"),
+                spec.get("row_id"),
+                spec.get("columns"),
+                spec.get("cells"),
             )
-            cells = [CellRef(table, row_id, column) for column in target_columns]
-        elif table is not None or row_id is not None or columns is not None:
-            raise AnnotationError(
-                "pass either cells or table/row_id/columns, not both"
+            kind = (
+                AnnotationKind.DOCUMENT
+                if spec.get("document", False)
+                else AnnotationKind.COMMENT
             )
-        kind = AnnotationKind.DOCUMENT if document else AnnotationKind.COMMENT
-        annotation = self.annotations.add(
-            text,
-            cells,
-            author=author,
-            kind=kind,
-            title=title,
-            created_at=created_at,
-        )
-        self.manager.on_annotation_added(annotation, cells)
-        return annotation
+            drafts.append(
+                AnnotationDraft(
+                    text=text,
+                    cells=tuple(resolved),
+                    author=spec.get("author", "anonymous"),
+                    kind=kind,
+                    title=spec.get("title", ""),
+                    created_at=spec.get("created_at"),
+                )
+            )
+            cell_lists.append(resolved)
+        if not drafts:
+            return []
+        stored = self.annotations.add_many(drafts)
+        self.manager.add_annotations(list(zip(stored, cell_lists)))
+        return stored
 
     def delete_annotation(self, annotation_id: int) -> None:
         """Remove an annotation, updating all affected summaries."""

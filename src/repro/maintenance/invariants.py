@@ -16,6 +16,7 @@ tuples.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 from typing import Any
 
@@ -77,6 +78,36 @@ class ContributionCache:
                 del self._memo[stale_key]
         self._memo[key] = contribution
         return contribution
+
+    def analyze_many(
+        self, instance: SummaryInstance, annotations: Iterable[Annotation]
+    ) -> dict[int, Any]:
+        """Batch contributions, computed at most once per annotation.
+
+        The bulk ingestion path's view of the cache: for summarize-once
+        instances the global memo applies as usual, so an annotation
+        attached to many tuples — within this batch or across batches —
+        is analyzed exactly once (the AnnotationInvariant guarantee).
+        Other instances bypass the memo but are still analyzed only once
+        *per batch*: ``analyze`` is a function of the annotation alone
+        (it is ``add_to`` that may depend on the tuple's object state),
+        so the per-application recompute of the sequential path is pure
+        waste the batch can skip without changing any result.
+        """
+        contributions: dict[int, Any] = {}
+        if instance.properties.summarize_once:
+            for annotation in annotations:
+                if annotation.annotation_id not in contributions:
+                    contributions[annotation.annotation_id] = self.analyze(
+                        instance, annotation
+                    )
+            return contributions
+        for annotation in annotations:
+            if annotation.annotation_id in contributions:
+                continue
+            self.stats.bypasses += 1
+            contributions[annotation.annotation_id] = instance.analyze(annotation)
+        return contributions
 
     def invalidate(self, annotation_id: int) -> None:
         """Drop all memo entries for one annotation (after deletion)."""

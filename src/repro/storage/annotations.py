@@ -9,8 +9,10 @@ semantics and deletion) and by cell (for summarization and zoom-in).
 from __future__ import annotations
 
 import itertools
+import sqlite3
 import time
 from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
 
 from repro.errors import AnnotationError, UnknownAnnotationError
 from repro.model.annotation import Annotation, AnnotationKind
@@ -20,6 +22,27 @@ from repro.storage.schema import SYSTEM_PREFIX
 
 _ANNOTATIONS_TABLE = f"{SYSTEM_PREFIX}annotations"
 _ATTACHMENTS_TABLE = f"{SYSTEM_PREFIX}attachments"
+
+
+@dataclass(frozen=True)
+class AnnotationDraft:
+    """One not-yet-stored annotation, as the bulk insert path takes it.
+
+    A plain value object mirroring :meth:`AnnotationStore.add`'s
+    parameters, so a whole batch can be validated up front and written
+    with two ``executemany`` calls in a single transaction.
+    """
+
+    text: str
+    cells: tuple[CellRef, ...]
+    author: str = "anonymous"
+    kind: AnnotationKind = AnnotationKind.COMMENT
+    title: str = ""
+    created_at: float | None = None
+
+    def __post_init__(self) -> None:
+        # Accept any sequence of cells; store a tuple.
+        object.__setattr__(self, "cells", tuple(self.cells))
 
 
 class AnnotationStore:
@@ -128,6 +151,104 @@ class AnnotationStore:
             kind=kind,
             title=title,
         )
+
+    def add_many(self, drafts: Sequence[AnnotationDraft]) -> list[Annotation]:
+        """Bulk :meth:`add`: the whole batch lands in one transaction.
+
+        Ids are assigned contiguously in draft order from the table's
+        AUTOINCREMENT sequence, so a batch produces exactly the ids a
+        loop of single adds would.  The batch is validated up front and
+        written with one ``executemany`` per table — two statements'
+        worth of Python/SQLite boundary crossings instead of two per
+        annotation.  All-or-nothing: a failure rolls the whole batch
+        back.
+        """
+        if not drafts:
+            return []
+        for draft in drafts:
+            if not draft.cells:
+                raise AnnotationError(
+                    "an annotation must attach to at least one cell"
+                )
+            for cell in draft.cells:
+                schema = self._db.schema(cell.table)
+                if not schema.has_column(cell.column):
+                    raise AnnotationError(
+                        f"cannot attach to unknown column {cell.table}.{cell.column}"
+                    )
+        now = time.time()
+        connection = self._db.connection
+        annotations: list[Annotation] = []
+        annotation_rows: list[tuple[int, str, str, float, str, str]] = []
+        attachment_rows: list[tuple[int, str, int, str]] = []
+        with connection:
+            next_id = self._next_annotation_id()
+            for offset, draft in enumerate(drafts):
+                annotation_id = next_id + offset
+                timestamp = now if draft.created_at is None else draft.created_at
+                annotation_rows.append(
+                    (
+                        annotation_id,
+                        draft.text,
+                        draft.author,
+                        timestamp,
+                        draft.kind.value,
+                        draft.title,
+                    )
+                )
+                attachment_rows.extend(
+                    (annotation_id, cell.table, cell.row_id, cell.column)
+                    for cell in draft.cells
+                )
+                annotations.append(
+                    Annotation(
+                        annotation_id=annotation_id,
+                        text=draft.text,
+                        author=draft.author,
+                        created_at=timestamp,
+                        kind=draft.kind,
+                        title=draft.title,
+                    )
+                )
+            connection.executemany(
+                f"""
+                INSERT INTO {_ANNOTATIONS_TABLE}
+                    (annotation_id, body, author, created_at, kind, title)
+                VALUES (?, ?, ?, ?, ?, ?)
+                """,
+                annotation_rows,
+            )
+            connection.executemany(
+                f"""
+                INSERT OR IGNORE INTO {_ATTACHMENTS_TABLE}
+                    (annotation_id, table_name, row_id, column_name)
+                VALUES (?, ?, ?, ?)
+                """,
+                attachment_rows,
+            )
+        return annotations
+
+    def _next_annotation_id(self) -> int:
+        """First free annotation id, honouring AUTOINCREMENT's no-reuse rule.
+
+        The sqlite_sequence entry outlives deletions of the max row, so a
+        bulk insert never recycles the id of a deleted annotation (which
+        stale summary references might still name).  The MAX() fallback
+        covers explicitly pinned ids that may run ahead of the sequence.
+        """
+        connection = self._db.connection
+        try:
+            row = connection.execute(
+                "SELECT seq FROM sqlite_sequence WHERE name = ?",
+                (_ANNOTATIONS_TABLE,),
+            ).fetchone()
+        except sqlite3.OperationalError:  # no AUTOINCREMENT insert yet
+            row = None
+        sequence = row[0] if row is not None else 0
+        (max_id,) = connection.execute(
+            f"SELECT COALESCE(MAX(annotation_id), 0) FROM {_ANNOTATIONS_TABLE}"
+        ).fetchone()
+        return max(sequence, max_id) + 1
 
     def update(
         self,

@@ -368,13 +368,36 @@ class SummaryCatalog:
         self, instance_name: str, table_name: str, row_id: int, obj: SummaryObject
     ) -> None:
         """Persist the summary object for one base row (upsert)."""
-        if obj.instance_name != instance_name:
-            raise CatalogError(
-                f"object belongs to instance {obj.instance_name!r}, "
-                f"not {instance_name!r}"
+        self.save_objects([(instance_name, table_name, row_id, obj)])
+
+    def save_objects(
+        self,
+        entries: Sequence[tuple[str, str, int, SummaryObject]],
+    ) -> int:
+        """Bulk :meth:`save_object`: one ``executemany`` upsert, one
+        transaction.
+
+        The bulk ingestion write-back path — a batch that touched N
+        summary objects persists them with a single
+        BEGIN/executemany/COMMIT instead of N separate transactions.
+        Serialization happens before the transaction opens, so a
+        ``to_json`` failure never leaves a half-written batch.  Returns
+        the number of objects written.
+        """
+        if not entries:
+            return 0
+        rows: list[tuple[str, str, int, str]] = []
+        for instance_name, table_name, row_id, obj in entries:
+            if obj.instance_name != instance_name:
+                raise CatalogError(
+                    f"object belongs to instance {obj.instance_name!r}, "
+                    f"not {instance_name!r}"
+                )
+            rows.append(
+                (instance_name, table_name, row_id, json.dumps(obj.to_json()))
             )
         with self._db.connection:
-            self._db.connection.execute(
+            self._db.connection.executemany(
                 f"""
                 INSERT INTO {_STATE_TABLE}
                     (instance_name, table_name, row_id, object)
@@ -382,11 +405,13 @@ class SummaryCatalog:
                 ON CONFLICT (instance_name, table_name, row_id)
                 DO UPDATE SET object = excluded.object
                 """,
-                (instance_name, table_name, row_id, json.dumps(obj.to_json())),
+                rows,
             )
-        # Drop rather than insert: ``obj`` is a live maintenance object
+        # Drop rather than insert: the objects are live maintenance state
         # that keeps mutating; the cache must only hold settled state.
-        self._cache_invalidate((instance_name, table_name, row_id))
+        for instance_name, table_name, row_id, _obj in entries:
+            self._cache_invalidate((instance_name, table_name, row_id))
+        return len(rows)
 
     def load_object(
         self, instance_name: str, table_name: str, row_id: int

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 import copy as _copylib
-from collections.abc import Mapping, Set
+from collections.abc import Mapping, Sequence, Set
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -134,6 +134,35 @@ class SummaryObject(abc.ABC):
         both joined tuples) must be counted once — Figure 2's merge step.
         Neither input is mutated.
         """
+
+    # -- batch maintenance -----------------------------------------------
+
+    def fold_many(
+        self,
+        instance: "SummaryInstance",
+        items: Sequence[tuple[Annotation, Any]],
+    ) -> int:
+        """Fold a batch of analyzed annotations into this object.
+
+        ``items`` are ``(annotation, contribution)`` pairs in arrival
+        order; annotations whose effect is already present are skipped,
+        matching the maintenance layer's idempotent-replay rule.  Returns
+        how many annotations were actually folded.
+
+        The default loops the instance's single-annotation ``add_to``, so
+        every summary type works with the bulk ingestion pipeline out of
+        the box; types with per-fold overhead worth amortizing (classifier
+        membership scans, cluster centroid recomputation and reranking)
+        override it with a vectorized implementation that must produce
+        state identical to the sequential fold.
+        """
+        folded = 0
+        for annotation, contribution in items:
+            if annotation.annotation_id in self.annotation_ids():
+                continue
+            instance.add_to(self, annotation, contribution)
+            folded += 1
+        return folded
 
     # -- zoom-in ---------------------------------------------------------
 

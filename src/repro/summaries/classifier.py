@@ -92,6 +92,45 @@ class ClassifierSummary(SummaryObject):
     def annotation_ids(self) -> frozenset[int]:
         return frozenset().union(*self._members.values()) if self._members else frozenset()
 
+    # -- batch maintenance -----------------------------------------------
+
+    def fold_many(
+        self,
+        instance: SummaryInstance,
+        items: Sequence[tuple[Annotation, Any]],
+    ) -> int:
+        """Vectorized batch fold: one membership scan, one set update per label.
+
+        The sequential path pays an O(labels x members) scan per fold (the
+        cross-label conflict check inside :meth:`add`); here the id->label
+        assignment is built once and new ids land in their label sets in
+        bulk.  Already-present ids are skipped exactly as the maintenance
+        layer's replay rule does.
+        """
+        if not items:
+            return 0
+        assigned: set[int] = set()
+        for ids in self._members.values():
+            assigned |= ids
+        pending: dict[str, list[int]] = {}
+        folded = 0
+        for annotation, label in items:
+            annotation_id = annotation.annotation_id
+            if annotation_id in assigned:
+                continue
+            if label not in self._members:
+                raise ValueError(
+                    f"label {label!r} not in instance labels {self.labels}"
+                )
+            assigned.add(annotation_id)
+            pending.setdefault(label, []).append(annotation_id)
+            folded += 1
+        if pending:
+            self._ensure_owned()
+            for label, ids in pending.items():
+                self._members[label].update(ids)
+        return folded
+
     # -- query-time algebra -------------------------------------------
 
     def copy(self) -> "ClassifierSummary":

@@ -188,6 +188,82 @@ class ClusterSummary(SummaryObject):
             if (representative := group.representative) is not None
         ]
 
+    # -- batch maintenance -----------------------------------------------
+
+    def fold_many(
+        self,
+        instance: SummaryInstance,
+        items: Sequence[tuple[Annotation, Any]],
+    ) -> int:
+        """Vectorized batch fold: memoized centroids, one rerank per group.
+
+        The sequential path recomputes every group centroid for every
+        incoming annotation and re-ranks the receiving group after each
+        insert.  Here centroids are computed once and invalidated only
+        when their group gains a member, and each touched group is
+        re-ranked once at the end of the batch.  Both shortcuts are exact:
+        a centroid depends only on member vectors (not on the ranking),
+        and the sequential path's *last* rerank of a group already sees
+        that group's final batch membership — so the folded state is
+        bit-identical to folding one at a time.
+
+        ``instance`` must be the owning :class:`ClusterInstance` (the
+        threshold and preview width live there).
+        """
+        threshold: float = instance.threshold  # type: ignore[attr-defined]
+        preview_words: int = instance.preview_words  # type: ignore[attr-defined]
+        seen = set(self.annotation_ids())
+        fresh: list[tuple[Annotation, SparseVector]] = []
+        for annotation, vector in items:
+            if annotation.annotation_id in seen:
+                continue  # idempotent replay, and in-batch duplicates
+            seen.add(annotation.annotation_id)
+            fresh.append((annotation, vector))
+        if not fresh:
+            return 0
+        self._ensure_owned()
+        self._query_view = None
+        centroids: dict[int, SparseVector] = {}
+        touched: set[int] = set()
+        for annotation, vector in fresh:
+            best_index: int | None = None
+            best_similarity = 0.0
+            for index, group in enumerate(self.groups):
+                if group.vectors is None:
+                    raise MaintenanceError(
+                        "cannot add annotations to a query-stripped cluster summary"
+                    )
+                centroid = centroids.get(index)
+                if centroid is None:
+                    centroid = group.centroid()
+                    centroids[index] = centroid
+                similarity = cosine_similarity(vector, centroid)
+                if similarity > best_similarity:
+                    best_similarity = similarity
+                    best_index = index
+            annotation_id = annotation.annotation_id
+            preview = make_preview(annotation.text, preview_words)
+            if best_index is not None and best_similarity >= threshold:
+                group = self.groups[best_index]
+                group.member_ids.add(annotation_id)
+                group.previews[annotation_id] = preview
+                assert group.vectors is not None
+                group.vectors[annotation_id] = vector
+                centroids.pop(best_index, None)  # membership changed
+                touched.add(best_index)
+            else:
+                self.groups.append(
+                    ClusterGroup(
+                        member_ids={annotation_id},
+                        ranking=[annotation_id],
+                        previews={annotation_id: preview},
+                        vectors={annotation_id: vector},
+                    )
+                )
+        for index in sorted(touched):
+            self.groups[index].rerank()
+        return len(fresh)
+
     # -- query-time algebra -------------------------------------------
 
     def copy(self) -> "ClusterSummary":

@@ -205,25 +205,37 @@ def build_genomics_workload(
     workload.bird_rows = [row_id for row_id, _ in session.db.rows("genes")]
     workload.sighting_rows = [row_id for row_id, _ in session.db.rows("assays")]
     columns = session.db.columns("genes")
+    specs: list[dict] = []
+    categories: list[tuple[str, bool]] = []
     for row_id in workload.bird_rows:
         for _ in range(config.annotations_per_row):
             if rng.random() < config.document_fraction:
                 title, body = factory.draw_document()
-                annotation = session.add_annotation(
-                    body, table="genes", row_id=row_id, document=True,
-                    title=title, author=rng.choice(_LABS),
+                specs.append(
+                    {
+                        "text": body,
+                        "table": "genes",
+                        "row_id": row_id,
+                        "document": True,
+                        "title": title,
+                        "author": rng.choice(_LABS),
+                    }
                 )
-                workload.ground_truth[annotation.annotation_id] = "Comment"
-                workload.document_ids.append(annotation.annotation_id)
+                categories.append(("Comment", True))
                 continue
             text, category = factory.draw()
-            kwargs: dict = {"table": "genes", "row_id": row_id}
+            spec: dict = {"text": text, "table": "genes", "row_id": row_id}
             if rng.random() < config.column_fraction:
-                kwargs["columns"] = [rng.choice(columns)]
-            annotation = session.add_annotation(
-                text, author=rng.choice(_LABS), **kwargs
-            )
-            workload.ground_truth[annotation.annotation_id] = category
+                spec["columns"] = [rng.choice(columns)]
+            spec["author"] = rng.choice(_LABS)
+            specs.append(spec)
+            categories.append((category, False))
+    for annotation, (category, is_document) in zip(
+        session.add_annotations(specs), categories
+    ):
+        workload.ground_truth[annotation.annotation_id] = category
+        if is_document:
+            workload.document_ids.append(annotation.annotation_id)
     return workload
 
 
@@ -329,35 +341,49 @@ def _annotate(
             ("sightings", workload.sighting_rows, session.db.columns("sightings"))
         )
     for table, row_ids, columns in targets:
+        specs: list[dict] = []
+        categories: list[tuple[str, bool]] = []
         for row_id in row_ids:
             for _ in range(config.annotations_per_row):
                 if rng.random() < config.document_fraction:
                     title, body = factory.draw_document()
-                    annotation = session.add_annotation(
-                        body,
-                        table=table,
-                        row_id=row_id,
-                        document=True,
-                        title=title,
-                        author=rng.choice(_OBSERVERS),
+                    specs.append(
+                        {
+                            "text": body,
+                            "table": table,
+                            "row_id": row_id,
+                            "document": True,
+                            "title": title,
+                            "author": rng.choice(_OBSERVERS),
+                        }
                     )
-                    workload.ground_truth[annotation.annotation_id] = "Comment"
-                    workload.document_ids.append(annotation.annotation_id)
+                    categories.append(("Comment", True))
                     continue
                 text, category = factory.draw()
-                cells: list[CellRef] | None = None
-                kwargs: dict = {"table": table, "row_id": row_id}
+                spec: dict = {"text": text, "table": table, "row_id": row_id}
                 if rng.random() < config.column_fraction:
-                    kwargs["columns"] = [rng.choice(columns)]
+                    spec["columns"] = [rng.choice(columns)]
                 if rng.random() < config.multi_row_fraction and len(row_ids) > 1:
                     other = rng.choice([r for r in row_ids if r != row_id])
                     column = rng.choice(columns)
-                    cells = [
-                        CellRef(table, row_id, column),
-                        CellRef(table, other, column),
-                    ]
-                    kwargs = {"cells": cells}
-                annotation = session.add_annotation(
-                    text, author=rng.choice(_OBSERVERS), **kwargs
-                )
-                workload.ground_truth[annotation.annotation_id] = category
+                    spec = {
+                        "text": text,
+                        "cells": [
+                            CellRef(table, row_id, column),
+                            CellRef(table, other, column),
+                        ],
+                    }
+                spec["author"] = rng.choice(_OBSERVERS)
+                specs.append(spec)
+                categories.append((category, False))
+        # One bulk ingest per annotated table: the rng draw order above is
+        # unchanged from the per-annotation loop, and ``add_annotations``
+        # assigns ids in spec order, so the generated database (ids,
+        # ground truth, summary state) is identical — just built through
+        # the batch path the ingest benchmark measures.
+        for annotation, (category, is_document) in zip(
+            session.add_annotations(specs), categories
+        ):
+            workload.ground_truth[annotation.annotation_id] = category
+            if is_document:
+                workload.document_ids.append(annotation.annotation_id)

@@ -1,0 +1,354 @@
+"""Tests for the bulk annotation ingestion pipeline.
+
+Covers the manager's :meth:`SummaryManager.add_annotations` batch path,
+the store's :meth:`AnnotationStore.add_many` bulk insert, the session's
+:meth:`InsightNotes.add_annotations` facade, the batch counters in
+:class:`MaintenanceStats`, and the statement-count contract (one
+transaction's worth of SQL instead of per-annotation round-trips).
+
+The byte-identical batch-vs-sequential equivalence across all summary
+types is property-tested separately in ``test_ingest_equivalence.py``.
+"""
+
+import json
+
+import pytest
+
+from repro import InsightNotes
+from repro.errors import AnnotationError
+from repro.model.cell import CellRef
+from repro.storage.annotations import AnnotationDraft
+from repro.summaries.registry import extended_registry
+from tests.conftest import TRAINING
+
+STATE_TABLE = "_in_summary_state"
+
+
+def _five_type_session() -> InsightNotes:
+    """A session with all five summary types linked to ``birds``."""
+    notes = InsightNotes(registry=extended_registry())
+    notes.create_table("birds", ["name", "weight"])
+    for name, weight in (("Swan", 3.2), ("Goose", 2.4), ("Brant", 1.9)):
+        notes.insert("birds", (name, weight))
+    notes.define_classifier("Cf", ["Behavior", "Disease"], TRAINING)
+    notes.define_cluster("Cl", threshold=0.3)
+    notes.define_snippet("Sn", max_sentences=2)
+    notes.define_instance("Terms", "Tm", {"top_k": 5})
+    notes.define_instance("Timeline", "Tl", {"bucket_seconds": 60})
+    for name in ("Cf", "Cl", "Sn", "Tm", "Tl"):
+        notes.link(name, "birds")
+    return notes
+
+
+def _persisted_state(notes: InsightNotes) -> list[tuple]:
+    notes.manager.flush()
+    return notes.db.connection.execute(
+        f"SELECT instance_name, table_name, row_id, object FROM {STATE_TABLE} "
+        "ORDER BY instance_name, table_name, row_id"
+    ).fetchall()
+
+
+_SPECS = [
+    {"text": "observed feeding on stonewort", "table": "birds", "row_id": 1},
+    {"text": "shows symptoms of avian pox", "table": "birds", "row_id": 2,
+     "columns": ["name"]},
+    {"text": "seen foraging near the shore today",
+     "cells": [CellRef("birds", 1, "name"), CellRef("birds", 3, "weight")]},
+    {"text": "First sighting.\nThe flock appeared at dawn near the reeds. "
+             "Feeding lasted an hour.",
+     "table": "birds", "row_id": 2, "document": True, "title": "field note"},
+    {"text": "tested positive for botulism", "table": "birds", "row_id": 3},
+]
+
+
+class TestBatchVsSequential:
+    def test_same_persisted_state_across_all_types(self):
+        sequential = _five_type_session()
+        batched = _five_type_session()
+        try:
+            for spec in _SPECS:
+                sequential.add_annotation(**{**spec, "created_at": 1000.0})
+            batched.add_annotations(
+                [{**spec, "created_at": 1000.0} for spec in _SPECS]
+            )
+            assert _persisted_state(batched) == _persisted_state(sequential)
+        finally:
+            sequential.close()
+            batched.close()
+
+    def test_returns_annotations_in_spec_order(self):
+        notes = _five_type_session()
+        try:
+            stored = notes.add_annotations(_SPECS)
+            assert [a.text for a in stored] == [s["text"] for s in _SPECS]
+            ids = [a.annotation_id for a in stored]
+            assert ids == sorted(ids)
+        finally:
+            notes.close()
+
+    def test_batch_issues_at_least_3x_fewer_statements(self):
+        # A modest real-world batch: a dozen annotations per row.
+        specs = [
+            {"text": f"{text} (note {i})", "table": "birds",
+             "row_id": 1 + i % 3}
+            for i, (text, _label) in enumerate(TRAINING * 4)
+        ]
+        sequential = _five_type_session()
+        batched = _five_type_session()
+        try:
+            with sequential.db.track_queries() as single_counter:
+                for spec in specs:
+                    sequential.add_annotation(**spec)
+            with batched.db.track_queries() as batch_counter:
+                batched.add_annotations(specs)
+        finally:
+            sequential.close()
+            batched.close()
+        assert batch_counter.count * 3 <= single_counter.count
+
+
+class TestManagerBatchPath:
+    def test_replay_of_batch_updates_nothing(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        session.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+        session.link("C", "birds")
+        stored = session.add_annotations(
+            [{"text": "observed feeding", "table": "birds", "row_id": 1}]
+        )
+        replay = [
+            (a, session.annotations.cells_of(a.annotation_id)) for a in stored
+        ]
+        assert session.manager.add_annotations(replay) == 0
+        obj = session.manager.current_object("C", "birds", 1)
+        assert len(obj.annotation_ids()) == 1
+
+    def test_empty_batch_is_a_noop(self, session):
+        assert session.add_annotations([]) == []
+        assert session.manager.add_annotations([]) == 0
+        assert session.manager.stats.batches == 0
+
+    def test_batch_counters(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        session.insert("birds", ("Goose",))
+        session.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+        session.link("C", "birds")
+        session.add_annotations(
+            [
+                {"text": "observed feeding", "table": "birds", "row_id": 1},
+                # A multi-row annotation: two applications, one analysis.
+                {"text": "shows symptoms of pox",
+                 "cells": [CellRef("birds", 1, "name"),
+                           CellRef("birds", 2, "name")]},
+            ]
+        )
+        stats = session.manager.stats
+        assert stats.batches == 1
+        assert stats.batch_rows == 2
+        assert stats.rows_per_batch == 2.0
+        assert stats.annotations_processed == 2
+        # 3 (annotation, row) applications, 2 unique annotations, 1 instance.
+        assert stats.folds_saved == 1
+        for key in ("batches", "batch_rows", "rows_per_batch", "folds_saved"):
+            assert key in stats.as_dict()
+
+    def test_deferred_batch_persists_on_flush(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        session.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+        session.link("C", "birds")
+        session.manager.write_through = False
+        session.add_annotations(
+            [{"text": "observed feeding", "table": "birds", "row_id": 1}]
+        )
+        assert session.catalog.load_object("C", "birds", 1) is None
+        assert session.manager.flush() == 1
+        assert session.catalog.load_object("C", "birds", 1) is not None
+
+    def test_batch_invalidates_attachment_cache(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        assert session.manager.attachments_for_row("birds", 1) == {}
+        stored = session.add_annotations(
+            [{"text": "observed feeding", "table": "birds", "row_id": 1}]
+        )
+        attachments = session.manager.attachments_for_row("birds", 1)
+        assert stored[0].annotation_id in attachments
+
+    def test_multi_cell_same_row_folds_once(self, session):
+        session.create_table("birds", ["name", "weight"])
+        session.insert("birds", ("Swan", 3.2))
+        session.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+        session.link("C", "birds")
+        session.add_annotations(
+            [{"text": "observed feeding", "table": "birds", "row_id": 1}]
+        )
+        obj = session.manager.current_object("C", "birds", 1)
+        assert obj.count("Behavior") == 1
+
+
+class TestObjectsUpdatedCounting:
+    def test_deferred_folds_count_once_per_persisted_object(self, session):
+        """Regression: ``objects_updated`` counts persisted writes.
+
+        Two annotations folded into the same object between flushes used
+        to double-count; the counter must move once, at flush time.
+        """
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        session.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+        session.link("C", "birds")
+        session.manager.write_through = False
+        session.add_annotation("observed feeding", table="birds", row_id=1)
+        session.add_annotation("seen foraging", table="birds", row_id=1)
+        assert session.manager.stats.objects_updated == 0
+        assert session.manager.flush() == 1
+        assert session.manager.stats.objects_updated == 1
+
+    def test_write_through_batch_counts_persisted_objects(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        session.insert("birds", ("Goose",))
+        session.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+        session.link("C", "birds")
+        session.add_annotations(
+            [
+                {"text": "observed feeding", "table": "birds", "row_id": 1},
+                {"text": "seen foraging", "table": "birds", "row_id": 1},
+                {"text": "shows pox symptoms", "table": "birds", "row_id": 2},
+            ]
+        )
+        # Two summary objects reached storage, however many folds each took.
+        assert session.manager.stats.objects_updated == 2
+
+    def test_eviction_still_counts_persisted_write(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        session.insert("birds", ("Goose",))
+        session.define_classifier("C", ["Behavior", "Disease"], TRAINING)
+        session.link("C", "birds")
+        manager = session.manager
+        manager.write_through = False
+        manager._object_cache_size = 1
+        session.add_annotation("observed feeding", table="birds", row_id=1)
+        session.add_annotation("shows pox symptoms", table="birds", row_id=2)
+        # Row 1's object was evicted (and persisted) to make room for
+        # row 2's; the flush writes the remaining dirty object.
+        assert manager.flush() == 1
+        assert manager.stats.objects_updated == 2
+
+
+class TestSessionBatchAPI:
+    def test_spec_validation_happens_before_storage(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        with pytest.raises(AnnotationError, match="cells or table"):
+            session.add_annotations(
+                [
+                    {"text": "fine", "table": "birds", "row_id": 1},
+                    {"text": "broken"},
+                ]
+            )
+        assert session.annotations.count() == 0
+
+    def test_conflicting_target_spec_rejected(self, session):
+        session.create_table("birds", ["name"])
+        with pytest.raises(AnnotationError, match="not both"):
+            session.add_annotations(
+                [{"text": "x", "table": "birds", "row_id": 1,
+                  "cells": [CellRef("birds", 1, "name")]}]
+            )
+
+    def test_unknown_spec_keys_rejected(self, session):
+        session.create_table("birds", ["name"])
+        with pytest.raises(AnnotationError, match="bogus"):
+            session.add_annotations(
+                [{"text": "x", "table": "birds", "row_id": 1, "bogus": 1}]
+            )
+
+    def test_text_is_required(self, session):
+        with pytest.raises(AnnotationError, match="text"):
+            session.add_annotations([{"table": "birds", "row_id": 1}])
+
+
+class TestStoreAddMany:
+    def test_ids_contiguous_in_draft_order(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        single = session.annotations.add("first", [CellRef("birds", 1, "name")])
+        stored = session.annotations.add_many(
+            [
+                AnnotationDraft(text="second", cells=(CellRef("birds", 1, "name"),)),
+                AnnotationDraft(text="third", cells=(CellRef("birds", 1, "name"),)),
+            ]
+        )
+        assert [a.annotation_id for a in stored] == [
+            single.annotation_id + 1,
+            single.annotation_id + 2,
+        ]
+        assert session.annotations.get(stored[1].annotation_id).text == "third"
+
+    def test_no_id_reuse_after_delete(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        first = session.annotations.add("first", [CellRef("birds", 1, "name")])
+        session.annotations.delete(first.annotation_id)
+        stored = session.annotations.add_many(
+            [AnnotationDraft(text="next", cells=(CellRef("birds", 1, "name"),))]
+        )
+        assert stored[0].annotation_id > first.annotation_id
+
+    def test_single_add_continues_after_bulk(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        stored = session.annotations.add_many(
+            [AnnotationDraft(text="bulk", cells=(CellRef("birds", 1, "name"),))]
+        )
+        single = session.annotations.add("after", [CellRef("birds", 1, "name")])
+        assert single.annotation_id == stored[0].annotation_id + 1
+
+    def test_invalid_draft_rolls_back_everything(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        with pytest.raises(AnnotationError, match="unknown column"):
+            session.annotations.add_many(
+                [
+                    AnnotationDraft(text="ok", cells=(CellRef("birds", 1, "name"),)),
+                    AnnotationDraft(text="bad", cells=(CellRef("birds", 1, "nope"),)),
+                ]
+            )
+        assert session.annotations.count() == 0
+
+    def test_empty_cells_rejected(self, session):
+        with pytest.raises(AnnotationError, match="at least one cell"):
+            session.annotations.add_many([AnnotationDraft(text="x", cells=())])
+
+    def test_shared_timestamp_and_explicit_created_at(self, session):
+        session.create_table("birds", ["name"])
+        session.insert("birds", ("Swan",))
+        stored = session.annotations.add_many(
+            [
+                AnnotationDraft(text="a", cells=(CellRef("birds", 1, "name"),)),
+                AnnotationDraft(text="b", cells=(CellRef("birds", 1, "name"),)),
+                AnnotationDraft(text="c", cells=(CellRef("birds", 1, "name"),),
+                                created_at=123.0),
+            ]
+        )
+        assert stored[0].created_at == stored[1].created_at
+        assert stored[2].created_at == 123.0
+
+
+class TestGeneratorRoutesThroughBatch:
+    def test_workload_generation_uses_batches(self):
+        from repro.workloads import WorkloadConfig, build_workload
+
+        workload = build_workload(
+            WorkloadConfig(num_birds=3, num_sightings=4, annotations_per_row=5)
+        )
+        try:
+            stats = workload.session.manager.stats
+            assert stats.batches >= 1
+            assert stats.annotations_processed == workload.annotation_count
+        finally:
+            workload.session.close()

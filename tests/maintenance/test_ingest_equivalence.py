@@ -1,0 +1,184 @@
+"""Property test: bulk ingestion is byte-identical to one-by-one adds.
+
+The bulk pipeline's contract is that it is *purely* a performance
+optimization: for any batch of annotations,
+:meth:`InsightNotes.add_annotations` must leave exactly the persisted
+state a loop of single-annotation adds (the store's :meth:`add` plus the
+manager's :meth:`on_annotation_added`) would leave — same annotation
+rows, same attachments, same serialized summary objects, byte for byte.
+
+Hypothesis drives random batches (random texts, documents, row/column/
+multi-row targets across two tables) against a session carrying all five
+summary types, each in both annotation-invariant settings, and compares
+the raw SQLite rows of the two write paths.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import InsightNotes
+from repro.model.annotation import AnnotationKind
+from repro.model.cell import CellRef
+from repro.summaries.registry import extended_registry
+from tests.conftest import TRAINING
+
+_WORDS = [
+    "observed", "feeding", "stonewort", "shore", "symptoms", "avian",
+    "pox", "flock", "dawn", "reeds", "diving", "insects", "banded",
+    "migration", "unclear", "follow-up", "weight", "molt",
+]
+
+#: (type name, base config) — every pair is instantiated twice, once per
+#: ``annotation_invariant`` setting (Cluster's default is False; the
+#: override flips each type away from its default too).
+_TYPES = [
+    ("Classifier", {"labels": ["Behavior", "Disease"]}),
+    ("Cluster", {"threshold": 0.3}),
+    ("Snippet", {"max_sentences": 2}),
+    ("Terms", {"top_k": 5}),
+    ("Timeline", {"bucket_seconds": 60}),
+]
+
+_TABLES = {"birds": 3, "sightings": 2}
+
+
+def _build_session() -> InsightNotes:
+    notes = InsightNotes(registry=extended_registry())
+    notes.create_table("birds", ["name", "weight"])
+    for row in (("Swan", 3.2), ("Goose", 2.4), ("Brant", 1.9)):
+        notes.insert("birds", row)
+    notes.create_table("sightings", ["observer", "count"])
+    for row in (("aria", 4), ("ben", 9)):
+        notes.insert("sightings", row)
+    for type_name, config in _TYPES:
+        for suffix, invariant in (("AI", True), ("NI", False)):
+            name = f"{type_name}{suffix}"
+            instance = notes.catalog.define_instance(
+                type_name, name, {**config, "annotation_invariant": invariant}
+            )
+            if type_name == "Classifier":
+                instance.train(list(TRAINING))
+                notes.catalog.save_instance_config(name)
+            for table in _TABLES:
+                notes.link(name, table)
+    return notes
+
+
+def _persisted_rows(notes: InsightNotes) -> dict[str, list[tuple]]:
+    notes.manager.flush()
+    connection = notes.db.connection
+    return {
+        "annotations": connection.execute(
+            "SELECT * FROM _in_annotations ORDER BY annotation_id"
+        ).fetchall(),
+        "attachments": connection.execute(
+            "SELECT * FROM _in_attachments ORDER BY annotation_id, "
+            "table_name, row_id, column_name"
+        ).fetchall(),
+        "summaries": connection.execute(
+            "SELECT * FROM _in_summary_state ORDER BY instance_name, "
+            "table_name, row_id"
+        ).fetchall(),
+    }
+
+
+# -- spec strategy ------------------------------------------------------
+
+_cells = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(_TABLES)),
+        st.integers(min_value=1, max_value=3),
+        st.sampled_from(["name", "weight", "observer", "count"]),
+    ),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+
+@st.composite
+def annotation_specs(draw) -> dict:
+    document = draw(st.booleans())
+    if document:
+        sentences = draw(
+            st.lists(
+                st.lists(st.sampled_from(_WORDS), min_size=3, max_size=8),
+                min_size=2,
+                max_size=4,
+            )
+        )
+        text = ". ".join(" ".join(words) for words in sentences) + "."
+    else:
+        text = " ".join(
+            draw(st.lists(st.sampled_from(_WORDS), min_size=1, max_size=10))
+        )
+    spec: dict = {
+        "text": text,
+        "document": document,
+        "title": draw(st.sampled_from(["", "field note"])),
+        "author": draw(st.sampled_from(["aria", "ben"])),
+        # Always pinned: the two write paths must not diverge on clock
+        # reads (Timeline buckets by timestamp).
+        "created_at": float(draw(st.integers(min_value=0, max_value=7200))),
+    }
+    cells = [
+        CellRef(table, min(row_id, _TABLES[table]), column)
+        for table, row_id, column in draw(_cells)
+        if column in ("name", "weight")
+        or table == "sightings"
+    ]
+    cells = [
+        cell
+        for cell in cells
+        if (cell.table == "birds") == (cell.column in ("name", "weight"))
+    ]
+    if not cells:
+        cells = [CellRef("birds", 1, "name")]
+    spec["cells"] = list(dict.fromkeys(cells))
+    return spec
+
+
+@given(st.lists(annotation_specs(), min_size=1, max_size=8))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_bulk_ingest_matches_sequential_byte_for_byte(specs):
+    sequential = _build_session()
+    batched = _build_session()
+    try:
+        for spec in specs:
+            kind = (
+                AnnotationKind.DOCUMENT
+                if spec["document"]
+                else AnnotationKind.COMMENT
+            )
+            annotation = sequential.annotations.add(
+                spec["text"],
+                spec["cells"],
+                author=spec["author"],
+                kind=kind,
+                title=spec["title"],
+                created_at=spec["created_at"],
+            )
+            sequential.manager.on_annotation_added(annotation, spec["cells"])
+        batched.add_annotations(
+            [
+                {
+                    "text": spec["text"],
+                    "cells": spec["cells"],
+                    "author": spec["author"],
+                    "document": spec["document"],
+                    "title": spec["title"],
+                    "created_at": spec["created_at"],
+                }
+                for spec in specs
+            ]
+        )
+        assert _persisted_rows(batched) == _persisted_rows(sequential)
+    finally:
+        sequential.close()
+        batched.close()
