@@ -1,0 +1,195 @@
+"""EXP-QP5 — Predicate/limit pushdown + lazy hydration vs. eager scans.
+
+Sweeps query selectivity (~1%, ~10%, ~50% of the ``birds`` relation,
+via weight thresholds computed from the generated data's quantiles) at
+the paper's annotation ratios, in the two scan pipelines:
+
+* ``eager`` — ``pushdown=False``: every predicate evaluated in memory
+  and every scanned row hydrated at the scan (the pre-pushdown engine).
+* ``lazy`` — the current default: sargable predicates compiled into the
+  storage statement and hydration deferred to the rows that survive.
+
+Both sessions run with a small hydration block (16) and the
+deserialization cache disabled, so summary-catalog and attachment
+round-trips are proportional to hydrated rows — the quantity pushdown
+is supposed to shrink — rather than hidden by cache warmth (the cache's
+own effect is BENCH_scan's subject).
+
+Shape expected: at low selectivity the lazy pipeline touches a
+selectivity-proportional slice of the summary store — at 1% it must cut
+summary/attachment statements by well over the 3x gate and win on
+wall-clock; at 50% the two converge (hydration dominates either way).
+
+Reusable pieces (:func:`build_query_session`, :func:`weight_threshold`,
+:func:`measure_query`) are shared with ``run_bench.py --bench query``,
+which records the trajectory in ``BENCH_query.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.engine.session import InsightNotes
+from repro.workloads import WorkloadConfig, build_workload
+
+#: Target fraction of base rows each workload's predicate keeps.
+SELECTIVITIES = {
+    "sel_1pct": 0.01,
+    "sel_10pct": 0.10,
+    "sel_50pct": 0.50,
+}
+
+#: Both modes: block size 16 keeps round-trips proportional to hydrated
+#: rows at bench scale; the object cache is off so every hydration pays
+#: its storage cost (cache warmth is BENCH_scan's subject, not ours).
+MODES = {
+    "eager": {"pushdown": False, "scan_block_size": 16,
+              "object_cache_size": 0},
+    "lazy": {"pushdown": True, "scan_block_size": 16,
+             "object_cache_size": 0},
+}
+
+
+def build_query_session(
+    num_birds: int, ratio: int, mode: str, seed: int = 29
+) -> InsightNotes:
+    """A populated workload session in ``mode``'s scan pipeline."""
+    session = InsightNotes(**MODES[mode])
+    workload = build_workload(
+        WorkloadConfig(
+            num_birds=num_birds,
+            num_sightings=2 * num_birds,
+            annotations_per_row=ratio,
+            document_fraction=0.02,
+            seed=seed,
+        ),
+        session=session,
+    )
+    return workload.session
+
+
+def weight_threshold(session: InsightNotes, fraction: float) -> float:
+    """Weight cutoff keeping ~``fraction`` of birds under ``weight > t``.
+
+    Computed from the generated data's actual quantiles so the swept
+    selectivities hold at every workload size and seed.
+    """
+    weights = sorted(
+        (values[3] for _, values in session.db.rows("birds")), reverse=True
+    )
+    keep = max(1, round(fraction * len(weights)))
+    if keep >= len(weights):
+        return weights[-1] - 1.0
+    return (weights[keep - 1] + weights[keep]) / 2
+
+
+def query_sql(threshold: float) -> str:
+    return (
+        "SELECT name, species, region, weight FROM birds "
+        f"WHERE weight > {threshold}"
+    )
+
+
+def _is_summary_statement(sql: str) -> bool:
+    """Does the statement read/write summary state or attachments?"""
+    return "_in_summary_state" in sql or "_in_attachments" in sql
+
+
+def measure_query(session: InsightNotes, sql: str, repeats: int) -> dict:
+    """Timings plus statement/row counters for ``sql`` on ``session``."""
+    samples = []
+    for _ in range(repeats):
+        # Cold-cache steady state for every run: the storage fetch cost
+        # is the measured quantity, not leftover maintenance warmth.
+        session.manager.drop_caches()
+        started = time.perf_counter()
+        session.query(sql)
+        samples.append(time.perf_counter() - started)
+    session.manager.drop_caches()
+    with session.db.track_queries() as counter:
+        result = session.query(sql)
+    summary_statements = sum(
+        1 for statement in counter.statements
+        if _is_summary_statement(statement)
+    )
+    assert result.stats is not None
+    return {
+        "median_s": round(statistics.median(samples), 6),
+        "statements": counter.count,
+        "summary_statements": summary_statements,
+        "rows": len(result.tuples),
+        "rows_scanned": result.stats.rows_scanned,
+        "rows_hydrated": result.stats.rows_hydrated,
+    }
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+_BENCH_BIRDS = 60
+_BENCH_RATIO = 30
+
+
+@pytest.fixture(scope="module")
+def pushdown_sessions():
+    sessions = {
+        mode: build_query_session(_BENCH_BIRDS, _BENCH_RATIO, mode)
+        for mode in MODES
+    }
+    yield sessions
+    for session in sessions.values():
+        session.close()
+
+
+@pytest.mark.parametrize("selectivity", sorted(SELECTIVITIES))
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_pushdown_query_time(benchmark, pushdown_sessions, mode, selectivity):
+    session = pushdown_sessions[mode]
+    sql = query_sql(weight_threshold(session, SELECTIVITIES[selectivity]))
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["selectivity"] = selectivity
+    benchmark(lambda: session.query(sql))
+
+
+def test_pushdown_statement_reduction_report(pushdown_sessions):
+    """Series table: statements and hydrated rows per selectivity."""
+    rows = []
+    for name, fraction in SELECTIVITIES.items():
+        cells = {}
+        for mode in MODES:
+            session = pushdown_sessions[mode]
+            sql = query_sql(weight_threshold(session, fraction))
+            cells[mode] = measure_query(session, sql, repeats=3)
+        eager, lazy = cells["eager"], cells["lazy"]
+        ratio = eager["summary_statements"] / max(
+            lazy["summary_statements"], 1
+        )
+        rows.append(
+            [
+                name,
+                lazy["rows"],
+                f"{eager['rows_hydrated']}/{eager['rows_scanned']}",
+                f"{lazy['rows_hydrated']}/{lazy['rows_scanned']}",
+                eager["summary_statements"],
+                lazy["summary_statements"],
+                round(ratio, 1),
+            ]
+        )
+        # The lazy pipeline must hydrate only the surviving rows.
+        assert lazy["rows_hydrated"] == lazy["rows"]
+        if fraction <= 0.10:
+            assert ratio >= 3.0, (
+                f"lazy pipeline at {name} issued only {ratio:.1f}x fewer "
+                "summary statements (expected >= 3x)"
+            )
+    write_report(
+        "exp_qp5_pushdown",
+        "EXP-QP5: pushdown + lazy hydration vs eager scans "
+        "(hydrated/scanned rows and summary statements)",
+        ["selectivity", "rows", "hyd eager", "hyd lazy",
+         "stmts eager", "stmts lazy", "stmt ratio"],
+        rows,
+    )

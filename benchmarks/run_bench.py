@@ -15,6 +15,13 @@ the two write-path configurations (see ``bench_ingest.py``):
 * ``single`` — one ``add_annotation`` call per annotation,
 * ``batched`` — the whole load through one ``add_annotations`` call.
 
+``--bench query`` sweeps query selectivity (~1% / ~10% / ~50%) at the
+same ratios in the two scan pipelines (see ``bench_query_pushdown.py``):
+
+* ``eager`` — ``pushdown=False``: in-memory predicates, hydrate-at-scan,
+* ``lazy`` — sargable predicates compiled into the storage statement and
+  hydration deferred to surviving rows.
+
 Each cell reports the median of five runs plus the SQLite statement
 count of a cold run, and the result lands in ``BENCH_scan.json`` /
 ``BENCH_ingest.json`` at the repository root so successive commits leave
@@ -25,7 +32,7 @@ batched path does not cut statements by at least 3x at the top ratio.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py \
-        [--bench {scan,ingest}] [--quick] [--output PATH]
+        [--bench {scan,ingest,query}] [--quick] [--output PATH]
 """
 
 from __future__ import annotations
@@ -169,6 +176,78 @@ def run_ingest(quick: bool, repeats: int) -> dict:
     return results
 
 
+def run_query(quick: bool, repeats: int) -> dict:
+    """Selectivity-swept query timings, eager vs lazy scan pipeline."""
+    from benchmarks.bench_query_pushdown import (
+        MODES as QUERY_MODES,
+        SELECTIVITIES,
+        build_query_session,
+        measure_query,
+        query_sql,
+        weight_threshold,
+    )
+
+    ratios = QUICK_RATIOS if quick else FULL_RATIOS
+    num_birds = 80 if quick else 240
+    results: dict = {}
+    for ratio in ratios:
+        for mode in QUERY_MODES:
+            session = build_query_session(num_birds, ratio, mode)
+            try:
+                for name, fraction in SELECTIVITIES.items():
+                    sql = query_sql(weight_threshold(session, fraction))
+                    cell = results.setdefault(name, {}).setdefault(
+                        f"{ratio}x", {}
+                    )
+                    cell[mode] = measure_query(session, sql, repeats)
+            finally:
+                session.close()
+    for name, series in results.items():
+        for ratio_key, cell in series.items():
+            eager, lazy = cell["eager"], cell["lazy"]
+            cell["speedup"] = round(
+                eager["median_s"] / max(lazy["median_s"], 1e-9), 3
+            )
+            cell["statement_ratio"] = round(
+                eager["summary_statements"]
+                / max(lazy["summary_statements"], 1),
+                2,
+            )
+    return results
+
+
+def check_query_gate(results: dict, quick: bool) -> list[str]:
+    """The pushdown acceptance gate: returns failure messages (empty = pass).
+
+    At the top measured ratio, for every selectivity at or below 10%,
+    the lazy pipeline must issue at least 3x fewer summary-catalog/
+    attachment statements and, in full mode, win on wall-clock too (in
+    --quick mode the workload is too small for stable timings, so a
+    wall-clock loss only warns).
+    """
+    failures: list[str] = []
+    for name in ("sel_1pct", "sel_10pct"):
+        series = results[name]
+        top = max(series, key=lambda key: int(key.rstrip("x")))
+        cell = series[top]
+        if cell["statement_ratio"] < 3.0:
+            failures.append(
+                f"query {name} at {top}: statement_ratio "
+                f"{cell['statement_ratio']:.2f} < 3.0 — the lazy pipeline "
+                "must cut summary statements by at least 3x"
+            )
+        if cell["speedup"] <= 1.0:
+            message = (
+                f"query {name} at {top}: speedup {cell['speedup']:.2f}x — "
+                "the lazy pipeline did not win on wall-clock"
+            )
+            if quick:
+                print(f"warning: {message} (tolerated in --quick mode)")
+            else:
+                failures.append(message)
+    return failures
+
+
 def check_ingest_gate(results: dict, quick: bool) -> list[str]:
     """The ingest acceptance gate: returns failure messages (empty = pass).
 
@@ -218,6 +297,18 @@ BENCHES = {
             "batched": "whole load through one add_annotations call",
         },
         "pair": ("single", "batched"),
+        "gate": check_ingest_gate,
+    },
+    "query": {
+        "run": run_query,
+        "benchmark": "query_pushdown",
+        "output": "BENCH_query.json",
+        "modes": {
+            "eager": "pushdown off: in-memory predicates, hydrate-at-scan",
+            "lazy": "storage pushdown + lazy block-wise hydration",
+        },
+        "pair": ("eager", "lazy"),
+        "gate": check_query_gate,
     },
 }
 
@@ -280,8 +371,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"speedup {cell['speedup']:.2f}x, "
                 f"stmts {cell['statement_ratio']:.1f}x fewer{extra}"
             )
-    if args.bench == "ingest":
-        failures = check_ingest_gate(results, quick=args.quick)
+    gate = bench.get("gate")
+    if gate is not None:
+        failures = gate(results, quick=args.quick)
         for message in failures:
             print(f"FAIL: {message}", file=sys.stderr)
         if failures:

@@ -103,6 +103,10 @@ class RawQueryEngine:
     ) -> tuple[tuple[str, ...], Iterator[RawTuple]]:
         if isinstance(node, lp.Scan):
             return self._scan(node)
+        if isinstance(node, lp.Hydrate):
+            # Raw propagation attaches annotations at the scan itself, so
+            # the summary engine's hydration point is a no-op here.
+            return self._run(node.child)
         if isinstance(node, lp.Select):
             schema, rows = self._run(node.child)
             return schema, self._select(node.predicate, schema, rows)
@@ -181,8 +185,15 @@ class RawQueryEngine:
             f"{node.alias}.{column}" for column in self._db.columns(node.table)
         )
 
+        where_sql = params = None
+        if node.storage_filter is not None:
+            where_sql = node.storage_filter.sql
+            params = node.storage_filter.params
+
         def rows() -> Iterator[RawTuple]:
-            for row_id, values in self._db.rows(node.table):
+            for row_id, values in self._db.scan(
+                node.table, where_sql, params or (), node.storage_limit
+            ):
                 attached = {
                     annotation.annotation_id: (
                         annotation,

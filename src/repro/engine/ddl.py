@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Union
 
-from repro.engine.expressions import Expression
-from repro.engine.operators import ScanOperator
+from repro.engine.expressions import Expression, uses_summaries
+from repro.engine.operators import HydrateOperator, Operator, ScanOperator
 from repro.engine.sqlparser import _Parser, tokenize_sql
 from repro.errors import SQLSyntaxError
 
@@ -179,17 +179,23 @@ def _execute_delete(session: "InsightNotes", statement: DeleteFrom) -> int:
     predicate = statement.predicate
     if predicate is not None:
         predicate = session.flatten_predicate(predicate)
-    scan = ScanOperator(
-        session.db,
-        session.annotations,
-        session.catalog,
-        statement.table,
-        statement.table,
-        manager=session.manager,
+    source: Operator = ScanOperator(
+        session.db, statement.table, statement.table
     )
+    if predicate is not None and uses_summaries(predicate):
+        # Only summary-function predicates (SUMMARY_COUNT/GROUP_COUNT)
+        # need hydrated rows; plain value predicates run on the raw scan.
+        source = HydrateOperator(
+            source,
+            session.annotations,
+            session.catalog,
+            statement.table,
+            statement.table,
+            manager=session.manager,
+        )
     doomed: list[int] = []
-    for row in scan:
-        if predicate is None or predicate.evaluate(row, scan.schema):
+    for row in source:
+        if predicate is None or predicate.evaluate(row, source.schema):
             ((_table, row_id),) = row.source_rows
             doomed.append(row_id)
     for row_id in doomed:

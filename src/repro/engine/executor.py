@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from repro.engine.operators import Operator, Tracer
+from repro.engine.operators import ExecutionStats, Operator, Tracer
 from repro.engine.plan import PlanNode, plan_cost_estimate
 from repro.engine.results import QueryResult
 
@@ -23,12 +23,15 @@ def execute_plan(
     sql: str = "",
     logical: PlanNode | None = None,
     tracer: Tracer | None = None,
+    stats: ExecutionStats | None = None,
 ) -> QueryResult:
     """Run ``operator`` to completion and package the result.
 
     ``tracer`` (if provided) should be the same tracer the operators were
     constructed with; passing it here only documents intent — recording
-    happens inside the operators.
+    happens inside the operators.  ``stats`` (if provided) should likewise
+    be the counter object the scan/hydrate operators were built with; the
+    populated counters land on the result.
     """
     started = time.perf_counter()
     tuples = list(operator)
@@ -41,4 +44,5 @@ def execute_plan(
         plan_text=logical.render() if logical is not None else operator.describe(),
         plan_cost=plan_cost_estimate(logical) if logical is not None else 1,
         elapsed_seconds=elapsed,
+        stats=stats,
     )

@@ -441,6 +441,23 @@ class GroupCount(Expression):
         return f"GROUP_COUNT('{self.instance}')"
 
 
+def uses_summaries(expr: Expression) -> bool:
+    """True when ``expr`` reads summary objects (SUMMARY_COUNT/GROUP_COUNT).
+
+    Used by the planner to decide whether a predicate or sort key needs
+    hydrated rows, and whether an IN-subquery plan can skip hydration.
+    """
+    if isinstance(expr, (SummaryCount, GroupCount)):
+        return True
+    if isinstance(expr, (Comparison, Arithmetic)):
+        return uses_summaries(expr.left) or uses_summaries(expr.right)
+    if isinstance(expr, BooleanOp):
+        return any(uses_summaries(op) for op in expr.operands)
+    if isinstance(expr, (Not, Like, IsNull, InList, ScalarFunction, InSubquery)):
+        return uses_summaries(expr.operand)
+    return False
+
+
 def conjunction(parts: Sequence[Expression]) -> Expression | None:
     """AND together ``parts``; None for empty, the part itself for one."""
     if not parts:

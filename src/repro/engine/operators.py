@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.engine.expressions import (
@@ -200,24 +201,115 @@ def _extend_equivalent(
     return extended
 
 
-#: Base rows fetched (and prefetched against storage) per scan block.
+#: Base rows fetched (and hydrated against storage) per block.
 DEFAULT_SCAN_BLOCK_SIZE = 256
 
 
-class ScanOperator(Operator):
-    """Scan a base table, attaching summaries and attachment maps.
+@dataclass
+class ExecutionStats:
+    """Per-query execution counters, exposed on the query result.
 
-    The scan is block-oriented: base rows are consumed in blocks of
-    ``block_size`` and each block's summary objects and attachment maps
-    are prefetched in bulk (one storage round-trip per block per kind
-    instead of one per row per instance).  ``block_size=1`` degenerates
-    to the per-row path — the benchmark harness uses that as the
-    "before" configuration.
+    ``rows_scanned`` counts base rows produced by storage scans (after
+    any pushed-down filter/limit); ``rows_hydrated`` counts rows whose
+    summary objects and attachment maps were materialized; and
+    ``hydration_blocks`` counts the bulk-fetch round-trip groups.  A
+    selective query with lazy hydration shows ``rows_hydrated`` well
+    below ``rows_scanned``.
+    """
+
+    rows_scanned: int = 0
+    rows_hydrated: int = 0
+    hydration_blocks: int = 0
+
+    def to_json(self) -> dict[str, int]:
+        return {
+            "rows_scanned": self.rows_scanned,
+            "rows_hydrated": self.rows_hydrated,
+            "hydration_blocks": self.hydration_blocks,
+        }
+
+
+class ScanOperator(Operator):
+    """Value-only scan of a base table.
+
+    Emits plain tuples — values plus source-row identity, no summaries,
+    no attachments; a :class:`HydrateOperator` placed downstream attaches
+    the annotation payload to the rows that survive filtering (late
+    materialization).  Sargable predicates and LIMIT compiled by the
+    planner (:mod:`repro.engine.pushdown`) execute inside the storage
+    statement via :meth:`Database.scan`.
     """
 
     def __init__(
         self,
         database: "Database",
+        table: str,
+        alias: str,
+        tracer: Tracer | None = None,
+        storage_filter: Any = None,
+        storage_limit: int | None = None,
+        stats: ExecutionStats | None = None,
+    ) -> None:
+        columns = database.columns(table)
+        super().__init__(
+            tuple(f"{alias}.{column}" for column in columns), tracer
+        )
+        self._db = database
+        self.table = table
+        self.alias = alias
+        self.storage_filter = storage_filter
+        self.storage_limit = storage_limit
+        self._stats = stats
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        where_sql: str | None = None
+        params: tuple[Any, ...] = ()
+        if self.storage_filter is not None:
+            where_sql = self.storage_filter.sql
+            params = self.storage_filter.params
+        stats = self._stats
+        for row_id, values in self._db.scan(
+            self.table, where_sql, params, self.storage_limit
+        ):
+            if stats is not None:
+                stats.rows_scanned += 1
+            yield AnnotatedTuple(
+                values=values,
+                source_rows=frozenset({(self.table, row_id)}),
+            )
+
+    def describe(self) -> str:
+        base = (
+            f"Scan({self.table})"
+            if self.alias == self.table
+            else f"Scan({self.table} AS {self.alias})"
+        )
+        if self.storage_filter is not None:
+            base = f"{base} [pushed: {self.storage_filter}]"
+        if self.storage_limit is not None:
+            base = f"{base} [limit: {self.storage_limit}]"
+        return base
+
+
+class HydrateOperator(Operator):
+    """Attach summary objects and attachment maps to surviving rows.
+
+    Buffers its input into blocks of ``block_size`` and bulk-fetches each
+    block's summary objects and attachment maps (one storage round-trip
+    per block per kind).  Because the planner places this operator above
+    the residual selection (and a pushed LIMIT), only rows that survive
+    filtering pay the deserialization tax.
+
+    The operator is *projection-aware*: when it sits above a Project, its
+    schema is the kept column subset, so attachments are narrowed to the
+    surviving columns and fully-dropped annotations have their effects
+    removed from the (copy-on-write) summary objects — the same outcome
+    as the old hydrate-at-scan ordering, at a fraction of the fetches.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
         annotations: "AnnotationStore",
         catalog: "SummaryCatalog",
         table: str,
@@ -226,14 +318,13 @@ class ScanOperator(Operator):
         instances: tuple[str, ...] | None = None,
         tracer: Tracer | None = None,
         block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
+        eager: bool = False,
+        stats: ExecutionStats | None = None,
     ) -> None:
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
-        columns = database.columns(table)
-        super().__init__(
-            tuple(f"{alias}.{column}" for column in columns), tracer
-        )
-        self._db = database
+        super().__init__(child.schema, tracer)
+        self._child = child
         self._annotations = annotations
         self._catalog = catalog
         self._manager = manager
@@ -241,6 +332,8 @@ class ScanOperator(Operator):
         self.alias = alias
         self.instances = instances
         self.block_size = block_size
+        self.eager = eager
+        self._stats = stats
 
     def rows(self) -> Iterator[AnnotatedTuple]:
         instances = self._catalog.instances_for_table(self.table)
@@ -248,30 +341,34 @@ class ScanOperator(Operator):
             wanted = set(self.instances)
             instances = [i for i in instances if i.name in wanted]
             if not instances:
-                # WITH NO SUMMARIES: plain relational processing, no
-                # attachment bookkeeping either.
-                for row_id, values in self._db.rows(self.table):
-                    yield AnnotatedTuple(
-                        values=values,
-                        source_rows=frozenset({(self.table, row_id)}),
-                    )
+                # Named subset with no linked instance: plain relational
+                # processing, no attachment bookkeeping either.
+                yield from self._child
                 return
-        block: list[tuple[int, tuple[Any, ...]]] = []
-        for row_id, values in self._db.rows(self.table):
-            block.append((row_id, values))
+        block: list[AnnotatedTuple] = []
+        for row in self._child:
+            block.append(row)
             if len(block) >= self.block_size:
                 yield from self._emit_block(block, instances)
                 block = []
         if block:
             yield from self._emit_block(block, instances)
 
+    def _row_id(self, row: AnnotatedTuple) -> int:
+        for table, row_id in row.source_rows:
+            if table == self.table:
+                return row_id
+        raise PlanError(
+            f"Hydrate({self.alias}): row has no {self.table!r} source"
+        )
+
     def _emit_block(
         self,
-        block: list[tuple[int, tuple[Any, ...]]],
+        block: list[AnnotatedTuple],
         instances: Sequence["SummaryInstance"],
     ) -> Iterator[AnnotatedTuple]:
-        """Prefetch one block's summaries and attachments, then emit."""
-        row_ids = [row_id for row_id, _values in block]
+        """Bulk-fetch one block's summaries and attachments, then emit."""
+        row_ids = [self._row_id(row) for row in block]
         names = [instance.name for instance in instances]
         if self._manager is not None:
             objects = self._manager.objects_for_rows(names, self.table, row_ids)
@@ -285,32 +382,47 @@ class ScanOperator(Operator):
             attachment_maps = self._annotations.attachments_for_rows(
                 self.table, row_ids
             )
-        for row_id, values in block:
+        stats = self._stats
+        if stats is not None:
+            stats.hydration_blocks += 1
+            stats.rows_hydrated += len(block)
+        kept = set(self.schema)
+        for row, row_id in zip(block, row_ids):
+            attachments: dict[int, frozenset[str]] = {}
+            dropped: set[int] = set()
+            for annotation_id, columns in attachment_maps.get(row_id, {}).items():
+                surviving = frozenset(
+                    qualified
+                    for column in columns
+                    if (qualified := f"{self.alias}.{column}") in kept
+                )
+                if surviving:
+                    attachments[annotation_id] = surviving
+                else:
+                    dropped.add(annotation_id)
             summaries: dict[str, SummaryObject] = {}
             for instance in instances:
                 obj = objects.get((instance.name, row_id))
-                summaries[instance.name] = (
+                summary = (
                     obj.for_query() if obj is not None else instance.new_object()
                 )
-            attachments = {
-                annotation_id: frozenset(
-                    f"{self.alias}.{column}" for column in columns
-                )
-                for annotation_id, columns in attachment_maps.get(
-                    row_id, {}
-                ).items()
-            }
-            yield AnnotatedTuple(
-                values=values,
-                summaries=summaries,
-                attachments=attachments,
-                source_rows=frozenset({(self.table, row_id)}),
-            )
+                if dropped:
+                    summary.remove_annotations(dropped)
+                summaries[instance.name] = summary
+            row.summaries = summaries
+            row.attachments = attachments
+            yield row
 
     def describe(self) -> str:
-        if self.alias == self.table:
-            return f"Scan({self.table})"
-        return f"Scan({self.table} AS {self.alias})"
+        base = f"Hydrate({self.alias})"
+        if self.instances is not None:
+            if not self.instances:
+                base = f"{base} [no summaries]"
+            else:
+                base = f"{base} [summaries: {', '.join(self.instances)}]"
+        if self.eager:
+            base = f"{base} [eager]"
+        return base
 
 
 class SelectOperator(Operator):

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Any
 
 from repro.engine.expressions import Column, Expression
 from repro.errors import PlanError
@@ -76,6 +77,11 @@ class Scan(PlanNode):
     table: str
     alias: str
     instances: tuple[str, ...] | None = None
+    #: Sargable predicate compiled to storage SQL (a StorageFilter from
+    #: repro.engine.pushdown); typed loosely to avoid an import cycle.
+    storage_filter: Any = None
+    #: Row cap executed inside the storage statement (LIMIT pushdown).
+    storage_limit: int | None = None
 
     def children(self) -> tuple[PlanNode, ...]:
         return ()
@@ -86,11 +92,50 @@ class Scan(PlanNode):
             if self.alias == self.table
             else f"Scan({self.table} AS {self.alias})"
         )
-        if self.instances is None:
-            return base
-        if not self.instances:
-            return f"{base} [no summaries]"
-        return f"{base} [summaries: {', '.join(self.instances)}]"
+        if self.instances is not None:
+            if not self.instances:
+                base = f"{base} [no summaries]"
+            else:
+                base = f"{base} [summaries: {', '.join(self.instances)}]"
+        if self.storage_filter is not None:
+            base = f"{base} [pushed: {self.storage_filter}]"
+        if self.storage_limit is not None:
+            base = f"{base} [limit: {self.storage_limit}]"
+        return base
+
+
+@dataclass(frozen=True)
+class Hydrate(PlanNode):
+    """Attach summary objects and annotation markers to surviving rows.
+
+    Inserted by the planner above a scan's residual selection — *late
+    materialization*: only rows that survive filtering (and a pushed
+    LIMIT) pay the summary-deserialization tax.  ``table``/``alias``/
+    ``instances`` mirror the :class:`Scan` this node serves.  ``eager``
+    marks the pushdown-off configuration where hydration happens directly
+    above the scan (the pre-pushdown behaviour, kept for comparison
+    benchmarks and equivalence testing).
+    """
+
+    child: PlanNode
+    table: str
+    alias: str
+    instances: tuple[str, ...] | None = None
+    eager: bool = False
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        base = f"Hydrate({self.alias})"
+        if self.instances is not None:
+            if not self.instances:
+                base = f"{base} [no summaries]"
+            else:
+                base = f"{base} [summaries: {', '.join(self.instances)}]"
+        if self.eager:
+            base = f"{base} [eager]"
+        return base
 
 
 @dataclass(frozen=True)
@@ -295,6 +340,7 @@ def plan_cost_estimate(node: PlanNode) -> int:
     """
     weights = {
         Scan: 1,
+        Hydrate: 1,
         Select: 1,
         Project: 1,
         Sort: 2,

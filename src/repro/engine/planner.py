@@ -20,7 +20,8 @@ uses this to demonstrate that merge-before-project plans can disagree.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import dataclasses
+from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING
 
 from repro.engine import plan as lp
@@ -29,12 +30,15 @@ from repro.engine.expressions import (
     Expression,
     conjunction,
     resolve_column,
+    uses_summaries,
 )
 from repro.engine.operators import (
     DEFAULT_SCAN_BLOCK_SIZE,
     ComputeOperator,
     DistinctOperator,
+    ExecutionStats,
     GroupByOperator,
+    HydrateOperator,
     JoinOperator,
     LimitOperator,
     Operator,
@@ -45,6 +49,7 @@ from repro.engine.operators import (
     Tracer,
     UnionOperator,
 )
+from repro.engine.pushdown import compile_conjuncts
 from repro.errors import PlanError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,6 +71,7 @@ class Planner:
         normalize: bool = True,
         push_selections: bool = True,
         scan_block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
+        pushdown: bool = True,
     ) -> None:
         self._db = database
         self._annotations = annotations
@@ -73,6 +79,11 @@ class Planner:
         self._manager = manager
         self.normalize_plans = normalize
         self.push_selections = push_selections
+        #: Storage-level pushdown + lazy hydration.  When off, sargable
+        #: predicates stay in memory and every scanned row is hydrated
+        #: eagerly — the pre-pushdown engine, kept for comparison
+        #: benchmarks and equivalence testing.
+        self.pushdown = pushdown
         if scan_block_size < 1:
             raise ValueError(
                 f"scan_block_size must be >= 1, got {scan_block_size}"
@@ -87,7 +98,7 @@ class Planner:
             return tuple(
                 f"{node.alias}.{column}" for column in self._db.columns(node.table)
             )
-        if isinstance(node, (lp.Select, lp.Sort, lp.Limit, lp.Distinct)):
+        if isinstance(node, (lp.Select, lp.Sort, lp.Limit, lp.Distinct, lp.Hydrate)):
             return self.schema_of(node.children()[0])
         if isinstance(node, lp.Project):
             child_schema = self.schema_of(node.child)
@@ -318,23 +329,196 @@ class Planner:
             return node
         return lp.Project(node, tuple(needed))
 
+    # -- storage pushdown ---------------------------------------------
+
+    def push_into_storage(self, node: lp.PlanNode) -> lp.PlanNode:
+        """Compile sargable conjuncts into the scan's storage filter.
+
+        A selection sitting above a scan (possibly through normalization's
+        projections) has its sargable conjuncts — comparisons, IN lists,
+        NULL tests over data columns with literal operands (see
+        :mod:`repro.engine.pushdown`) — compiled to a parameterized SQL
+        WHERE executed inside :meth:`Database.scan`.  Non-sargable
+        conjuncts stay behind as an in-memory residual selection.
+        """
+        if isinstance(node, lp.Select):
+            child = self.push_into_storage(node.child)
+            scan = _scan_under_projects(child)
+            if scan is not None:
+                table_columns = self._db.columns(scan.table)
+                scan_schema = tuple(
+                    f"{scan.alias}.{column}" for column in table_columns
+                )
+                pushed, residual = compile_conjuncts(
+                    _split_conjuncts(node.predicate), scan_schema, table_columns
+                )
+                if pushed is not None:
+                    merged = (
+                        scan.storage_filter.merge(pushed)
+                        if scan.storage_filter is not None
+                        else pushed
+                    )
+                    child = _replace_scan(
+                        child, dataclasses.replace(scan, storage_filter=merged)
+                    )
+                    predicate = conjunction(residual)
+                    if predicate is None:
+                        return child
+                    return lp.Select(child, predicate)
+            return lp.Select(child, node.predicate)
+        rebuilt = _rebuild_with_children(
+            node, tuple(self.push_into_storage(c) for c in node.children())
+        )
+        # A fully-pushed selection can leave two adjacent projections
+        # (normalization put one on each side of it); compose them.
+        if isinstance(rebuilt, lp.Project) and isinstance(rebuilt.child, lp.Project):
+            inner = rebuilt.child
+            inner_schema = self.schema_of(inner)
+            composed = tuple(
+                inner.columns[resolve_column(inner_schema, name)]
+                for name in rebuilt.columns
+            )
+            return lp.Project(inner.child, composed)
+        return rebuilt
+
+    def push_down_limits(self, node: lp.PlanNode) -> lp.PlanNode:
+        """Push LIMIT into the storage statement where order-safe.
+
+        A limit descends through row-count-preserving, order-preserving
+        nodes (Project, Compute, nested Limit) onto the scan; Sort,
+        residual Select, Distinct, GroupBy, and Join block it.  The
+        in-memory Limit stays as the authoritative cap.
+        """
+        node = _rebuild_with_children(
+            node, tuple(self.push_down_limits(c) for c in node.children())
+        )
+        if isinstance(node, lp.Limit):
+            sunk = self._sink_limit(node.child, node.count)
+            if sunk is not None:
+                return lp.Limit(sunk, node.count)
+        return node
+
+    def _sink_limit(self, node: lp.PlanNode, count: int) -> lp.PlanNode | None:
+        if isinstance(node, lp.Scan):
+            limit = (
+                count
+                if node.storage_limit is None
+                else min(node.storage_limit, count)
+            )
+            return dataclasses.replace(node, storage_limit=limit)
+        if isinstance(node, (lp.Project, lp.Compute, lp.Limit)):
+            child = self._sink_limit(node.children()[0], count)
+            if child is None:
+                return None
+            return _rebuild_with_children(node, (child,))
+        return None
+
+    # -- lazy hydration -----------------------------------------------
+
+    def insert_hydration(self, node: lp.PlanNode) -> lp.PlanNode:
+        """Place Hydrate operators over every scan's surviving rows.
+
+        With pushdown on, each scan's pass-through chain (residual
+        selection, projections, limit, value-only sort) runs on plain
+        tuples and Hydrate sits at the chain's top — directly below the
+        first operator that consumes summaries (compute/join/group-by/
+        distinct/union/output) — so only surviving rows are hydrated.
+        With pushdown off, Hydrate sits eagerly above each scan,
+        reproducing the old hydrate-at-scan pipeline.
+        """
+        if not self.pushdown:
+            return self._hydrate_eager(node)
+        return self._hydrate_subtree(node)
+
+    def _hydrate_eager(self, node: lp.PlanNode) -> lp.PlanNode:
+        if isinstance(node, lp.Scan):
+            return self._wrap_hydrate(node, node, eager=True)
+        return _rebuild_with_children(
+            node, tuple(self._hydrate_eager(c) for c in node.children())
+        )
+
+    @staticmethod
+    def _wrap_hydrate(
+        node: lp.PlanNode, scan: lp.Scan, eager: bool = False
+    ) -> lp.PlanNode:
+        if scan.instances == ():
+            # WITH NO SUMMARIES: plain relational processing, nothing to
+            # hydrate (no attachment bookkeeping either).
+            return node
+        return lp.Hydrate(node, scan.table, scan.alias, scan.instances, eager)
+
+    def _hydrate_subtree(self, node: lp.PlanNode) -> lp.PlanNode:
+        rewritten, scan = self._hydrate_chain(node)
+        if scan is not None:
+            return self._wrap_hydrate(rewritten, scan)
+        return rewritten
+
+    def _hydrate_chain(
+        self, node: lp.PlanNode
+    ) -> tuple[lp.PlanNode, lp.Scan | None]:
+        """Rewrite ``node``; the scan is non-None while ``node`` heads an
+        un-hydrated pass-through chain whose caller must hydrate."""
+        if isinstance(node, lp.Scan):
+            return node, node
+        if isinstance(node, lp.Select) and not uses_summaries(node.predicate):
+            child, scan = self._hydrate_chain(node.child)
+            return lp.Select(child, node.predicate), scan
+        if isinstance(node, lp.Project):
+            child, scan = self._hydrate_chain(node.child)
+            return lp.Project(child, node.columns), scan
+        if isinstance(node, lp.Limit):
+            child, scan = self._hydrate_chain(node.child)
+            return lp.Limit(child, node.count), scan
+        if isinstance(node, lp.Sort) and not any(
+            uses_summaries(key) for key in node.keys
+        ):
+            child, scan = self._hydrate_chain(node.child)
+            return lp.Sort(child, node.keys, node.descending), scan
+        # Barrier (merge or summary-consuming node): hydrate each child
+        # subtree at its own top.
+        children = tuple(self._hydrate_subtree(c) for c in node.children())
+        return _rebuild_with_children(node, children), None
+
     # -- physical lowering -----------------------------------------------
 
-    def prepare(self, node: lp.PlanNode) -> lp.PlanNode:
-        """Apply the configured rewrites to a logical plan."""
+    def prepare(self, node: lp.PlanNode, hydrate: bool = True) -> lp.PlanNode:
+        """Apply the configured rewrites to a logical plan.
+
+        ``hydrate=False`` skips hydration entirely — used for plans whose
+        consumers only read values (uncorrelated IN-subqueries with no
+        summary functions).
+        """
         if self.push_selections:
             node = self.push_down_selections(node)
         if self.normalize_plans:
             node = self.normalize(node)
+        if self.pushdown:
+            node = self.push_into_storage(node)
+            node = self.push_down_limits(node)
+        if hydrate:
+            node = self.insert_hydration(node)
         return node
 
     def physical(
-        self, node: lp.PlanNode, tracer: Tracer | None = None
+        self,
+        node: lp.PlanNode,
+        tracer: Tracer | None = None,
+        stats: ExecutionStats | None = None,
     ) -> Operator:
         """Lower a (prepared) logical plan to a physical operator tree."""
         if isinstance(node, lp.Scan):
             return ScanOperator(
                 self._db,
+                node.table,
+                node.alias,
+                tracer=tracer,
+                storage_filter=node.storage_filter,
+                storage_limit=node.storage_limit,
+                stats=stats,
+            )
+        if isinstance(node, lp.Hydrate):
+            return HydrateOperator(
+                self.physical(node.child, tracer, stats),
                 self._annotations,
                 self._catalog,
                 node.table,
@@ -343,52 +527,60 @@ class Planner:
                 instances=node.instances,
                 tracer=tracer,
                 block_size=self.scan_block_size,
+                eager=node.eager,
+                stats=stats,
             )
         if isinstance(node, lp.Select):
             return SelectOperator(
-                self.physical(node.child, tracer), node.predicate, tracer=tracer
+                self.physical(node.child, tracer, stats),
+                node.predicate,
+                tracer=tracer,
             )
         if isinstance(node, lp.Project):
             return ProjectOperator(
-                self.physical(node.child, tracer), node.columns, tracer=tracer
+                self.physical(node.child, tracer, stats),
+                node.columns,
+                tracer=tracer,
             )
         if isinstance(node, lp.Compute):
             return ComputeOperator(
-                self.physical(node.child, tracer), node.items, tracer=tracer
+                self.physical(node.child, tracer, stats), node.items, tracer=tracer
             )
         if isinstance(node, lp.Join):
             return JoinOperator(
-                self.physical(node.left, tracer),
-                self.physical(node.right, tracer),
+                self.physical(node.left, tracer, stats),
+                self.physical(node.right, tracer, stats),
                 node.predicate,
                 outer=node.outer,
                 tracer=tracer,
             )
         if isinstance(node, lp.GroupBy):
             return GroupByOperator(
-                self.physical(node.child, tracer),
+                self.physical(node.child, tracer, stats),
                 node.keys,
                 node.aggregates,
                 having=node.having,
                 tracer=tracer,
             )
         if isinstance(node, lp.Distinct):
-            return DistinctOperator(self.physical(node.child, tracer), tracer=tracer)
+            return DistinctOperator(
+                self.physical(node.child, tracer, stats), tracer=tracer
+            )
         if isinstance(node, lp.Sort):
             return SortOperator(
-                self.physical(node.child, tracer),
+                self.physical(node.child, tracer, stats),
                 node.keys,
                 node.descending,
                 tracer=tracer,
             )
         if isinstance(node, lp.Limit):
             return LimitOperator(
-                self.physical(node.child, tracer), node.count, tracer=tracer
+                self.physical(node.child, tracer, stats), node.count, tracer=tracer
             )
         if isinstance(node, lp.Union):
             operator: Operator = UnionOperator(
-                self.physical(node.left, tracer),
-                self.physical(node.right, tracer),
+                self.physical(node.left, tracer, stats),
+                self.physical(node.right, tracer, stats),
                 tracer=tracer,
             )
             if node.distinct:
@@ -427,12 +619,62 @@ def _merge_required(base: Sequence[str], extra: Sequence[str]) -> list[str]:
     return list(dict.fromkeys([*base, *extra]))
 
 
+def _scan_under_projects(node: lp.PlanNode) -> lp.Scan | None:
+    """The scan beneath a (possibly empty) chain of projections, if any.
+
+    Normalization inserts projections between a selection and its scan;
+    row identity and column values are unchanged through them, so a
+    filter compiled against the scan's full schema applies unmodified.
+    """
+    while isinstance(node, lp.Project):
+        node = node.child
+    return node if isinstance(node, lp.Scan) else None
+
+
+def _replace_scan(node: lp.PlanNode, scan: lp.Scan) -> lp.PlanNode:
+    """Swap the scan at the bottom of a projection chain for ``scan``."""
+    if isinstance(node, lp.Scan):
+        return scan
+    assert isinstance(node, lp.Project)
+    return lp.Project(_replace_scan(node.child, scan), node.columns)
+
+
+def _node_expressions(node: lp.PlanNode) -> Iterator[Expression]:
+    """Every expression a logical node evaluates."""
+    if isinstance(node, lp.Select):
+        yield node.predicate
+    elif isinstance(node, lp.Compute):
+        for expression, _name in node.items:
+            yield expression
+    elif isinstance(node, lp.Join):
+        if node.predicate is not None:
+            yield node.predicate
+    elif isinstance(node, lp.GroupBy):
+        if node.having is not None:
+            yield node.having
+    elif isinstance(node, lp.Sort):
+        yield from node.keys
+
+
+def plan_uses_summaries(node: lp.PlanNode) -> bool:
+    """True when any expression in the plan reads summary objects."""
+    return any(
+        uses_summaries(expression)
+        for n in lp.walk(node)
+        for expression in _node_expressions(n)
+    )
+
+
 def _rebuild_with_children(
     node: lp.PlanNode, children: tuple[lp.PlanNode, ...]
 ) -> lp.PlanNode:
     """Clone a logical node with replaced children."""
     if isinstance(node, lp.Scan):
         return node
+    if isinstance(node, lp.Hydrate):
+        return lp.Hydrate(
+            children[0], node.table, node.alias, node.instances, node.eager
+        )
     if isinstance(node, lp.Select):
         return lp.Select(children[0], node.predicate)
     if isinstance(node, lp.Project):

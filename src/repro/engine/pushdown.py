@@ -1,0 +1,185 @@
+"""Compilation of sargable predicates into storage-level SQL.
+
+The planner sinks selections until they sit directly above scans
+(:meth:`Planner.push_down_selections`); this module goes one step
+further and compiles the *sargable* conjuncts — comparisons, IN lists,
+BETWEEN (already desugared to two comparisons by the parser), and NULL
+tests over plain data columns with literal operands — into a
+parameterized SQL ``WHERE`` fragment that SQLite evaluates inside
+:meth:`repro.storage.database.Database.scan`.  Conjuncts the compiler
+cannot prove equivalent (LIKE, NOT, bare columns, summary functions,
+expressions over multiple columns) stay behind as a *residual* that the
+in-memory :class:`~repro.engine.operators.SelectOperator` evaluates.
+
+Equivalence notes (engine semantics vs. SQLite):
+
+* Comparisons with a NULL operand evaluate false in the engine and NULL
+  in SQLite — both exclude the row, so comparisons are pushable.
+* ``IN`` lists are pushed only when no element is NULL: Python's
+  ``None in (None,)`` is true while SQLite's ``x IN (NULL)`` never is.
+* ``NOT`` is never pushed: the engine's ``NOT (x = 5)`` keeps a row
+  whose ``x`` is NULL, SQLite's filters it out.
+* ``LIKE`` is never pushed: the engine matches case-insensitively over
+  full Unicode, SQLite only over ASCII.
+* Ordering comparisons assume type-homogeneous columns (the workload
+  generator's guarantee): the engine raises on ``'text' < 5`` where
+  SQLite would order across types.
+* Disjunctions are pushed when every branch is; an all-false/NULL OR
+  excludes the row on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.expressions import (
+    BooleanOp,
+    Column,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    resolve_column,
+)
+from repro.errors import ExpressionError
+
+#: Literal types whose Python comparison semantics match SQLite's over
+#: homogeneous columns (bool is an int subclass and binds as 0/1).
+_PUSHABLE_LITERALS = (int, float, str)
+
+
+@dataclass(frozen=True)
+class StorageFilter:
+    """A compiled WHERE fragment executed inside the storage scan.
+
+    ``sql`` is a parameterized fragment over the table's *unqualified*
+    (quoted) column names; ``params`` are the literal operands in
+    placeholder order; ``display`` is the original predicate rendering
+    used by EXPLAIN output and operator descriptions.
+    """
+
+    sql: str
+    params: tuple[Any, ...]
+    display: str
+
+    def merge(self, other: "StorageFilter") -> "StorageFilter":
+        """AND two compiled filters (stacked selections over one scan)."""
+        return StorageFilter(
+            sql=f"({self.sql}) AND ({other.sql})",
+            params=self.params + other.params,
+            display=f"({self.display}) AND ({other.display})",
+        )
+
+    def __str__(self) -> str:
+        return self.display
+
+
+def compile_conjuncts(
+    conjuncts: list[Expression],
+    scan_schema: tuple[str, ...],
+    table_columns: tuple[str, ...],
+) -> tuple[StorageFilter | None, list[Expression]]:
+    """Split ``conjuncts`` into a pushable filter and a residual list.
+
+    ``scan_schema`` is the scan's alias-qualified output schema;
+    ``table_columns`` the matching storage column names.  Returns the
+    compiled filter (None when nothing is pushable) and the conjuncts
+    that must stay in the in-memory selection, in their original order.
+    """
+    pushed_sql: list[str] = []
+    pushed_params: list[Any] = []
+    pushed_display: list[str] = []
+    residual: list[Expression] = []
+    for conjunct in conjuncts:
+        compiled = _compile(conjunct, scan_schema, table_columns)
+        if compiled is None:
+            residual.append(conjunct)
+        else:
+            sql, params = compiled
+            pushed_sql.append(sql)
+            pushed_params.extend(params)
+            pushed_display.append(str(conjunct))
+    if not pushed_sql:
+        return None, residual
+    return (
+        StorageFilter(
+            sql=" AND ".join(pushed_sql),
+            params=tuple(pushed_params),
+            display=" AND ".join(pushed_display),
+        ),
+        residual,
+    )
+
+
+def _column_sql(
+    name: str, scan_schema: tuple[str, ...], table_columns: tuple[str, ...]
+) -> str | None:
+    """Quoted storage column for a referenced name, or None."""
+    try:
+        index = resolve_column(scan_schema, name)
+    except ExpressionError:
+        return None
+    quoted = table_columns[index].replace('"', '""')
+    return f'"{quoted}"'
+
+
+def _pushable_literal(value: Any) -> bool:
+    return isinstance(value, _PUSHABLE_LITERALS)
+
+
+def _compile(
+    expr: Expression,
+    scan_schema: tuple[str, ...],
+    table_columns: tuple[str, ...],
+) -> tuple[str, tuple[Any, ...]] | None:
+    """Compile one predicate to ``(sql, params)``; None when not sargable."""
+    if isinstance(expr, Comparison):
+        left, right = expr.left, expr.right
+        if isinstance(left, Column) and isinstance(right, Literal):
+            if not _pushable_literal(right.value):
+                return None
+            column = _column_sql(left.name, scan_schema, table_columns)
+            if column is None:
+                return None
+            return f"{column} {expr.op} ?", (right.value,)
+        if isinstance(left, Literal) and isinstance(right, Column):
+            if not _pushable_literal(left.value):
+                return None
+            column = _column_sql(right.name, scan_schema, table_columns)
+            if column is None:
+                return None
+            return f"? {expr.op} {column}", (left.value,)
+        return None
+    if isinstance(expr, InList):
+        if not isinstance(expr.operand, Column) or not expr.values:
+            return None
+        if not all(_pushable_literal(value) for value in expr.values):
+            return None
+        column = _column_sql(expr.operand.name, scan_schema, table_columns)
+        if column is None:
+            return None
+        marks = ", ".join("?" for _ in expr.values)
+        return f"{column} IN ({marks})", tuple(expr.values)
+    if isinstance(expr, IsNull):
+        if not isinstance(expr.operand, Column):
+            return None
+        column = _column_sql(expr.operand.name, scan_schema, table_columns)
+        if column is None:
+            return None
+        suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{column} {suffix}", ()
+    if isinstance(expr, BooleanOp):
+        parts: list[str] = []
+        params: list[Any] = []
+        for operand in expr.operands:
+            compiled = _compile(operand, scan_schema, table_columns)
+            if compiled is None:
+                return None
+            sql, operand_params = compiled
+            parts.append(sql)
+            params.extend(operand_params)
+        joiner = " AND " if expr.op == "and" else " OR "
+        return "(" + joiner.join(parts) + ")", tuple(params)
+    return None

@@ -41,6 +41,11 @@ class QueryResult:
     trace:
         The :class:`~repro.engine.operators.Tracer` holding per-operator
         intermediate tuples when the query ran with tracing enabled.
+    stats:
+        The :class:`~repro.engine.operators.ExecutionStats` counters
+        (``rows_scanned``, ``rows_hydrated``, ``hydration_blocks``)
+        populated during execution; None for deserialized or
+        programmatically assembled results.
     """
 
     qid: int
@@ -51,6 +56,7 @@ class QueryResult:
     plan_cost: int = 1
     elapsed_seconds: float = 0.0
     trace: Any | None = None
+    stats: Any | None = None
 
     def __len__(self) -> int:
         return len(self.tuples)

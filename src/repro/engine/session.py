@@ -31,9 +31,13 @@ from collections.abc import Mapping, Sequence
 from typing import Any
 
 from repro.engine.executor import execute_plan
-from repro.engine.operators import DEFAULT_SCAN_BLOCK_SIZE, Tracer
+from repro.engine.operators import (
+    DEFAULT_SCAN_BLOCK_SIZE,
+    ExecutionStats,
+    Tracer,
+)
 from repro.engine.plan import PlanNode
-from repro.engine.planner import Planner
+from repro.engine.planner import Planner, plan_uses_summaries
 from repro.engine.results import QueryResult, ResultRegistry
 from repro.engine.sqlparser import build_logical, parse_sql
 from repro.errors import AnnotationError
@@ -81,6 +85,12 @@ class InsightNotes:
         harness uses that as its "before" configuration.
     object_cache_size:
         Bound of the catalog's deserialization LRU (``0`` disables it).
+    pushdown:
+        Compile sargable predicates and LIMIT into the storage scan and
+        hydrate summaries lazily, block-wise, above the residual
+        selection (late materialization).  Disable to get the old
+        hydrate-everything-at-scan pipeline — the benchmarks' "before"
+        configuration; query results are identical either way.
     """
 
     def __init__(
@@ -93,6 +103,7 @@ class InsightNotes:
         normalize: bool = True,
         scan_block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
         object_cache_size: int = DEFAULT_OBJECT_CACHE_SIZE,
+        pushdown: bool = True,
     ) -> None:
         self.db = Database(path)
         self.annotations = AnnotationStore(self.db)
@@ -107,6 +118,7 @@ class InsightNotes:
             manager=self.manager,
             normalize=normalize,
             scan_block_size=scan_block_size,
+            pushdown=pushdown,
         )
         self.results = ResultRegistry()
         if isinstance(cache_store, str):
@@ -437,10 +449,17 @@ class InsightNotes:
         return flatten_expression(expression, self._run_in_subquery)
 
     def _run_in_subquery(self, sub_statement: Any) -> tuple[Any, ...]:
-        """Execute one uncorrelated IN-subquery; returns its values."""
+        """Execute one uncorrelated IN-subquery; returns its values.
+
+        Only the single output column's values are consumed, so unless a
+        subquery expression actually reads summaries (or pushdown is off,
+        where the old eager pipeline is reproduced faithfully), the plan
+        skips hydration entirely.
+        """
         self._flatten_subqueries(sub_statement)
         logical = build_logical(sub_statement, self.planner)
-        prepared = self.planner.prepare(logical)
+        hydrate = not self.planner.pushdown or plan_uses_summaries(logical)
+        prepared = self.planner.prepare(logical, hydrate=hydrate)
         operator = self.planner.physical(prepared)
         if len(operator.schema) != 1:
             from repro.errors import SQLSyntaxError
@@ -481,9 +500,14 @@ class InsightNotes:
         """Run a programmatically built logical plan."""
         prepared = self.planner.prepare(logical)
         tracer = Tracer() if trace else None
-        operator = self.planner.physical(prepared, tracer)
+        stats = ExecutionStats()
+        operator = self.planner.physical(prepared, tracer, stats)
         result = execute_plan(
-            operator, qid=self.results.next_qid(), sql=sql, logical=prepared
+            operator,
+            qid=self.results.next_qid(),
+            sql=sql,
+            logical=prepared,
+            stats=stats,
         )
         result.trace = tracer
         self.results.register(result)

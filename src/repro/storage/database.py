@@ -262,10 +262,33 @@ class Database:
 
     def rows(self, table: str) -> Iterator[tuple[int, tuple[Any, ...]]]:
         """Scan ``table``, yielding ``(rowid, values)`` pairs."""
+        return self.scan(table)
+
+    def scan(
+        self,
+        table: str,
+        where_sql: str | None = None,
+        params: Sequence[Any] = (),
+        limit: int | None = None,
+    ) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Scan ``table`` with an optional pushed-down filter and limit.
+
+        ``where_sql`` is a parameterized WHERE fragment over the table's
+        own (quoted) column names, compiled by the planner from sargable
+        predicates (:mod:`repro.engine.pushdown`); ``limit`` truncates the
+        scan inside SQLite.  Rows come out in rowid order either way, so
+        pushdown never changes result order.
+        """
         self.schema(table)
-        cursor = self._connection.execute(
-            f'SELECT rowid, * FROM "{table}" ORDER BY rowid'
-        )
+        sql = f'SELECT rowid, * FROM "{table}"'
+        bound: tuple[Any, ...] = tuple(params)
+        if where_sql is not None:
+            sql += f" WHERE {where_sql}"
+        sql += " ORDER BY rowid"
+        if limit is not None:
+            sql += " LIMIT ?"
+            bound += (limit,)
+        cursor = self._connection.execute(sql, bound)
         for row in cursor:
             yield row[0], tuple(row[1:])
 

@@ -7,6 +7,7 @@ from repro.engine.expressions import Column, Comparison, Literal
 from repro.engine.operators import (
     DistinctOperator,
     GroupByOperator,
+    HydrateOperator,
     JoinOperator,
     LimitOperator,
     ProjectOperator,
@@ -50,9 +51,11 @@ def stack():
 
 
 def scan(notes, table, alias=None, tracer=None):
-    return ScanOperator(
-        notes.db, notes.annotations, notes.catalog, table, alias or table,
-        manager=notes.manager, tracer=tracer,
+    """A hydrated scan: value-only ScanOperator + eager HydrateOperator."""
+    base = ScanOperator(notes.db, table, alias or table, tracer=tracer)
+    return HydrateOperator(
+        base, notes.annotations, notes.catalog, table, alias or table,
+        manager=notes.manager, tracer=tracer, eager=True,
     )
 
 
@@ -306,7 +309,9 @@ class TestTracer:
     def test_entries_include_summary_renderings(self, stack):
         tracer = Tracer()
         list(scan(stack, "R", "r", tracer=tracer))
-        entry = tracer.entries[0]
+        entry = next(
+            e for e in tracer.entries if e.operator.startswith("Hydrate")
+        )
         assert "C" in entry.summaries
         assert entry.summaries["C"].startswith("C [")
 

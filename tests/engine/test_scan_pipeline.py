@@ -103,6 +103,22 @@ class TestRoundTrips:
             notes.close()
 
 
+class TestStats:
+    def test_result_exposes_hydration_counters(self):
+        notes = populate_birds(InsightNotes())
+        try:
+            # LIKE stays in memory as a residual below the Hydrate, so
+            # all 30 rows are scanned but only the 3 matches hydrated.
+            result = notes.query(
+                "SELECT name, species, weight FROM birds WHERE name LIKE '%5'"
+            )
+            assert result.stats.rows_scanned == 30
+            assert result.stats.rows_hydrated == len(result.tuples) == 3
+            assert result.stats.hydration_blocks >= 1
+        finally:
+            notes.close()
+
+
 class TestParity:
     @pytest.fixture()
     def paired_sessions(self):
@@ -264,7 +280,7 @@ class TestTracer:
             )
             entry = next(
                 e for e in result.trace.entries
-                if e.operator.startswith("Scan")
+                if e.operator.startswith("Hydrate")
             )
             assert entry._rendered is None  # nothing rendered eagerly
             rendered = entry.summaries
@@ -277,10 +293,11 @@ class TestTracer:
 
     def test_snapshots_survive_downstream_mutation(self):
         # The influenza annotation sits only on weight; the projection
-        # removes its effect downstream of the scan.  The scan's trace
-        # snapshot must still carry it (the copy-on-write alias keeps the
-        # pre-mutation payload).
-        notes = InsightNotes()
+        # removes its effect downstream of the hydration point.  The
+        # hydrate trace snapshot must still carry it (the copy-on-write
+        # alias keeps the pre-mutation payload).  Pushdown is off so
+        # hydration happens eagerly at the scan, below the projection.
+        notes = InsightNotes(pushdown=False)
         try:
             notes.create_table("birds", ["name", "weight"])
             notes.insert("birds", ("Swan Goose", 3.2))
@@ -297,8 +314,8 @@ class TestTracer:
             final_ids = result.tuples[0].summaries["BirdClass"].annotation_ids()
             assert dropped.annotation_id not in final_ids
             grouped = result.trace.by_operator()
-            scan_op = next(op for op in grouped if op.startswith("Scan"))
-            snapshot = grouped[scan_op][0]._objects["BirdClass"]
+            hydrate_op = next(op for op in grouped if op.startswith("Hydrate"))
+            snapshot = grouped[hydrate_op][0]._objects["BirdClass"]
             assert dropped.annotation_id in snapshot.annotation_ids()
         finally:
             notes.close()

@@ -108,8 +108,11 @@ class TestQuerying:
 
     def test_explain_renders_plan(self, birds_session):
         text = birds_session.explain("SELECT name FROM birds WHERE weight > 5")
-        assert "Scan(birds)" in text
-        assert "Select" in text
+        # The sargable predicate is pushed into the storage scan and
+        # hydration sits above the (empty) residual chain.
+        assert "Scan(birds) [pushed: weight > 5]" in text
+        assert "Hydrate(birds)" in text
+        assert "Select" not in text
 
     def test_results_are_registered_and_cached(self, birds_session):
         result = birds_session.query("SELECT name FROM birds")

@@ -30,8 +30,8 @@ class TestStats:
 class TestExplain:
     def test_explain_shows_plan(self, repl):
         text = repl.handle("\\explain SELECT name FROM birds WHERE weight > 5")
-        assert "Scan(birds)" in text
-        assert "Select" in text
+        assert "Scan(birds) [pushed: weight > 5]" in text
+        assert "Hydrate(birds)" in text
 
     def test_explain_without_sql(self, repl):
         assert "usage" in repl.handle("\\explain")
