@@ -1,0 +1,239 @@
+"""EXP-CC — Aggregate read throughput under concurrent ingest.
+
+Sweeps the number of client threads (1 / 2 / 4 / 8) issuing pushdown
+queries against a file-backed database **while a writer thread ingests
+annotation batches**, in the two read topologies:
+
+* ``serial`` — ``serialize_reads=True``: every read statement runs on
+  the single writer connection behind the write lock (the pre-pool
+  engine).  Each client blocks for the full duration of any in-flight
+  ingest transaction.
+* ``pooled`` — the current default: per-thread read-only WAL connections
+  that see a consistent committed snapshot and never wait for the
+  writer.
+
+The query mix is fully sargable (predicates + LIMIT compiled into the
+storage scan), so per-query time is dominated by SQLite's C-level table
+scan; the ingest batches are large enough that a serial-mode client
+queues behind a multi-thousand-row write transaction on every
+collision.  The measured quantity per cell is the wall-clock for all
+clients to finish a fixed number of queries each (``median_s``), i.e.
+fixed read work under sustained background write load — the scenario a
+shared annotation store actually faces.
+
+Client threads are reused across repeats (a persistent executor), so
+each thread's pooled read connection — and its page cache — stays warm,
+as it would in a long-lived server.
+
+Reusable pieces (:func:`build_concurrency_session`,
+:func:`measure_concurrency`, :func:`reader_statements`) are shared with
+``run_bench.py --bench concurrency``, which records the trajectory in
+``BENCH_concurrency.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.engine.session import InsightNotes
+
+MODES = {
+    "serial": {"serialize_reads": True},
+    "pooled": {},
+}
+
+THREAD_COUNTS = (1, 2, 4, 8)
+
+#: Sargable mix: every predicate/LIMIT compiles into the storage scan,
+#: so a query's cost is one C-level SQLite pass plus a small hydration.
+QUERIES = [
+    "SELECT name, species FROM birds "
+    "WHERE weight > 129.2 AND region = 'north' LIMIT 25",
+    "SELECT name FROM birds WHERE species = 'species7' AND weight < 0.4",
+    "SELECT name, weight FROM birds WHERE weight >= 129.93",
+]
+
+_TRAINING = [
+    ("observed feeding on stonewort at dawn", "Behavior"),
+    ("seen foraging among pond weeds", "Behavior"),
+    ("shows symptoms of avian influenza", "Disease"),
+    ("appears infected with avian pox", "Disease"),
+]
+
+
+def build_concurrency_session(
+    path: str, num_rows: int, mode: str
+) -> InsightNotes:
+    """A file-backed session with a large scannable ``birds`` relation.
+
+    ``birds`` (queried by the clients) is annotated and never written
+    during measurement, so every client query has one deterministic
+    answer; ``sightings`` is the ingest target.
+    """
+    session = InsightNotes(path, **MODES[mode])
+    session.create_table("birds", ["name", "species", "region", "weight"])
+    session.create_table("sightings", ["site", "count"])
+    names = ["finch", "heron", "plover", "warbler", "sparrow", "egret"]
+    session.insert_many(
+        "birds",
+        [
+            (
+                f"{names[i % 6]} {i}",
+                f"species{i % 12}",
+                ("north", "south", "east", "west")[i % 4],
+                (i * 7 % 13000) / 100.0,
+            )
+            for i in range(num_rows)
+        ],
+    )
+    session.insert_many(
+        "sightings", [(f"site{i % 20}", i) for i in range(200)]
+    )
+    session.define_classifier(
+        "BirdClass", ["Behavior", "Disease"], _TRAINING
+    )
+    session.link("BirdClass", "birds")
+    session.add_annotations(
+        [
+            {
+                "text": f"observed feeding note {i}",
+                "table": "birds",
+                "row_id": i * 200 + 1,
+            }
+            for i in range(num_rows // 200)
+        ]
+    )
+    return session
+
+
+def warm_clients(
+    session: InsightNotes, executor: ThreadPoolExecutor, workers: int
+) -> None:
+    """Run the query mix once on every executor thread.
+
+    The barrier forces all ``workers`` threads into existence so each
+    opens (and warms) its pooled read connection before measurement.
+    """
+    barrier = threading.Barrier(workers)
+
+    def warm() -> None:
+        barrier.wait(timeout=30)
+        for sql in QUERIES:
+            session.query(sql)
+
+    futures = [executor.submit(warm) for _ in range(workers)]
+    for future in futures:
+        future.result()
+
+
+def measure_concurrency(
+    session: InsightNotes,
+    executor: ThreadPoolExecutor,
+    n_readers: int,
+    per_reader: int,
+    batch_rows: int,
+) -> dict:
+    """Wall-clock for ``n_readers`` clients to finish ``per_reader``
+    queries each while one writer runs back-to-back ``batch_rows``-row
+    ingest transactions for the whole window.
+
+    The batch payload is prebuilt so each writer iteration is one long
+    write-lock window of almost pure SQLite C work — the write load a
+    bulk loader produces, and the window a serial-mode client queues
+    behind in full.
+    """
+    stop = threading.Event()
+    batches = 0
+    payload = [(f"site{i % 20}", i) for i in range(batch_rows)]
+    insert_sql = 'INSERT INTO "sightings" VALUES (?, ?)'
+
+    def writer() -> None:
+        nonlocal batches
+        while not stop.is_set():
+            with session.db.transaction() as connection:
+                connection.executemany(insert_sql, payload)
+            batches += 1
+
+    def reader(worker: int) -> None:
+        for round_number in range(per_reader):
+            session.query(QUERIES[(worker + round_number) % len(QUERIES)])
+
+    ingest = threading.Thread(target=writer)
+    started = time.perf_counter()
+    ingest.start()
+    futures = [executor.submit(reader, k) for k in range(n_readers)]
+    for future in futures:
+        future.result()
+    elapsed = time.perf_counter() - started
+    stop.set()
+    ingest.join()
+    queries = n_readers * per_reader
+    return {
+        "seconds": elapsed,
+        "queries": queries,
+        "queries_per_s": queries / max(elapsed, 1e-9),
+        "writer_batches": batches,
+    }
+
+
+def reader_statements(session: InsightNotes) -> int:
+    """SQLite statements for one cold single-thread pass of the mix."""
+    session.manager.drop_caches()
+    with session.db.track_queries() as counter:
+        for sql in QUERIES:
+            session.query(sql)
+    return counter.count
+
+
+# -- pytest entry point ----------------------------------------------------
+
+_SMOKE_ROWS = 10_000
+_SMOKE_BATCH = 800
+_SMOKE_PER_READER = 4
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_concurrent_read_throughput_report(tmp_path, mode):
+    """Series table: client-thread sweep under ingest, one mode."""
+    session = build_concurrency_session(
+        str(tmp_path / f"{mode}.db"), _SMOKE_ROWS, mode
+    )
+    executor = ThreadPoolExecutor(max_workers=max(THREAD_COUNTS))
+    try:
+        warm_clients(session, executor, max(THREAD_COUNTS))
+        rows = []
+        for n_readers in (1, 4):
+            runs = [
+                measure_concurrency(
+                    session, executor, n_readers,
+                    _SMOKE_PER_READER, _SMOKE_BATCH,
+                )
+                for _ in range(3)
+            ]
+            median = statistics.median(run["seconds"] for run in runs)
+            rows.append(
+                [
+                    mode,
+                    n_readers,
+                    round(median * 1000, 1),
+                    round(runs[0]["queries"] / max(median, 1e-9), 1),
+                ]
+            )
+            # Sanity, not a perf gate (CI machines vary too much): all
+            # queries completed and the writer made progress.
+            assert all(run["writer_batches"] >= 1 for run in runs)
+        write_report(
+            f"exp_cc_concurrency_{mode}",
+            f"EXP-CC: read throughput under ingest ({mode} reads)",
+            ["mode", "clients", "median ms", "queries/s"],
+            rows,
+        )
+    finally:
+        executor.shutdown()
+        session.close()

@@ -22,17 +22,28 @@ same ratios in the two scan pipelines (see ``bench_query_pushdown.py``):
 * ``lazy`` — sargable predicates compiled into the storage statement and
   hydration deferred to surviving rows.
 
+``--bench concurrency`` sweeps the number of client threads (1/2/4/8)
+issuing pushdown queries against a file-backed database while a writer
+thread ingests annotation batches (see ``bench_concurrency.py``):
+
+* ``serial`` — all reads on the lock-serialized writer connection (the
+  pre-pool topology),
+* ``pooled`` — per-thread read-only WAL connections that never wait for
+  the writer.
+
 Each cell reports the median of five runs plus the SQLite statement
 count of a cold run, and the result lands in ``BENCH_scan.json`` /
-``BENCH_ingest.json`` at the repository root so successive commits leave
-a comparable perf trajectory (the ``BENCH_*.json`` convention).  The
-ingest report also records annotations/second, and the run fails if the
-batched path does not cut statements by at least 3x at the top ratio.
+``BENCH_ingest.json`` / ... at the repository root so successive commits
+leave a comparable perf trajectory (the ``BENCH_*.json`` convention).
+The ingest report also records annotations/second, and the run fails if
+the batched path does not cut statements by at least 3x at the top
+ratio; the concurrency run fails if pooled reads do not at least double
+aggregate throughput at 4 client threads.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py \
-        [--bench {scan,ingest,query}] [--quick] [--output PATH]
+        [--bench {scan,ingest,query,concurrency}] [--quick] [--output PATH]
 """
 
 from __future__ import annotations
@@ -216,6 +227,102 @@ def run_query(quick: bool, repeats: int) -> dict:
     return results
 
 
+def run_concurrency(quick: bool, repeats: int) -> dict:
+    """Client-thread sweep under concurrent ingest, serial vs pooled."""
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from benchmarks.bench_concurrency import (
+        MODES as CONCURRENCY_MODES,
+        THREAD_COUNTS,
+        build_concurrency_session,
+        measure_concurrency,
+        reader_statements,
+        warm_clients,
+    )
+
+    thread_counts = (1, 4) if quick else THREAD_COUNTS
+    num_rows = 10_000 if quick else 50_000
+    batch_rows = 20_000 if quick else 30_000
+    per_reader = 4 if quick else 8
+    results: dict = {"read_under_ingest": {}}
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode in CONCURRENCY_MODES:
+            session = build_concurrency_session(
+                f"{tmp}/{mode}.db", num_rows, mode
+            )
+            executor = ThreadPoolExecutor(max_workers=max(thread_counts))
+            try:
+                warm_clients(session, executor, max(thread_counts))
+                statements = reader_statements(session)
+                for n_readers in thread_counts:
+                    runs = [
+                        measure_concurrency(
+                            session, executor, n_readers,
+                            per_reader, batch_rows,
+                        )
+                        for _ in range(repeats)
+                    ]
+                    median_s = statistics.median(
+                        run["seconds"] for run in runs
+                    )
+                    queries = runs[0]["queries"]
+                    cell = results["read_under_ingest"].setdefault(
+                        f"{n_readers}t", {}
+                    )
+                    cell[mode] = {
+                        "median_s": round(median_s, 6),
+                        "statements": statements,
+                        "queries": queries,
+                        "queries_per_s": round(
+                            queries / max(median_s, 1e-9), 1
+                        ),
+                        "writer_batches": int(
+                            statistics.median(
+                                run["writer_batches"] for run in runs
+                            )
+                        ),
+                    }
+            finally:
+                executor.shutdown()
+                session.close()
+    for cell in results["read_under_ingest"].values():
+        serial, pooled = cell["serial"], cell["pooled"]
+        cell["speedup"] = round(
+            serial["median_s"] / max(pooled["median_s"], 1e-9), 3
+        )
+        cell["statement_ratio"] = round(
+            serial["statements"] / max(pooled["statements"], 1), 2
+        )
+    return results
+
+
+def check_concurrency_gate(results: dict, quick: bool) -> list[str]:
+    """The concurrent-read acceptance gate (empty list = pass).
+
+    At 4 client threads the pooled topology must at least double the
+    aggregate read throughput of the serialized baseline — fixed read
+    work, so a 2x throughput gain is ``speedup >= 2.0`` on wall-clock.
+    In --quick mode the workload is too small for stable timings under
+    scheduler noise, so a miss only warns.
+    """
+    failures: list[str] = []
+    cell = results["read_under_ingest"].get("4t")
+    if cell is None:
+        return ["concurrency: no 4-thread cell was measured"]
+    if cell["speedup"] < 2.0:
+        message = (
+            f"concurrency at 4t: speedup {cell['speedup']:.2f}x — pooled "
+            "reads must at least double aggregate throughput over the "
+            "serialized baseline"
+        )
+        if quick:
+            print(f"warning: {message} (tolerated in --quick mode)")
+        else:
+            failures.append(message)
+    return failures
+
+
 def check_query_gate(results: dict, quick: bool) -> list[str]:
     """The pushdown acceptance gate: returns failure messages (empty = pass).
 
@@ -309,6 +416,17 @@ BENCHES = {
         },
         "pair": ("eager", "lazy"),
         "gate": check_query_gate,
+    },
+    "concurrency": {
+        "run": run_concurrency,
+        "benchmark": "concurrent_reads",
+        "output": "BENCH_concurrency.json",
+        "modes": {
+            "serial": "all reads on the lock-serialized writer connection",
+            "pooled": "per-thread read-only WAL connections",
+        },
+        "pair": ("serial", "pooled"),
+        "gate": check_concurrency_gate,
     },
 }
 

@@ -24,8 +24,11 @@ on the query tree.
 from __future__ import annotations
 
 import abc
+import threading
+from collections import deque
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.engine.expressions import (
@@ -215,18 +218,34 @@ class ExecutionStats:
     ``hydration_blocks`` counts the bulk-fetch round-trip groups.  A
     selective query with lazy hydration shows ``rows_hydrated`` well
     below ``rows_scanned``.
+
+    Accumulation is lock-protected — parallel hydration may drive
+    operators of the same query from several threads at once.
     """
 
     rows_scanned: int = 0
     rows_hydrated: int = 0
     hydration_blocks: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def count_scanned(self, rows: int = 1) -> None:
+        with self._lock:
+            self.rows_scanned += rows
+
+    def count_hydrated_block(self, rows: int) -> None:
+        with self._lock:
+            self.hydration_blocks += 1
+            self.rows_hydrated += rows
 
     def to_json(self) -> dict[str, int]:
-        return {
-            "rows_scanned": self.rows_scanned,
-            "rows_hydrated": self.rows_hydrated,
-            "hydration_blocks": self.hydration_blocks,
-        }
+        with self._lock:
+            return {
+                "rows_scanned": self.rows_scanned,
+                "rows_hydrated": self.rows_hydrated,
+                "hydration_blocks": self.hydration_blocks,
+            }
 
 
 class ScanOperator(Operator):
@@ -272,7 +291,7 @@ class ScanOperator(Operator):
             self.table, where_sql, params, self.storage_limit
         ):
             if stats is not None:
-                stats.rows_scanned += 1
+                stats.count_scanned()
             yield AnnotatedTuple(
                 values=values,
                 source_rows=frozenset({(self.table, row_id)}),
@@ -305,6 +324,13 @@ class HydrateOperator(Operator):
     surviving columns and fully-dropped annotations have their effects
     removed from the (copy-on-write) summary objects — the same outcome
     as the old hydrate-at-scan ordering, at a fraction of the fetches.
+
+    With ``workers > 1`` the block fetches fan out across a bounded
+    thread pool: each worker runs its block's two bulk reads on its own
+    pooled read connection while the main thread keeps consuming input,
+    and blocks are *emitted* strictly in submission order, so output is
+    byte-identical to the serial path.  ``workers=1`` (the default) is
+    exactly the serial fetch-then-emit loop.
     """
 
     def __init__(
@@ -320,9 +346,12 @@ class HydrateOperator(Operator):
         block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
         eager: bool = False,
         stats: ExecutionStats | None = None,
+        workers: int = 1,
     ) -> None:
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         super().__init__(child.schema, tracer)
         self._child = child
         self._annotations = annotations
@@ -334,6 +363,7 @@ class HydrateOperator(Operator):
         self.block_size = block_size
         self.eager = eager
         self._stats = stats
+        self.workers = workers
 
     def rows(self) -> Iterator[AnnotatedTuple]:
         instances = self._catalog.instances_for_table(self.table)
@@ -345,6 +375,9 @@ class HydrateOperator(Operator):
                 # processing, no attachment bookkeeping either.
                 yield from self._child
                 return
+        if self.workers > 1:
+            yield from self._rows_parallel(instances)
+            return
         block: list[AnnotatedTuple] = []
         for row in self._child:
             block.append(row)
@@ -354,6 +387,66 @@ class HydrateOperator(Operator):
         if block:
             yield from self._emit_block(block, instances)
 
+    def _rows_parallel(
+        self, instances: Sequence["SummaryInstance"]
+    ) -> Iterator[AnnotatedTuple]:
+        """Pipelined fetch: workers hydrate blocks ahead of the consumer.
+
+        At most ``workers * 2`` blocks are in flight, bounding both
+        memory and the read-ahead past a downstream LIMIT (a few
+        wasted block fetches, never the whole table).  Emission order is
+        the FIFO submission order — results are byte-identical to the
+        serial path, whatever order the fetches complete in.
+        """
+        pending: deque[tuple[list[AnnotatedTuple], list[int], Future]] = deque()
+        max_pending = self.workers * 2
+        pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="hydrate"
+        )
+        try:
+            block: list[AnnotatedTuple] = []
+            for row in self._child:
+                block.append(row)
+                if len(block) >= self.block_size:
+                    row_ids = [self._row_id(r) for r in block]
+                    pending.append(
+                        (
+                            block,
+                            row_ids,
+                            pool.submit(self._fetch_block, row_ids, instances),
+                        )
+                    )
+                    block = []
+                    if len(pending) >= max_pending:
+                        yield from self._emit_fetched(
+                            *pending.popleft(), instances
+                        )
+            if block:
+                row_ids = [self._row_id(r) for r in block]
+                pending.append(
+                    (
+                        block,
+                        row_ids,
+                        pool.submit(self._fetch_block, row_ids, instances),
+                    )
+                )
+            while pending:
+                yield from self._emit_fetched(*pending.popleft(), instances)
+        finally:
+            # Also reached via GeneratorExit when a LIMIT stops consuming:
+            # drop queued blocks, let in-flight fetches finish harmlessly.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _emit_fetched(
+        self,
+        block: list[AnnotatedTuple],
+        row_ids: list[int],
+        future: Future,
+        instances: Sequence["SummaryInstance"],
+    ) -> Iterator[AnnotatedTuple]:
+        objects, attachment_maps = future.result()
+        yield from self._emit(block, row_ids, objects, attachment_maps, instances)
+
     def _row_id(self, row: AnnotatedTuple) -> int:
         for table, row_id in row.source_rows:
             if table == self.table:
@@ -362,13 +455,15 @@ class HydrateOperator(Operator):
             f"Hydrate({self.alias}): row has no {self.table!r} source"
         )
 
-    def _emit_block(
+    def _fetch_block(
         self,
-        block: list[AnnotatedTuple],
+        row_ids: list[int],
         instances: Sequence["SummaryInstance"],
-    ) -> Iterator[AnnotatedTuple]:
-        """Bulk-fetch one block's summaries and attachments, then emit."""
-        row_ids = [self._row_id(row) for row in block]
+    ) -> tuple[
+        dict[tuple[str, int], SummaryObject],
+        dict[int, dict[int, frozenset[str]]],
+    ]:
+        """One block's two bulk reads — pure data, safe off-thread."""
         names = [instance.name for instance in instances]
         if self._manager is not None:
             objects = self._manager.objects_for_rows(names, self.table, row_ids)
@@ -382,10 +477,29 @@ class HydrateOperator(Operator):
             attachment_maps = self._annotations.attachments_for_rows(
                 self.table, row_ids
             )
+        return objects, attachment_maps
+
+    def _emit_block(
+        self,
+        block: list[AnnotatedTuple],
+        instances: Sequence["SummaryInstance"],
+    ) -> Iterator[AnnotatedTuple]:
+        """Bulk-fetch one block's summaries and attachments, then emit."""
+        row_ids = [self._row_id(row) for row in block]
+        objects, attachment_maps = self._fetch_block(row_ids, instances)
+        yield from self._emit(block, row_ids, objects, attachment_maps, instances)
+
+    def _emit(
+        self,
+        block: list[AnnotatedTuple],
+        row_ids: list[int],
+        objects: dict[tuple[str, int], SummaryObject],
+        attachment_maps: dict[int, dict[int, frozenset[str]]],
+        instances: Sequence["SummaryInstance"],
+    ) -> Iterator[AnnotatedTuple]:
         stats = self._stats
         if stats is not None:
-            stats.hydration_blocks += 1
-            stats.rows_hydrated += len(block)
+            stats.count_hydrated_block(len(block))
         kept = set(self.schema)
         for row, row_id in zip(block, row_ids):
             attachments: dict[int, frozenset[str]] = {}
@@ -422,6 +536,8 @@ class HydrateOperator(Operator):
                 base = f"{base} [summaries: {', '.join(self.instances)}]"
         if self.eager:
             base = f"{base} [eager]"
+        if self.workers > 1:
+            base = f"{base} [workers: {self.workers}]"
         return base
 
 
@@ -640,10 +756,11 @@ class JoinOperator(Operator):
         )
 
     def rows(self) -> Iterator[AnnotatedTuple]:
-        right_rows = list(self._right)
         if self._equi_keys:
+            # The hash index IS the materialization — built in one pass
+            # over the right input, no intermediate list.
             index: dict[tuple[Any, ...], list[AnnotatedTuple]] = {}
-            for row in right_rows:
+            for row in self._right:
                 key = tuple(row.values[ri] for _, ri in self._equi_keys)
                 index.setdefault(key, []).append(row)
             for left_row in self._left:
@@ -661,6 +778,9 @@ class JoinOperator(Operator):
                 if self.outer and not matched:
                     yield self._pad_unmatched(left_row)
         else:
+            # Non-equi: every left row sees every right row, so the
+            # materialization is genuinely needed — keep it explicit.
+            right_rows = list(self._right)
             for left_row in self._left:
                 matched = False
                 for right_row in right_rows:

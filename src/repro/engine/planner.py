@@ -72,6 +72,7 @@ class Planner:
         push_selections: bool = True,
         scan_block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
         pushdown: bool = True,
+        workers: int = 1,
     ) -> None:
         self._db = database
         self._annotations = annotations
@@ -89,6 +90,11 @@ class Planner:
                 f"scan_block_size must be >= 1, got {scan_block_size}"
             )
         self.scan_block_size = scan_block_size
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        #: Hydration fan-out: block fetches run on up to this many
+        #: pooled read connections (1 = today's serial pipeline).
+        self.workers = workers
 
     # -- schema inference ---------------------------------------------
 
@@ -529,6 +535,7 @@ class Planner:
                 block_size=self.scan_block_size,
                 eager=node.eager,
                 stats=stats,
+                workers=self.workers,
             )
         if isinstance(node, lp.Select):
             return SelectOperator(

@@ -10,6 +10,7 @@ the cost the zoom-in cache (RCO policy) exists to avoid.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
@@ -173,6 +174,9 @@ class ResultRegistry:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._results: OrderedDict[int, QueryResult] = OrderedDict()
+        # itertools.count.__next__ is atomic under the GIL, but the
+        # registry map and its eviction loop are not — one lock for both.
+        self._lock = threading.Lock()
         self._qid_counter = itertools.count(101)  # matches the paper's QID=101
 
     def next_qid(self) -> int:
@@ -181,25 +185,30 @@ class ResultRegistry:
 
     def register(self, result: QueryResult) -> None:
         """Store a result, evicting the oldest past capacity."""
-        self._results[result.qid] = result
-        while len(self._results) > self._capacity:
-            self._results.popitem(last=False)
+        with self._lock:
+            self._results[result.qid] = result
+            while len(self._results) > self._capacity:
+                self._results.popitem(last=False)
 
     def get(self, qid: int) -> QueryResult:
         """Look up a result or raise :class:`UnknownQueryIdError`."""
-        try:
-            return self._results[qid]
-        except KeyError:
-            raise UnknownQueryIdError(qid) from None
+        with self._lock:
+            try:
+                return self._results[qid]
+            except KeyError:
+                raise UnknownQueryIdError(qid) from None
 
     def __contains__(self, qid: int) -> bool:
-        return qid in self._results
+        with self._lock:
+            return qid in self._results
 
     def __len__(self) -> int:
-        return len(self._results)
+        with self._lock:
+            return len(self._results)
 
     def latest(self) -> QueryResult | None:
         """The most recently registered result, if any."""
-        if not self._results:
-            return None
-        return next(reversed(self._results.values()))
+        with self._lock:
+            if not self._results:
+                return None
+            return next(reversed(self._results.values()))

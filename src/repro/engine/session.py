@@ -91,6 +91,19 @@ class InsightNotes:
         selection (late materialization).  Disable to get the old
         hydrate-everything-at-scan pipeline — the benchmarks' "before"
         configuration; query results are identical either way.
+    workers:
+        Hydration fan-out: with ``workers=N`` (N > 1) each query's
+        block-wise summary/attachment fetches run on up to N threads,
+        each on its own pooled read connection, while row order and
+        results stay byte-identical.  The default ``1`` reproduces the
+        serial pipeline exactly.  Sessions are also safe to *share*
+        across threads: concurrent queries each get their own operator
+        tree, and every shared structure (caches, registries, counters)
+        is internally locked.
+    serialize_reads:
+        Force all reads through the lock-serialized writer connection
+        even for file-backed databases — the pre-pool topology, kept as
+        the concurrency benchmark's baseline (``serial``) mode.
     """
 
     def __init__(
@@ -104,8 +117,10 @@ class InsightNotes:
         scan_block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
         object_cache_size: int = DEFAULT_OBJECT_CACHE_SIZE,
         pushdown: bool = True,
+        workers: int = 1,
+        serialize_reads: bool = False,
     ) -> None:
-        self.db = Database(path)
+        self.db = Database(path, serialize_reads=serialize_reads)
         self.annotations = AnnotationStore(self.db)
         self.catalog = SummaryCatalog(
             self.db, registry=registry, object_cache_size=object_cache_size
@@ -119,6 +134,7 @@ class InsightNotes:
             normalize=normalize,
             scan_block_size=scan_block_size,
             pushdown=pushdown,
+            workers=workers,
         )
         self.results = ResultRegistry()
         if isinstance(cache_store, str):

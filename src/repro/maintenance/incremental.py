@@ -26,10 +26,20 @@ groups re-elect representatives from their heavy state.
 The manager keeps a bounded in-memory object cache so a burst of
 annotations on the same hot rows does not round-trip JSON through SQLite
 for every insert.
+
+The manager is shared across concurrent queries.  One re-entrant lock
+guards every piece of mutable state (object cache, dirty set,
+attachments LRU, stats, contribution memo): write paths hold it end to
+end — they are serialized anyway by the storage layer's single-writer
+lock — while the read paths (:meth:`objects_for_rows`,
+:meth:`attachments_for_rows`) probe the caches under the lock, run SQL
+with the lock *released*, and re-acquire it to fill, so parallel
+hydration workers never serialize on each other's fetches.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
@@ -132,6 +142,8 @@ class SummaryManager:
         self.write_through = write_through
         self.contributions = ContributionCache()
         self.stats = MaintenanceStats()
+        # Re-entrant: flush() runs inside add_annotations' locked region.
+        self._lock = threading.RLock()
         self._object_cache_size = object_cache_size
         self._attachments_cache_size = attachments_cache_size
         # (instance, table, row_id) -> object; OrderedDict gives LRU order.
@@ -186,21 +198,23 @@ class SummaryManager:
         transaction regardless of how many objects the deferred window
         accumulated.
         """
-        entries = [
-            (key[0], key[1], key[2], obj)
-            for key in sorted(self._dirty)
-            if (obj := self._objects.get(key)) is not None
-        ]
-        written = self._catalog.save_objects(entries)
-        self.stats.objects_updated += written
-        self._dirty.clear()
-        return written
+        with self._lock:
+            entries = [
+                (key[0], key[1], key[2], obj)
+                for key in sorted(self._dirty)
+                if (obj := self._objects.get(key)) is not None
+            ]
+            written = self._catalog.save_objects(entries)
+            self.stats.objects_updated += written
+            self._dirty.clear()
+            return written
 
     def drop_caches(self) -> None:
         """Flush and empty the object cache (tests, memory pressure)."""
-        self.flush()
-        self._objects.clear()
-        self._attachments.clear()
+        with self._lock:
+            self.flush()
+            self._objects.clear()
+            self._attachments.clear()
 
     # -- attachment cache ---------------------------------------------
 
@@ -214,13 +228,15 @@ class SummaryManager:
         have not changed.  Invalidated by every write-path entry point.
         """
         key = (table, row_id)
-        cached = self._attachments.get(key)
-        if cached is not None:
-            self._attachments.move_to_end(key)
-            return cached
+        with self._lock:
+            cached = self._attachments.get(key)
+            if cached is not None:
+                self._attachments.move_to_end(key)
+                return cached
         attachments = self._annotations.attachments_for_row(table, row_id)
-        self._attachments[key] = attachments
-        self._evict_attachments_if_needed()
+        with self._lock:
+            self._attachments[key] = attachments
+            self._evict_attachments_if_needed()
         return attachments
 
     def attachments_for_rows(
@@ -234,20 +250,22 @@ class SummaryManager:
         """
         result: dict[int, dict[int, frozenset[str]]] = {}
         missing: list[int] = []
-        for row_id in row_ids:
-            key = (table, row_id)
-            cached = self._attachments.get(key)
-            if cached is not None:
-                self._attachments.move_to_end(key)
-                result[row_id] = cached
-            else:
-                missing.append(row_id)
+        with self._lock:
+            for row_id in row_ids:
+                key = (table, row_id)
+                cached = self._attachments.get(key)
+                if cached is not None:
+                    self._attachments.move_to_end(key)
+                    result[row_id] = cached
+                else:
+                    missing.append(row_id)
         if missing:
             fetched = self._annotations.attachments_for_rows(table, missing)
-            for row_id, attachments in fetched.items():
-                self._attachments[(table, row_id)] = attachments
-                result[row_id] = attachments
-            self._evict_attachments_if_needed()
+            with self._lock:
+                for row_id, attachments in fetched.items():
+                    self._attachments[(table, row_id)] = attachments
+                    result[row_id] = attachments
+                self._evict_attachments_if_needed()
         return result
 
     def _evict_attachments_if_needed(self) -> None:
@@ -266,22 +284,23 @@ class SummaryManager:
 
         Returns the number of summary objects updated.
         """
-        self.stats.annotations_processed += 1
-        rows: dict[tuple[str, int], None] = {}
-        for cell in cells:
-            rows.setdefault((cell.table, cell.row_id), None)
-        updated = 0
-        for table, row_id in rows:
-            self._invalidate_attachments(table, row_id)
-            for instance in self._catalog.instances_for_table(table):
-                obj = self._get_object(instance, table, row_id)
-                if annotation.annotation_id in obj.annotation_ids():
-                    continue  # idempotent replay
-                contribution = self.contributions.analyze(instance, annotation)
-                instance.add_to(obj, annotation, contribution)
-                self._mark_updated((instance.name, table, row_id))
-                updated += 1
-        return updated
+        with self._lock:
+            self.stats.annotations_processed += 1
+            rows: dict[tuple[str, int], None] = {}
+            for cell in cells:
+                rows.setdefault((cell.table, cell.row_id), None)
+            updated = 0
+            for table, row_id in rows:
+                self._invalidate_attachments(table, row_id)
+                for instance in self._catalog.instances_for_table(table):
+                    obj = self._get_object(instance, table, row_id)
+                    if annotation.annotation_id in obj.annotation_ids():
+                        continue  # idempotent replay
+                    contribution = self.contributions.analyze(instance, annotation)
+                    instance.add_to(obj, annotation, contribution)
+                    self._mark_updated((instance.name, table, row_id))
+                    updated += 1
+            return updated
 
     def add_annotations(
         self, batch: Sequence[tuple[Annotation, Sequence[CellRef]]]
@@ -308,89 +327,90 @@ class SummaryManager:
         batch = [(annotation, list(cells)) for annotation, cells in batch]
         if not batch:
             return 0
-        self.stats.batches += 1
-        self.stats.annotations_processed += len(batch)
-        # table -> row_id -> annotations in arrival order (deduplicated:
-        # an annotation attached to several cells of a row folds once).
-        by_table: dict[str, dict[int, list[Annotation]]] = {}
-        for annotation, cells in batch:
-            rows_of_annotation: set[tuple[str, int]] = set()
-            for cell in cells:
-                target = (cell.table, cell.row_id)
-                if target in rows_of_annotation:
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.annotations_processed += len(batch)
+            # table -> row_id -> annotations in arrival order (deduplicated:
+            # an annotation attached to several cells of a row folds once).
+            by_table: dict[str, dict[int, list[Annotation]]] = {}
+            for annotation, cells in batch:
+                rows_of_annotation: set[tuple[str, int]] = set()
+                for cell in cells:
+                    target = (cell.table, cell.row_id)
+                    if target in rows_of_annotation:
+                        continue
+                    rows_of_annotation.add(target)
+                    by_table.setdefault(cell.table, {}).setdefault(
+                        cell.row_id, []
+                    ).append(annotation)
+            updated = 0
+            for table in sorted(by_table):
+                row_map = by_table[table]
+                self.stats.batch_rows += len(row_map)
+                for row_id in row_map:
+                    self._invalidate_attachments(table, row_id)
+                instances = self._catalog.instances_for_table(table)
+                if not instances:
                     continue
-                rows_of_annotation.add(target)
-                by_table.setdefault(cell.table, {}).setdefault(
-                    cell.row_id, []
-                ).append(annotation)
-        updated = 0
-        for table in sorted(by_table):
-            row_map = by_table[table]
-            self.stats.batch_rows += len(row_map)
-            for row_id in row_map:
-                self._invalidate_attachments(table, row_id)
-            instances = self._catalog.instances_for_table(table)
-            if not instances:
-                continue
-            names = [instance.name for instance in instances]
-            missing_rows = sorted(
-                row_id
-                for row_id in row_map
-                if any((name, table, row_id) not in self._objects for name in names)
-            )
-            loaded = (
-                self._catalog.load_objects_for_table(names, table, missing_rows)
-                if missing_rows
-                else {}
-            )
-            # One contribution per (instance, annotation) for the whole
-            # table group, however many rows the annotation covers.
-            unique: dict[int, Annotation] = {}
-            for annotations in row_map.values():
-                for annotation in annotations:
-                    unique.setdefault(annotation.annotation_id, annotation)
-            applications = sum(len(v) for v in row_map.values())
-            contributions: dict[str, dict[int, object]] = {
-                instance.name: self.contributions.analyze_many(
-                    instance, unique.values()
+                names = [instance.name for instance in instances]
+                missing_rows = sorted(
+                    row_id
+                    for row_id in row_map
+                    if any((name, table, row_id) not in self._objects for name in names)
                 )
-                for instance in instances
-            }
-            self.stats.folds_saved += (applications - len(unique)) * len(instances)
-            for row_id in sorted(row_map):
-                annotations = row_map[row_id]
-                for instance in instances:
-                    key = (instance.name, table, row_id)
-                    obj = self._objects.get(key)
-                    if obj is not None:
-                        self._objects.move_to_end(key)
-                        self.stats.object_cache_hits += 1
-                    else:
-                        self.stats.object_cache_misses += 1
-                        obj = loaded.get((instance.name, row_id))
-                        if obj is None:
-                            obj = instance.new_object()
-                            self.stats.objects_created += 1
-                        self._objects[key] = obj
-                    folded = obj.fold_many(
-                        instance,
-                        [
-                            (
-                                annotation,
-                                contributions[instance.name][
-                                    annotation.annotation_id
-                                ],
-                            )
-                            for annotation in annotations
-                        ],
+                loaded = (
+                    self._catalog.load_objects_for_table(names, table, missing_rows)
+                    if missing_rows
+                    else {}
+                )
+                # One contribution per (instance, annotation) for the whole
+                # table group, however many rows the annotation covers.
+                unique: dict[int, Annotation] = {}
+                for annotations in row_map.values():
+                    for annotation in annotations:
+                        unique.setdefault(annotation.annotation_id, annotation)
+                applications = sum(len(v) for v in row_map.values())
+                contributions: dict[str, dict[int, object]] = {
+                    instance.name: self.contributions.analyze_many(
+                        instance, unique.values()
                     )
-                    if folded:
-                        self._dirty.add(key)
-                        updated += 1
-        if self.write_through:
-            self.flush()
-        self._evict_if_needed()
-        return updated
+                    for instance in instances
+                }
+                self.stats.folds_saved += (applications - len(unique)) * len(instances)
+                for row_id in sorted(row_map):
+                    annotations = row_map[row_id]
+                    for instance in instances:
+                        key = (instance.name, table, row_id)
+                        obj = self._objects.get(key)
+                        if obj is not None:
+                            self._objects.move_to_end(key)
+                            self.stats.object_cache_hits += 1
+                        else:
+                            self.stats.object_cache_misses += 1
+                            obj = loaded.get((instance.name, row_id))
+                            if obj is None:
+                                obj = instance.new_object()
+                                self.stats.objects_created += 1
+                            self._objects[key] = obj
+                        folded = obj.fold_many(
+                            instance,
+                            [
+                                (
+                                    annotation,
+                                    contributions[instance.name][
+                                        annotation.annotation_id
+                                    ],
+                                )
+                                for annotation in annotations
+                            ],
+                        )
+                        if folded:
+                            self._dirty.add(key)
+                            updated += 1
+            if self.write_through:
+                self.flush()
+            self._evict_if_needed()
+            return updated
 
     def on_annotation_deleted(self, annotation_id: int) -> int:
         """Remove a deleted annotation's effect from all summaries.
@@ -400,24 +420,25 @@ class SummaryManager:
         Returns the number of summary objects updated.
         """
         affected = self._annotations.rows_for_annotation(annotation_id)
-        self.contributions.invalidate(annotation_id)
-        updated = 0
-        for table, row_id in sorted(affected):
-            self._invalidate_attachments(table, row_id)
-            for instance in self._catalog.instances_for_table(table):
-                obj = self._get_object(instance, table, row_id)
-                if annotation_id not in obj.annotation_ids():
-                    continue
-                obj.remove_annotations({annotation_id})
-                if isinstance(obj, ClusterSummary):
-                    # The centroid moved; re-elect representatives from the
-                    # heavy state kept at maintenance time.
-                    for group in obj.groups:
-                        if group.vectors is not None:
-                            group.rerank()
-                self._mark_updated((instance.name, table, row_id))
-                updated += 1
-        return updated
+        with self._lock:
+            self.contributions.invalidate(annotation_id)
+            updated = 0
+            for table, row_id in sorted(affected):
+                self._invalidate_attachments(table, row_id)
+                for instance in self._catalog.instances_for_table(table):
+                    obj = self._get_object(instance, table, row_id)
+                    if annotation_id not in obj.annotation_ids():
+                        continue
+                    obj.remove_annotations({annotation_id})
+                    if isinstance(obj, ClusterSummary):
+                        # The centroid moved; re-elect representatives from
+                        # the heavy state kept at maintenance time.
+                        for group in obj.groups:
+                            if group.vectors is not None:
+                                group.rerank()
+                    self._mark_updated((instance.name, table, row_id))
+                    updated += 1
+            return updated
 
     def on_row_deleted(self, table: str, row_id: int) -> int:
         """Drop all summary state of a deleted base row.
@@ -427,13 +448,14 @@ class SummaryManager:
         detaching the row's annotations).
         """
         removed = 0
-        self._invalidate_attachments(table, row_id)
-        for instance in self._catalog.instances_for_table(table):
-            key = (instance.name, table, row_id)
-            self._objects.pop(key, None)
-            self._dirty.discard(key)
-            self._catalog.delete_object(instance.name, table, row_id)
-            removed += 1
+        with self._lock:
+            self._invalidate_attachments(table, row_id)
+            for instance in self._catalog.instances_for_table(table):
+                key = (instance.name, table, row_id)
+                self._objects.pop(key, None)
+                self._dirty.discard(key)
+                self._catalog.delete_object(instance.name, table, row_id)
+                removed += 1
         return removed
 
     # -- bootstrap ---------------------------------------------------
@@ -448,20 +470,21 @@ class SummaryManager:
         """
         instance = self._catalog.get_instance(instance_name)
         summarized = 0
-        for row_id, _values in self._db.rows(table):
-            pairs = self._annotations.annotations_for_row(table, row_id)
-            key = (instance.name, table, row_id)
-            self._objects.pop(key, None)
-            self._dirty.discard(key)
-            if not pairs:
-                self._catalog.delete_object(instance.name, table, row_id)
-                continue
-            obj = instance.new_object()
-            for annotation, _columns in pairs:
-                contribution = self.contributions.analyze(instance, annotation)
-                instance.add_to(obj, annotation, contribution)
-            self._catalog.save_object(instance.name, table, row_id, obj)
-            summarized += 1
+        with self._lock:
+            for row_id, _values in self._db.rows(table):
+                pairs = self._annotations.annotations_for_row(table, row_id)
+                key = (instance.name, table, row_id)
+                self._objects.pop(key, None)
+                self._dirty.discard(key)
+                if not pairs:
+                    self._catalog.delete_object(instance.name, table, row_id)
+                    continue
+                obj = instance.new_object()
+                for annotation, _columns in pairs:
+                    contribution = self.contributions.analyze(instance, annotation)
+                    instance.add_to(obj, annotation, contribution)
+                self._catalog.save_object(instance.name, table, row_id, obj)
+                summarized += 1
         return summarized
 
     # -- reads --------------------------------------------------------
@@ -497,15 +520,16 @@ class SummaryManager:
         ids = list(row_ids)
         result: dict[tuple[str, int], SummaryObject] = {}
         missing_ids: set[int] = set()
-        for row_id in ids:
-            for name in names:
-                key = (name, table, row_id)
-                if key in self._objects:
-                    self._objects.move_to_end(key)
-                    self.stats.object_cache_hits += 1
-                    result[(name, row_id)] = self._objects[key]
-                else:
-                    missing_ids.add(row_id)
+        with self._lock:
+            for row_id in ids:
+                for name in names:
+                    key = (name, table, row_id)
+                    if key in self._objects:
+                        self._objects.move_to_end(key)
+                        self.stats.object_cache_hits += 1
+                        result[(name, row_id)] = self._objects[key]
+                    else:
+                        missing_ids.add(row_id)
         if missing_ids:
             loaded = self._catalog.load_objects_for_table(
                 names, table, sorted(missing_ids)

@@ -50,8 +50,7 @@ class AnnotationStore:
 
     def __init__(self, database: Database) -> None:
         self._db = database
-        connection = database.connection
-        with connection:
+        with database.transaction() as connection:
             connection.execute(
                 f"""
                 CREATE TABLE IF NOT EXISTS {_ANNOTATIONS_TABLE} (
@@ -110,8 +109,7 @@ class AnnotationStore:
                     f"cannot attach to unknown column {cell.table}.{cell.column}"
                 )
         timestamp = time.time() if created_at is None else created_at
-        connection = self._db.connection
-        with connection:
+        with self._db.transaction() as connection:
             if annotation_id is None:
                 cursor = connection.execute(
                     f"""
@@ -177,12 +175,13 @@ class AnnotationStore:
                         f"cannot attach to unknown column {cell.table}.{cell.column}"
                     )
         now = time.time()
-        connection = self._db.connection
         annotations: list[Annotation] = []
         annotation_rows: list[tuple[int, str, str, float, str, str]] = []
         attachment_rows: list[tuple[int, str, int, str]] = []
-        with connection:
-            next_id = self._next_annotation_id()
+        with self._db.transaction() as connection:
+            # The id probe must run on the writer inside this transaction
+            # (a pooled reader only sees already-committed state).
+            next_id = self._next_annotation_id(connection)
             for offset, draft in enumerate(drafts):
                 annotation_id = next_id + offset
                 timestamp = now if draft.created_at is None else draft.created_at
@@ -228,15 +227,16 @@ class AnnotationStore:
             )
         return annotations
 
-    def _next_annotation_id(self) -> int:
+    def _next_annotation_id(self, connection: sqlite3.Connection) -> int:
         """First free annotation id, honouring AUTOINCREMENT's no-reuse rule.
 
         The sqlite_sequence entry outlives deletions of the max row, so a
         bulk insert never recycles the id of a deleted annotation (which
         stale summary references might still name).  The MAX() fallback
         covers explicitly pinned ids that may run ahead of the sequence.
+        Runs on the caller's (writer) connection: the probe sits inside
+        the batch's open transaction and must see its uncommitted state.
         """
-        connection = self._db.connection
         try:
             row = connection.execute(
                 "SELECT seq FROM sqlite_sequence WHERE name = ?",
@@ -266,8 +266,8 @@ class AnnotationStore:
         current = self.get(annotation_id)  # raises for unknown ids
         new_text = current.text if text is None else text
         new_title = current.title if title is None else title
-        with self._db.connection:
-            self._db.connection.execute(
+        with self._db.transaction() as connection:
+            connection.execute(
                 f"""
                 UPDATE {_ANNOTATIONS_TABLE} SET body = ?, title = ?
                 WHERE annotation_id = ?
@@ -289,8 +289,7 @@ class AnnotationStore:
         Used when a base row is deleted but the annotation also covers
         other rows and must survive there.
         """
-        connection = self._db.connection
-        with connection:
+        with self._db.transaction() as connection:
             connection.execute(
                 f"""
                 DELETE FROM {_ATTACHMENTS_TABLE}
@@ -302,8 +301,7 @@ class AnnotationStore:
     def delete(self, annotation_id: int) -> None:
         """Remove an annotation and all its attachments."""
         self.get(annotation_id)  # raises for unknown ids
-        connection = self._db.connection
-        with connection:
+        with self._db.transaction() as connection:
             connection.execute(
                 f"DELETE FROM {_ATTACHMENTS_TABLE} WHERE annotation_id = ?",
                 (annotation_id,),
@@ -317,13 +315,13 @@ class AnnotationStore:
 
     def get(self, annotation_id: int) -> Annotation:
         """Fetch one annotation or raise :class:`UnknownAnnotationError`."""
-        row = self._db.connection.execute(
+        row = self._db.fetch_one(
             f"""
             SELECT annotation_id, body, author, created_at, kind, title
             FROM {_ANNOTATIONS_TABLE} WHERE annotation_id = ?
             """,
             (annotation_id,),
-        ).fetchone()
+        )
         if row is None:
             raise UnknownAnnotationError(annotation_id)
         return _annotation_from_row(row)
@@ -340,7 +338,7 @@ class AnnotationStore:
         for chunk_start in range(0, len(wanted), 500):
             chunk = wanted[chunk_start : chunk_start + 500]
             placeholders = ", ".join("?" for _ in chunk)
-            rows = self._db.connection.execute(
+            rows = self._db.fetch_all(
                 f"""
                 SELECT annotation_id, body, author, created_at, kind, title
                 FROM {_ANNOTATIONS_TABLE}
@@ -348,7 +346,7 @@ class AnnotationStore:
                 ORDER BY annotation_id
                 """,
                 chunk,
-            ).fetchall()
+            )
             if len(rows) != len(chunk):
                 found = {row[0] for row in rows}
                 missing = next(i for i in chunk if i not in found)
@@ -358,59 +356,60 @@ class AnnotationStore:
 
     def count(self) -> int:
         """Total number of stored annotations."""
-        (count,) = self._db.connection.execute(
-            f"SELECT COUNT(*) FROM {_ANNOTATIONS_TABLE}"
-        ).fetchone()
-        return count
+        row = self._db.fetch_one(f"SELECT COUNT(*) FROM {_ANNOTATIONS_TABLE}")
+        assert row is not None
+        return row[0]
 
     def total_text_bytes(self) -> int:
         """Total size of all annotation bodies (storage benchmark)."""
-        (total,) = self._db.connection.execute(
+        row = self._db.fetch_one(
             f"SELECT COALESCE(SUM(LENGTH(body)), 0) FROM {_ANNOTATIONS_TABLE}"
-        ).fetchone()
-        return total
+        )
+        assert row is not None
+        return row[0]
 
     def iter_all(self) -> Iterator[Annotation]:
         """Iterate over every stored annotation in id order."""
-        cursor = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"""
             SELECT annotation_id, body, author, created_at, kind, title
             FROM {_ANNOTATIONS_TABLE} ORDER BY annotation_id
             """
         )
-        for row in cursor:
+        for row in rows:
             yield _annotation_from_row(row)
 
     # -- attachment queries ----------------------------------------------
 
     def cells_of(self, annotation_id: int) -> list[CellRef]:
         """All cells the annotation is attached to."""
-        rows = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"""
             SELECT table_name, row_id, column_name
             FROM {_ATTACHMENTS_TABLE} WHERE annotation_id = ?
             ORDER BY table_name, row_id, column_name
             """,
             (annotation_id,),
-        ).fetchall()
+        )
         return [CellRef(table, row_id, column) for table, row_id, column in rows]
 
     def attachment_count(self, annotation_id: int) -> int:
         """How many distinct base rows the annotation attaches to."""
-        (count,) = self._db.connection.execute(
+        row = self._db.fetch_one(
             f"""
             SELECT COUNT(DISTINCT table_name || '/' || row_id)
             FROM {_ATTACHMENTS_TABLE} WHERE annotation_id = ?
             """,
             (annotation_id,),
-        ).fetchone()
-        return count
+        )
+        assert row is not None
+        return row[0]
 
     def annotations_for_row(
         self, table: str, row_id: int
     ) -> list[tuple[Annotation, frozenset[str]]]:
         """Annotations on a base row with their attached column sets."""
-        rows = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"""
             SELECT a.annotation_id, a.body, a.author, a.created_at, a.kind,
                    a.title, t.column_name
@@ -420,7 +419,7 @@ class AnnotationStore:
             ORDER BY a.annotation_id
             """,
             (table, row_id),
-        ).fetchall()
+        )
         results: list[tuple[Annotation, frozenset[str]]] = []
         for annotation_id, group in itertools.groupby(rows, key=lambda r: r[0]):
             grouped = list(group)
@@ -438,14 +437,14 @@ class AnnotationStore:
         annotation bodies — it is the query-time path, which must stay
         proportional to the *number* of annotations, not their size.
         """
-        rows = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"""
             SELECT annotation_id, column_name FROM {_ATTACHMENTS_TABLE}
             WHERE table_name = ? AND row_id = ?
             ORDER BY annotation_id
             """,
             (table, row_id),
-        ).fetchall()
+        )
         attachments: dict[int, set[str]] = {}
         for annotation_id, column in rows:
             attachments.setdefault(annotation_id, set()).add(column)
@@ -471,14 +470,14 @@ class AnnotationStore:
         for chunk_start in range(0, len(distinct), 500):
             chunk = distinct[chunk_start : chunk_start + 500]
             placeholders = ", ".join("?" for _ in chunk)
-            rows = self._db.connection.execute(
+            rows = self._db.fetch_all(
                 f"""
                 SELECT row_id, annotation_id, column_name
                 FROM {_ATTACHMENTS_TABLE}
                 WHERE table_name = ? AND row_id IN ({placeholders})
                 """,
                 (table, *chunk),
-            ).fetchall()
+            )
             for row_id, annotation_id, column in rows:
                 per_row[row_id].setdefault(annotation_id, set()).add(column)
         return {
@@ -491,24 +490,24 @@ class AnnotationStore:
 
     def annotation_ids_for_row(self, table: str, row_id: int) -> set[int]:
         """Ids of all annotations attached to a base row."""
-        rows = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"""
             SELECT DISTINCT annotation_id FROM {_ATTACHMENTS_TABLE}
             WHERE table_name = ? AND row_id = ?
             """,
             (table, row_id),
-        ).fetchall()
+        )
         return {row[0] for row in rows}
 
     def rows_for_annotation(self, annotation_id: int) -> set[tuple[str, int]]:
         """``(table, row_id)`` pairs the annotation attaches to."""
-        rows = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"""
             SELECT DISTINCT table_name, row_id FROM {_ATTACHMENTS_TABLE}
             WHERE annotation_id = ?
             """,
             (annotation_id,),
-        ).fetchall()
+        )
         return {(table, row_id) for table, row_id in rows}
 
 

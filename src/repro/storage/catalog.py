@@ -18,11 +18,19 @@ queries over the same rows skip both the SQLite roundtrip and the
 *absence* (rows that were never summarized), which full-table scans hit
 constantly.  Every write path (:meth:`save_object`, :meth:`delete_object`,
 :meth:`unlink`, :meth:`drop_instance`) invalidates the affected entries.
+
+The catalog is shared across concurrent queries: the deserialization LRU
+and the live-instance map are guarded by fine-grained locks, and the lock
+is never held across SQL — cache probe under the lock, fetch on a pooled
+read connection outside it, fill under the lock again.  Two threads
+missing the same key may both fetch (a benign double-read); the second
+fill simply overwrites the first with an equal object.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 
@@ -72,15 +80,17 @@ class SummaryCatalog:
         self._db = database
         self.registry = registry or default_registry()
         self._live_instances: dict[str, SummaryInstance] = {}
+        self._instances_lock = threading.Lock()
         self._object_cache_size = object_cache_size
         # (instance, table, row_id) -> SummaryObject | _ABSENT, LRU-ordered.
         self._object_cache: OrderedDict[tuple[str, str, int], object] = (
             OrderedDict()
         )
+        # Guards the LRU and its hit/miss counters; never held across SQL.
+        self._cache_lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
-        connection = database.connection
-        with connection:
+        with database.transaction() as connection:
             connection.execute(
                 f"""
                 CREATE TABLE IF NOT EXISTS {_INSTANCES_TABLE} (
@@ -126,55 +136,61 @@ class SummaryCatalog:
         """Resize (``0``: disable and clear) the deserialization cache."""
         if size < 0:
             raise ValueError(f"object_cache_size must be >= 0, got {size}")
-        self._object_cache_size = size
-        if size == 0:
-            self._object_cache.clear()
-        else:
-            while len(self._object_cache) > size:
-                self._object_cache.popitem(last=False)
+        with self._cache_lock:
+            self._object_cache_size = size
+            if size == 0:
+                self._object_cache.clear()
+            else:
+                while len(self._object_cache) > size:
+                    self._object_cache.popitem(last=False)
 
     def object_cache_info(self) -> dict[str, int]:
         """Hit/miss/size counters for monitoring and tests."""
-        return {
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
-            "entries": len(self._object_cache),
-            "capacity": self._object_cache_size,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "entries": len(self._object_cache),
+                "capacity": self._object_cache_size,
+            }
 
     def _cache_get(self, key: tuple[str, str, int]) -> object:
         """Cached object, ``_ABSENT``, or None when not cached."""
-        cached = self._object_cache.get(key)
-        if cached is not None:
-            self._object_cache.move_to_end(key)
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
-        return cached
+        with self._cache_lock:
+            cached = self._object_cache.get(key)
+            if cached is not None:
+                self._object_cache.move_to_end(key)
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            return cached
 
     def _cache_put(self, key: tuple[str, str, int], value: object) -> None:
-        if self._object_cache_size == 0:
-            return
-        self._object_cache[key] = value
-        self._object_cache.move_to_end(key)
-        while len(self._object_cache) > self._object_cache_size:
-            self._object_cache.popitem(last=False)
+        with self._cache_lock:
+            if self._object_cache_size == 0:
+                return
+            self._object_cache[key] = value
+            self._object_cache.move_to_end(key)
+            while len(self._object_cache) > self._object_cache_size:
+                self._object_cache.popitem(last=False)
 
     def _cache_invalidate(self, key: tuple[str, str, int]) -> None:
-        self._object_cache.pop(key, None)
+        with self._cache_lock:
+            self._object_cache.pop(key, None)
 
     def _cache_invalidate_pair(
         self, instance_name: str, table_name: str | None
     ) -> None:
         """Drop all cached entries of an instance (optionally one table)."""
-        stale = [
-            key
-            for key in self._object_cache
-            if key[0] == instance_name
-            and (table_name is None or key[1] == table_name)
-        ]
-        for key in stale:
-            del self._object_cache[key]
+        with self._cache_lock:
+            stale = [
+                key
+                for key in self._object_cache
+                if key[0] == instance_name
+                and (table_name is None or key[1] == table_name)
+            ]
+            for key in stale:
+                del self._object_cache[key]
 
     # -- instance definitions -----------------------------------------
 
@@ -185,15 +201,16 @@ class SummaryCatalog:
         if self.has_instance(instance_name):
             raise DuplicateInstanceError(instance_name)
         instance = self.registry.create_instance(type_name, instance_name, config)
-        with self._db.connection:
-            self._db.connection.execute(
+        with self._db.transaction() as connection:
+            connection.execute(
                 f"""
                 INSERT INTO {_INSTANCES_TABLE}
                     (instance_name, type_name, config) VALUES (?, ?, ?)
                 """,
                 (instance_name, type_name, json.dumps(instance.config())),
             )
-        self._live_instances[instance_name] = instance
+        with self._instances_lock:
+            self._live_instances[instance_name] = instance
         return instance
 
     def save_instance_config(self, instance_name: str) -> None:
@@ -203,8 +220,8 @@ class SummaryCatalog:
         typically after training a classifier's model.
         """
         instance = self.get_instance(instance_name)
-        with self._db.connection:
-            self._db.connection.execute(
+        with self._db.transaction() as connection:
+            connection.execute(
                 f"UPDATE {_INSTANCES_TABLE} SET config = ? WHERE instance_name = ?",
                 (json.dumps(instance.config()), instance_name),
             )
@@ -213,43 +230,51 @@ class SummaryCatalog:
         """Remove an instance, its links, and all its summary state."""
         if not self.has_instance(instance_name):
             raise UnknownInstanceError(instance_name)
-        with self._db.connection:
-            self._db.connection.execute(
+        with self._db.transaction() as connection:
+            connection.execute(
                 f"DELETE FROM {_STATE_TABLE} WHERE instance_name = ?",
                 (instance_name,),
             )
-            self._db.connection.execute(
+            connection.execute(
                 f"DELETE FROM {_LINKS_TABLE} WHERE instance_name = ?",
                 (instance_name,),
             )
-            self._db.connection.execute(
+            connection.execute(
                 f"DELETE FROM {_INSTANCES_TABLE} WHERE instance_name = ?",
                 (instance_name,),
             )
-        self._live_instances.pop(instance_name, None)
+        with self._instances_lock:
+            self._live_instances.pop(instance_name, None)
         self._cache_invalidate_pair(instance_name, None)
 
     def has_instance(self, instance_name: str) -> bool:
         """True when the instance is defined."""
-        if instance_name in self._live_instances:
-            return True
-        row = self._db.connection.execute(
+        with self._instances_lock:
+            if instance_name in self._live_instances:
+                return True
+        row = self._db.fetch_one(
             f"SELECT 1 FROM {_INSTANCES_TABLE} WHERE instance_name = ?",
             (instance_name,),
-        ).fetchone()
+        )
         return row is not None
 
     def get_instance(self, instance_name: str) -> SummaryInstance:
-        """Resolve a live instance, deserializing it on first access."""
-        if instance_name in self._live_instances:
-            return self._live_instances[instance_name]
-        row = self._db.connection.execute(
+        """Resolve a live instance, deserializing it on first access.
+
+        Two threads racing the first access may both deserialize; the
+        first registration wins so every caller shares one live object
+        (instance state — e.g. a trained model — must stay singular).
+        """
+        with self._instances_lock:
+            if instance_name in self._live_instances:
+                return self._live_instances[instance_name]
+        row = self._db.fetch_one(
             f"""
             SELECT type_name, config FROM {_INSTANCES_TABLE}
             WHERE instance_name = ?
             """,
             (instance_name,),
-        ).fetchone()
+        )
         if row is None:
             raise UnknownInstanceError(instance_name)
         type_name, config_json = row
@@ -262,14 +287,14 @@ class SummaryCatalog:
                 f"corrupted configuration for instance {instance_name!r} "
                 f"(type {type_name!r}): {exc}"
             ) from exc
-        self._live_instances[instance_name] = instance
-        return instance
+        with self._instances_lock:
+            return self._live_instances.setdefault(instance_name, instance)
 
     def instance_names(self) -> list[str]:
         """All defined instance names, sorted."""
-        rows = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"SELECT instance_name FROM {_INSTANCES_TABLE} ORDER BY instance_name"
-        ).fetchall()
+        )
         return [row[0] for row in rows]
 
     # -- links ----------------------------------------------------------
@@ -279,8 +304,8 @@ class SummaryCatalog:
         if not self.has_instance(instance_name):
             raise UnknownInstanceError(instance_name)
         self._db.schema(table_name)  # raises for unknown tables
-        with self._db.connection:
-            self._db.connection.execute(
+        with self._db.transaction() as connection:
+            connection.execute(
                 f"""
                 INSERT OR IGNORE INTO {_LINKS_TABLE}
                     (instance_name, table_name) VALUES (?, ?)
@@ -292,15 +317,15 @@ class SummaryCatalog:
         """Remove a link and the instance's state for that table."""
         if not self.has_instance(instance_name):
             raise UnknownInstanceError(instance_name)
-        with self._db.connection:
-            self._db.connection.execute(
+        with self._db.transaction() as connection:
+            connection.execute(
                 f"""
                 DELETE FROM {_LINKS_TABLE}
                 WHERE instance_name = ? AND table_name = ?
                 """,
                 (instance_name, table_name),
             )
-            self._db.connection.execute(
+            connection.execute(
                 f"""
                 DELETE FROM {_STATE_TABLE}
                 WHERE instance_name = ? AND table_name = ?
@@ -311,13 +336,13 @@ class SummaryCatalog:
 
     def is_linked(self, instance_name: str, table_name: str) -> bool:
         """True when the instance is linked to the table."""
-        row = self._db.connection.execute(
+        row = self._db.fetch_one(
             f"""
             SELECT 1 FROM {_LINKS_TABLE}
             WHERE instance_name = ? AND table_name = ?
             """,
             (instance_name, table_name),
-        ).fetchone()
+        )
         return row is not None
 
     def instances_for_table(self, table_name: str) -> list[SummaryInstance]:
@@ -326,7 +351,7 @@ class SummaryCatalog:
         One JOIN against the instances table instead of one definition
         lookup per link — already-live instances skip deserialization.
         """
-        rows = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"""
             SELECT l.instance_name, i.type_name, i.config
             FROM {_LINKS_TABLE} l
@@ -334,10 +359,11 @@ class SummaryCatalog:
             WHERE l.table_name = ? ORDER BY l.instance_name
             """,
             (table_name,),
-        ).fetchall()
+        )
         instances: list[SummaryInstance] = []
         for instance_name, type_name, config_json in rows:
-            live = self._live_instances.get(instance_name)
+            with self._instances_lock:
+                live = self._live_instances.get(instance_name)
             if live is None:
                 try:
                     live = self.registry.create_instance(
@@ -348,18 +374,19 @@ class SummaryCatalog:
                         f"corrupted configuration for instance "
                         f"{instance_name!r} (type {type_name!r}): {exc}"
                     ) from exc
-                self._live_instances[instance_name] = live
+                with self._instances_lock:
+                    live = self._live_instances.setdefault(instance_name, live)
             instances.append(live)
         return instances
 
     def links(self) -> list[tuple[str, str]]:
         """All ``(instance, table)`` links, sorted."""
-        rows = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"""
             SELECT instance_name, table_name FROM {_LINKS_TABLE}
             ORDER BY instance_name, table_name
             """
-        ).fetchall()
+        )
         return [(row[0], row[1]) for row in rows]
 
     # -- summary state ------------------------------------------------
@@ -396,8 +423,8 @@ class SummaryCatalog:
             rows.append(
                 (instance_name, table_name, row_id, json.dumps(obj.to_json()))
             )
-        with self._db.connection:
-            self._db.connection.executemany(
+        with self._db.transaction() as connection:
+            connection.executemany(
                 f"""
                 INSERT INTO {_STATE_TABLE}
                     (instance_name, table_name, row_id, object)
@@ -428,13 +455,13 @@ class SummaryCatalog:
         cached = self._cache_get(key)
         if cached is not None:
             return None if cached is _ABSENT else cached  # type: ignore[return-value]
-        row = self._db.connection.execute(
+        row = self._db.fetch_one(
             f"""
             SELECT object FROM {_STATE_TABLE}
             WHERE instance_name = ? AND table_name = ? AND row_id = ?
             """,
             (instance_name, table_name, row_id),
-        ).fetchone()
+        )
         if row is None:
             self._cache_put(key, _ABSENT)
             return None
@@ -459,13 +486,21 @@ class SummaryCatalog:
         """
         result: dict[tuple[str, int], SummaryObject] = {}
         missing: set[tuple[str, int]] = set()
-        for instance_name in instance_names:
-            for row_id in row_ids:
-                cached = self._cache_get((instance_name, table_name, row_id))
-                if cached is None:
-                    missing.add((instance_name, row_id))
-                elif cached is not _ABSENT:
-                    result[(instance_name, row_id)] = cached  # type: ignore[assignment]
+        # One lock window for the whole block's probes — per-pair
+        # locking would acquire the lock instances x rows times.
+        with self._cache_lock:
+            cache = self._object_cache
+            for instance_name in instance_names:
+                for row_id in row_ids:
+                    cached = cache.get((instance_name, table_name, row_id))
+                    if cached is None:
+                        self.cache_misses += 1
+                        missing.add((instance_name, row_id))
+                        continue
+                    cache.move_to_end((instance_name, table_name, row_id))
+                    self.cache_hits += 1
+                    if cached is not _ABSENT:
+                        result[(instance_name, row_id)] = cached  # type: ignore[assignment]
         if not missing:
             return result
         fetch_instances = sorted({pair[0] for pair in missing})
@@ -474,7 +509,7 @@ class SummaryCatalog:
         for chunk_start in range(0, len(fetch_rows), 500):
             chunk = fetch_rows[chunk_start : chunk_start + 500]
             row_marks = ", ".join("?" for _ in chunk)
-            rows = self._db.connection.execute(
+            rows = self._db.fetch_all(
                 f"""
                 SELECT instance_name, row_id, object FROM {_STATE_TABLE}
                 WHERE table_name = ?
@@ -482,7 +517,7 @@ class SummaryCatalog:
                   AND row_id IN ({row_marks})
                 """,
                 (table_name, *fetch_instances, *chunk),
-            ).fetchall()
+            )
             for instance_name, row_id, payload in rows:
                 pair = (instance_name, row_id)
                 if pair not in missing:
@@ -513,8 +548,8 @@ class SummaryCatalog:
         self, instance_name: str, table_name: str, row_id: int
     ) -> None:
         """Drop one row's persisted summary object (no-op when absent)."""
-        with self._db.connection:
-            self._db.connection.execute(
+        with self._db.transaction() as connection:
+            connection.execute(
                 f"""
                 DELETE FROM {_STATE_TABLE}
                 WHERE instance_name = ? AND table_name = ? AND row_id = ?
@@ -527,7 +562,7 @@ class SummaryCatalog:
         self, instance_name: str, table_name: str
     ) -> Iterator[tuple[int, SummaryObject]]:
         """Iterate ``(row_id, object)`` for one instance/table pair."""
-        cursor = self._db.connection.execute(
+        rows = self._db.fetch_all(
             f"""
             SELECT row_id, object FROM {_STATE_TABLE}
             WHERE instance_name = ? AND table_name = ?
@@ -535,7 +570,7 @@ class SummaryCatalog:
             """,
             (instance_name, table_name),
         )
-        for row_id, object_json in cursor:
+        for row_id, object_json in rows:
             yield row_id, self._deserialize_object(
                 object_json, instance_name, table_name, row_id
             )
@@ -543,15 +578,16 @@ class SummaryCatalog:
     def summary_bytes(self, table_name: str | None = None) -> int:
         """Total serialized size of stored summary objects."""
         if table_name is None:
-            (total,) = self._db.connection.execute(
+            row = self._db.fetch_one(
                 f"SELECT COALESCE(SUM(LENGTH(object)), 0) FROM {_STATE_TABLE}"
-            ).fetchone()
+            )
         else:
-            (total,) = self._db.connection.execute(
+            row = self._db.fetch_one(
                 f"""
                 SELECT COALESCE(SUM(LENGTH(object)), 0) FROM {_STATE_TABLE}
                 WHERE table_name = ?
                 """,
                 (table_name,),
-            ).fetchone()
-        return total
+            )
+        assert row is not None
+        return row[0]

@@ -1,9 +1,18 @@
 """The base-relation store.
 
-Wraps one SQLite connection and manages user tables: creation, insertion,
-point lookup, and full scans.  Every stored row is addressed by its SQLite
-``rowid``, which the annotation store and summary catalog use as the stable
-tuple identity.
+Manages user tables — creation, insertion, point lookup, and full scans —
+over a small connection topology built for concurrent reads:
+
+* one **writer** connection, serialized behind a write lock (the
+  engine's single-writer model);
+* a :class:`~repro.storage.pool.ConnectionPool` of per-thread
+  **read-only** connections for file-backed databases (WAL readers
+  proceed in parallel with the writer), falling back to the
+  lock-serialized writer connection for ``:memory:`` databases, which
+  SQLite cannot share across connections.
+
+Every stored row is addressed by its SQLite ``rowid``, which the
+annotation store and summary catalog use as the stable tuple identity.
 
 Column types are dynamic (SQLite's natural behaviour); the engine's
 expression evaluator applies Python semantics, so integers, floats, and
@@ -14,10 +23,12 @@ from __future__ import annotations
 
 import contextlib
 import sqlite3
+import threading
 from collections.abc import Iterator, Mapping, Sequence
 from typing import Any
 
 from repro.errors import StorageError, UnknownTableError
+from repro.storage.pool import ConnectionPool
 from repro.storage.schema import SYSTEM_PREFIX, TableSchema
 
 _SCHEMA_TABLE = f"{SYSTEM_PREFIX}schema"
@@ -25,28 +36,37 @@ _SCHEMA_TABLE = f"{SYSTEM_PREFIX}schema"
 #: Negative values mean KiB of page cache (SQLite convention); 16 MiB.
 _DEFAULT_CACHE_KIB = 16 * 1024
 
+#: Rows fetched per lock window when streaming a scan off the shared
+#: in-memory connection — bounds how long a scan may hold the lock.
+_SCAN_FETCH_SIZE = 256
+
 
 class QueryCounter:
-    """Counts SQL statements executed on a connection.
+    """Counts SQL statements executed on the storage stack.
 
     Installed through :meth:`Database.track_queries`; the benchmarks and
     the scan-pipeline tests use it to assert roundtrip budgets (e.g. a
     block-prefetching scan must issue a bounded number of queries, not one
-    per row).
+    per row).  Recording is lock-protected — trace callbacks fire from
+    whichever thread executed the statement, including pooled readers.
     """
 
     def __init__(self) -> None:
         self.count = 0
         self.statements: list[str] = []
+        self._lock = threading.Lock()
 
     def _record(self, sql: str) -> None:
-        self.count += 1
-        self.statements.append(sql)
+        with self._lock:
+            self.count += 1
+            self.statements.append(sql)
 
     def by_prefix(self) -> dict[str, int]:
         """Statement counts keyed by their first keyword (SELECT, ...)."""
         grouped: dict[str, int] = {}
-        for sql in self.statements:
+        with self._lock:
+            statements = list(self.statements)
+        for sql in statements:
             head = sql.lstrip().split(None, 1)
             key = head[0].upper() if head else ""
             grouped[key] = grouped.get(key, 0) + 1
@@ -54,29 +74,51 @@ class QueryCounter:
 
 
 class Database:
-    """User relations over a shared SQLite connection.
+    """User relations over a pooled SQLite connection topology.
 
     Parameters
     ----------
     path:
         SQLite database path; the default ``":memory:"`` keeps everything
         in RAM, which the tests and benchmarks use.
+    serialize_reads:
+        Force all reads through the lock-serialized writer connection
+        even for file-backed databases — the pre-pool topology, kept as
+        the concurrency benchmark's baseline mode.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self, path: str = ":memory:", serialize_reads: bool = False
+    ) -> None:
         self.path = path
-        self._connection = sqlite3.connect(path)
+        # check_same_thread=False: the writer is shared across threads
+        # but every use is serialized behind the pool's write lock (and,
+        # for in-memory databases, reads take the same lock).
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         self._connection.execute("PRAGMA foreign_keys = ON")
         self._apply_tuning()
-        self._connection.execute(
-            f"""
-            CREATE TABLE IF NOT EXISTS {_SCHEMA_TABLE} (
-                table_name TEXT PRIMARY KEY,
-                columns TEXT NOT NULL
-            )
-            """
+        self._pool = ConnectionPool(
+            path,
+            in_memory=self.is_in_memory,
+            writer=self._connection,
+            configure_reader=self._configure_reader,
+            serialize_reads=serialize_reads,
         )
+        # Nested track_queries contexts each get their own counter; the
+        # single dispatcher fans every traced statement to all of them.
+        self._trace_lock = threading.Lock()
+        self._trace_stack: list[QueryCounter] = []
         self._schemas: dict[str, TableSchema] = {}
+        self._schema_lock = threading.Lock()
+        with self.transaction() as connection:
+            connection.execute(
+                f"""
+                CREATE TABLE IF NOT EXISTS {_SCHEMA_TABLE} (
+                    table_name TEXT PRIMARY KEY,
+                    columns TEXT NOT NULL
+                )
+                """
+            )
         self._load_schemas()
 
     def _apply_tuning(self) -> None:
@@ -93,6 +135,12 @@ class Database:
             self._connection.execute("PRAGMA journal_mode = WAL")
             self._connection.execute("PRAGMA synchronous = NORMAL")
 
+    def _configure_reader(self, connection: sqlite3.Connection) -> None:
+        """Tuning for pooled read-only connections (no journal changes —
+        the journal mode is a property of the database file)."""
+        connection.execute(f"PRAGMA cache_size = -{_DEFAULT_CACHE_KIB}")
+        connection.execute("PRAGMA temp_store = MEMORY")
+
     @property
     def is_in_memory(self) -> bool:
         """True when the database lives in RAM (no durable file)."""
@@ -106,28 +154,94 @@ class Database:
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The underlying connection, shared with the other stores."""
+        """The writer connection, shared with the other stores.
+
+        Kept for single-threaded callers (tests, import tooling) that
+        run their own statements; concurrent code must go through
+        :meth:`transaction` / :meth:`read_connection` instead.  Raises
+        :class:`RuntimeError` once the database is closed.
+        """
+        if self._pool.closed:
+            raise RuntimeError(
+                "Database is closed — no further statements can be served"
+            )
         return self._connection
+
+    @property
+    def pool(self) -> ConnectionPool:
+        """The read-connection pool (monitoring and tests)."""
+        return self._pool
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[sqlite3.Connection]:
+        """The writer connection, write-locked, in a transaction.
+
+        Commits on clean exit, rolls back on exception — the concurrent
+        replacement for the old ``with database.connection:`` blocks.
+        """
+        with self._pool.write() as connection:
+            with connection:
+                yield connection
+
+    @contextlib.contextmanager
+    def read_connection(self) -> Iterator[sqlite3.Connection]:
+        """A connection for read-only statements (see the pool's rules)."""
+        with self._pool.read() as connection:
+            yield connection
+
+    def fetch_all(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> list[tuple[Any, ...]]:
+        """Run one read-only statement on a pooled connection."""
+        with self._pool.read() as connection:
+            return connection.execute(sql, params).fetchall()
+
+    def fetch_one(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> tuple[Any, ...] | None:
+        """Run one read-only statement; first row or None."""
+        with self._pool.read() as connection:
+            return connection.execute(sql, params).fetchone()
 
     @contextlib.contextmanager
     def track_queries(self) -> Iterator[QueryCounter]:
         """Count every SQL statement executed while the context is open.
 
-        Connection-level (``sqlite3`` trace callback), so it sees queries
-        from every store sharing this connection — exactly what the
-        roundtrip-budget assertions need.  Nesting replaces the previous
-        callback, so only the innermost tracker counts.
+        Trace callbacks are installed on the writer **and** every pooled
+        read connection (present and future), so the counter sees queries
+        from every store and every thread — exactly what the
+        roundtrip-budget assertions need.  Contexts nest: each level gets
+        its own counter and every traced statement is recorded by all
+        currently open counters, inner and outer alike.
         """
         counter = QueryCounter()
-        self._connection.set_trace_callback(counter._record)
+        with self._trace_lock:
+            self._trace_stack.append(counter)
+            if len(self._trace_stack) == 1:
+                self._pool.set_trace(self._dispatch_trace)
         try:
             yield counter
         finally:
-            self._connection.set_trace_callback(None)
+            with self._trace_lock:
+                self._trace_stack.remove(counter)
+                if not self._trace_stack:
+                    self._pool.set_trace(None)
+
+    def _dispatch_trace(self, sql: str) -> None:
+        with self._trace_lock:
+            counters = list(self._trace_stack)
+        for counter in counters:
+            counter._record(sql)
 
     def close(self) -> None:
-        """Close the connection; further operations will fail."""
-        self._connection.close()
+        """Close the writer and every pooled read connection.
+
+        Idempotent.  Any later statement — through the pool or the
+        :attr:`connection` property — raises a clear
+        :class:`RuntimeError` instead of a ``sqlite3.ProgrammingError``
+        surfacing deep inside an operator.
+        """
+        self._pool.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -136,9 +250,9 @@ class Database:
         self.close()
 
     def _load_schemas(self) -> None:
-        rows = self._connection.execute(
+        rows = self.fetch_all(
             f"SELECT table_name, columns FROM {_SCHEMA_TABLE}"
-        ).fetchall()
+        )
         for table_name, columns in rows:
             self._schemas[table_name] = TableSchema(
                 table_name, tuple(columns.split(","))
@@ -152,24 +266,26 @@ class Database:
         if name in self._schemas:
             raise StorageError(f"table already exists: {name!r}")
         column_sql = ", ".join(f'"{column}"' for column in schema.columns)
-        with self._connection:
-            self._connection.execute(f'CREATE TABLE "{name}" ({column_sql})')
-            self._connection.execute(
+        with self.transaction() as connection:
+            connection.execute(f'CREATE TABLE "{name}" ({column_sql})')
+            connection.execute(
                 f"INSERT INTO {_SCHEMA_TABLE} (table_name, columns) VALUES (?, ?)",
                 (name, ",".join(schema.columns)),
             )
-        self._schemas[name] = schema
+        with self._schema_lock:
+            self._schemas[name] = schema
         return schema
 
     def drop_table(self, name: str) -> None:
         """Drop a user table and its schema entry."""
         self.schema(name)  # raises for unknown tables
-        with self._connection:
-            self._connection.execute(f'DROP TABLE "{name}"')
-            self._connection.execute(
+        with self.transaction() as connection:
+            connection.execute(f'DROP TABLE "{name}"')
+            connection.execute(
                 f"DELETE FROM {_SCHEMA_TABLE} WHERE table_name = ?", (name,)
             )
-        del self._schemas[name]
+        with self._schema_lock:
+            del self._schemas[name]
 
     # -- catalog -----------------------------------------------------
 
@@ -218,35 +334,49 @@ class Database:
         else:
             schema.check_values(values)
             row = tuple(values)
-        with self._connection:
+        with self.transaction() as connection:
             if row_id is None:
                 placeholders = ", ".join("?" for _ in schema.columns)
-                cursor = self._connection.execute(
+                cursor = connection.execute(
                     f'INSERT INTO "{table}" VALUES ({placeholders})', row
                 )
             else:
                 placeholders = ", ".join("?" for _ in (row_id, *schema.columns))
-                cursor = self._connection.execute(
+                cursor = connection.execute(
                     f'INSERT INTO "{table}" (rowid, '
                     + ", ".join(f'"{c}"' for c in schema.columns)
                     + f") VALUES ({placeholders})",
                     (row_id, *row),
                 )
-        rowid = cursor.lastrowid
+            rowid = cursor.lastrowid
         assert rowid is not None
         return rowid
 
     def insert_many(
         self, table: str, rows: Sequence[Sequence[Any]]
     ) -> list[int]:
-        """Insert multiple positional rows; returns their rowids."""
-        return [self.insert(table, row) for row in rows]
+        """Insert multiple positional rows; returns their rowids.
+
+        One transaction (and one write-lock window) for the whole batch;
+        per-row execution because each row's assigned rowid is returned.
+        """
+        schema = self.schema(table)
+        placeholders = ", ".join("?" for _ in schema.columns)
+        sql = f'INSERT INTO "{table}" VALUES ({placeholders})'
+        row_ids: list[int] = []
+        with self.transaction() as connection:
+            for row in rows:
+                schema.check_values(row)
+                cursor = connection.execute(sql, tuple(row))
+                assert cursor.lastrowid is not None
+                row_ids.append(cursor.lastrowid)
+        return row_ids
 
     def delete_row(self, table: str, row_id: int) -> None:
         """Delete one row by rowid (no-op when absent)."""
         self.schema(table)
-        with self._connection:
-            self._connection.execute(
+        with self.transaction() as connection:
+            connection.execute(
                 f'DELETE FROM "{table}" WHERE rowid = ?', (row_id,)
             )
 
@@ -255,9 +385,9 @@ class Database:
     def get_row(self, table: str, row_id: int) -> tuple[Any, ...] | None:
         """Fetch one row's values by rowid, or None when absent."""
         self.schema(table)
-        row = self._connection.execute(
+        row = self.fetch_one(
             f'SELECT * FROM "{table}" WHERE rowid = ?', (row_id,)
-        ).fetchone()
+        )
         return tuple(row) if row is not None else None
 
     def rows(self, table: str) -> Iterator[tuple[int, tuple[Any, ...]]]:
@@ -278,6 +408,11 @@ class Database:
         predicates (:mod:`repro.engine.pushdown`); ``limit`` truncates the
         scan inside SQLite.  Rows come out in rowid order either way, so
         pushdown never changes result order.
+
+        File-backed databases stream lazily off the calling thread's
+        read-only connection.  In-memory databases fetch in bounded
+        batches so the shared-connection lock is never held across a
+        ``yield`` (a consumer pausing mid-scan must not block writers).
         """
         self.schema(table)
         sql = f'SELECT rowid, * FROM "{table}"'
@@ -288,14 +423,39 @@ class Database:
         if limit is not None:
             sql += " LIMIT ?"
             bound += (limit,)
-        cursor = self._connection.execute(sql, bound)
+        if self._pool.serialized_reads:
+            return self._scan_serialized(sql, bound)
+        return self._scan_streaming(sql, bound)
+
+    def _scan_streaming(
+        self, sql: str, bound: tuple[Any, ...]
+    ) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Lazy scan on this thread's dedicated read-only connection."""
+        with self._pool.read() as connection:
+            cursor = connection.execute(sql, bound)
+        # The connection is thread-local and dedicated — iterating after
+        # the checkout window is safe (no lock was held to begin with).
         for row in cursor:
             yield row[0], tuple(row[1:])
+
+    def _scan_serialized(
+        self, sql: str, bound: tuple[Any, ...]
+    ) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Batched scan on the lock-serialized shared connection."""
+        with self._pool.read() as connection:
+            cursor = connection.execute(sql, bound)
+            rows = cursor.fetchmany(_SCAN_FETCH_SIZE)
+        while rows:
+            for row in rows:
+                yield row[0], tuple(row[1:])
+            if len(rows) < _SCAN_FETCH_SIZE:
+                return
+            with self._pool.read():
+                rows = cursor.fetchmany(_SCAN_FETCH_SIZE)
 
     def row_count(self, table: str) -> int:
         """Number of rows in ``table``."""
         self.schema(table)
-        (count,) = self._connection.execute(
-            f'SELECT COUNT(*) FROM "{table}"'
-        ).fetchone()
-        return count
+        row = self.fetch_one(f'SELECT COUNT(*) FROM "{table}"')
+        assert row is not None
+        return row[0]

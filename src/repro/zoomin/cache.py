@@ -8,10 +8,15 @@ whole cache is simply not admitted.
 
 All timing is a logical clock (one tick per cache operation) so that
 replacement behaviour is deterministic and testable.
+
+The cache is shared across concurrent queries; one re-entrant lock
+serializes every operation (entries, the logical clock, the byte budget,
+and the backing store move together — there is no safe partial view).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.engine.results import QueryResult
@@ -64,6 +69,7 @@ class ZoomInCache:
         self._entries: dict[int, CacheEntry] = {}
         self._clock = 0
         self._bytes_used = 0
+        self._lock = threading.RLock()
 
     # -- clock ----------------------------------------------------------
 
@@ -74,29 +80,35 @@ class ZoomInCache:
     @property
     def bytes_used(self) -> int:
         """Space currently charged."""
-        return self._bytes_used
+        with self._lock:
+            return self._bytes_used
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, qid: int) -> bool:
-        return qid in self._entries
+        with self._lock:
+            return qid in self._entries
 
     # -- operations ----------------------------------------------------
 
     def get(self, qid: int) -> QueryResult | None:
         """Look up a result, recording the zoom-in reference."""
-        now = self._tick()
-        entry = self._entries.get(qid)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        entry.last_access = now
-        entry.access_count += 1
-        self.stats.hits += 1
-        result = self.store.get(qid)
-        assert result is not None, f"cache entry without stored result: {qid}"
-        return result
+        with self._lock:
+            now = self._tick()
+            entry = self._entries.get(qid)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            entry.last_access = now
+            entry.access_count += 1
+            self.stats.hits += 1
+            result = self.store.get(qid)
+            assert result is not None, (
+                f"cache entry without stored result: {qid}"
+            )
+            return result
 
     def put(self, result: QueryResult) -> bool:
         """Admit ``result``, evicting victims as needed.
@@ -104,29 +116,30 @@ class ZoomInCache:
         Returns False when the result alone exceeds the capacity and is
         therefore rejected.  Re-putting an existing QID refreshes it.
         """
-        now = self._tick()
-        if result.qid in self._entries:
-            self._evict_one(result.qid)
-        size = self.store.put(result)
-        if size > self.capacity_bytes:
-            self.store.delete(result.qid)
-            self.stats.rejected += 1
-            return False
-        while self._bytes_used + size > self.capacity_bytes:
-            victim = self.policy.victim(list(self._entries.values()), now)
-            self._evict_one(victim.qid)
-            self.stats.evictions += 1
-        self._entries[result.qid] = CacheEntry(
-            qid=result.qid,
-            size_bytes=size,
-            cost=result.plan_cost,
-            inserted_at=now,
-            last_access=now,
-            access_count=0,
-        )
-        self._bytes_used += size
-        self.stats.insertions += 1
-        return True
+        with self._lock:
+            now = self._tick()
+            if result.qid in self._entries:
+                self._evict_one(result.qid)
+            size = self.store.put(result)
+            if size > self.capacity_bytes:
+                self.store.delete(result.qid)
+                self.stats.rejected += 1
+                return False
+            while self._bytes_used + size > self.capacity_bytes:
+                victim = self.policy.victim(list(self._entries.values()), now)
+                self._evict_one(victim.qid)
+                self.stats.evictions += 1
+            self._entries[result.qid] = CacheEntry(
+                qid=result.qid,
+                size_bytes=size,
+                cost=result.plan_cost,
+                inserted_at=now,
+                last_access=now,
+                access_count=0,
+            )
+            self._bytes_used += size
+            self.stats.insertions += 1
+            return True
 
     def _evict_one(self, qid: int) -> None:
         entry = self._entries.pop(qid, None)
@@ -136,14 +149,17 @@ class ZoomInCache:
 
     def invalidate(self, qid: int) -> None:
         """Drop one result (e.g. its base data changed)."""
-        self._evict_one(qid)
+        with self._lock:
+            self._evict_one(qid)
 
     def clear(self) -> None:
         """Drop everything, keeping statistics."""
-        self.store.clear()
-        self._entries.clear()
-        self._bytes_used = 0
+        with self._lock:
+            self.store.clear()
+            self._entries.clear()
+            self._bytes_used = 0
 
     def resident_qids(self) -> list[int]:
         """QIDs currently cached, sorted."""
-        return sorted(self._entries)
+        with self._lock:
+            return sorted(self._entries)

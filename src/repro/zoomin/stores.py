@@ -75,7 +75,9 @@ class SQLiteResultStore(ResultStore):
         registry: SummaryTypeRegistry | None = None,
     ) -> None:
         self._registry = registry or default_registry()
-        self._connection = sqlite3.connect(path)
+        # check_same_thread=False: cache admissions can come from any
+        # query thread; the ZoomInCache lock serializes all store calls.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         self._connection.execute(
             """
             CREATE TABLE IF NOT EXISTS cached_results (

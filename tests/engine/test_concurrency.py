@@ -1,0 +1,245 @@
+"""Concurrent read path: stress and equivalence coverage.
+
+Three guarantees, in increasing strength:
+
+1. **No corruption under load** — N reader threads running mixed
+   pushdown/summary queries through one shared session, racing a writer
+   that ingests annotation batches, must finish without exceptions and
+   with every reader-table query byte-identical to a serial replay (the
+   readers query ``birds``, which the writer never touches, so their
+   per-query results are deterministic).
+2. **Cache sanity** — the shared deserialization LRU must actually serve
+   hits under concurrent traffic (locks that silently bypass the cache
+   would pass test 1).
+3. **Parallel hydration equivalence** — a ``workers=4`` session returns
+   byte-for-byte what ``workers=1`` returns, for hypothesis-generated
+   predicates and limits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import InsightNotes
+
+TRAINING = [
+    ("observed feeding on stonewort beds at dawn", "Behavior"),
+    ("seen foraging among pond weeds near shore", "Behavior"),
+    ("shows symptoms of avian influenza on the wing", "Disease"),
+    ("appears infected with avian pox around the beak", "Disease"),
+]
+
+_NOTE_TEXTS = [
+    "observed feeding on stonewort at dawn",
+    "shows symptoms of avian influenza",
+    "seen foraging among pond weeds",
+    "appears infected with avian pox",
+    "watched chasing shoots near the shore",
+]
+
+
+def fingerprint(result) -> str:
+    payload = [
+        {
+            "values": list(row.values),
+            "summaries": {
+                name: obj.to_json()
+                for name, obj in sorted(row.summaries.items())
+            },
+            "attachments": {
+                str(annotation_id): sorted(columns)
+                for annotation_id, columns in sorted(row.attachments.items())
+            },
+        }
+        for row in result.tuples
+    ]
+    return json.dumps(payload, sort_keys=True)
+
+
+def _build_session(path: str, **kwargs) -> InsightNotes:
+    notes = InsightNotes(path, **kwargs)
+    notes.create_table("birds", ["name", "species", "weight"])
+    notes.create_table("sightings", ["site", "count"])
+    notes.define_classifier("BirdClass", ["Behavior", "Disease"], TRAINING)
+    notes.link("BirdClass", "birds")
+    notes.link("BirdClass", "sightings")
+    for i in range(120):
+        row = notes.insert(
+            "birds", (f"bird{i:03d}", f"species{i % 7}", float(i % 40))
+        )
+        notes.add_annotation(
+            _NOTE_TEXTS[i % len(_NOTE_TEXTS)], table="birds", row_id=row
+        )
+    for i in range(40):
+        notes.insert("sightings", (f"site{i % 5}", i))
+    return notes
+
+
+_QUERIES = [
+    "SELECT name, species FROM birds WHERE weight < 20",
+    "SELECT name FROM birds WHERE species = 'species3'",
+    "SELECT name, weight FROM birds WHERE weight >= 30 ORDER BY name LIMIT 10",
+    "SELECT species, COUNT(*) FROM birds GROUP BY species",
+    "SELECT name FROM birds WHERE SUMMARY_COUNT('BirdClass', 'Behavior') >= 1 LIMIT 15",
+    "SELECT name, species, weight FROM birds WHERE weight IN (0, 7, 14) ",
+]
+
+
+class TestStress:
+    def test_readers_race_writer_without_corruption(self, tmp_path):
+        notes = _build_session(str(tmp_path / "stress.db"), workers=2)
+        try:
+            # Serial replay first: the expected answer for every query.
+            expected = [fingerprint(notes.query(sql)) for sql in _QUERIES]
+
+            errors: list[BaseException] = []
+            mismatches: list[str] = []
+            start = threading.Barrier(5)
+            stop_writing = threading.Event()
+
+            def reader(worker: int) -> None:
+                try:
+                    start.wait(timeout=10)
+                    for round_number in range(8):
+                        index = (worker + round_number) % len(_QUERIES)
+                        got = fingerprint(notes.query(_QUERIES[index]))
+                        if got != expected[index]:
+                            mismatches.append(
+                                f"worker {worker} round {round_number} "
+                                f"query {index}"
+                            )
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            def writer() -> None:
+                try:
+                    start.wait(timeout=10)
+                    for batch in range(6):
+                        notes.add_annotations(
+                            [
+                                {
+                                    "text": f"sighting note {batch}-{i}",
+                                    "table": "sightings",
+                                    "row_id": (batch * 5 + i) % 40 + 1,
+                                }
+                                for i in range(10)
+                            ]
+                        )
+                        if stop_writing.is_set():
+                            return
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, args=(i,)) for i in range(4)
+            ]
+            threads.append(threading.Thread(target=writer))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            stop_writing.set()
+            assert not errors, errors
+            assert not mismatches, mismatches
+            assert all(not thread.is_alive() for thread in threads)
+
+            # The ingest must actually have landed while readers ran.
+            assert notes.annotations.count() >= 120 + 60
+        finally:
+            notes.close()
+
+    def test_object_cache_serves_hits_under_concurrency(self, tmp_path):
+        notes = _build_session(str(tmp_path / "cache.db"))
+        try:
+            notes.query(_QUERIES[0])  # warm the deserialization LRU
+            before = notes.catalog.object_cache_info()
+
+            def read() -> None:
+                for _ in range(3):
+                    # Dropping the manager's front cache forces each query
+                    # through the catalog LRU (and races invalidation).
+                    notes.manager.drop_caches()
+                    notes.query(_QUERIES[0])
+
+            threads = [threading.Thread(target=read) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            after = notes.catalog.object_cache_info()
+            hits = after["hits"] - before["hits"]
+            misses = after["misses"] - before["misses"]
+            # Twelve re-runs of a warmed query: overwhelmingly hits.
+            assert hits > 0
+            assert hits > misses
+        finally:
+            notes.close()
+
+
+# -- parallel hydration equivalence (hypothesis) ------------------------
+
+_comparisons = st.builds(
+    lambda column, op, value: f"{column} {op} {value}",
+    st.sampled_from(["weight"]),
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    st.sampled_from(["0", "7.0", "14", "21.5", "39"]),
+)
+_species = st.builds(
+    lambda values: f"species IN ({', '.join(values)})",
+    st.lists(
+        st.sampled_from(["'species0'", "'species3'", "'species6'", "''"]),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+)
+_summary = st.builds(
+    lambda op, n: f"SUMMARY_COUNT('BirdClass', 'Behavior') {op} {n}",
+    st.sampled_from(["=", ">=", "<"]),
+    st.integers(min_value=0, max_value=2),
+)
+_predicates = st.one_of(_comparisons, _species, _summary)
+
+
+@pytest.fixture(scope="module")
+def worker_sessions(tmp_path_factory):
+    root = tmp_path_factory.mktemp("workers")
+    serial = _build_session(str(root / "serial.db"), workers=1)
+    parallel = _build_session(
+        str(root / "parallel.db"), workers=4, scan_block_size=16
+    )
+    yield serial, parallel
+    serial.close()
+    parallel.close()
+
+
+class TestParallelHydrationEquivalence:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        predicate=_predicates,
+        limit=st.one_of(st.none(), st.integers(min_value=0, max_value=60)),
+    )
+    def test_workers4_equals_workers1(self, worker_sessions, predicate, limit):
+        serial, parallel = worker_sessions
+        sql = f"SELECT name, species, weight FROM birds WHERE {predicate}"
+        if limit is not None:
+            sql += f" LIMIT {limit}"
+        assert fingerprint(parallel.query(sql)) == fingerprint(
+            serial.query(sql)
+        )
+
+    def test_multi_block_scan_is_identical(self, worker_sessions):
+        serial, parallel = worker_sessions
+        sql = "SELECT name, species, weight FROM birds"
+        assert fingerprint(parallel.query(sql)) == fingerprint(
+            serial.query(sql)
+        )

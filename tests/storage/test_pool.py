@@ -1,0 +1,161 @@
+"""The read-connection pool and the Database's concurrent plumbing.
+
+Covers the pool's connection topology (per-thread read-only connections
+for file-backed databases, lock-serialized shared reads for in-memory),
+teardown semantics (clear RuntimeError after close, from any entry
+point), and the nesting-safe statement tracing that feeds
+``Database.track_queries``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def file_db(tmp_path):
+    db = Database(str(tmp_path / "pool.db"))
+    db.create_table("items", ["name", "value"])
+    for i in range(20):
+        db.insert("items", (f"item{i}", i))
+    yield db
+    db.close()
+
+
+class TestTopology:
+    def test_file_backed_gets_per_thread_readers(self, file_db):
+        readers: dict[str, int] = {}
+
+        def probe(tag: str) -> None:
+            with file_db.read_connection() as first:
+                with file_db.read_connection() as second:
+                    assert first is second  # cached per thread
+                readers[tag] = id(first)
+
+        baseline = file_db.pool.reader_count  # main thread's own reader
+        threads = [
+            threading.Thread(target=probe, args=(f"t{i}",)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(readers.values())) == 3  # one connection per thread
+        assert file_db.pool.reader_count == baseline + 3
+
+    def test_in_memory_reads_share_the_writer(self):
+        with Database() as db:
+            db.create_table("items", ["name"])
+            assert db.pool.serialized_reads
+            with db.read_connection() as connection:
+                assert connection is db.connection
+            assert db.pool.reader_count == 0
+
+    def test_pooled_readers_are_query_only(self, file_db):
+        with file_db.read_connection() as connection:
+            with pytest.raises(sqlite3.OperationalError):
+                connection.execute("INSERT INTO items VALUES ('x', 1)")
+
+    def test_readers_see_committed_writes(self, file_db):
+        with file_db.read_connection():
+            pass  # open this thread's reader before the write
+        file_db.insert("items", ("late", 99))
+        rows = file_db.fetch_all(
+            "SELECT name FROM items WHERE value = 99"
+        )
+        assert rows == [("late",)]
+
+    def test_transaction_rolls_back_on_error(self, file_db):
+        with pytest.raises(RuntimeError, match="boom"):
+            with file_db.transaction() as connection:
+                connection.execute("DELETE FROM items")
+                raise RuntimeError("boom")
+        assert file_db.row_count("items") == 20
+
+    def test_write_lock_is_reentrant(self, file_db):
+        with file_db.transaction() as outer:
+            with file_db.pool.write() as inner:
+                assert inner is outer
+
+
+class TestClose:
+    def test_close_is_idempotent(self, file_db):
+        file_db.close()
+        file_db.close()
+
+    def test_checkout_after_close_raises_clear_error(self, file_db):
+        with file_db.read_connection():
+            pass
+        file_db.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            with file_db.pool.read():
+                pass
+        with pytest.raises(RuntimeError, match="closed"):
+            with file_db.transaction():
+                pass
+        with pytest.raises(RuntimeError, match="closed"):
+            file_db.connection
+
+    def test_close_tears_down_other_threads_readers(self, file_db):
+        opened = threading.Event()
+        release = threading.Event()
+
+        def hold() -> None:
+            with file_db.read_connection():
+                opened.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        opened.wait(timeout=5)
+        release.set()
+        thread.join()
+        assert file_db.pool.reader_count >= 1
+        file_db.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            file_db.fetch_all("SELECT 1")
+
+
+class TestTrackQueriesNesting:
+    def test_nested_counters_both_record(self, file_db):
+        with file_db.track_queries() as outer:
+            file_db.row_count("items")
+            with file_db.track_queries() as inner:
+                file_db.row_count("items")
+            file_db.row_count("items")
+        assert inner.count == 1
+        # The outer counter must see all three — nesting used to clobber
+        # the trace callback so only the innermost context counted.
+        assert outer.count == 3
+
+    def test_counts_statements_from_pooled_readers(self, file_db):
+        with file_db.track_queries() as counter:
+            seen: list[int] = []
+
+            def read() -> None:
+                seen.append(len(file_db.fetch_all("SELECT * FROM items")))
+
+            threads = [threading.Thread(target=read) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert seen == [20, 20, 20]
+        assert counter.count == 3
+        assert counter.by_prefix() == {"SELECT": 3}
+
+    def test_counts_readers_opened_mid_context(self, file_db):
+        with file_db.track_queries() as counter:
+            # This thread's reader does not exist yet; it is opened inside
+            # the tracking context and must still be traced.
+            thread = threading.Thread(
+                target=lambda: file_db.fetch_one("SELECT COUNT(*) FROM items")
+            )
+            thread.start()
+            thread.join()
+        assert counter.count == 1
