@@ -78,6 +78,30 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
     return failures
 
 
+def load_report(path: pathlib.Path, role: str) -> dict | None:
+    """Parse one report file; None (with a message on stderr) on failure.
+
+    A gate that crashes with a traceback on a missing or corrupt report
+    reads as CI infrastructure flakiness; a one-line diagnostic and a
+    clean exit 1 reads as what it is — a misconfigured comparison.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        print(f"FAIL: cannot read {role} report {path}: {exc}",
+              file=sys.stderr)
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"FAIL: {role} report {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return None
+    if not isinstance(data, dict):
+        print(f"FAIL: {role} report {path} must be a JSON object, "
+              f"got {type(data).__name__}", file=sys.stderr)
+        return None
+    return data
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=pathlib.Path, required=True,
@@ -90,8 +114,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be > 0")
-    baseline = json.loads(args.baseline.read_text())
-    candidate = json.loads(args.candidate.read_text())
+    baseline = load_report(args.baseline, "baseline")
+    candidate = load_report(args.candidate, "candidate")
+    if baseline is None or candidate is None:
+        return 1
     print(f"comparing {args.candidate} against {args.baseline} "
           f"(threshold {args.threshold:.1f}x)")
     failures = compare(baseline, candidate, args.threshold)

@@ -1,0 +1,161 @@
+"""The insightlint command line.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis.lint [paths...]
+        [--format text|json] [--output PATH]
+        [--baseline] [--baseline-file PATH] [--fix-baseline]
+        [--list-rules]
+
+Exit status is 0 when no fresh error-severity finding remains, 1
+otherwise, and 2 for usage errors (bad baseline file, unknown rule).
+``--baseline`` filters findings through the committed baseline file
+(grandfathered debt); ``--fix-baseline`` rewrites that file from the
+current findings.  ``--format json`` emits a machine-readable report —
+CI uploads it as an artifact — while ``--output`` writes the report to a
+file and keeps the human summary on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.lint.framework import (
+    Baseline,
+    LintReport,
+    all_rules,
+    run_lint,
+)
+
+DEFAULT_BASELINE_FILE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="AST-based invariant checker for the InsightNotes engine",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to a file instead of stdout "
+        "(a one-line summary still prints)",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="filter findings through the committed baseline file",
+    )
+    parser.add_argument(
+        "--baseline-file",
+        type=Path,
+        default=Path(DEFAULT_BASELINE_FILE),
+        help=f"baseline location (default: {DEFAULT_BASELINE_FILE})",
+    )
+    parser.add_argument(
+        "--fix-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _render_text(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.parse_errors]
+    lines += [finding.render() for finding in report.findings]
+    lines.append(_summary_line(report))
+    return "\n".join(lines)
+
+
+def _render_json(report: LintReport) -> str:
+    payload = {
+        "version": 1,
+        "findings": [
+            finding.to_json()
+            for finding in (*report.parse_errors, *report.findings)
+        ],
+        "summary": {
+            "files_checked": report.files_checked,
+            "findings": len(report.findings) + len(report.parse_errors),
+            "grandfathered": len(report.grandfathered),
+            "suppressed": report.suppressed,
+            "failed": report.failed,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _summary_line(report: LintReport) -> str:
+    total = len(report.findings) + len(report.parse_errors)
+    return (
+        f"insightlint: {total} finding(s) across "
+        f"{report.files_checked} file(s) "
+        f"({len(report.grandfathered)} baselined, "
+        f"{report.suppressed} suppressed)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id}  [{rule.severity}]  {rule.summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(map(str, missing))}")
+
+    baseline: Baseline | None = None
+    if args.baseline or args.fix_baseline:
+        try:
+            baseline = Baseline.load(args.baseline_file)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"insightlint: bad baseline file: {exc}", file=sys.stderr)
+            return 2
+
+    if args.fix_baseline:
+        report = run_lint(paths, baseline=None)
+        fresh = Baseline.from_findings(report.findings)
+        fresh.save(args.baseline_file)
+        print(
+            f"insightlint: wrote {len(fresh.entries)} baseline entr"
+            f"{'y' if len(fresh.entries) == 1 else 'ies'} to "
+            f"{args.baseline_file}"
+        )
+        return 0
+
+    report = run_lint(paths, baseline=baseline if args.baseline else None)
+    rendered = (
+        _render_json(report) if args.format == "json" else _render_text(report)
+    )
+    if args.output is not None:
+        args.output.write_text(rendered + "\n")
+        print(_summary_line(report))
+    else:
+        print(rendered)
+    return 1 if report.failed else 0

@@ -1,0 +1,18 @@
+"""The built-in insightlint rule set.
+
+Importing this package registers every rule with the framework registry
+(:func:`repro.analysis.lint.framework.all_rules` does so lazily).
+
+==========  ==========================================================
+IN001       no SQL / pool checkout while holding a threading lock
+IN002       sqlite3.connect only in storage/pool.py
+IN003       parameterized SQL only; identifiers via sqlsafe helpers
+IN004       copy-on-write (for_query) before mutating shared summaries
+IN005       no shared-state mutation from executor-submitted callables
+IN006       no silent broad excepts
+==========  ==========================================================
+"""
+
+from repro.analysis.lint.rules import cow, exceptions, locks, sql
+
+__all__ = ["cow", "exceptions", "locks", "sql"]

@@ -1,0 +1,85 @@
+"""Exception-hygiene rule.
+
+IN006 — an ``except`` that catches a *broad* type (bare, ``Exception``,
+``BaseException``) and then does nothing hides real faults: a corrupted
+summary payload or a closed pool surfacing inside an operator would
+vanish instead of failing the query.  Swallowing handlers must either
+catch the specific expected exception, re-raise, log, or carry an
+``# insightlint: disable=IN006`` tag with a justification.
+
+Narrow-typed silent handlers (``except ExpressionError: continue``) are
+legitimate control flow and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.framework import (
+    Finding,
+    ModuleSource,
+    Rule,
+    register,
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_types(handler_type: ast.expr | None) -> bool:
+    """True when the handler catches a broad exception type."""
+    if handler_type is None:
+        return True  # bare except
+    candidates: list[ast.expr]
+    if isinstance(handler_type, ast.Tuple):
+        candidates = list(handler_type.elts)
+    else:
+        candidates = [handler_type]
+    for candidate in candidates:
+        name = None
+        if isinstance(candidate, ast.Name):
+            name = candidate.id
+        elif isinstance(candidate, ast.Attribute):
+            name = candidate.attr
+        if name in _BROAD:
+            return True
+    return False
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    """True when the handler body neither re-raises, logs, nor returns
+    meaningful work — only ``pass`` / ``continue`` / constants."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+@register
+class NoSilentBroadExcept(Rule):
+    """IN006: broad ``except`` must re-raise, log, or be tagged."""
+
+    rule_id = "IN006"
+    summary = (
+        "an except catching Exception/BaseException (or bare) must not "
+        "silently swallow; narrow the type, re-raise, log, or tag"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _broad_types(node.type) and _swallows(node.body):
+                caught = (
+                    ast.unparse(node.type) if node.type is not None else "all"
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"except catching {caught} swallows silently; catch "
+                    "the specific expected exception, re-raise, log, or "
+                    "tag with '# insightlint: disable=IN006 -- <why>'",
+                )

@@ -1,0 +1,315 @@
+"""Concurrency rules: lock scope and executor-callable discipline.
+
+IN001 — the probe-under-lock / SQL-outside-lock / fill-under-lock
+discipline (DESIGN.md §9): no storage statement and no pool checkout may
+run while a ``threading`` lock is held, because a reader blocked inside
+SQLite would stall every thread waiting on that lock.  The documented
+exception is ``SummaryManager``'s write path, which holds its re-entrant
+lock end to end — write paths are serialized behind the storage layer's
+single-writer lock anyway (the allowlist below names those methods).
+
+IN005 — callables handed to a ``ThreadPoolExecutor`` run on worker
+threads; they may only *read* shared engine state.  Mutating an
+attribute from a submitted callable is a data race unless that attribute
+is in the documented lock-protected inventory or the assignment is
+itself under a lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.framework import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: Method names that execute SQL or check out a pooled connection.
+SQL_METHODS = frozenset(
+    {
+        "execute",
+        "executemany",
+        "executescript",
+        "fetch_all",
+        "fetch_one",
+        "transaction",
+        "read_connection",
+        "save_object",
+        "save_objects",
+        "load_object",
+        "load_objects_for_table",
+        "delete_object",
+        "instances_for_table",
+        "attachments_for_row",
+        "attachments_for_rows",
+        "annotations_for_row",
+        "rows_for_annotation",
+    }
+)
+
+#: ``.read()`` / ``.write()`` count as checkouts when the receiver is a
+#: pool (``self._pool.read()``), not for arbitrary file-like objects.
+_POOL_CHECKOUTS = frozenset({"read", "write"})
+
+#: The documented fill-under-lock sites (module path suffix, qualname).
+#: SummaryManager's write path holds its RLock across storage calls by
+#: design — see the lock inventory in DESIGN.md §9.
+IN001_ALLOWLIST = frozenset(
+    {
+        ("repro/maintenance/incremental.py", "SummaryManager.flush"),
+        ("repro/maintenance/incremental.py", "SummaryManager.on_annotation_added"),
+        ("repro/maintenance/incremental.py", "SummaryManager.add_annotations"),
+        ("repro/maintenance/incremental.py", "SummaryManager.on_annotation_deleted"),
+        ("repro/maintenance/incremental.py", "SummaryManager.on_row_deleted"),
+        ("repro/maintenance/incremental.py", "SummaryManager.summarize_table"),
+    }
+)
+
+#: Attributes that are lock-protected by construction (DESIGN.md §9's
+#: inventory) and therefore safe to assign from executor callables.
+IN005_LOCKED_INVENTORY = frozenset(
+    {
+        "reader",  # ConnectionPool._local.reader is thread-local state
+    }
+)
+
+
+def _is_lock_context(expr: ast.expr) -> bool:
+    """True when a ``with`` item looks like a threading lock.
+
+    Lexical convention: the final name component contains ``lock``
+    (``self._lock``, ``self._cache_lock``, ``registry_lock``) or the
+    expression is a bare ``Lock()`` / ``RLock()`` construction.
+    """
+    name = dotted_name(expr)
+    if name is not None:
+        return "lock" in name.split(".")[-1].lower()
+    if isinstance(expr, ast.Call):
+        func = dotted_name(expr.func) or ""
+        return func.split(".")[-1] in ("Lock", "RLock")
+    return False
+
+
+def _module_suffix_matches(path: str, suffix: str) -> bool:
+    return path.endswith(suffix)
+
+
+@register
+class NoSQLUnderLock(Rule):
+    """IN001: no SQL/pool checkout lexically inside a lock's body."""
+
+    rule_id = "IN001"
+    summary = (
+        "no SQL execution or pool checkout while holding a threading "
+        "lock (probe under lock, SQL outside, fill under lock)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        yield from self._walk(module, module.tree.body, "", in_lock=False)
+
+    def _walk(
+        self,
+        module: ModuleSource,
+        body: list[ast.stmt],
+        qualname: str,
+        in_lock: bool,
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = f"{qualname}.{node.name}" if qualname else node.name
+                # A nested function's body runs when *called*, not where
+                # it is defined — the lock context does not carry in.
+                yield from self._walk(module, node.body, inner, False)
+            elif isinstance(node, ast.ClassDef):
+                inner = f"{qualname}.{node.name}" if qualname else node.name
+                yield from self._walk(module, node.body, inner, in_lock)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                locked = in_lock or any(
+                    _is_lock_context(item.context_expr) for item in node.items
+                )
+                if locked and not in_lock:
+                    # Entering a lock: the with-items themselves ran
+                    # before the lock was taken; only the body counts.
+                    pass
+                elif in_lock:
+                    for item in node.items:
+                        yield from self._check_expr(
+                            module, item.context_expr, qualname
+                        )
+                yield from self._walk(module, node.body, qualname, locked)
+            else:
+                if in_lock:
+                    for child in ast.walk(node):
+                        if isinstance(child, ast.Call):
+                            yield from self._check_call(
+                                module, child, qualname
+                            )
+                # Compound statements (if/for/try) contain nested
+                # statements; when not under a lock we must still
+                # descend to find with-blocks inside them.
+                if not in_lock:
+                    for field in ("body", "orelse", "finalbody"):
+                        inner_body = getattr(node, field, None)
+                        if inner_body:
+                            yield from self._walk(
+                                module, inner_body, qualname, in_lock
+                            )
+                    for handler in getattr(node, "handlers", []) or []:
+                        yield from self._walk(
+                            module, handler.body, qualname, in_lock
+                        )
+
+    def _check_expr(
+        self, module: ModuleSource, expr: ast.expr, qualname: str
+    ) -> Iterator[Finding]:
+        for child in ast.walk(expr):
+            if isinstance(child, ast.Call):
+                yield from self._check_call(module, child, qualname)
+
+    def _check_call(
+        self, module: ModuleSource, call: ast.Call, qualname: str
+    ) -> Iterator[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        is_sql = func.attr in SQL_METHODS
+        receiver = (dotted_name(func.value) or "").lower()
+        is_checkout = func.attr in _POOL_CHECKOUTS and "pool" in receiver
+        if not (is_sql or is_checkout):
+            return
+        for suffix, allowed in IN001_ALLOWLIST:
+            if _module_suffix_matches(module.path, suffix) and (
+                qualname == allowed or qualname.startswith(allowed + ".")
+            ):
+                return
+        what = "pool checkout" if is_checkout else "SQL call"
+        yield self.finding(
+            module,
+            call,
+            f"{what} '{dotted_name(func) or func.attr}' inside a lock "
+            "body; run SQL outside the lock (probe under lock, SQL "
+            "outside, fill under lock) or add the documented site to "
+            "the IN001 allowlist",
+        )
+
+
+@register
+class NoSharedMutationInExecutorCallables(Rule):
+    """IN005: executor-submitted callables must not mutate shared state."""
+
+    rule_id = "IN005"
+    summary = (
+        "callables submitted to a ThreadPoolExecutor may not assign "
+        "attributes of shared objects unless lock-protected"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        submitted = self._submitted_callables(module.tree)
+        if not submitted:
+            return
+        functions = self._functions_by_name(module.tree)
+        for name, call_site in submitted:
+            if isinstance(name, ast.Lambda):
+                yield from self._check_body(
+                    module, [ast.Expr(value=name.body)], "<lambda>"
+                )
+                continue
+            target = functions.get(name)
+            if target is None:
+                continue
+            yield from self._check_body(module, target.body, target.name)
+
+    def _submitted_callables(
+        self, tree: ast.Module
+    ) -> list[tuple[str | ast.Lambda, ast.Call]]:
+        found: list[tuple[str | ast.Lambda, ast.Call]] = []
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+                and node.args
+            ):
+                continue
+            callee = node.args[0]
+            if isinstance(callee, ast.Lambda):
+                found.append((callee, node))
+            elif isinstance(callee, ast.Name):
+                found.append((callee.id, node))
+            elif isinstance(callee, ast.Attribute):
+                found.append((callee.attr, node))
+        return found
+
+    def _functions_by_name(
+        self, tree: ast.Module
+    ) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+        functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, node)
+        return functions
+
+    def _check_body(
+        self, module: ModuleSource, body: list[ast.stmt], name: str
+    ) -> Iterator[Finding]:
+        yield from self._walk(module, body, name, in_lock=False)
+
+    def _walk(
+        self,
+        module: ModuleSource,
+        body: list[ast.stmt],
+        name: str,
+        in_lock: bool,
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                locked = in_lock or any(
+                    _is_lock_context(item.context_expr) for item in node.items
+                )
+                yield from self._walk(module, node.body, name, locked)
+                continue
+            if not in_lock:
+                yield from self._check_stmt(module, node, name)
+            for field in ("body", "orelse", "finalbody"):
+                inner = getattr(node, field, None)
+                if inner:
+                    yield from self._walk(module, inner, name, in_lock)
+            for handler in getattr(node, "handlers", []) or []:
+                yield from self._walk(module, handler.body, name, in_lock)
+
+    def _check_stmt(
+        self, module: ModuleSource, stmt: ast.stmt, name: str
+    ) -> Iterator[Finding]:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Expr):
+            return
+        for target in targets:
+            base = target
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            if not isinstance(base, ast.Attribute):
+                continue
+            if base.attr in IN005_LOCKED_INVENTORY:
+                continue
+            receiver = dotted_name(base.value) or ""
+            if receiver.endswith("_local") or "._local" in f".{receiver}":
+                continue  # threading.local() state is per-thread
+            yield self.finding(
+                module,
+                target,
+                f"executor callable {name!r} assigns "
+                f"'{dotted_name(base) or base.attr}'; submitted callables "
+                "must not mutate shared state outside a lock (add the "
+                "attribute to the lock-protected inventory if it is "
+                "guarded)",
+            )

@@ -1,0 +1,272 @@
+"""SQL-safety rules: pool-only connections and parameterized-only SQL.
+
+IN002 — every SQLite connection must be opened through
+:mod:`repro.storage.pool` (the pool registers connections for teardown,
+tracing, and the single-writer discipline; a raw ``sqlite3.connect``
+bypasses all three).
+
+IN003 — SQL strings handed to ``execute*()`` must be parameterized.
+Dynamic *values* go through ``?`` placeholders; dynamic *identifiers*
+may only be interpolated through the vetted helpers in
+:mod:`repro.storage.sqlsafe` (``quote_ident`` / ``quoted_csv``) or
+``placeholders`` for ``IN``-list marks.  Module-level ``ALL_CAPS``
+constants (system table names, pragma values — literal-derived by
+convention) are also allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.framework import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: Where raw ``sqlite3.connect`` is legitimate — the pool is the single
+#: doorway to SQLite (see DESIGN.md §9/§10).
+_CONNECT_ALLOWED_SUFFIX = "storage/pool.py"
+
+#: Vetted SQL-construction helpers (repro.storage.sqlsafe).
+_VETTED_HELPERS = frozenset({"quote_ident", "quoted_csv", "placeholders"})
+
+#: ``execute``-family methods checked on connection-like receivers.
+_EXECUTE_METHODS = frozenset({"execute", "executemany", "executescript"})
+
+#: Database fetch helpers — always SQL, whatever the receiver is called.
+_FETCH_METHODS = frozenset({"fetch_all", "fetch_one"})
+
+#: Receiver-name fragments that mark a connection-like object.
+_CONNECTION_TOKENS = ("conn", "cursor", "db")
+
+
+@register
+class PoolOnlyConnections(Rule):
+    """IN002: no raw ``sqlite3.connect`` outside ``storage/pool.py``."""
+
+    rule_id = "IN002"
+    summary = (
+        "sqlite3.connect is only allowed in storage/pool.py; use the "
+        "pool's connect() factory so every connection is registered"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.path.endswith(_CONNECT_ALLOWED_SUFFIX):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) == "sqlite3.connect"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "raw sqlite3.connect bypasses the connection pool "
+                    "(teardown, tracing, single-writer discipline); use "
+                    "repro.storage.pool.connect",
+                )
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "sqlite3"
+                and any(alias.name == "connect" for alias in node.names)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "importing connect from sqlite3 hides raw connection "
+                    "creation from review; use repro.storage.pool.connect",
+                )
+
+
+def _is_all_caps(name: str) -> bool:
+    """True for the module-constant convention (``_STATE_TABLE``)."""
+    stripped = name.lstrip("_")
+    return bool(stripped) and stripped == stripped.upper()
+
+
+def _is_vetted_helper_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _VETTED_HELPERS
+    if isinstance(func, ast.Attribute):
+        return func.attr in _VETTED_HELPERS
+    return False
+
+
+class _Scope:
+    """Assignments of simple names within one function (or the module)."""
+
+    def __init__(self, body: list[ast.stmt]) -> None:
+        self.assignments: dict[str, list[ast.expr]] = {}
+        for node in _scope_walk(body):  # nested scopes track their own names
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.assignments.setdefault(target.id, []).append(
+                            node.value
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    self.assignments.setdefault(node.target.id, []).append(
+                        node.value
+                    )
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    self.assignments.setdefault(node.target.id, []).append(
+                        node.value
+                    )
+
+    def lookup(self, name: str) -> list[ast.expr] | None:
+        return self.assignments.get(name)
+
+
+@register
+class ParameterizedSQLOnly(Rule):
+    """IN003: no string-built SQL into ``execute*()``."""
+
+    rule_id = "IN003"
+    summary = (
+        "SQL must be parameterized; interpolate identifiers only through "
+        "sqlsafe.quote_ident/quoted_csv and IN-marks through placeholders"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for scope_body in _scope_bodies(module.tree):
+            scope = _Scope(scope_body)
+            for node in _scope_walk(scope_body):
+                if not isinstance(node, ast.Call):
+                    continue
+                method = self._sql_method(node)
+                if method is None or not node.args:
+                    continue
+                sql = node.args[0]
+                reason = self._rejects(sql, scope, depth=0)
+                if reason is not None:
+                    yield self.finding(
+                        module,
+                        sql,
+                        f"SQL passed to {method}() is built dynamically "
+                        f"({reason}); parameterize values with '?' and "
+                        "route identifiers through "
+                        "repro.storage.sqlsafe.quote_ident",
+                    )
+
+    # -- what counts as an execute site --------------------------------
+
+    def _sql_method(self, node: ast.Call) -> str | None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr in _FETCH_METHODS:
+            return func.attr
+        if func.attr not in _EXECUTE_METHODS:
+            return None
+        receiver = dotted_name(func.value) or ""
+        components = receiver.lower().split(".")
+        if any(
+            token in component
+            for component in components
+            for token in _CONNECTION_TOKENS
+        ):
+            return func.attr
+        return None
+
+    # -- is this SQL expression vetted? --------------------------------
+
+    def _rejects(
+        self, node: ast.expr, scope: _Scope, depth: int
+    ) -> str | None:
+        """None when vetted, else a short reason string."""
+        if depth > 4:
+            return "construction too deep to verify"
+        if isinstance(node, ast.Constant):
+            return None if isinstance(node.value, str) else "non-string SQL"
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    reason = self._rejects_interpolation(value.value, scope)
+                    if reason is not None:
+                        return reason
+            return None
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Mod):
+                return "%-formatting into SQL"
+            if isinstance(node.op, ast.Add):
+                left = self._rejects(node.left, scope, depth + 1)
+                right = self._rejects(node.right, scope, depth + 1)
+                return left or right
+            return None
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "format"
+            ):
+                return ".format() into SQL"
+            return None  # other call results are out of lexical reach
+        if isinstance(node, ast.Name):
+            if _is_all_caps(node.id):
+                return None
+            assigned = scope.lookup(node.id)
+            if assigned is None:
+                return None  # parameter/global — out of lexical reach
+            for value in assigned:
+                reason = self._rejects(value, scope, depth + 1)
+                if reason is not None:
+                    return f"local {node.id!r}: {reason}"
+            return None
+        return None  # attributes, subscripts: out of lexical reach
+
+    def _rejects_interpolation(
+        self, node: ast.expr, scope: _Scope
+    ) -> str | None:
+        if isinstance(node, ast.Constant):
+            return None
+        if _is_vetted_helper_call(node):
+            return None
+        if isinstance(node, ast.Name):
+            if _is_all_caps(node.id):
+                return None
+            assigned = scope.lookup(node.id)
+            if assigned is not None and all(
+                _is_vetted_helper_call(value) for value in assigned
+            ):
+                return None
+            return (
+                f"f-string interpolates {node.id!r}, which is not a "
+                "module constant or a sqlsafe helper result"
+            )
+        if isinstance(node, ast.Attribute):
+            if _is_all_caps(node.attr):
+                return None
+            return f"f-string interpolates attribute {node.attr!r}"
+        return f"f-string interpolates a {type(node).__name__} expression"
+
+
+def _scope_bodies(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+    """The module body and every function body (rule scopes)."""
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _scope_walk(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a scope body without descending into nested functions.
+
+    Function nodes encountered *inside* the body are yielded but not
+    entered — their bodies are separate scopes, walked on their own by
+    :func:`_scope_bodies` (entering them here would double-report).
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

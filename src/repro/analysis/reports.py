@@ -9,6 +9,7 @@ regardless of how much text the annotations hold.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Any
 
@@ -34,7 +35,7 @@ class ContestedRow:
 
 def _classifier_objects(
     session: InsightNotes, table: str, instance_name: str
-):
+) -> Iterator[tuple[int, tuple[Any, ...], ClassifierSummary]]:
     """Yield ``(row_id, values, ClassifierSummary)`` for annotated rows."""
     instance = session.catalog.get_instance(instance_name)
     if instance.type_name != "Classifier":

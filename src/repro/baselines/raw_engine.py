@@ -24,7 +24,7 @@ from typing import Any
 
 from repro.engine import plan as lp
 from repro.engine.expressions import Expression, resolve_column
-from repro.errors import PlanError
+from repro.errors import ExpressionError, PlanError
 from repro.model.annotation import Annotation
 from repro.model.tuple import AnnotatedTuple
 from repro.storage.annotations import AnnotationStore
@@ -388,7 +388,9 @@ def _equivalent_columns(
             try:
                 left_index = resolve_column(left_schema, first)
                 right_index = resolve_column(right_schema, second)
-            except Exception:
+            except ExpressionError:
+                # This orientation doesn't match the schemas; the swapped
+                # orientation is tried next.
                 continue
             pairs.append((left_schema[left_index], right_schema[right_index]))
             break

@@ -19,7 +19,7 @@ system understands.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Union
+from typing import TYPE_CHECKING, Any
 
 from repro.engine.expressions import Expression, uses_summaries
 from repro.engine.operators import HydrateOperator, Operator, ScanOperator
@@ -56,7 +56,7 @@ class DeleteFrom:
     predicate: Expression | None
 
 
-Statement = Union[CreateTable, InsertInto, DeleteFrom]
+Statement = CreateTable | InsertInto | DeleteFrom
 
 
 class _DDLParser(_Parser):

@@ -38,7 +38,7 @@ from repro.engine.expressions import (
     resolve_column,
 )
 from repro.engine.plan import Aggregate
-from repro.errors import PlanError
+from repro.errors import ExpressionError, PlanError
 from repro.model.tuple import AnnotatedTuple
 from repro.summaries.base import SummaryInstance, SummaryObject
 
@@ -729,7 +729,9 @@ class JoinOperator(Operator):
             try:
                 left_index = resolve_column(self._left.schema, first)
                 right_index = resolve_column(self._right.schema, second)
-            except Exception:
+            except ExpressionError:
+                # This orientation doesn't match the schemas; the swapped
+                # orientation is tried next.
                 continue
             return left_index, right_index
         return None

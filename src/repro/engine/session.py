@@ -41,9 +41,9 @@ from repro.engine.planner import Planner, plan_uses_summaries
 from repro.engine.results import QueryResult, ResultRegistry
 from repro.engine.sqlparser import build_logical, parse_sql
 from repro.errors import AnnotationError
+from repro.maintenance.incremental import SummaryManager
 from repro.model.annotation import Annotation, AnnotationKind
 from repro.model.cell import CellRef
-from repro.maintenance.incremental import SummaryManager
 from repro.storage.annotations import AnnotationDraft, AnnotationStore
 from repro.storage.catalog import DEFAULT_OBJECT_CACHE_SIZE, SummaryCatalog
 from repro.storage.database import Database

@@ -44,6 +44,7 @@ from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro.maintenance.invariants import ContributionCache
 from repro.model.annotation import Annotation
 from repro.model.cell import CellRef
 from repro.storage.annotations import AnnotationStore
@@ -51,7 +52,6 @@ from repro.storage.catalog import SummaryCatalog
 from repro.storage.database import Database
 from repro.summaries.base import SummaryInstance, SummaryObject
 from repro.summaries.cluster import ClusterSummary
-from repro.maintenance.invariants import ContributionCache
 
 
 @dataclass

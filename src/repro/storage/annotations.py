@@ -19,6 +19,7 @@ from repro.model.annotation import Annotation, AnnotationKind
 from repro.model.cell import CellRef
 from repro.storage.database import Database
 from repro.storage.schema import SYSTEM_PREFIX
+from repro.storage.sqlsafe import placeholders
 
 _ANNOTATIONS_TABLE = f"{SYSTEM_PREFIX}annotations"
 _ATTACHMENTS_TABLE = f"{SYSTEM_PREFIX}attachments"
@@ -337,12 +338,12 @@ class AnnotationStore:
         # Chunked IN-lists keep us under SQLite's bound-variable limit.
         for chunk_start in range(0, len(wanted), 500):
             chunk = wanted[chunk_start : chunk_start + 500]
-            placeholders = ", ".join("?" for _ in chunk)
+            marks = placeholders(len(chunk))
             rows = self._db.fetch_all(
                 f"""
                 SELECT annotation_id, body, author, created_at, kind, title
                 FROM {_ANNOTATIONS_TABLE}
-                WHERE annotation_id IN ({placeholders})
+                WHERE annotation_id IN ({marks})
                 ORDER BY annotation_id
                 """,
                 chunk,
@@ -469,12 +470,12 @@ class AnnotationStore:
         # Chunked IN-lists keep us under SQLite's bound-variable limit.
         for chunk_start in range(0, len(distinct), 500):
             chunk = distinct[chunk_start : chunk_start + 500]
-            placeholders = ", ".join("?" for _ in chunk)
+            marks = placeholders(len(chunk))
             rows = self._db.fetch_all(
                 f"""
                 SELECT row_id, annotation_id, column_name
                 FROM {_ATTACHMENTS_TABLE}
-                WHERE table_name = ? AND row_id IN ({placeholders})
+                WHERE table_name = ? AND row_id IN ({marks})
                 """,
                 (table, *chunk),
             )

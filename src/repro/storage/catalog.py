@@ -41,6 +41,7 @@ from repro.errors import (
 )
 from repro.storage.database import Database
 from repro.storage.schema import SYSTEM_PREFIX
+from repro.storage.sqlsafe import placeholders
 from repro.summaries.base import SummaryInstance, SummaryObject
 from repro.summaries.registry import SummaryTypeRegistry, default_registry
 
@@ -505,10 +506,10 @@ class SummaryCatalog:
             return result
         fetch_instances = sorted({pair[0] for pair in missing})
         fetch_rows = sorted({pair[1] for pair in missing})
-        instance_marks = ", ".join("?" for _ in fetch_instances)
+        instance_marks = placeholders(len(fetch_instances))
         for chunk_start in range(0, len(fetch_rows), 500):
             chunk = fetch_rows[chunk_start : chunk_start + 500]
-            row_marks = ", ".join("?" for _ in chunk)
+            row_marks = placeholders(len(chunk))
             rows = self._db.fetch_all(
                 f"""
                 SELECT instance_name, row_id, object FROM {_STATE_TABLE}

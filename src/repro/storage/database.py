@@ -28,8 +28,9 @@ from collections.abc import Iterator, Mapping, Sequence
 from typing import Any
 
 from repro.errors import StorageError, UnknownTableError
-from repro.storage.pool import ConnectionPool
+from repro.storage.pool import ConnectionPool, connect
 from repro.storage.schema import SYSTEM_PREFIX, TableSchema
+from repro.storage.sqlsafe import placeholders, quote_ident, quoted_csv
 
 _SCHEMA_TABLE = f"{SYSTEM_PREFIX}schema"
 
@@ -91,10 +92,11 @@ class Database:
         self, path: str = ":memory:", serialize_reads: bool = False
     ) -> None:
         self.path = path
-        # check_same_thread=False: the writer is shared across threads
-        # but every use is serialized behind the pool's write lock (and,
-        # for in-memory databases, reads take the same lock).
-        self._connection = sqlite3.connect(path, check_same_thread=False)
+        # check_same_thread=False (the pool factory's default): the
+        # writer is shared across threads but every use is serialized
+        # behind the pool's write lock (and, for in-memory databases,
+        # reads take the same lock).
+        self._connection = connect(path)
         self._connection.execute("PRAGMA foreign_keys = ON")
         self._apply_tuning()
         self._pool = ConnectionPool(
@@ -265,9 +267,11 @@ class Database:
         schema = TableSchema(name, tuple(columns))
         if name in self._schemas:
             raise StorageError(f"table already exists: {name!r}")
-        column_sql = ", ".join(f'"{column}"' for column in schema.columns)
         with self.transaction() as connection:
-            connection.execute(f'CREATE TABLE "{name}" ({column_sql})')
+            connection.execute(
+                f"CREATE TABLE {quote_ident(name)} "
+                f"({quoted_csv(schema.columns)})"
+            )
             connection.execute(
                 f"INSERT INTO {_SCHEMA_TABLE} (table_name, columns) VALUES (?, ?)",
                 (name, ",".join(schema.columns)),
@@ -280,7 +284,7 @@ class Database:
         """Drop a user table and its schema entry."""
         self.schema(name)  # raises for unknown tables
         with self.transaction() as connection:
-            connection.execute(f'DROP TABLE "{name}"')
+            connection.execute(f"DROP TABLE {quote_ident(name)}")
             connection.execute(
                 f"DELETE FROM {_SCHEMA_TABLE} WHERE table_name = ?", (name,)
             )
@@ -336,16 +340,17 @@ class Database:
             row = tuple(values)
         with self.transaction() as connection:
             if row_id is None:
-                placeholders = ", ".join("?" for _ in schema.columns)
+                marks = placeholders(len(schema.columns))
                 cursor = connection.execute(
-                    f'INSERT INTO "{table}" VALUES ({placeholders})', row
+                    f"INSERT INTO {quote_ident(table)} VALUES ({marks})",
+                    row,
                 )
             else:
-                placeholders = ", ".join("?" for _ in (row_id, *schema.columns))
+                marks = placeholders(1 + len(schema.columns))
                 cursor = connection.execute(
-                    f'INSERT INTO "{table}" (rowid, '
-                    + ", ".join(f'"{c}"' for c in schema.columns)
-                    + f") VALUES ({placeholders})",
+                    f"INSERT INTO {quote_ident(table)} "
+                    f"(rowid, {quoted_csv(schema.columns)}) "
+                    f"VALUES ({marks})",
                     (row_id, *row),
                 )
             rowid = cursor.lastrowid
@@ -361,8 +366,8 @@ class Database:
         per-row execution because each row's assigned rowid is returned.
         """
         schema = self.schema(table)
-        placeholders = ", ".join("?" for _ in schema.columns)
-        sql = f'INSERT INTO "{table}" VALUES ({placeholders})'
+        marks = placeholders(len(schema.columns))
+        sql = f"INSERT INTO {quote_ident(table)} VALUES ({marks})"
         row_ids: list[int] = []
         with self.transaction() as connection:
             for row in rows:
@@ -377,7 +382,8 @@ class Database:
         self.schema(table)
         with self.transaction() as connection:
             connection.execute(
-                f'DELETE FROM "{table}" WHERE rowid = ?', (row_id,)
+                f"DELETE FROM {quote_ident(table)} WHERE rowid = ?",
+                (row_id,),
             )
 
     # -- reads --------------------------------------------------------
@@ -386,7 +392,8 @@ class Database:
         """Fetch one row's values by rowid, or None when absent."""
         self.schema(table)
         row = self.fetch_one(
-            f'SELECT * FROM "{table}" WHERE rowid = ?', (row_id,)
+            f"SELECT * FROM {quote_ident(table)} WHERE rowid = ?",
+            (row_id,),
         )
         return tuple(row) if row is not None else None
 
@@ -415,7 +422,7 @@ class Database:
         ``yield`` (a consumer pausing mid-scan must not block writers).
         """
         self.schema(table)
-        sql = f'SELECT rowid, * FROM "{table}"'
+        sql = f"SELECT rowid, * FROM {quote_ident(table)}"
         bound: tuple[Any, ...] = tuple(params)
         if where_sql is not None:
             sql += f" WHERE {where_sql}"
@@ -456,6 +463,8 @@ class Database:
     def row_count(self, table: str) -> int:
         """Number of rows in ``table``."""
         self.schema(table)
-        row = self.fetch_one(f'SELECT COUNT(*) FROM "{table}"')
+        row = self.fetch_one(
+            f"SELECT COUNT(*) FROM {quote_ident(table)}"
+        )
         assert row is not None
         return row[0]

@@ -31,6 +31,22 @@ import threading
 from collections.abc import Callable, Iterator
 
 
+def connect(
+    path: str, *, check_same_thread: bool = False
+) -> sqlite3.Connection:
+    """The engine's single doorway to ``sqlite3.connect``.
+
+    Every connection in the system — the writer, the pooled readers, and
+    auxiliary stores such as the zoom-in result cache — is opened here,
+    so review of connection handling starts and ends in this module
+    (insightlint rule IN002 rejects raw ``sqlite3.connect`` anywhere
+    else).  ``check_same_thread`` defaults to ``False`` because every
+    caller serializes cross-thread use behind its own lock or keeps the
+    connection thread-local.
+    """
+    return sqlite3.connect(path, check_same_thread=check_same_thread)
+
+
 class ConnectionPool:
     """Per-thread read-only connections plus one serialized writer.
 
@@ -140,7 +156,7 @@ class ConnectionPool:
         installation legitimately touch the connection from other
         threads; statement execution stays thread-local by construction.
         """
-        connection = sqlite3.connect(self._path, check_same_thread=False)
+        connection = connect(self._path)
         if self._configure_reader is not None:
             self._configure_reader(connection)
         connection.execute("PRAGMA query_only = ON")

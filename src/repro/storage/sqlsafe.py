@@ -1,0 +1,55 @@
+"""Vetted SQL-construction helpers.
+
+The engine's SQL-safety invariant (enforced by insightlint rule IN003,
+DESIGN.md §10) is *parameterized-only* SQL: dynamic **values** travel as
+``?`` bindings, never as string fragments.  SQLite cannot parameterize
+**identifiers** (table and column names) or the arity of an ``IN`` list,
+though — those two cases, and only those two, go through this module:
+
+* :func:`quote_ident` — one validated, double-quoted identifier;
+* :func:`quoted_csv` — a comma-separated list of quoted identifiers
+  (column lists in DDL and INSERT);
+* :func:`placeholders` — ``?, ?, ...`` marks for an ``IN`` list or a
+  VALUES row.
+
+insightlint recognizes calls to these helpers (by name) inside SQL
+f-strings as safe; everything else interpolated into an ``execute*()``
+argument is a finding.  Keeping the allowed surface this small is the
+point: a reviewer only ever has to re-verify three tiny functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import StorageError
+
+
+def quote_ident(name: str) -> str:
+    """``name`` as a double-quoted SQL identifier, validated.
+
+    Doubling embedded quotes is SQLite's escape rule, so any name SQLite
+    accepts round-trips; NUL bytes can never be part of an identifier
+    and are rejected outright rather than silently truncated at the C
+    layer.
+    """
+    if not isinstance(name, str):
+        raise StorageError(f"identifier must be a string, got {name!r}")
+    if not name:
+        raise StorageError("identifier must not be empty")
+    if "\x00" in name:
+        raise StorageError(f"identifier contains a NUL byte: {name!r}")
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def quoted_csv(names: Iterable[str]) -> str:
+    """Comma-separated :func:`quote_ident` of every name, in order."""
+    return ", ".join(quote_ident(name) for name in names)
+
+
+def placeholders(count: int) -> str:
+    """``count`` comma-separated ``?`` marks (``IN`` lists, VALUES rows)."""
+    if count < 1:
+        raise StorageError(f"placeholder count must be >= 1, got {count}")
+    return ", ".join(["?"] * count)

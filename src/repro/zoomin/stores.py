@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import abc
 import json
-import sqlite3
 
 from repro.engine.results import QueryResult
+from repro.storage.pool import connect
 from repro.summaries.registry import SummaryTypeRegistry, default_registry
 
 
@@ -75,9 +75,10 @@ class SQLiteResultStore(ResultStore):
         registry: SummaryTypeRegistry | None = None,
     ) -> None:
         self._registry = registry or default_registry()
-        # check_same_thread=False: cache admissions can come from any
-        # query thread; the ZoomInCache lock serializes all store calls.
-        self._connection = sqlite3.connect(path, check_same_thread=False)
+        # check_same_thread=False (the pool factory's default): cache
+        # admissions can come from any query thread; the ZoomInCache
+        # lock serializes all store calls.
+        self._connection = connect(path)
         self._connection.execute(
             """
             CREATE TABLE IF NOT EXISTS cached_results (

@@ -1,0 +1,118 @@
+"""Tests for the perf-regression gate (``benchmarks/check_regression.py``).
+
+The gate guards CI against order-of-magnitude slowdowns; these tests pin
+its own failure modes — a missing or corrupt report must read as a
+misconfigured comparison (clean exit 1 with a diagnostic), never as a
+silent pass or a traceback.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import compare, load_report, main
+
+
+def report(benchmark="scan", median=0.010, workload="birds", mode="summary"):
+    return {
+        "benchmark": benchmark,
+        "results": {workload: {"30": {mode: {"median_s": median}}}},
+    }
+
+
+def write(tmp_path, name, payload):
+    target = tmp_path / name
+    target.write_text(json.dumps(payload))
+    return target
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, capsys):
+        failures = compare(report(median=0.010), report(median=0.015), 2.0)
+        assert failures == []
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_past_threshold_fails(self, capsys):
+        failures = compare(report(median=0.010), report(median=0.025), 2.0)
+        assert len(failures) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_benchmark_mismatch_fails(self):
+        failures = compare(
+            report(benchmark="scan"), report(benchmark="ingest"), 2.0
+        )
+        assert failures and "benchmark mismatch" in failures[0]
+
+    def test_disjoint_cells_fail(self):
+        failures = compare(
+            report(workload="birds"), report(workload="fish"), 2.0
+        )
+        assert failures and "share no" in failures[0]
+
+    def test_candidate_only_cells_are_ignored(self, capsys):
+        candidate = report()
+        candidate["results"]["extra"] = {"60": {"raw": {"median_s": 9.9}}}
+        assert compare(report(), candidate, 2.0) == []
+
+
+class TestLoadReport:
+    def test_valid_report_loads(self, tmp_path):
+        path = write(tmp_path, "r.json", report())
+        assert load_report(path, "baseline") == report()
+
+    def test_missing_file_returns_none(self, tmp_path, capsys):
+        assert load_report(tmp_path / "absent.json", "baseline") is None
+        assert "cannot read baseline report" in capsys.readouterr().err
+
+    def test_malformed_json_returns_none(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        assert load_report(path, "candidate") is None
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_object_payload_returns_none(self, tmp_path, capsys):
+        path = write(tmp_path, "list.json", [1, 2, 3])
+        assert load_report(path, "baseline") is None
+        assert "must be a JSON object" in capsys.readouterr().err
+
+
+class TestMain:
+    def run(self, tmp_path, baseline, candidate, threshold="2.0"):
+        return main(
+            [
+                "--baseline", str(baseline),
+                "--candidate", str(candidate),
+                "--threshold", threshold,
+            ]
+        )
+
+    def test_within_threshold_exits_zero(self, tmp_path):
+        baseline = write(tmp_path, "base.json", report(median=0.010))
+        candidate = write(tmp_path, "cand.json", report(median=0.012))
+        assert self.run(tmp_path, baseline, candidate) == 0
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", report(median=0.010))
+        candidate = write(tmp_path, "cand.json", report(median=0.100))
+        assert self.run(tmp_path, baseline, candidate) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_one(self, tmp_path, capsys):
+        candidate = write(tmp_path, "cand.json", report())
+        code = self.run(tmp_path, tmp_path / "absent.json", candidate)
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_candidate_exits_one(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", report())
+        candidate = tmp_path / "cand.json"
+        candidate.write_text("not json at all")
+        assert self.run(tmp_path, baseline, candidate) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_nonpositive_threshold_is_a_usage_error(self, tmp_path):
+        baseline = write(tmp_path, "base.json", report())
+        candidate = write(tmp_path, "cand.json", report())
+        with pytest.raises(SystemExit) as excinfo:
+            self.run(tmp_path, baseline, candidate, threshold="0")
+        assert excinfo.value.code == 2

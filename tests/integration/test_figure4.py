@@ -6,6 +6,9 @@ Level 3: linking/unlinking instances changes the summary objects carried
 by query results, with existing annotations summarized on link.
 """
 
+import importlib.util
+import pathlib
+
 import pytest
 
 from repro import InsightNotes
@@ -14,9 +17,6 @@ from tests.conftest import TRAINING
 
 # Reuse the custom type from the runnable example — it is a first-class
 # citizen of the library's extensibility contract.
-import importlib.util
-import pathlib
-
 _spec = importlib.util.spec_from_file_location(
     "extensibility_example",
     pathlib.Path(__file__).parents[2] / "examples" / "extensibility.py",

@@ -2,10 +2,10 @@
 
 import pytest
 
+from repro.model.cell import CellRef
 from repro.storage.annotations import AnnotationStore
 from repro.storage.catalog import SummaryCatalog
 from repro.storage.database import Database
-from repro.model.cell import CellRef
 from repro.summaries.classifier import ClassifierSummary
 
 
