@@ -2,8 +2,12 @@
 
 Compares a freshly measured candidate report (typically a CI ``--quick``
 smoke run) against the committed baseline for the same benchmark, cell
-by cell: every (workload, ratio, mode) present in **both** reports must
-not be slower than ``threshold`` times the baseline median.
+by cell: every timed cell present in **both** reports must not be
+slower than ``threshold`` times the baseline median.  Cells are found
+by walking the ``results`` tree recursively — a cell is any object
+carrying a ``median_s`` — so arbitrarily nested result keys (e.g. the
+shard sweep's ``results.read_under_ingest.8t.shards_4``) gate exactly
+like the flat (workload, ratio, mode) layout of the older reports.
 
 The quick smoke workloads are smaller than the committed full-run
 workloads, so candidate medians normally sit well *below* the baseline;
@@ -31,12 +35,24 @@ import sys
 
 
 def iter_cells(report: dict):
-    """Yield ``(workload, ratio, mode, median_s)`` from a report."""
-    for workload, series in report.get("results", {}).items():
-        for ratio, cell in series.items():
-            for mode, value in cell.items():
-                if isinstance(value, dict) and "median_s" in value:
-                    yield workload, ratio, mode, value["median_s"]
+    """Yield ``(path, median_s)`` for every timed cell in a report.
+
+    ``path`` is the tuple of keys from ``results`` down to the cell — a
+    cell being the first dict on a branch that carries ``median_s``.
+    Recursion stops at a cell, so auxiliary nested dicts inside it (per-
+    shard counters, say) are never mistaken for cells of their own.
+    """
+
+    def walk(node, path):
+        if not isinstance(node, dict):
+            return
+        if "median_s" in node:
+            yield path, node["median_s"]
+            return
+        for key, value in node.items():
+            yield from walk(value, path + (str(key),))
+
+    yield from walk(report.get("results", {}), ())
 
 
 def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
@@ -47,32 +63,30 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
             f"{baseline.get('benchmark')!r}, candidate is "
             f"{candidate.get('benchmark')!r}"
         ]
-    base = {
-        (workload, ratio, mode): median
-        for workload, ratio, mode, median in iter_cells(baseline)
-    }
+    base = dict(iter_cells(baseline))
     failures: list[str] = []
     common = 0
-    for workload, ratio, mode, median in iter_cells(candidate):
-        allowed = base.get((workload, ratio, mode))
+    for path, median in iter_cells(candidate):
+        allowed = base.get(path)
         if allowed is None:
             continue
         common += 1
         verdict = "ok"
+        label = " ".join(path)
         if median > threshold * allowed:
             verdict = "REGRESSION"
             failures.append(
-                f"{workload} {ratio} {mode}: candidate {median:.6f}s > "
+                f"{label}: candidate {median:.6f}s > "
                 f"{threshold:.1f}x baseline {allowed:.6f}s"
             )
         print(
-            f"  {workload:9s} {ratio:>5s} {mode:8s} "
+            f"  {label:32s} "
             f"baseline {allowed * 1000:9.2f} ms  "
             f"candidate {median * 1000:9.2f} ms  {verdict}"
         )
     if not common:
         failures.append(
-            "the reports share no (workload, ratio, mode) cells — "
+            "the reports share no timed cells — "
             "wrong baseline/candidate pairing?"
         )
     return failures

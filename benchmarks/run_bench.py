@@ -31,6 +31,13 @@ thread ingests annotation batches (see ``bench_concurrency.py``):
 * ``pooled`` — per-thread read-only WAL connections that never wait for
   the writer.
 
+``--bench shard`` sweeps the storage shard count (1/2/4/8) under mixed
+load — four writer threads bulk-ingesting annotations while eight
+reader threads run scatter-gather pushdown queries (see
+``bench_sharding.py``); ``shards_1`` is the single-file baseline and
+``shards_N`` partitions the store over N files with independently
+serialized per-shard writers.
+
 Each cell reports the median of five runs plus the SQLite statement
 count of a cold run, and the result lands in ``BENCH_scan.json`` /
 ``BENCH_ingest.json`` / ... at the repository root so successive commits
@@ -43,7 +50,8 @@ aggregate throughput at 4 client threads.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py \
-        [--bench {scan,ingest,query,concurrency}] [--quick] [--output PATH]
+        [--bench {scan,ingest,query,concurrency,shard}] [--quick] \
+        [--output PATH]
 """
 
 from __future__ import annotations
@@ -297,6 +305,148 @@ def run_concurrency(quick: bool, repeats: int) -> dict:
     return results
 
 
+def run_shard(quick: bool, repeats: int) -> dict:
+    """Shard-count sweep under mixed ingest/read load (bench_sharding).
+
+    ``ingest_under_read`` (the gated workload) times four writer threads
+    draining a fixed number of bulk batches while eight reader threads
+    query continuously; ``read_under_ingest`` times a fixed read load
+    under continuous ingest.  Quick mode runs the 1- and 4-shard
+    endpoints only; full mode sweeps 1/2/4/8 shards.
+    """
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from benchmarks.bench_sharding import (
+        BATCH_ROWS,
+        MODES as SHARD_MODES,
+        READERS,
+        WRITERS,
+        build_sharding_session,
+        ingest_statements,
+        make_batches,
+        measure_ingest_under_read,
+        measure_read_under_ingest,
+        shard_write_batches,
+        warm_readers,
+    )
+
+    modes = ("shards_1", "shards_4") if quick else tuple(SHARD_MODES)
+    num_rows = 4_000 if quick else 20_000
+    batches_per_writer = 6 if quick else 60
+    per_reader = 2 if quick else 6
+    ingest_key = f"{WRITERS}w"
+    read_key = f"{READERS}t"
+    results: dict = {"ingest_under_read": {}, "read_under_ingest": {}}
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode in modes:
+            session = build_sharding_session(
+                f"{tmp}/{mode}.db", num_rows, mode
+            )
+            writer_pool = ThreadPoolExecutor(max_workers=WRITERS)
+            reader_pool = ThreadPoolExecutor(max_workers=READERS)
+            try:
+                warm_readers(session, reader_pool, READERS)
+                batches = make_batches(
+                    WRITERS, batches_per_writer, BATCH_ROWS, num_rows
+                )
+                statements = ingest_statements(session, batches[0][0])
+                # One unmeasured run brings WAL files and page caches to
+                # their steady state before timing starts.
+                measure_ingest_under_read(
+                    session, writer_pool, reader_pool, batches, READERS
+                )
+                before = session.db.backend.counters()
+                runs = [
+                    measure_ingest_under_read(
+                        session, writer_pool, reader_pool, batches, READERS
+                    )
+                    for _ in range(repeats)
+                ]
+                after = session.db.backend.counters()
+                median_s = statistics.median(run["seconds"] for run in runs)
+                annotations = runs[0]["annotations"]
+                cell = results["ingest_under_read"].setdefault(ingest_key, {})
+                cell[mode] = {
+                    "median_s": round(median_s, 6),
+                    "statements": statements,
+                    "annotations": annotations,
+                    "annotations_per_s": int(
+                        round(annotations / max(median_s, 1e-9))
+                    ),
+                    "writer_batches": runs[0]["writer_batches"],
+                    "reader_queries": int(
+                        statistics.median(
+                            run["reader_queries"] for run in runs
+                        )
+                    ),
+                    "shard_write_batches": shard_write_batches(before, after),
+                }
+                read_runs = [
+                    measure_read_under_ingest(
+                        session, writer_pool, reader_pool, batches,
+                        READERS, per_reader,
+                    )
+                    for _ in range(repeats)
+                ]
+                read_median = statistics.median(
+                    run["seconds"] for run in read_runs
+                )
+                queries = read_runs[0]["queries"]
+                cell = results["read_under_ingest"].setdefault(read_key, {})
+                cell[mode] = {
+                    "median_s": round(read_median, 6),
+                    "statements": statements,
+                    "queries": queries,
+                    "queries_per_s": round(queries / max(read_median, 1e-9), 1),
+                    "writer_batches": int(
+                        statistics.median(
+                            run["writer_batches"] for run in read_runs
+                        )
+                    ),
+                }
+            finally:
+                writer_pool.shutdown()
+                reader_pool.shutdown()
+                session.close()
+    for series in results.values():
+        for cell in series.values():
+            base, sharded = cell["shards_1"], cell["shards_4"]
+            cell["speedup"] = round(
+                base["median_s"] / max(sharded["median_s"], 1e-9), 3
+            )
+            cell["statement_ratio"] = round(
+                base["statements"] / max(sharded["statements"], 1), 2
+            )
+    return results
+
+
+def check_shard_gate(results: dict, quick: bool) -> list[str]:
+    """The sharded-ingest acceptance gate (empty list = pass).
+
+    With four writers under continuous read pressure, four shards must
+    at least double ingest throughput over the single-file baseline —
+    the write work is fixed, so ``speedup >= 2.0`` on wall-clock is a
+    2x throughput gain.  In --quick mode the workload is too small for
+    stable timings under scheduler noise, so a miss only warns.
+    """
+    failures: list[str] = []
+    cell = results["ingest_under_read"].get("4w")
+    if cell is None:
+        return ["shard: no 4-writer ingest cell was measured"]
+    if cell["speedup"] < 2.0:
+        message = (
+            f"shard ingest at 4w: speedup {cell['speedup']:.2f}x — four "
+            "shards must at least double ingest throughput under "
+            "concurrent reads over the single-file baseline"
+        )
+        if quick:
+            print(f"warning: {message} (tolerated in --quick mode)")
+        else:
+            failures.append(message)
+    return failures
+
+
 def check_concurrency_gate(results: dict, quick: bool) -> list[str]:
     """The concurrent-read acceptance gate (empty list = pass).
 
@@ -427,6 +577,19 @@ BENCHES = {
         },
         "pair": ("serial", "pooled"),
         "gate": check_concurrency_gate,
+    },
+    "shard": {
+        "run": run_shard,
+        "benchmark": "sharded_ingest",
+        "output": "BENCH_shard.json",
+        "modes": {
+            "shards_1": "single-file baseline (one serialized writer)",
+            "shards_2": "2 hash shards, per-shard writers and pools",
+            "shards_4": "4 hash shards, per-shard writers and pools",
+            "shards_8": "8 hash shards, per-shard writers and pools",
+        },
+        "pair": ("shards_1", "shards_4"),
+        "gate": check_shard_gate,
     },
 }
 

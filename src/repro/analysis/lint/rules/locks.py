@@ -57,7 +57,11 @@ _POOL_CHECKOUTS = frozenset({"read", "write"})
 
 #: The documented fill-under-lock sites (module path suffix, qualname).
 #: SummaryManager's write path holds its RLock across storage calls by
-#: design — see the lock inventory in DESIGN.md §9.
+#: design — see the lock inventory in DESIGN.md §9.  The annotation id
+#: sequence likewise grants cached runs under its lock: the one-row
+#: meta-shard transaction must be atomic with the per-thread run
+#: bookkeeping, or two threads could be granted overlapping id ranges
+#: (DESIGN.md §11's lock inventory).
 IN001_ALLOWLIST = frozenset(
     {
         ("repro/maintenance/incremental.py", "SummaryManager.flush"),
@@ -66,6 +70,8 @@ IN001_ALLOWLIST = frozenset(
         ("repro/maintenance/incremental.py", "SummaryManager.on_annotation_deleted"),
         ("repro/maintenance/incremental.py", "SummaryManager.on_row_deleted"),
         ("repro/maintenance/incremental.py", "SummaryManager.summarize_table"),
+        ("repro/storage/annotations.py", "AnnotationStore._reserve_ids"),
+        ("repro/storage/annotations.py", "AnnotationStore._pin_id"),
     }
 )
 

@@ -58,27 +58,35 @@ class PoolOnlyConnections(Rule):
         if module.path.endswith(_CONNECT_ALLOWED_SUFFIX):
             return
         for node in ast.walk(module.tree):
-            if (
-                isinstance(node, ast.Call)
-                and dotted_name(node.func) == "sqlite3.connect"
+            if isinstance(node, ast.Call) and dotted_name(node.func) in (
+                "sqlite3.connect",
+                # Constructing the Connection class directly (also via
+                # the dbapi2 alias) is the same bypass in disguise.
+                "sqlite3.Connection",
+                "sqlite3.dbapi2.connect",
+                "sqlite3.dbapi2.Connection",
             ):
                 yield self.finding(
                     module,
                     node,
-                    "raw sqlite3.connect bypasses the connection pool "
-                    "(teardown, tracing, single-writer discipline); use "
-                    "repro.storage.pool.connect",
+                    "raw sqlite3 connection creation bypasses the "
+                    "connection pool (teardown, tracing, single-writer "
+                    "discipline); use repro.storage.pool.connect",
                 )
             elif (
                 isinstance(node, ast.ImportFrom)
-                and node.module == "sqlite3"
-                and any(alias.name == "connect" for alias in node.names)
+                and node.module in ("sqlite3", "sqlite3.dbapi2")
+                and any(
+                    alias.name in ("connect", "Connection")
+                    for alias in node.names
+                )
             ):
                 yield self.finding(
                     module,
                     node,
-                    "importing connect from sqlite3 hides raw connection "
-                    "creation from review; use repro.storage.pool.connect",
+                    "importing connect/Connection from sqlite3 hides raw "
+                    "connection creation from review; use "
+                    "repro.storage.pool.connect",
                 )
 
 

@@ -219,33 +219,65 @@ class ExecutionStats:
     selective query with lazy hydration shows ``rows_hydrated`` well
     below ``rows_scanned``.
 
-    Accumulation is lock-protected — parallel hydration may drive
-    operators of the same query from several threads at once.
+    On a sharded backend two more counter groups appear (and **only**
+    then — unsharded sessions keep the original three-key payload):
+    ``shard_rows_scanned`` splits the scan count by the home shard of
+    each merged row, and ``backend`` carries the per-shard pool deltas
+    (read checkouts, writer batches) the query drove, recorded by the
+    session around execution.
+
+    Accumulation is lock-protected — parallel hydration and scatter
+    producers may drive operators of the same query from several threads
+    at once.
     """
 
     rows_scanned: int = 0
     rows_hydrated: int = 0
     hydration_blocks: int = 0
+    shard_rows_scanned: dict[str, int] = field(default_factory=dict)
+    backend_counters: dict[str, dict[str, int]] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
-    def count_scanned(self, rows: int = 1) -> None:
+    def count_scanned(self, rows: int = 1, shard: int | None = None) -> None:
         with self._lock:
             self.rows_scanned += rows
+            if shard is not None:
+                key = str(shard)
+                self.shard_rows_scanned[key] = (
+                    self.shard_rows_scanned.get(key, 0) + rows
+                )
 
     def count_hydrated_block(self, rows: int) -> None:
         with self._lock:
             self.hydration_blocks += 1
             self.rows_hydrated += rows
 
-    def to_json(self) -> dict[str, int]:
+    def record_backend_counters(
+        self, counters: dict[str, dict[str, int]]
+    ) -> None:
+        """Attach the per-shard pool checkout deltas of this query."""
         with self._lock:
-            return {
+            self.backend_counters = {
+                shard: dict(values) for shard, values in counters.items()
+            }
+
+    def to_json(self) -> dict[str, Any]:
+        with self._lock:
+            payload: dict[str, Any] = {
                 "rows_scanned": self.rows_scanned,
                 "rows_hydrated": self.rows_hydrated,
                 "hydration_blocks": self.hydration_blocks,
             }
+            if self.shard_rows_scanned:
+                payload["shard_rows_scanned"] = dict(self.shard_rows_scanned)
+            if self.backend_counters:
+                payload["backend"] = {
+                    shard: dict(values)
+                    for shard, values in self.backend_counters.items()
+                }
+            return payload
 
 
 class ScanOperator(Operator):
@@ -287,10 +319,16 @@ class ScanOperator(Operator):
             where_sql = self.storage_filter.sql
             params = self.storage_filter.params
         stats = self._stats
+        on_row_shard = None
+        if stats is not None and self._db.shard_count > 1:
+            # The scatter-gather merge reports each row's home shard;
+            # counting there feeds the per-shard breakdown (and the
+            # total) in one call.
+            on_row_shard = lambda shard: stats.count_scanned(shard=shard)  # noqa: E731
         for row_id, values in self._db.scan(
-            self.table, where_sql, params, self.storage_limit
+            self.table, where_sql, params, self.storage_limit, on_row_shard
         ):
-            if stats is not None:
+            if stats is not None and on_row_shard is None:
                 stats.count_scanned()
             yield AnnotatedTuple(
                 values=values,

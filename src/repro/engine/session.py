@@ -104,6 +104,14 @@ class InsightNotes:
         Force all reads through the lock-serialized writer connection
         even for file-backed databases — the pre-pool topology, kept as
         the concurrency benchmark's baseline (``serial``) mode.
+    shards:
+        Number of storage shards.  ``1`` (the default) is the original
+        single-file layout, byte-identical to previous releases.
+        ``N >= 2`` hash-partitions rows, attachments, and summary state
+        across ``N`` SQLite files, each with its own read pool and
+        independently serialized writer — bulk ingest commits per-shard
+        sub-batches concurrently and scans scatter-gather in global row
+        order.  File-backed paths only; see DESIGN.md §11.
     """
 
     def __init__(
@@ -119,8 +127,9 @@ class InsightNotes:
         pushdown: bool = True,
         workers: int = 1,
         serialize_reads: bool = False,
+        shards: int = 1,
     ) -> None:
-        self.db = Database(path, serialize_reads=serialize_reads)
+        self.db = Database(path, serialize_reads=serialize_reads, shards=shards)
         self.annotations = AnnotationStore(self.db)
         self.catalog = SummaryCatalog(
             self.db, registry=registry, object_cache_size=object_cache_size
@@ -518,6 +527,10 @@ class InsightNotes:
         tracer = Tracer() if trace else None
         stats = ExecutionStats()
         operator = self.planner.physical(prepared, tracer, stats)
+        # Sharded sessions attach the per-shard pool checkout deltas this
+        # query drove; unsharded payloads stay exactly as before.
+        sharded = self.db.shard_count > 1
+        before = self.db.backend.counters() if sharded else {}
         result = execute_plan(
             operator,
             qid=self.results.next_qid(),
@@ -525,6 +538,17 @@ class InsightNotes:
             logical=prepared,
             stats=stats,
         )
+        if sharded:
+            after = self.db.backend.counters()
+            stats.record_backend_counters(
+                {
+                    shard: {
+                        key: value - before.get(shard, {}).get(key, 0)
+                        for key, value in counters.items()
+                    }
+                    for shard, counters in after.items()
+                }
+            )
         result.trace = tracer
         self.results.register(result)
         self.cache.put(result)
@@ -565,6 +589,8 @@ class InsightNotes:
         """
         contribution_stats = self.manager.contributions.stats
         return {
+            "shards": self.db.shard_count,
+            "shard_pools": self.db.backend.counters(),
             "tables": len(self.db.tables()),
             "rows": sum(self.db.row_count(t) for t in self.db.tables()),
             "annotations": self.annotations.count(),

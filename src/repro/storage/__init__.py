@@ -9,13 +9,26 @@ Hosts the three persistent stores of InsightNotes:
   definitions, instance-to-relation links, and the persisted per-tuple
   summary state objects.
 
-All three share one SQLite connection (file-backed or in-memory), so a
-single database file holds the data, the metadata, and the summaries.
+All three share one :class:`~repro.storage.backend.StorageBackend` — by
+default a :class:`~repro.storage.backend.SingleFileBackend` (one SQLite
+file holds the data, the metadata, and the summaries), or a
+:class:`~repro.storage.sharded.ShardedBackend` that hash-partitions the
+same layout across N files with per-shard writers.
 """
 
 from repro.storage.annotations import AnnotationStore
+from repro.storage.backend import SingleFileBackend, StorageBackend
 from repro.storage.catalog import SummaryCatalog
 from repro.storage.database import Database
 from repro.storage.schema import TableSchema
+from repro.storage.sharded import ShardedBackend
 
-__all__ = ["AnnotationStore", "Database", "SummaryCatalog", "TableSchema"]
+__all__ = [
+    "AnnotationStore",
+    "Database",
+    "ShardedBackend",
+    "SingleFileBackend",
+    "StorageBackend",
+    "SummaryCatalog",
+    "TableSchema",
+]

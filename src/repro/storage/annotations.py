@@ -4,25 +4,57 @@ Annotations are stored once and attached to any number of cells — possibly
 across tuples and tables (the same observation may apply to several birds).
 The attachment table is indexed both ways: by annotation (for projection
 semantics and deletion) and by cell (for summarization and zoom-in).
+
+Under a sharded backend an annotation's body and its attachment edges
+are **co-located** on ``shard_of_annotation(annotation_id)``, which
+slices the id space into blocks so a bulk batch of consecutive ids
+lands on one shard (two at a block boundary).  That is the write path's
+affinity: concurrent ingest threads commit whole batches on *disjoint*
+shard locks instead of scattering every batch over every shard.  The
+price is paid by per-row attachment lookups, which fan out across
+shards — an acceptable trade, because the hot block-fetch path
+(``attachments_for_rows``) already touches every shard either way: a
+block of consecutive rowids hashes onto all of them.
+
+Ids come from a small sequence table on the meta shard, reserved in
+per-thread runs so the sequence row is touched once per run rather than
+once per batch.  The sequence is never decremented, preserving
+AUTOINCREMENT's no-reuse rule (a deleted annotation's id is never
+recycled) across shard files — but, like any cached sequence, ids may
+skip a partial run when a writer thread retires or the store reopens.
+Within one thread ids stay contiguous, so a sequential history produces
+exactly the ids the single-file path would.  The single-file path keeps
+SQLite's own AUTOINCREMENT assignment untouched.
 """
 
 from __future__ import annotations
 
 import itertools
 import sqlite3
+import threading
 import time
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.errors import AnnotationError, UnknownAnnotationError
 from repro.model.annotation import Annotation, AnnotationKind
 from repro.model.cell import CellRef
+from repro.storage.backend import META_SHARD
 from repro.storage.database import Database
 from repro.storage.schema import SYSTEM_PREFIX
 from repro.storage.sqlsafe import placeholders
 
 _ANNOTATIONS_TABLE = f"{SYSTEM_PREFIX}annotations"
 _ATTACHMENTS_TABLE = f"{SYSTEM_PREFIX}attachments"
+_IDSEQ_TABLE = f"{SYSTEM_PREFIX}idseq"
+
+#: Sharded stores reserve annotation ids from the meta shard in runs of
+#: this size per thread, so bulk ingest touches the sequence row once
+#: per run instead of once per batch (the sequence transaction is the
+#: one write every ingest thread would otherwise queue on).  Equal to
+#: ``ANNOTATION_BLOCK`` so one granted run covers exactly one placement
+#: block: every batch cut from a run lands on a single shard.
+_ID_RUN = 128
 
 
 @dataclass(frozen=True)
@@ -51,36 +83,153 @@ class AnnotationStore:
 
     def __init__(self, database: Database) -> None:
         self._db = database
-        with database.transaction() as connection:
-            connection.execute(
-                f"""
-                CREATE TABLE IF NOT EXISTS {_ANNOTATIONS_TABLE} (
-                    annotation_id INTEGER PRIMARY KEY AUTOINCREMENT,
-                    body TEXT NOT NULL,
-                    author TEXT NOT NULL,
-                    created_at REAL NOT NULL,
-                    kind TEXT NOT NULL,
-                    title TEXT NOT NULL DEFAULT ''
+        for shard in range(database.shard_count):
+            with database.transaction(shard) as connection:
+                connection.execute(
+                    f"""
+                    CREATE TABLE IF NOT EXISTS {_ANNOTATIONS_TABLE} (
+                        annotation_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                        body TEXT NOT NULL,
+                        author TEXT NOT NULL,
+                        created_at REAL NOT NULL,
+                        kind TEXT NOT NULL,
+                        title TEXT NOT NULL DEFAULT ''
+                    )
+                    """
                 )
-                """
-            )
-            connection.execute(
-                f"""
-                CREATE TABLE IF NOT EXISTS {_ATTACHMENTS_TABLE} (
-                    annotation_id INTEGER NOT NULL,
-                    table_name TEXT NOT NULL,
-                    row_id INTEGER NOT NULL,
-                    column_name TEXT NOT NULL,
-                    PRIMARY KEY (annotation_id, table_name, row_id, column_name)
+                connection.execute(
+                    f"""
+                    CREATE TABLE IF NOT EXISTS {_ATTACHMENTS_TABLE} (
+                        annotation_id INTEGER NOT NULL,
+                        table_name TEXT NOT NULL,
+                        row_id INTEGER NOT NULL,
+                        column_name TEXT NOT NULL,
+                        PRIMARY KEY (annotation_id, table_name, row_id, column_name)
+                    )
+                    """
                 )
-                """
+                connection.execute(
+                    f"""
+                    CREATE INDEX IF NOT EXISTS {_ATTACHMENTS_TABLE}_by_cell
+                    ON {_ATTACHMENTS_TABLE} (table_name, row_id)
+                    """
+                )
+        # Per-thread cached id runs (see _reserve_ids); the lock guards
+        # the meta-shard sequence row against concurrent run grants.
+        self._id_local = threading.local()
+        self._id_lock = threading.Lock()
+        if database.shard_count > 1:
+            with database.transaction(META_SHARD) as connection:
+                connection.execute(
+                    f"""
+                    CREATE TABLE IF NOT EXISTS {_IDSEQ_TABLE} (
+                        name TEXT PRIMARY KEY,
+                        seq INTEGER NOT NULL
+                    )
+                    """
+                )
+            # Reopening an existing store: the sequence must start past
+            # every annotation id already persisted on any shard.
+            max_id = 0
+            for shard in range(database.shard_count):
+                row = database.fetch_one(
+                    f"SELECT COALESCE(MAX(annotation_id), 0) "
+                    f"FROM {_ANNOTATIONS_TABLE}",
+                    shard=shard,
+                )
+                assert row is not None
+                max_id = max(max_id, row[0])
+            if max_id:
+                self._pin_id(max_id)
+
+    # -- shard routing ------------------------------------------------
+
+    def _ann_shard(self, annotation_id: int) -> int:
+        return self._db.backend.shard_of_annotation(annotation_id)
+
+    def _all_shards(self) -> range:
+        return range(self._db.shard_count)
+
+    def _validate_cells(self, cells: Sequence[CellRef]) -> None:
+        if not cells:
+            raise AnnotationError(
+                "an annotation must attach to at least one cell"
             )
+        for cell in cells:
+            schema = self._db.schema(cell.table)
+            if not schema.has_column(cell.column):
+                raise AnnotationError(
+                    f"cannot attach to unknown column {cell.table}.{cell.column}"
+                )
+
+    # -- id allocation (sharded) ---------------------------------------
+
+    def _reserve_ids(self, count: int) -> int:
+        """Reserve ``count`` consecutive annotation ids; returns the first.
+
+        Ids come out of a per-thread cached run (granted in
+        :data:`_ID_RUN`-sized slices from the meta-shard sequence row),
+        so most batches reserve without touching SQLite at all — the
+        sequence transaction is the one write every ingest thread would
+        otherwise serialize on.  When a run is exhausted it is extended
+        *contiguously* whenever no other thread reserved in between, so
+        a single-threaded history yields the exact gap-free ids the
+        single-file AUTOINCREMENT path assigns.  The sequence row is
+        never decremented — like ``sqlite_sequence``, deleting the max
+        annotation never recycles its id — but a partial run is dropped
+        when its thread retires or the store reopens, so ids may skip
+        (the standard cached-sequence caveat).
+        """
+        state = self._id_local
+        next_id = getattr(state, "next_id", 0)
+        top = getattr(state, "top", -1)
+        if top - next_id + 1 >= count:
+            state.next_id = next_id + count
+            return next_id
+        with self._id_lock, self._db.transaction(META_SHARD) as connection:
+            row = connection.execute(
+                f"SELECT seq FROM {_IDSEQ_TABLE} WHERE name = ?",
+                (_ANNOTATIONS_TABLE,),
+            ).fetchone()
+            current = row[0] if row is not None else 0
+            available = top - next_id + 1
+            if available > 0 and top == current:
+                # Our run still ends the sequence: extend it in place so
+                # the remaining cached ids stay usable with no gap.
+                first = next_id
+            else:
+                first = current + 1
+                available = 0
+            grant = max(_ID_RUN, count - available)
             connection.execute(
-                f"""
-                CREATE INDEX IF NOT EXISTS {_ATTACHMENTS_TABLE}_by_cell
-                ON {_ATTACHMENTS_TABLE} (table_name, row_id)
-                """
+                f"INSERT INTO {_IDSEQ_TABLE} (name, seq) VALUES (?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET seq = excluded.seq",
+                (_ANNOTATIONS_TABLE, current + grant),
             )
+            state.next_id = first + count
+            state.top = current + grant
+            return first
+
+    def _pin_id(self, annotation_id: int) -> None:
+        """Raise the sequence floor past an explicitly pinned id.
+
+        Also invalidates this thread's cached run when the pinned id
+        lands inside or beyond it, so later reservations never re-issue
+        the pinned id.  (A pin landing inside *another* thread's
+        outstanding run is not detectable — explicit-id imports must not
+        run concurrently with bulk ingest, as documented on :meth:`add`.)
+        """
+        with self._id_lock, self._db.transaction(META_SHARD) as connection:
+            connection.execute(
+                f"INSERT INTO {_IDSEQ_TABLE} (name, seq) VALUES (?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET "
+                "seq = MAX(seq, excluded.seq)",
+                (_ANNOTATIONS_TABLE, annotation_id),
+            )
+            state = self._id_local
+            if annotation_id >= getattr(state, "next_id", 0):
+                state.next_id = annotation_id + 1
+                state.top = max(getattr(state, "top", -1), annotation_id)
 
     # -- writes -----------------------------------------------------
 
@@ -99,17 +248,16 @@ class AnnotationStore:
         At least one cell is required — a dangling annotation would never
         be summarized, propagated, or reachable by zoom-in.  An explicit
         ``annotation_id`` pins the id (import tooling must reproduce ids
-        exactly, gaps included).
+        exactly, gaps included); on a sharded store, explicit-id imports
+        must not run concurrently with bulk ingest — a pinned id cannot
+        be evicted from another thread's already-reserved id run.
         """
-        if not cells:
-            raise AnnotationError("an annotation must attach to at least one cell")
-        for cell in cells:
-            schema = self._db.schema(cell.table)
-            if not schema.has_column(cell.column):
-                raise AnnotationError(
-                    f"cannot attach to unknown column {cell.table}.{cell.column}"
-                )
+        self._validate_cells(cells)
         timestamp = time.time() if created_at is None else created_at
+        if self._db.shard_count > 1:
+            return self._add_sharded(
+                text, cells, author, kind, title, timestamp, annotation_id
+            )
         with self._db.transaction() as connection:
             if annotation_id is None:
                 cursor = connection.execute(
@@ -151,41 +299,64 @@ class AnnotationStore:
             title=title,
         )
 
+    def _add_sharded(
+        self,
+        text: str,
+        cells: Sequence[CellRef],
+        author: str,
+        kind: AnnotationKind,
+        title: str,
+        timestamp: float,
+        annotation_id: int | None,
+    ) -> Annotation:
+        if annotation_id is None:
+            annotation_id = self._reserve_ids(1)
+        else:
+            self._pin_id(annotation_id)
+        annotation_row = (
+            annotation_id, text, author, timestamp, kind.value, title
+        )
+        self._write_fanout([annotation_row], [
+            (annotation_id, cell.table, cell.row_id, cell.column)
+            for cell in cells
+        ])
+        return Annotation(
+            annotation_id=annotation_id,
+            text=text,
+            author=author,
+            created_at=timestamp,
+            kind=kind,
+            title=title,
+        )
+
     def add_many(self, drafts: Sequence[AnnotationDraft]) -> list[Annotation]:
         """Bulk :meth:`add`: the whole batch lands in one transaction.
 
-        Ids are assigned contiguously in draft order from the table's
-        AUTOINCREMENT sequence, so a batch produces exactly the ids a
-        loop of single adds would.  The batch is validated up front and
-        written with one ``executemany`` per table — two statements'
-        worth of Python/SQLite boundary crossings instead of two per
-        annotation.  All-or-nothing: a failure rolls the whole batch
-        back.
+        Ids are assigned contiguously in draft order, so a batch produces
+        exactly the ids a loop of single adds would.  The batch is
+        validated up front and written with one ``executemany`` per table
+        — two statements' worth of Python/SQLite boundary crossings
+        instead of two per annotation.  Single-file, the batch is
+        all-or-nothing; sharded, the batch's consecutive ids give it a
+        home shard (two at a block boundary), each sub-batch commits in
+        one per-shard transaction, and atomicity is per shard — see
+        DESIGN.md §11 for the cross-shard caveat.
         """
         if not drafts:
             return []
         for draft in drafts:
-            if not draft.cells:
-                raise AnnotationError(
-                    "an annotation must attach to at least one cell"
-                )
-            for cell in draft.cells:
-                schema = self._db.schema(cell.table)
-                if not schema.has_column(cell.column):
-                    raise AnnotationError(
-                        f"cannot attach to unknown column {cell.table}.{cell.column}"
-                    )
+            self._validate_cells(draft.cells)
         now = time.time()
         annotations: list[Annotation] = []
         annotation_rows: list[tuple[int, str, str, float, str, str]] = []
         attachment_rows: list[tuple[int, str, int, str]] = []
-        with self._db.transaction() as connection:
-            # The id probe must run on the writer inside this transaction
-            # (a pooled reader only sees already-committed state).
-            next_id = self._next_annotation_id(connection)
+
+        def build(next_id: int) -> None:
             for offset, draft in enumerate(drafts):
                 annotation_id = next_id + offset
-                timestamp = now if draft.created_at is None else draft.created_at
+                timestamp = (
+                    now if draft.created_at is None else draft.created_at
+                )
                 annotation_rows.append(
                     (
                         annotation_id,
@@ -210,6 +381,15 @@ class AnnotationStore:
                         title=draft.title,
                     )
                 )
+
+        if self._db.shard_count > 1:
+            build(self._reserve_ids(len(drafts)))
+            self._write_fanout(annotation_rows, attachment_rows)
+            return annotations
+        with self._db.transaction() as connection:
+            # The id probe must run on the writer inside this transaction
+            # (a pooled reader only sees already-committed state).
+            build(self._next_annotation_id(connection))
             connection.executemany(
                 f"""
                 INSERT INTO {_ANNOTATIONS_TABLE}
@@ -227,6 +407,60 @@ class AnnotationStore:
                 attachment_rows,
             )
         return annotations
+
+    def _write_fanout(
+        self,
+        annotation_rows: Sequence[tuple[int, str, str, float, str, str]],
+        attachment_rows: Sequence[tuple[int, str, int, str]],
+    ) -> None:
+        """Commit one logical batch as per-shard sub-transactions.
+
+        Bodies and attachments both group by the annotation id's shard
+        (they are co-located), so a batch of consecutive ids produces
+        one transaction — two at a block boundary — executed inline by
+        the calling thread; only wide batches fan out onto the backend's
+        writer pool.  Concurrent ingest threads therefore commit on
+        disjoint shard locks instead of all queueing on every shard.
+        """
+        bodies: dict[int, list[tuple[int, str, str, float, str, str]]] = {}
+        for annotation_row in annotation_rows:
+            shard = self._ann_shard(annotation_row[0])
+            bodies.setdefault(shard, []).append(annotation_row)
+        attachments: dict[int, list[tuple[int, str, int, str]]] = {}
+        for attachment_row in attachment_rows:
+            shard = self._ann_shard(attachment_row[0])
+            attachments.setdefault(shard, []).append(attachment_row)
+
+        def write_shard(shard: int) -> Callable[[], None]:
+            def thunk() -> None:
+                with self._db.transaction(shard) as connection:
+                    if shard in bodies:
+                        connection.executemany(
+                            f"""
+                            INSERT INTO {_ANNOTATIONS_TABLE}
+                                (annotation_id, body, author, created_at,
+                                 kind, title)
+                            VALUES (?, ?, ?, ?, ?, ?)
+                            """,
+                            bodies[shard],
+                        )
+                    if shard in attachments:
+                        connection.executemany(
+                            f"""
+                            INSERT OR IGNORE INTO {_ATTACHMENTS_TABLE}
+                                (annotation_id, table_name, row_id,
+                                 column_name)
+                            VALUES (?, ?, ?, ?)
+                            """,
+                            attachments[shard],
+                        )
+
+            return thunk
+
+        touched = sorted(set(bodies) | set(attachments))
+        self._db.backend.run_write_fanout(
+            [write_shard(shard) for shard in touched]
+        )
 
     def _next_annotation_id(self, connection: sqlite3.Connection) -> int:
         """First free annotation id, honouring AUTOINCREMENT's no-reuse rule.
@@ -267,7 +501,7 @@ class AnnotationStore:
         current = self.get(annotation_id)  # raises for unknown ids
         new_text = current.text if text is None else text
         new_title = current.title if title is None else title
-        with self._db.transaction() as connection:
+        with self._db.transaction(self._ann_shard(annotation_id)) as connection:
             connection.execute(
                 f"""
                 UPDATE {_ANNOTATIONS_TABLE} SET body = ?, title = ?
@@ -288,9 +522,10 @@ class AnnotationStore:
         """Remove one annotation's attachments to a single base row.
 
         Used when a base row is deleted but the annotation also covers
-        other rows and must survive there.
+        other rows and must survive there.  One transaction on the
+        annotation's home shard, where all its attachments live.
         """
-        with self._db.transaction() as connection:
+        with self._db.transaction(self._ann_shard(annotation_id)) as connection:
             connection.execute(
                 f"""
                 DELETE FROM {_ATTACHMENTS_TABLE}
@@ -300,9 +535,13 @@ class AnnotationStore:
             )
 
     def delete(self, annotation_id: int) -> None:
-        """Remove an annotation and all its attachments."""
+        """Remove an annotation and all its attachments.
+
+        Body and attachments are co-located, so the purge is one
+        transaction on the annotation's home shard.
+        """
         self.get(annotation_id)  # raises for unknown ids
-        with self._db.transaction() as connection:
+        with self._db.transaction(self._ann_shard(annotation_id)) as connection:
             connection.execute(
                 f"DELETE FROM {_ATTACHMENTS_TABLE} WHERE annotation_id = ?",
                 (annotation_id,),
@@ -322,6 +561,7 @@ class AnnotationStore:
             FROM {_ANNOTATIONS_TABLE} WHERE annotation_id = ?
             """,
             (annotation_id,),
+            shard=self._ann_shard(annotation_id),
         )
         if row is None:
             raise UnknownAnnotationError(annotation_id)
@@ -332,58 +572,88 @@ class AnnotationStore:
 
         Unknown ids raise, matching :meth:`get` — zoom-in must never
         silently return fewer annotations than a summary promised.
+        Sharded stores group the ids by home shard first, so each chunk
+        is a single-shard IN-list.
         """
         wanted = sorted(set(annotation_ids))
-        results: list[Annotation] = []
-        # Chunked IN-lists keep us under SQLite's bound-variable limit.
-        for chunk_start in range(0, len(wanted), 500):
-            chunk = wanted[chunk_start : chunk_start + 500]
-            marks = placeholders(len(chunk))
-            rows = self._db.fetch_all(
-                f"""
-                SELECT annotation_id, body, author, created_at, kind, title
-                FROM {_ANNOTATIONS_TABLE}
-                WHERE annotation_id IN ({marks})
-                ORDER BY annotation_id
-                """,
-                chunk,
+        by_shard: dict[int, list[int]] = {}
+        for annotation_id in wanted:
+            by_shard.setdefault(self._ann_shard(annotation_id), []).append(
+                annotation_id
             )
-            if len(rows) != len(chunk):
-                found = {row[0] for row in rows}
-                missing = next(i for i in chunk if i not in found)
-                raise UnknownAnnotationError(missing)
-            results.extend(_annotation_from_row(row) for row in rows)
-        return results
+        found: dict[int, Annotation] = {}
+        for shard in sorted(by_shard):
+            ids = by_shard[shard]
+            # Chunked IN-lists keep us under SQLite's bound-variable limit.
+            for chunk_start in range(0, len(ids), 500):
+                chunk = ids[chunk_start : chunk_start + 500]
+                marks = placeholders(len(chunk))
+                rows = self._db.fetch_all(
+                    f"""
+                    SELECT annotation_id, body, author, created_at, kind, title
+                    FROM {_ANNOTATIONS_TABLE}
+                    WHERE annotation_id IN ({marks})
+                    ORDER BY annotation_id
+                    """,
+                    chunk,
+                    shard=shard,
+                )
+                for row in rows:
+                    found[row[0]] = _annotation_from_row(row)
+        missing = next((i for i in wanted if i not in found), None)
+        if missing is not None:
+            raise UnknownAnnotationError(missing)
+        return [found[annotation_id] for annotation_id in wanted]
 
     def count(self) -> int:
         """Total number of stored annotations."""
-        row = self._db.fetch_one(f"SELECT COUNT(*) FROM {_ANNOTATIONS_TABLE}")
-        assert row is not None
-        return row[0]
+        total = 0
+        for shard in self._all_shards():
+            row = self._db.fetch_one(
+                f"SELECT COUNT(*) FROM {_ANNOTATIONS_TABLE}", shard=shard
+            )
+            assert row is not None
+            total += row[0]
+        return total
 
     def total_text_bytes(self) -> int:
         """Total size of all annotation bodies (storage benchmark)."""
-        row = self._db.fetch_one(
-            f"SELECT COALESCE(SUM(LENGTH(body)), 0) FROM {_ANNOTATIONS_TABLE}"
-        )
-        assert row is not None
-        return row[0]
+        total = 0
+        for shard in self._all_shards():
+            row = self._db.fetch_one(
+                f"SELECT COALESCE(SUM(LENGTH(body)), 0) "
+                f"FROM {_ANNOTATIONS_TABLE}",
+                shard=shard,
+            )
+            assert row is not None
+            total += row[0]
+        return total
 
     def iter_all(self) -> Iterator[Annotation]:
         """Iterate over every stored annotation in id order."""
-        rows = self._db.fetch_all(
-            f"""
-            SELECT annotation_id, body, author, created_at, kind, title
-            FROM {_ANNOTATIONS_TABLE} ORDER BY annotation_id
-            """
-        )
+        rows: list[tuple] = []
+        for shard in self._all_shards():
+            rows.extend(
+                self._db.fetch_all(
+                    f"""
+                    SELECT annotation_id, body, author, created_at, kind, title
+                    FROM {_ANNOTATIONS_TABLE} ORDER BY annotation_id
+                    """,
+                    shard=shard,
+                )
+            )
+        rows.sort(key=lambda row: row[0])
         for row in rows:
             yield _annotation_from_row(row)
 
     # -- attachment queries ----------------------------------------------
 
     def cells_of(self, annotation_id: int) -> list[CellRef]:
-        """All cells the annotation is attached to."""
+        """All cells the annotation is attached to.
+
+        One query on the annotation's home shard, which carries all of
+        its attachment edges.
+        """
         rows = self._db.fetch_all(
             f"""
             SELECT table_name, row_id, column_name
@@ -391,6 +661,7 @@ class AnnotationStore:
             ORDER BY table_name, row_id, column_name
             """,
             (annotation_id,),
+            shard=self._ann_shard(annotation_id),
         )
         return [CellRef(table, row_id, column) for table, row_id, column in rows]
 
@@ -402,6 +673,7 @@ class AnnotationStore:
             FROM {_ATTACHMENTS_TABLE} WHERE annotation_id = ?
             """,
             (annotation_id,),
+            shard=self._ann_shard(annotation_id),
         )
         assert row is not None
         return row[0]
@@ -409,7 +681,18 @@ class AnnotationStore:
     def annotations_for_row(
         self, table: str, row_id: int
     ) -> list[tuple[Annotation, frozenset[str]]]:
-        """Annotations on a base row with their attached column sets."""
+        """Annotations on a base row with their attached column sets.
+
+        Single-file this is one JOIN; sharded it is two steps — collect
+        the row's attachment edges (a fan-out, since each edge lives on
+        its annotation's shard), then bulk-fetch the bodies per shard.
+        """
+        if self._db.shard_count > 1:
+            attachments = self.attachments_for_row(table, row_id)
+            return [
+                (annotation, attachments[annotation.annotation_id])
+                for annotation in self.get_many(attachments)
+            ]
         rows = self._db.fetch_all(
             f"""
             SELECT a.annotation_id, a.body, a.author, a.created_at, a.kind,
@@ -437,18 +720,23 @@ class AnnotationStore:
         Unlike :meth:`annotations_for_row` this never touches the
         annotation bodies — it is the query-time path, which must stay
         proportional to the *number* of annotations, not their size.
+        Attachments live with their annotation, so a single row's
+        lookup asks every shard (each contributes the edges whose
+        annotations it homes); single-file that is still one query.
         """
-        rows = self._db.fetch_all(
-            f"""
-            SELECT annotation_id, column_name FROM {_ATTACHMENTS_TABLE}
-            WHERE table_name = ? AND row_id = ?
-            ORDER BY annotation_id
-            """,
-            (table, row_id),
-        )
         attachments: dict[int, set[str]] = {}
-        for annotation_id, column in rows:
-            attachments.setdefault(annotation_id, set()).add(column)
+        for shard in self._all_shards():
+            rows = self._db.fetch_all(
+                f"""
+                SELECT annotation_id, column_name FROM {_ATTACHMENTS_TABLE}
+                WHERE table_name = ? AND row_id = ?
+                ORDER BY annotation_id
+                """,
+                (table, row_id),
+                shard=shard,
+            )
+            for annotation_id, column in rows:
+                attachments.setdefault(annotation_id, set()).add(column)
         return {
             annotation_id: frozenset(columns)
             for annotation_id, columns in attachments.items()
@@ -459,28 +747,35 @@ class AnnotationStore:
     ) -> dict[int, dict[int, frozenset[str]]]:
         """Bulk :meth:`attachments_for_row` for a block of base rows.
 
-        One SQL query per chunk of ``row_ids`` instead of one per row —
-        the scan operator's prefetch path.  Every requested row id is
-        present in the result; rows without annotations map to ``{}``.
+        One SQL query per (shard, chunk) of ``row_ids`` instead of one
+        per row — the scan operator's prefetch path.  Attachments live
+        with their annotation, so every shard is asked for the whole
+        block and contributes the edges it homes; a block of consecutive
+        rowids would touch every shard under row-hashed placement too,
+        so the statement count is the same and the write path keeps its
+        batch affinity.  Every requested row id is present in the
+        result; rows without annotations map to ``{}``.
         """
         per_row: dict[int, dict[int, set[str]]] = {
             row_id: {} for row_id in row_ids
         }
         distinct = sorted(per_row)
-        # Chunked IN-lists keep us under SQLite's bound-variable limit.
-        for chunk_start in range(0, len(distinct), 500):
-            chunk = distinct[chunk_start : chunk_start + 500]
-            marks = placeholders(len(chunk))
-            rows = self._db.fetch_all(
-                f"""
-                SELECT row_id, annotation_id, column_name
-                FROM {_ATTACHMENTS_TABLE}
-                WHERE table_name = ? AND row_id IN ({marks})
-                """,
-                (table, *chunk),
-            )
-            for row_id, annotation_id, column in rows:
-                per_row[row_id].setdefault(annotation_id, set()).add(column)
+        for shard in self._all_shards():
+            # Chunked IN-lists keep us under SQLite's bound-variable limit.
+            for chunk_start in range(0, len(distinct), 500):
+                chunk = distinct[chunk_start : chunk_start + 500]
+                marks = placeholders(len(chunk))
+                rows = self._db.fetch_all(
+                    f"""
+                    SELECT row_id, annotation_id, column_name
+                    FROM {_ATTACHMENTS_TABLE}
+                    WHERE table_name = ? AND row_id IN ({marks})
+                    """,
+                    (table, *chunk),
+                    shard=shard,
+                )
+                for row_id, annotation_id, column in rows:
+                    per_row[row_id].setdefault(annotation_id, set()).add(column)
         return {
             row_id: {
                 annotation_id: frozenset(columns)
@@ -490,24 +785,31 @@ class AnnotationStore:
         }
 
     def annotation_ids_for_row(self, table: str, row_id: int) -> set[int]:
-        """Ids of all annotations attached to a base row."""
-        rows = self._db.fetch_all(
-            f"""
-            SELECT DISTINCT annotation_id FROM {_ATTACHMENTS_TABLE}
-            WHERE table_name = ? AND row_id = ?
-            """,
-            (table, row_id),
-        )
-        return {row[0] for row in rows}
+        """Ids of all annotations attached to a base row (a fan-out —
+        each shard contributes the edges whose annotations it homes)."""
+        ids: set[int] = set()
+        for shard in self._all_shards():
+            rows = self._db.fetch_all(
+                f"""
+                SELECT DISTINCT annotation_id FROM {_ATTACHMENTS_TABLE}
+                WHERE table_name = ? AND row_id = ?
+                """,
+                (table, row_id),
+                shard=shard,
+            )
+            ids.update(row[0] for row in rows)
+        return ids
 
     def rows_for_annotation(self, annotation_id: int) -> set[tuple[str, int]]:
-        """``(table, row_id)`` pairs the annotation attaches to."""
+        """``(table, row_id)`` pairs the annotation attaches to — one
+        query on the annotation's home shard."""
         rows = self._db.fetch_all(
             f"""
             SELECT DISTINCT table_name, row_id FROM {_ATTACHMENTS_TABLE}
             WHERE annotation_id = ?
             """,
             (annotation_id,),
+            shard=self._ann_shard(annotation_id),
         )
         return {(table, row_id) for table, row_id in rows}
 

@@ -25,6 +25,12 @@ is never held across SQL — cache probe under the lock, fetch on a pooled
 read connection outside it, fill under the lock again.  Two threads
 missing the same key may both fetch (a benign double-read); the second
 fill simply overwrites the first with an equal object.
+
+Under a sharded backend the instance definitions and links stay on the
+meta shard (small, metadata-shaped), while summary state is co-located
+with its base row on ``shard_of(table, row_id)`` — the scan path's
+block fetches group rows by home shard and hit each shard once per
+block.
 """
 
 from __future__ import annotations
@@ -32,13 +38,14 @@ from __future__ import annotations
 import json
 import threading
 from collections import OrderedDict
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
 
 from repro.errors import (
     CatalogError,
     DuplicateInstanceError,
     UnknownInstanceError,
 )
+from repro.storage.backend import META_SHARD
 from repro.storage.database import Database
 from repro.storage.schema import SYSTEM_PREFIX
 from repro.storage.sqlsafe import placeholders
@@ -91,45 +98,51 @@ class SummaryCatalog:
         self._cache_lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
-        with database.transaction() as connection:
-            connection.execute(
-                f"""
-                CREATE TABLE IF NOT EXISTS {_INSTANCES_TABLE} (
-                    instance_name TEXT PRIMARY KEY,
-                    type_name TEXT NOT NULL,
-                    config TEXT NOT NULL
+        for shard in range(database.shard_count):
+            with database.transaction(shard) as connection:
+                if shard == META_SHARD:
+                    # Instance definitions and links are metadata — they
+                    # stay on the meta shard; only per-row summary state
+                    # fans out with its base rows.
+                    connection.execute(
+                        f"""
+                        CREATE TABLE IF NOT EXISTS {_INSTANCES_TABLE} (
+                            instance_name TEXT PRIMARY KEY,
+                            type_name TEXT NOT NULL,
+                            config TEXT NOT NULL
+                        )
+                        """
+                    )
+                    connection.execute(
+                        f"""
+                        CREATE TABLE IF NOT EXISTS {_LINKS_TABLE} (
+                            instance_name TEXT NOT NULL,
+                            table_name TEXT NOT NULL,
+                            PRIMARY KEY (instance_name, table_name)
+                        )
+                        """
+                    )
+                connection.execute(
+                    f"""
+                    CREATE TABLE IF NOT EXISTS {_STATE_TABLE} (
+                        instance_name TEXT NOT NULL,
+                        table_name TEXT NOT NULL,
+                        row_id INTEGER NOT NULL,
+                        object TEXT NOT NULL,
+                        PRIMARY KEY (instance_name, table_name, row_id)
+                    )
+                    """
                 )
-                """
-            )
-            connection.execute(
-                f"""
-                CREATE TABLE IF NOT EXISTS {_LINKS_TABLE} (
-                    instance_name TEXT NOT NULL,
-                    table_name TEXT NOT NULL,
-                    PRIMARY KEY (instance_name, table_name)
+                # The scan path looks state up by (table, row) across all
+                # linked instances; the primary key leads with
+                # instance_name, so without this index those lookups walk
+                # the whole table.
+                connection.execute(
+                    f"""
+                    CREATE INDEX IF NOT EXISTS {_STATE_TABLE}_by_table_row
+                    ON {_STATE_TABLE} (table_name, row_id, instance_name)
+                    """
                 )
-                """
-            )
-            connection.execute(
-                f"""
-                CREATE TABLE IF NOT EXISTS {_STATE_TABLE} (
-                    instance_name TEXT NOT NULL,
-                    table_name TEXT NOT NULL,
-                    row_id INTEGER NOT NULL,
-                    object TEXT NOT NULL,
-                    PRIMARY KEY (instance_name, table_name, row_id)
-                )
-                """
-            )
-            # The scan path looks state up by (table, row) across all
-            # linked instances; the primary key leads with instance_name,
-            # so without this index those lookups walk the whole table.
-            connection.execute(
-                f"""
-                CREATE INDEX IF NOT EXISTS {_STATE_TABLE}_by_table_row
-                ON {_STATE_TABLE} (table_name, row_id, instance_name)
-                """
-            )
 
     # -- deserialization cache ------------------------------------------
 
@@ -228,22 +241,38 @@ class SummaryCatalog:
             )
 
     def drop_instance(self, instance_name: str) -> None:
-        """Remove an instance, its links, and all its summary state."""
+        """Remove an instance, its links, and all its summary state.
+
+        Summary state lives on every shard, so the purge fans out; the
+        definition and links go with the meta shard's sub-transaction.
+        """
         if not self.has_instance(instance_name):
             raise UnknownInstanceError(instance_name)
-        with self._db.transaction() as connection:
-            connection.execute(
-                f"DELETE FROM {_STATE_TABLE} WHERE instance_name = ?",
-                (instance_name,),
-            )
-            connection.execute(
-                f"DELETE FROM {_LINKS_TABLE} WHERE instance_name = ?",
-                (instance_name,),
-            )
-            connection.execute(
-                f"DELETE FROM {_INSTANCES_TABLE} WHERE instance_name = ?",
-                (instance_name,),
-            )
+
+        def purge(shard: int) -> Callable[[], None]:
+            def thunk() -> None:
+                with self._db.transaction(shard) as connection:
+                    connection.execute(
+                        f"DELETE FROM {_STATE_TABLE} WHERE instance_name = ?",
+                        (instance_name,),
+                    )
+                    if shard == META_SHARD:
+                        connection.execute(
+                            f"DELETE FROM {_LINKS_TABLE} "
+                            "WHERE instance_name = ?",
+                            (instance_name,),
+                        )
+                        connection.execute(
+                            f"DELETE FROM {_INSTANCES_TABLE} "
+                            "WHERE instance_name = ?",
+                            (instance_name,),
+                        )
+
+            return thunk
+
+        self._db.backend.run_write_fanout(
+            [purge(shard) for shard in range(self._db.shard_count)]
+        )
         with self._instances_lock:
             self._live_instances.pop(instance_name, None)
         self._cache_invalidate_pair(instance_name, None)
@@ -318,21 +347,31 @@ class SummaryCatalog:
         """Remove a link and the instance's state for that table."""
         if not self.has_instance(instance_name):
             raise UnknownInstanceError(instance_name)
-        with self._db.transaction() as connection:
-            connection.execute(
-                f"""
-                DELETE FROM {_LINKS_TABLE}
-                WHERE instance_name = ? AND table_name = ?
-                """,
-                (instance_name, table_name),
-            )
-            connection.execute(
-                f"""
-                DELETE FROM {_STATE_TABLE}
-                WHERE instance_name = ? AND table_name = ?
-                """,
-                (instance_name, table_name),
-            )
+
+        def purge(shard: int) -> Callable[[], None]:
+            def thunk() -> None:
+                with self._db.transaction(shard) as connection:
+                    if shard == META_SHARD:
+                        connection.execute(
+                            f"""
+                            DELETE FROM {_LINKS_TABLE}
+                            WHERE instance_name = ? AND table_name = ?
+                            """,
+                            (instance_name, table_name),
+                        )
+                    connection.execute(
+                        f"""
+                        DELETE FROM {_STATE_TABLE}
+                        WHERE instance_name = ? AND table_name = ?
+                        """,
+                        (instance_name, table_name),
+                    )
+
+            return thunk
+
+        self._db.backend.run_write_fanout(
+            [purge(shard) for shard in range(self._db.shard_count)]
+        )
         self._cache_invalidate_pair(instance_name, table_name)
 
     def is_linked(self, instance_name: str, table_name: str) -> bool:
@@ -414,32 +453,42 @@ class SummaryCatalog:
         """
         if not entries:
             return 0
-        rows: list[tuple[str, str, int, str]] = []
+        by_shard: dict[int, list[tuple[str, str, int, str]]] = {}
+        backend = self._db.backend
         for instance_name, table_name, row_id, obj in entries:
             if obj.instance_name != instance_name:
                 raise CatalogError(
                     f"object belongs to instance {obj.instance_name!r}, "
                     f"not {instance_name!r}"
                 )
-            rows.append(
+            by_shard.setdefault(backend.shard_of(table_name, row_id), []).append(
                 (instance_name, table_name, row_id, json.dumps(obj.to_json()))
             )
-        with self._db.transaction() as connection:
-            connection.executemany(
-                f"""
-                INSERT INTO {_STATE_TABLE}
-                    (instance_name, table_name, row_id, object)
-                VALUES (?, ?, ?, ?)
-                ON CONFLICT (instance_name, table_name, row_id)
-                DO UPDATE SET object = excluded.object
-                """,
-                rows,
-            )
+
+        def write_shard(shard: int) -> Callable[[], None]:
+            def thunk() -> None:
+                with self._db.transaction(shard) as connection:
+                    connection.executemany(
+                        f"""
+                        INSERT INTO {_STATE_TABLE}
+                            (instance_name, table_name, row_id, object)
+                        VALUES (?, ?, ?, ?)
+                        ON CONFLICT (instance_name, table_name, row_id)
+                        DO UPDATE SET object = excluded.object
+                        """,
+                        by_shard[shard],
+                    )
+
+            return thunk
+
+        backend.run_write_fanout(
+            [write_shard(shard) for shard in sorted(by_shard)]
+        )
         # Drop rather than insert: the objects are live maintenance state
         # that keeps mutating; the cache must only hold settled state.
         for instance_name, table_name, row_id, _obj in entries:
             self._cache_invalidate((instance_name, table_name, row_id))
-        return len(rows)
+        return len(entries)
 
     def load_object(
         self, instance_name: str, table_name: str, row_id: int
@@ -462,6 +511,7 @@ class SummaryCatalog:
             WHERE instance_name = ? AND table_name = ? AND row_id = ?
             """,
             (instance_name, table_name, row_id),
+            shard=self._db.backend.shard_of(table_name, row_id),
         )
         if row is None:
             self._cache_put(key, _ABSENT)
@@ -505,30 +555,39 @@ class SummaryCatalog:
         if not missing:
             return result
         fetch_instances = sorted({pair[0] for pair in missing})
-        fetch_rows = sorted({pair[1] for pair in missing})
         instance_marks = placeholders(len(fetch_instances))
-        for chunk_start in range(0, len(fetch_rows), 500):
-            chunk = fetch_rows[chunk_start : chunk_start + 500]
-            row_marks = placeholders(len(chunk))
-            rows = self._db.fetch_all(
-                f"""
-                SELECT instance_name, row_id, object FROM {_STATE_TABLE}
-                WHERE table_name = ?
-                  AND instance_name IN ({instance_marks})
-                  AND row_id IN ({row_marks})
-                """,
-                (table_name, *fetch_instances, *chunk),
-            )
-            for instance_name, row_id, payload in rows:
-                pair = (instance_name, row_id)
-                if pair not in missing:
-                    continue  # over-fetched: the pair was already cached
-                missing.discard(pair)
-                obj = self._deserialize_object(
-                    payload, instance_name, table_name, row_id
+        # Route each row to its home shard: one query per (shard, chunk).
+        backend = self._db.backend
+        rows_by_shard: dict[int, list[int]] = {}
+        for row_id in sorted({pair[1] for pair in missing}):
+            rows_by_shard.setdefault(
+                backend.shard_of(table_name, row_id), []
+            ).append(row_id)
+        for shard in sorted(rows_by_shard):
+            fetch_rows = rows_by_shard[shard]
+            for chunk_start in range(0, len(fetch_rows), 500):
+                chunk = fetch_rows[chunk_start : chunk_start + 500]
+                row_marks = placeholders(len(chunk))
+                rows = self._db.fetch_all(
+                    f"""
+                    SELECT instance_name, row_id, object FROM {_STATE_TABLE}
+                    WHERE table_name = ?
+                      AND instance_name IN ({instance_marks})
+                      AND row_id IN ({row_marks})
+                    """,
+                    (table_name, *fetch_instances, *chunk),
+                    shard=shard,
                 )
-                self._cache_put((instance_name, table_name, row_id), obj)
-                result[pair] = obj
+                for instance_name, row_id, payload in rows:
+                    pair = (instance_name, row_id)
+                    if pair not in missing:
+                        continue  # over-fetched: the pair was already cached
+                    missing.discard(pair)
+                    obj = self._deserialize_object(
+                        payload, instance_name, table_name, row_id
+                    )
+                    self._cache_put((instance_name, table_name, row_id), obj)
+                    result[pair] = obj
         for instance_name, row_id in missing:  # never summarized
             self._cache_put((instance_name, table_name, row_id), _ABSENT)
         return result
@@ -549,7 +608,8 @@ class SummaryCatalog:
         self, instance_name: str, table_name: str, row_id: int
     ) -> None:
         """Drop one row's persisted summary object (no-op when absent)."""
-        with self._db.transaction() as connection:
+        shard = self._db.backend.shard_of(table_name, row_id)
+        with self._db.transaction(shard) as connection:
             connection.execute(
                 f"""
                 DELETE FROM {_STATE_TABLE}
@@ -563,14 +623,20 @@ class SummaryCatalog:
         self, instance_name: str, table_name: str
     ) -> Iterator[tuple[int, SummaryObject]]:
         """Iterate ``(row_id, object)`` for one instance/table pair."""
-        rows = self._db.fetch_all(
-            f"""
-            SELECT row_id, object FROM {_STATE_TABLE}
-            WHERE instance_name = ? AND table_name = ?
-            ORDER BY row_id
-            """,
-            (instance_name, table_name),
-        )
+        rows: list[tuple] = []
+        for shard in range(self._db.shard_count):
+            rows.extend(
+                self._db.fetch_all(
+                    f"""
+                    SELECT row_id, object FROM {_STATE_TABLE}
+                    WHERE instance_name = ? AND table_name = ?
+                    ORDER BY row_id
+                    """,
+                    (instance_name, table_name),
+                    shard=shard,
+                )
+            )
+        rows.sort(key=lambda row: row[0])
         for row_id, object_json in rows:
             yield row_id, self._deserialize_object(
                 object_json, instance_name, table_name, row_id
@@ -578,17 +644,23 @@ class SummaryCatalog:
 
     def summary_bytes(self, table_name: str | None = None) -> int:
         """Total serialized size of stored summary objects."""
-        if table_name is None:
-            row = self._db.fetch_one(
-                f"SELECT COALESCE(SUM(LENGTH(object)), 0) FROM {_STATE_TABLE}"
-            )
-        else:
-            row = self._db.fetch_one(
-                f"""
-                SELECT COALESCE(SUM(LENGTH(object)), 0) FROM {_STATE_TABLE}
-                WHERE table_name = ?
-                """,
-                (table_name,),
-            )
-        assert row is not None
-        return row[0]
+        total = 0
+        for shard in range(self._db.shard_count):
+            if table_name is None:
+                row = self._db.fetch_one(
+                    f"SELECT COALESCE(SUM(LENGTH(object)), 0) "
+                    f"FROM {_STATE_TABLE}",
+                    shard=shard,
+                )
+            else:
+                row = self._db.fetch_one(
+                    f"""
+                    SELECT COALESCE(SUM(LENGTH(object)), 0) FROM {_STATE_TABLE}
+                    WHERE table_name = ?
+                    """,
+                    (table_name,),
+                    shard=shard,
+                )
+            assert row is not None
+            total += row[0]
+        return total

@@ -1,18 +1,29 @@
 """The base-relation store.
 
 Manages user tables — creation, insertion, point lookup, and full scans —
-over a small connection topology built for concurrent reads:
+over a pluggable :class:`~repro.storage.backend.StorageBackend`:
 
-* one **writer** connection, serialized behind a write lock (the
-  engine's single-writer model);
-* a :class:`~repro.storage.pool.ConnectionPool` of per-thread
-  **read-only** connections for file-backed databases (WAL readers
-  proceed in parallel with the writer), falling back to the
-  lock-serialized writer connection for ``:memory:`` databases, which
-  SQLite cannot share across connections.
+* :class:`~repro.storage.backend.SingleFileBackend` (the default,
+  ``shards=1``) is the engine's original topology: one writer connection
+  serialized behind a write lock, plus a
+  :class:`~repro.storage.pool.ConnectionPool` of per-thread read-only
+  connections for file-backed databases (WAL readers proceed in parallel
+  with the writer), falling back to the lock-serialized writer for
+  ``:memory:`` databases, which SQLite cannot share across connections;
+* :class:`~repro.storage.sharded.ShardedBackend` (``shards=N``)
+  hash-partitions rows across ``N`` files, each with its own pool and
+  independently serialized writer.  Inserts route by
+  ``shard_of(table, row)``, bulk inserts fan per-shard sub-batches out
+  concurrently, and :meth:`Database.scan` scatter-gathers: one producer
+  per shard streams its ordered rows into a bounded queue and a k-way
+  heap merge reassembles the single global rowid order — byte-identical
+  to the single-file scan, including pushed-down filters and LIMIT.
 
 Every stored row is addressed by its SQLite ``rowid``, which the
 annotation store and summary catalog use as the stable tuple identity.
+Under sharding the engine assigns rowids itself (monotonic per table,
+initialized from the per-shard maxima) so identity stays table-global
+even though each shard's file has its own rowid space.
 
 Column types are dynamic (SQLite's natural behaviour); the engine's
 expression evaluator applies Python semantics, so integers, floats, and
@@ -22,24 +33,65 @@ strings round-trip unchanged.
 from __future__ import annotations
 
 import contextlib
+import heapq
+import queue
 import sqlite3
 import threading
-from collections.abc import Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from typing import Any
 
 from repro.errors import StorageError, UnknownTableError
-from repro.storage.pool import ConnectionPool, connect
+from repro.storage.backend import (
+    META_SHARD,
+    SingleFileBackend,
+    StorageBackend,
+)
+from repro.storage.pool import ConnectionPool
 from repro.storage.schema import SYSTEM_PREFIX, TableSchema
+from repro.storage.sharded import ShardedBackend
 from repro.storage.sqlsafe import placeholders, quote_ident, quoted_csv
 
 _SCHEMA_TABLE = f"{SYSTEM_PREFIX}schema"
 
-#: Negative values mean KiB of page cache (SQLite convention); 16 MiB.
-_DEFAULT_CACHE_KIB = 16 * 1024
-
 #: Rows fetched per lock window when streaming a scan off the shared
 #: in-memory connection — bounds how long a scan may hold the lock.
+#: Scatter-gather producers use the same batch size per queue item.
 _SCAN_FETCH_SIZE = 256
+
+#: Batches a scatter-gather producer may buffer ahead of the merge —
+#: bounds memory at (shards × depth × fetch size) rows per scan.
+_SCAN_QUEUE_DEPTH = 4
+
+#: End-of-stream marker on a producer queue.
+_SCAN_DONE = object()
+
+
+class _ScanError:
+    """A producer-side exception in transit to the merging consumer."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+def _queue_put(
+    target: "queue.Queue[Any]", item: Any, stop: threading.Event
+) -> bool:
+    """Put with periodic stop checks; False when the scan was abandoned.
+
+    A producer must never block forever on a full queue: the consumer
+    may stop early (LIMIT short-circuit, an exception, a dropped
+    iterator), and its ``finally`` sets ``stop`` rather than draining
+    every stream to exhaustion.
+    """
+    while not stop.is_set():
+        try:
+            target.put(item, timeout=0.05)
+            return True
+        except queue.Full:
+            continue
+    return False
 
 
 class QueryCounter:
@@ -75,7 +127,7 @@ class QueryCounter:
 
 
 class Database:
-    """User relations over a pooled SQLite connection topology.
+    """User relations over a pluggable SQLite storage backend.
 
     Parameters
     ----------
@@ -86,33 +138,49 @@ class Database:
         Force all reads through the lock-serialized writer connection
         even for file-backed databases — the pre-pool topology, kept as
         the concurrency benchmark's baseline mode.
+    shards:
+        Number of storage shards.  ``1`` (the default) is the original
+        single-file engine, byte-identical to before the backend split;
+        ``N >= 2`` hash-partitions rows across ``N`` files (file-backed
+        paths only — see DESIGN.md §11).
+    backend:
+        An explicit :class:`~repro.storage.backend.StorageBackend`,
+        overriding ``path`` / ``serialize_reads`` / ``shards`` (tests
+        and embedders plugging in their own topology).
     """
 
     def __init__(
-        self, path: str = ":memory:", serialize_reads: bool = False
+        self,
+        path: str = ":memory:",
+        serialize_reads: bool = False,
+        shards: int = 1,
+        backend: StorageBackend | None = None,
     ) -> None:
-        self.path = path
-        # check_same_thread=False (the pool factory's default): the
-        # writer is shared across threads but every use is serialized
-        # behind the pool's write lock (and, for in-memory databases,
-        # reads take the same lock).
-        self._connection = connect(path)
-        self._connection.execute("PRAGMA foreign_keys = ON")
-        self._apply_tuning()
-        self._pool = ConnectionPool(
-            path,
-            in_memory=self.is_in_memory,
-            writer=self._connection,
-            configure_reader=self._configure_reader,
-            serialize_reads=serialize_reads,
-        )
+        if backend is not None:
+            self._backend: StorageBackend = backend
+        elif shards == 1:
+            self._backend = SingleFileBackend(
+                path, serialize_reads=serialize_reads
+            )
+        elif shards >= 2:
+            self._backend = ShardedBackend(
+                path, shards, serialize_reads=serialize_reads
+            )
+        else:
+            raise StorageError(f"shards must be >= 1, got {shards}")
+        self.path = self._backend.path
         # Nested track_queries contexts each get their own counter; the
         # single dispatcher fans every traced statement to all of them.
         self._trace_lock = threading.Lock()
         self._trace_stack: list[QueryCounter] = []
         self._schemas: dict[str, TableSchema] = {}
         self._schema_lock = threading.Lock()
-        with self.transaction() as connection:
+        # Table-global rowid allocation for sharded backends (each
+        # shard's file has its own rowid space, so SQLite cannot assign
+        # them); lazily seeded from the per-shard maxima.
+        self._rowid_lock = threading.Lock()
+        self._rowid_counters: dict[str, int] = {}
+        with self._backend.transaction(META_SHARD) as connection:
             connection.execute(
                 f"""
                 CREATE TABLE IF NOT EXISTS {_SCHEMA_TABLE} (
@@ -122,96 +190,83 @@ class Database:
                 """
             )
         self._load_schemas()
-
-    def _apply_tuning(self) -> None:
-        """Throughput pragmas; journal settings only for file-backed DBs.
-
-        WAL lets readers proceed during writes and batches fsyncs;
-        ``synchronous=NORMAL`` is the documented safe pairing with WAL.
-        Both are meaningless (WAL: unsupported) for in-memory databases,
-        which the tests and benchmarks use, so those are skipped there.
-        """
-        self._connection.execute(f"PRAGMA cache_size = -{_DEFAULT_CACHE_KIB}")
-        self._connection.execute("PRAGMA temp_store = MEMORY")
-        if not self.is_in_memory:
-            self._connection.execute("PRAGMA journal_mode = WAL")
-            self._connection.execute("PRAGMA synchronous = NORMAL")
-
-    def _configure_reader(self, connection: sqlite3.Connection) -> None:
-        """Tuning for pooled read-only connections (no journal changes —
-        the journal mode is a property of the database file)."""
-        connection.execute(f"PRAGMA cache_size = -{_DEFAULT_CACHE_KIB}")
-        connection.execute("PRAGMA temp_store = MEMORY")
+        if self._backend.shard_count > 1:
+            self._replicate_missing_tables()
 
     @property
     def is_in_memory(self) -> bool:
         """True when the database lives in RAM (no durable file)."""
-        return (
-            self.path == ":memory:"
-            or self.path == ""
-            or "mode=memory" in self.path
-        )
+        return self._backend.is_in_memory
 
     # -- connection management -----------------------------------------
 
     @property
+    def backend(self) -> StorageBackend:
+        """The storage backend (topology introspection and tests)."""
+        return self._backend
+
+    @property
+    def shard_count(self) -> int:
+        """How many shards rows fan out over (1 for single-file)."""
+        return self._backend.shard_count
+
+    @property
     def connection(self) -> sqlite3.Connection:
-        """The writer connection, shared with the other stores.
+        """The meta shard's writer connection, shared with other stores.
 
         Kept for single-threaded callers (tests, import tooling) that
         run their own statements; concurrent code must go through
         :meth:`transaction` / :meth:`read_connection` instead.  Raises
         :class:`RuntimeError` once the database is closed.
         """
-        if self._pool.closed:
+        if self._backend.closed:
             raise RuntimeError(
                 "Database is closed — no further statements can be served"
             )
-        return self._connection
+        return self._backend.writer(META_SHARD)
 
     @property
     def pool(self) -> ConnectionPool:
-        """The read-connection pool (monitoring and tests)."""
-        return self._pool
+        """The meta shard's read pool (monitoring and tests)."""
+        return self._backend.pool(META_SHARD)
 
-    @contextlib.contextmanager
-    def transaction(self) -> Iterator[sqlite3.Connection]:
-        """The writer connection, write-locked, in a transaction.
+    def transaction(
+        self, shard: int = META_SHARD
+    ) -> contextlib.AbstractContextManager[sqlite3.Connection]:
+        """One shard's writer, write-locked, in a transaction.
 
         Commits on clean exit, rolls back on exception — the concurrent
         replacement for the old ``with database.connection:`` blocks.
         """
-        with self._pool.write() as connection:
-            with connection:
-                yield connection
+        return self._backend.transaction(shard)
 
-    @contextlib.contextmanager
-    def read_connection(self) -> Iterator[sqlite3.Connection]:
+    def read_connection(
+        self, shard: int = META_SHARD
+    ) -> contextlib.AbstractContextManager[sqlite3.Connection]:
         """A connection for read-only statements (see the pool's rules)."""
-        with self._pool.read() as connection:
-            yield connection
+        return self._backend.read(shard)
 
     def fetch_all(
-        self, sql: str, params: Sequence[Any] = ()
+        self, sql: str, params: Sequence[Any] = (), shard: int = META_SHARD
     ) -> list[tuple[Any, ...]]:
         """Run one read-only statement on a pooled connection."""
-        with self._pool.read() as connection:
+        with self._backend.read(shard) as connection:
             return connection.execute(sql, params).fetchall()
 
     def fetch_one(
-        self, sql: str, params: Sequence[Any] = ()
+        self, sql: str, params: Sequence[Any] = (), shard: int = META_SHARD
     ) -> tuple[Any, ...] | None:
         """Run one read-only statement; first row or None."""
-        with self._pool.read() as connection:
+        with self._backend.read(shard) as connection:
             return connection.execute(sql, params).fetchone()
 
     @contextlib.contextmanager
     def track_queries(self) -> Iterator[QueryCounter]:
         """Count every SQL statement executed while the context is open.
 
-        Trace callbacks are installed on the writer **and** every pooled
-        read connection (present and future), so the counter sees queries
-        from every store and every thread — exactly what the
+        Trace callbacks are installed on every shard's writer **and**
+        every pooled read connection (present and future), so the counter
+        sees queries from every store and every thread — exactly what the
         roundtrip-budget assertions need.  Contexts nest: each level gets
         its own counter and every traced statement is recorded by all
         currently open counters, inner and outer alike.
@@ -220,14 +275,14 @@ class Database:
         with self._trace_lock:
             self._trace_stack.append(counter)
             if len(self._trace_stack) == 1:
-                self._pool.set_trace(self._dispatch_trace)
+                self._backend.set_trace(self._dispatch_trace)
         try:
             yield counter
         finally:
             with self._trace_lock:
                 self._trace_stack.remove(counter)
                 if not self._trace_stack:
-                    self._pool.set_trace(None)
+                    self._backend.set_trace(None)
 
     def _dispatch_trace(self, sql: str) -> None:
         with self._trace_lock:
@@ -236,14 +291,14 @@ class Database:
             counter._record(sql)
 
     def close(self) -> None:
-        """Close the writer and every pooled read connection.
+        """Close every connection of every shard.
 
         Idempotent.  Any later statement — through the pool or the
         :attr:`connection` property — raises a clear
         :class:`RuntimeError` instead of a ``sqlite3.ProgrammingError``
         surfacing deep inside an operator.
         """
-        self._pool.close()
+        self._backend.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -260,36 +315,79 @@ class Database:
                 table_name, tuple(columns.split(","))
             )
 
+    def _replicate_missing_tables(self) -> None:
+        """Create known user tables on shards that lack them.
+
+        Covers reopening a sharded store with a higher shard count than
+        it last ran with (new shard files start empty): DDL is
+        replicated everywhere so routing never hits a missing table.
+        Rows do **not** move — changing the shard count of a populated
+        store is unsupported (routing addresses persisted placement).
+        """
+        for schema in self._schemas.values():
+            ddl = (
+                f"CREATE TABLE IF NOT EXISTS {quote_ident(schema.name)} "
+                f"({quoted_csv(schema.columns)})"
+            )
+            for shard in range(self._backend.shard_count):
+                with self._backend.transaction(shard) as connection:
+                    connection.execute(ddl)
+
     # -- DDL -------------------------------------------------------------
 
     def create_table(self, name: str, columns: Sequence[str]) -> TableSchema:
-        """Create a user table with the given column names."""
+        """Create a user table with the given column names.
+
+        Sharded backends replicate the DDL to every shard (rows of one
+        table spread across all of them) and record the schema row on
+        the meta shard; per-shard DDL is not globally atomic, but
+        ``CREATE``/``INSERT OR REPLACE`` make a re-run converge.
+        """
         schema = TableSchema(name, tuple(columns))
         if name in self._schemas:
             raise StorageError(f"table already exists: {name!r}")
-        with self.transaction() as connection:
-            connection.execute(
-                f"CREATE TABLE {quote_ident(name)} "
-                f"({quoted_csv(schema.columns)})"
-            )
-            connection.execute(
-                f"INSERT INTO {_SCHEMA_TABLE} (table_name, columns) VALUES (?, ?)",
-                (name, ",".join(schema.columns)),
-            )
+        ddl = (
+            f"CREATE TABLE {quote_ident(name)} "
+            f"({quoted_csv(schema.columns)})"
+        )
+        schema_row = (
+            f"INSERT INTO {_SCHEMA_TABLE} (table_name, columns) "
+            "VALUES (?, ?)"
+        )
+        if self._backend.shard_count == 1:
+            with self._backend.transaction() as connection:
+                connection.execute(ddl)
+                connection.execute(
+                    schema_row, (name, ",".join(schema.columns))
+                )
+        else:
+            for shard in range(1, self._backend.shard_count):
+                with self._backend.transaction(shard) as connection:
+                    connection.execute(ddl)
+            with self._backend.transaction(META_SHARD) as connection:
+                connection.execute(ddl)
+                connection.execute(
+                    schema_row, (name, ",".join(schema.columns))
+                )
         with self._schema_lock:
             self._schemas[name] = schema
         return schema
 
     def drop_table(self, name: str) -> None:
-        """Drop a user table and its schema entry."""
+        """Drop a user table and its schema entry (on every shard)."""
         self.schema(name)  # raises for unknown tables
-        with self.transaction() as connection:
-            connection.execute(f"DROP TABLE {quote_ident(name)}")
-            connection.execute(
-                f"DELETE FROM {_SCHEMA_TABLE} WHERE table_name = ?", (name,)
-            )
+        drop = f"DROP TABLE {quote_ident(name)}"
+        unregister = f"DELETE FROM {_SCHEMA_TABLE} WHERE table_name = ?"
+        with self._backend.transaction(META_SHARD) as connection:
+            connection.execute(drop)
+            connection.execute(unregister, (name,))
+        for shard in range(1, self._backend.shard_count):
+            with self._backend.transaction(shard) as connection:
+                connection.execute(drop)
         with self._schema_lock:
             del self._schemas[name]
+        with self._rowid_lock:
+            self._rowid_counters.pop(name, None)
 
     # -- catalog -----------------------------------------------------
 
@@ -311,6 +409,40 @@ class Database:
     def columns(self, name: str) -> tuple[str, ...]:
         """Column names of ``name`` in declaration order."""
         return self.schema(name).columns
+
+    # -- rowid allocation ---------------------------------------------
+
+    def _seeded_counter(self, table: str) -> int:
+        """Current allocation floor (callers hold ``_rowid_lock``)."""
+        current = self._rowid_counters.get(table)
+        if current is None:
+            current = 0
+            for shard in range(self._backend.shard_count):
+                row = self.fetch_one(
+                    f"SELECT MAX(rowid) FROM {quote_ident(table)}",
+                    shard=shard,
+                )
+                if row is not None and row[0] is not None:
+                    current = max(current, row[0])
+        return current
+
+    def _allocate_rowids(self, table: str, count: int) -> int:
+        """Reserve ``count`` consecutive rowids; returns the first.
+
+        Mirrors SQLite's own assignment for plain rowid tables
+        (``max(rowid) + 1``), so a sharded store hands out the same ids
+        the single-file engine would.
+        """
+        with self._rowid_lock:
+            current = self._seeded_counter(table)
+            self._rowid_counters[table] = current + count
+            return current + 1
+
+    def _note_explicit_rowid(self, table: str, row_id: int) -> None:
+        """Raise the allocation floor past an explicitly pinned rowid."""
+        with self._rowid_lock:
+            current = self._seeded_counter(table)
+            self._rowid_counters[table] = max(current, row_id)
 
     # -- DML -------------------------------------------------------------
 
@@ -338,7 +470,9 @@ class Database:
         else:
             schema.check_values(values)
             row = tuple(values)
-        with self.transaction() as connection:
+        if self._backend.shard_count > 1:
+            return self._insert_sharded(table, schema, row, row_id)
+        with self._backend.transaction() as connection:
             if row_id is None:
                 marks = placeholders(len(schema.columns))
                 cursor = connection.execute(
@@ -357,19 +491,48 @@ class Database:
         assert rowid is not None
         return rowid
 
+    def _insert_sharded(
+        self,
+        table: str,
+        schema: TableSchema,
+        row: tuple[Any, ...],
+        row_id: int | None,
+    ) -> int:
+        """Route one row to its home shard, with an engine-assigned
+        rowid (each shard's file has a private rowid space)."""
+        if row_id is None:
+            row_id = self._allocate_rowids(table, 1)
+        else:
+            self._note_explicit_rowid(table, row_id)
+        shard = self._backend.shard_of(table, row_id)
+        marks = placeholders(1 + len(schema.columns))
+        with self._backend.transaction(shard) as connection:
+            connection.execute(
+                f"INSERT INTO {quote_ident(table)} "
+                f"(rowid, {quoted_csv(schema.columns)}) "
+                f"VALUES ({marks})",
+                (row_id, *row),
+            )
+        return row_id
+
     def insert_many(
         self, table: str, rows: Sequence[Sequence[Any]]
     ) -> list[int]:
         """Insert multiple positional rows; returns their rowids.
 
-        One transaction (and one write-lock window) for the whole batch;
-        per-row execution because each row's assigned rowid is returned.
+        Single-file: one transaction (and one write-lock window) for the
+        whole batch; per-row execution because each row's assigned rowid
+        is returned.  Sharded: rowids are pre-assigned, rows grouped by
+        home shard, and the per-shard sub-batches committed concurrently
+        — their commit waits overlap, which is the point of sharding.
         """
         schema = self.schema(table)
+        if self._backend.shard_count > 1:
+            return self._insert_many_sharded(table, schema, rows)
         marks = placeholders(len(schema.columns))
         sql = f"INSERT INTO {quote_ident(table)} VALUES ({marks})"
         row_ids: list[int] = []
-        with self.transaction() as connection:
+        with self._backend.transaction() as connection:
             for row in rows:
                 schema.check_values(row)
                 cursor = connection.execute(sql, tuple(row))
@@ -377,10 +540,44 @@ class Database:
                 row_ids.append(cursor.lastrowid)
         return row_ids
 
+    def _insert_many_sharded(
+        self, table: str, schema: TableSchema, rows: Sequence[Sequence[Any]]
+    ) -> list[int]:
+        for row in rows:
+            schema.check_values(row)
+        if not rows:
+            return []
+        backend = self._backend
+        assert isinstance(backend, ShardedBackend)
+        first = self._allocate_rowids(table, len(rows))
+        row_ids = list(range(first, first + len(rows)))
+        by_shard: dict[int, list[tuple[Any, ...]]] = {}
+        for row_id, row in zip(row_ids, rows):
+            shard = backend.shard_of(table, row_id)
+            by_shard.setdefault(shard, []).append((row_id, *row))
+        marks = placeholders(1 + len(schema.columns))
+        sql = (
+            f"INSERT INTO {quote_ident(table)} "
+            f"(rowid, {quoted_csv(schema.columns)}) VALUES ({marks})"
+        )
+
+        def write_shard(shard: int) -> Callable[[], None]:
+            def thunk() -> None:
+                with backend.transaction(shard) as connection:
+                    connection.executemany(sql, by_shard[shard])
+
+            return thunk
+
+        backend.run_write_fanout(
+            [write_shard(shard) for shard in sorted(by_shard)]
+        )
+        return row_ids
+
     def delete_row(self, table: str, row_id: int) -> None:
         """Delete one row by rowid (no-op when absent)."""
         self.schema(table)
-        with self.transaction() as connection:
+        shard = self._backend.shard_of(table, row_id)
+        with self._backend.transaction(shard) as connection:
             connection.execute(
                 f"DELETE FROM {quote_ident(table)} WHERE rowid = ?",
                 (row_id,),
@@ -394,6 +591,7 @@ class Database:
         row = self.fetch_one(
             f"SELECT * FROM {quote_ident(table)} WHERE rowid = ?",
             (row_id,),
+            shard=self._backend.shard_of(table, row_id),
         )
         return tuple(row) if row is not None else None
 
@@ -407,6 +605,7 @@ class Database:
         where_sql: str | None = None,
         params: Sequence[Any] = (),
         limit: int | None = None,
+        on_row_shard: Callable[[int], None] | None = None,
     ) -> Iterator[tuple[int, tuple[Any, ...]]]:
         """Scan ``table`` with an optional pushed-down filter and limit.
 
@@ -420,6 +619,14 @@ class Database:
         read-only connection.  In-memory databases fetch in bounded
         batches so the shared-connection lock is never held across a
         ``yield`` (a consumer pausing mid-scan must not block writers).
+
+        Sharded backends scatter-gather: the same statement runs on every
+        shard concurrently (each with its own per-shard LIMIT — a global
+        cap can only tighten per shard) and the ordered per-shard streams
+        heap-merge back into global rowid order, stopping as soon as
+        ``limit`` rows came out.  ``on_row_shard`` (sharded scans only)
+        is called with the home shard of each yielded row, feeding the
+        per-shard ``rows_scanned`` counters on ``ExecutionStats``.
         """
         self.schema(table)
         sql = f"SELECT rowid, * FROM {quote_ident(table)}"
@@ -430,7 +637,9 @@ class Database:
         if limit is not None:
             sql += " LIMIT ?"
             bound += (limit,)
-        if self._pool.serialized_reads:
+        if self._backend.shard_count > 1:
+            return self._scan_sharded(sql, bound, limit, on_row_shard)
+        if self._backend.serialized_reads:
             return self._scan_serialized(sql, bound)
         return self._scan_streaming(sql, bound)
 
@@ -438,7 +647,7 @@ class Database:
         self, sql: str, bound: tuple[Any, ...]
     ) -> Iterator[tuple[int, tuple[Any, ...]]]:
         """Lazy scan on this thread's dedicated read-only connection."""
-        with self._pool.read() as connection:
+        with self._backend.read() as connection:
             cursor = connection.execute(sql, bound)
         # The connection is thread-local and dedicated — iterating after
         # the checkout window is safe (no lock was held to begin with).
@@ -449,7 +658,7 @@ class Database:
         self, sql: str, bound: tuple[Any, ...]
     ) -> Iterator[tuple[int, tuple[Any, ...]]]:
         """Batched scan on the lock-serialized shared connection."""
-        with self._pool.read() as connection:
+        with self._backend.read() as connection:
             cursor = connection.execute(sql, bound)
             rows = cursor.fetchmany(_SCAN_FETCH_SIZE)
         while rows:
@@ -457,14 +666,116 @@ class Database:
                 yield row[0], tuple(row[1:])
             if len(rows) < _SCAN_FETCH_SIZE:
                 return
-            with self._pool.read():
+            with self._backend.read():
                 rows = cursor.fetchmany(_SCAN_FETCH_SIZE)
 
+    def _scan_sharded(
+        self,
+        sql: str,
+        bound: tuple[Any, ...],
+        limit: int | None,
+        on_row_shard: Callable[[int], None] | None,
+    ) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Scatter the statement over all shards, merge by rowid.
+
+        One producer per shard runs ``sql`` on its shard's read
+        connection and streams batches into a bounded queue; the
+        consumer k-way heap-merges the (individually rowid-ordered)
+        streams.  Heap entries are ``(rowid, shard, row)`` — the
+        ``(rowid, shard)`` prefix is unique, so row payloads are never
+        compared.  Early exit (LIMIT, exception, dropped iterator) sets
+        the stop event; producers poll it on every queue put and on
+        every fetch batch, so they always unwind.
+        """
+        backend = self._backend
+        assert isinstance(backend, ShardedBackend)
+        shards = backend.shard_count
+        queues: list[queue.Queue[Any]] = [
+            queue.Queue(maxsize=_SCAN_QUEUE_DEPTH) for _ in range(shards)
+        ]
+        stop = threading.Event()
+        for shard in range(shards):
+            backend.submit_scan(
+                self._scan_producer, shard, sql, bound, queues[shard], stop
+            )
+
+        def stream(shard: int) -> Iterator[Any]:
+            while True:
+                item = queues[shard].get()
+                if item is _SCAN_DONE:
+                    return
+                if isinstance(item, _ScanError):
+                    raise item.error
+                yield from item
+
+        try:
+            streams = [stream(shard) for shard in range(shards)]
+            heap: list[tuple[int, int, Any]] = []
+            for shard, rows in enumerate(streams):
+                row = next(rows, None)
+                if row is not None:
+                    heapq.heappush(heap, (row[0], shard, row))
+            emitted = 0
+            while heap:
+                rowid, shard, row = heapq.heappop(heap)
+                if on_row_shard is not None:
+                    on_row_shard(shard)
+                yield rowid, tuple(row[1:])
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+                nxt = next(streams[shard], None)
+                if nxt is not None:
+                    heapq.heappush(heap, (nxt[0], shard, nxt))
+        finally:
+            stop.set()
+            # Unblock producers stuck on a full queue right away (they
+            # would notice the event on their next put timeout anyway).
+            for pending in queues:
+                while True:
+                    try:
+                        pending.get_nowait()
+                    except queue.Empty:
+                        break
+
+    def _scan_producer(
+        self,
+        shard: int,
+        sql: str,
+        bound: tuple[Any, ...],
+        out: "queue.Queue[Any]",
+        stop: threading.Event,
+    ) -> None:
+        """One shard's half of a scatter-gather scan.
+
+        Batches are fetched inside read-checkout windows and handed off
+        outside them — under ``serialize_reads`` a checkout holds the
+        shard's write lock, and blocking on a full queue while holding
+        it could deadlock against a consumer that needs the same shard.
+        """
+        try:
+            with self._backend.read(shard) as connection:
+                cursor = connection.execute(sql, bound)
+                rows = cursor.fetchmany(_SCAN_FETCH_SIZE)
+            while rows and not stop.is_set():
+                if not _queue_put(out, rows, stop):
+                    return
+                if len(rows) < _SCAN_FETCH_SIZE:
+                    break
+                with self._backend.read(shard):
+                    rows = cursor.fetchmany(_SCAN_FETCH_SIZE)
+        except BaseException as exc:  # noqa: BLE001 - re-raised by consumer
+            _queue_put(out, _ScanError(exc), stop)
+            return
+        _queue_put(out, _SCAN_DONE, stop)
+
     def row_count(self, table: str) -> int:
-        """Number of rows in ``table``."""
+        """Number of rows in ``table`` (summed across shards)."""
         self.schema(table)
-        row = self.fetch_one(
-            f"SELECT COUNT(*) FROM {quote_ident(table)}"
-        )
-        assert row is not None
-        return row[0]
+        sql = f"SELECT COUNT(*) FROM {quote_ident(table)}"
+        total = 0
+        for shard in range(self._backend.shard_count):
+            row = self.fetch_one(sql, shard=shard)
+            assert row is not None
+            total += row[0]
+        return total

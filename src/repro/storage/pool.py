@@ -89,6 +89,12 @@ class ConnectionPool:
         self._local = threading.local()
         self._trace: Callable[[str], None] | None = None
         self._closed = False
+        # Checkout counters — observability for the scatter-gather and
+        # per-shard-writer paths (never on a hot lock: one uncontended
+        # lock acquisition per checkout, not per statement).
+        self._stats_lock = threading.Lock()
+        self._read_checkouts = 0
+        self._write_batches = 0
 
     # -- introspection --------------------------------------------------
 
@@ -107,6 +113,23 @@ class ConnectionPool:
         """How many read-only connections have been opened so far."""
         with self._registry_lock:
             return len(self._readers)
+
+    def stats(self) -> dict[str, int]:
+        """Checkout counters: read checkouts, write batches, readers.
+
+        ``read_checkouts`` counts :meth:`read` context entries (one per
+        read-side checkout window, not per statement); ``write_batches``
+        counts :meth:`write` entries — with every write path batching
+        its statements into one checkout, this is the number of writer
+        transactions the pool served.
+        """
+        with self._stats_lock:
+            counters = {
+                "read_checkouts": self._read_checkouts,
+                "write_batches": self._write_batches,
+            }
+        counters["readers"] = self.reader_count
+        return counters
 
     def _check_open(self) -> None:
         if self._closed:
@@ -127,6 +150,8 @@ class ConnectionPool:
         write lock, so reads and writes strictly alternate.
         """
         self._check_open()
+        with self._stats_lock:
+            self._read_checkouts += 1
         if self._serialize_reads:
             with self._write_lock:
                 self._check_open()
@@ -145,6 +170,8 @@ class ConnectionPool:
         helper invoked inside an open transaction block).
         """
         self._check_open()
+        with self._stats_lock:
+            self._write_batches += 1
         with self._write_lock:
             self._check_open()
             yield self._writer

@@ -163,6 +163,54 @@ class TestPoolOnlyConnections:
         )
         assert findings == []
 
+    def test_direct_connection_construction_is_flagged(self):
+        findings = lint(
+            """
+            import sqlite3
+
+            def open_db(path):
+                return sqlite3.Connection(path)
+            """,
+            rules=["IN002"],
+        )
+        assert rule_ids(findings) == ["IN002"]
+
+    def test_dbapi2_alias_is_flagged(self):
+        findings = lint(
+            """
+            import sqlite3.dbapi2
+
+            def open_db(path):
+                return sqlite3.dbapi2.connect(path)
+            """,
+            rules=["IN002"],
+        )
+        assert rule_ids(findings) == ["IN002"]
+
+    def test_from_import_of_connection_is_flagged(self):
+        findings = lint(
+            """
+            from sqlite3 import Connection
+            """,
+            rules=["IN002"],
+        )
+        assert rule_ids(findings) == ["IN002"]
+
+    def test_connection_type_annotation_passes(self):
+        # sqlite3.Connection as a *type* is everywhere (signatures,
+        # isinstance); only *calling* it opens a connection.
+        findings = lint(
+            """
+            import sqlite3
+
+            def tune(connection: sqlite3.Connection) -> None:
+                if isinstance(connection, sqlite3.Connection):
+                    connection.execute("PRAGMA foreign_keys = ON")
+            """,
+            rules=["IN002"],
+        )
+        assert findings == []
+
 
 # -- IN003: parameterized-only SQL -------------------------------------
 

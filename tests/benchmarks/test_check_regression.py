@@ -10,13 +10,39 @@ import json
 
 import pytest
 
-from benchmarks.check_regression import compare, load_report, main
+from benchmarks.check_regression import compare, iter_cells, load_report, main
 
 
 def report(benchmark="scan", median=0.010, workload="birds", mode="summary"):
     return {
         "benchmark": benchmark,
         "results": {workload: {"30": {mode: {"median_s": median}}}},
+    }
+
+
+def shard_report(benchmark="sharded_ingest", median=0.010):
+    """The shard sweep's shape: nested per-shard mode cells carrying
+    auxiliary dicts (per-shard counters) inside each timed cell."""
+    return {
+        "benchmark": benchmark,
+        "results": {
+            "ingest_under_read": {
+                "4w": {
+                    "shards_1": {
+                        "median_s": median * 3,
+                        "shard_write_batches": {"0": 48},
+                    },
+                    "shards_4": {
+                        "median_s": median,
+                        "shard_write_batches": {"0": 12, "1": 12},
+                    },
+                    "speedup": 3.0,
+                }
+            },
+            "read_under_ingest": {
+                "8t": {"shards_4": {"median_s": median}}
+            },
+        },
     }
 
 
@@ -53,6 +79,37 @@ class TestCompare:
         candidate = report()
         candidate["results"]["extra"] = {"60": {"raw": {"median_s": 9.9}}}
         assert compare(report(), candidate, 2.0) == []
+
+
+class TestNestedCells:
+    def test_iter_cells_walks_nested_shard_keys(self):
+        cells = dict(iter_cells(shard_report(median=0.010)))
+        assert cells == {
+            ("ingest_under_read", "4w", "shards_1"): 0.030,
+            ("ingest_under_read", "4w", "shards_4"): 0.010,
+            ("read_under_ingest", "8t", "shards_4"): 0.010,
+        }
+
+    def test_iter_cells_does_not_descend_into_cells(self):
+        # shard_write_batches lives *inside* a timed cell; its entries
+        # must never surface as cells of their own.
+        paths = [path for path, _ in iter_cells(shard_report())]
+        assert all("shard_write_batches" not in path for path in paths)
+
+    def test_nested_regression_is_caught(self, capsys):
+        failures = compare(
+            shard_report(median=0.010), shard_report(median=0.100), 2.0
+        )
+        assert len(failures) == 3
+        assert any("read_under_ingest 8t shards_4" in f for f in failures)
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_nested_within_threshold_passes(self, capsys):
+        failures = compare(
+            shard_report(median=0.010), shard_report(median=0.015), 2.0
+        )
+        assert failures == []
+        assert "ingest_under_read 4w shards_4" in capsys.readouterr().out
 
 
 class TestLoadReport:

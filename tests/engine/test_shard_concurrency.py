@@ -1,0 +1,201 @@
+"""Sharded backend under concurrent load: stress and replay equivalence.
+
+Mirrors ``tests/engine/test_concurrency.py`` for the sharded topology:
+four reader threads running mixed pushdown/summary queries race N
+writer threads bulk-ingesting annotation batches through one shared
+``shards=4`` session.  Guarantees pinned:
+
+1. **No corruption** — every thread finishes without exceptions, and
+   every reader query is byte-identical to its serial replay (readers
+   query ``birds``, which the writers never annotate, so per-query
+   results are deterministic even mid-ingest).
+2. **Durability of the race's writes** — every writer's annotations are
+   retrievable afterwards, attachments intact, and the ids handed out
+   under contention never collide.  Fingerprints are content-based (the
+   interleaving of id *runs* across threads is scheduling-dependent;
+   the set of persisted annotations is not).
+3. **Scatter-gather equivalence under writes** — a sharded session's
+   query results while ingest runs match a single-file session's.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro import InsightNotes
+
+TRAINING = [
+    ("observed feeding on stonewort beds at dawn", "Behavior"),
+    ("seen foraging among pond weeds near shore", "Behavior"),
+    ("shows symptoms of avian influenza on the wing", "Disease"),
+    ("appears infected with avian pox around the beak", "Disease"),
+]
+
+_QUERIES = [
+    "SELECT name, species FROM birds WHERE weight < 20",
+    "SELECT name FROM birds WHERE species = 'species3'",
+    "SELECT name, weight FROM birds WHERE weight >= 30 ORDER BY name LIMIT 10",
+    "SELECT species, COUNT(*) FROM birds GROUP BY species",
+    "SELECT name FROM birds "
+    "WHERE SUMMARY_COUNT('BirdClass', 'Behavior') >= 1 LIMIT 15",
+]
+
+WRITERS = 3
+BATCHES_PER_WRITER = 5
+BATCH_ROWS = 8
+
+
+def fingerprint(result) -> str:
+    payload = [
+        {
+            "values": list(row.values),
+            "summaries": {
+                name: obj.to_json()
+                for name, obj in sorted(row.summaries.items())
+            },
+            "attachments": {
+                str(annotation_id): sorted(columns)
+                for annotation_id, columns in sorted(row.attachments.items())
+            },
+        }
+        for row in result.tuples
+    ]
+    return json.dumps(payload, sort_keys=True)
+
+
+def _build_session(path: str, **kwargs) -> InsightNotes:
+    notes = InsightNotes(path, **kwargs)
+    notes.create_table("birds", ["name", "species", "weight"])
+    notes.create_table("sightings", ["site", "count"])
+    notes.define_classifier("BirdClass", ["Behavior", "Disease"], TRAINING)
+    notes.link("BirdClass", "birds")
+    for i in range(120):
+        row = notes.insert(
+            "birds", (f"bird{i:03d}", f"species{i % 7}", float(i % 40))
+        )
+        notes.add_annotation(
+            "observed feeding on stonewort at dawn", table="birds",
+            row_id=row,
+        )
+    for i in range(40):
+        notes.insert("sightings", (f"site{i % 5}", i))
+    return notes
+
+
+def _writer_payload(worker: int, batch: int) -> list[dict]:
+    return [
+        {
+            "text": f"stress note w{worker} b{batch} i{i}",
+            "table": "sightings",
+            "row_id": (worker * 13 + batch * 5 + i) % 40 + 1,
+        }
+        for i in range(BATCH_ROWS)
+    ]
+
+
+class TestShardStress:
+    def test_four_readers_race_n_writers(self, tmp_path):
+        notes = _build_session(str(tmp_path / "stress.db"), shards=4)
+        try:
+            expected = [fingerprint(notes.query(sql)) for sql in _QUERIES]
+            before_count = notes.annotations.count()
+
+            errors: list[BaseException] = []
+            mismatches: list[str] = []
+            start = threading.Barrier(4 + WRITERS)
+
+            def reader(worker: int) -> None:
+                try:
+                    start.wait(timeout=10)
+                    for round_number in range(8):
+                        index = (worker + round_number) % len(_QUERIES)
+                        got = fingerprint(notes.query(_QUERIES[index]))
+                        if got != expected[index]:
+                            mismatches.append(
+                                f"reader {worker} round {round_number} "
+                                f"query {index}"
+                            )
+                except BaseException as exc:  # noqa: BLE001 - checked below
+                    errors.append(exc)
+
+            def writer(worker: int) -> None:
+                try:
+                    start.wait(timeout=10)
+                    for batch in range(BATCHES_PER_WRITER):
+                        notes.add_annotations(_writer_payload(worker, batch))
+                except BaseException as exc:  # noqa: BLE001 - checked below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, args=(i,)) for i in range(4)
+            ] + [
+                threading.Thread(target=writer, args=(w,))
+                for w in range(WRITERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors, errors
+            assert not mismatches, mismatches
+            assert all(not thread.is_alive() for thread in threads)
+
+            ingested = WRITERS * BATCHES_PER_WRITER * BATCH_ROWS
+            assert notes.annotations.count() == before_count + ingested
+
+            # Content-based replay: every written text is retrievable
+            # with its attachment intact, whatever id interleaving the
+            # scheduler produced (ids themselves must be collision-free).
+            stored = {
+                annotation.text: annotation.annotation_id
+                for annotation in notes.annotations.iter_all()
+                if annotation.text.startswith("stress note ")
+            }
+            assert len(stored) == ingested
+            seen_ids = set(stored.values())
+            assert len(seen_ids) == ingested
+            for worker in range(WRITERS):
+                for batch in range(BATCHES_PER_WRITER):
+                    for spec in _writer_payload(worker, batch):
+                        annotation_id = stored[spec["text"]]
+                        rows = notes.annotations.rows_for_annotation(
+                            annotation_id
+                        )
+                        assert rows == {("sightings", spec["row_id"])}
+        finally:
+            notes.close()
+
+    def test_sharded_queries_match_single_file_under_ingest(self, tmp_path):
+        sharded = _build_session(str(tmp_path / "sharded.db"), shards=4)
+        single = _build_session(str(tmp_path / "single.db"))
+        try:
+            stop = threading.Event()
+            errors: list[BaseException] = []
+
+            def churn() -> None:
+                try:
+                    batch = 0
+                    while not stop.is_set():
+                        sharded.add_annotations(
+                            _writer_payload(0, batch % 7)
+                        )
+                        batch += 1
+                except BaseException as exc:  # noqa: BLE001 - checked below
+                    errors.append(exc)
+
+            thread = threading.Thread(target=churn)
+            thread.start()
+            try:
+                for _ in range(4):
+                    for sql in _QUERIES:
+                        assert fingerprint(sharded.query(sql)) == fingerprint(
+                            single.query(sql)
+                        )
+            finally:
+                stop.set()
+                thread.join(timeout=60)
+            assert not errors, errors
+        finally:
+            sharded.close()
+            single.close()

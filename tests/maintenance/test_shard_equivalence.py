@@ -1,0 +1,172 @@
+"""Property test: a sharded store persists byte-identically to shards=1.
+
+Sharding's contract is that it is *purely* a storage-topology change:
+for any single-threaded history of bulk ingests, a ``shards=N`` session
+must leave exactly the persisted state the single-file session leaves —
+same annotation rows (ids included: a sequential history draws gap-free
+ids from the shared sequence), same attachments, same serialized
+summary objects for all five summary types — merely spread over N
+shard files.  The comparison unions each system table across shards
+and sorts by primary key, so placement is invisible and bytes must
+match exactly.
+
+Concurrent histories are exercised separately
+(``tests/engine/test_shard_concurrency.py``): under contention id
+*interleaving* is scheduler-dependent by design, so byte-for-byte
+equality is only promised for sequential histories.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import InsightNotes
+from repro.model.cell import CellRef
+from repro.summaries.registry import extended_registry
+from tests.conftest import TRAINING
+
+_WORDS = [
+    "observed", "feeding", "stonewort", "shore", "symptoms", "avian",
+    "pox", "flock", "dawn", "reeds", "diving", "insects", "banded",
+    "migration", "unclear", "follow-up", "weight", "molt",
+]
+
+#: All five summary types ride along, so the equivalence check covers
+#: every maintenance fold the ingest path can trigger.
+_TYPES = [
+    ("Classifier", {"labels": ["Behavior", "Disease"]}),
+    ("Cluster", {"threshold": 0.3}),
+    ("Snippet", {"max_sentences": 2}),
+    ("Terms", {"top_k": 5}),
+    ("Timeline", {"bucket_seconds": 60}),
+]
+
+_TABLES = {"birds": 3, "sightings": 2}
+
+
+def _build_session(path: str, shards: int) -> InsightNotes:
+    notes = InsightNotes(path, shards=shards, registry=extended_registry())
+    notes.create_table("birds", ["name", "weight"])
+    for row in (("Swan", 3.2), ("Goose", 2.4), ("Brant", 1.9)):
+        notes.insert("birds", row)
+    notes.create_table("sightings", ["observer", "count"])
+    for row in (("aria", 4), ("ben", 9)):
+        notes.insert("sightings", row)
+    for type_name, config in _TYPES:
+        name = f"{type_name}X"
+        instance = notes.catalog.define_instance(type_name, name, config)
+        if type_name == "Classifier":
+            instance.train(list(TRAINING))
+            notes.catalog.save_instance_config(name)
+        for table in _TABLES:
+            notes.link(name, table)
+    return notes
+
+
+def _persisted_rows(notes: InsightNotes) -> dict[str, list[tuple]]:
+    """System-table rows, unioned across shards and key-sorted."""
+    notes.manager.flush()
+    queries = {
+        "annotations": "SELECT * FROM _in_annotations",
+        "attachments": "SELECT * FROM _in_attachments",
+        "summaries": (
+            "SELECT instance_name, table_name, row_id, object "
+            "FROM _in_summary_state"
+        ),
+    }
+    merged: dict[str, list[tuple]] = {}
+    for key, sql in queries.items():
+        rows: list[tuple] = []
+        for shard in range(notes.db.shard_count):
+            rows.extend(tuple(row) for row in notes.db.fetch_all(
+                sql, shard=shard
+            ))
+        merged[key] = sorted(rows)
+    return merged
+
+
+_cells = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(_TABLES)),
+        st.integers(min_value=1, max_value=3),
+    ),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+
+@st.composite
+def annotation_specs(draw) -> dict:
+    document = draw(st.booleans())
+    if document:
+        sentences = draw(
+            st.lists(
+                st.lists(st.sampled_from(_WORDS), min_size=3, max_size=8),
+                min_size=2,
+                max_size=4,
+            )
+        )
+        text = ". ".join(" ".join(words) for words in sentences) + "."
+    else:
+        text = " ".join(
+            draw(st.lists(st.sampled_from(_WORDS), min_size=1, max_size=10))
+        )
+    cells = [
+        CellRef(table, min(row_id, _TABLES[table]),
+                "name" if table == "birds" else "observer")
+        for table, row_id in draw(_cells)
+    ]
+    return {
+        "text": text,
+        "document": document,
+        "title": draw(st.sampled_from(["", "field note"])),
+        "author": draw(st.sampled_from(["aria", "ben"])),
+        # Always pinned: the two topologies must not diverge on clock
+        # reads (Timeline buckets by timestamp).
+        "created_at": float(draw(st.integers(min_value=0, max_value=7200))),
+        "cells": list(dict.fromkeys(cells)),
+    }
+
+
+def _batches():
+    return st.lists(
+        st.lists(annotation_specs(), min_size=1, max_size=5),
+        min_size=1,
+        max_size=3,
+    )
+
+
+@given(batches=_batches(), shards=st.sampled_from([2, 4]))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_sharded_ingest_matches_single_file_byte_for_byte(batches, shards):
+    with tempfile.TemporaryDirectory() as tmp:
+        single = _build_session(f"{tmp}/single.db", shards=1)
+        sharded = _build_session(f"{tmp}/sharded.db", shards=shards)
+        try:
+            for notes in (single, sharded):
+                for batch in batches:
+                    notes.add_annotations(
+                        [
+                            {
+                                "text": spec["text"],
+                                "cells": spec["cells"],
+                                "author": spec["author"],
+                                "document": spec["document"],
+                                "title": spec["title"],
+                                "created_at": spec["created_at"],
+                            }
+                            for spec in batch
+                        ]
+                    )
+            assert _persisted_rows(sharded) == _persisted_rows(single)
+        finally:
+            single.close()
+            sharded.close()

@@ -1,0 +1,293 @@
+"""The hash-sharded storage backend: routing, scatter-gather, lifecycle.
+
+Covers the contracts DESIGN.md §11 commits to:
+
+* routing is a pure, stable function (persisted placement must survive
+  reopen and process restarts), with annotation ids block-sliced for
+  write affinity;
+* DDL replicates to every shard, scatter-gather scans reassemble global
+  rowid order (with pushdown and LIMIT short-circuit) and report per-row
+  home shards;
+* annotation bodies and attachment edges are co-located on one shard,
+  and annotation ids stay monotonic (never reused) across reopens;
+* error paths fail loudly: in-memory sharding, bad shard counts,
+  out-of-range shards, statements after close.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import zlib
+
+import pytest
+
+from repro.errors import StorageError
+from repro.model.cell import CellRef
+from repro.storage.annotations import AnnotationDraft, AnnotationStore
+from repro.storage.backend import (
+    ANNOTATION_BLOCK,
+    SingleFileBackend,
+    shard_path,
+)
+from repro.storage.database import Database
+from repro.storage.sharded import ShardedBackend
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database(str(tmp_path / "store.db"), shards=4)
+    yield database
+    database.close()
+
+
+class TestRouting:
+    def test_shard_of_is_stable_crc32(self, db):
+        backend = db.backend
+        for table in ("birds", "sightings"):
+            base = zlib.crc32(table.encode("utf-8"))
+            for row_id in (1, 2, 7, 1000):
+                assert backend.shard_of(table, row_id) == (base + row_id) % 4
+
+    def test_consecutive_rowids_round_robin(self, db):
+        shards = [db.backend.shard_of("birds", row) for row in range(1, 9)]
+        assert sorted(set(shards)) == [0, 1, 2, 3]
+        # ... and adjacent rowids never share a shard.
+        assert all(a != b for a, b in zip(shards, shards[1:]))
+
+    def test_annotation_ids_are_block_sliced(self, db):
+        backend = db.backend
+        block = ANNOTATION_BLOCK
+        # A whole block shares one shard; the next block moves on.
+        assert {
+            backend.shard_of_annotation(i) for i in range(block)
+        } == {0}
+        assert {
+            backend.shard_of_annotation(i) for i in range(block, 2 * block)
+        } == {1}
+        assert backend.shard_of_annotation(4 * block) == 0
+
+    def test_single_file_routes_everything_to_zero(self):
+        backend = SingleFileBackend()
+        try:
+            assert backend.shard_of("birds", 12345) == 0
+            assert backend.shard_of_annotation(999) == 0
+        finally:
+            backend.close()
+
+    def test_shard_paths(self, tmp_path):
+        base = str(tmp_path / "s.db")
+        backend = ShardedBackend(base, shards=3)
+        try:
+            assert backend.shard_paths() == [
+                base, f"{base}.shard1", f"{base}.shard2"
+            ]
+            assert shard_path(base, 0) == base
+        finally:
+            backend.close()
+
+
+class TestSchemaAndScan:
+    def test_ddl_replicates_to_every_shard_file(self, db):
+        db.create_table("birds", ["name", "weight"])
+        for path in db.backend.shard_paths():
+            with sqlite3.connect(path) as raw:
+                tables = {
+                    row[0]
+                    for row in raw.execute(
+                        "SELECT name FROM sqlite_master WHERE type='table'"
+                    )
+                }
+            assert "birds" in tables
+
+    def test_scan_merges_global_rowid_order(self, db):
+        db.create_table("birds", ["name", "weight"])
+        rows = [(f"bird{i:03d}", float(i)) for i in range(40)]
+        row_ids = db.insert_many("birds", rows)
+        assert row_ids == list(range(1, 41))
+        scanned = list(db.scan("birds"))
+        assert [row_id for row_id, _ in scanned] == row_ids
+        assert [values for _, values in scanned] == rows
+
+    def test_scan_pushdown_and_limit(self, db):
+        db.create_table("birds", ["name", "weight"])
+        db.insert_many(
+            "birds", [(f"bird{i:03d}", float(i % 10)) for i in range(40)]
+        )
+        got = list(
+            db.scan("birds", where_sql='"weight" >= ?', params=(8.0,),
+                    limit=5)
+        )
+        assert len(got) == 5
+        assert [row_id for row_id, _ in got] == sorted(
+            row_id for row_id, _ in got
+        )
+        assert all(values[1] >= 8.0 for _, values in got)
+
+    def test_scan_reports_per_row_home_shard(self, db):
+        db.create_table("birds", ["name"])
+        db.insert_many("birds", [(f"bird{i}",) for i in range(12)])
+        seen: list[int] = []
+        rows = list(db.scan("birds", on_row_shard=seen.append))
+        assert len(seen) == len(rows)
+        assert seen == [
+            db.backend.shard_of("birds", row_id) for row_id, _ in rows
+        ]
+
+    def test_scan_error_propagates_from_producer(self, db):
+        db.create_table("birds", ["name"])
+        with pytest.raises(sqlite3.OperationalError):
+            list(db.scan("birds", where_sql="no_such_column = 1"))
+
+    def test_row_count_sums_shards(self, db):
+        db.create_table("birds", ["name"])
+        db.insert_many("birds", [(f"bird{i}",) for i in range(17)])
+        assert db.row_count("birds") == 17
+
+
+class TestAnnotationPlacement:
+    def test_body_and_attachments_are_co_located(self, db):
+        db.create_table("birds", ["name"])
+        db.insert_many("birds", [(f"bird{i}",) for i in range(8)])
+        store = AnnotationStore(db)
+        annotation = store.add(
+            "seen at dawn", [CellRef("birds", 3, "name"),
+                             CellRef("birds", 7, "name")]
+        )
+        home = db.backend.shard_of_annotation(annotation.annotation_id)
+        for shard, path in enumerate(db.backend.shard_paths()):
+            with sqlite3.connect(path) as raw:
+                bodies = raw.execute(
+                    "SELECT COUNT(*) FROM _in_annotations"
+                ).fetchone()[0]
+                edges = raw.execute(
+                    "SELECT COUNT(*) FROM _in_attachments"
+                ).fetchone()[0]
+            expected = 1 if shard == home else 0
+            assert bodies == expected
+            assert edges == 2 * expected
+
+    def test_batch_of_consecutive_ids_lands_on_one_shard(self, db):
+        db.create_table("birds", ["name"])
+        db.insert_many("birds", [(f"bird{i}",) for i in range(8)])
+        store = AnnotationStore(db)
+        drafts = [
+            AnnotationDraft(text=f"note {i}",
+                            cells=(CellRef("birds", i % 8 + 1, "name"),))
+            for i in range(10)
+        ]
+        annotations = store.add_many(drafts)
+        homes = {
+            db.backend.shard_of_annotation(a.annotation_id)
+            for a in annotations
+        }
+        assert len(homes) == 1
+
+    def test_ids_stay_monotonic_across_reopen(self, tmp_path):
+        path = str(tmp_path / "mono.db")
+        database = Database(path, shards=4)
+        database.create_table("birds", ["name"])
+        database.insert("birds", ("swan",))
+        store = AnnotationStore(database)
+        first = store.add("one", [CellRef("birds", 1, "name")])
+        store.delete(first.annotation_id)  # delete the max id
+        database.close()
+
+        database = Database(path, shards=4)
+        store = AnnotationStore(database)
+        try:
+            second = store.add("two", [CellRef("birds", 1, "name")])
+            # AUTOINCREMENT's no-reuse rule: the deleted max id must not
+            # come back, even though the store was reopened in between.
+            assert second.annotation_id > first.annotation_id
+        finally:
+            database.close()
+
+    def test_sequential_ids_are_gap_free(self, db):
+        db.create_table("birds", ["name"])
+        db.insert("birds", ("swan",))
+        store = AnnotationStore(db)
+        ids = [
+            store.add(f"note {i}", [CellRef("birds", 1, "name")]).annotation_id
+            for i in range(5)
+        ]
+        batch = store.add_many(
+            [
+                AnnotationDraft(text=f"bulk {i}",
+                                cells=(CellRef("birds", 1, "name"),))
+                for i in range(5)
+            ]
+        )
+        assert ids + [a.annotation_id for a in batch] == list(range(1, 11))
+
+
+class TestErrorPaths:
+    def test_in_memory_sharding_is_rejected(self):
+        with pytest.raises(StorageError, match="file-backed"):
+            ShardedBackend(":memory:", shards=4)
+
+    def test_single_shard_backend_is_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="at least 2"):
+            ShardedBackend(str(tmp_path / "x.db"), shards=1)
+
+    def test_zero_shards_is_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="shards must be >= 1"):
+            Database(str(tmp_path / "x.db"), shards=0)
+
+    def test_shard_out_of_range(self, db):
+        with pytest.raises(StorageError, match="out of range"):
+            db.backend.pool(9)
+        with pytest.raises(StorageError, match="out of range"):
+            with db.backend.transaction(-1):
+                pass
+
+    def test_statements_after_close_fail_loudly(self, tmp_path):
+        database = Database(str(tmp_path / "closed.db"), shards=2)
+        database.create_table("birds", ["name"])
+        database.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            database.connection
+        with pytest.raises(RuntimeError, match="closed"):
+            database.backend.submit_scan(lambda: None)
+
+    def test_close_is_idempotent(self, tmp_path):
+        database = Database(str(tmp_path / "twice.db"), shards=2)
+        database.close()
+        database.close()
+
+    def test_write_fanout_reraises_first_error(self, tmp_path):
+        backend = ShardedBackend(str(tmp_path / "f.db"), shards=4)
+        try:
+            ran: list[int] = []
+
+            def ok(i):
+                def thunk():
+                    ran.append(i)
+                return thunk
+
+            def boom():
+                raise ValueError("shard went sideways")
+
+            with pytest.raises(ValueError, match="sideways"):
+                backend.run_write_fanout([ok(0), boom, ok(2), ok(3)])
+            # Submitted siblings are awaited, not abandoned.
+            assert sorted(ran) == [0, 2, 3]
+        finally:
+            backend.close()
+
+
+class TestCounters:
+    def test_counters_are_keyed_by_shard(self, db):
+        db.create_table("birds", ["name"])
+        db.insert_many("birds", [(f"bird{i}",) for i in range(8)])
+        counters = db.backend.counters()
+        assert sorted(counters, key=int) == ["0", "1", "2", "3"]
+        assert all(
+            pool["write_batches"] >= 1 for pool in counters.values()
+        ), "the 8-row insert must have touched every shard"
+
+    def test_single_file_counters_shape(self):
+        backend = SingleFileBackend()
+        try:
+            assert list(backend.counters()) == ["0"]
+        finally:
+            backend.close()
