@@ -23,7 +23,10 @@ Usage::
 
 Exits 1 when any common cell regresses past the threshold, or when the
 two reports share no cells at all (a misconfigured gate must not pass
-silently).
+silently).  Cells present on only one side are logged explicitly —
+``SKIPPED`` for candidate-only, ``MISSING`` for baseline-only — with a
+coverage summary line, so a gate comparing fewer cells than intended
+is visible in the log rather than silently green.
 """
 
 from __future__ import annotations
@@ -65,14 +68,22 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
         ]
     base = dict(iter_cells(baseline))
     failures: list[str] = []
-    common = 0
+    compared: set[tuple[str, ...]] = set()
+    skipped: list[str] = []
     for path, median in iter_cells(candidate):
         allowed = base.get(path)
-        if allowed is None:
-            continue
-        common += 1
-        verdict = "ok"
         label = " ".join(path)
+        if allowed is None:
+            # Candidate-only cell: nothing to gate against.  Logged
+            # loudly — an ungated cell must never look like a pass.
+            skipped.append(label)
+            print(
+                f"  {label:32s} baseline --------     "
+                f"candidate {median * 1000:9.2f} ms  SKIPPED (no baseline)"
+            )
+            continue
+        compared.add(path)
+        verdict = "ok"
         if median > threshold * allowed:
             verdict = "REGRESSION"
             failures.append(
@@ -84,7 +95,20 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
             f"baseline {allowed * 1000:9.2f} ms  "
             f"candidate {median * 1000:9.2f} ms  {verdict}"
         )
-    if not common:
+    # Baseline-only cells are expected for --quick candidates (smaller
+    # sweeps), but they must be visible: a gate that quietly compares a
+    # shrinking subset of the trajectory is not a gate.
+    missing = sorted(
+        " ".join(path) for path in set(base) - compared
+    )
+    for label in missing:
+        print(f"  {label:32s} MISSING from candidate (not gated)")
+    print(
+        f"gated {len(compared)} cell(s); "
+        f"{len(skipped)} candidate-only skipped, "
+        f"{len(missing)} baseline-only missing"
+    )
+    if not compared:
         failures.append(
             "the reports share no timed cells — "
             "wrong baseline/candidate pairing?"

@@ -1,0 +1,106 @@
+"""One-command CI bench harness: every registered bench, gated.
+
+Replaces the per-bench smoke + regression-gate step pairs that used to
+be copy-pasted through ``.github/workflows/ci.yml`` (five pairs and
+growing — every new bench meant two more YAML steps to forget).  This
+driver walks :data:`run_bench.BENCHES` instead, so registering a bench
+in ``run_bench.py`` is the *only* step needed to put it under CI:
+
+1. run the bench in ``--quick`` mode, writing ``<name>-smoke.json``
+   into ``--output-dir`` (kept as a CI artifact);
+2. gate the smoke report against the committed ``BENCH_<name>.json``
+   trajectory at the repo root via ``check_regression.py``.
+
+A bench whose smoke run fails its own acceptance gate, whose committed
+baseline is missing, or whose regression gate trips is recorded and
+reported at the end — the harness runs *every* bench before failing,
+so one broken bench does not mask another.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/ci_smoke.py \
+        [--bench NAME ...] [--output-dir DIR] [--threshold 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from benchmarks import check_regression, run_bench  # noqa: E402
+
+
+def run_one(name: str, output_dir: pathlib.Path, threshold: float) -> str | None:
+    """Smoke-run one registered bench and gate it; None means healthy."""
+    smoke = output_dir / f"{name}-smoke.json"
+    print(f"=== {name}: quick smoke run ===", flush=True)
+    started = time.perf_counter()
+    code = run_bench.main(
+        ["--bench", name, "--quick", "--output", str(smoke)]
+    )
+    print(f"=== {name}: smoke took {time.perf_counter() - started:.1f}s ===")
+    if code != 0:
+        return f"{name}: quick smoke run exited {code}"
+    baseline = REPO_ROOT / run_bench.BENCHES[name]["output"]
+    if not baseline.is_file():
+        return (
+            f"{name}: no committed baseline {baseline.name} to gate "
+            "against — run the full bench and commit its report"
+        )
+    print(f"=== {name}: regression gate vs {baseline.name} ===", flush=True)
+    code = check_regression.main(
+        [
+            "--baseline", str(baseline),
+            "--candidate", str(smoke),
+            "--threshold", str(threshold),
+        ]
+    )
+    if code != 0:
+        return f"{name}: regression gate failed (see log above)"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", action="append", choices=sorted(run_bench.BENCHES),
+        default=None, metavar="NAME",
+        help="bench to run (repeatable; default: every registered bench)",
+    )
+    parser.add_argument(
+        "--output-dir", type=pathlib.Path, default=pathlib.Path("."),
+        help="where <name>-smoke.json reports land (default: cwd)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="regression-gate candidate/baseline ratio (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be > 0")
+    if not args.output_dir.is_dir():
+        parser.error(f"--output-dir does not exist: {args.output_dir}")
+    benches = args.bench or sorted(run_bench.BENCHES)
+
+    failures: list[str] = []
+    for name in benches:
+        failure = run_one(name, args.output_dir, args.threshold)
+        if failure is not None:
+            failures.append(failure)
+    print(
+        f"ci_smoke: {len(benches) - len(failures)}/{len(benches)} "
+        f"benches healthy ({', '.join(benches)})"
+    )
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,16 @@ reader threads run scatter-gather pushdown queries (see
 ``shards_N`` partitions the store over N files with independently
 serialized per-shard writers.
 
+``--bench serve`` drives the annotation **service layer** end to end:
+N asyncio clients (1/4/16; 1/4 in --quick) issue a mixed workload —
+sargable queries, zoom-ins, and bulk ``add_annotations`` batches —
+against a long-running :class:`AnnotationServer` (see
+``bench_serve.py``), reporting sustained QPS plus p50/p99 request
+latency per cell:
+
+* ``single`` — the single-file backend behind the async front end,
+* ``sharded`` — 4 hash shards plus a second writer-lane thread.
+
 Each cell reports the median of five runs plus the SQLite statement
 count of a cold run, and the result lands in ``BENCH_scan.json`` /
 ``BENCH_ingest.json`` / ... at the repository root so successive commits
@@ -50,7 +60,7 @@ aggregate throughput at 4 client threads.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py \
-        [--bench {scan,ingest,query,concurrency,shard}] [--quick] \
+        [--bench {scan,ingest,query,concurrency,shard,serve}] [--quick] \
         [--output PATH]
 """
 
@@ -421,6 +431,98 @@ def run_shard(quick: bool, repeats: int) -> dict:
     return results
 
 
+def run_serve(quick: bool, repeats: int) -> dict:
+    """Client-count sweep through the served asyncio front end."""
+    import asyncio
+    import tempfile
+
+    from benchmarks.bench_serve import (
+        CLIENT_COUNTS,
+        MODES as SERVE_MODES,
+        build_serve_server,
+        measure_serve,
+        run_load,
+    )
+
+    client_counts = (1, 4) if quick else CLIENT_COUNTS
+    num_rows = 4_000 if quick else 20_000
+    per_client = 16 if quick else 48
+    results: dict = {"mixed_load": {}}
+
+    async def sweep() -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            for mode in SERVE_MODES:
+                server = await build_serve_server(
+                    f"{tmp}/{mode}.db", num_rows, mode, max(client_counts)
+                )
+                try:
+                    # One unmeasured run at full fan-out warms worker
+                    # threads, WAL readers, and the summary caches.
+                    await run_load(server, max(client_counts), per_client)
+                    for n_clients in client_counts:
+                        cell = results["mixed_load"].setdefault(
+                            f"{n_clients}c", {}
+                        )
+                        cell[mode] = await measure_serve(
+                            server, n_clients, per_client, repeats
+                        )
+                finally:
+                    await server.stop()
+
+    asyncio.run(sweep())
+    for cell in results["mixed_load"].values():
+        single, sharded = cell["single"], cell["sharded"]
+        cell["speedup"] = round(
+            single["median_s"] / max(sharded["median_s"], 1e-9), 3
+        )
+    return results
+
+
+def check_serve_gate(results: dict, quick: bool) -> list[str]:
+    """The served-load acceptance gate (empty list = pass).
+
+    Hard in every mode: each cell must finish healthy — zero rejected,
+    timed-out, or failed requests.  Queues are sized to the offered
+    load, so any nonzero health counter means the server dropped work
+    and the cell's QPS is fiction.  In full mode there is additionally
+    a no-collapse bound: at every measured client count the single-file
+    configuration must sustain at least 0.4x the 1-client QPS.  The
+    mixed workload is hydration-heavy, so aggregate throughput is
+    GIL-bound and roughly *flat* as clients are added — the gate does
+    not demand scaling, but a fall below the bound is the signature of
+    a serialization bug (e.g. reads accidentally queueing behind the
+    writer lock).  In --quick mode the workload is too small for stable
+    timings, so a throughput miss only warns.
+    """
+    failures: list[str] = []
+    series = results["mixed_load"]
+    for clients_key, cell in series.items():
+        for mode in ("single", "sharded"):
+            health = cell[mode]["health"]
+            if any(health.values()):
+                failures.append(
+                    f"serve {clients_key}/{mode}: unhealthy run {health} — "
+                    "a served benchmark that drops requests reports "
+                    "fantasy QPS"
+                )
+    baseline_qps = series.get("1c", {}).get("single", {}).get("qps")
+    if baseline_qps is None:
+        return failures + ["serve: no 1-client single-file cell measured"]
+    for clients_key, cell in series.items():
+        sustained = cell["single"]["qps"]
+        if sustained < 0.4 * baseline_qps:
+            message = (
+                f"serve {clients_key}/single: {sustained:.1f} qps vs "
+                f"{baseline_qps:.1f} qps at 1c — sustained throughput "
+                "collapsed below 0.4x of the 1-client baseline"
+            )
+            if quick:
+                print(f"warning: {message} (tolerated in --quick mode)")
+            else:
+                failures.append(message)
+    return failures
+
+
 def check_shard_gate(results: dict, quick: bool) -> list[str]:
     """The sharded-ingest acceptance gate (empty list = pass).
 
@@ -591,6 +693,18 @@ BENCHES = {
         "pair": ("shards_1", "shards_4"),
         "gate": check_shard_gate,
     },
+    "serve": {
+        "run": run_serve,
+        "benchmark": "served_mixed_load",
+        "output": "BENCH_serve.json",
+        "modes": {
+            "single": "single-file backend behind the asyncio server",
+            "sharded": "4 hash shards + second writer lane behind the "
+            "asyncio server",
+        },
+        "pair": ("single", "sharded"),
+        "gate": check_serve_gate,
+    },
 }
 
 
@@ -637,6 +751,18 @@ def main(argv: list[str] | None = None) -> int:
     first, second = bench["pair"]
     for name, series in results.items():
         for ratio_key, cell in series.items():
+            if "statements" not in cell[first]:
+                # Served cells report throughput/latency, not statement
+                # counts (the request mix spans the whole engine).
+                print(
+                    f"  {name:9s} {ratio_key:>5s}  "
+                    f"{first} {cell[first]['qps']:7.1f} q/s "
+                    f"(p99 {cell[first]['p99_ms']:8.2f} ms)  "
+                    f"{second} {cell[second]['qps']:7.1f} q/s "
+                    f"(p99 {cell[second]['p99_ms']:8.2f} ms)  "
+                    f"speedup {cell['speedup']:.2f}x"
+                )
+                continue
             extra = (
                 f"  ann/s {cell[first]['annotations_per_s']:6d} -> "
                 f"{cell[second]['annotations_per_s']:6d}"

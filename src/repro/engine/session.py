@@ -164,6 +164,15 @@ class InsightNotes:
 
     # -- lifecycle ---------------------------------------------------
 
+    def flush(self) -> None:
+        """Flush deferred summary writes without closing the session.
+
+        A long-running server calls this at drain points so summary
+        state is durable even though the process (and its session)
+        lives on.
+        """
+        self.manager.flush()
+
     def close(self) -> None:
         """Flush deferred summary writes and close the database."""
         self.manager.flush()

@@ -121,3 +121,51 @@ class ZoomInSyntaxError(ZoomInError):
 
 class MaintenanceError(InsightNotesError):
     """Incremental summary maintenance failed."""
+
+
+class ServeError(InsightNotesError):
+    """A failure in the annotation service layer."""
+
+
+class ServerOverloadedError(ServeError):
+    """A request was rejected because its admission queue is full.
+
+    The 429-style backpressure signal: the server is healthy but the
+    per-class (reader/writer) queue has no room, so the client should
+    back off and retry rather than pile more work on.
+    """
+
+    def __init__(self, op_class: str, capacity: int) -> None:
+        super().__init__(
+            f"server overloaded: {op_class} admission queue is full "
+            f"(capacity {capacity}); retry later"
+        )
+        self.op_class = op_class
+        self.capacity = capacity
+
+
+class ServerClosedError(ServeError):
+    """A request arrived while the server is draining or stopped."""
+
+    def __init__(self, state: str = "closed") -> None:
+        super().__init__(
+            f"server is {state}: no new requests are admitted"
+        )
+        self.state = state
+
+
+class RequestTimeoutError(ServeError):
+    """A request exceeded the server's per-request deadline.
+
+    The worker thread running the request cannot be interrupted (CPython
+    threads are not cancellable), so the underlying work may still
+    complete and be counted in the drain — only the *caller* stops
+    waiting.  See DESIGN.md §12 for the bridge caveats.
+    """
+
+    def __init__(self, op: str, timeout_s: float) -> None:
+        super().__init__(
+            f"request {op!r} exceeded the {timeout_s:.3f}s deadline"
+        )
+        self.op = op
+        self.timeout_s = timeout_s

@@ -1,0 +1,34 @@
+"""The annotation service layer.
+
+Runs the :class:`~repro.engine.session.InsightNotes` library as a
+long-lived served system: an asyncio request front end bridged to the
+synchronous engine over bounded thread-pool lanes, with reader/writer
+admission control, per-request deadlines, structured request
+statistics, and graceful drain-and-flush shutdown.  A JSON-lines TCP
+transport (:mod:`repro.serve.tcp`) and a CLI entry point
+(``python -m repro.serve``) make it a standalone process; the
+:class:`AnnotationServer` facade alone embeds in any asyncio
+application.  See DESIGN.md §12.
+"""
+
+from repro.errors import (
+    RequestTimeoutError,
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serve.server import AnnotationServer, ServerConfig
+from repro.serve.stats import RequestContext, ServerStats
+from repro.serve.tcp import TcpAnnotationServer
+
+__all__ = [
+    "AnnotationServer",
+    "RequestContext",
+    "RequestTimeoutError",
+    "ServeError",
+    "ServerClosedError",
+    "ServerConfig",
+    "ServerOverloadedError",
+    "ServerStats",
+    "TcpAnnotationServer",
+]

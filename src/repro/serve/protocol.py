@@ -1,0 +1,181 @@
+"""JSON-lines wire protocol of the annotation server.
+
+One request per line, one response per line, both UTF-8 JSON objects.
+A request names an operation and its parameters and may carry an ``id``
+the response echoes back, so clients can pipeline requests over one
+connection and correlate out-of-order completions::
+
+    -> {"id": 7, "op": "query", "sql": "SELECT name FROM birds"}
+    <- {"id": 7, "ok": true, "result": {"qid": 3, "columns": [...], ...}}
+
+Errors come back structured, with an HTTP-shaped status code so clients
+can implement backoff without parsing messages::
+
+    <- {"id": 8, "ok": false,
+        "error": {"code": 429, "type": "ServerOverloadedError",
+                  "message": "server overloaded: ..."}}
+
+``code`` semantics: ``400`` malformed request or engine rejection
+(syntax, unknown table, ...), ``408`` per-request deadline exceeded,
+``429`` admission queue full (back off and retry), ``500`` unexpected
+server fault, ``503`` server draining or stopped.
+
+The dispatcher (:func:`handle_request`) is transport-agnostic — the TCP
+front end feeds it decoded lines, and tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import (
+    InsightNotesError,
+    RequestTimeoutError,
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serve.server import AnnotationServer
+
+#: Maximum accepted request-line length (bytes).  A malformed client
+#: streaming an unbounded line must not balloon server memory.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Operations a request may name.
+OPERATIONS = (
+    "add_annotations",
+    "execute",
+    "insert",
+    "ping",
+    "query",
+    "stats",
+    "zoomin",
+)
+
+
+class ProtocolError(ServeError):
+    """A request line could not be decoded or validated (code 400)."""
+
+
+def decode_request(line: bytes | str) -> dict[str, Any]:
+    """Parse one request line into a validated request dict."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"request line exceeds {MAX_LINE_BYTES} bytes"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not valid UTF-8: {exc}") from exc
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    op = request.get("op")
+    if op not in OPERATIONS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPERATIONS)}"
+        )
+    return request
+
+
+def encode_response(response: dict[str, Any]) -> bytes:
+    """Serialize one response dict to a newline-terminated JSON line."""
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode()
+
+
+def error_code(exc: BaseException) -> int:
+    """The HTTP-shaped status code for an exception."""
+    if isinstance(exc, ServerOverloadedError):
+        return 429
+    if isinstance(exc, RequestTimeoutError):
+        return 408
+    if isinstance(exc, ServerClosedError):
+        return 503
+    if isinstance(exc, (ProtocolError, InsightNotesError)):
+        return 400
+    return 500
+
+
+def error_response(
+    request_id: Any, exc: BaseException
+) -> dict[str, Any]:
+    """A structured error response for ``exc``."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": error_code(exc),
+            "type": type(exc).__name__,
+            "message": str(exc),
+        },
+    }
+
+
+def _require(request: dict[str, Any], key: str, kind: type) -> Any:
+    value = request.get(key)
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            f"op {request['op']!r} needs {key!r} of type {kind.__name__}"
+        )
+    return value
+
+
+async def handle_request(
+    server: AnnotationServer, request: dict[str, Any]
+) -> dict[str, Any]:
+    """Dispatch one decoded request against ``server``.
+
+    Always returns a response dict — engine and admission failures are
+    converted to structured error payloads, never raised through the
+    transport loop.  Unexpected faults (``code`` 500) are also captured;
+    a served process must answer every request it admitted.
+    """
+    request_id = request.get("id")
+    op = request["op"]
+    try:
+        result = await _dispatch(server, op, request)
+    except Exception as exc:
+        # Boundary conversion, not swallowing: every fault becomes a
+        # structured payload the client can act on.  CancelledError is a
+        # BaseException and still propagates, so task teardown works.
+        return error_response(request_id, exc)
+    return {"id": request_id, "ok": True, "result": result}
+
+
+async def _dispatch(
+    server: AnnotationServer, op: str, request: dict[str, Any]
+) -> Any:
+    if op == "ping":
+        return {"pong": True, "state": server.state}
+    if op == "query":
+        result = await server.query(_require(request, "sql", str))
+        return result.to_json()
+    if op == "zoomin":
+        zoom = await server.zoomin(_require(request, "command", str))
+        return zoom.to_json()
+    if op == "add_annotations":
+        specs = _require(request, "specs", list)
+        stored = await server.add_annotations(specs)
+        return {
+            "count": len(stored),
+            "annotation_ids": [a.annotation_id for a in stored],
+        }
+    if op == "insert":
+        table = _require(request, "table", str)
+        rows = _require(request, "rows", list)
+        row_ids = await server.insert_many(table, rows)
+        return {"row_ids": row_ids}
+    if op == "stats":
+        return await server.statistics()
+    # op == "execute" (decode_request already validated membership)
+    value = await server.execute(_require(request, "statement", str))
+    if hasattr(value, "to_json"):
+        return value.to_json()
+    return {"status": str(value)}

@@ -1,0 +1,431 @@
+"""The long-running annotation server.
+
+:class:`AnnotationServer` wraps one shared :class:`InsightNotes` session
+behind an asyncio front end.  Coroutines submit work; the work itself
+runs on plain threads, because the whole engine below is synchronous
+SQLite — the bridge is ``loop.run_in_executor`` over two dedicated
+:class:`~concurrent.futures.ThreadPoolExecutor` lanes:
+
+* the **reader lane** (``readers`` threads) serves queries, zoom-ins,
+  and stats probes.  Each worker thread checks out its own pooled
+  read-only WAL connection (:mod:`repro.storage.pool`), so a request's
+  execution *is* a per-request session over a consistent committed
+  snapshot;
+* the **writer lane** (``writers`` threads, default 1) serves
+  annotation ingest and DML.  With the single-file backend one thread
+  matches the engine's single-writer model exactly; with a sharded
+  backend (``InsightNotes(shards=N)``) extra writer threads let
+  per-shard writers commit concurrently.
+
+**Admission** is bounded per lane: at most ``workers + queue_depth``
+requests may be in flight (running or queued inside the executor).  A
+request beyond that is rejected *immediately* with
+:class:`~repro.errors.ServerOverloadedError` — the 429-style
+backpressure signal — instead of growing an unbounded queue whose tail
+latency nobody can meet.  Admission bookkeeping runs entirely on the
+event-loop thread, so it needs no locks.
+
+**Timeouts**: every request carries a deadline
+(``config.request_timeout_s``).  When it expires the *caller* gets
+:class:`~repro.errors.RequestTimeoutError`; the worker thread cannot be
+interrupted and runs its statement to completion (CPython threads are
+not cancellable), still occupying its lane slot until it finishes —
+which is why admission counts it until the thread actually returns.
+
+**Shutdown** (:meth:`stop`) flips the server to ``draining`` — new
+requests are refused with :class:`~repro.errors.ServerClosedError` —
+waits for both lanes to drain (bounded by ``drain_timeout_s``), flushes
+the deferred summary writer, and closes the session.  In-flight
+requests admitted before the flip complete normally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.engine.results import QueryResult
+from repro.engine.session import InsightNotes
+from repro.errors import (
+    RequestTimeoutError,
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.model.annotation import Annotation
+from repro.serve.stats import RequestContext, ServerStats
+from repro.zoomin.command import ZoomInCommand
+from repro.zoomin.executor import ZoomInResult
+
+T = TypeVar("T")
+
+#: Server lifecycle states.
+RUNNING = "running"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+#: Lane names.
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`AnnotationServer`.
+
+    Parameters
+    ----------
+    readers:
+        Reader-lane thread count (concurrent queries / zoom-ins).
+    writers:
+        Writer-lane thread count.  Leave at 1 for a single-file backend
+        (writes serialize on the storage write lock anyway); raise it
+        for sharded backends where per-shard writers commit in parallel.
+    read_queue_depth / write_queue_depth:
+        How many admitted requests may *wait* per lane beyond the ones
+        actively running.  ``in_flight > workers + depth`` is the
+        overload condition that triggers 429-style rejection.
+    request_timeout_s:
+        Per-request deadline; ``None`` disables deadlines.
+    drain_timeout_s:
+        How long :meth:`AnnotationServer.stop` waits for in-flight work
+        before closing the session anyway; ``None`` waits forever.
+    """
+
+    readers: int = 4
+    writers: int = 1
+    read_queue_depth: int = 32
+    write_queue_depth: int = 16
+    request_timeout_s: float | None = 30.0
+    drain_timeout_s: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if self.readers < 1 or self.writers < 1:
+            raise ServeError("server needs at least one reader and writer")
+        if self.read_queue_depth < 0 or self.write_queue_depth < 0:
+            raise ServeError("queue depths must be >= 0")
+        for name in ("request_timeout_s", "drain_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ServeError(f"{name} must be positive or None")
+
+
+class _Lane:
+    """One admission-bounded executor lane (readers or writers)."""
+
+    def __init__(self, name: str, workers: int, queue_depth: int) -> None:
+        self.name = name
+        self.capacity = workers + queue_depth
+        self.in_flight = 0
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"serve-{name}"
+        )
+        #: Set when in_flight returns to zero — what drain waits on.
+        self.idle = asyncio.Event()
+        self.idle.set()
+
+
+class AnnotationServer:
+    """An asyncio facade serving one shared annotation session.
+
+    Construct with either an open :class:`InsightNotes` session (the
+    server takes ownership and closes it on :meth:`stop`) or keyword
+    arguments forwarded to :class:`InsightNotes`.  All public request
+    methods are coroutines and must run on the event loop that called
+    :meth:`start` (or first submitted work).
+
+    >>> server = AnnotationServer(path=":memory:")
+    >>> # inside a coroutine:
+    >>> #   await server.start()
+    >>> #   result = await server.query("SELECT name FROM birds")
+    >>> #   await server.stop()
+    """
+
+    def __init__(
+        self,
+        session: InsightNotes | None = None,
+        config: ServerConfig | None = None,
+        **session_kwargs: Any,
+    ) -> None:
+        if session is not None and session_kwargs:
+            raise ServeError(
+                "pass either an InsightNotes session or its keyword "
+                "arguments, not both"
+            )
+        self.config = config or ServerConfig()
+        self.session = session or InsightNotes(**session_kwargs)
+        self.stats = ServerStats()
+        self._state = RUNNING
+        self._request_ids = itertools.count(1)
+        self._lanes: dict[str, _Lane] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``running``, ``draining``, or ``stopped``."""
+        return self._state
+
+    def _ensure_lanes(self) -> dict[str, _Lane]:
+        """Create the executor lanes lazily, pinned to the running loop.
+
+        The ``asyncio.Event`` used for drain tracking binds to the loop
+        that creates it, so lanes come into existence on first use from
+        inside a coroutine rather than in ``__init__`` (which may run
+        with no loop at all).
+        """
+        if self._lanes is None:
+            config = self.config
+            self._loop = asyncio.get_running_loop()
+            self._lanes = {
+                READ: _Lane(READ, config.readers, config.read_queue_depth),
+                WRITE: _Lane(
+                    WRITE, config.writers, config.write_queue_depth
+                ),
+            }
+        return self._lanes
+
+    async def start(self) -> "AnnotationServer":
+        """Bind the lanes to the current event loop (optional but
+        recommended — the first request does it implicitly)."""
+        self._ensure_lanes()
+        return self
+
+    async def __aenter__(self) -> "AnnotationServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain, flush the writer, close (idempotent).
+
+        New requests are refused the moment this is called; requests
+        already admitted finish and are waited for — readers first, then
+        writers, so a write admitted before the flip is never flushed
+        away.  If the drain exceeds ``drain_timeout_s`` the session is
+        closed anyway and any still-running statement fails with the
+        pool's post-close ``RuntimeError`` (a documented hard stop, not
+        a hang).
+        """
+        if self._state == STOPPED:
+            return
+        self._state = DRAINING
+        if self._lanes is not None:
+            try:
+                await asyncio.wait_for(
+                    self._drain(), timeout=self.config.drain_timeout_s
+                )
+            except asyncio.TimeoutError:
+                pass
+            for lane in self._lanes.values():
+                lane.executor.shutdown(wait=False)
+        # Flush deferred summary state and release every connection.
+        # After a timed-out drain a worker may still be mid-statement;
+        # closing is the documented hard stop for that case.
+        self.session.close()
+        self._state = STOPPED
+
+    async def _drain(self) -> None:
+        """Wait until both lanes report zero in-flight requests."""
+        assert self._lanes is not None
+        for name in (READ, WRITE):
+            await self._lanes[name].idle.wait()
+
+    # -- admission + bridge ---------------------------------------------
+
+    async def submit(
+        self,
+        lane_name: str,
+        op: str,
+        fn: Callable[[], T],
+        timeout_s: float | None = None,
+        extract_stats: Callable[[T], dict[str, Any] | None] | None = None,
+    ) -> T:
+        """Admit, execute, and account one request.
+
+        The low-level entry every public operation routes through (and
+        the seam tests use to inject slow or failing work): ``fn`` runs
+        on a ``lane_name`` worker thread; the awaiting coroutine gets
+        its return value, its exception, or a timeout.
+        ``extract_stats``, when given, maps the result to a counter dict
+        recorded on the request context (queries pass the engine's
+        ``ExecutionStats`` payload through it).
+
+        Raises
+        ------
+        ServerClosedError
+            The server is draining or stopped.
+        ServerOverloadedError
+            The lane already has ``workers + queue_depth`` requests in
+            flight.
+        RequestTimeoutError
+            The deadline passed before the worker finished.
+        """
+        if self._state != RUNNING:
+            self.stats.record_rejected(lane_name, closed=True)
+            raise ServerClosedError(self._state)
+        lane = self._ensure_lanes()[lane_name]
+        if lane.in_flight >= lane.capacity:
+            self.stats.record_rejected(lane_name, closed=False)
+            raise ServerOverloadedError(lane_name, lane.capacity)
+        context = RequestContext(
+            request_id=next(self._request_ids), op=op, lane=lane_name
+        )
+        self.stats.record_admitted(lane_name)
+        lane.in_flight += 1
+        lane.idle.clear()
+        assert self._loop is not None
+        future = self._loop.run_in_executor(
+            lane.executor, self._run_request, context, fn, extract_stats
+        )
+        future.add_done_callback(
+            lambda done: self._request_left(lane, context, done)
+        )
+        if timeout_s is None:
+            timeout_s = self.config.request_timeout_s
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), timeout=timeout_s
+            )
+        except asyncio.TimeoutError:
+            context.outcome = "timed_out"
+            raise RequestTimeoutError(op, timeout_s or 0.0) from None
+
+    @staticmethod
+    def _run_request(
+        context: RequestContext,
+        fn: Callable[[], T],
+        extract_stats: Callable[[T], dict[str, Any] | None] | None,
+    ) -> T:
+        """Executor-side wrapper: stamp the context around the work.
+
+        ``context`` is owned by exactly one worker thread while this
+        runs; the loop-side done callback that publishes it into the
+        aggregate happens-after the thread returns, so the unlocked
+        attribute writes here are race-free by construction.
+        """
+        context.mark_started()
+        try:
+            result = fn()
+            if extract_stats is not None:
+                context.engine_stats = extract_stats(result)
+            return result
+        finally:
+            context.mark_finished()
+
+    def _request_left(
+        self,
+        lane: _Lane,
+        context: RequestContext,
+        future: "asyncio.Future[Any]",
+    ) -> None:
+        """Loop-side bookkeeping when the worker thread is truly done.
+
+        Runs as the executor future's done callback *on the event loop*,
+        so ``in_flight`` only decrements once the thread has returned —
+        a timed-out request keeps holding its slot until then, which is
+        exactly the capacity picture admission must see.  Retrieving
+        ``future.exception()`` here also claims the exception of a
+        request whose caller already gave up (timeout), so abandoned
+        work never logs "exception was never retrieved".
+        """
+        lane.in_flight -= 1
+        if lane.in_flight == 0:
+            lane.idle.set()
+        failed = (
+            not future.cancelled() and future.exception() is not None
+        )
+        if context.outcome == "pending":
+            context.outcome = "failed" if failed else "completed"
+        self.stats.record_finished(context)
+
+    # -- read operations ------------------------------------------------
+
+    @staticmethod
+    def _query_stats(result: QueryResult) -> dict[str, Any] | None:
+        return result.stats.to_json() if result.stats is not None else None
+
+    async def query(
+        self, sql: str, timeout_s: float | None = None
+    ) -> QueryResult:
+        """Run a summary-aware SQL query on the reader lane."""
+        return await self.submit(
+            READ,
+            "query",
+            lambda: self.session.query(sql),
+            timeout_s,
+            extract_stats=self._query_stats,
+        )
+
+    async def zoomin(
+        self, command: str | ZoomInCommand, timeout_s: float | None = None
+    ) -> ZoomInResult:
+        """Run a ZOOMIN command on the reader lane."""
+        return await self.submit(
+            READ, "zoomin", lambda: self.session.zoomin(command), timeout_s
+        )
+
+    async def statistics(self) -> dict[str, Any]:
+        """Session counters plus the server's own request statistics."""
+
+        def run() -> dict[str, Any]:
+            return self.session.statistics()
+
+        payload = await self.submit(READ, "statistics", run)
+        payload["server"] = self.stats.snapshot()
+        return payload
+
+    # -- write operations -----------------------------------------------
+
+    async def add_annotations(
+        self,
+        specs: Sequence[Mapping[str, Any]],
+        timeout_s: float | None = None,
+    ) -> list[Annotation]:
+        """Bulk-ingest annotations on the writer lane."""
+        return await self.submit(
+            WRITE,
+            "add_annotations",
+            lambda: self.session.add_annotations(specs),
+            timeout_s,
+        )
+
+    async def insert_many(
+        self,
+        table: str,
+        rows: Sequence[Sequence[Any]],
+        timeout_s: float | None = None,
+    ) -> list[int]:
+        """Bulk-insert base rows on the writer lane."""
+        return await self.submit(
+            WRITE,
+            "insert_many",
+            lambda: self.session.insert_many(table, rows),
+            timeout_s,
+        )
+
+    async def execute(
+        self, statement: str, timeout_s: float | None = None
+    ) -> Any:
+        """Run any supported statement, routed to the right lane.
+
+        SELECT and ZOOMIN go to the reader lane; DDL/DML (CREATE TABLE,
+        INSERT INTO, DELETE FROM, ...) go to the writer lane.  The
+        classification is lexical on the first keyword, mirroring
+        :meth:`InsightNotes.execute`'s dispatch.
+        """
+        head = statement.lstrip().split(None, 1)
+        keyword = head[0].upper() if head else ""
+        lane = READ if keyword in ("SELECT", "ZOOMIN") else WRITE
+        return await self.submit(
+            lane,
+            f"execute:{keyword.lower() or 'empty'}",
+            lambda: self.session.execute(statement),
+            timeout_s,
+        )

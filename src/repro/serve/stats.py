@@ -1,0 +1,195 @@
+"""Per-request and aggregate statistics for the annotation server.
+
+Every admitted request gets a :class:`RequestContext` — the server-side
+"session" of that request: identity (request id, operation name, lane),
+timing (admitted / started / finished on the worker thread), and, for
+query-shaped work, the :class:`~repro.engine.operators.ExecutionStats`
+counters the engine populated while executing it.  Contexts are folded
+into one :class:`ServerStats` aggregate that a long-running process
+exposes for dashboards — the same shape the lint CLI's ``--format
+json`` reports use.
+
+Latencies are kept in a bounded ring per operation class, so a server
+that has handled millions of requests still answers a stats probe in
+O(window); percentiles are computed over that window at snapshot time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+#: How many recent request latencies each operation class retains for
+#: percentile estimation.  Old entries age out; counters never do.
+DEFAULT_LATENCY_WINDOW = 8192
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``samples`` by nearest-rank.
+
+    Nearest-rank on the sorted sample — the convention load-testing
+    tools report (p99 of 100 samples is the 99th largest), chosen over
+    interpolation so a single catastrophic outlier cannot be averaged
+    away.  ``samples`` must be non-empty.
+    """
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class RequestContext:
+    """One request's server-side session record.
+
+    Created at admission, carried through the executor bridge, and
+    folded into :class:`ServerStats` when the request leaves the system
+    (completed, failed, or timed out).  ``engine_stats`` holds the
+    ``ExecutionStats.to_json()`` payload for operations that produce
+    one (queries), so per-request observability reaches down to rows
+    scanned / hydrated without re-deriving anything.
+    """
+
+    request_id: int
+    op: str
+    lane: str
+    admitted_at: float = field(default_factory=time.perf_counter)
+    started_at: float | None = None
+    finished_at: float | None = None
+    outcome: str = "pending"
+    engine_stats: dict[str, Any] | None = None
+
+    def mark_started(self) -> None:
+        self.started_at = time.perf_counter()
+
+    def mark_finished(self) -> None:
+        self.finished_at = time.perf_counter()
+
+    @property
+    def queue_seconds(self) -> float:
+        """Time spent between admission and the worker picking it up."""
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.admitted_at
+
+    @property
+    def service_seconds(self) -> float:
+        """Time spent executing on the worker thread."""
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    @property
+    def total_seconds(self) -> float:
+        """Admission-to-finish latency (what a client observes)."""
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.admitted_at
+
+
+class _LaneStats:
+    """Counters and a bounded latency window for one operation class."""
+
+    def __init__(self, window: int) -> None:
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.timed_out = 0
+        self.rejected_overload = 0
+        self.rejected_closed = 0
+        self.queue_seconds = 0.0
+        self.busy_seconds = 0.0
+        self.latencies: deque[float] = deque(maxlen=window)
+
+    def snapshot(self) -> dict[str, Any]:
+        samples = list(self.latencies)
+        payload: dict[str, Any] = {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "rejected_overload": self.rejected_overload,
+            "rejected_closed": self.rejected_closed,
+            "queue_seconds": round(self.queue_seconds, 6),
+            "busy_seconds": round(self.busy_seconds, 6),
+        }
+        if samples:
+            payload["latency_ms"] = {
+                "p50": round(percentile(samples, 0.50) * 1000, 3),
+                "p99": round(percentile(samples, 0.99) * 1000, 3),
+                "max": round(max(samples) * 1000, 3),
+                "window": len(samples),
+            }
+        return payload
+
+
+class ServerStats:
+    """Thread-safe aggregate of every request the server has seen.
+
+    Lane counters (reader/writer) cover admission outcomes and latency;
+    the engine totals accumulate the per-query ``ExecutionStats``
+    counters so the served system reports the same rows-scanned /
+    rows-hydrated trajectory the library benchmarks gate on.
+    """
+
+    def __init__(self, window: int = DEFAULT_LATENCY_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._lanes: dict[str, _LaneStats] = {}
+        self._engine_totals: dict[str, int] = {}
+
+    def _lane(self, name: str) -> _LaneStats:
+        lane = self._lanes.get(name)
+        if lane is None:
+            lane = self._lanes[name] = _LaneStats(self._window)
+        return lane
+
+    # -- recording ------------------------------------------------------
+
+    def record_admitted(self, lane: str) -> None:
+        with self._lock:
+            self._lane(lane).admitted += 1
+
+    def record_rejected(self, lane: str, closed: bool) -> None:
+        with self._lock:
+            stats = self._lane(lane)
+            if closed:
+                stats.rejected_closed += 1
+            else:
+                stats.rejected_overload += 1
+
+    def record_finished(self, context: RequestContext) -> None:
+        """Fold one finished request context into the aggregate."""
+        with self._lock:
+            stats = self._lane(context.lane)
+            if context.outcome == "completed":
+                stats.completed += 1
+            elif context.outcome == "timed_out":
+                stats.timed_out += 1
+            else:
+                stats.failed += 1
+            stats.queue_seconds += context.queue_seconds
+            stats.busy_seconds += context.service_seconds
+            if context.total_seconds:
+                stats.latencies.append(context.total_seconds)
+            if context.engine_stats:
+                for key, value in context.engine_stats.items():
+                    if isinstance(value, int):
+                        self._engine_totals[key] = (
+                            self._engine_totals.get(key, 0) + value
+                        )
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able point-in-time view of every counter."""
+        with self._lock:
+            return {
+                "lanes": {
+                    name: lane.snapshot()
+                    for name, lane in sorted(self._lanes.items())
+                },
+                "engine": dict(self._engine_totals),
+            }

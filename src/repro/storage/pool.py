@@ -28,6 +28,7 @@ from __future__ import annotations
 import contextlib
 import sqlite3
 import threading
+import time
 from collections.abc import Callable, Iterator
 
 
@@ -95,6 +96,7 @@ class ConnectionPool:
         self._stats_lock = threading.Lock()
         self._read_checkouts = 0
         self._write_batches = 0
+        self._write_wait_s = 0.0
 
     # -- introspection --------------------------------------------------
 
@@ -121,12 +123,17 @@ class ConnectionPool:
         read-side checkout window, not per statement); ``write_batches``
         counts :meth:`write` entries — with every write path batching
         its statements into one checkout, this is the number of writer
-        transactions the pool served.
+        transactions the pool served.  ``write_wait_ms`` accumulates
+        time spent *waiting* for the write lock across all checkouts —
+        the writer-contention signal a served system watches (a healthy
+        single-writer deployment keeps it near zero; growth means
+        writers are queueing on each other).
         """
         with self._stats_lock:
-            counters = {
+            counters: dict[str, int] = {
                 "read_checkouts": self._read_checkouts,
                 "write_batches": self._write_batches,
+                "write_wait_ms": int(self._write_wait_s * 1000),
             }
         counters["readers"] = self.reader_count
         return counters
@@ -172,7 +179,11 @@ class ConnectionPool:
         self._check_open()
         with self._stats_lock:
             self._write_batches += 1
+        waiting_since = time.perf_counter()
         with self._write_lock:
+            waited = time.perf_counter() - waiting_since
+            with self._stats_lock:
+                self._write_wait_s += waited
             self._check_open()
             yield self._writer
 

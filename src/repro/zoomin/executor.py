@@ -36,6 +36,28 @@ class ZoomInMatch:
     component: ZoomComponent
     annotations: list[Annotation]
 
+    def to_json(self) -> dict[str, Any]:
+        """JSON-able form (annotation service wire format)."""
+        return {
+            "values": list(self.values),
+            "component": {
+                "index": self.component.index,
+                "label": self.component.label,
+                "detail": self.component.detail,
+            },
+            "annotations": [
+                {
+                    "annotation_id": annotation.annotation_id,
+                    "text": annotation.text,
+                    "author": annotation.author,
+                    "created_at": annotation.created_at,
+                    "kind": annotation.kind.value,
+                    "title": annotation.title,
+                }
+                for annotation in self.annotations
+            ],
+        }
+
 
 @dataclass
 class ZoomInResult:
@@ -49,6 +71,20 @@ class ZoomInResult:
     def annotation_count(self) -> int:
         """Total raw annotations retrieved."""
         return sum(len(match.annotations) for match in self.matches)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-able form of the full expansion, command included.
+
+        The annotation service's wire format: everything a remote client
+        needs to render the zoom-in, nothing engine-internal.
+        """
+        return {
+            "command": self.command.render(),
+            "cache_hit": self.cache_hit,
+            "elapsed_seconds": self.elapsed_seconds,
+            "annotation_count": self.annotation_count(),
+            "matches": [match.to_json() for match in self.matches],
+        }
 
 
 class ZoomInExecutor:

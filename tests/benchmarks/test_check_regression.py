@@ -81,6 +81,40 @@ class TestCompare:
         assert compare(report(), candidate, 2.0) == []
 
 
+class TestCoverageLogging:
+    """Partial overlap must be loud: SKIPPED/MISSING lines + a summary."""
+
+    def test_candidate_only_cells_log_skipped(self, capsys):
+        candidate = report()
+        candidate["results"]["extra"] = {"60": {"raw": {"median_s": 9.9}}}
+        assert compare(report(), candidate, 2.0) == []
+        out = capsys.readouterr().out
+        assert "SKIPPED (no baseline)" in out
+        assert "1 candidate-only skipped" in out
+
+    def test_baseline_only_cells_log_missing(self, capsys):
+        baseline = report()
+        baseline["results"]["extra"] = {"60": {"raw": {"median_s": 0.01}}}
+        assert compare(baseline, report(), 2.0) == []
+        out = capsys.readouterr().out
+        assert "MISSING from candidate (not gated)" in out
+        assert "extra 60 raw" in out
+        assert "1 baseline-only missing" in out
+
+    def test_summary_counts_gated_cells(self, capsys):
+        assert compare(report(), report(), 2.0) == []
+        out = capsys.readouterr().out
+        assert "gated 1 cell(s); 0 candidate-only skipped, " in out
+        assert "0 baseline-only missing" in out
+
+    def test_full_overlap_logs_no_skips(self, capsys):
+        compare(shard_report(), shard_report(), 2.0)
+        out = capsys.readouterr().out
+        assert "SKIPPED" not in out
+        assert "MISSING" not in out
+        assert "gated 3 cell(s)" in out
+
+
 class TestNestedCells:
     def test_iter_cells_walks_nested_shard_keys(self):
         cells = dict(iter_cells(shard_report(median=0.010)))

@@ -1,0 +1,140 @@
+"""Tests for the consolidated CI bench harness (``benchmarks/ci_smoke.py``).
+
+The harness is the single CI step standing between a perf regression
+and a green build, so its own failure modes are pinned here with a
+fake registered bench: a healthy bench passes, a missing committed
+baseline fails loudly, a tripped acceptance or regression gate fails,
+and one broken bench never masks another.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import ci_smoke
+
+
+def fake_bench(median=0.01, gate=None):
+    """A minimal BENCHES entry whose quick run takes no time at all."""
+
+    def run(quick, repeats):
+        return {
+            "w": {
+                "30x": {
+                    "a": {"median_s": median, "statements": 2},
+                    "b": {"median_s": median, "statements": 2},
+                    "speedup": 1.0,
+                    "statement_ratio": 1.0,
+                }
+            }
+        }
+
+    entry = {
+        "run": run,
+        "benchmark": "fake",
+        "output": "BENCH_fake.json",
+        "modes": {"a": "mode a", "b": "mode b"},
+        "pair": ("a", "b"),
+    }
+    if gate is not None:
+        entry["gate"] = gate
+    return entry
+
+
+def install(monkeypatch, tmp_path, benches):
+    """Point the harness at a fake registry and a scratch 'repo root'."""
+    monkeypatch.setattr(ci_smoke.run_bench, "BENCHES", benches)
+    monkeypatch.setattr(ci_smoke, "REPO_ROOT", tmp_path)
+
+
+def commit_baseline(tmp_path, name="fake", median=0.01):
+    report = {
+        "benchmark": "fake",
+        "results": fake_bench(median=median)["run"](quick=False, repeats=1),
+    }
+    target = tmp_path / f"BENCH_{name}.json"
+    target.write_text(json.dumps(report))
+    return target
+
+
+def test_healthy_bench_passes_and_writes_smoke(monkeypatch, tmp_path, capsys):
+    install(monkeypatch, tmp_path, {"fake": fake_bench()})
+    commit_baseline(tmp_path)
+    assert ci_smoke.main(["--output-dir", str(tmp_path)]) == 0
+    smoke = json.loads((tmp_path / "fake-smoke.json").read_text())
+    assert smoke["benchmark"] == "fake"
+    assert smoke["quick"] is True
+    assert "1/1 benches healthy" in capsys.readouterr().out
+
+
+def test_missing_committed_baseline_fails(monkeypatch, tmp_path, capsys):
+    install(monkeypatch, tmp_path, {"fake": fake_bench()})
+    assert ci_smoke.main(["--output-dir", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "no committed baseline BENCH_fake.json" in err
+
+
+def test_tripped_acceptance_gate_fails(monkeypatch, tmp_path, capsys):
+    tripped = fake_bench(gate=lambda results, quick: ["acceptance miss"])
+    install(monkeypatch, tmp_path, {"fake": tripped})
+    commit_baseline(tmp_path)
+    assert ci_smoke.main(["--output-dir", str(tmp_path)]) == 1
+    assert "quick smoke run exited 1" in capsys.readouterr().err
+
+
+def test_regression_past_threshold_fails(monkeypatch, tmp_path, capsys):
+    install(monkeypatch, tmp_path, {"fake": fake_bench(median=0.05)})
+    commit_baseline(tmp_path, median=0.001)
+    assert ci_smoke.main(["--output-dir", str(tmp_path)]) == 1
+    assert "regression gate failed" in capsys.readouterr().err
+
+
+def test_one_broken_bench_does_not_mask_another(
+    monkeypatch, tmp_path, capsys
+):
+    benches = {
+        "bad": fake_bench(gate=lambda results, quick: ["nope"]),
+        "good": dict(fake_bench(), output="BENCH_good.json"),
+    }
+    install(monkeypatch, tmp_path, benches)
+    commit_baseline(tmp_path, name="good")
+    assert ci_smoke.main(["--output-dir", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    # Both ran: the good bench's smoke landed despite the bad one.
+    assert (tmp_path / "good-smoke.json").is_file()
+    assert "1/2 benches healthy" in captured.out
+    assert "bad: quick smoke run exited 1" in captured.err
+
+
+def test_bench_selection_runs_only_named(monkeypatch, tmp_path):
+    benches = {"fake": fake_bench(), "other": fake_bench()}
+    install(monkeypatch, tmp_path, benches)
+    commit_baseline(tmp_path)
+    code = ci_smoke.main(
+        ["--bench", "fake", "--output-dir", str(tmp_path)]
+    )
+    assert code == 0
+    assert (tmp_path / "fake-smoke.json").is_file()
+    assert not (tmp_path / "other-smoke.json").exists()
+
+
+def test_unknown_bench_is_a_usage_error(monkeypatch, tmp_path):
+    install(monkeypatch, tmp_path, {"fake": fake_bench()})
+    with pytest.raises(SystemExit) as excinfo:
+        ci_smoke.main(["--bench", "bogus", "--output-dir", str(tmp_path)])
+    assert excinfo.value.code == 2
+
+
+def test_every_real_bench_is_registered_with_a_committed_baseline():
+    """Registering in run_bench.py is the only step to get CI coverage —
+    so every registered bench must have its trajectory committed."""
+    from benchmarks.run_bench import BENCHES
+
+    assert "serve" in BENCHES
+    repo_root = ci_smoke.REPO_ROOT
+    for name, bench in BENCHES.items():
+        assert (repo_root / bench["output"]).is_file(), (
+            f"bench {name!r} has no committed {bench['output']}"
+        )

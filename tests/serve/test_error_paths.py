@@ -1,0 +1,219 @@
+"""Server error paths: admission, timeouts, graceful shutdown.
+
+These tests drive the :meth:`AnnotationServer.submit` seam directly
+with controllable callables (gated on ``threading.Event``) so each
+failure mode is provoked deterministically, not by racing real queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import (
+    RequestTimeoutError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serve import AnnotationServer, ServerConfig
+from repro.serve.server import READ, WRITE
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def wait_until(event: threading.Event, timeout: float = 5.0) -> None:
+    """Poll a threading.Event from the loop without blocking it."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not event.is_set():
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError("worker never started")
+        await asyncio.sleep(0.005)
+
+
+def gated_work(started: threading.Event, gate: threading.Event):
+    """A request body that parks on ``gate`` until the test releases it."""
+
+    def work() -> str:
+        started.set()
+        assert gate.wait(timeout=10)
+        return "done"
+
+    return work
+
+
+def test_admission_rejects_when_lane_is_full():
+    async def scenario():
+        config = ServerConfig(
+            readers=1, read_queue_depth=1, request_timeout_s=None
+        )
+        async with AnnotationServer(config=config) as server:
+            started, gate = threading.Event(), threading.Event()
+            # Fill the lane: one running (holds the worker), one queued.
+            running = asyncio.create_task(
+                server.submit(READ, "slow", gated_work(started, gate))
+            )
+            await wait_until(started)
+            queued = asyncio.create_task(
+                server.submit(READ, "queued", lambda: "queued-done")
+            )
+            await asyncio.sleep(0.01)  # let the queued submit be admitted
+            # capacity = readers + depth = 2 — the third is refused
+            # immediately with the 429-style signal.
+            with pytest.raises(ServerOverloadedError) as excinfo:
+                await server.submit(READ, "overflow", lambda: None)
+            assert excinfo.value.op_class == READ
+            assert excinfo.value.capacity == 2
+            # The writer lane is independent: it still admits.
+            assert await server.submit(WRITE, "w", lambda: "w-ok") == "w-ok"
+            gate.set()
+            assert await running == "done"
+            assert await queued == "queued-done"
+            # With the lane drained, admission opens again.
+            assert await server.submit(READ, "after", lambda: "ok") == "ok"
+            lanes = server.stats.snapshot()["lanes"]
+            assert lanes[READ]["rejected_overload"] == 1
+            assert lanes[READ]["completed"] == 3
+
+    run(scenario())
+
+
+def test_request_timeout_mid_query_releases_slot_when_thread_returns():
+    async def scenario():
+        config = ServerConfig(
+            readers=1, read_queue_depth=0, request_timeout_s=0.05
+        )
+        async with AnnotationServer(config=config) as server:
+            started, gate = threading.Event(), threading.Event()
+            with pytest.raises(RequestTimeoutError):
+                await server.submit(READ, "slow", gated_work(started, gate))
+            # The worker thread is still running: the slot stays held,
+            # so the next request is rejected as overload — admission
+            # sees true capacity, not wishful capacity.
+            with pytest.raises(ServerOverloadedError):
+                await server.submit(READ, "probe", lambda: None)
+            gate.set()
+            # Once the abandoned thread returns, the slot frees up.
+            for _ in range(200):
+                await asyncio.sleep(0.005)
+                if server.stats.snapshot()["lanes"][READ]["timed_out"]:
+                    break
+            assert await server.submit(READ, "after", lambda: "ok") == "ok"
+            lanes = server.stats.snapshot()["lanes"]
+            assert lanes[READ]["timed_out"] == 1
+            assert lanes[READ]["rejected_overload"] == 1
+            assert lanes[READ]["completed"] == 1
+
+    run(scenario())
+
+
+def test_timeout_applies_to_real_queries():
+    async def scenario():
+        config = ServerConfig(readers=2, request_timeout_s=30.0)
+        async with AnnotationServer(config=config) as server:
+            await server.execute("CREATE TABLE t (a)")
+            await server.insert_many("t", [(i,) for i in range(50)])
+            # Per-call override beats the config default.
+            with pytest.raises(RequestTimeoutError):
+                await server.submit(
+                    READ, "stuck", gated_work(
+                        threading.Event(), threading.Event()
+                    ),
+                    timeout_s=0.05,
+                )
+            # An ordinary query still completes fine afterwards.
+            result = await server.query("SELECT a FROM t LIMIT 3")
+            assert len(result.rows()) == 3
+
+    run(scenario())
+
+
+def test_graceful_shutdown_drains_readers_and_refuses_new_work():
+    async def scenario():
+        config = ServerConfig(readers=2, request_timeout_s=None)
+        server = AnnotationServer(config=config)
+        await server.start()
+        await server.execute("CREATE TABLE t (a)")
+        await server.insert_many("t", [(1,)])
+        started, gate = threading.Event(), threading.Event()
+        in_flight = asyncio.create_task(
+            server.submit(READ, "slow", gated_work(started, gate))
+        )
+        await wait_until(started)
+        stop_task = asyncio.create_task(server.stop())
+        await asyncio.sleep(0.02)
+        # Draining: the stop is parked on the in-flight reader...
+        assert server.state == "draining"
+        assert not stop_task.done()
+        # ...and every new request — read or write — is refused.
+        with pytest.raises(ServerClosedError):
+            await server.query("SELECT a FROM t")
+        with pytest.raises(ServerClosedError):
+            await server.add_annotations([{"text": "x"}])
+        # Releasing the reader lets the drain finish: the in-flight
+        # request delivers its result, then the session closes.
+        gate.set()
+        assert await in_flight == "done"
+        await stop_task
+        assert server.state == "stopped"
+        lanes = server.stats.snapshot()["lanes"]
+        assert lanes[READ]["rejected_closed"] == 1
+        assert lanes[WRITE]["rejected_closed"] == 1
+
+    run(scenario())
+
+
+def test_shutdown_flushes_deferred_summary_writes(tmp_path):
+    """Annotations ingested through the server are durable after stop."""
+    path = str(tmp_path / "durable.db")
+
+    async def scenario():
+        server = AnnotationServer(path=path)
+        async with server:
+            await server.execute("CREATE TABLE birds (name)")
+            await server.insert_many("birds", [("finch",), ("heron",)])
+            server.session.define_classifier(
+                "C", ["Behavior"], [("observed feeding", "Behavior")]
+            )
+            server.session.link("C", "birds")
+            await server.add_annotations(
+                [
+                    {"text": "observed feeding", "table": "birds", "row_id": 1},
+                    {"text": "observed resting", "table": "birds", "row_id": 2},
+                ]
+            )
+
+    run(scenario())
+    from repro import InsightNotes
+
+    with InsightNotes(path) as reopened:
+        assert reopened.annotations.count() == 2
+        result = reopened.query(
+            "SELECT name FROM birds WHERE SUMMARY_COUNT('C', 'Behavior') >= 1"
+        )
+        assert len(result.rows()) == 2
+
+
+def test_drain_timeout_is_a_hard_stop_not_a_hang():
+    async def scenario():
+        config = ServerConfig(
+            readers=1, request_timeout_s=None, drain_timeout_s=0.1
+        )
+        server = AnnotationServer(config=config)
+        await server.start()
+        started, gate = threading.Event(), threading.Event()
+        stuck = asyncio.create_task(
+            server.submit(READ, "stuck", gated_work(started, gate))
+        )
+        await wait_until(started)
+        # stop() must return within the drain budget even though the
+        # worker never finishes on its own.
+        await asyncio.wait_for(server.stop(), timeout=5.0)
+        assert server.state == "stopped"
+        gate.set()
+        assert await stuck == "done"
+
+    run(scenario())

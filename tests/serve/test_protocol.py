@@ -1,0 +1,162 @@
+"""Wire protocol: decoding, dispatch, and structured error codes."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import (
+    RequestTimeoutError,
+    ServerClosedError,
+    ServerOverloadedError,
+    SQLSyntaxError,
+)
+from repro.serve import AnnotationServer
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_request,
+    encode_response,
+    error_code,
+    error_response,
+    handle_request,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# -- decoding ---------------------------------------------------------------
+
+
+def test_decode_request_accepts_bytes_and_str():
+    assert decode_request(b'{"op": "ping"}') == {"op": "ping"}
+    assert decode_request('{"op": "ping", "id": 7}')["id"] == 7
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        b"not json",
+        b'"a string"',
+        b"[1, 2]",
+        b'{"no": "op"}',
+        b'{"op": "launch_missiles"}',
+        "{'op': 'ping'}".encode("utf-16"),
+    ],
+)
+def test_decode_request_rejects_malformed_lines(line):
+    with pytest.raises(ProtocolError):
+        decode_request(line)
+
+
+def test_encode_response_is_one_json_line():
+    payload = encode_response({"id": 1, "ok": True, "result": {"pong": True}})
+    assert payload.endswith(b"\n")
+    assert payload.count(b"\n") == 1
+    assert json.loads(payload)["ok"] is True
+
+
+# -- error codes ------------------------------------------------------------
+
+
+def test_error_codes_are_http_shaped():
+    assert error_code(ServerOverloadedError("read", 4)) == 429
+    assert error_code(RequestTimeoutError("query", 1.0)) == 408
+    assert error_code(ServerClosedError()) == 503
+    assert error_code(SQLSyntaxError("bad")) == 400
+    assert error_code(ProtocolError("bad")) == 400
+    assert error_code(RuntimeError("boom")) == 500
+
+
+def test_error_response_shape():
+    response = error_response(9, ServerOverloadedError("read", 4))
+    assert response["id"] == 9
+    assert response["ok"] is False
+    assert response["error"]["code"] == 429
+    assert response["error"]["type"] == "ServerOverloadedError"
+    assert "retry" in response["error"]["message"]
+
+
+# -- dispatch ---------------------------------------------------------------
+
+
+def test_dispatch_query_and_engine_error_payloads():
+    async def scenario():
+        async with AnnotationServer() as server:
+            ok = await handle_request(
+                server,
+                {"op": "execute", "statement": "CREATE TABLE t (a)", "id": 1},
+            )
+            assert ok == {
+                "id": 1,
+                "ok": True,
+                "result": {"status": "table 't' created"},
+            }
+            await handle_request(
+                server, {"op": "insert", "table": "t", "rows": [[1], [2]]}
+            )
+            result = await handle_request(
+                server, {"op": "query", "sql": "SELECT a FROM t", "id": 2}
+            )
+            assert result["ok"] is True
+            assert [t["values"] for t in result["result"]["tuples"]] == [
+                [1],
+                [2],
+            ]
+            # Engine rejection comes back structured, not raised.
+            bad = await handle_request(
+                server, {"op": "query", "sql": "SELEKT x", "id": 3}
+            )
+            assert bad["ok"] is False
+            assert bad["error"]["code"] == 400
+            assert bad["error"]["type"] == "SQLSyntaxError"
+            # Missing parameter is a 400 ProtocolError.
+            missing = await handle_request(server, {"op": "query", "id": 4})
+            assert missing["error"]["code"] == 400
+            assert missing["error"]["type"] == "ProtocolError"
+
+    run(scenario())
+
+
+def test_dispatch_annotations_stats_and_ping():
+    async def scenario():
+        async with AnnotationServer() as server:
+            await handle_request(
+                server, {"op": "execute", "statement": "CREATE TABLE b (n)"}
+            )
+            await handle_request(
+                server, {"op": "insert", "table": "b", "rows": [["x"]]}
+            )
+            stored = await handle_request(
+                server,
+                {
+                    "op": "add_annotations",
+                    "specs": [{"text": "note", "table": "b", "row_id": 1}],
+                },
+            )
+            assert stored["result"]["count"] == 1
+            assert stored["result"]["annotation_ids"] == [1]
+            stats = await handle_request(server, {"op": "stats"})
+            assert stats["result"]["annotations"] == 1
+            assert "lanes" in stats["result"]["server"]
+            pong = await handle_request(server, {"op": "ping", "id": "p"})
+            assert pong["result"] == {"pong": True, "state": "running"}
+
+    run(scenario())
+
+
+def test_dispatch_closed_server_returns_503():
+    async def scenario():
+        server = AnnotationServer()
+        await server.start()
+        await server.stop()
+        response = await handle_request(
+            server, {"op": "query", "sql": "SELECT 1", "id": 5}
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == 503
+
+    run(scenario())

@@ -1,0 +1,177 @@
+"""Served stress: N async clients race a bulk-ingest writer.
+
+The served analogue of ``tests/engine/test_concurrency.py``: reader
+clients issue summary-aware queries and zoom-ins through the asyncio
+front end while an ingest client streams bulk ``add_annotations``
+batches through the writer lane.  Guarantees pinned:
+
+1. every client request completes without error (capacities are sized
+   to the offered load, so no 429s either);
+2. every reader result is byte-identical to its serial replay — reader
+   queries target ``birds``, which the ingest stream never touches, so
+   results are deterministic even mid-ingest;
+3. the race's writes are durable: after drain, the session holds
+   exactly the annotations the ingest client sent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve import AnnotationServer, ServerConfig
+
+TRAINING = [
+    ("observed feeding on stonewort beds at dawn", "Behavior"),
+    ("seen foraging among pond weeds near shore", "Behavior"),
+    ("shows symptoms of avian influenza on the wing", "Disease"),
+    ("appears infected with avian pox around the beak", "Disease"),
+]
+
+QUERIES = [
+    "SELECT name, species FROM birds WHERE weight < 20",
+    "SELECT name FROM birds WHERE species = 'species3'",
+    "SELECT name, weight FROM birds WHERE weight >= 30 "
+    "ORDER BY name LIMIT 10",
+    "SELECT species, COUNT(*) FROM birds GROUP BY species",
+    "SELECT name FROM birds "
+    "WHERE SUMMARY_COUNT('BirdClass', 'Behavior') >= 1 LIMIT 15",
+]
+
+CLIENTS = 4
+ROUNDS = 6
+INGEST_BATCHES = 8
+BATCH_ROWS = 10
+
+
+def fingerprint(result) -> str:
+    payload = [
+        {
+            "values": list(row.values),
+            "summaries": {
+                name: obj.to_json()
+                for name, obj in sorted(row.summaries.items())
+            },
+            "attachments": {
+                str(annotation_id): sorted(columns)
+                for annotation_id, columns in sorted(row.attachments.items())
+            },
+        }
+        for row in result.tuples
+    ]
+    return json.dumps(payload, sort_keys=True)
+
+
+async def build_server(path: str) -> AnnotationServer:
+    config = ServerConfig(
+        readers=4,
+        writers=1,
+        read_queue_depth=CLIENTS * 4,
+        write_queue_depth=INGEST_BATCHES,
+        request_timeout_s=60.0,
+    )
+    server = AnnotationServer(config=config, path=path)
+    await server.start()
+    session = server.session
+    session.create_table("birds", ["name", "species", "weight"])
+    session.create_table("sightings", ["site", "count"])
+    session.define_classifier("BirdClass", ["Behavior", "Disease"], TRAINING)
+    session.link("BirdClass", "birds")
+    await server.insert_many(
+        "birds",
+        [
+            (f"bird{i:03d}", f"species{i % 7}", float(i % 40))
+            for i in range(120)
+        ],
+    )
+    await server.add_annotations(
+        [
+            {
+                "text": "observed feeding on stonewort at dawn",
+                "table": "birds",
+                "row_id": i + 1,
+            }
+            for i in range(120)
+        ]
+    )
+    await server.insert_many(
+        "sightings", [(f"site{i % 5}", i) for i in range(40)]
+    )
+    return server
+
+
+def ingest_payload(batch: int) -> list[dict]:
+    return [
+        {
+            "text": f"served stress note b{batch} i{i}",
+            "table": "sightings",
+            "row_id": (batch * 5 + i) % 40 + 1,
+        }
+        for i in range(BATCH_ROWS)
+    ]
+
+
+def test_async_clients_race_bulk_ingest_with_serial_replay(tmp_path):
+    async def scenario():
+        server = await build_server(str(tmp_path / "stress.db"))
+        # Serial replay first: the expected byte-exact answers.
+        expected = [
+            fingerprint(await server.query(sql)) for sql in QUERIES
+        ]
+        before_count = server.session.annotations.count()
+        mismatches: list[str] = []
+
+        async def reader_client(worker: int) -> None:
+            for round_number in range(ROUNDS):
+                index = (worker + round_number) % len(QUERIES)
+                result = await server.query(QUERIES[index])
+                if fingerprint(result) != expected[index]:
+                    mismatches.append(
+                        f"client {worker} round {round_number} query {index}"
+                    )
+                if round_number % 3 == 2:
+                    zoom = await server.zoomin(
+                        f"ZOOMIN REFERENCE QID = {result.qid} "
+                        "ON BirdClass INDEX 1"
+                    )
+                    assert zoom.matches is not None
+
+        async def ingest_client() -> None:
+            for batch in range(INGEST_BATCHES):
+                stored = await server.add_annotations(ingest_payload(batch))
+                assert len(stored) == BATCH_ROWS
+
+        await asyncio.gather(
+            ingest_client(),
+            *(reader_client(worker) for worker in range(CLIENTS)),
+        )
+        assert mismatches == []
+
+        # Durability: exactly the ingested annotations were added.
+        after_count = server.session.annotations.count()
+        assert after_count - before_count == INGEST_BATCHES * BATCH_ROWS
+
+        # Nothing was rejected or timed out under the sized load, and
+        # the request accounting adds up.
+        lanes = server.stats.snapshot()["lanes"]
+        for lane in lanes.values():
+            assert lane["rejected_overload"] == 0
+            assert lane["rejected_closed"] == 0
+            assert lane["timed_out"] == 0
+            assert lane["failed"] == 0
+        await server.stop()
+
+        # Post-drain serial replay on a fresh session: the final state
+        # answers the reader queries identically (ingest never touched
+        # the queried table).
+        from repro import InsightNotes
+
+        with InsightNotes(str(tmp_path / "stress.db")) as replay:
+            for index, sql in enumerate(QUERIES):
+                assert fingerprint(replay.query(sql)) == expected[index]
+            assert (
+                replay.annotations.count() - before_count
+                == INGEST_BATCHES * BATCH_ROWS
+            )
+
+    asyncio.run(scenario())
