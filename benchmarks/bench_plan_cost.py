@@ -1,0 +1,329 @@
+"""EXP-CP — Cost-based planning vs. the rule-based planner.
+
+Sweeps the three plan shapes the cost planner rewrites, comparing the
+rule-based pipeline (``cost_planner=False``) against the cost-driven
+one (the current default) on identical data:
+
+* ``join_3way`` — a three-way star join written in the worst FROM
+  order (both dimensions before the fact table).  The rule planner
+  joins left-to-right and materializes the dimension cross product —
+  every intermediate tuple paying summary-merge cost — before the fact
+  predicate prunes anything; the cost planner starts from the filtered
+  fact table and avoids the cross product entirely.
+* ``topk_agg`` — a top-k ``GROUP BY`` over a summary-free readings
+  table at ~1% / ~10% / ~50% selectivity.  The cost planner pushes the
+  whole aggregation into the storage engine (one SQL statement, group
+  rows out), the rule planner streams every surviving base row through
+  the in-engine operators.
+* ``hydrate`` — the paper's 250x annotation ratio with a mixed
+  residual predicate: a non-sargable value conjunct (column vs column,
+  so it cannot be compiled into the scan) ANDed with a summary-function
+  conjunct.  The rule planner hydrates every scanned row before
+  filtering; the cost planner splits the residual and hydrates only
+  the ~10% of rows the value conjunct keeps.
+
+Both modes run with the deserialization cache off so hydration pays
+its real storage cost, and each measured repeat drops the maintenance
+caches first (the ``bench_query_pushdown`` discipline).  Results are
+byte-identical across modes in every cell — the equivalence suite
+(``tests/engine/test_cost_equivalence.py``) pins that property; this
+benchmark records what the identical answers *cost*.
+
+Reusable pieces (:func:`build_join_session`, :func:`build_topk_session`,
+:func:`build_hydrate_session`, :func:`measure_plan_query`) are shared
+with ``run_bench.py --bench plan``, which records the trajectory in
+``BENCH_plan.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.engine.session import InsightNotes
+
+#: Planner configurations under comparison.  Everything else is the
+#: session default; the object cache is off so every hydration pays its
+#: storage cost (cache warmth is BENCH_scan's subject, not ours).
+MODES = {
+    "rule": {"cost_planner": False, "object_cache_size": 0},
+    "cost": {"cost_planner": True, "object_cache_size": 0},
+}
+
+#: Target fraction of readings each top-k workload's predicate keeps.
+SELECTIVITIES = {
+    "sel_1pct": 0.01,
+    "sel_10pct": 0.10,
+    "sel_50pct": 0.50,
+}
+
+
+def _annotate_rows(
+    session: InsightNotes,
+    table: str,
+    row_ids: list[int],
+    per_row: int,
+    rng: random.Random,
+) -> None:
+    """Attach ``per_row`` short comments to every row of ``table``."""
+    phrases = (
+        "observed feeding near the shore",
+        "unusual plumage pattern today",
+        "possible wing injury reported",
+        "nesting behaviour in progress",
+    )
+    specs = [
+        {
+            "text": f"{rng.choice(phrases)} #{i}",
+            "table": table,
+            "row_id": row_id,
+        }
+        for row_id in row_ids
+        for i in range(per_row)
+    ]
+    session.add_annotations(specs)
+
+
+def build_join_session(
+    mode: str,
+    suppliers: int = 150,
+    parts: int = 120,
+    orders: int = 3000,
+    annotations_per_dim_row: int = 3,
+    seed: int = 29,
+) -> InsightNotes:
+    """A star schema whose dimensions carry summarized annotations."""
+    session = InsightNotes(**MODES[mode])
+    rng = random.Random(seed)
+    session.create_table("suppliers", ["sname", "region"])
+    session.create_table("parts", ["pname", "kind"])
+    session.create_table("orders", ["supplier", "part", "qty"])
+    supplier_ids = session.insert_many(
+        "suppliers", [(f"s{i}", f"r{i % 5}") for i in range(suppliers)]
+    )
+    part_ids = session.insert_many(
+        "parts", [(f"p{i}", f"k{i % 3}") for i in range(parts)]
+    )
+    session.insert_many(
+        "orders",
+        [
+            (
+                f"s{rng.randrange(suppliers)}",
+                f"p{rng.randrange(parts)}",
+                rng.randrange(10_000),
+            )
+            for _ in range(orders)
+        ],
+    )
+    session.define_classifier(
+        "DimClass",
+        labels=["Behavior", "Anatomy", "Other"],
+        training=[
+            ("observed feeding near the shore", "Behavior"),
+            ("unusual plumage pattern today", "Anatomy"),
+        ],
+    )
+    session.link("DimClass", "suppliers")
+    session.link("DimClass", "parts")
+    _annotate_rows(
+        session, "suppliers", supplier_ids, annotations_per_dim_row, rng
+    )
+    _annotate_rows(session, "parts", part_ids, annotations_per_dim_row, rng)
+    session.analyze()
+    return session
+
+
+#: The worst FROM order: both dimensions before the fact table.  Rule
+#: planning joins left-to-right, so suppliers x parts cross-multiply.
+JOIN_SQL = (
+    "SELECT s.sname, p.pname, o.qty FROM suppliers s, parts p, orders o "
+    "WHERE s.sname = o.supplier AND p.pname = o.part AND o.qty > 9700"
+)
+
+
+def build_topk_session(
+    mode: str, readings: int = 15_000, seed: int = 31
+) -> InsightNotes:
+    """A summary-free readings table for the aggregation pushdown."""
+    session = InsightNotes(**MODES[mode])
+    rng = random.Random(seed)
+    session.create_table("readings", ["region", "sensor", "value"])
+    session.insert_many(
+        "readings",
+        [
+            (
+                f"r{rng.randrange(12)}",
+                f"s{rng.randrange(40)}",
+                rng.randrange(1_000_000),
+            )
+            for _ in range(readings)
+        ],
+    )
+    session.analyze()
+    return session
+
+
+def value_threshold(session: InsightNotes, fraction: float) -> int:
+    """Value cutoff keeping ~``fraction`` of readings under ``value > t``."""
+    values = sorted(
+        (row[2] for _, row in session.db.rows("readings")), reverse=True
+    )
+    keep = max(1, round(fraction * len(values)))
+    if keep >= len(values):
+        return values[-1] - 1
+    return (values[keep - 1] + values[keep]) // 2
+
+
+def topk_sql(threshold: int) -> str:
+    return (
+        "SELECT region, count(*), sum(value) FROM readings "
+        f"WHERE value > {threshold} "
+        "GROUP BY region ORDER BY count(*) DESC LIMIT 5"
+    )
+
+
+def build_hydrate_session(
+    mode: str, rows: int = 150, ratio: int = 250, seed: int = 37
+) -> InsightNotes:
+    """The 250x-annotated table behind the hydrate-placement workload.
+
+    ``cut10`` holds the 10%-selectivity cutoff as a *column*, so
+    ``value < cut10`` is column-vs-column — correct but not sargable,
+    exactly the residual shape the hydrate split exists for.
+    """
+    session = InsightNotes(**MODES[mode])
+    rng = random.Random(seed)
+    session.create_table("obs", ["value", "cut10"])
+    cutoff = max(1, rows // 10)
+    row_ids = session.insert_many(
+        "obs", [(i, cutoff) for i in range(rows)]
+    )
+    session.define_classifier(
+        "ObsClass",
+        labels=["Behavior", "Other"],
+        training=[("observed feeding near the shore", "Behavior")],
+    )
+    session.link("ObsClass", "obs")
+    _annotate_rows(session, "obs", row_ids, ratio, rng)
+    session.analyze()
+    return session
+
+
+HYDRATE_SQL = (
+    "SELECT value FROM obs WHERE value < cut10 "
+    "AND SUMMARY_COUNT('ObsClass') >= 0"
+)
+
+
+def measure_plan_query(session: InsightNotes, sql: str, repeats: int) -> dict:
+    """Timings plus statement/row counters for ``sql`` on ``session``."""
+    samples = []
+    for _ in range(repeats):
+        # Cold-cache steady state for every run: plan quality is the
+        # measured quantity, not leftover maintenance warmth.
+        session.manager.drop_caches()
+        started = time.perf_counter()
+        session.query(sql)
+        samples.append(time.perf_counter() - started)
+    session.manager.drop_caches()
+    with session.db.track_queries() as counter:
+        result = session.query(sql)
+    assert result.stats is not None
+    return {
+        "median_s": round(statistics.median(samples), 6),
+        "statements": counter.count,
+        "rows": len(result.tuples),
+        "rows_scanned": result.stats.rows_scanned,
+        "rows_hydrated": result.stats.rows_hydrated,
+    }
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+_BENCH_REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def plan_sessions():
+    sessions = {
+        mode: {
+            "join": build_join_session(
+                mode, suppliers=40, parts=30, orders=600
+            ),
+            "topk": build_topk_session(mode, readings=3000),
+            "hydrate": build_hydrate_session(mode, rows=50, ratio=30),
+        }
+        for mode in MODES
+    }
+    yield sessions
+    for per_mode in sessions.values():
+        for session in per_mode.values():
+            session.close()
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_plan_join_time(benchmark, plan_sessions, mode):
+    session = plan_sessions[mode]["join"]
+    benchmark.extra_info["mode"] = mode
+    benchmark(lambda: session.query(JOIN_SQL))
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_plan_topk_time(benchmark, plan_sessions, mode):
+    session = plan_sessions[mode]["topk"]
+    sql = topk_sql(value_threshold(session, 0.10))
+    benchmark.extra_info["mode"] = mode
+    benchmark(lambda: session.query(sql))
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_plan_hydrate_time(benchmark, plan_sessions, mode):
+    session = plan_sessions[mode]["hydrate"]
+    benchmark.extra_info["mode"] = mode
+    benchmark(lambda: session.query(HYDRATE_SQL))
+
+
+def test_plan_cost_report(plan_sessions):
+    """Series table: identical answers, rule vs cost plan economics."""
+    rows = []
+    for workload, sql_of in (
+        ("join_3way", lambda s: JOIN_SQL),
+        ("topk_10pct", lambda s: topk_sql(value_threshold(s, 0.10))),
+        ("hydrate", lambda s: HYDRATE_SQL),
+    ):
+        key = {"join_3way": "join", "topk_10pct": "topk", "hydrate": "hydrate"}[
+            workload
+        ]
+        cells = {}
+        answers = {}
+        for mode in MODES:
+            session = plan_sessions[mode][key]
+            sql = sql_of(session)
+            cells[mode] = measure_plan_query(session, sql, _BENCH_REPEATS)
+            answers[mode] = session.query(sql).rows()
+        # Plan choice must never change the answer.
+        assert answers["rule"] == answers["cost"]
+        rule, cost = cells["rule"], cells["cost"]
+        rows.append(
+            [
+                workload,
+                cost["rows"],
+                f"{rule['rows_hydrated']}/{rule['rows_scanned']}",
+                f"{cost['rows_hydrated']}/{cost['rows_scanned']}",
+                round(rule["median_s"] * 1000, 2),
+                round(cost["median_s"] * 1000, 2),
+                round(rule["median_s"] / max(cost["median_s"], 1e-9), 2),
+            ]
+        )
+    write_report(
+        "exp_cp_plan_cost",
+        "EXP-CP: cost-based vs rule-based plans "
+        "(hydrated/scanned rows and wall-clock)",
+        ["workload", "rows", "hyd/scan rule", "hyd/scan cost",
+         "rule ms", "cost ms", "speedup"],
+        rows,
+    )

@@ -22,6 +22,16 @@ same ratios in the two scan pipelines (see ``bench_query_pushdown.py``):
 * ``lazy`` — sargable predicates compiled into the storage statement and
   hydration deferred to surviving rows.
 
+``--bench plan`` compares the cost-based planner against the
+rule-based one on the three plan shapes it rewrites (see
+``bench_plan_cost.py``) — a skewed three-way join, top-k aggregates at
+~1/10/50% selectivity, and a 250x-annotated hydrate-placement
+workload:
+
+* ``rule`` — ``cost_planner=False``: the rule-based plans,
+* ``cost`` — statistics-driven join ordering, aggregation pushdown,
+  and hydrate placement (the session default).
+
 ``--bench concurrency`` sweeps the number of client threads (1/2/4/8)
 issuing pushdown queries against a file-backed database while a writer
 thread ingests annotation batches (see ``bench_concurrency.py``):
@@ -241,6 +251,66 @@ def run_query(quick: bool, repeats: int) -> dict:
                 eager["summary_statements"]
                 / max(lazy["summary_statements"], 1),
                 2,
+            )
+    return results
+
+
+def run_plan(quick: bool, repeats: int) -> dict:
+    """Rule-vs-cost plan timings over the three rewritten shapes."""
+    from benchmarks.bench_plan_cost import (
+        HYDRATE_SQL,
+        JOIN_SQL,
+        MODES as PLAN_MODES,
+        SELECTIVITIES,
+        build_hydrate_session,
+        build_join_session,
+        build_topk_session,
+        measure_plan_query,
+        topk_sql,
+        value_threshold,
+    )
+
+    join_sizes = (25, 20, 300) if quick else (150, 120, 3000)
+    topk_rows = 2000 if quick else 15_000
+    hydrate_shape = (40, 30) if quick else (150, 250)
+    results: dict = {}
+    for mode in PLAN_MODES:
+        suppliers, parts, orders = join_sizes
+        session = build_join_session(
+            mode, suppliers=suppliers, parts=parts, orders=orders
+        )
+        try:
+            cell = results.setdefault("join_3way", {}).setdefault(
+                f"{orders}f", {}
+            )
+            cell[mode] = measure_plan_query(session, JOIN_SQL, repeats)
+        finally:
+            session.close()
+        session = build_topk_session(mode, readings=topk_rows)
+        try:
+            for name, fraction in SELECTIVITIES.items():
+                sql = topk_sql(value_threshold(session, fraction))
+                cell = results.setdefault("topk_agg", {}).setdefault(name, {})
+                cell[mode] = measure_plan_query(session, sql, repeats)
+        finally:
+            session.close()
+        rows, ratio = hydrate_shape
+        session = build_hydrate_session(mode, rows=rows, ratio=ratio)
+        try:
+            cell = results.setdefault("hydrate", {}).setdefault(
+                f"{ratio}x", {}
+            )
+            cell[mode] = measure_plan_query(session, HYDRATE_SQL, repeats)
+        finally:
+            session.close()
+    for series in results.values():
+        for cell in series.values():
+            rule, cost = cell["rule"], cell["cost"]
+            cell["speedup"] = round(
+                rule["median_s"] / max(cost["median_s"], 1e-9), 3
+            )
+            cell["statement_ratio"] = round(
+                rule["statements"] / max(cost["statements"], 1), 2
             )
     return results
 
@@ -549,6 +619,46 @@ def check_shard_gate(results: dict, quick: bool) -> list[str]:
     return failures
 
 
+def check_plan_gate(results: dict, quick: bool) -> list[str]:
+    """The cost-planner acceptance gate (empty list = pass).
+
+    Across the swept workloads the cost planner must at least double
+    wall-clock on one skewed configuration — the shapes exist because
+    the rule plans are badly wrong there — and must never regress any
+    cell below 0.9x (a cost model that wins one workload by losing
+    another is mistuned).  In --quick mode the workloads are too small
+    for stable timings under scheduler noise, so misses only warn.
+    """
+    failures: list[str] = []
+    best = 0.0
+    best_key = "?"
+    for name, series in results.items():
+        for cell_key, cell in series.items():
+            if cell["speedup"] > best:
+                best, best_key = cell["speedup"], f"{name}/{cell_key}"
+            if cell["speedup"] < 0.9:
+                message = (
+                    f"plan {name} at {cell_key}: speedup "
+                    f"{cell['speedup']:.2f}x — the cost planner must not "
+                    "regress any workload below 0.9x of the rule plans"
+                )
+                if quick:
+                    print(f"warning: {message} (tolerated in --quick mode)")
+                else:
+                    failures.append(message)
+    if best < 2.0:
+        message = (
+            f"plan: best speedup {best:.2f}x ({best_key}) — the cost "
+            "planner must at least double wall-clock on one skewed "
+            "configuration"
+        )
+        if quick:
+            print(f"warning: {message} (tolerated in --quick mode)")
+        else:
+            failures.append(message)
+    return failures
+
+
 def check_concurrency_gate(results: dict, quick: bool) -> list[str]:
     """The concurrent-read acceptance gate (empty list = pass).
 
@@ -668,6 +778,18 @@ BENCHES = {
         },
         "pair": ("eager", "lazy"),
         "gate": check_query_gate,
+    },
+    "plan": {
+        "run": run_plan,
+        "benchmark": "plan_cost",
+        "output": "BENCH_plan.json",
+        "modes": {
+            "rule": "cost_planner=False: rule-based plans",
+            "cost": "statistics-driven join order, aggregation "
+            "pushdown, hydrate placement",
+        },
+        "pair": ("rule", "cost"),
+        "gate": check_plan_gate,
     },
     "concurrency": {
         "run": run_concurrency,

@@ -32,13 +32,15 @@ from repro.analysis.lint.framework import (
 _CONNECT_ALLOWED_SUFFIX = "storage/pool.py"
 
 #: Vetted SQL-construction helpers (repro.storage.sqlsafe).
-_VETTED_HELPERS = frozenset({"quote_ident", "quoted_csv", "placeholders"})
+_VETTED_HELPERS = frozenset(
+    {"quote_ident", "quoted_csv", "placeholders", "aggregate_select"}
+)
 
 #: ``execute``-family methods checked on connection-like receivers.
 _EXECUTE_METHODS = frozenset({"execute", "executemany", "executescript"})
 
 #: Database fetch helpers — always SQL, whatever the receiver is called.
-_FETCH_METHODS = frozenset({"fetch_all", "fetch_one"})
+_FETCH_METHODS = frozenset({"fetch_all", "fetch_one", "fetch_value"})
 
 #: Receiver-name fragments that mark a connection-like object.
 _CONNECTION_TOKENS = ("conn", "cursor", "db")

@@ -991,6 +991,74 @@ class DistinctOperator(Operator):
         return "Distinct"
 
 
+class StorageAggregateOperator(Operator):
+    """Grouping/aggregation executed inside SQLite (cost-planner lowering).
+
+    The planner emits this leaf only for provably summary-free tables
+    (no linked instances, no attachments) on a single-shard backend, so
+    merging summaries during grouping would be a no-op — the SQL result
+    is byte-identical to streaming the scan through
+    :class:`GroupByOperator`/:class:`DistinctOperator`, including group
+    order (``ORDER BY MIN(rowid)`` reproduces first-seen order over the
+    rowid-ordered scan) and provenance (``GROUP_CONCAT(rowid)`` rebuilds
+    each group's ``source_rows``).
+
+    ``rows_scanned`` counts the *group* rows crossing into the engine —
+    the per-base-row work happens in C, which is the point.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        table: str,
+        alias: str,
+        key_columns: Sequence[str],
+        output_keys: Sequence[str],
+        aggregates: Sequence[tuple[str, str | None]],
+        output_aggregates: Sequence[str],
+        storage_filter: Any = None,
+        distinct: bool = False,
+        tracer: Tracer | None = None,
+        stats: ExecutionStats | None = None,
+    ) -> None:
+        super().__init__(tuple(output_keys) + tuple(output_aggregates), tracer)
+        self._db = database
+        self.table = table
+        self.alias = alias
+        self._key_columns = tuple(key_columns)
+        self._aggregates = tuple(aggregates)
+        self.storage_filter = storage_filter
+        self._distinct = distinct
+        self._stats = stats
+
+    def rows(self) -> Iterator[AnnotatedTuple]:
+        where_sql: str | None = None
+        params: tuple[Any, ...] = ()
+        if self.storage_filter is not None:
+            where_sql = self.storage_filter.sql
+            params = self.storage_filter.params
+        for row in self._db.scan_aggregate(
+            self.table, self._key_columns, self._aggregates, where_sql, params
+        ):
+            values, concat = row[:-1], row[-1]
+            if self._stats is not None:
+                self._stats.count_scanned()
+            source_rows: frozenset[tuple[str, int]] = frozenset()
+            if concat:
+                source_rows = frozenset(
+                    (self.table, int(row_id))
+                    for row_id in str(concat).split(",")
+                )
+            yield AnnotatedTuple(values=tuple(values), source_rows=source_rows)
+
+    def describe(self) -> str:
+        kind = "distinct" if self._distinct else "group"
+        base = f"StorageAggregate({kind} {self.table})"
+        if self.storage_filter is not None:
+            base = f"{base} [pushed: {self.storage_filter}]"
+        return base
+
+
 class SortOperator(Operator):
     """Order by expressions; NULLs sort first ascending, last descending."""
 

@@ -267,6 +267,64 @@ class Distinct(PlanNode):
 
 
 @dataclass(frozen=True)
+class StorageAggregate(PlanNode):
+    """A GROUP BY (or DISTINCT) executed entirely inside storage.
+
+    The cost planner lowers ``GroupBy``/``Distinct`` over a bare scan to
+    this leaf when the scanned table is provably summary-free (no linked
+    instances, no attachments — so merging summaries during grouping is
+    a no-op) and the backend is single-shard.  SQLite then does the
+    grouping in C and only group rows cross into Python.
+
+    ``key_columns``/``aggregates`` use the table's *storage* column
+    names; ``output_keys``/``output_aggregates`` carry the engine-side
+    schema the replaced node would have produced, so downstream
+    resolution (HAVING, Sort over ``count(*)``) is unchanged.
+    ``distinct`` marks the Distinct lowering (every output column is a
+    key) purely for display.
+    """
+
+    table: str
+    alias: str
+    key_columns: tuple[str, ...]
+    output_keys: tuple[str, ...]
+    aggregates: tuple[tuple[str, str | None], ...]
+    output_aggregates: tuple[str, ...]
+    #: Sargable predicate inherited from the replaced Scan, same loose
+    #: typing as :attr:`Scan.storage_filter`.
+    storage_filter: Any = None
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.key_columns and not self.aggregates:
+            raise PlanError("StorageAggregate needs keys or aggregates")
+        if len(self.key_columns) != len(self.output_keys):
+            raise PlanError("key columns and output keys must align")
+        if len(self.aggregates) != len(self.output_aggregates):
+            raise PlanError("aggregates and output names must align")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return ()
+
+    def describe(self) -> str:
+        kind = "distinct" if self.distinct else "group"
+        parts = [f"{kind} {self.table}"]
+        if self.alias != self.table:
+            parts[0] = f"{kind} {self.table} AS {self.alias}"
+        if self.key_columns:
+            parts.append(f"keys=[{', '.join(self.key_columns)}]")
+        if self.aggregates:
+            rendered = ", ".join(
+                f"{function}({column if column is not None else '*'})"
+                for function, column in self.aggregates
+            )
+            parts.append(f"aggs=[{rendered}]")
+        if self.storage_filter is not None:
+            parts.append(f"pushed: {self.storage_filter}")
+        return f"StorageAggregate({'; '.join(parts)})"
+
+
+@dataclass(frozen=True)
 class Sort(PlanNode):
     """Order rows by expressions; summaries pass through unchanged."""
 
@@ -346,6 +404,7 @@ def plan_cost_estimate(node: PlanNode) -> int:
         Sort: 2,
         Limit: 0,
         Distinct: 3,
+        StorageAggregate: 2,
         Union: 2,
         GroupBy: 4,
         Join: 5,

@@ -21,13 +21,16 @@ uses this to demonstrate that merge-before-project plans can disagree.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING
 
 from repro.engine import plan as lp
+from repro.engine.cost import CatalogStatistics, CostModel, PlannerCounters
 from repro.engine.expressions import (
     BooleanOp,
     Expression,
+    ExpressionError,
     conjunction,
     resolve_column,
     uses_summaries,
@@ -46,11 +49,16 @@ from repro.engine.operators import (
     ScanOperator,
     SelectOperator,
     SortOperator,
+    StorageAggregateOperator,
     Tracer,
     UnionOperator,
 )
 from repro.engine.pushdown import compile_conjuncts
 from repro.errors import PlanError
+
+#: Join regions up to this many relations are ordered by exhaustive
+#: enumeration; larger regions fall back to a greedy cheapest-next order.
+MAX_EXHAUSTIVE_JOIN_LEAVES = 5
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.maintenance.incremental import SummaryManager
@@ -73,6 +81,8 @@ class Planner:
         scan_block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
         pushdown: bool = True,
         workers: int = 1,
+        cost_planner: bool = False,
+        statistics: CatalogStatistics | None = None,
     ) -> None:
         self._db = database
         self._annotations = annotations
@@ -80,6 +90,12 @@ class Planner:
         self._manager = manager
         self.normalize_plans = normalize
         self.push_selections = push_selections
+        #: Cost-driven rewrites (join order, hydrate placement, storage
+        #: aggregation).  Off by default here — the session turns it on —
+        #: so directly-constructed planners keep the rule-based behaviour.
+        self.cost_planner = cost_planner
+        self._statistics = statistics
+        self.counters = PlannerCounters()
         #: Storage-level pushdown + lazy hydration.  When off, sargable
         #: predicates stay in memory and every scanned row is hydrated
         #: eagerly — the pre-pushdown engine, kept for comparison
@@ -128,7 +144,14 @@ class Planner:
             return keys + aggs
         if isinstance(node, lp.Union):
             return self.schema_of(node.left)
+        if isinstance(node, lp.StorageAggregate):
+            return node.output_keys + node.output_aggregates
         raise PlanError(f"cannot infer schema of {type(node).__name__}")
+
+    @property
+    def cost_model(self) -> CostModel:
+        """A cost model over the planner's statistics (cheap to build)."""
+        return CostModel(self._statistics, self.schema_of)
 
     @staticmethod
     def _canonical_aggregate_name(
@@ -335,6 +358,275 @@ class Planner:
             return node
         return lp.Project(node, tuple(needed))
 
+    # -- cost-driven join ordering ------------------------------------
+
+    def reorder_joins(self, node: lp.PlanNode) -> lp.PlanNode:
+        """Pick the cheapest join order for each inner-join region.
+
+        A *region* is a maximal tree of non-outer joins; its leaves and
+        the pooled join-predicate conjuncts are order-independent, so
+        any left-deep chain over the same leaves is tuple-equivalent,
+        and (post-normalization, Theorems 1–2) summary-equivalent too.
+        Outer joins are barriers — their operand order is semantic —
+        but their subtrees still reorder internally.  The original tree
+        always competes as a candidate, so a region is only rewritten
+        when the model prices an alternative strictly cheaper.
+        """
+        if isinstance(node, lp.Join) and not node.outer:
+            leaves, conjuncts = self._collect_join_region(node)
+            leaves = [self.reorder_joins(leaf) for leaf in leaves]
+            return self._order_join_region(node, leaves, conjuncts)
+        return _rebuild_with_children(
+            node, tuple(self.reorder_joins(c) for c in node.children())
+        )
+
+    def _collect_join_region(
+        self, node: lp.PlanNode
+    ) -> tuple[list[lp.PlanNode], list[Expression]]:
+        """Flatten a region into its leaf subtrees + pooled conjuncts."""
+        leaves: list[lp.PlanNode] = []
+        conjuncts: list[Expression] = []
+
+        def visit(current: lp.PlanNode) -> None:
+            if isinstance(current, lp.Join) and not current.outer:
+                if current.predicate is not None:
+                    conjuncts.extend(_split_conjuncts(current.predicate))
+                visit(current.left)
+                visit(current.right)
+            else:
+                leaves.append(current)
+
+        visit(node)
+        return leaves, conjuncts
+
+    def _order_join_region(
+        self,
+        original: lp.PlanNode,
+        leaves: list[lp.PlanNode],
+        conjuncts: list[Expression],
+    ) -> lp.PlanNode:
+        model = self.cost_model
+        original_schema = self.schema_of(original)
+        best = _rebuild_region(original, leaves)
+        best_cost = model.estimate(best).cost
+        orders = self._candidate_orders(leaves, conjuncts, model)
+        self.counters.record("join_orders_considered", len(orders))
+        rewritten = False
+        for order in orders:
+            candidate = self._build_join_chain(leaves, order, conjuncts)
+            if candidate is None:
+                continue
+            cost = model.estimate(candidate).cost
+            if cost < best_cost:
+                best, best_cost, rewritten = candidate, cost, True
+        if not rewritten:
+            return best
+        self.counters.record("join_orders_rewritten")
+        # Restore the original column order; normalization collapses
+        # this projection into its own pruning.
+        return lp.Project(best, original_schema)
+
+    def _candidate_orders(
+        self,
+        leaves: list[lp.PlanNode],
+        conjuncts: list[Expression],
+        model: CostModel,
+    ) -> list[tuple[int, ...]]:
+        indices = tuple(range(len(leaves)))
+        if len(leaves) < 2:
+            return []
+        if len(leaves) <= MAX_EXHAUSTIVE_JOIN_LEAVES:
+            return list(itertools.permutations(indices))
+        return [indices, self._greedy_order(leaves, conjuncts, model)]
+
+    def _greedy_order(
+        self,
+        leaves: list[lp.PlanNode],
+        conjuncts: list[Expression],
+        model: CostModel,
+    ) -> tuple[int, ...]:
+        """Cheapest-next heuristic for regions too wide to enumerate."""
+        remaining = list(range(len(leaves)))
+        start = min(remaining, key=lambda i: model.estimate(leaves[i]).rows)
+        order = [start]
+        remaining.remove(start)
+        while remaining:
+            scored: list[tuple[float, int]] = []
+            for candidate in remaining:
+                chain = self._build_join_chain(
+                    leaves, tuple(order + [candidate]), conjuncts
+                )
+                cost = (
+                    model.estimate(chain).cost
+                    if chain is not None
+                    else float("inf")
+                )
+                scored.append((cost, candidate))
+            _, chosen = min(scored)
+            order.append(chosen)
+            remaining.remove(chosen)
+        return tuple(order)
+
+    def _build_join_chain(
+        self,
+        leaves: list[lp.PlanNode],
+        order: tuple[int, ...],
+        conjuncts: list[Expression],
+    ) -> lp.PlanNode | None:
+        """Left-deep chain over ``leaves`` in ``order``.
+
+        Each pooled conjunct attaches to the first join where it fully
+        resolves; joins with no applicable conjunct become crosses (the
+        cost model prices them accordingly).  When building a prefix
+        (greedy scoring), unplaced conjuncts are simply left off.
+        """
+        current = leaves[order[0]]
+        schema = self.schema_of(current)
+        remaining = list(range(len(conjuncts)))
+        for index in order[1:]:
+            leaf = leaves[index]
+            combined = schema + self.schema_of(leaf)
+            applicable = [
+                i
+                for i in remaining
+                if _all_resolvable(
+                    conjuncts[i].referenced_columns(), combined
+                )
+            ]
+            remaining = [i for i in remaining if i not in applicable]
+            predicate = conjunction([conjuncts[i] for i in applicable])
+            current = lp.Join(current, leaf, predicate)
+            schema = combined
+        if remaining and len(order) == len(leaves):
+            # A conjunct that resolves nowhere (shouldn't happen for a
+            # well-formed region) keeps its tuple semantics as a
+            # selection above the chain.
+            predicate = conjunction([conjuncts[i] for i in remaining])
+            assert predicate is not None
+            current = lp.Select(current, predicate)
+        return current
+
+    # -- cost-driven aggregation pushdown -----------------------------
+
+    def push_down_aggregates(self, node: lp.PlanNode) -> lp.PlanNode:
+        """Lower GROUP BY / DISTINCT over summary-free scans to storage.
+
+        Gated three ways to preserve Theorem 1–2 equivalence and result
+        bytes: the scanned table must be provably summary-free (no
+        linked instances, no attachments — grouping then merges nothing),
+        the backend single-shard (GROUP_CONCAT/AVG don't merge across
+        partial aggregates), and the lowering strictly cheaper under the
+        cost model.
+        """
+        rebuilt = _rebuild_with_children(
+            node, tuple(self.push_down_aggregates(c) for c in node.children())
+        )
+        if isinstance(rebuilt, lp.GroupBy):
+            lowered = self._lower_aggregate(
+                rebuilt.child, rebuilt.keys, rebuilt.aggregates, distinct=False
+            )
+            if lowered is not None and self._cheaper(lowered, rebuilt):
+                self.counters.record("aggregates_pushed")
+                if rebuilt.having is not None:
+                    return lp.Select(lowered, rebuilt.having)
+                return lowered
+        if isinstance(rebuilt, lp.Distinct):
+            keys = self.schema_of(rebuilt.child)
+            lowered = self._lower_aggregate(
+                rebuilt.child, keys, (), distinct=True
+            )
+            if lowered is not None and self._cheaper(lowered, rebuilt):
+                self.counters.record("distincts_pushed")
+                return lowered
+        return rebuilt
+
+    def _cheaper(self, candidate: lp.PlanNode, baseline: lp.PlanNode) -> bool:
+        model = self.cost_model
+        return model.estimate(candidate).cost < model.estimate(baseline).cost
+
+    def _lower_aggregate(
+        self,
+        child: lp.PlanNode,
+        keys: Sequence[str],
+        aggregates: Sequence[lp.Aggregate],
+        distinct: bool,
+    ) -> lp.StorageAggregate | None:
+        """A StorageAggregate equivalent to grouping ``child``, or None."""
+        if self._db.shard_count != 1:
+            return None
+        scan = _scan_under_projects(child)
+        if scan is None or scan.storage_limit is not None:
+            return None
+        if not self._summary_free(scan):
+            return None
+        child_schema = self.schema_of(child)
+        table_columns = set(self._db.columns(scan.table))
+        key_columns: list[str] = []
+        output_keys: list[str] = []
+        for key in keys:
+            column = self._storage_column(
+                key, child_schema, scan, table_columns
+            )
+            if column is None:
+                return None
+            key_columns.append(column[0])
+            output_keys.append(column[1])
+        aggregate_pairs: list[tuple[str, str | None]] = []
+        output_aggregates: list[str] = []
+        for aggregate in aggregates:
+            if aggregate.argument is None:
+                aggregate_pairs.append(("count", None))
+                output_aggregates.append("count(*)")
+                continue
+            column = self._storage_column(
+                aggregate.argument.name, child_schema, scan, table_columns
+            )
+            if column is None:
+                return None
+            aggregate_pairs.append((aggregate.function, column[0]))
+            output_aggregates.append(f"{aggregate.function}({column[1]})")
+        return lp.StorageAggregate(
+            scan.table,
+            scan.alias,
+            tuple(key_columns),
+            tuple(output_keys),
+            tuple(aggregate_pairs),
+            tuple(output_aggregates),
+            scan.storage_filter,
+            distinct,
+        )
+
+    def _storage_column(
+        self,
+        name: str,
+        child_schema: tuple[str, ...],
+        scan: lp.Scan,
+        table_columns: set[str],
+    ) -> tuple[str, str] | None:
+        """Map a referenced column to ``(storage_name, qualified_name)``."""
+        try:
+            qualified = child_schema[resolve_column(child_schema, name)]
+        except ExpressionError:
+            return None
+        alias, _, column = qualified.rpartition(".")
+        if alias != scan.alias or column not in table_columns:
+            return None
+        return column, qualified
+
+    def _summary_free(self, scan: lp.Scan) -> bool:
+        """True when hydrating ``scan`` would contribute nothing.
+
+        WITH NO SUMMARIES scans skip hydration outright; otherwise the
+        table must have neither linked summary instances nor annotation
+        attachments — then grouped tuples carry no summaries and no
+        attachments, and merge order cannot matter.
+        """
+        if scan.instances == ():
+            return True
+        if self._catalog.instances_for_table(scan.table):
+            return False
+        return not self._annotations.table_has_attachments(scan.table)
+
     # -- storage pushdown ---------------------------------------------
 
     def push_into_storage(self, node: lp.PlanNode) -> lp.PlanNode:
@@ -480,10 +772,56 @@ class Planner:
         ):
             child, scan = self._hydrate_chain(node.child)
             return lp.Sort(child, node.keys, node.descending), scan
+        if (
+            isinstance(node, lp.Select)
+            and self.cost_planner
+            and self.normalize_plans
+        ):
+            split = self._split_residual_select(node)
+            if split is not None:
+                return split, None
         # Barrier (merge or summary-consuming node): hydrate each child
         # subtree at its own top.
         children = tuple(self._hydrate_subtree(c) for c in node.children())
         return _rebuild_with_children(node, children), None
+
+    def _split_residual_select(self, node: lp.Select) -> lp.PlanNode | None:
+        """Cost-driven hydrate placement for mixed residual selections.
+
+        A selection mixing value-only and summary-function conjuncts is
+        a hydration barrier under the fixed rules: every row below it
+        hydrates.  Splitting it evaluates the value-only conjuncts on
+        plain tuples first and hydrates only the survivors — identical
+        rows, identical order (Select preserves order), identical
+        summaries (hydration commutes with value-only filtering) — so
+        the flip is taken whenever the model prices the saved hydration
+        above zero.
+        """
+        conjuncts = _split_conjuncts(node.predicate)
+        value_conjuncts = [c for c in conjuncts if not uses_summaries(c)]
+        summary_conjuncts = [c for c in conjuncts if uses_summaries(c)]
+        if not value_conjuncts or not summary_conjuncts:
+            return None
+        value_predicate = conjunction(value_conjuncts)
+        summary_predicate = conjunction(summary_conjuncts)
+        assert value_predicate is not None and summary_predicate is not None
+        inner = lp.Select(node.child, value_predicate)
+        rewritten, scan = self._hydrate_chain(inner)
+        if scan is None:
+            return None  # no chain below: the plain barrier is as good
+        model = self.cost_model
+        child_rows = model.estimate(node.child).rows
+        survivors = model.filter_selectivity(value_predicate, node.child)
+        saved = (
+            child_rows
+            * (1.0 - survivors)
+            * model.hydration_cost_per_row(scan.table, scan.instances)
+        )
+        if saved <= 0.0:
+            return None
+        self.counters.record("hydrate_placements_flipped")
+        hydrated = self._wrap_hydrate(rewritten, scan)
+        return lp.Select(hydrated, summary_predicate)
 
     # -- physical lowering -----------------------------------------------
 
@@ -496,13 +834,23 @@ class Planner:
         """
         if self.push_selections:
             node = self.push_down_selections(node)
+        # Cost rewrites are gated on normalization: Theorems 1-2 make
+        # the alternatives summary-equivalent only with project-out
+        # before merge in force.
+        cost_rewrites = self.cost_planner and self.normalize_plans
+        if cost_rewrites:
+            node = self.reorder_joins(node)
         if self.normalize_plans:
             node = self.normalize(node)
         if self.pushdown:
             node = self.push_into_storage(node)
             node = self.push_down_limits(node)
+            if cost_rewrites:
+                node = self.push_down_aggregates(node)
         if hydrate:
             node = self.insert_hydration(node)
+        if self.cost_planner:
+            self.counters.record("plans_costed")
         return node
 
     def physical(
@@ -573,6 +921,20 @@ class Planner:
             return DistinctOperator(
                 self.physical(node.child, tracer, stats), tracer=tracer
             )
+        if isinstance(node, lp.StorageAggregate):
+            return StorageAggregateOperator(
+                self._db,
+                node.table,
+                node.alias,
+                node.key_columns,
+                node.output_keys,
+                node.aggregates,
+                node.output_aggregates,
+                storage_filter=node.storage_filter,
+                distinct=node.distinct,
+                tracer=tracer,
+                stats=stats,
+            )
         if isinstance(node, lp.Sort):
             return SortOperator(
                 self.physical(node.child, tracer, stats),
@@ -624,6 +986,26 @@ def _resolve_all(columns: set[str], schema: tuple[str, ...]) -> list[str]:
 def _merge_required(base: Sequence[str], extra: Sequence[str]) -> list[str]:
     """Union two required-column lists, keeping first-seen order."""
     return list(dict.fromkeys([*base, *extra]))
+
+
+def _rebuild_region(
+    node: lp.PlanNode, leaves: Sequence[lp.PlanNode]
+) -> lp.PlanNode:
+    """Rebuild a join region's original shape over (rewritten) leaves.
+
+    ``leaves`` must be in the region's visit order (the order
+    ``_collect_join_region`` produced them in).
+    """
+    iterator = iter(leaves)
+
+    def rebuild(current: lp.PlanNode) -> lp.PlanNode:
+        if isinstance(current, lp.Join) and not current.outer:
+            left = rebuild(current.left)
+            right = rebuild(current.right)
+            return lp.Join(left, right, current.predicate, current.outer)
+        return next(iterator)
+
+    return rebuild(node)
 
 
 def _scan_under_projects(node: lp.PlanNode) -> lp.Scan | None:
@@ -700,4 +1082,6 @@ def _rebuild_with_children(
         return lp.Limit(children[0], node.count)
     if isinstance(node, lp.Union):
         return lp.Union(children[0], children[1], node.distinct)
+    if isinstance(node, lp.StorageAggregate):
+        return node
     raise PlanError(f"cannot rebuild {type(node).__name__}")

@@ -162,18 +162,42 @@ class QueryResult:
 
 
 class ResultRegistry:
-    """Bounded QID -> :class:`QueryResult` map with FIFO eviction.
+    """Bounded QID -> :class:`QueryResult` map, oldest-first eviction.
 
     Results must remain addressable long enough for a user to issue
-    zoom-in commands against them; the bound keeps an interactive session
-    from accumulating every result ever produced.
+    zoom-in commands against them; the bounds keep an interactive session
+    from accumulating every result ever produced.  Two bounds apply:
+    ``capacity`` caps the result *count* (the original FIFO behaviour)
+    and ``capacity_bytes`` caps the total estimated footprint using
+    :meth:`QueryResult.size_estimate` — the RCO overhead factor — so a
+    handful of huge results can no longer pin an unbounded number of
+    bytes behind a generous count limit.  The newest result is always
+    retained, even when it alone exceeds the byte budget (evicting the
+    result just handed to the caller would be absurd).
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    #: Default byte budget: 64 MiB of estimated result footprint.
+    DEFAULT_CAPACITY_BYTES = 64 * 1024 * 1024
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if capacity_bytes < 1:
+            raise ValueError(
+                f"capacity_bytes must be >= 1, got {capacity_bytes}"
+            )
         self._capacity = capacity
+        self._capacity_bytes = capacity_bytes
         self._results: OrderedDict[int, QueryResult] = OrderedDict()
+        #: qid -> size_estimate() at registration time.  Sizes are
+        #: captured once — results are immutable after execution — so
+        #: eviction never re-walks every stored tuple.
+        self._sizes: dict[int, int] = {}
+        self._total_bytes = 0
         # itertools.count.__next__ is atomic under the GIL, but the
         # registry map and its eviction loop are not — one lock for both.
         self._lock = threading.Lock()
@@ -183,12 +207,28 @@ class ResultRegistry:
         """Allocate the next query id."""
         return next(self._qid_counter)
 
-    def register(self, result: QueryResult) -> None:
-        """Store a result, evicting the oldest past capacity."""
+    @property
+    def total_bytes(self) -> int:
+        """Current estimated footprint of every retained result."""
         with self._lock:
+            return self._total_bytes
+
+    def register(self, result: QueryResult) -> None:
+        """Store a result, evicting oldest-first past either bound."""
+        size = result.size_estimate()
+        with self._lock:
+            evicted = self._results.pop(result.qid, None)
+            if evicted is not None:
+                self._total_bytes -= self._sizes.pop(result.qid, 0)
             self._results[result.qid] = result
-            while len(self._results) > self._capacity:
-                self._results.popitem(last=False)
+            self._sizes[result.qid] = size
+            self._total_bytes += size
+            while len(self._results) > 1 and (
+                len(self._results) > self._capacity
+                or self._total_bytes > self._capacity_bytes
+            ):
+                qid, _ = self._results.popitem(last=False)
+                self._total_bytes -= self._sizes.pop(qid, 0)
 
     def get(self, qid: int) -> QueryResult:
         """Look up a result or raise :class:`UnknownQueryIdError`."""

@@ -30,7 +30,9 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from typing import Any
 
+from repro.engine.cost import CatalogStatistics
 from repro.engine.executor import execute_plan
+from repro.engine.explain import Explanation, build_explanation
 from repro.engine.operators import (
     DEFAULT_SCAN_BLOCK_SIZE,
     ExecutionStats,
@@ -47,6 +49,7 @@ from repro.model.cell import CellRef
 from repro.storage.annotations import AnnotationDraft, AnnotationStore
 from repro.storage.catalog import DEFAULT_OBJECT_CACHE_SIZE, SummaryCatalog
 from repro.storage.database import Database
+from repro.storage.planner_stats import PlannerStatsStore
 from repro.summaries.base import SummaryInstance
 from repro.summaries.registry import SummaryTypeRegistry
 from repro.zoomin.cache import ZoomInCache
@@ -112,6 +115,13 @@ class InsightNotes:
         independently serialized writer — bulk ingest commits per-shard
         sub-batches concurrently and scans scatter-gather in global row
         order.  File-backed paths only; see DESIGN.md §11.
+    cost_planner:
+        Enable the cost-based planner: catalog statistics drive join
+        ordering, hydrate placement, and storage-side aggregation
+        pushdown (DESIGN.md §13).  Results are byte-identical either
+        way; disable to pin the rule-based plans — the plan benchmark's
+        baseline configuration.  Statistics seed themselves lazily and
+        refresh on demand via :meth:`analyze`.
     """
 
     def __init__(
@@ -128,6 +138,7 @@ class InsightNotes:
         workers: int = 1,
         serialize_reads: bool = False,
         shards: int = 1,
+        cost_planner: bool = True,
     ) -> None:
         self.db = Database(path, serialize_reads=serialize_reads, shards=shards)
         self.annotations = AnnotationStore(self.db)
@@ -135,6 +146,10 @@ class InsightNotes:
             self.db, registry=registry, object_cache_size=object_cache_size
         )
         self.manager = SummaryManager(self.db, self.annotations, self.catalog)
+        self.stats_store = PlannerStatsStore(self.db)
+        self.stats_registry = CatalogStatistics(
+            self.db, self.annotations, self.catalog, store=self.stats_store
+        )
         self.planner = Planner(
             self.db,
             self.annotations,
@@ -144,6 +159,8 @@ class InsightNotes:
             scan_block_size=scan_block_size,
             pushdown=pushdown,
             workers=workers,
+            cost_planner=cost_planner,
+            statistics=self.stats_registry,
         )
         self.results = ResultRegistry()
         if isinstance(cache_store, str):
@@ -194,11 +211,15 @@ class InsightNotes:
         self, table: str, values: Sequence[Any] | Mapping[str, Any]
     ) -> int:
         """Insert one row; returns its row id."""
-        return self.db.insert(table, values)
+        row_id = self.db.insert(table, values)
+        self.stats_registry.on_rows_inserted(table)
+        return row_id
 
     def insert_many(self, table: str, rows: Sequence[Sequence[Any]]) -> list[int]:
         """Insert several rows; returns their row ids."""
-        return self.db.insert_many(table, rows)
+        row_ids = self.db.insert_many(table, rows)
+        self.stats_registry.on_rows_inserted(table, len(row_ids))
+        return row_ids
 
     def delete_row(self, table: str, row_id: int) -> None:
         """Delete a base row, cascading through annotations and summaries.
@@ -207,6 +228,7 @@ class InsightNotes:
         annotations also covering other rows are detached here and keep
         their effect elsewhere.  The row's summary objects are dropped.
         """
+        detached = 0
         for annotation_id in sorted(
             self.annotations.annotation_ids_for_row(table, row_id)
         ):
@@ -215,8 +237,12 @@ class InsightNotes:
                 self.annotations.delete(annotation_id)
             else:
                 self.annotations.detach_row(annotation_id, table, row_id)
+            detached += 1
         self.manager.on_row_deleted(table, row_id)
         self.db.delete_row(table, row_id)
+        self.stats_registry.on_rows_deleted(table)
+        if detached:
+            self.stats_registry.on_annotations_changed(table, -detached)
 
     # -- annotations -----------------------------------------------------
 
@@ -352,12 +378,23 @@ class InsightNotes:
             return []
         stored = self.annotations.add_many(drafts)
         self.manager.add_annotations(list(zip(stored, cell_lists)))
+        per_table: dict[str, int] = {}
+        for cells in cell_lists:
+            for cell in cells:
+                per_table[cell.table] = per_table.get(cell.table, 0) + 1
+        for table, delta in per_table.items():
+            self.stats_registry.on_annotations_changed(table, delta)
         return stored
 
     def delete_annotation(self, annotation_id: int) -> None:
         """Remove an annotation, updating all affected summaries."""
+        per_table: dict[str, int] = {}
+        for cell in self.annotations.cells_of(annotation_id):
+            per_table[cell.table] = per_table.get(cell.table, 0) + 1
         self.manager.on_annotation_deleted(annotation_id)
         self.annotations.delete(annotation_id)
+        for table, count in per_table.items():
+            self.stats_registry.on_annotations_changed(table, -count)
 
     def update_annotation(
         self,
@@ -559,6 +596,7 @@ class InsightNotes:
                 }
             )
         result.trace = tracer
+        self.stats_registry.observe_execution(prepared, stats)
         self.results.register(result)
         self.cache.put(result)
         return result
@@ -575,11 +613,33 @@ class InsightNotes:
 
         return execute_statement(self, statement)
 
-    def explain(self, sql: str) -> str:
-        """The prepared (normalized) logical plan for ``sql``."""
+    def explain(self, sql: str) -> Explanation:
+        """The prepared (normalized) logical plan for ``sql``, costed.
+
+        Returns an :class:`~repro.engine.explain.Explanation` — a
+        ``str`` rendering of the plan with per-operator cardinality and
+        cost estimates (``[rows~N cost~C]``), that also carries the plan
+        itself and a :meth:`~repro.engine.explain.Explanation.to_json`
+        structural view.  Estimates come from the same catalog
+        statistics the cost planner uses; :meth:`analyze` refreshes
+        them.
+        """
         statement = parse_sql(sql)
+        self._flatten_subqueries(statement)
         logical = build_logical(statement, self.planner)
-        return self.planner.prepare(logical).render()
+        prepared = self.planner.prepare(logical)
+        return build_explanation(prepared, self.planner.cost_model)
+
+    def analyze(self, table: str | None = None) -> dict[str, Any]:
+        """Refresh planner statistics, persisting them in the catalog.
+
+        Recomputes row counts, per-column distinct-value estimates,
+        annotation volume, and per-instance summary-object cardinality
+        and size for ``table`` (or every base table), storing the result
+        in the ``planner_stats`` system table so later sessions start
+        warm.  Returns a per-table digest of what was gathered.
+        """
+        return self.stats_registry.analyze(table)
 
     # -- zoom-in ---------------------------------------------------------
 
@@ -616,6 +676,11 @@ class InsightNotes:
                 "hit_ratio": contribution_stats.hit_ratio,
             },
             "queries_registered": len(self.results),
+            "planner": {
+                "cost_planner": self.planner.cost_planner,
+                **self.planner.counters.to_json(),
+                "stats": self.stats_registry.freshness(),
+            },
             "zoomin_cache": {
                 "hits": self.cache.stats.hits,
                 "misses": self.cache.stats.misses,

@@ -629,6 +629,39 @@ class AnnotationStore:
             total += row[0]
         return total
 
+    def table_attachment_count(self, table: str) -> int:
+        """Attachment rows targeting ``table`` (planner statistics)."""
+        total = 0
+        for shard in self._all_shards():
+            row = self._db.fetch_one(
+                f"SELECT COUNT(*) FROM {_ATTACHMENTS_TABLE} "
+                "WHERE table_name = ?",
+                (table,),
+                shard=shard,
+            )
+            assert row is not None
+            total += row[0]
+        return total
+
+    def table_has_attachments(self, table: str) -> bool:
+        """Whether any annotation attaches to ``table``.
+
+        The planner's summary-aware aggregation pushdown must keep the
+        in-engine path whenever hydration could contribute summaries
+        *or* attachments; this is the cheap existence probe for the
+        latter (the by_cell index makes it an index seek).
+        """
+        for shard in self._all_shards():
+            row = self._db.fetch_one(
+                f"SELECT 1 FROM {_ATTACHMENTS_TABLE} "
+                "WHERE table_name = ? LIMIT 1",
+                (table,),
+                shard=shard,
+            )
+            if row is not None:
+                return True
+        return False
+
     def iter_all(self) -> Iterator[Annotation]:
         """Iterate over every stored annotation in id order."""
         rows: list[tuple] = []

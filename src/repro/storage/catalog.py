@@ -664,3 +664,29 @@ class SummaryCatalog:
             assert row is not None
             total += row[0]
         return total
+
+    def object_statistics(self, table_name: str) -> dict[str, tuple[int, int]]:
+        """Per-instance ``(object_count, total_bytes)`` for one table.
+
+        Feeds the planner's catalog statistics: hydration cost scales
+        with how many summary objects a scan must load and how large
+        their serialized forms are.  Counts and byte totals both sum
+        cleanly across shards (each stored object lives on exactly one
+        shard).
+        """
+        merged: dict[str, tuple[int, int]] = {}
+        for shard in range(self._db.shard_count):
+            rows = self._db.fetch_all(
+                f"""
+                SELECT instance_name, COUNT(*),
+                       COALESCE(SUM(LENGTH(object)), 0)
+                FROM {_STATE_TABLE}
+                WHERE table_name = ? GROUP BY instance_name
+                """,
+                (table_name,),
+                shard=shard,
+            )
+            for instance_name, count, total in rows:
+                have = merged.get(instance_name, (0, 0))
+                merged[instance_name] = (have[0] + count, have[1] + total)
+        return merged

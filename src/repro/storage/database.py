@@ -49,7 +49,12 @@ from repro.storage.backend import (
 from repro.storage.pool import ConnectionPool
 from repro.storage.schema import SYSTEM_PREFIX, TableSchema
 from repro.storage.sharded import ShardedBackend
-from repro.storage.sqlsafe import placeholders, quote_ident, quoted_csv
+from repro.storage.sqlsafe import (
+    aggregate_select,
+    placeholders,
+    quote_ident,
+    quoted_csv,
+)
 
 _SCHEMA_TABLE = f"{SYSTEM_PREFIX}schema"
 
@@ -779,3 +784,78 @@ class Database:
             assert row is not None
             total += row[0]
         return total
+
+    def fetch_value(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        shard: int = META_SHARD,
+        default: Any = None,
+    ) -> Any:
+        """First column of the first row, or ``default`` on no rows."""
+        row = self.fetch_one(sql, params, shard=shard)
+        if row is None or row[0] is None:
+            return default
+        return row[0]
+
+    def distinct_count(self, table: str, column: str) -> int:
+        """Distinct non-NULL values of one column, for planner stats.
+
+        On a sharded backend this is the per-shard **maximum** — distinct
+        counts do not sum across partitions (the same value may live on
+        several shards), and the maximum is a safe lower bound: the cost
+        model dividing by it only ever *over*-estimates result sizes,
+        which keeps plan choices conservative.
+        """
+        self.schema(table)
+        sql = (
+            f"SELECT COUNT(DISTINCT {quote_ident(column)}) "
+            f"FROM {quote_ident(table)}"
+        )
+        best = 0
+        for shard in range(self._backend.shard_count):
+            value = self.fetch_value(sql, shard=shard, default=0)
+            best = max(best, int(value))
+        return best
+
+    def scan_aggregate(
+        self,
+        table: str,
+        key_columns: Sequence[str],
+        aggregates: Sequence[tuple[str, str | None]],
+        where_sql: str | None = None,
+        params: Sequence[Any] = (),
+    ) -> list[tuple[Any, ...]]:
+        """Run one grouped aggregation inside SQLite.
+
+        Produces one row per group — key values first, then one value
+        per ``(function, column)`` aggregate, then a comma-separated
+        ``GROUP_CONCAT`` of the member rowids (the operator reassembles
+        provenance from it).  ``ORDER BY MIN(rowid)`` reproduces the
+        first-seen group order of the in-engine
+        :class:`~repro.engine.operators.GroupByOperator`, so pushing an
+        aggregation down never changes result order.
+
+        Single-shard only: GROUP_CONCAT membership and AVG cannot be
+        merged across partial per-shard aggregates, and the planner
+        never emits this node on a sharded backend.
+        """
+        if self._backend.shard_count > 1:
+            raise StorageError(
+                "scan_aggregate requires a single-shard backend; "
+                "the planner must not push aggregation below a "
+                "sharded scan"
+            )
+        self.schema(table)
+        sql = (
+            f"SELECT {aggregate_select(key_columns, aggregates)}, "
+            f"GROUP_CONCAT(rowid) FROM {quote_ident(table)}"
+        )
+        if where_sql is not None:
+            sql += f" WHERE {where_sql}"
+        if key_columns:
+            sql += f" GROUP BY {quoted_csv(key_columns)}"
+        sql += " ORDER BY MIN(rowid)"
+        # where_sql is a parameterized fragment from the pushdown
+        # compiler — the same contract scan() relies on.
+        return self.fetch_all(sql, params)  # insightlint: disable=IN003 -- vetted pushdown fragment

@@ -10,7 +10,11 @@ though — those two cases, and only those two, go through this module:
 * :func:`quoted_csv` — a comma-separated list of quoted identifiers
   (column lists in DDL and INSERT);
 * :func:`placeholders` — ``?, ?, ...`` marks for an ``IN`` list or a
-  VALUES row.
+  VALUES row;
+* :func:`aggregate_select` — the SELECT list of a pushed-down
+  aggregation: quoted key columns followed by SQL aggregate calls over
+  quoted (or ``*``) arguments, the aggregate function names restricted
+  to a fixed allow-list.
 
 insightlint recognizes calls to these helpers (by name) inside SQL
 f-strings as safe; everything else interpolated into an ``execute*()``
@@ -53,3 +57,35 @@ def placeholders(count: int) -> str:
     if count < 1:
         raise StorageError(f"placeholder count must be >= 1, got {count}")
     return ", ".join(["?"] * count)
+
+
+#: SQL aggregate functions the engine may push into storage.  The
+#: planner only ever emits names from the dialect's aggregate grammar,
+#: but the allow-list keeps this helper safe independent of its caller.
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def aggregate_select(
+    key_columns: Iterable[str],
+    aggregates: Iterable[tuple[str, str | None]],
+) -> str:
+    """SELECT list of a pushed-down aggregation, fully quoted.
+
+    ``key_columns`` become leading quoted identifiers (the GROUP BY
+    keys); each ``(function, column)`` aggregate renders as
+    ``function(column)`` with the column quoted, or ``function(*)``
+    when ``column`` is None (``count(*)``).  Functions outside
+    :data:`AGGREGATE_FUNCTIONS` are rejected — identifiers are the only
+    dynamic text, and every one goes through :func:`quote_ident`.
+    """
+    parts = [quote_ident(name) for name in key_columns]
+    for function, column in aggregates:
+        if function not in AGGREGATE_FUNCTIONS:
+            raise StorageError(
+                f"aggregate function not allowed in SQL: {function!r}"
+            )
+        argument = "*" if column is None else quote_ident(column)
+        parts.append(f"{function}({argument})")
+    if not parts:
+        raise StorageError("aggregate select list must not be empty")
+    return ", ".join(parts)

@@ -78,3 +78,52 @@ class TestResultRegistry:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError, match="capacity"):
             ResultRegistry(capacity=0)
+
+    def test_invalid_capacity_bytes(self):
+        with pytest.raises(ValueError, match="capacity_bytes"):
+            ResultRegistry(capacity_bytes=0)
+
+    def test_byte_budget_evicts_oldest(self):
+        # A generous count bound with a byte budget that holds ~3 of
+        # the 10-row results: eviction must be driven by bytes, not
+        # count, and the retained footprint must respect the budget.
+        size = make_result(1, rows=10).size_estimate()
+        registry = ResultRegistry(capacity=100, capacity_bytes=3 * size)
+        results = [
+            make_result(registry.next_qid(), rows=10) for _ in range(6)
+        ]
+        for result in results:
+            registry.register(result)
+        assert len(registry) == 3
+        assert registry.total_bytes <= 3 * size
+        for stale in results[:3]:
+            assert stale.qid not in registry
+        for kept in results[3:]:
+            assert kept.qid in registry
+
+    def test_huge_newest_result_is_retained(self):
+        # One result alone over the budget must still be addressable —
+        # evicting the result just handed to the caller is never right.
+        registry = ResultRegistry(capacity=100, capacity_bytes=64)
+        big = make_result(registry.next_qid(), rows=50)
+        assert big.size_estimate() > 64
+        registry.register(big)
+        assert registry.get(big.qid) is big
+        assert len(registry) == 1
+
+    def test_byte_accounting_tracks_evictions(self):
+        size = make_result(1, rows=4).size_estimate()
+        registry = ResultRegistry(capacity=2, capacity_bytes=10 * size)
+        for _ in range(5):
+            registry.register(make_result(registry.next_qid(), rows=4))
+        assert len(registry) == 2
+        assert registry.total_bytes == 2 * size
+
+    def test_reregistering_same_qid_does_not_double_count(self):
+        registry = ResultRegistry()
+        result = make_result(registry.next_qid(), rows=4)
+        registry.register(result)
+        once = registry.total_bytes
+        registry.register(result)
+        assert registry.total_bytes == once
+        assert len(registry) == 1
