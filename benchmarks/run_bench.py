@@ -58,6 +58,22 @@ latency per cell:
 * ``single`` — the single-file backend behind the async front end,
 * ``sharded`` — 4 hash shards plus a second writer-lane thread.
 
+``--bench zoomin`` replays a Zipf-skewed zoom-in reference stream over
+four concurrent threads against the production **two-tier result
+cache** (see ``bench_zoomin_cache.py``) at two memory/disk byte-budget
+points, reporting hit ratio and p50/p99 zoom-in latency per cell:
+
+* ``nocache`` — admission rejects everything: every zoom-in re-executes
+  its referenced query (the lower bound),
+* ``lru`` — LRU replacement with admit-all over the two tiers,
+* ``rco`` — RCO replacement plus cost-aware admission (the production
+  default).
+
+A separate ``stampede`` cell fires 16 concurrent zoom-ins at one cold
+qid and records how many times the query actually ran — the
+single-flight guarantee is exactly once, and the gate enforces it even
+in --quick mode.
+
 Each cell reports the median of five runs plus the SQLite statement
 count of a cold run, and the result lands in ``BENCH_scan.json`` /
 ``BENCH_ingest.json`` / ... at the repository root so successive commits
@@ -70,8 +86,8 @@ aggregate throughput at 4 client threads.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py \
-        [--bench {scan,ingest,query,concurrency,shard,serve}] [--quick] \
-        [--output PATH]
+        [--bench {scan,ingest,query,concurrency,shard,serve,zoomin}] \
+        [--quick] [--output PATH]
 """
 
 from __future__ import annotations
@@ -548,6 +564,109 @@ def run_serve(quick: bool, repeats: int) -> dict:
     return results
 
 
+def run_zoomin(quick: bool, repeats: int) -> dict:
+    """Concurrent Zipf replay over the tiered zoom-in result cache.
+
+    ``zipf_replay`` sweeps three cache modes (no-cache lower bound,
+    LRU + admit-all, RCO + cost-aware admission) at two memory/disk
+    byte-budget points; ``stampede`` is the single-flight cell — 16
+    concurrent zoom-ins at one cold qid, recomputations counted.
+    """
+    from benchmarks.bench_zoomin_cache import (
+        STAMPEDE_THREADS,
+        TIERED_MODES,
+        build_tiered_state,
+        measure_stampede,
+        measure_tiered,
+    )
+
+    state = build_tiered_state(quick)
+    total = state["total_bytes"]
+    # Budgets are fractions of the working set's in-memory footprint,
+    # both chosen to keep the replacement policy under genuine pressure
+    # ("tight" fits the head of the Zipf distribution only, "mid" the
+    # hot set but not the tail) — an unconstrained cache measures only
+    # its admission policy, not replacement.
+    budgets = {
+        "tight": (max(4096, int(total * 0.15)), max(8192, int(total * 0.3))),
+        "mid": (max(4096, int(total * 0.2)), max(8192, int(total * 0.4))),
+    }
+    results: dict = {"zipf_replay": {}}
+    try:
+        for budget_key, (memory_bytes, disk_bytes) in budgets.items():
+            cell = results["zipf_replay"].setdefault(budget_key, {})
+            for mode in TIERED_MODES:
+                cell[mode] = measure_tiered(
+                    state, mode, memory_bytes, disk_bytes, repeats
+                )
+            cell["speedup"] = round(
+                cell["nocache"]["median_s"]
+                / max(cell["rco"]["median_s"], 1e-9),
+                3,
+            )
+            cell["p50_speedup"] = round(
+                cell["nocache"]["p50_ms"]
+                / max(cell["rco"]["p50_ms"], 1e-9),
+                3,
+            )
+        results["stampede"] = {
+            f"{STAMPEDE_THREADS}t": measure_stampede(state)
+        }
+    finally:
+        state["session"].close()
+    return results
+
+
+def check_zoomin_gate(results: dict, quick: bool) -> list[str]:
+    """The tiered zoom-in acceptance gate (empty list = pass).
+
+    Hard in every mode: the stampede cell must have executed its query
+    exactly once — the single-flight guarantee is structural, not a
+    timing property, so even --quick enforces it.  In full mode
+    additionally, at every budget point: RCO must match or beat LRU on
+    hit ratio at the same byte budgets (and clear a 0.35 absolute
+    floor), and the RCO path must serve zoom-ins at least 2x faster at
+    p50 than the no-cache lower bound.  --quick workloads are too small
+    for stable latency, so those misses only warn.
+    """
+    failures: list[str] = []
+    stampede = results["stampede"].get(
+        next(iter(results["stampede"]), ""), {}
+    )
+    if stampede.get("computes") != 1:
+        failures.append(
+            f"zoomin stampede: {stampede.get('computes')} query "
+            f"executions under {stampede.get('threads')} concurrent "
+            "misses — single-flight must run the query exactly once"
+        )
+    for budget_key, cell in results["zipf_replay"].items():
+        rco, lru = cell["rco"], cell["lru"]
+        soft: list[str] = []
+        if rco["hit_ratio"] < lru["hit_ratio"] - 0.02:
+            soft.append(
+                f"zoomin {budget_key}: RCO hit ratio "
+                f"{rco['hit_ratio']:.3f} below LRU "
+                f"{lru['hit_ratio']:.3f} at the same byte budget"
+            )
+        if rco["hit_ratio"] < 0.35:
+            soft.append(
+                f"zoomin {budget_key}: RCO hit ratio "
+                f"{rco['hit_ratio']:.3f} below the 0.35 floor"
+            )
+        if cell["p50_speedup"] < 2.0:
+            soft.append(
+                f"zoomin {budget_key}: p50 speedup "
+                f"{cell['p50_speedup']:.2f}x — the cached path must be "
+                "at least 2x faster than no-cache at p50"
+            )
+        for message in soft:
+            if quick:
+                print(f"warning: {message} (tolerated in --quick mode)")
+            else:
+                failures.append(message)
+    return failures
+
+
 def check_serve_gate(results: dict, quick: bool) -> list[str]:
     """The served-load acceptance gate (empty list = pass).
 
@@ -827,6 +946,20 @@ BENCHES = {
         "pair": ("single", "sharded"),
         "gate": check_serve_gate,
     },
+    "zoomin": {
+        "run": run_zoomin,
+        "benchmark": "zoomin_tiered_cache",
+        "output": "BENCH_zoomin.json",
+        "modes": {
+            "nocache": "admission rejects everything: every zoom-in "
+            "re-executes its query",
+            "lru": "LRU replacement + admit-all over the two-tier cache",
+            "rco": "RCO replacement + cost-aware admission "
+            "(production default)",
+        },
+        "pair": ("nocache", "rco"),
+        "gate": check_zoomin_gate,
+    },
 }
 
 
@@ -873,6 +1006,26 @@ def main(argv: list[str] | None = None) -> int:
     first, second = bench["pair"]
     for name, series in results.items():
         for ratio_key, cell in series.items():
+            if first not in cell or second not in cell:
+                # Single-measurement cells (e.g. the single-flight
+                # stampede) carry their numbers directly.
+                detail = "  ".join(
+                    f"{key} {value}" for key, value in cell.items()
+                )
+                print(f"  {name:9s} {ratio_key:>5s}  {detail}")
+                continue
+            if "hit_ratio" in cell[first]:
+                # Cache-replay cells report hit ratio and per-reference
+                # latency rather than statement counts.
+                print(
+                    f"  {name:9s} {ratio_key:>5s}  "
+                    f"{first} p50 {cell[first]['p50_ms']:7.2f} ms "
+                    f"(hit {cell[first]['hit_ratio']:.2f})  "
+                    f"{second} p50 {cell[second]['p50_ms']:7.2f} ms "
+                    f"(hit {cell[second]['hit_ratio']:.2f})  "
+                    f"p50 speedup {cell['p50_speedup']:.2f}x"
+                )
+                continue
             if "statements" not in cell[first]:
                 # Served cells report throughput/latency, not statement
                 # counts (the request mix spans the whole engine).

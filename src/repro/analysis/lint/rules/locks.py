@@ -72,6 +72,16 @@ IN001_ALLOWLIST = frozenset(
         ("repro/maintenance/incremental.py", "SummaryManager.summarize_table"),
         ("repro/storage/annotations.py", "AnnotationStore._reserve_ids"),
         ("repro/storage/annotations.py", "AnnotationStore._pin_id"),
+        # SQLiteResultStore shares one connection across query threads;
+        # ``with self._connection`` transaction state lives on that
+        # connection, so the write methods must be serialized end to
+        # end by the store's transaction mutex (DESIGN.md §14's lock
+        # inventory).  The lock exists precisely to hold across the SQL
+        # it wraps; reads stay lock-free.
+        ("repro/zoomin/stores.py", "SQLiteResultStore.put"),
+        ("repro/zoomin/stores.py", "SQLiteResultStore.update_access"),
+        ("repro/zoomin/stores.py", "SQLiteResultStore.delete"),
+        ("repro/zoomin/stores.py", "SQLiteResultStore.clear"),
     }
 )
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import abc
 import threading
+import time
 from collections import deque
 from collections.abc import Iterator, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -104,6 +105,35 @@ class Tracer:
         self.entries: list[TraceEntry] = []
         self.max_entries = max_entries
         self.dropped = 0
+        #: Inclusive per-operator wall clock and emitted-row counts,
+        #: keyed by the operator's description.  "Inclusive" because the
+        #: iterator model nests pulls: an operator's time contains its
+        #: children's (the same convention EXPLAIN ANALYZE implementations
+        #: report without a subtraction pass).
+        self.operator_seconds: dict[str, float] = {}
+        self.operator_rows: dict[str, int] = {}
+
+    def add_time(self, operator_label: str, seconds: float, rows: int) -> None:
+        """Accumulate one pull's wall clock against an operator."""
+        self.operator_seconds[operator_label] = (
+            self.operator_seconds.get(operator_label, 0.0) + seconds
+        )
+        self.operator_rows[operator_label] = (
+            self.operator_rows.get(operator_label, 0) + rows
+        )
+
+    def timings_json(self) -> list[dict[str, Any]]:
+        """Per-operator timing rows, slowest first (JSON-able)."""
+        return [
+            {
+                "operator": label,
+                "seconds": round(seconds, 6),
+                "rows": self.operator_rows.get(label, 0),
+            }
+            for label, seconds in sorted(
+                self.operator_seconds.items(), key=lambda kv: -kv[1]
+            )
+        ]
 
     def record(self, operator: "Operator", row: AnnotatedTuple) -> None:
         """Record ``row`` as an output of ``operator``."""
@@ -152,8 +182,21 @@ class Operator(abc.ABC):
         if self._tracer is None:
             yield from self.rows()
             return
-        for row in self.rows():
-            self._tracer.record(self, row)
+        # Traced execution also times each pull (inclusive of children —
+        # see Tracer.operator_seconds).  The per-row perf_counter pair is
+        # only paid when a trace was explicitly requested.
+        tracer = self._tracer
+        label = self.describe()
+        iterator = self.rows()
+        while True:
+            started = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                tracer.add_time(label, time.perf_counter() - started, 0)
+                return
+            tracer.add_time(label, time.perf_counter() - started, 1)
+            tracer.record(self, row)
             yield row
 
 

@@ -37,6 +37,11 @@ class QueryResult:
         Rendering of the executed physical plan.
     plan_cost:
         Structural cost estimate of the plan (RCO's complexity factor).
+    cost_estimate:
+        The cost model's abstract-unit estimate of re-running the plan
+        (:class:`~repro.engine.cost.CostModel`); 0.0 when the session
+        did not price the plan.  The zoom-in cache's admission policy
+        uses this as the recompute price.
     elapsed_seconds:
         Wall-clock execution time.
     trace:
@@ -55,6 +60,7 @@ class QueryResult:
     sql: str = ""
     plan_text: str = ""
     plan_cost: int = 1
+    cost_estimate: float = 0.0
     elapsed_seconds: float = 0.0
     trace: Any | None = None
     stats: Any | None = None
@@ -104,6 +110,7 @@ class QueryResult:
             "sql": self.sql,
             "plan_text": self.plan_text,
             "plan_cost": self.plan_cost,
+            "cost_estimate": self.cost_estimate,
             "elapsed_seconds": self.elapsed_seconds,
             "tuples": [
                 {
@@ -157,6 +164,7 @@ class QueryResult:
             sql=data.get("sql", ""),
             plan_text=data.get("plan_text", ""),
             plan_cost=data.get("plan_cost", 1),
+            cost_estimate=data.get("cost_estimate", 0.0),
             elapsed_seconds=data.get("elapsed_seconds", 0.0),
         )
 

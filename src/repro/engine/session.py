@@ -56,6 +56,8 @@ from repro.zoomin.cache import ZoomInCache
 from repro.zoomin.command import ZoomInCommand
 from repro.zoomin.executor import ZoomInExecutor, ZoomInResult
 from repro.zoomin.rco import RCOPolicy
+from repro.zoomin.tiered import TieredZoomInCache
+from repro.zoomin.tracing import TraceStore
 
 
 class InsightNotes:
@@ -78,6 +80,19 @@ class InsightNotes:
         (the paper's disk-based materialization); any other string is a
         SQLite file path for the store; a
         :class:`~repro.zoomin.stores.ResultStore` instance is used as-is.
+        With ``cache_disk_bytes`` set this names the *disk tier* of the
+        tiered cache instead.
+    cache_disk_bytes:
+        Enable the production two-tier cache
+        (:class:`~repro.zoomin.tiered.TieredZoomInCache`): ``cache_bytes``
+        budgets the hot in-memory tier and this budgets the disk tier
+        (``cache_store`` selects its SQLite file; default private
+        in-memory).  Brings cost-aware admission (priced by the cost
+        model's recompute estimate) and single-flight zoom-in recompute.
+        ``None`` (the default) keeps the single-tier prototype cache.
+    trace_history:
+        How many recent per-query traces (:class:`~repro.zoomin.tracing.
+        QueryTrace`) the session retains for :meth:`trace`.
     normalize:
         Apply the Theorems 1-2 project-before-merge normalization
         (disable only for the plan-equivalence ablation).
@@ -131,6 +146,8 @@ class InsightNotes:
         cache_bytes: int = 4 * 1024 * 1024,
         cache_policy: Any | None = None,
         cache_store: Any | None = None,
+        cache_disk_bytes: int | None = None,
+        trace_history: int = 128,
         normalize: bool = True,
         scan_block_size: int = DEFAULT_SCAN_BLOCK_SIZE,
         object_cache_size: int = DEFAULT_OBJECT_CACHE_SIZE,
@@ -163,6 +180,7 @@ class InsightNotes:
             statistics=self.stats_registry,
         )
         self.results = ResultRegistry()
+        self.traces = TraceStore(capacity=trace_history)
         if isinstance(cache_store, str):
             from repro.zoomin.stores import SQLiteResultStore
 
@@ -170,11 +188,34 @@ class InsightNotes:
             cache_store = SQLiteResultStore(
                 store_path, registry=self.catalog.registry
             )
-        self.cache = ZoomInCache(
-            capacity_bytes=cache_bytes,
-            policy=cache_policy or RCOPolicy(),
-            store=cache_store,
-        )
+        self.cache: ZoomInCache | TieredZoomInCache
+        if cache_disk_bytes is not None:
+            from repro.zoomin.stores import SQLiteResultStore
+
+            if cache_store is None:
+                # The disk tier must deserialize with *this* session's
+                # registry, or custom summary types fail to revive.
+                cache_store = SQLiteResultStore(
+                    registry=self.catalog.registry
+                )
+            elif not isinstance(cache_store, SQLiteResultStore):
+                raise ValueError(
+                    "the tiered cache's disk tier needs a SQLiteResultStore "
+                    f"(or a path), got {type(cache_store).__name__}"
+                )
+            self.cache = TieredZoomInCache(
+                memory_bytes=cache_bytes,
+                disk_bytes=cache_disk_bytes,
+                policy=cache_policy or RCOPolicy(),
+                disk_store=cache_store,
+                trace_store=self.traces,
+            )
+        else:
+            self.cache = ZoomInCache(
+                capacity_bytes=cache_bytes,
+                policy=cache_policy or RCOPolicy(),
+                store=cache_store,
+            )
         self._zoomin = ZoomInExecutor(
             self.annotations, self.cache, recompute=self.results.get
         )
@@ -597,7 +638,14 @@ class InsightNotes:
             )
         result.trace = tracer
         self.stats_registry.observe_execution(prepared, stats)
+        # Price the plan's recompute cost once, after the execution
+        # feedback lands (so the estimate sees the freshest row counts);
+        # the cache's admission policy and the trace both read it.
+        result.cost_estimate = self.planner.cost_model.estimate(prepared).cost
         self.results.register(result)
+        # Trace first so the cache's admission/eviction events land on
+        # an already-open trace.
+        self.traces.record_query(result)
         self.cache.put(result)
         return result
 
@@ -647,6 +695,18 @@ class InsightNotes:
         """Execute a ZOOMIN command against a previous result."""
         return self._zoomin.execute(command)
 
+    def trace(self, qid: int) -> dict[str, Any] | None:
+        """The structured trace of query ``qid`` as a JSON payload.
+
+        Covers the planner's view (plan text, fingerprint, cost
+        estimate), execution (wall clock, engine counters, per-operator
+        timings when the query ran with ``trace=True``), and every
+        cache event the result was involved in since.  None when the
+        qid was never executed here or its trace aged out of the
+        bounded history (``trace_history``).
+        """
+        return self.traces.to_json(qid)
+
     # -- monitoring --------------------------------------------------
 
     def statistics(self) -> dict[str, Any]:
@@ -657,6 +717,9 @@ class InsightNotes:
         zoom-in cache behaviour.
         """
         contribution_stats = self.manager.contributions.stats
+        # Both cache implementations export the same stats_json schema;
+        # the legacy "zoomin_cache" key is derived from it below.
+        zoomin = self.cache.stats_json()
         return {
             "shards": self.db.shard_count,
             "shard_pools": self.db.backend.counters(),
@@ -681,12 +744,15 @@ class InsightNotes:
                 **self.planner.counters.to_json(),
                 "stats": self.stats_registry.freshness(),
             },
+            "zoomin": zoomin,
             "zoomin_cache": {
-                "hits": self.cache.stats.hits,
-                "misses": self.cache.stats.misses,
-                "hit_ratio": self.cache.stats.hit_ratio,
-                "evictions": self.cache.stats.evictions,
-                "bytes_used": self.cache.bytes_used,
-                "capacity_bytes": self.cache.capacity_bytes,
+                "hits": zoomin["memory_hits"] + zoomin["disk_hits"],
+                "misses": zoomin["misses"],
+                "hit_ratio": zoomin["hit_ratio"],
+                "evictions": zoomin["memory_evictions"]
+                + zoomin["disk_evictions"],
+                "bytes_used": zoomin["tiers"]["memory"]["bytes_used"],
+                "capacity_bytes": zoomin["tiers"]["memory"]["capacity_bytes"],
             },
+            "traces_retained": len(self.traces),
         }

@@ -50,6 +50,7 @@ OPERATIONS = (
     "ping",
     "query",
     "stats",
+    "trace",
     "zoomin",
 )
 
@@ -174,6 +175,10 @@ async def _dispatch(
         return {"row_ids": row_ids}
     if op == "stats":
         return await server.statistics()
+    if op == "trace":
+        qid = _require(request, "qid", int)
+        trace = await server.trace(qid)
+        return {"qid": qid, "found": trace is not None, "trace": trace}
     # op == "execute" (decode_request already validated membership)
     value = await server.execute(_require(request, "statement", str))
     if hasattr(value, "to_json"):

@@ -381,6 +381,18 @@ class AnnotationServer:
         payload["server"] = self.stats.snapshot()
         return payload
 
+    async def trace(
+        self, qid: int, timeout_s: float | None = None
+    ) -> dict[str, Any] | None:
+        """The structured trace of query ``qid`` (reader lane).
+
+        None when the qid was never executed here or its trace aged out
+        of the session's bounded history.
+        """
+        return await self.submit(
+            READ, "trace", lambda: self.session.trace(qid), timeout_s
+        )
+
     # -- write operations -----------------------------------------------
 
     async def add_annotations(

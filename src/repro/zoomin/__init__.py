@@ -10,9 +10,18 @@ classifier label, a cluster group, or a snippet — with the ZOOMIN command
 Execution is served by a limited cache in which query results compete for
 space under the **RCO** replacement policy (Recency, Complexity, Overhead
 + zoom-in reference frequency); LRU / LFU / FIFO / size-based baselines
-are provided for the EXP-Z1 benchmark.
+are provided for the EXP-Z1 benchmark.  The production path is the
+two-tier :class:`TieredZoomInCache` (memory over SQLite) with cost-aware
+admission and single-flight recompute; :class:`ZoomInCache` is the
+single-tier prototype kept for the policy benchmarks.
 """
 
+from repro.zoomin.admission import (
+    AdmissionPolicy,
+    AdmissionVerdict,
+    AdmitAll,
+    CostAwareAdmission,
+)
 from repro.zoomin.cache import CacheStats, ZoomInCache
 from repro.zoomin.command import ZoomInCommand, parse_zoomin
 from repro.zoomin.executor import ZoomInExecutor, ZoomInMatch, ZoomInResult
@@ -23,20 +32,48 @@ from repro.zoomin.policies import (
     ReplacementPolicy,
     SizePolicy,
 )
-from repro.zoomin.rco import RCOPolicy
+from repro.zoomin.rco import RCOPolicy, RCOWeights
+from repro.zoomin.stores import (
+    MemoryResultStore,
+    ResultStore,
+    SQLiteResultStore,
+    StoredEntryMeta,
+)
+from repro.zoomin.tiered import TieredZoomInCache, TierCounters
+from repro.zoomin.tracing import (
+    CacheEvent,
+    QueryTrace,
+    TraceStore,
+    plan_fingerprint,
+)
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmissionVerdict",
+    "AdmitAll",
+    "CacheEvent",
     "CacheStats",
+    "CostAwareAdmission",
     "FIFOPolicy",
     "LFUPolicy",
     "LRUPolicy",
+    "MemoryResultStore",
+    "QueryTrace",
     "RCOPolicy",
+    "RCOWeights",
     "ReplacementPolicy",
+    "ResultStore",
+    "SQLiteResultStore",
     "SizePolicy",
+    "StoredEntryMeta",
+    "TieredZoomInCache",
+    "TierCounters",
+    "TraceStore",
     "ZoomInCache",
     "ZoomInCommand",
     "ZoomInExecutor",
     "ZoomInMatch",
     "ZoomInResult",
     "parse_zoomin",
+    "plan_fingerprint",
 ]

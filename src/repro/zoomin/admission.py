@@ -1,0 +1,167 @@
+"""Cost-aware admission for the zoom-in result cache.
+
+The paper's cache admits every result and lets RCO sort out the
+competition.  Under production traffic that wastes budget twice over: a
+result SQLite can recompute in microseconds evicts a result whose plan
+takes seconds to re-run, and a single huge result squeezes out dozens of
+useful ones before the policy ever sees a second reference.
+
+:class:`CostAwareAdmission` prices each candidate with the PR-8 cost
+model's estimate of its plan (:attr:`~repro.engine.results.QueryResult.
+cost_estimate`, falling back to the structural ``plan_cost``) and rules
+*before* any bytes move:
+
+* **cheap** — a result whose recompute cost sits below
+  ``min_recompute_cost`` is never admitted; serving its zoom-ins by
+  re-execution is cheaper than the budget it would occupy;
+* **oversized** — a result larger than ``max_entry_fraction`` of the
+  admitting tier's budget is rejected outright (the single-tier cache's
+  "bigger than the whole cache" rule, tightened);
+* **pinned** — a result whose recompute cost exceeds ``pin_cost`` is
+  admitted *pinned*: the replacement policy may not evict it while
+  pinned bytes stay under ``max_pinned_fraction`` of the budget.  Past
+  that watermark an expensive result is still admitted, just unpinned —
+  pinning must never wedge the cache solid.
+
+Every decision is returned as an :class:`AdmissionVerdict` so the
+tracing layer can export *why* a result is or is not resident.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+#: Verdict reasons, in the vocabulary traces and counters share.
+ADMITTED = "admitted"
+PINNED = "pinned"
+REJECTED_CHEAP = "rejected-cheap"
+REJECTED_OVERSIZE = "rejected-oversize"
+
+
+@dataclass(frozen=True)
+class AdmissionVerdict:
+    """One admission decision, with the numbers that produced it."""
+
+    admitted: bool
+    pinned: bool
+    reason: str
+    recompute_cost: float
+    size_bytes: int
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-able form for traces and the stats op."""
+        return {
+            "admitted": self.admitted,
+            "pinned": self.pinned,
+            "reason": self.reason,
+            "recompute_cost": round(self.recompute_cost, 3),
+            "size_bytes": self.size_bytes,
+        }
+
+
+class AdmissionPolicy(abc.ABC):
+    """Decides whether a result earns cache residency."""
+
+    @abc.abstractmethod
+    def assess(
+        self,
+        size_bytes: int,
+        recompute_cost: float,
+        capacity_bytes: int,
+        pinned_bytes: int = 0,
+    ) -> AdmissionVerdict:
+        """Verdict for a candidate of ``size_bytes`` costing
+        ``recompute_cost`` to re-run, against a tier holding
+        ``pinned_bytes`` of pinned entries under ``capacity_bytes``."""
+
+
+class AdmitAll(AdmissionPolicy):
+    """The paper's behaviour: everything that fits is admitted.
+
+    Kept as the benchmark baseline and for sessions that want pure
+    policy-driven competition (only the oversize rule applies — an entry
+    larger than the whole tier cannot be cached by definition).
+    """
+
+    def assess(
+        self,
+        size_bytes: int,
+        recompute_cost: float,
+        capacity_bytes: int,
+        pinned_bytes: int = 0,
+    ) -> AdmissionVerdict:
+        if size_bytes > capacity_bytes:
+            return AdmissionVerdict(
+                False, False, REJECTED_OVERSIZE, recompute_cost, size_bytes
+            )
+        return AdmissionVerdict(
+            True, False, ADMITTED, recompute_cost, size_bytes
+        )
+
+
+class CostAwareAdmission(AdmissionPolicy):
+    """Price-of-recompute admission over the cost model's estimates.
+
+    Thresholds are in the cost model's abstract units (``EMIT_ROW`` = 1;
+    see :class:`~repro.engine.cost.CostModel`).  The defaults were
+    calibrated on the bench workloads: ``min_recompute_cost=24`` is
+    roughly a two-dozen-row summary-free scan — anything cheaper
+    re-executes faster than a disk-tier deserialization — and
+    ``pin_cost=20_000`` is the territory of multi-way joins over
+    hydrated tables.
+    """
+
+    def __init__(
+        self,
+        min_recompute_cost: float = 24.0,
+        pin_cost: float = 20_000.0,
+        max_entry_fraction: float = 0.5,
+        max_pinned_fraction: float = 0.5,
+    ) -> None:
+        if min_recompute_cost < 0:
+            raise ValueError(
+                f"min_recompute_cost must be >= 0, got {min_recompute_cost}"
+            )
+        if pin_cost < min_recompute_cost:
+            raise ValueError(
+                f"pin_cost ({pin_cost}) must be >= min_recompute_cost "
+                f"({min_recompute_cost})"
+            )
+        if not 0 < max_entry_fraction <= 1:
+            raise ValueError(
+                f"max_entry_fraction must be in (0, 1], got {max_entry_fraction}"
+            )
+        if not 0 <= max_pinned_fraction <= 1:
+            raise ValueError(
+                f"max_pinned_fraction must be in [0, 1], got {max_pinned_fraction}"
+            )
+        self.min_recompute_cost = min_recompute_cost
+        self.pin_cost = pin_cost
+        self.max_entry_fraction = max_entry_fraction
+        self.max_pinned_fraction = max_pinned_fraction
+
+    def assess(
+        self,
+        size_bytes: int,
+        recompute_cost: float,
+        capacity_bytes: int,
+        pinned_bytes: int = 0,
+    ) -> AdmissionVerdict:
+        if size_bytes > self.max_entry_fraction * capacity_bytes:
+            return AdmissionVerdict(
+                False, False, REJECTED_OVERSIZE, recompute_cost, size_bytes
+            )
+        if recompute_cost < self.min_recompute_cost:
+            return AdmissionVerdict(
+                False, False, REJECTED_CHEAP, recompute_cost, size_bytes
+            )
+        pin = (
+            recompute_cost >= self.pin_cost
+            and pinned_bytes + size_bytes
+            <= self.max_pinned_fraction * capacity_bytes
+        )
+        return AdmissionVerdict(
+            True, pin, PINNED if pin else ADMITTED, recompute_cost, size_bytes
+        )

@@ -163,3 +163,27 @@ class ZoomInCache:
         """QIDs currently cached, sorted."""
         with self._lock:
             return sorted(self._entries)
+
+    def stats_json(self) -> dict:
+        """Counters in the same shape the tiered cache exports, so
+        ``session.statistics()["zoomin"]`` has one schema regardless of
+        which cache the session runs."""
+        with self._lock:
+            return {
+                "memory_hits": self.stats.hits,
+                "disk_hits": 0,
+                "misses": self.stats.misses,
+                "hit_ratio": round(self.stats.hit_ratio, 4),
+                "insertions": self.stats.insertions,
+                "memory_evictions": self.stats.evictions,
+                "disk_evictions": 0,
+                "rejected_oversize": self.stats.rejected,
+                "tiers": {
+                    "memory": {
+                        "capacity_bytes": self.capacity_bytes,
+                        "bytes_used": self._bytes_used,
+                        "entries": len(self._entries),
+                    },
+                },
+                "policy": self.policy.name,
+            }

@@ -26,6 +26,12 @@ from repro.storage.annotations import AnnotationStore
 from repro.summaries.base import ZoomComponent
 from repro.zoomin.cache import ZoomInCache
 from repro.zoomin.command import ZoomInCommand, parse_zoomin
+from repro.zoomin.tiered import (
+    SOURCE_COALESCED,
+    SOURCE_MEMORY,
+    SOURCE_RECOMPUTED,
+    TieredZoomInCache,
+)
 
 
 @dataclass
@@ -67,6 +73,10 @@ class ZoomInResult:
     matches: list[ZoomInMatch]
     cache_hit: bool
     elapsed_seconds: float = 0.0
+    #: Where the referenced result came from: ``memory`` / ``disk`` /
+    #: ``recomputed`` / ``coalesced`` on the tiered cache; ``memory`` /
+    #: ``recomputed`` on the single-tier prototype.
+    source: str = ""
 
     def annotation_count(self) -> int:
         """Total raw annotations retrieved."""
@@ -81,6 +91,7 @@ class ZoomInResult:
         return {
             "command": self.command.render(),
             "cache_hit": self.cache_hit,
+            "source": self.source,
             "elapsed_seconds": self.elapsed_seconds,
             "annotation_count": self.annotation_count(),
             "matches": [match.to_json() for match in self.matches],
@@ -88,12 +99,19 @@ class ZoomInResult:
 
 
 class ZoomInExecutor:
-    """Executes zoom-in commands against the result cache."""
+    """Executes zoom-in commands against the result cache.
+
+    ``cache`` may be the single-tier prototype
+    (:class:`~repro.zoomin.cache.ZoomInCache`) or the production
+    :class:`~repro.zoomin.tiered.TieredZoomInCache`; the tiered cache's
+    ``get_or_compute`` is used when available so concurrent zoom-ins
+    referencing the same evicted qid coalesce into one re-execution.
+    """
 
     def __init__(
         self,
         annotations: AnnotationStore,
-        cache: ZoomInCache,
+        cache: ZoomInCache | TieredZoomInCache,
         recompute: Callable[[int], QueryResult],
     ) -> None:
         self._annotations = annotations
@@ -105,19 +123,28 @@ class ZoomInExecutor:
         if isinstance(command, str):
             command = parse_zoomin(command)
         started = time.perf_counter()
-        result = self._cache.get(command.qid)
-        cache_hit = result is not None
-        if result is None:
-            result = self._recompute(command.qid)
-            self._cache.put(result)
+        result, source = self._resolve(command.qid)
         matches = self._expand(command, result)
         elapsed = time.perf_counter() - started
         return ZoomInResult(
             command=command,
             matches=matches,
-            cache_hit=cache_hit,
+            cache_hit=source not in (SOURCE_RECOMPUTED, SOURCE_COALESCED),
             elapsed_seconds=elapsed,
+            source=source,
         )
+
+    def _resolve(self, qid: int) -> tuple[QueryResult, str]:
+        if isinstance(self._cache, TieredZoomInCache):
+            return self._cache.get_or_compute(
+                qid, lambda: self._recompute(qid)
+            )
+        result = self._cache.get(qid)
+        if result is not None:
+            return result, SOURCE_MEMORY
+        result = self._recompute(qid)
+        self._cache.put(result)
+        return result, SOURCE_RECOMPUTED
 
     def _expand(
         self, command: ZoomInCommand, result: QueryResult

@@ -148,6 +148,46 @@ def test_dispatch_annotations_stats_and_ping():
     run(scenario())
 
 
+def test_dispatch_trace():
+    async def scenario():
+        async with AnnotationServer() as server:
+            await handle_request(
+                server, {"op": "execute", "statement": "CREATE TABLE t (a)"}
+            )
+            await handle_request(
+                server, {"op": "insert", "table": "t", "rows": [[1]]}
+            )
+            result = await handle_request(
+                server, {"op": "query", "sql": "SELECT a FROM t"}
+            )
+            qid = result["result"]["qid"]
+            traced = await handle_request(
+                server, {"op": "trace", "qid": qid, "id": 6}
+            )
+            assert traced["ok"] is True
+            assert traced["result"]["found"] is True
+            assert traced["result"]["qid"] == qid
+            trace = traced["result"]["trace"]
+            assert trace["sql"] == "SELECT a FROM t"
+            assert trace["fingerprint"]
+            assert isinstance(trace["cache_events"], list)
+            # Unknown qid is not an error — found simply comes back False.
+            unknown = await handle_request(
+                server, {"op": "trace", "qid": 424242}
+            )
+            assert unknown["result"] == {
+                "qid": 424242,
+                "found": False,
+                "trace": None,
+            }
+            # Missing qid is a 400 ProtocolError.
+            missing = await handle_request(server, {"op": "trace"})
+            assert missing["ok"] is False
+            assert missing["error"]["type"] == "ProtocolError"
+
+    run(scenario())
+
+
 def test_dispatch_closed_server_returns_503():
     async def scenario():
         server = AnnotationServer()

@@ -1,0 +1,98 @@
+"""Tests for the cost-aware admission policy."""
+
+import pytest
+
+from repro.zoomin.admission import (
+    ADMITTED,
+    PINNED,
+    REJECTED_CHEAP,
+    REJECTED_OVERSIZE,
+    AdmitAll,
+    CostAwareAdmission,
+)
+
+_CAP = 1000
+
+
+class TestAdmitAll:
+    def test_admits_anything_that_fits(self):
+        verdict = AdmitAll().assess(_CAP, recompute_cost=0.0, capacity_bytes=_CAP)
+        assert verdict.admitted and not verdict.pinned
+        assert verdict.reason == ADMITTED
+
+    def test_rejects_larger_than_capacity(self):
+        verdict = AdmitAll().assess(
+            _CAP + 1, recompute_cost=10**9, capacity_bytes=_CAP
+        )
+        assert not verdict.admitted
+        assert verdict.reason == REJECTED_OVERSIZE
+
+
+class TestCostAwareAdmission:
+    def policy(self, **overrides):
+        defaults = dict(
+            min_recompute_cost=10.0,
+            pin_cost=1000.0,
+            max_entry_fraction=0.5,
+            max_pinned_fraction=0.5,
+        )
+        defaults.update(overrides)
+        return CostAwareAdmission(**defaults)
+
+    def test_cheap_result_never_admitted(self):
+        verdict = self.policy().assess(100, 9.9, _CAP)
+        assert not verdict.admitted
+        assert verdict.reason == REJECTED_CHEAP
+
+    def test_worth_caching_is_admitted_unpinned(self):
+        verdict = self.policy().assess(100, 10.0, _CAP)
+        assert verdict.admitted and not verdict.pinned
+        assert verdict.reason == ADMITTED
+
+    def test_expensive_plan_is_pinned(self):
+        verdict = self.policy().assess(100, 1000.0, _CAP)
+        assert verdict.admitted and verdict.pinned
+        assert verdict.reason == PINNED
+
+    def test_oversize_rejected_before_cost_rules(self):
+        # 501 > 0.5 * 1000: too big even though the cost would pin it.
+        verdict = self.policy().assess(501, 10**6, _CAP)
+        assert not verdict.admitted
+        assert verdict.reason == REJECTED_OVERSIZE
+
+    def test_pinning_capped_by_pinned_fraction(self):
+        """Past the pinned watermark an expensive result is still
+        admitted, just unpinned — pinning must never wedge the cache."""
+        verdict = self.policy().assess(
+            100, 10**6, _CAP, pinned_bytes=450
+        )
+        assert verdict.admitted and not verdict.pinned
+        assert verdict.reason == ADMITTED
+
+    def test_pinning_allowed_at_exact_watermark(self):
+        verdict = self.policy().assess(
+            100, 10**6, _CAP, pinned_bytes=400
+        )
+        assert verdict.pinned
+
+    def test_verdict_json_carries_the_numbers(self):
+        verdict = self.policy().assess(64, 123.4567, _CAP)
+        payload = verdict.to_json()
+        assert payload["admitted"] is True
+        assert payload["reason"] == ADMITTED
+        assert payload["recompute_cost"] == 123.457
+        assert payload["size_bytes"] == 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_recompute_cost": -1.0},
+            {"pin_cost": 5.0},  # below min_recompute_cost=10
+            {"max_entry_fraction": 0.0},
+            {"max_entry_fraction": 1.5},
+            {"max_pinned_fraction": -0.1},
+        ],
+    )
+    def test_invalid_thresholds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            self.policy(**kwargs)

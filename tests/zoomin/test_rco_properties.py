@@ -1,0 +1,120 @@
+"""Property tests for the RCO priority function.
+
+The replacement decisions the paper's policy makes are only sound if
+the score behaves monotonically in each factor: more zoom-in references
+or a costlier plan must never *lower* an entry's retention priority,
+and a larger footprint must never raise it.  Hypothesis sweeps the
+entry space; the defaults (all factor weights positive) make every
+monotonicity strict.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.zoomin.policies import CacheEntry
+from repro.zoomin.rco import RCOPolicy
+
+_SIZES = st.integers(min_value=0, max_value=10**8)
+_COSTS = st.integers(min_value=0, max_value=10**6)
+_COUNTS = st.integers(min_value=0, max_value=10**4)
+_CLOCK = st.integers(min_value=0, max_value=10**6)
+_DELTAS = st.integers(min_value=1, max_value=10**4)
+
+
+def _entry(qid=1, size=1024, cost=5, accessed=0, count=0):
+    return CacheEntry(
+        qid=qid,
+        size_bytes=size,
+        cost=cost,
+        inserted_at=0,
+        last_access=accessed,
+        access_count=count,
+    )
+
+
+class TestMonotonicity:
+    @given(size=_SIZES, cost=_COSTS, count=_COUNTS, age=_CLOCK, delta=_DELTAS)
+    def test_priority_monotone_in_references(
+        self, size, cost, count, age, delta
+    ):
+        policy = RCOPolicy()
+        now = age
+        base = _entry(size=size, cost=cost, count=count)
+        hotter = _entry(size=size, cost=cost, count=count + delta)
+        assert policy.priority(hotter, now) > policy.priority(base, now)
+
+    @given(size=_SIZES, cost=_COSTS, count=_COUNTS, age=_CLOCK, delta=_DELTAS)
+    def test_priority_monotone_in_cost(self, size, cost, count, age, delta):
+        policy = RCOPolicy()
+        base = _entry(size=size, cost=cost, count=count)
+        dearer = _entry(size=size, cost=cost + delta, count=count)
+        assert policy.priority(dearer, age) > policy.priority(base, age)
+
+    @given(size=_SIZES, cost=_COSTS, count=_COUNTS, age=_CLOCK, delta=_DELTAS)
+    def test_priority_anti_monotone_in_size(
+        self, size, cost, count, age, delta
+    ):
+        policy = RCOPolicy()
+        base = _entry(size=size, cost=cost, count=count)
+        bigger = _entry(size=size + delta, cost=cost, count=count)
+        assert policy.priority(bigger, age) < policy.priority(base, age)
+
+    @given(size=_SIZES, cost=_COSTS, count=_COUNTS, gap=_DELTAS, now=_CLOCK)
+    def test_priority_monotone_in_recency(self, size, cost, count, gap, now):
+        policy = RCOPolicy()
+        recent = _entry(size=size, cost=cost, count=count, accessed=now)
+        stale = _entry(
+            size=size, cost=cost, count=count, accessed=max(0, now - gap)
+        )
+        assert policy.priority(recent, now) >= policy.priority(stale, now)
+
+
+class TestTieBreaking:
+    @given(
+        qids=st.lists(
+            st.integers(min_value=1, max_value=10**6),
+            min_size=2,
+            max_size=12,
+            unique=True,
+        ),
+        size=_SIZES,
+        cost=_COSTS,
+        count=_COUNTS,
+        now=_CLOCK,
+        seed=st.randoms(use_true_random=False),
+    )
+    def test_equal_scores_break_ties_on_lowest_qid(
+        self, qids, size, cost, count, now, seed
+    ):
+        """Identical entries (bar qid) in any order: the victim is always
+        the lowest qid — eviction is deterministic, not dict-order luck."""
+        policy = RCOPolicy()
+        entries = [
+            _entry(qid=qid, size=size, cost=cost, count=count)
+            for qid in qids
+        ]
+        seed.shuffle(entries)
+        assert policy.victim(entries, now).qid == min(qids)
+
+    @given(
+        specs=st.lists(
+            st.tuples(_SIZES, _COSTS, _COUNTS),
+            min_size=2,
+            max_size=10,
+        ),
+        now=_CLOCK,
+        seed=st.randoms(use_true_random=False),
+    )
+    def test_victim_is_permutation_invariant(self, specs, now, seed):
+        policy = RCOPolicy()
+        entries = [
+            _entry(qid=i + 1, size=size, cost=cost, count=count)
+            for i, (size, cost, count) in enumerate(specs)
+        ]
+        shuffled = list(entries)
+        seed.shuffle(shuffled)
+        assert (
+            policy.victim(shuffled, now).qid == policy.victim(entries, now).qid
+        )

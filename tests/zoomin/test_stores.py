@@ -93,13 +93,106 @@ class TestSQLiteResultStore:
         assert reopened.get(result.qid) is not None
         reopened.close()
 
-    def test_charged_bytes_are_payload_size(self, populated):
+    def test_charged_bytes_are_encoded_payload_size(self, populated):
         import json
 
         store = SQLiteResultStore(registry=populated.catalog.registry)
         result = populated.query("SELECT name, weight FROM birds")
         size = store.put(result)
-        assert size == len(json.dumps(result.to_json()))
+        payload = json.dumps(result.to_json(), ensure_ascii=False)
+        assert size == len(payload.encode("utf-8"))
+        store.close()
+
+    def test_non_ascii_payload_charges_bytes_not_chars(self, populated):
+        """Regression: ``len(payload)`` counts characters and
+        undercharges multi-byte annotation text; the disk tier must
+        charge what actually lands in the file."""
+        import json
+
+        notes = InsightNotes()
+        notes.create_table("t", ["v"])
+        notes.insert("t", ("Anser cygnoïdes — 鸿雁",))
+        result = notes.query("SELECT v FROM t")
+        payload = json.dumps(result.to_json(), ensure_ascii=False)
+        assert len(payload.encode("utf-8")) > len(payload)  # premise
+        store = SQLiteResultStore(registry=notes.catalog.registry)
+        assert store.put(result) == len(payload.encode("utf-8"))
+        store.close()
+        notes.close()
+
+    def test_memory_store_charges_size_estimate(self, populated):
+        store = MemoryResultStore()
+        result = populated.query("SELECT name FROM birds")
+        assert store.put(result) == result.size_estimate()
+
+
+class TestStoredMetadata:
+    def test_put_persists_replacement_metadata(self, populated):
+        store = SQLiteResultStore(registry=populated.catalog.registry)
+        result = populated.query("SELECT name FROM birds")
+        size = store.put(result, cost=42.5, access_count=3, last_access=17)
+        (meta,) = store.load_metadata()
+        assert meta.qid == result.qid
+        assert meta.size_bytes == size
+        assert meta.cost == 42.5
+        assert meta.access_count == 3
+        assert meta.last_access == 17
+        store.close()
+
+    def test_cost_defaults_to_plan_cost(self, populated):
+        store = SQLiteResultStore(registry=populated.catalog.registry)
+        result = populated.query("SELECT name FROM birds")
+        store.put(result)
+        (meta,) = store.load_metadata()
+        assert meta.cost == float(result.plan_cost)
+        store.close()
+
+    def test_update_access_refreshes_bookkeeping(self, populated):
+        store = SQLiteResultStore(registry=populated.catalog.registry)
+        result = populated.query("SELECT name FROM birds")
+        store.put(result)
+        store.update_access(result.qid, access_count=9, last_access=33)
+        (meta,) = store.load_metadata()
+        assert (meta.access_count, meta.last_access) == (9, 33)
+        store.close()
+
+    def test_metadata_survives_reopen(self, populated, tmp_path):
+        path = str(tmp_path / "cache.db")
+        store = SQLiteResultStore(path, registry=populated.catalog.registry)
+        result = populated.query("SELECT name FROM birds")
+        store.put(result, cost=7.0, access_count=2, last_access=5)
+        store.close()
+        reopened = SQLiteResultStore(path, registry=populated.catalog.registry)
+        (meta,) = reopened.load_metadata()
+        assert (meta.cost, meta.access_count, meta.last_access) == (7.0, 2, 5)
+        reopened.close()
+
+    def test_migrates_pre_metadata_schema(self, populated, tmp_path):
+        """A cache file written by the two-column schema gains the
+        metadata columns in place and keeps its payloads readable."""
+        import json
+        import sqlite3
+
+        path = str(tmp_path / "old.db")
+        result = populated.query("SELECT name FROM birds")
+        legacy = sqlite3.connect(path)
+        legacy.execute(
+            "CREATE TABLE cached_results (qid INTEGER PRIMARY KEY, "
+            "payload TEXT NOT NULL)"
+        )
+        legacy.execute(
+            "INSERT INTO cached_results VALUES (?, ?)",
+            (result.qid, json.dumps(result.to_json())),
+        )
+        legacy.commit()
+        legacy.close()
+        store = SQLiteResultStore(path, registry=populated.catalog.registry)
+        revived = store.get(result.qid)
+        assert revived is not None and revived.rows() == result.rows()
+        (meta,) = store.load_metadata()
+        assert meta.qid == result.qid
+        assert meta.size_bytes == 0  # unknown for legacy rows
+        store.update_access(result.qid, access_count=1, last_access=1)
         store.close()
 
 
