@@ -1,0 +1,10 @@
+"""Repository-root pytest configuration.
+
+Registers the insightsan plugin (``pytest_plugins`` may only be
+declared in the rootdir conftest).  The plugin is inert unless
+``INSIGHT_SANITIZE=1`` — the CI ``sanitize`` job's mode — in which case
+it instruments every :mod:`repro.concurrency` lock for the whole run
+and writes ``insightsan-report.json`` at session finish.
+"""
+
+pytest_plugins = ("repro.analysis.sanitizer.pytest_plugin",)

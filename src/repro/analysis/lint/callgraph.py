@@ -1,0 +1,482 @@
+"""Project-wide call graph and lock-attribute resolution for insightlint.
+
+The interprocedural rules (IN001/IN005 routed through helpers, IN007
+lock-order consistency, IN008 blocking-under-lock) need two things the
+per-module :class:`~repro.analysis.lint.framework.ModuleSource` view
+cannot provide:
+
+* a **call graph** — which project function does this ``ast.Call``
+  land in? — built by :class:`CallGraph`;
+* a **lock map** — which registered lock does ``with self._lock:``
+  hold? — built by :class:`LockResolver` from the
+  ``repro.concurrency.make_lock("name")`` construction sites, so static
+  findings speak the same lock names the runtime sanitizer reports.
+
+Resolution is deliberately conservative (a static pass that guesses
+wrong drowns the signal in false positives):
+
+* bare-name calls resolve to same-module top-level functions, then to
+  project functions imported by name (``from m import f``), then to
+  module-attribute calls through imported project modules (``m.f()``);
+* ``self.m()`` / ``cls.m()`` resolve within the enclosing class, then
+  through base classes named in the project;
+* any other ``obj.m()`` resolves only when exactly **one** project
+  class defines a method ``m`` — an ambiguous method name produces *no*
+  edge rather than a guessed one.  (Known consequence: calls through
+  abstract interfaces with several implementations — e.g. a cache's
+  ``store.put`` — are invisible to the static pass; the runtime
+  sanitizer covers those paths.)
+* calls into the standard library or other packages resolve to nothing.
+
+Lock identity: a ``with`` item resolves to a :class:`LockInfo` via the
+enclosing class's ``self._attr = make_lock("name")`` assignments (also
+dataclass ``field(default_factory=lambda: make_lock(...))`` defaults and
+module-level constructions).  A with-item that merely *looks* like a
+lock (final name component contains ``lock``, or a bare ``Lock()`` /
+``RLock()`` call — the IN001 lexical convention) but has no
+``make_lock`` site gets a synthetic per-attribute name, so fixture code
+and not-yet-migrated locks still participate in every rule, just
+without a registry-stable label.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.framework import ModuleSource, dotted_name
+
+#: Constructors of the named-lock registry (repro.concurrency).
+_FACTORY_NAMES = frozenset({"make_lock", "make_rlock"})
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One lock identity as the static pass sees it."""
+
+    name: str
+    guards_io: bool = False
+    #: False for heuristically identified locks with no make_lock site.
+    registered: bool = True
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    key: str  # "<path>::<qualname>" — unique across the project
+    qualname: str  # "ConnectionPool.write", "connect", "f.inner"
+    module: ModuleSource
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None  # immediately enclosing class, if any
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge, anchored where the call happens."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: ModuleSource
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    methods: dict[str, str] = field(default_factory=dict)  # name -> key
+    #: lock attribute -> LockInfo, from make_lock assignment sites.
+    lock_attrs: dict[str, LockInfo] = field(default_factory=dict)
+
+
+def module_dotted_name(path: str) -> str | None:
+    """``repro.storage.pool`` for ``src/repro/storage/pool.py``."""
+    parts = path.split("/")
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return None
+    return ".".join(parts)
+
+
+def _lock_info_from_call(call: ast.Call) -> LockInfo | None:
+    """Decode a ``make_lock("name", guards_io=...)`` construction."""
+    func = dotted_name(call.func) or ""
+    if func.split(".")[-1] not in _FACTORY_NAMES:
+        return None
+    if not (call.args and isinstance(call.args[0], ast.Constant)):
+        return None
+    name = call.args[0].value
+    if not isinstance(name, str):
+        return None
+    guards_io = any(
+        keyword.arg == "guards_io"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is True
+        for keyword in call.keywords
+    )
+    return LockInfo(name=name, guards_io=guards_io)
+
+
+def _unwrap_factory_default(call: ast.Call) -> ast.Call | None:
+    """The make_lock call inside ``field(default_factory=lambda: ...)``."""
+    if (dotted_name(call.func) or "").split(".")[-1] != "field":
+        return None
+    for keyword in call.keywords:
+        if keyword.arg != "default_factory":
+            continue
+        value = keyword.value
+        if isinstance(value, ast.Lambda) and isinstance(value.body, ast.Call):
+            return value.body
+    return None
+
+
+class CallGraph:
+    """Functions, classes, lock attributes, and resolved call edges."""
+
+    def __init__(self, modules: list[ModuleSource]) -> None:
+        self.modules = modules
+        #: key -> FunctionInfo
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class name -> every _ClassInfo with that name (collisions kept)
+        self._classes_by_name: dict[str, list[_ClassInfo]] = {}
+        #: (path, class name) -> _ClassInfo
+        self._classes: dict[tuple[str, str], _ClassInfo] = {}
+        #: method name -> keys of every project method with that name
+        self._method_index: dict[str, list[str]] = {}
+        #: (path, top-level function name) -> key
+        self._module_functions: dict[tuple[str, str], str] = {}
+        #: dotted module name -> path, for import resolution
+        self._module_paths: dict[str, str] = {}
+        #: path -> {local alias -> ("object", module, name) | ("module", module)}
+        self._imports: dict[str, dict[str, tuple[str, ...]]] = {}
+        #: path -> {module-level lock variable -> LockInfo}
+        self._module_locks: dict[str, dict[str, LockInfo]] = {}
+        #: lock attribute name -> every LockInfo assigned to it project-wide
+        self._lock_attr_index: dict[str, list[LockInfo]] = {}
+        #: caller key -> resolved call sites
+        self.calls: dict[str, list[CallSite]] = {}
+
+        for module in modules:
+            self._index_module(module)
+        for module in modules:
+            self._collect_lock_attrs(module)
+        for info in list(self.functions.values()):
+            self.calls[info.key] = list(self._resolve_calls(info))
+
+    # -- indexing ------------------------------------------------------
+
+    def _index_module(self, module: ModuleSource) -> None:
+        dotted = module_dotted_name(module.path)
+        if dotted is not None:
+            self._module_paths[dotted] = module.path
+        self._imports[module.path] = self._collect_imports(module.tree)
+        self._module_locks[module.path] = {}
+
+        def walk(node: ast.AST, prefix: str, class_name: str | None) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}{child.name}"
+                    info = FunctionInfo(
+                        key=f"{module.path}::{qualname}",
+                        qualname=qualname,
+                        module=module,
+                        node=child,
+                        class_name=class_name,
+                    )
+                    self.functions[info.key] = info
+                    if class_name is None and prefix == "":
+                        self._module_functions[(module.path, child.name)] = (
+                            info.key
+                        )
+                    if class_name is not None:
+                        # walk() only passes class_name for direct
+                        # children of the ClassDef, so this is a method.
+                        owner = self._classes[(module.path, class_name)]
+                        owner.methods[child.name] = info.key
+                        self._method_index.setdefault(child.name, []).append(
+                            info.key
+                        )
+                    walk(child, f"{qualname}.", None)
+                elif isinstance(child, ast.ClassDef):
+                    qualname = f"{prefix}{child.name}"
+                    bases = tuple(
+                        base_name
+                        for base in child.bases
+                        if (base_name := dotted_name(base)) is not None
+                    )
+                    cls = _ClassInfo(
+                        name=child.name,
+                        module=module,
+                        node=child,
+                        bases=bases,
+                    )
+                    self._classes[(module.path, child.name)] = cls
+                    self._classes_by_name.setdefault(child.name, []).append(cls)
+                    walk(child, f"{qualname}.", child.name)
+                else:
+                    walk(child, prefix, class_name)
+
+        walk(module.tree, "", None)
+
+    def _collect_imports(
+        self, tree: ast.Module
+    ) -> dict[str, tuple[str, ...]]:
+        imports: dict[str, tuple[str, ...]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    imports[local] = ("object", node.module, alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    imports[local] = ("module", alias.name)
+        return imports
+
+    def _collect_lock_attrs(self, module: ModuleSource) -> None:
+        """Map lock attributes/variables to the make_lock names they get."""
+
+        def note_class_attr(cls: _ClassInfo, attr: str, info: LockInfo) -> None:
+            cls.lock_attrs[attr] = info
+            self._lock_attr_index.setdefault(attr, []).append(info)
+
+        for (path, _), cls in self._classes.items():
+            if path != module.path:
+                continue
+            for stmt in ast.walk(cls.node):
+                # self._attr = make_lock("...") anywhere in the class body
+                # (methods included — __init__ is the usual site).
+                if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.value, ast.Call
+                ):
+                    info = _lock_info_from_call(stmt.value)
+                    if info is None:
+                        continue
+                    for target in stmt.targets:
+                        target_name = dotted_name(target) or ""
+                        parts = target_name.split(".")
+                        if len(parts) == 2 and parts[0] in ("self", "cls"):
+                            note_class_attr(cls, parts[1], info)
+                        elif len(parts) == 1:
+                            note_class_attr(cls, parts[0], info)
+                # dataclass field: attr: LockLike = field(default_factory=...)
+                elif (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.target, ast.Name)
+                ):
+                    inner = _unwrap_factory_default(stmt.value)
+                    candidate = inner or stmt.value
+                    info = _lock_info_from_call(candidate)
+                    if info is not None:
+                        note_class_attr(cls, stmt.target.id, info)
+        # Module-level: LOCK = make_lock("...")
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                info = _lock_info_from_call(stmt.value)
+                if info is None:
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._module_locks[module.path][target.id] = info
+
+    # -- call resolution -----------------------------------------------
+
+    def _resolve_calls(self, info: FunctionInfo) -> list[CallSite]:
+        sites: list[CallSite] = []
+
+        def walk(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                # A nested def/lambda's calls run when *it* is called,
+                # not here; the nested function has its own edges.
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(child, ast.Call):
+                    callee = self.resolve_call(info, child)
+                    if callee is not None:
+                        sites.append(
+                            CallSite(
+                                caller=info.key, callee=callee, node=child
+                            )
+                        )
+                walk(child)
+
+        walk(info.node)
+        return sites
+
+    def resolve_call(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> str | None:
+        """The key of the project function ``call`` lands in, or None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(caller.module, func.id)
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            method = func.attr
+            receiver_name = dotted_name(receiver)
+            if receiver_name in ("self", "cls"):
+                return self._resolve_method(
+                    caller.module, caller.class_name, method
+                )
+            # Imported project module: pool.connect(...)
+            if receiver_name is not None and "." not in receiver_name:
+                imported = self._imports.get(caller.module.path, {}).get(
+                    receiver_name
+                )
+                if imported is not None and imported[0] == "module":
+                    path = self._module_paths.get(imported[1])
+                    if path is not None:
+                        return self._module_functions.get((path, method))
+            # Any other receiver: unique-method-name resolution only.
+            candidates = self._method_index.get(method, [])
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        return None
+
+    def resolve_callable_ref(
+        self, caller: FunctionInfo, expr: ast.expr
+    ) -> str | None:
+        """Resolve a callable *reference* (not a call) — e.g. the first
+        argument of ``executor.submit(self._fetch_block, ...)``."""
+        if isinstance(expr, ast.Name):
+            return self._resolve_name(caller.module, expr.id)
+        if isinstance(expr, ast.Attribute):
+            receiver_name = dotted_name(expr.value)
+            if receiver_name in ("self", "cls"):
+                return self._resolve_method(
+                    caller.module, caller.class_name, expr.attr
+                )
+            candidates = self._method_index.get(expr.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def _resolve_name(self, module: ModuleSource, name: str) -> str | None:
+        local = self._module_functions.get((module.path, name))
+        if local is not None:
+            return local
+        imported = self._imports.get(module.path, {}).get(name)
+        if imported is not None and imported[0] == "object":
+            path = self._module_paths.get(imported[1])
+            if path is not None:
+                return self._module_functions.get((path, imported[2]))
+        return None
+
+    def _resolve_method(
+        self, module: ModuleSource, class_name: str | None, method: str
+    ) -> str | None:
+        seen: set[tuple[str, str]] = set()
+        path = module.path
+        name = class_name
+        # Walk the (single-inheritance chain of) base classes by name.
+        while name is not None:
+            cls = self._classes.get((path, name))
+            if cls is None:
+                named = self._classes_by_name.get(name, [])
+                if len(named) != 1:
+                    return None
+                cls = named[0]
+                path = cls.module.path
+            if (path, name) in seen:
+                return None
+            seen.add((path, name))
+            found = cls.methods.get(method)
+            if found is not None:
+                return found
+            name = cls.bases[0].split(".")[-1] if cls.bases else None
+        return None
+
+    # -- lock resolution -----------------------------------------------
+
+    def resolve_lock(
+        self, caller: FunctionInfo, expr: ast.expr
+    ) -> LockInfo | None:
+        """The lock a ``with`` item holds, or None when it is not one.
+
+        Resolution order: the enclosing class's make_lock assignments;
+        a unique make_lock assignment to that attribute name anywhere in
+        the project; a module-level make_lock variable; finally the
+        lexical heuristic (name contains ``lock``) with a synthetic,
+        unregistered identity.
+        """
+        name = dotted_name(expr)
+        if name is not None:
+            parts = name.split(".")
+            attr = parts[-1]
+            if parts[0] in ("self", "cls") and caller.class_name is not None:
+                cls = self._classes.get(
+                    (caller.module.path, caller.class_name)
+                )
+                resolved = self._resolve_class_lock(cls, attr)
+                if resolved is not None:
+                    return resolved
+            if len(parts) == 1:
+                module_lock = self._module_locks.get(
+                    caller.module.path, {}
+                ).get(attr)
+                if module_lock is not None:
+                    return module_lock
+            project_wide = self._lock_attr_index.get(attr, [])
+            if len({info.name for info in project_wide}) == 1:
+                return project_wide[0]
+            if "lock" in attr.lower():
+                return LockInfo(
+                    name=f"<{caller.module.path}:{name}>",
+                    guards_io=False,
+                    registered=False,
+                )
+            return None
+        if isinstance(expr, ast.Call):
+            direct = _lock_info_from_call(expr)
+            if direct is not None:
+                return direct
+            func = dotted_name(expr.func) or ""
+            if func.split(".")[-1] in ("Lock", "RLock"):
+                return LockInfo(
+                    name=f"<{caller.module.path}:{expr.lineno}:anonymous>",
+                    guards_io=False,
+                    registered=False,
+                )
+        return None
+
+    def _resolve_class_lock(
+        self, cls: _ClassInfo | None, attr: str
+    ) -> LockInfo | None:
+        seen: set[tuple[str, str]] = set()
+        while cls is not None:
+            if (cls.module.path, cls.name) in seen:
+                return None
+            seen.add((cls.module.path, cls.name))
+            info = cls.lock_attrs.get(attr)
+            if info is not None:
+                return info
+            if not cls.bases:
+                return None
+            base_name = cls.bases[0].split(".")[-1]
+            next_cls = self._classes.get((cls.module.path, base_name))
+            if next_cls is None:
+                named = self._classes_by_name.get(base_name, [])
+                next_cls = named[0] if len(named) == 1 else None
+            cls = next_cls
+        return None
+
+
+class Project:
+    """Every module under analysis plus the shared call graph."""
+
+    def __init__(self, modules: list[ModuleSource]) -> None:
+        self.modules = modules
+        self.by_path = {module.path: module for module in modules}
+        self.graph = CallGraph(modules)

@@ -5,21 +5,29 @@ Usage::
     PYTHONPATH=src python -m repro.analysis.lint [paths...]
         [--format text|json] [--output PATH]
         [--baseline] [--baseline-file PATH] [--fix-baseline]
+        [--rules IN001,IN007] [--changed-only] [--jobs N]
         [--list-rules]
 
 Exit status is 0 when no fresh error-severity finding remains, 1
 otherwise, and 2 for usage errors (bad baseline file, unknown rule).
 ``--baseline`` filters findings through the committed baseline file
-(grandfathered debt); ``--fix-baseline`` rewrites that file from the
-current findings.  ``--format json`` emits a machine-readable report —
-CI uploads it as an artifact — while ``--output`` writes the report to a
-file and keeps the human summary on stdout.
+(grandfathered debt); ``--fix-baseline`` *merges* the current findings
+into that file — entries for linted paths are rebuilt (shrinking when
+violations were fixed) and entries for paths outside this run are
+preserved.  ``--changed-only`` reports findings only for files changed
+versus the merge-base with the default branch (plus untracked files),
+while still parsing the whole path set so the interprocedural rules
+keep their project-wide view.  ``--format json`` emits a
+machine-readable report — CI uploads it as an artifact — while
+``--output`` writes the report to a file and keeps the human summary on
+stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -71,7 +79,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fix-baseline",
         action="store_true",
-        help="rewrite the baseline file from the current findings",
+        help="merge the current findings into the baseline file "
+        "(linted paths rebuilt, other paths preserved)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only for files changed vs the merge-base "
+        "with the default branch (the whole tree is still analyzed)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel parse workers (default: min(8, files))",
     )
     parser.add_argument(
         "--list-rules",
@@ -79,6 +107,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the registered rules and exit",
     )
     return parser
+
+
+def _git_lines(root: Path, *argv: str) -> list[str]:
+    proc = subprocess.run(
+        ["git", *argv],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        return []
+    return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_paths(root: Path | None = None) -> set[str]:
+    """Repo-relative ``.py`` paths changed versus the default branch.
+
+    The changed set is the union of the diff against the merge-base
+    with ``origin/main`` (falling back to ``main``, then to ``HEAD``
+    when no default branch exists — i.e. just the working tree) and any
+    untracked, non-ignored files.  Everything still gets *parsed* by
+    ``--changed-only`` runs; this set only narrows what is reported.
+    """
+    base = root or Path.cwd()
+    merge_base: str | None = None
+    for ref in ("origin/main", "origin/master", "main", "master"):
+        lines = _git_lines(base, "merge-base", "HEAD", ref)
+        if lines:
+            merge_base = lines[0]
+            break
+    diff_args = ["diff", "--name-only"]
+    diff_args.append(merge_base if merge_base else "HEAD")
+    changed = set(_git_lines(base, *diff_args))
+    changed.update(_git_lines(base, "ls-files", "--others", "--exclude-standard"))
+    return {path for path in changed if path.endswith(".py")}
 
 
 def _render_text(report: LintReport) -> str:
@@ -130,6 +194,18 @@ def main(argv: list[str] | None = None) -> int:
     if missing:
         parser.error(f"no such path: {', '.join(map(str, missing))}")
 
+    rule_ids = None
+    if args.rules is not None:
+        rule_ids = [
+            rule_id.strip()
+            for rule_id in args.rules.split(",")
+            if rule_id.strip()
+        ]
+
+    report_paths: set[str] | None = None
+    if args.changed_only:
+        report_paths = changed_paths()
+
     baseline: Baseline | None = None
     if args.baseline or args.fix_baseline:
         try:
@@ -139,17 +215,32 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     if args.fix_baseline:
-        report = run_lint(paths, baseline=None)
-        fresh = Baseline.from_findings(report.findings)
-        fresh.save(args.baseline_file)
+        try:
+            report = run_lint(paths, baseline=None, rule_ids=rule_ids, jobs=args.jobs)
+        except ValueError as exc:
+            print(f"insightlint: {exc}", file=sys.stderr)
+            return 2
+        assert baseline is not None
+        merged = baseline.merged_with(report.findings, report.checked_paths)
+        merged.save(args.baseline_file)
         print(
-            f"insightlint: wrote {len(fresh.entries)} baseline entr"
-            f"{'y' if len(fresh.entries) == 1 else 'ies'} to "
+            f"insightlint: wrote {len(merged.entries)} baseline entr"
+            f"{'y' if len(merged.entries) == 1 else 'ies'} to "
             f"{args.baseline_file}"
         )
         return 0
 
-    report = run_lint(paths, baseline=baseline if args.baseline else None)
+    try:
+        report = run_lint(
+            paths,
+            baseline=baseline if args.baseline else None,
+            rule_ids=rule_ids,
+            report_paths=report_paths,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        print(f"insightlint: {exc}", file=sys.stderr)
+        return 2
     rendered = (
         _render_json(report) if args.format == "json" else _render_text(report)
     )

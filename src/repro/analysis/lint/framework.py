@@ -38,9 +38,14 @@ import io
 import json
 import tokenize
 from collections.abc import Iterable, Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from pathlib import Path
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:
+    from repro.analysis.lint.callgraph import Project
 
 #: Marker meaning "all rules suppressed on this line".
 ALL_RULES = "*"
@@ -174,6 +179,25 @@ class Rule(abc.ABC):
         )
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole project (call graph, lock map).
+
+    Subclasses implement :meth:`check_project`; the inherited
+    :meth:`check` wraps a lone module in a single-module project, so
+    ``lint_source`` fixtures exercise the interprocedural machinery
+    without touching the filesystem.
+    """
+
+    @abc.abstractmethod
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Yield findings across the whole project."""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        from repro.analysis.lint.callgraph import Project as _Project
+
+        yield from self.check_project(_Project([module]))
+
+
 _REGISTRY: dict[str, Rule] = {}
 
 
@@ -281,6 +305,29 @@ class Baseline:
         }
         path.write_text(json.dumps(payload, indent=2) + "\n")
 
+    def merged_with(
+        self, findings: Iterable[Finding], linted_paths: Iterable[str]
+    ) -> "Baseline":
+        """A new baseline with linted paths rebuilt from ``findings``.
+
+        Entries whose path was linted are replaced by the observed
+        counts — so allowances *shrink* (or vanish) when violations are
+        fixed — while entries for paths outside the linted set are
+        preserved untouched.  This is the ``--fix-baseline`` semantics:
+        refreshing from a subset of the tree must never wipe other
+        files' grandfathered debt, and fixing a violation must never
+        leave a stale allowance behind for the next regression to hide
+        under.
+        """
+        linted = set(linted_paths)
+        entries = {
+            key: count
+            for key, count in self.entries.items()
+            if key.split("::", 1)[-1] not in linted
+        }
+        entries.update(Baseline.from_findings(findings).entries)
+        return Baseline(entries)
+
     def apply(
         self, findings: Sequence[Finding]
     ) -> tuple[list[Finding], list[Finding]]:
@@ -309,6 +356,9 @@ class LintReport:
     suppressed: int
     files_checked: int
     parse_errors: list[Finding]
+    #: repo-relative paths actually parsed this run (what --fix-baseline
+    #: may rebuild; entries for other paths must be preserved)
+    checked_paths: set[str] = dataclass_field(default_factory=set)
 
     @property
     def failed(self) -> bool:
@@ -348,7 +398,11 @@ def lint_source(
     rule_ids: Sequence[str] | None = None,
 ) -> list[Finding]:
     """Lint an in-memory module — the hermetic entry point the rule tests
-    use (fixtures stay inline strings, never repo files)."""
+    use (fixtures stay inline strings, never repo files).
+
+    Project rules see a single-module project, so inline fixtures
+    exercise the interprocedural rules too.
+    """
     tree = ast.parse(source)
     module = ModuleSource(path, source, tree)
     rules = all_rules()
@@ -364,46 +418,123 @@ def lint_source(
     return sorted(findings)
 
 
+def _parse_one(
+    file_path: Path, root: Path | None
+) -> tuple[ModuleSource | None, Finding | None]:
+    """Parse one file into a module, or a parse-error finding."""
+    rel = relative_path(file_path, root)
+    text = file_path.read_text()
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        return None, Finding(
+            path=rel,
+            line=exc.lineno or 1,
+            column=(exc.offset or 0) + 1,
+            rule="IN000",
+            severity="error",
+            message=f"file does not parse: {exc.msg}",
+        )
+    return ModuleSource(rel, text, tree), None
+
+
+def parse_modules(
+    files: Sequence[Path],
+    root: Path | None = None,
+    jobs: int | None = None,
+) -> tuple[list[ModuleSource], list[Finding]]:
+    """Parse ``files`` (in parallel when ``jobs`` allows) into modules.
+
+    Parsing dominates lint wall-clock and ``ast.parse`` releases the
+    GIL while tokenizing, so a small thread pool gives a real speedup;
+    results come back in input order regardless of completion order.
+    """
+    if jobs is None:
+        jobs = min(8, len(files)) or 1
+    modules: list[ModuleSource] = []
+    parse_errors: list[Finding] = []
+    if jobs <= 1 or len(files) <= 1:
+        parsed = [_parse_one(file_path, root) for file_path in files]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            parsed = list(
+                pool.map(lambda file_path: _parse_one(file_path, root), files)
+            )
+    for module, error in parsed:
+        if module is not None:
+            modules.append(module)
+        if error is not None:
+            parse_errors.append(error)
+    return modules, parse_errors
+
+
 def run_lint(
     paths: Sequence[Path],
     baseline: Baseline | None = None,
     root: Path | None = None,
+    rule_ids: Sequence[str] | None = None,
+    report_paths: set[str] | None = None,
+    jobs: int | None = None,
 ) -> LintReport:
     """Lint every ``.py`` file under ``paths``.
 
     ``baseline`` (when given) moves grandfathered findings out of the
     failing set; ``root`` anchors the repo-relative paths used in
     findings and baseline keys (defaults to the current directory).
+    ``rule_ids`` restricts the rule set; ``report_paths`` (when given)
+    restricts *reported* findings to those repo-relative paths while
+    still parsing and analyzing everything — the ``--changed-only``
+    quick path, which must keep the whole project visible or the
+    interprocedural rules would miss cross-file effects.  ``jobs``
+    bounds the parallel parse pool.
     """
+    from repro.analysis.lint.callgraph import Project
+
     rules = all_rules()
-    findings: list[Finding] = []
-    parse_errors: list[Finding] = []
-    suppressed = 0
+    if rule_ids is not None:
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in rules]
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(unknown)}")
+        rules = {rule_id: rules[rule_id] for rule_id in rule_ids}
+    module_rules = [
+        rule for rule in rules.values() if not isinstance(rule, ProjectRule)
+    ]
+    project_rules = [
+        rule for rule in rules.values() if isinstance(rule, ProjectRule)
+    ]
+
     files = collect_files(paths)
-    for file_path in files:
-        rel = relative_path(file_path, root)
-        text = file_path.read_text()
-        try:
-            tree = ast.parse(text)
-        except SyntaxError as exc:
-            parse_errors.append(
-                Finding(
-                    path=rel,
-                    line=exc.lineno or 1,
-                    column=(exc.offset or 0) + 1,
-                    rule="IN000",
-                    severity="error",
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
-            continue
-        module = ModuleSource(rel, text, tree)
-        for rule in rules.values():
+    modules, parse_errors = parse_modules(files, root, jobs)
+    by_path = {module.path: module for module in modules}
+
+    findings: list[Finding] = []
+    suppressed = 0
+
+    def admit(module: ModuleSource | None, finding: Finding) -> None:
+        nonlocal suppressed
+        if module is not None and module.suppressed(
+            finding.rule, finding.line
+        ):
+            suppressed += 1
+            return
+        if report_paths is not None and finding.path not in report_paths:
+            return
+        findings.append(finding)
+
+    for module in modules:
+        for rule in module_rules:
             for finding in rule.check(module):
-                if module.suppressed(finding.rule, finding.line):
-                    suppressed += 1
-                else:
-                    findings.append(finding)
+                admit(module, finding)
+    if project_rules:
+        project = Project(modules)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                admit(by_path.get(finding.path), finding)
+
+    if report_paths is not None:
+        parse_errors = [
+            error for error in parse_errors if error.path in report_paths
+        ]
     findings.sort()
     grandfathered: list[Finding] = []
     if baseline is not None:
@@ -414,4 +545,5 @@ def run_lint(
         suppressed=suppressed,
         files_checked=len(files),
         parse_errors=parse_errors,
+        checked_paths={relative_path(file_path, root) for file_path in files},
     )

@@ -5,14 +5,20 @@ Importing this package registers every rule with the framework registry
 
 ==========  ==========================================================
 IN001       no SQL / pool checkout while holding a threading lock
+            (lexical + interprocedural over the project call graph)
 IN002       sqlite3.connect only in storage/pool.py
 IN003       parameterized SQL only; identifiers via sqlsafe helpers
 IN004       copy-on-write (for_query) before mutating shared summaries
 IN005       no shared-state mutation from executor-submitted callables
+            (lexical + interprocedural through helper calls)
 IN006       no silent broad excepts
+IN007       lock acquisition order must be globally consistent (a
+            cycle in the static order graph is a potential deadlock)
+IN008       no unbounded blocking call while holding a lock
+            (guards_io locks exempt)
 ==========  ==========================================================
 """
 
-from repro.analysis.lint.rules import cow, exceptions, locks, sql
+from repro.analysis.lint.rules import cow, exceptions, interlock, locks, sql
 
-__all__ = ["cow", "exceptions", "locks", "sql"]
+__all__ = ["cow", "exceptions", "interlock", "locks", "sql"]

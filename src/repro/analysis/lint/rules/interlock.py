@@ -1,0 +1,278 @@
+"""Interprocedural lock-discipline rules: IN007 and IN008.
+
+Both consume :class:`~repro.analysis.lint.lockflow.LockFlow` summaries
+over the project call graph, and both speak the registry lock names from
+``repro.concurrency.make_lock`` so their findings line up with the
+runtime sanitizer's reports.
+
+IN007 — **lock-order consistency**.  Every observed "acquire B while
+holding A" — a nested ``with``, the left-to-right items of one ``with``
+statement, or a call (transitively) acquiring B inside A's region —
+becomes an edge ``A → B`` of a static acquisition-order graph.  A cycle
+means two code paths take the same locks in opposite orders: a
+potential deadlock, reported once per cycle at the earliest witness
+site.  Same-name edges are ignored (two stripes of one striped lock are
+interchangeable — instance-level ordering is not a discipline the
+engine defines, and the runtime sanitizer tallies same-role nesting
+separately).
+
+IN008 — **no blocking call under a lock**.  An unbounded
+``Future.result()``, ``queue.get()``, ``Event.wait()``, socket read, or
+``time.sleep`` reached while holding a lock stalls every thread waiting
+on that lock.  Locks created with ``guards_io=True`` are exempt — they
+exist precisely to serialize blocking work (single-writer checkout, the
+zoom-in store's transaction mutex).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.callgraph import LockInfo, Project
+from repro.analysis.lint.framework import (
+    Finding,
+    ProjectRule,
+    register,
+)
+from repro.analysis.lint.lockflow import LockFlow, get_lockflow
+
+
+@register
+class LockOrderConsistency(ProjectRule):
+    """IN007: the static acquisition-order graph must stay acyclic."""
+
+    rule_id = "IN007"
+    summary = (
+        "lock acquisition order must be globally consistent (a cycle "
+        "in the static order graph is a potential deadlock)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        flow = get_lockflow(project)
+        #: (from name, to name) -> earliest witness (path, line, col, how)
+        edges: dict[tuple[str, str], tuple[str, int, int, str]] = {}
+
+        def note_edge(
+            held: LockInfo,
+            acquired: LockInfo,
+            path: str,
+            node: ast.AST,
+            how: str,
+        ) -> None:
+            if held.name == acquired.name:
+                return
+            witness = (
+                path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                how,
+            )
+            key = (held.name, acquired.name)
+            if key not in edges or witness[:2] < edges[key][:2]:
+                edges[key] = witness
+
+        for key, regions in flow.regions.items():
+            info = project.graph.functions[key]
+            path = info.module.path
+            for region in regions:
+                # Left-to-right items of one with statement.
+                for index, held in enumerate(region.locks):
+                    for acquired in region.locks[index + 1 :]:
+                        note_edge(
+                            held,
+                            acquired,
+                            path,
+                            region.with_node,
+                            "acquired by the same with statement",
+                        )
+                for held in region.locks:
+                    # Nested with statements inside the region.
+                    for acquired, with_node in region.nested_locks:
+                        note_edge(
+                            held,
+                            acquired,
+                            path,
+                            with_node,
+                            "acquired by a nested with statement",
+                        )
+                    # Calls that (transitively) acquire locks.
+                    for site in region.calls:
+                        callee = project.graph.functions[site.callee]
+                        for acquired in flow.lock_acquires.get(
+                            site.callee, ()
+                        ):
+                            note_edge(
+                                held,
+                                acquired,
+                                path,
+                                site.node,
+                                f"acquired via call to {callee.qualname}",
+                            )
+
+        yield from self._cycle_findings(edges)
+
+    def _cycle_findings(
+        self, edges: dict[tuple[str, str], tuple[str, int, int, str]]
+    ) -> Iterator[Finding]:
+        successors: dict[str, set[str]] = {}
+        for source, dest in edges:
+            successors.setdefault(source, set()).add(dest)
+        for component in _cyclic_components(successors):
+            member_edges = sorted(
+                (witness[:2], source, dest, witness)
+                for (source, dest), witness in edges.items()
+                if source in component and dest in component
+            )
+            _, _, _, anchor = member_edges[0]
+            ordering = " ; ".join(
+                f"{source} -> {dest} at {witness[0]}:{witness[1]} "
+                f"({witness[3]})"
+                for _, source, dest, witness in member_edges
+            )
+            names = ", ".join(sorted(component))
+            yield Finding(
+                path=anchor[0],
+                line=anchor[1],
+                column=anchor[2] + 1,
+                rule=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"lock-order cycle between {{{names}}} — potential "
+                    f"deadlock; acquisition edges: {ordering}"
+                ),
+            )
+
+
+def _cyclic_components(
+    successors: dict[str, set[str]]
+) -> list[frozenset[str]]:
+    """Strongly connected components with more than one node (Tarjan)."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+    components: list[frozenset[str]] = []
+    nodes = sorted(
+        set(successors) | {dest for dests in successors.values() for dest in dests}
+    )
+
+    def strongconnect(node: str) -> None:
+        nonlocal counter
+        # Iterative Tarjan: (node, iterator over successors) frames.
+        work = [(node, iter(sorted(successors.get(node, ()))))]
+        index_of[node] = low[node] = counter
+        counter += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, successors_iter = work[-1]
+            advanced = False
+            for dest in successors_iter:
+                if dest not in index_of:
+                    index_of[dest] = low[dest] = counter
+                    counter += 1
+                    stack.append(dest)
+                    on_stack.add(dest)
+                    work.append(
+                        (dest, iter(sorted(successors.get(dest, ()))))
+                    )
+                    advanced = True
+                    break
+                if dest in on_stack:
+                    low[current] = min(low[current], index_of[dest])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index_of[current]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    components.append(frozenset(component))
+
+    for node in nodes:
+        if node not in index_of:
+            strongconnect(node)
+    return components
+
+
+@register
+class NoBlockingCallUnderLock(ProjectRule):
+    """IN008: nothing may block unboundedly while holding a lock."""
+
+    rule_id = "IN008"
+    summary = (
+        "no unbounded blocking call (Future.result / queue.get / "
+        "Event.wait / socket read without timeout) while holding a "
+        "lock, directly or through helpers (guards_io locks exempt)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        flow = get_lockflow(project)
+        reported: set[tuple[str, int, int]] = set()
+        for key, regions in flow.regions.items():
+            info = project.graph.functions[key]
+            path = info.module.path
+            for region in regions:
+                held = [
+                    lock for lock in region.locks if not lock.guards_io
+                ]
+                if not held:
+                    continue
+                names = ", ".join(
+                    sorted(f"'{lock.name}'" for lock in held)
+                )
+                for site in region.blocking:
+                    anchor = (path, site.node.lineno, site.node.col_offset)
+                    if anchor in reported:
+                        continue
+                    reported.add(anchor)
+                    yield Finding(
+                        path=path,
+                        line=site.node.lineno,
+                        column=site.node.col_offset + 1,
+                        rule=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"{site.description} while holding lock(s) "
+                            f"{names}; move the wait outside the lock "
+                            "or bound it with a timeout"
+                        ),
+                    )
+                for call_site in region.calls:
+                    if call_site.callee not in flow.blocking_reachable:
+                        continue
+                    anchor = (
+                        path,
+                        call_site.node.lineno,
+                        call_site.node.col_offset,
+                    )
+                    if anchor in reported:
+                        continue
+                    reported.add(anchor)
+                    callee = project.graph.functions[call_site.callee]
+                    yield Finding(
+                        path=path,
+                        line=call_site.node.lineno,
+                        column=call_site.node.col_offset + 1,
+                        rule=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"call to {callee.qualname} reaches a "
+                            f"blocking wait ({flow.blocking_witness(call_site.callee)}) "
+                            f"while holding lock(s) {names}; move the "
+                            "call outside the lock or bound the wait"
+                        ),
+                    )
+
+
+__all__ = ["LockFlow", "LockOrderConsistency", "NoBlockingCallUnderLock"]

@@ -20,40 +20,23 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from repro.analysis.lint.callgraph import CallGraph, FunctionInfo, Project
 from repro.analysis.lint.framework import (
     Finding,
     ModuleSource,
-    Rule,
+    ProjectRule,
     dotted_name,
     register,
 )
-
-#: Method names that execute SQL or check out a pooled connection.
-SQL_METHODS = frozenset(
-    {
-        "execute",
-        "executemany",
-        "executescript",
-        "fetch_all",
-        "fetch_one",
-        "transaction",
-        "read_connection",
-        "save_object",
-        "save_objects",
-        "load_object",
-        "load_objects_for_table",
-        "delete_object",
-        "instances_for_table",
-        "attachments_for_row",
-        "attachments_for_rows",
-        "annotations_for_row",
-        "rows_for_annotation",
-    }
+from repro.analysis.lint.lockflow import (
+    POOL_CHECKOUTS,
+    SQL_METHODS,
+    get_lockflow,
+    is_direct_sql_call,
 )
 
-#: ``.read()`` / ``.write()`` count as checkouts when the receiver is a
-#: pool (``self._pool.read()``), not for arbitrary file-like objects.
-_POOL_CHECKOUTS = frozenset({"read", "write"})
+#: Backwards-compatible alias (the canonical set lives in lockflow).
+_POOL_CHECKOUTS = POOL_CHECKOUTS
 
 #: The documented fill-under-lock sites (module path suffix, qualname).
 #: SummaryManager's write path holds its RLock across storage calls by
@@ -114,18 +97,83 @@ def _module_suffix_matches(path: str, suffix: str) -> bool:
     return path.endswith(suffix)
 
 
+def _allowlisted(path: str, qualname: str) -> bool:
+    """True when ``qualname`` in the module at ``path`` is a documented
+    fill-under-lock site (IN001_ALLOWLIST)."""
+    for suffix, allowed in IN001_ALLOWLIST:
+        if _module_suffix_matches(path, suffix) and (
+            qualname == allowed or qualname.startswith(allowed + ".")
+        ):
+            return True
+    return False
+
+
 @register
-class NoSQLUnderLock(Rule):
-    """IN001: no SQL/pool checkout lexically inside a lock's body."""
+class NoSQLUnderLock(ProjectRule):
+    """IN001: no SQL/pool checkout while holding a lock.
+
+    Two layers share the rule id:
+
+    * the **lexical** pass — SQL or a pool checkout written directly
+      inside a ``with``-lock body (the original PR-5 rule);
+    * the **interprocedural** pass — a call made while holding a
+      non-``guards_io`` lock whose callee (transitively, over the
+      project call graph) executes SQL.  The finding anchors at the
+      *call site in the lock-holding function*, which is where a
+      ``# insightlint: disable=IN001`` suppression belongs — the callee
+      is innocent; holding the lock across it is the defect.
+    """
 
     rule_id = "IN001"
     summary = (
         "no SQL execution or pool checkout while holding a threading "
-        "lock (probe under lock, SQL outside, fill under lock)"
+        "lock, directly or through helper calls (probe under lock, "
+        "SQL outside, fill under lock)"
     )
 
-    def check(self, module: ModuleSource) -> Iterator[Finding]:
-        yield from self._walk(module, module.tree.body, "", in_lock=False)
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self._walk(module, module.tree.body, "", in_lock=False)
+        yield from self._check_interprocedural(project)
+
+    def _check_interprocedural(self, project: Project) -> Iterator[Finding]:
+        flow = get_lockflow(project)
+        for key, regions in flow.regions.items():
+            info = project.graph.functions[key]
+            if _allowlisted(info.module.path, info.qualname):
+                continue
+            reported: set[tuple[int, int]] = set()
+            for region in regions:
+                held = [
+                    lock for lock in region.locks if not lock.guards_io
+                ]
+                if not held:
+                    continue
+                names = ", ".join(sorted(f"'{lock.name}'" for lock in held))
+                for site in region.calls:
+                    if site.callee not in flow.sql_reachable:
+                        continue
+                    if is_direct_sql_call(site.node):
+                        continue  # the lexical pass already reports it
+                    anchor = (site.node.lineno, site.node.col_offset)
+                    if anchor in reported:
+                        continue
+                    reported.add(anchor)
+                    callee = project.graph.functions[site.callee]
+                    yield Finding(
+                        path=info.module.path,
+                        line=site.node.lineno,
+                        column=site.node.col_offset + 1,
+                        rule=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"call to {callee.qualname} reaches SQL "
+                            f"({flow.sql_witness(site.callee)}) while "
+                            f"holding lock(s) {names}; run the SQL "
+                            "outside the lock or add the documented "
+                            "site to the IN001 allowlist"
+                        ),
+                    )
 
     def _walk(
         self,
@@ -213,17 +261,89 @@ class NoSQLUnderLock(Rule):
         )
 
 
+def _unguarded_self_writes(info: FunctionInfo, graph: CallGraph) -> list[str]:
+    """Dotted names of ``self.*`` attributes ``info`` assigns outside
+    any lock region (IN005's interprocedural payload).
+
+    Any lock counts as a guard here — including ``guards_io`` locks —
+    because IN005 is about data races, not blocking.  ``__init__`` is
+    skipped (construction happens-before publication to worker
+    threads), as are nested callables (analyzed under their own key),
+    inventory attributes, and thread-local (``self._local.*``)
+    receivers.
+    """
+    if info.qualname.split(".")[-1] == "__init__":
+        return []
+    writes: list[str] = []
+
+    def visit(node: ast.AST, in_lock: bool) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            locked = in_lock or any(
+                graph.resolve_lock(info, item.context_expr) is not None
+                or _is_lock_context(item.context_expr)
+                for item in node.items
+            )
+            for stmt in node.body:
+                visit(stmt, locked)
+            return
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not in_lock:
+            for target in targets:
+                base = target
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if not isinstance(base, ast.Attribute):
+                    continue
+                if base.attr in IN005_LOCKED_INVENTORY:
+                    continue
+                # Only bare ``self.attr`` receivers count: deeper paths
+                # (``self._local.x``) are either thread-local or flagged
+                # by the lexical pass on the submitted root itself.
+                if (dotted_name(base.value) or "") != "self":
+                    continue
+                writes.append(dotted_name(base) or base.attr)
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_lock)
+
+    for child in ast.iter_child_nodes(info.node):
+        visit(child, False)
+    return writes
+
+
 @register
-class NoSharedMutationInExecutorCallables(Rule):
-    """IN005: executor-submitted callables must not mutate shared state."""
+class NoSharedMutationInExecutorCallables(ProjectRule):
+    """IN005: executor-submitted callables must not mutate shared state.
+
+    The lexical pass checks the submitted callable's own body; the
+    interprocedural pass follows the call graph from the submitted
+    callable and reports helpers that assign ``self.*`` attributes
+    outside any lock — the finding anchors at the *submit site*, where
+    the decision to run that code on a worker thread was made.
+    """
 
     rule_id = "IN005"
     summary = (
         "callables submitted to a ThreadPoolExecutor may not assign "
-        "attributes of shared objects unless lock-protected"
+        "attributes of shared objects unless lock-protected, directly "
+        "or through helpers"
     )
 
-    def check(self, module: ModuleSource) -> Iterator[Finding]:
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self._check_module(module)
+        yield from self._check_interprocedural(project)
+
+    def _check_module(self, module: ModuleSource) -> Iterator[Finding]:
         submitted = self._submitted_callables(module.tree)
         if not submitted:
             return
@@ -238,6 +358,76 @@ class NoSharedMutationInExecutorCallables(Rule):
             if target is None:
                 continue
             yield from self._check_body(module, target.body, target.name)
+
+    def _check_interprocedural(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph
+        reported: set[tuple[str, int, int, str, str]] = set()
+        for key, info in graph.functions.items():
+            for node in ast.walk(info.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("submit", "map")
+                    and node.args
+                ):
+                    continue
+                root = graph.resolve_callable_ref(info, node.args[0])
+                if root is None:
+                    continue
+                yield from self._check_reachable_helpers(
+                    project, info, node, root, reported
+                )
+
+    def _check_reachable_helpers(
+        self,
+        project: Project,
+        submitter: FunctionInfo,
+        submit_node: ast.Call,
+        root: str,
+        reported: set[tuple[str, int, int, str, str]],
+    ) -> Iterator[Finding]:
+        graph = project.graph
+        seen = {root}
+        queue = [
+            site.callee
+            for site in graph.calls.get(root, [])
+            if site.callee not in seen
+        ]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            helper = graph.functions[current]
+            for write in _unguarded_self_writes(helper, graph):
+                anchor = (
+                    submitter.module.path,
+                    submit_node.lineno,
+                    submit_node.col_offset,
+                    helper.qualname,
+                    write,
+                )
+                if anchor in reported:
+                    continue
+                reported.add(anchor)
+                yield Finding(
+                    path=submitter.module.path,
+                    line=submit_node.lineno,
+                    column=submit_node.col_offset + 1,
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"executor-submitted callable reaches "
+                        f"{helper.qualname} ({helper.module.path}), "
+                        f"which assigns '{write}' outside a lock; "
+                        "worker threads must not mutate shared state "
+                        "(guard the assignment or add the attribute to "
+                        "the lock-protected inventory)"
+                    ),
+                )
+            for site in graph.calls.get(current, []):
+                if site.callee not in seen:
+                    queue.append(site.callee)
 
     def _submitted_callables(
         self, tree: ast.Module

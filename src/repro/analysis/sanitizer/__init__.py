@@ -1,0 +1,99 @@
+"""insightsan — runtime lock-order and blocking-under-lock sanitizer.
+
+The runtime twin of insightlint's IN007/IN008 static rules.  When
+enabled (programmatically via :func:`enable`, or by setting
+``INSIGHT_SANITIZE=1`` so the lock factory self-enables on first
+construction), every lock built through :mod:`repro.concurrency`
+becomes an instrumented wrapper that maintains a per-thread held-lock
+stack and a global acquisition-order graph:
+
+* a newly observed order edge that closes a cycle in the graph is a
+  **lock-order-inversion** violation (potential deadlock), reported
+  with the named locks on the cycle and witness sites for each edge;
+* an unbounded ``Future.result()`` / ``queue.Queue.get()`` entered
+  while holding any non-``guards_io`` lock is a
+  **blocking-under-lock** violation.
+
+The pytest plugin (``repro.analysis.sanitizer.pytest_plugin``, loaded
+from the repository ``conftest.py``) activates all of this for the
+tier-1 suite when ``INSIGHT_SANITIZE=1`` and writes
+``insightsan-report.json``; ``python -m repro.analysis.sanitizer.check``
+turns that report into a CI pass/fail.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.concurrency import LockLike, LockSpec, install_lock_factory
+
+from .runtime import (
+    InstrumentedLock,
+    InstrumentedRLock,
+    SanitizerState,
+    current_state,
+    pop_blocking_patches,
+    push_blocking_patches,
+)
+
+_enabled = False
+
+
+def _factory(spec: LockSpec) -> LockLike:
+    state = current_state()
+    if spec.kind == "rlock":
+        return InstrumentedRLock(spec, state)
+    return InstrumentedLock(spec, state)
+
+
+def enable() -> None:
+    """Install instrumented lock construction and blocking-call hooks.
+
+    Idempotent.  Only locks constructed *after* this call are
+    instrumented — enable before building the sessions under test (the
+    pytest plugin does so at configure time, ahead of test imports that
+    construct engine objects).
+    """
+    global _enabled
+    if _enabled:
+        return
+    _enabled = True
+    install_lock_factory(_factory)
+    push_blocking_patches()
+
+
+def disable() -> None:
+    """Restore plain lock construction and unpatch blocking calls."""
+    global _enabled
+    if not _enabled:
+        return
+    _enabled = False
+    install_lock_factory(None)
+    pop_blocking_patches()
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def report() -> dict[str, Any]:
+    """The current JSON-able sanitizer report."""
+    return current_state().report()
+
+
+def reset() -> None:
+    """Clear accumulated graph edges and violations."""
+    current_state().reset()
+
+
+__all__ = [
+    "InstrumentedLock",
+    "InstrumentedRLock",
+    "SanitizerState",
+    "current_state",
+    "disable",
+    "enable",
+    "enabled",
+    "report",
+    "reset",
+]

@@ -1,0 +1,56 @@
+"""CI gate over an insightsan report.
+
+``python -m repro.analysis.sanitizer.check [report.json]`` exits 0 when
+the report records no violations, 1 when it does (printing each), and
+2 when the report is missing or unreadable — a sanitized run that never
+produced a report is a broken job, not a clean one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.sanitizer.check",
+        description="Fail when an insightsan report records violations.",
+    )
+    parser.add_argument(
+        "report",
+        nargs="?",
+        default="insightsan-report.json",
+        help="path to the report written by the pytest plugin",
+    )
+    options = parser.parse_args(argv)
+    try:
+        with open(options.report, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"insightsan: cannot read report {options.report!r}: {exc}")
+        return 2
+    violations = report.get("violations", [])
+    print(
+        f"insightsan: {report.get('acquisitions', 0)} acquisitions, "
+        f"{len(report.get('locks', {}))} locks, "
+        f"{len(report.get('order_edges', []))} order edges, "
+        f"{len(violations)} violation(s)"
+    )
+    for violation in violations:
+        locks = ", ".join(violation.get("locks", []))
+        print(
+            f"  {violation.get('kind')}: {violation.get('detail')} "
+            f"[locks: {locks}] at {violation.get('site')}"
+        )
+        for witness in violation.get("witnesses", []):
+            print(
+                f"    {witness.get('edge')}: held at {witness.get('holder_site')}; "
+                f"acquired at {witness.get('acquire_site')}"
+            )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

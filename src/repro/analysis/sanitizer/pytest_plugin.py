@@ -1,0 +1,70 @@
+"""Pytest plugin that runs the suite under insightsan.
+
+Registered unconditionally from the repository ``conftest.py`` but
+inert unless ``INSIGHT_SANITIZE=1`` (the CI ``sanitize`` job's mode).
+When active it enables the sanitizer *at configure time* — before test
+modules import engine code that constructs locks — and writes the
+accumulated report to ``insightsan-report.json`` (override with
+``INSIGHT_SANITIZE_REPORT``) at session finish.
+
+The plugin never fails the run itself: pytest's exit status keeps
+meaning "tests passed".  CI judges the report in a separate step via
+``python -m repro.analysis.sanitizer.check``, which exits non-zero on
+any recorded violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.concurrency import sanitize_requested
+
+_REPORT_ENV = "INSIGHT_SANITIZE_REPORT"
+_DEFAULT_REPORT = "insightsan-report.json"
+
+
+def pytest_configure(config: Any) -> None:
+    if not sanitize_requested():
+        return
+    from repro.analysis import sanitizer
+
+    sanitizer.enable()
+
+
+def pytest_sessionfinish(session: Any, exitstatus: int) -> None:
+    if not sanitize_requested():
+        return
+    from repro.analysis import sanitizer
+
+    if not sanitizer.enabled():
+        return
+    report = sanitizer.report()
+    path = os.environ.get(_REPORT_ENV, _DEFAULT_REPORT)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def pytest_terminal_summary(terminalreporter: Any, exitstatus: int) -> None:
+    if not sanitize_requested():
+        return
+    from repro.analysis import sanitizer
+
+    if not sanitizer.enabled():
+        return
+    report = sanitizer.report()
+    violations = report["violations"]
+    terminalreporter.write_sep("-", "insightsan")
+    terminalreporter.write_line(
+        f"insightsan: {report['acquisitions']} acquisitions across "
+        f"{len(report['locks'])} named locks, "
+        f"{len(report['order_edges'])} order edges, "
+        f"{len(violations)} violation(s)"
+    )
+    for violation in violations:
+        terminalreporter.write_line(
+            f"  {violation['kind']}: {violation['detail']} "
+            f"[locks: {', '.join(violation['locks'])}] at {violation['site']}"
+        )

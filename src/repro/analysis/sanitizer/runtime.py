@@ -1,0 +1,486 @@
+"""insightsan's runtime core: instrumented locks and the order graph.
+
+The sanitizer mirrors insightlint's static IN007/IN008 rules at runtime:
+
+* every lock built through :mod:`repro.concurrency` while the sanitizer
+  is active becomes an :class:`InstrumentedLock` / :class:`InstrumentedRLock`
+  that reports acquisitions and releases here;
+* each thread keeps a **held-lock stack**; acquiring lock ``B`` while
+  holding ``A`` adds the edge ``A → B`` to a global, name-keyed
+  **acquisition-order graph**.  A new edge that closes a cycle is a
+  potential deadlock — recorded as a ``lock-order-inversion`` violation
+  with the witness stacks of every edge on the cycle;
+* :func:`note_blocking` — fed by the patches on
+  ``concurrent.futures.Future.result`` and ``queue.Queue.get`` that
+  :func:`blocking_patches` installs — records a
+  ``blocking-under-lock`` violation whenever an unbounded wait starts
+  while any non-``guards_io`` lock is held.
+
+Identity model: the graph is keyed by **lock name** (role), not
+instance.  Re-entrant re-acquisition of the same instance is invisible
+(RLock depth tracking), and nesting two *different instances of the same
+role* (striped flight locks, per-shard pools) is tallied as a
+``same_role_nesting`` diagnostic rather than an edge — per-instance
+ordering of interchangeable stripes is not a discipline the engine
+defines, and a name-level self-edge would read as a spurious cycle.
+
+Everything here uses raw ``threading`` primitives — the sanitizer must
+never route its own synchronization through the factory it instruments.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue
+import threading
+import traceback
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.concurrency import LockSpec
+
+#: Frames from these files never count as a violation's witness site.
+_INTERNAL_MARKERS = ("analysis/sanitizer/runtime.py", "repro/concurrency.py")
+
+#: Bound on recorded violations — a pathological loop must not OOM CI.
+_MAX_VIOLATIONS = 200
+
+
+def _witness_site(skip_threading: bool = True) -> str:
+    """``file:line in func`` of the innermost non-sanitizer frame."""
+    for frame in reversed(traceback.extract_stack()):
+        filename = frame.filename.replace("\\", "/")
+        if any(marker in filename for marker in _INTERNAL_MARKERS):
+            continue
+        if skip_threading and filename.endswith("threading.py"):
+            continue
+        return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+@dataclass(frozen=True)
+class _Held:
+    """One entry of a thread's held-lock stack."""
+
+    name: str
+    lock_id: int
+    guards_io: bool
+    site: str
+
+
+@dataclass
+class _EdgeWitness:
+    """Where an acquisition-order edge was first observed."""
+
+    thread: str
+    holder_site: str
+    acquire_site: str
+
+    def to_json(self) -> dict[str, str]:
+        return {
+            "thread": self.thread,
+            "holder_site": self.holder_site,
+            "acquire_site": self.acquire_site,
+        }
+
+
+@dataclass
+class Violation:
+    """One sanitizer finding."""
+
+    kind: str  # "lock-order-inversion" | "blocking-under-lock"
+    locks: tuple[str, ...]
+    detail: str
+    thread: str
+    site: str
+    witnesses: list[dict[str, str]] = field(default_factory=list)
+
+    def key(self) -> tuple[str, tuple[str, ...], str]:
+        return (self.kind, self.locks, self.detail)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "locks": list(self.locks),
+            "detail": self.detail,
+            "thread": self.thread,
+            "site": self.site,
+            "witnesses": self.witnesses,
+        }
+
+
+class SanitizerState:
+    """All mutable sanitizer state; the global instance backs the
+    factory, tests may construct private ones."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._tls = threading.local()
+        #: name -> {successor name -> first witness}
+        self.order: dict[str, dict[str, _EdgeWitness]] = {}
+        self.violations: list[Violation] = []
+        self._violation_keys: set[tuple[str, tuple[str, ...], str]] = set()
+        self.same_role_nestings: dict[str, int] = {}
+        self.lock_specs: dict[str, LockSpec] = {}
+        self.acquisitions = 0
+
+    # -- held stack ----------------------------------------------------
+
+    def _stack(self) -> list[_Held]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_names(self) -> tuple[str, ...]:
+        """Names held by the calling thread, outermost first."""
+        return tuple(held.name for held in self._stack())
+
+    # -- lock events ---------------------------------------------------
+
+    def note_acquired(
+        self, spec: LockSpec, lock_id: int, site: str | None = None
+    ) -> None:
+        """Record a successful (outermost, for RLocks) acquisition."""
+        stack = self._stack()
+        acquire_site = site or _witness_site()
+        self.acquisitions += 1
+        for held in stack:
+            if held.lock_id == lock_id:
+                continue  # re-entry is handled by the RLock wrapper
+            if held.name == spec.name:
+                with self._mutex:
+                    self.same_role_nestings[spec.name] = (
+                        self.same_role_nestings.get(spec.name, 0) + 1
+                    )
+                continue
+            self._note_edge(held, spec.name, acquire_site)
+        stack.append(
+            _Held(
+                name=spec.name,
+                lock_id=lock_id,
+                guards_io=spec.guards_io,
+                site=acquire_site,
+            )
+        )
+
+    def note_released(self, lock_id: int) -> None:
+        """Drop the most recent stack entry for ``lock_id``."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index].lock_id == lock_id:
+                del stack[index]
+                return
+
+    def _note_edge(self, holder: _Held, name: str, acquire_site: str) -> None:
+        successors = self.order.get(holder.name)
+        if successors is not None and name in successors:
+            return  # fast path: edge already known, no mutex needed
+        with self._mutex:
+            successors = self.order.setdefault(holder.name, {})
+            if name in successors:
+                return
+            successors[name] = _EdgeWitness(
+                thread=threading.current_thread().name,
+                holder_site=holder.site,
+                acquire_site=acquire_site,
+            )
+            cycle = self._find_cycle(name, holder.name)
+            if cycle is not None:
+                self._record_locked(
+                    Violation(
+                        kind="lock-order-inversion",
+                        locks=tuple(sorted(set(cycle))),
+                        detail=" -> ".join([holder.name, *cycle]),
+                        thread=threading.current_thread().name,
+                        site=acquire_site,
+                        witnesses=self._cycle_witnesses(holder.name, cycle),
+                    )
+                )
+
+    def _find_cycle(self, start: str, target: str) -> list[str] | None:
+        """A path ``start -> ... -> target`` in the order graph, if any.
+
+        Called with the mutex held, right after inserting
+        ``target -> start`` — a found path closes that edge into a cycle.
+        """
+        path: list[str] = [start]
+        seen = {start}
+
+        def walk(node: str) -> list[str] | None:
+            if node == target:
+                return list(path)
+            for successor in self.order.get(node, ()):
+                if successor == target:
+                    path.append(successor)
+                    return list(path)
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                path.append(successor)
+                found = walk(successor)
+                if found is not None:
+                    return found
+                path.pop()
+
+            return None
+
+        return walk(start)
+
+    def _cycle_witnesses(
+        self, head: str, cycle: list[str]
+    ) -> list[dict[str, str]]:
+        """Witnesses of each edge along ``head -> cycle[0] -> ...``."""
+        witnesses: list[dict[str, str]] = []
+        nodes = [head, *cycle]
+        for source, dest in zip(nodes, nodes[1:]):
+            witness = self.order.get(source, {}).get(dest)
+            if witness is not None:
+                witnesses.append(
+                    {"edge": f"{source} -> {dest}", **witness.to_json()}
+                )
+        return witnesses
+
+    # -- blocking calls ------------------------------------------------
+
+    def note_blocking(self, detail: str) -> None:
+        """Record a blocking-under-lock violation if any held lock is
+        not a documented ``guards_io`` serialization point."""
+        offending = tuple(
+            held.name for held in self._stack() if not held.guards_io
+        )
+        if not offending:
+            return
+        violation = Violation(
+            kind="blocking-under-lock",
+            locks=offending,
+            detail=detail,
+            thread=threading.current_thread().name,
+            site=_witness_site(),
+        )
+        with self._mutex:
+            self._record_locked(violation)
+
+    def _record_locked(self, violation: Violation) -> None:
+        if len(self.violations) >= _MAX_VIOLATIONS:
+            return
+        if violation.key() in self._violation_keys:
+            return
+        self._violation_keys.add(violation.key())
+        self.violations.append(violation)
+
+    # -- registration / reporting --------------------------------------
+
+    def register_spec(self, spec: LockSpec) -> None:
+        with self._mutex:
+            self.lock_specs[spec.name] = spec
+
+    def report(self) -> dict[str, Any]:
+        """The JSON-able sanitizer report (CI uploads this artifact)."""
+        with self._mutex:
+            return {
+                "version": 1,
+                "acquisitions": self.acquisitions,
+                "locks": {
+                    name: {"kind": spec.kind, "guards_io": spec.guards_io}
+                    for name, spec in sorted(self.lock_specs.items())
+                },
+                "order_edges": [
+                    {"from": source, "to": dest, **witness.to_json()}
+                    for source, successors in sorted(self.order.items())
+                    for dest, witness in sorted(successors.items())
+                ],
+                "same_role_nestings": dict(
+                    sorted(self.same_role_nestings.items())
+                ),
+                "violations": [v.to_json() for v in self.violations],
+            }
+
+    def reset(self) -> None:
+        """Clear the graph and violations (lock specs are kept)."""
+        with self._mutex:
+            self.order.clear()
+            self.violations.clear()
+            self._violation_keys.clear()
+            self.same_role_nestings.clear()
+            self.acquisitions = 0
+
+
+# -- instrumented lock types -------------------------------------------
+
+
+class InstrumentedLock:
+    """A named ``threading.Lock`` that reports to a sanitizer state."""
+
+    __slots__ = ("spec", "_state", "_lock")
+
+    def __init__(self, spec: LockSpec, state: SanitizerState) -> None:
+        self.spec = spec
+        self._state = state
+        self._lock = threading.Lock()
+        state.register_spec(spec)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._state.note_acquired(self.spec, id(self))
+        return acquired
+
+    def release(self) -> None:
+        self._state.note_released(id(self))
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<InstrumentedLock {self.spec.name!r}>"
+
+
+class InstrumentedRLock:
+    """A named ``threading.RLock``; only the outermost acquire/release
+    pair touches the held-lock stack."""
+
+    __slots__ = ("spec", "_state", "_lock", "_depth")
+
+    def __init__(self, spec: LockSpec, state: SanitizerState) -> None:
+        self.spec = spec
+        self._state = state
+        self._lock = threading.RLock()
+        self._depth = threading.local()
+        state.register_spec(spec)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            depth = getattr(self._depth, "value", 0)
+            if depth == 0:
+                self._state.note_acquired(self.spec, id(self))
+            self._depth.value = depth + 1
+        return acquired
+
+    def release(self) -> None:
+        depth = getattr(self._depth, "value", 0)
+        if depth <= 1:
+            self._state.note_released(id(self))
+        self._depth.value = max(0, depth - 1)
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<InstrumentedRLock {self.spec.name!r}>"
+
+
+# -- global state and blocking-call patches ----------------------------
+
+_STATE = SanitizerState()
+
+
+def current_state() -> SanitizerState:
+    """The state instrumented locks report to."""
+    return _STATE
+
+
+@contextlib.contextmanager
+def swap_state(state: SanitizerState) -> Iterator[SanitizerState]:
+    """Temporarily replace the global state (sanitizer's own tests).
+
+    Keeps a manufactured violation out of the ambient report when the
+    test suite itself runs under ``INSIGHT_SANITIZE=1``.
+    """
+    global _STATE
+    previous = _STATE
+    _STATE = state
+    try:
+        yield state
+    finally:
+        _STATE = previous
+
+
+def note_blocking(detail: str) -> None:
+    """Module-level hook the blocking-call patches report through."""
+    _STATE.note_blocking(detail)
+
+
+_patch_depth = 0
+_patch_guard = threading.Lock()
+_original_future_result: Any = None
+_original_queue_get: Any = None
+
+
+def _apply_blocking_patches() -> None:
+    global _original_future_result, _original_queue_get
+    from concurrent.futures import Future
+
+    _original_future_result = Future.result
+    _original_queue_get = queue.Queue.get
+    original_result = _original_future_result
+    original_get = _original_queue_get
+
+    def patched_result(self: Any, timeout: float | None = None) -> Any:
+        if timeout is None and not self.done():
+            note_blocking("concurrent.futures.Future.result() without timeout")
+        return original_result(self, timeout)
+
+    def patched_get(
+        self: Any, block: bool = True, timeout: float | None = None
+    ) -> Any:
+        if block and timeout is None:
+            note_blocking("queue.Queue.get() without timeout")
+        return original_get(self, block, timeout)
+
+    Future.result = patched_result  # type: ignore[method-assign]
+    queue.Queue.get = patched_get  # type: ignore[method-assign]
+
+
+def _remove_blocking_patches() -> None:
+    global _original_future_result, _original_queue_get
+    from concurrent.futures import Future
+
+    if _original_future_result is not None:
+        Future.result = _original_future_result  # type: ignore[method-assign]
+        _original_future_result = None
+    if _original_queue_get is not None:
+        queue.Queue.get = _original_queue_get  # type: ignore[method-assign]
+        _original_queue_get = None
+
+
+def push_blocking_patches() -> None:
+    """Install the ``Future.result`` / ``Queue.get`` hooks (refcounted,
+    so a test's temporary patch nests inside an ambient sanitizer)."""
+    global _patch_depth
+    with _patch_guard:
+        _patch_depth += 1
+        if _patch_depth == 1:
+            _apply_blocking_patches()
+
+
+def pop_blocking_patches() -> None:
+    global _patch_depth
+    with _patch_guard:
+        _patch_depth = max(0, _patch_depth - 1)
+        if _patch_depth == 0:
+            _remove_blocking_patches()
+
+
+@contextlib.contextmanager
+def blocking_patches() -> Iterator[None]:
+    """Context-managed :func:`push_blocking_patches`."""
+    push_blocking_patches()
+    try:
+        yield
+    finally:
+        pop_blocking_patches()

@@ -31,12 +31,12 @@ only ever chooses among Theorem 1–2-equivalent alternatives.
 from __future__ import annotations
 
 import math
-import threading
 import time
 from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.concurrency import make_lock
 from repro.engine import plan as lp
 from repro.engine.expressions import (
     BooleanOp,
@@ -173,7 +173,7 @@ class CatalogStatistics:
         self._annotations = annotations
         self._catalog = catalog
         self._store = store
-        self._lock = threading.Lock()
+        self._lock = make_lock("engine.cost_stats")
         self._tables: dict[str, TableStats] = {}
         self._loaded = False
         self._feedback_updates = 0
@@ -187,8 +187,8 @@ class CatalogStatistics:
         that matters most (relative table sizes drive join order) while
         staying cheap — one COUNT(*) per table per session.
         """
+        self._ensure_loaded()
         with self._lock:
-            self._ensure_loaded()
             stats = self._tables.get(table)
             if stats is not None:
                 return stats
@@ -205,8 +205,8 @@ class CatalogStatistics:
 
     def freshness(self) -> dict[str, Any]:
         """How current the registry is (exposed via statistics())."""
+        self._ensure_loaded()
         with self._lock:
-            self._ensure_loaded()
             analyzed = [
                 stats.analyzed_at
                 for stats in self._tables.values()
@@ -237,10 +237,10 @@ class CatalogStatistics:
         tables = [table] if table is not None else self._db.tables()
         now = time.time()
         refreshed: dict[str, dict[str, Any]] = {}
+        self._ensure_loaded()
         for name in tables:
             stats = self._collect(name, now)
             with self._lock:
-                self._ensure_loaded()
                 self._tables[name] = stats
             if self._store is not None:
                 self._store.replace_table(name, stats.to_stat_map())
@@ -265,8 +265,8 @@ class CatalogStatistics:
 
     def on_rows_inserted(self, table: str, count: int = 1) -> None:
         """Ingest hook: keep row counts current between ANALYZE runs."""
+        self._ensure_loaded()
         with self._lock:
-            self._ensure_loaded()
             stats = self._tables.get(table)
             if stats is None:
                 return  # never costed or analyzed — the seed will be fresh
@@ -274,8 +274,8 @@ class CatalogStatistics:
             stats.pending_changes += count
 
     def on_rows_deleted(self, table: str, count: int = 1) -> None:
+        self._ensure_loaded()
         with self._lock:
-            self._ensure_loaded()
             stats = self._tables.get(table)
             if stats is None:
                 return
@@ -284,8 +284,8 @@ class CatalogStatistics:
 
     def on_annotations_changed(self, table: str, delta: int) -> None:
         """Annotation ingest/unlink hook (``delta`` may be negative)."""
+        self._ensure_loaded()
         with self._lock:
-            self._ensure_loaded()
             stats = self._tables.get(table)
             if stats is None:
                 return
@@ -312,8 +312,8 @@ class CatalogStatistics:
         if any(isinstance(node, lp.Limit) for node in lp.walk(root)):
             return  # an engine-side LIMIT may stop the scan early
         observed = float(stats.rows_scanned)
+        self._ensure_loaded()
         with self._lock:
-            self._ensure_loaded()
             entry = self._tables.get(scan.table)
             if entry is None:
                 entry = TableStats(scan.table)
@@ -325,14 +325,30 @@ class CatalogStatistics:
     # -- internals -----------------------------------------------------
 
     def _ensure_loaded(self) -> None:
-        """Load persisted stats once, lazily (caller holds the lock)."""
-        if self._loaded:
-            return
-        self._loaded = True
-        if self._store is None:
-            return
-        for table, stat_map in self._store.load_all().items():
-            self._tables[table] = TableStats.from_stat_map(table, stat_map)
+        """Load persisted stats once, lazily — called *before* taking
+        the lock, never under it (the store read is SQL; IN001/IN007
+        forbid holding ``engine.cost_stats`` across it).
+
+        Double-checked: racing callers may both read the store, but one
+        merge wins and loaded rows never clobber entries that appeared
+        in the meantime (a live counter bump is fresher than the
+        persisted snapshot it would overwrite).
+        """
+        with self._lock:
+            if self._loaded:
+                return
+            if self._store is None:
+                self._loaded = True
+                return
+        loaded = self._store.load_all()  # SQL — lock released
+        with self._lock:
+            if self._loaded:
+                return
+            self._loaded = True
+            for table, stat_map in loaded.items():
+                self._tables.setdefault(
+                    table, TableStats.from_stat_map(table, stat_map)
+                )
 
 
 @dataclass(frozen=True)
@@ -356,7 +372,7 @@ class PlannerCounters:
     )
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("engine.planner_counters")
         self._counts = dict.fromkeys(self._FIELDS, 0)
 
     def record(self, name: str, count: int = 1) -> None:

@@ -24,7 +24,6 @@ on the query tree.
 from __future__ import annotations
 
 import abc
-import threading
 import time
 from collections import deque
 from collections.abc import Iterator, Sequence
@@ -32,6 +31,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.concurrency import LockLike, make_lock
 from repro.engine.expressions import (
     Column,
     Comparison,
@@ -279,8 +279,10 @@ class ExecutionStats:
     hydration_blocks: int = 0
     shard_rows_scanned: dict[str, int] = field(default_factory=dict)
     backend_counters: dict[str, dict[str, int]] = field(default_factory=dict)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _lock: LockLike = field(
+        default_factory=lambda: make_lock("engine.execution_stats"),
+        repr=False,
+        compare=False,
     )
 
     def count_scanned(self, rows: int = 1, shard: int | None = None) -> None:

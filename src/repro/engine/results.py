@@ -10,11 +10,11 @@ the cost the zoom-in cache (RCO policy) exists to avoid.
 from __future__ import annotations
 
 import itertools
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
+from repro.concurrency import make_lock
 from repro.errors import UnknownQueryIdError
 from repro.model.tuple import AnnotatedTuple
 
@@ -208,7 +208,7 @@ class ResultRegistry:
         self._total_bytes = 0
         # itertools.count.__next__ is atomic under the GIL, but the
         # registry map and its eviction loop are not — one lock for both.
-        self._lock = threading.Lock()
+        self._lock = make_lock("engine.results")
         self._qid_counter = itertools.count(101)  # matches the paper's QID=101
 
     def next_qid(self) -> int:

@@ -39,11 +39,11 @@ hydration workers never serialize on each other's fetches.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro.concurrency import make_rlock
 from repro.maintenance.invariants import ContributionCache
 from repro.model.annotation import Annotation
 from repro.model.cell import CellRef
@@ -143,7 +143,9 @@ class SummaryManager:
         self.contributions = ContributionCache()
         self.stats = MaintenanceStats()
         # Re-entrant: flush() runs inside add_annotations' locked region.
-        self._lock = threading.RLock()
+        # guards_io: the write-through path intentionally persists
+        # summary objects while this lock serializes maintenance.
+        self._lock = make_rlock("maintenance.summary_manager", guards_io=True)
         self._object_cache_size = object_cache_size
         self._attachments_cache_size = attachments_cache_size
         # (instance, table, row_id) -> object; OrderedDict gives LRU order.

@@ -16,11 +16,12 @@ O(window); percentiles are computed over that window at snapshot time.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.concurrency import make_lock
 
 #: How many recent request latencies each operation class retains for
 #: percentile estimation.  Old entries age out; counters never do.
@@ -135,7 +136,7 @@ class ServerStats:
     """
 
     def __init__(self, window: int = DEFAULT_LATENCY_WINDOW) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.stats")
         self._window = window
         self._lanes: dict[str, _LaneStats] = {}
         self._engine_totals: dict[str, int] = {}

@@ -36,6 +36,7 @@ import time
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
+from repro.concurrency import make_lock
 from repro.errors import AnnotationError, UnknownAnnotationError
 from repro.model.annotation import Annotation, AnnotationKind
 from repro.model.cell import CellRef
@@ -117,7 +118,7 @@ class AnnotationStore:
         # Per-thread cached id runs (see _reserve_ids); the lock guards
         # the meta-shard sequence row against concurrent run grants.
         self._id_local = threading.local()
-        self._id_lock = threading.Lock()
+        self._id_lock = make_lock("annotations.id_sequence", guards_io=True)
         if database.shard_count > 1:
             with database.transaction(META_SHARD) as connection:
                 connection.execute(

@@ -36,10 +36,10 @@ block.
 from __future__ import annotations
 
 import json
-import threading
 from collections import OrderedDict
 from collections.abc import Callable, Iterator, Sequence
 
+from repro.concurrency import make_lock
 from repro.errors import (
     CatalogError,
     DuplicateInstanceError,
@@ -88,14 +88,14 @@ class SummaryCatalog:
         self._db = database
         self.registry = registry or default_registry()
         self._live_instances: dict[str, SummaryInstance] = {}
-        self._instances_lock = threading.Lock()
+        self._instances_lock = make_lock("catalog.instances")
         self._object_cache_size = object_cache_size
         # (instance, table, row_id) -> SummaryObject | _ABSENT, LRU-ordered.
         self._object_cache: OrderedDict[tuple[str, str, int], object] = (
             OrderedDict()
         )
         # Guards the LRU and its hit/miss counters; never held across SQL.
-        self._cache_lock = threading.Lock()
+        self._cache_lock = make_lock("catalog.cache")
         self.cache_hits = 0
         self.cache_misses = 0
         for shard in range(database.shard_count):

@@ -40,6 +40,7 @@ import threading
 from collections.abc import Callable, Iterator, Mapping, Sequence
 from typing import Any
 
+from repro.concurrency import make_lock
 from repro.errors import StorageError, UnknownTableError
 from repro.storage.backend import (
     META_SHARD,
@@ -112,7 +113,7 @@ class QueryCounter:
     def __init__(self) -> None:
         self.count = 0
         self.statements: list[str] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("database.trace_counter")
 
     def _record(self, sql: str) -> None:
         with self._lock:
@@ -176,14 +177,14 @@ class Database:
         self.path = self._backend.path
         # Nested track_queries contexts each get their own counter; the
         # single dispatcher fans every traced statement to all of them.
-        self._trace_lock = threading.Lock()
+        self._trace_lock = make_lock("database.trace")
         self._trace_stack: list[QueryCounter] = []
         self._schemas: dict[str, TableSchema] = {}
-        self._schema_lock = threading.Lock()
+        self._schema_lock = make_lock("database.schema")
         # Table-global rowid allocation for sharded backends (each
         # shard's file has its own rowid space, so SQLite cannot assign
         # them); lazily seeded from the per-shard maxima.
-        self._rowid_lock = threading.Lock()
+        self._rowid_lock = make_lock("database.rowid")
         self._rowid_counters: dict[str, int] = {}
         with self._backend.transaction(META_SHARD) as connection:
             connection.execute(
@@ -417,19 +418,31 @@ class Database:
 
     # -- rowid allocation ---------------------------------------------
 
-    def _seeded_counter(self, table: str) -> int:
-        """Current allocation floor (callers hold ``_rowid_lock``)."""
-        current = self._rowid_counters.get(table)
-        if current is None:
-            current = 0
-            for shard in range(self._backend.shard_count):
-                row = self.fetch_one(
-                    f"SELECT MAX(rowid) FROM {quote_ident(table)}",
-                    shard=shard,
-                )
-                if row is not None and row[0] is not None:
-                    current = max(current, row[0])
-        return current
+    def _seed_rowid_floor(self, table: str) -> None:
+        """Seed the table's allocation floor from the per-shard maxima.
+
+        Called *before* taking ``_rowid_lock``, never under it — the
+        MAX(rowid) probes are SQL, and IN001/IN007 forbid holding the
+        rowid lock across a reader checkout.  Double-checked: racing
+        seeders may both probe, but the merge keeps the highest floor,
+        so a concurrent allocation that already advanced the counter is
+        never rolled back.
+        """
+        with self._rowid_lock:
+            if table in self._rowid_counters:
+                return
+        observed = 0
+        for shard in range(self._backend.shard_count):
+            row = self.fetch_one(
+                f"SELECT MAX(rowid) FROM {quote_ident(table)}",
+                shard=shard,
+            )
+            if row is not None and row[0] is not None:
+                observed = max(observed, row[0])
+        with self._rowid_lock:
+            self._rowid_counters[table] = max(
+                self._rowid_counters.get(table, 0), observed
+            )
 
     def _allocate_rowids(self, table: str, count: int) -> int:
         """Reserve ``count`` consecutive rowids; returns the first.
@@ -438,15 +451,17 @@ class Database:
         (``max(rowid) + 1``), so a sharded store hands out the same ids
         the single-file engine would.
         """
+        self._seed_rowid_floor(table)
         with self._rowid_lock:
-            current = self._seeded_counter(table)
+            current = self._rowid_counters.get(table, 0)
             self._rowid_counters[table] = current + count
             return current + 1
 
     def _note_explicit_rowid(self, table: str, row_id: int) -> None:
         """Raise the allocation floor past an explicitly pinned rowid."""
+        self._seed_rowid_floor(table)
         with self._rowid_lock:
-            current = self._seeded_counter(table)
+            current = self._rowid_counters.get(table, 0)
             self._rowid_counters[table] = max(current, row_id)
 
     # -- DML -------------------------------------------------------------

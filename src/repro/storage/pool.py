@@ -31,6 +31,8 @@ import threading
 import time
 from collections.abc import Callable, Iterator
 
+from repro.concurrency import make_lock, make_rlock
+
 
 def connect(
     path: str, *, check_same_thread: bool = False
@@ -83,9 +85,9 @@ class ConnectionPool:
         self._serialize_reads = in_memory or serialize_reads
         self._writer = writer
         self._configure_reader = configure_reader
-        self._write_lock = threading.RLock()
+        self._write_lock = make_rlock("pool.write", guards_io=True)
         # Guards the reader registry, the trace callback, and _closed.
-        self._registry_lock = threading.Lock()
+        self._registry_lock = make_lock("pool.registry")
         self._readers: list[sqlite3.Connection] = []
         self._local = threading.local()
         self._trace: Callable[[str], None] | None = None
@@ -93,7 +95,7 @@ class ConnectionPool:
         # Checkout counters — observability for the scatter-gather and
         # per-shard-writer paths (never on a hot lock: one uncontended
         # lock acquisition per checkout, not per statement).
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("pool.stats")
         self._read_checkouts = 0
         self._write_batches = 0
         self._write_wait_s = 0.0

@@ -16,9 +16,9 @@ and the backing store move together — there is no safe partial view).
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
+from repro.concurrency import make_rlock
 from repro.engine.results import QueryResult
 from repro.zoomin.policies import CacheEntry, LRUPolicy, ReplacementPolicy
 from repro.zoomin.stores import MemoryResultStore, ResultStore
@@ -69,7 +69,7 @@ class ZoomInCache:
         self._entries: dict[int, CacheEntry] = {}
         self._clock = 0
         self._bytes_used = 0
-        self._lock = threading.RLock()
+        self._lock = make_rlock("zoomin.cache")
 
     # -- clock ----------------------------------------------------------
 

@@ -31,9 +31,9 @@ from __future__ import annotations
 
 import abc
 import json
-import threading
 from dataclasses import dataclass
 
+from repro.concurrency import make_lock
 from repro.engine.results import QueryResult
 from repro.storage.pool import connect
 from repro.summaries.registry import SummaryTypeRegistry, default_registry
@@ -153,7 +153,7 @@ class SQLiteResultStore(ResultStore):
         # below serializes the write methods end to end (an IN001
         # documented exception — this lock exists precisely to hold
         # across the SQL it wraps).
-        self._txn_lock = threading.Lock()
+        self._txn_lock = make_lock("zoomin.store_txn", guards_io=True)
         self._connection = connect(path)
         self._connection.execute(
             """

@@ -46,6 +46,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.concurrency import LockLike, make_lock
 from repro.engine.results import QueryResult
 from repro.zoomin.admission import (
     REJECTED_OVERSIZE,
@@ -130,7 +131,9 @@ class _Flight:
 class _FlightStripe:
     """One shard of the in-flight table."""
 
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    lock: LockLike = field(
+        default_factory=lambda: make_lock("zoomin.flight_stripe")
+    )
     flights: dict[int, _Flight] = field(default_factory=dict)
 
 
@@ -184,7 +187,7 @@ class TieredZoomInCache:
         # Tier metadata, payloads of the hot tier, and accounting — all
         # guarded by _lock; the disk store itself is only touched with
         # the lock released.
-        self._lock = threading.Lock()
+        self._lock = make_lock("zoomin.tiered")
         self._entries_memory: dict[int, CacheEntry] = {}
         self._entries_disk: dict[int, CacheEntry] = {}
         self._memory: dict[int, QueryResult] = {}

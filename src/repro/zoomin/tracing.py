@@ -18,10 +18,11 @@ resurrected — a trace is an observability view, not an audit log.
 from __future__ import annotations
 
 import hashlib
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
+
+from repro.concurrency import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.results import QueryResult
@@ -107,7 +108,7 @@ class TraceStore:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._traces: OrderedDict[int, QueryTrace] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("zoomin.traces")
 
     def __len__(self) -> int:
         with self._lock:

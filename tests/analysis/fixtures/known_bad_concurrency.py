@@ -1,0 +1,67 @@
+# ruff: noqa
+"""Seeded known-bad concurrency fixture for the insightlint self-check.
+
+Every function below is *deliberately wrong*.  The file is linted by
+``tests/analysis/test_interprocedural.py`` and by the CI lint self-check
+step, which expect exactly these findings:
+
+* ``cross_function_sql_under_lock`` — IN001 (interprocedural): SQL
+  reached through a helper while holding ``fixture.state``;
+* ``take_alpha_then_beta`` / ``take_beta_then_alpha`` — IN007: a
+  two-lock acquisition-order inversion (``fixture.alpha`` and
+  ``fixture.beta`` taken in opposite orders);
+* ``blocking_wait_under_lock`` / ``drain_inbox_under_lock`` — IN008:
+  unbounded blocking calls while holding ``fixture.state``.
+
+It is never imported by the engine; if the linter stops reporting any
+of these, the self-check fails — a canary against silently weakened
+rules.
+"""
+
+import queue
+
+from repro.concurrency import make_lock
+
+_alpha = make_lock("fixture.alpha")
+_beta = make_lock("fixture.beta")
+_state = make_lock("fixture.state")
+
+_inbox: "queue.Queue[int]" = queue.Queue()
+
+
+def run_query(pool, sql):
+    """Executes SQL — innocent on its own; the caller is the defect."""
+    with pool.read() as connection:
+        return connection.execute(sql, ())
+
+
+def cross_function_sql_under_lock(pool):
+    """IN001 (interprocedural): the helper reaches SQL under a lock."""
+    with _state:
+        return run_query(pool, "SELECT 1")
+
+
+def take_alpha_then_beta():
+    """One half of the IN007 inversion: alpha, then beta."""
+    with _alpha:
+        with _beta:
+            return True
+
+
+def take_beta_then_alpha():
+    """The other half — the opposite order closes the 2-cycle."""
+    with _beta:
+        with _alpha:
+            return True
+
+
+def blocking_wait_under_lock(future):
+    """IN008: unbounded ``Future.result()`` while holding a lock."""
+    with _state:
+        return future.result()
+
+
+def drain_inbox_under_lock():
+    """IN008: ``queue.get()`` with no timeout while holding a lock."""
+    with _state:
+        return _inbox.get()

@@ -104,10 +104,19 @@ class TestFormats:
         assert payload["summary"]["findings"] == 1
         assert "1 finding(s)" in capsys.readouterr().out
 
-    def test_list_rules_names_all_six(self, tree, capsys):
+    def test_list_rules_names_all_eight(self, tree, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("IN001", "IN002", "IN003", "IN004", "IN005", "IN006"):
+        for rule_id in (
+            "IN001",
+            "IN002",
+            "IN003",
+            "IN004",
+            "IN005",
+            "IN006",
+            "IN007",
+            "IN008",
+        ):
             assert rule_id in out
 
 
@@ -139,6 +148,105 @@ class TestBaselineWorkflow:
     def test_baseline_flag_without_file_behaves_like_empty(self, tree):
         write_module(tree, "pkg/bad.py", BAD_SOURCE)
         assert main(["pkg", "--baseline"]) == 1
+
+    def test_fix_baseline_shrinks_entry_when_count_drops(self, tree):
+        # Two violations grandfathered; fixing one must shrink the
+        # allowance to 1, not leave a stale slot for a regression to
+        # hide under.
+        two_bad = BAD_SOURCE + (
+            "\n\ndef more(conn, t):\n"
+            '    return conn.execute(f"DROP TABLE {t}")\n'
+        )
+        write_module(tree, "pkg/bad.py", two_bad)
+        assert main(["pkg", "--fix-baseline"]) == 0
+        payload = json.loads((tree / "lint-baseline.json").read_text())
+        assert payload["entries"] == {"IN003::pkg/bad.py": 2}
+        write_module(tree, "pkg/bad.py", BAD_SOURCE)
+        assert main(["pkg", "--fix-baseline"]) == 0
+        payload = json.loads((tree / "lint-baseline.json").read_text())
+        assert payload["entries"] == {"IN003::pkg/bad.py": 1}
+
+    def test_fix_baseline_drops_entry_when_file_is_clean(self, tree):
+        write_module(tree, "pkg/bad.py", BAD_SOURCE)
+        assert main(["pkg", "--fix-baseline"]) == 0
+        write_module(tree, "pkg/bad.py", CLEAN_SOURCE)
+        assert main(["pkg", "--fix-baseline"]) == 0
+        payload = json.loads((tree / "lint-baseline.json").read_text())
+        assert payload["entries"] == {}
+
+    def test_fix_baseline_preserves_entries_outside_linted_paths(
+        self, tree
+    ):
+        # Refreshing from a subset of the tree must not wipe other
+        # files' grandfathered debt.
+        write_module(tree, "pkg/bad.py", BAD_SOURCE)
+        write_module(tree, "other/also_bad.py", BAD_SOURCE)
+        (tree / "lint-baseline.json").write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": {"IN003::other/also_bad.py": 1},
+                }
+            )
+        )
+        assert main(["pkg", "--fix-baseline"]) == 0
+        payload = json.loads((tree / "lint-baseline.json").read_text())
+        assert payload["entries"] == {
+            "IN003::other/also_bad.py": 1,
+            "IN003::pkg/bad.py": 1,
+        }
+
+
+class TestRuleSelection:
+    def test_rules_flag_restricts_the_rule_set(self, tree, capsys):
+        write_module(tree, "pkg/bad.py", BAD_SOURCE)
+        # The file violates IN003 but not IN006 — restricting to IN006
+        # must pass, restricting to IN003 must fail.
+        assert main(["pkg", "--rules", "IN006"]) == 0
+        capsys.readouterr()
+        assert main(["pkg", "--rules", "IN003"]) == 1
+        assert "IN003" in capsys.readouterr().out
+
+    def test_unknown_rule_id_is_a_usage_error(self, tree, capsys):
+        write_module(tree, "pkg/clean.py", CLEAN_SOURCE)
+        assert main(["pkg", "--rules", "IN999"]) == 2
+        assert "unknown rule ids" in capsys.readouterr().err
+
+    def test_jobs_flag_parses_in_parallel(self, tree, capsys):
+        for index in range(6):
+            write_module(tree, f"pkg/mod_{index}.py", CLEAN_SOURCE)
+        assert main(["pkg", "--jobs", "4"]) == 0
+        assert "6 file(s)" in capsys.readouterr().out
+
+
+class TestChangedOnly:
+    def _git(self, tree: Path, *argv: str) -> None:
+        subprocess.run(
+            [
+                "git",
+                "-c",
+                "user.email=lint@test",
+                "-c",
+                "user.name=lint",
+                *argv,
+            ],
+            cwd=tree,
+            check=True,
+            capture_output=True,
+        )
+
+    def test_changed_only_reports_only_changed_files(self, tree, capsys):
+        # A committed violation is invisible to --changed-only; a fresh
+        # (untracked) one still fails the run.
+        write_module(tree, "pkg/old_bad.py", BAD_SOURCE)
+        self._git(tree, "init", "-q")
+        self._git(tree, "add", ".")
+        self._git(tree, "commit", "-qm", "seed")
+        write_module(tree, "pkg/new_bad.py", BAD_SOURCE)
+        assert main(["pkg", "--changed-only"]) == 1
+        out = capsys.readouterr().out
+        assert "new_bad.py" in out
+        assert "old_bad.py" not in out
 
 
 def test_module_entry_point_subprocess(tmp_path):
